@@ -1,0 +1,62 @@
+//! Criterion companion to Fig. 12: wall-clock latency of this crate's
+//! interpreter per instruction class. The simulated-mote costs live in the
+//! `fig12_local_ops` binary; this bench guards the real implementation
+//! against performance regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use agilla_vm::exec::{run_to_effect, TestHost};
+use agilla_vm::{asm, AgentState};
+use wsn_common::{AgentId, Location};
+
+fn bench_program(c: &mut Criterion, name: &str, src: &str) {
+    let program = asm::assemble(src).expect("bench program assembles");
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut host = TestHost::at(Location::new(1, 1));
+            host.neighbors = vec![Location::new(1, 2)];
+            let mut agent =
+                AgentState::with_code(AgentId(1), program.code().to_vec()).expect("agent");
+            let r = run_to_effect(&mut agent, &mut host, 1024).expect("runs");
+            black_box(r)
+        })
+    });
+}
+
+fn local_ops(c: &mut Criterion) {
+    // Class 1: plain pushes and ALU.
+    bench_program(c, "class1/loc_pushc_add", "loc\npop\npushc 1\npushc 2\nadd\npop\nhalt");
+    // Class 2: immediate-carrying pushes.
+    bench_program(
+        c,
+        "class2/push_family",
+        "pushn fir\npop\npushcl 300\npop\npushloc 1 1\npop\npusht value\npop\nhalt",
+    );
+    // Class 3: tuple-space operations.
+    bench_program(
+        c,
+        "class3/out_inp",
+        "pushc 1\npushc 1\nout\npusht value\npushc 1\ninp\npop\npop\nhalt",
+    );
+    // Reactions.
+    bench_program(
+        c,
+        "class2/regrxn_deregrxn",
+        "pushn fir\npushc 1\npushc 0\nregrxn\npushn fir\npushc 1\nderegrxn\nhalt",
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = local_ops
+}
+criterion_main!(benches);

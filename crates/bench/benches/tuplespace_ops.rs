@@ -1,0 +1,74 @@
+//! Tuple-space operation cost versus arena occupancy and discipline — the
+//! measured side of the DESIGN.md §4.2 arena ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use agilla_tuplespace::{ArenaKind, Field, Template, TemplateField, Tuple, TupleSpace};
+
+/// Fills best-effort: the free list holds fewer 4-byte tuples in the same
+/// 600 B (2 B pointer overhead each), so high "occupancy" means "as many as
+/// fit" for both disciplines.
+fn filled_space(kind: ArenaKind, tuples: usize) -> TupleSpace {
+    let mut ts = TupleSpace::new(600, kind);
+    for i in 0..tuples {
+        if ts.out(Tuple::new(vec![Field::value(i as i16)]).unwrap()).is_err() {
+            break;
+        }
+    }
+    ts
+}
+
+fn tuplespace_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuplespace");
+    for kind in [ArenaKind::Linear, ArenaKind::FreeList] {
+        let label = match kind {
+            ArenaKind::Linear => "linear",
+            ArenaKind::FreeList => "freelist",
+        };
+        // 4-byte tuples: 600 B holds 150; sweep occupancy.
+        for occupancy in [10usize, 75, 140] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/out_inp_first"), occupancy),
+                &occupancy,
+                |b, &n| {
+                    let tmpl = Template::new(vec![TemplateField::exact(Field::value(0))]);
+                    b.iter_batched(
+                        || filled_space(kind, n),
+                        |mut ts| {
+                            // Remove the FIRST tuple: worst case for the
+                            // linear arena (whole tail shifts).
+                            let t = ts.inp(&tmpl);
+                            black_box(t)
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/rdp_miss"), occupancy),
+                &occupancy,
+                |b, &n| {
+                    let ts = filled_space(kind, n);
+                    let tmpl = Template::new(vec![TemplateField::any_str()]);
+                    b.iter(|| black_box(ts.rdp(&tmpl)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = tuplespace_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Interpreter throughput (instructions/second) and whole-network
+//! simulation rate — the practical limits on experiment scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use agilla::{workload, AgillaConfig, AgillaNetwork};
+use agilla_vm::exec::{run_to_effect, TestHost};
+use agilla_vm::{asm, AgentState};
+use wsn_common::{AgentId, Location};
+use wsn_sim::SimDuration;
+
+/// A counting loop: 7 instructions per iteration, 100 iterations.
+const LOOP_AGENT: &str = "\
+pushc 0
+setvar 0
+LOOP getvar 0
+inc
+setvar 0
+getvar 0
+pushc 100
+ceq
+rjumpc DONE
+rjump LOOP
+DONE halt";
+
+fn vm_throughput(c: &mut Criterion) {
+    let program = asm::assemble(LOOP_AGENT).expect("assembles");
+    // ~8 instructions per loop iteration x 100 iterations.
+    let instrs = 2 + 100 * 8;
+    let mut group = c.benchmark_group("vm");
+    group.throughput(Throughput::Elements(instrs));
+    group.bench_function("loop_agent", |b| {
+        b.iter(|| {
+            let mut host = TestHost::at(Location::new(1, 1));
+            let mut agent =
+                AgentState::with_code(AgentId(1), program.code().to_vec()).expect("agent");
+            black_box(run_to_effect(&mut agent, &mut host, 10_000).expect("halts"))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("network");
+    group.bench_function("testbed_one_sim_second", |b| {
+        b.iter(|| {
+            let mut net = AgillaNetwork::testbed_5x5(AgillaConfig::default(), 1);
+            net.inject_source(workload::ROUT_TEST_AGENT).expect("inject");
+            net.run_for(SimDuration::from_secs(1));
+            black_box(net.now())
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = vm_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation: the tuple-space arena discipline.
+//!
+//! "To prevent internal fragmentation and the need for forward pointers, the
+//! 600-bytes are allocated linearly. When a tuple is removed, all following
+//! tuples are shifted forward. While this may result in more memory
+//! swapping, it is simple." (Section 3.2). This bench quantifies the trade:
+//! bytes shifted (linear) versus pointer overhead + capacity loss
+//! (free list) under a churn workload.
+
+use agilla_bench::Table;
+use agilla_tuplespace::{ArenaKind, Field, Template, TemplateField, Tuple, TupleSpace};
+use wsn_sim::RngStream;
+
+fn churn(kind: ArenaKind, ops: u32, seed: u64) -> (u64, usize, usize, u32) {
+    let mut ts = TupleSpace::new(600, kind);
+    let mut rng = RngStream::derive(seed, "arena");
+    let mut rejected = 0u32;
+    let mut peak = 0usize;
+    for _ in 0..ops {
+        if rng.chance(0.6) {
+            let v = rng.range_u64(0, 8) as i16;
+            let t = Tuple::new(vec![Field::value(v), Field::value(v + 1)]).unwrap();
+            match ts.out(t) {
+                Ok(()) => {}
+                Err(_) => rejected += 1,
+            }
+        } else {
+            let v = rng.range_u64(0, 8) as i16;
+            let tmpl = Template::new(vec![
+                TemplateField::exact(Field::value(v)),
+                TemplateField::any_value(),
+            ]);
+            let _ = ts.inp(&tmpl);
+        }
+        peak = peak.max(ts.len());
+    }
+    (ts.shifted_bytes(), ts.used_bytes(), peak, rejected)
+}
+
+fn main() {
+    let ops: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    println!("Ablation — tuple arena: linear shift-compaction vs free list ({ops} ops)\n");
+    let (lin_shift, lin_used, lin_peak, lin_rej) = churn(ArenaKind::Linear, ops, 7);
+    let (fl_shift, fl_used, fl_peak, fl_rej) = churn(ArenaKind::FreeList, ops, 7);
+
+    let mut t = Table::new(vec![
+        "arena",
+        "bytes shifted",
+        "bytes used (end)",
+        "peak tuples",
+        "inserts rejected",
+    ]);
+    t.row(vec![
+        "linear (paper)".into(),
+        lin_shift.to_string(),
+        lin_used.to_string(),
+        lin_peak.to_string(),
+        lin_rej.to_string(),
+    ]);
+    t.row(vec![
+        "free list".into(),
+        fl_shift.to_string(),
+        fl_used.to_string(),
+        fl_peak.to_string(),
+        fl_rej.to_string(),
+    ]);
+    t.print();
+    println!(
+        "\nThe paper's trade-off, quantified: linear pays {:.1} shifted bytes/op of\n\
+         memcpy but stores more tuples in the same 600 B (free-list pointer overhead\n\
+         rejected {} extra inserts).",
+        lin_shift as f64 / f64::from(ops),
+        fl_rej.saturating_sub(lin_rej),
+    );
+}

@@ -1,0 +1,78 @@
+//! Ablation: the instruction manager's code block size.
+//!
+//! "the instruction manager allocates the minimum number of 22 byte blocks
+//! necessary to store the agent's code. We found that 22 byte blocks are a
+//! good compromise between internal fragmentation and undue forward pointer
+//! overhead." (Section 3.2). This bench sweeps the block size over the
+//! paper's workloads and reports both costs.
+
+use agilla::workload;
+use agilla_bench::Table;
+use agilla_vm::asm::assemble;
+use wsn_common::Location;
+
+fn main() {
+    let programs: Vec<(&str, Vec<u8>)> = vec![
+        ("smove test", assemble(workload::SMOVE_TEST_AGENT).unwrap().into_code()),
+        ("rout test", assemble(workload::ROUT_TEST_AGENT).unwrap().into_code()),
+        (
+            "FireDetector",
+            assemble(&workload::fire_detector(Location::new(0, 1), 4800))
+                .unwrap()
+                .into_code(),
+        ),
+        ("FireTracker", assemble(workload::FIRE_TRACKER).unwrap().into_code()),
+        (
+            "HabitatMonitor",
+            assemble(&workload::habitat_monitor(10, 80, Location::new(0, 1)))
+                .unwrap()
+                .into_code(),
+        ),
+    ];
+
+    println!("Ablation — instruction-manager block size (440 B budget)\n");
+    println!("Workloads: {}\n", programs
+        .iter()
+        .map(|(n, c)| format!("{n}={}B", c.len()))
+        .collect::<Vec<_>>()
+        .join(", "));
+
+    let mut t = Table::new(vec![
+        "block B",
+        "blocks/agent (mean)",
+        "frag waste B (mean)",
+        "pointer overhead B",
+        "total cost B",
+    ]);
+    let mut best = (usize::MAX, 0usize);
+    for block in [8usize, 11, 16, 22, 32, 44, 64, 110] {
+        // Per-block forward pointer: 2 bytes of RAM each, as the paper's
+        // "undue forward pointer overhead" implies.
+        let mut blocks_total = 0usize;
+        let mut waste_total = 0usize;
+        for (_, code) in &programs {
+            let blocks = code.len().div_ceil(block);
+            blocks_total += blocks;
+            waste_total += blocks * block - code.len();
+        }
+        let n = programs.len();
+        let pointer_overhead = blocks_total * 2 / n;
+        let frag = waste_total / n;
+        let total = pointer_overhead + frag;
+        if total < best.0 {
+            best = (total, block);
+        }
+        t.row(vec![
+            block.to_string(),
+            format!("{:.1}", blocks_total as f64 / n as f64),
+            frag.to_string(),
+            pointer_overhead.to_string(),
+            total.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nSweet spot on the paper's workloads: {} B blocks (paper chose 22 B).",
+        best.1
+    );
+}

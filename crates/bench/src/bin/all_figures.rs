@@ -1,0 +1,33 @@
+//! Runs every figure and table binary's logic in sequence with reduced trial
+//! counts — a one-command regeneration of the paper's evaluation for
+//! EXPERIMENTS.md. For publication-grade numbers run the individual binaries
+//! with their default (100-trial) settings in release mode.
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trials = if quick { "20" } else { "100" };
+    let bins: &[(&str, &[&str])] = &[
+        ("fig9_reliability", &[trials]),
+        ("fig10_latency", &[trials]),
+        ("fig11_remote_ops", &[trials]),
+        ("fig12_local_ops", &[]),
+        ("table_memory", &[]),
+        ("mate_comparison", &[]),
+        ("ablation_migration", &[if quick { "20" } else { "60" }]),
+        ("ablation_arena", &[]),
+        ("ablation_blocks", &[]),
+    ];
+    for (bin, args) in bins {
+        println!("\n=== {bin} ===\n");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .args(*args)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 10: latency of `smove` vs `rout` across 1–5 hops.
+//!
+//! smove latencies are one-way (round trip halved, as in the paper); rout
+//! latencies are means over operations that succeeded without an end-to-end
+//! retransmission (the paper's 2 s timeout retries would otherwise dominate
+//! the mean — see EXPERIMENTS.md).
+
+use agilla::AgillaConfig;
+use agilla_bench::{fig9_fig10, Table};
+
+fn main() {
+    let trials: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    println!("Figure 10 — latency of smove vs rout ({trials} trials/hop)\n");
+    let rows = fig9_fig10(trials, 0xF10, &AgillaConfig::default());
+
+    // The paper's curves, read off Fig. 10 (ms).
+    let paper_smove = [225.0, 430.0, 650.0, 870.0, 1080.0];
+    let paper_rout = [55.0, 130.0, 215.0, 300.0, 400.0];
+
+    let mut t = Table::new(vec![
+        "hops",
+        "smove ms",
+        "sd",
+        "paper smove ms",
+        "rout ms",
+        "sd",
+        "paper rout ms",
+    ]);
+    for r in &rows {
+        let i = (r.hops - 1) as usize;
+        t.row(vec![
+            r.hops.to_string(),
+            format!("{:.0}", r.smove_latency_ms),
+            format!("{:.0}", r.smove_latency_sd_ms),
+            format!("{:.0}", paper_smove[i]),
+            format!("{:.0}", r.rout_latency_ms),
+            format!("{:.0}", r.rout_latency_sd_ms),
+            format!("{:.0}", paper_rout[i]),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape checks: both grow ~linearly with hops; smove @5 < 1.1s: {}",
+        rows[4].smove_latency_ms < 1100.0
+    );
+    println!(
+        "smove costs 3-6x rout at every hop: {}",
+        rows.iter()
+            .all(|r| r.smove_latency_ms > 2.5 * r.rout_latency_ms)
+    );
+}

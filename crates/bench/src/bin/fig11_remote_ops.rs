@@ -1,0 +1,59 @@
+//! Figure 11: one-hop latency of every remote operation.
+//!
+//! "Agilla can perform one-hop remote tuple space operations in about 55ms,
+//! and migration operations in 225ms" — with migrations showing higher
+//! variance (retransmit timers). Also prints the tracking-speed corollary
+//! the paper derives ("an agent can migrate across a network at 600km/h").
+
+use agilla::AgillaConfig;
+use agilla_bench::{fig11_one_hop, Table};
+
+fn main() {
+    let trials: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    println!("Figure 11 — one-hop latency of remote operations ({trials} trials)\n");
+    let rows = fig11_one_hop(trials, 0xF11, &AgillaConfig::default());
+
+    // The paper's bars, read off Fig. 11 (ms).
+    let paper = [
+        ("rout", 55.0),
+        ("rinp", 60.0),
+        ("rrdp", 60.0),
+        ("smove", 225.0),
+        ("wmove", 215.0),
+        ("sclone", 240.0),
+        ("wclone", 220.0),
+    ];
+
+    let mut t = Table::new(vec!["op", "mean ms", "sd ms", "paper ms", "n"]);
+    for r in &rows {
+        let p = paper
+            .iter()
+            .find(|(n, _)| *n == r.op.name())
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        t.row(vec![
+            r.op.name().to_string(),
+            format!("{:.1}", r.mean_ms),
+            format!("{:.1}", r.sd_ms),
+            format!("{p:.0}"),
+            r.samples.to_string(),
+        ]);
+    }
+    t.print();
+
+    let rout = rows[0].mean_ms;
+    let migrations: Vec<f64> = rows[3..].iter().map(|r| r.mean_ms).collect();
+    let mig_mean = migrations.iter().sum::<f64>() / migrations.len() as f64;
+    println!("\nTuple-space ops ≈ {rout:.0} ms; migrations ≈ {mig_mean:.0} ms.");
+    // "the quickest an agent can migrate is once every 0.3 seconds. Assuming
+    // the radio range is around 50m ... 600km/h".
+    let period_s = (mig_mean / 1000.0) + 0.075; // + engine dispatch slack
+    let speed_kmh = 50.0 / period_s * 3.6;
+    println!(
+        "Tracking-speed corollary: one hop per {:.2} s at 50 m/hop = {:.0} km/h (paper: ~600 km/h)",
+        period_s, speed_kmh
+    );
+}

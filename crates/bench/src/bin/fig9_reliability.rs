@@ -1,0 +1,49 @@
+//! Figure 9: reliability of `smove` vs `rout` across 1–5 hops.
+//!
+//! Protocol per Section 4: the Fig. 8 test agents run 100 times per hop
+//! count on the (lossy) 5×5 testbed; smove failures are halved to account
+//! for the double migration.
+
+use agilla::AgillaConfig;
+use agilla_bench::{fig9_fig10, Table};
+
+fn main() {
+    let trials: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    println!("Figure 9 — reliability of smove vs rout ({trials} trials/hop)\n");
+    let rows = fig9_fig10(trials, 0xF19, &AgillaConfig::default());
+
+    // The paper's curves, read off Fig. 9.
+    let paper_smove = [1.00, 0.99, 0.97, 0.95, 0.92];
+    let paper_rout = [0.99, 0.96, 0.90, 0.82, 0.73];
+
+    let mut t = Table::new(vec![
+        "hops",
+        "smove %",
+        "paper smove %",
+        "rout %",
+        "paper rout %",
+    ]);
+    for r in &rows {
+        let i = (r.hops - 1) as usize;
+        t.row(vec![
+            r.hops.to_string(),
+            format!("{:.1}", 100.0 * r.smove_success),
+            format!("{:.0}", 100.0 * paper_smove[i]),
+            format!("{:.1}", 100.0 * r.rout_success),
+            format!("{:.0}", 100.0 * paper_rout[i]),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape checks: smove beats rout beyond one hop: {}",
+        rows.iter().skip(1).all(|r| r.smove_success >= r.rout_success)
+    );
+    println!(
+        "smove @5 hops >= 85%: {} | rout @5 hops in 60-85%: {}",
+        rows[4].smove_success >= 0.85,
+        (0.60..=0.85).contains(&rows[4].rout_success)
+    );
+}

@@ -1,0 +1,169 @@
+//! Section 5's flexibility comparison, quantified: reprogramming via Maté
+//! capsule flooding versus Agilla agent injection.
+//!
+//! Scenario A (single-node retasking, 10×10 grid): change the program on ONE
+//! node. Maté must flood the new capsule to every node ("a program written
+//! in Maté will either have to include the tracking function with the
+//! detection code, or the base station will have to be notified so it can
+//! re-program the entire network"); Agilla injects one agent that migrates
+//! to the target, touching only the route.
+//!
+//! Scenario B (whole-network install, 5×5 grid): put a new application on
+//! every node. Maté floods; Agilla injects a self-replicating `wclone`
+//! spreader. Flooding wins here — mobile agents pay per-hop reliability —
+//! which is the honest flip side the comparison preserves.
+
+use agilla::{AgillaConfig, AgillaNetwork, Environment};
+use agilla_bench::Table;
+use mate_baseline::{Capsule, CapsuleKind, MateNetwork};
+use wsn_common::{Location, NodeId};
+use wsn_radio::{LossModel, Topology};
+use wsn_sim::SimDuration;
+
+/// A spreader agent: marks the node with an `app` tuple and weak-clones to
+/// every neighbor; copies that land on marked nodes halt immediately.
+const SPREADER: &str = "\
+BEGIN pushn app
+pushc 1
+rdp
+rjumpc DONE       // already installed here
+pushn app
+pushc 1
+out               // mark installed
+pushc 0
+setvar 0
+LOOP getvar 0
+numnbrs
+ceq
+rjumpc END
+getvar 0
+getnbr
+wclone            // copy restarts at BEGIN on the neighbor
+getvar 0
+inc
+setvar 0
+rjump LOOP
+END halt
+DONE pop
+pop
+halt";
+
+/// Protocol frames only (beacons excluded).
+fn protocol_frames(net: &AgillaNetwork) -> u64 {
+    net.metrics().counter("radio.frames_sent") - net.metrics().counter("radio.beacons")
+}
+
+fn agilla_retask_one(seed: u64, grid: i16) -> (u64, f64) {
+    let mut net = AgillaNetwork::new(
+        Topology::grid_with_base(grid, grid),
+        LossModel::perfect(),
+        AgillaConfig::default(),
+        Environment::ambient(),
+        seed,
+    );
+    // Retask the far corner: the worst case for targeted injection.
+    let target = Location::new(grid, grid);
+    let id = net
+        .inject_source(&agilla::workload::one_way_agent("smove", target))
+        .expect("inject");
+    net.run_for(SimDuration::from_secs(30));
+    let t = net.node_at(target).unwrap();
+    let arr = net.log().arrivals(id, t);
+    let latency = arr
+        .first()
+        .map(|a| a.since(net.log().injected_at(id).unwrap()).as_secs_f64())
+        .unwrap_or(f64::NAN);
+    (protocol_frames(&net), latency)
+}
+
+fn agilla_install_everywhere(seed: u64) -> (u64, f64, usize) {
+    let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), seed);
+    net.inject_source_at(Location::new(1, 1), SPREADER).expect("inject spreader");
+    net.run_for(SimDuration::from_secs(60));
+    let tmpl = agilla_tuplespace::Template::new(vec![
+        agilla_tuplespace::TemplateField::exact(agilla_tuplespace::Field::str("app")),
+    ]);
+    let installed = (0..26)
+        .filter(|i| net.node(NodeId(*i as u16)).space.count(&tmpl) > 0)
+        .count();
+    let done = net
+        .log()
+        .records()
+        .iter()
+        .filter_map(|r| match r {
+            agilla::stats::OpRecord::MigrationArrived { at, .. } => Some(*at),
+            _ => None,
+        })
+        .max()
+        .map(|t| t.as_secs_f64())
+        .unwrap_or(f64::NAN);
+    (protocol_frames(&net), done, installed)
+}
+
+fn mate_flood(seed: u64, grid: i16) -> (u64, f64, usize) {
+    let mut net = MateNetwork::new(
+        Topology::grid_with_base(grid, grid),
+        LossModel::perfect(),
+        seed,
+    );
+    let n = net.len();
+    let capsule = Capsule::new(CapsuleKind::Clock, 2, vec![0; 20]).expect("capsule");
+    net.install_at(NodeId(0), capsule);
+    let done = net.run_until_programmed(CapsuleKind::Clock, 2, SimDuration::from_secs(120));
+    (
+        net.frames_sent(),
+        done.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+        n,
+    )
+}
+
+fn main() {
+    println!("Section 5 comparison — reprogramming cost: Agilla vs Mate\n");
+
+    // Scenario A on a 10x10 grid (101 nodes with base).
+    let (mate_a_frames, mate_a_time, mate_a_nodes) = mate_flood(1, 10);
+    let (ag_a_frames, ag_a_time) = agilla_retask_one(2, 10);
+
+    // Scenario B on the 5x5 testbed.
+    let (mate_b_frames, mate_b_time, _) = mate_flood(4, 5);
+    let (ag_b_frames, ag_b_time, ag_b_installed) = agilla_install_everywhere(3);
+
+    let mut t = Table::new(vec!["scenario", "system", "frames", "time s", "nodes touched"]);
+    t.row(vec![
+        "retask ONE node (10x10)".into(),
+        "Mate (must flood all)".into(),
+        mate_a_frames.to_string(),
+        format!("{mate_a_time:.1}"),
+        format!("{mate_a_nodes} (forced)"),
+    ]);
+    t.row(vec![
+        "retask ONE node (10x10)".into(),
+        "Agilla (inject agent)".into(),
+        ag_a_frames.to_string(),
+        format!("{ag_a_time:.1}"),
+        "route only".into(),
+    ]);
+    t.row(vec![
+        "install EVERYWHERE (5x5)".into(),
+        "Mate (flood)".into(),
+        mate_b_frames.to_string(),
+        format!("{mate_b_time:.1}"),
+        "26".into(),
+    ]);
+    t.row(vec![
+        "install EVERYWHERE (5x5)".into(),
+        "Agilla (wclone spreader)".into(),
+        ag_b_frames.to_string(),
+        format!("{ag_b_time:.1}"),
+        format!("{ag_b_installed}"),
+    ]);
+    t.print();
+
+    let ratio = mate_a_frames as f64 / ag_a_frames.max(1) as f64;
+    println!(
+        "\nThe paper's claim, quantified: targeted retasking costs Mate {ratio:.1}x more\n\
+         frames (and the gap grows with network size — flooding scales with nodes,\n\
+         injection with route length). Whole-network installs favour flooding; only\n\
+         Agilla also runs several applications side by side (multi_app example)."
+    );
+}

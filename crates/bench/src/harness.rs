@@ -1,0 +1,381 @@
+//! Trial runners for the paper's experiments.
+
+use agilla::workload;
+use agilla::{AgillaConfig, AgillaNetwork};
+use agilla_vm::exec::{run_to_effect, StepResult, TestHost};
+use agilla_vm::isa::{CostModel, Opcode};
+use agilla_vm::{asm, AgentState};
+use wsn_common::{AgentId, Location};
+use wsn_sim::{LatencyRecorder, SimDuration};
+
+/// Results for one hop count in the Fig. 9/10 experiments.
+#[derive(Debug, Clone)]
+pub struct HopResult {
+    /// Hop distance from the base station.
+    pub hops: u32,
+    /// `smove` success fraction (failures halved, per the paper's protocol).
+    pub smove_success: f64,
+    /// Mean one-way `smove` latency over successful round trips, ms.
+    pub smove_latency_ms: f64,
+    /// Standard deviation of the one-way latency, ms.
+    pub smove_latency_sd_ms: f64,
+    /// `rout` success fraction (including retransmission rescues).
+    pub rout_success: f64,
+    /// Mean `rout` completion latency over first-attempt successes, ms.
+    pub rout_latency_ms: f64,
+    /// Standard deviation of the first-attempt latency, ms.
+    pub rout_latency_sd_ms: f64,
+}
+
+/// Runs the paper's Fig. 8 test agents `trials` times per hop count on the
+/// lossy 5×5 testbed, reproducing Figs. 9 and 10.
+///
+/// The protocol follows Section 4: agents are injected at the base station;
+/// the smove agent moves to `(h,1)` and back (results halved "to account for
+/// the double migration"); the rout agent drops a tuple at `(h,1)`.
+pub fn fig9_fig10(trials: u32, base_seed: u64, config: &AgillaConfig) -> Vec<HopResult> {
+    (1..=5i16)
+        .map(|h| {
+            let target = Location::new(h, 1);
+            let home = Location::new(0, 1);
+
+            // --- smove round trips ---
+            let mut round_trip_failures = 0u32;
+            let mut smove_lat = LatencyRecorder::new();
+            for t in 0..trials {
+                let seed = base_seed ^ (u64::from(t) * 65_537 + h as u64);
+                let mut net = AgillaNetwork::testbed_5x5(config.clone(), seed);
+                let id = net
+                    .inject_source(&workload::smove_test_agent(target, home))
+                    .expect("inject smove agent");
+                net.run_for(SimDuration::from_secs(20));
+                let target_node = net.node_at(target).expect("target exists");
+                let reached = net.log().arrived(id, target_node);
+                let returned = reached && net.log().arrived(id, net.base());
+                if reached && returned {
+                    let injected = net.log().injected_at(id).expect("injected");
+                    let back = *net
+                        .log()
+                        .arrivals(id, net.base())
+                        .last()
+                        .expect("return arrival");
+                    // Halve: one-way latency.
+                    smove_lat.record(SimDuration::from_micros(
+                        back.since(injected).as_micros() / 2,
+                    ));
+                } else {
+                    round_trip_failures += 1;
+                }
+            }
+            // "smove results are halved to account for the double migration."
+            let smove_success =
+                1.0 - (f64::from(round_trip_failures) / 2.0) / f64::from(trials);
+
+            // --- rout one-way ---
+            let mut rout_ok = 0u32;
+            let mut rout_lat = LatencyRecorder::new();
+            for t in 0..trials {
+                let seed = base_seed ^ (u64::from(t) * 131_071 + 7 * h as u64 + 3);
+                let mut net = AgillaNetwork::testbed_5x5(config.clone(), seed);
+                let id = net
+                    .inject_source(&workload::rout_test_agent(target))
+                    .expect("inject rout agent");
+                net.run_for(SimDuration::from_secs(20));
+                let ops = net.log().remote_ops_of(id);
+                if let Some((true, retransmitted, done)) =
+                    ops.first().and_then(|op| net.log().remote_completion(*op))
+                {
+                    rout_ok += 1;
+                    if !retransmitted {
+                        let issued = net.log().remote_issued_at(ops[0]).expect("issued");
+                        rout_lat.record(done.since(issued));
+                    }
+                }
+            }
+
+            HopResult {
+                hops: h as u32,
+                smove_success: smove_success.clamp(0.0, 1.0),
+                smove_latency_ms: smove_lat.mean().as_micros() as f64 / 1e3,
+                smove_latency_sd_ms: smove_lat.stddev().as_micros() as f64 / 1e3,
+                rout_success: f64::from(rout_ok) / f64::from(trials),
+                rout_latency_ms: rout_lat.mean().as_micros() as f64 / 1e3,
+                rout_latency_sd_ms: rout_lat.stddev().as_micros() as f64 / 1e3,
+            }
+        })
+        .collect()
+}
+
+/// The seven remote operations of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteOpKind {
+    /// `rout` to a one-hop neighbor.
+    Rout,
+    /// `rinp` from a one-hop neighbor.
+    Rinp,
+    /// `rrdp` from a one-hop neighbor.
+    Rrdp,
+    /// `smove` one hop.
+    Smove,
+    /// `wmove` one hop.
+    Wmove,
+    /// `sclone` one hop.
+    Sclone,
+    /// `wclone` one hop.
+    Wclone,
+}
+
+impl RemoteOpKind {
+    /// All of Fig. 11's operations, in plot order.
+    pub const ALL: [RemoteOpKind; 7] = [
+        RemoteOpKind::Rout,
+        RemoteOpKind::Rinp,
+        RemoteOpKind::Rrdp,
+        RemoteOpKind::Smove,
+        RemoteOpKind::Wmove,
+        RemoteOpKind::Sclone,
+        RemoteOpKind::Wclone,
+    ];
+
+    /// The operation's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RemoteOpKind::Rout => "rout",
+            RemoteOpKind::Rinp => "rinp",
+            RemoteOpKind::Rrdp => "rrdp",
+            RemoteOpKind::Smove => "smove",
+            RemoteOpKind::Wmove => "wmove",
+            RemoteOpKind::Sclone => "sclone",
+            RemoteOpKind::Wclone => "wclone",
+        }
+    }
+
+    fn is_migration(self) -> bool {
+        matches!(
+            self,
+            RemoteOpKind::Smove | RemoteOpKind::Wmove | RemoteOpKind::Sclone | RemoteOpKind::Wclone
+        )
+    }
+}
+
+/// One bar of Fig. 11.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// The operation.
+    pub op: RemoteOpKind,
+    /// Mean one-hop latency, ms.
+    pub mean_ms: f64,
+    /// Standard deviation, ms.
+    pub sd_ms: f64,
+    /// Successful trials used.
+    pub samples: usize,
+}
+
+/// Measures the one-hop latency of every remote operation (Fig. 11):
+/// `trials` runs each on the lossless testbed (the paper's bars measure
+/// execution time, not loss).
+pub fn fig11_one_hop(trials: u32, base_seed: u64, config: &AgillaConfig) -> Vec<Fig11Row> {
+    let target = Location::new(1, 1);
+    RemoteOpKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(op_idx, &op)| {
+            let mut lat = LatencyRecorder::new();
+            for t in 0..trials {
+                let seed = base_seed ^ (u64::from(t) * 2_097_143) ^ (op_idx as u64 * 7_919);
+                let mut net = AgillaNetwork::reliable_5x5(config.clone(), seed);
+                if matches!(op, RemoteOpKind::Rinp | RemoteOpKind::Rrdp) {
+                    // Seed the target space with the probed tuple.
+                    net.inject_source_at(target, "pushc 1\npushc 1\nout\nhalt")
+                        .expect("seed tuple agent");
+                    net.run_for(SimDuration::from_secs(1));
+                    net.clear_log();
+                }
+                let src = match op {
+                    RemoteOpKind::Rout => workload::rout_test_agent(target),
+                    RemoteOpKind::Rinp => {
+                        format!("pusht value\npushc 1\npushloc {} {}\nrinp\nhalt", target.x, target.y)
+                    }
+                    RemoteOpKind::Rrdp => {
+                        format!("pusht value\npushc 1\npushloc {} {}\nrrdp\nhalt", target.x, target.y)
+                    }
+                    _ => workload::one_way_agent(op.name(), target),
+                };
+                let id = net.inject_source(&src).expect("inject op agent");
+                net.run_for(SimDuration::from_secs(10));
+                if op.is_migration() {
+                    let target_node = net.node_at(target).expect("target");
+                    // For clones the arriving agent has a fresh id: take the
+                    // first arrival at the target.
+                    let arrival = net
+                        .log()
+                        .records()
+                        .iter()
+                        .find_map(|r| match r {
+                            agilla::stats::OpRecord::MigrationArrived { node, at, .. }
+                                if *node == target_node =>
+                            {
+                                Some(*at)
+                            }
+                            _ => None,
+                        });
+                    if let (Some(injected), Some(arrived)) = (net.log().injected_at(id), arrival) {
+                        lat.record(arrived.since(injected));
+                    }
+                } else {
+                    let ops = net.log().remote_ops_of(id);
+                    if let Some((true, _, done)) =
+                        ops.first().and_then(|o| net.log().remote_completion(*o))
+                    {
+                        let issued = net.log().remote_issued_at(ops[0]).expect("issued");
+                        lat.record(done.since(issued));
+                    }
+                }
+            }
+            Fig11Row {
+                op,
+                mean_ms: lat.mean().as_micros() as f64 / 1e3,
+                sd_ms: lat.stddev().as_micros() as f64 / 1e3,
+                samples: lat.len(),
+            }
+        })
+        .collect()
+}
+
+/// One bar of Fig. 12.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Instruction name as the figure labels it.
+    pub name: &'static str,
+    /// Simulated mote cost from the calibrated model, µs.
+    pub model_us: u64,
+    /// Wall-clock cost of our implementation executing it, ns/instr.
+    pub wall_ns: f64,
+}
+
+/// Fig. 12's instruction list, with a closure building a one-shot agent that
+/// executes the instruction in a steady state.
+fn fig12_programs() -> Vec<(&'static str, Opcode, String)> {
+    vec![
+        ("loc", Opcode::Loc, "loc\npop".into()),
+        ("aid", Opcode::Aid, "aid\npop".into()),
+        ("numnbrs", Opcode::Numnbrs, "numnbrs\npop".into()),
+        ("randnbr", Opcode::Randnbr, "randnbr\nclear".into()),
+        ("getnbr", Opcode::Getnbr, "pushc 0\ngetnbr\npop".into()),
+        ("pushrt", Opcode::Pushrt, "pushrt temperature\npop".into()),
+        ("pusht", Opcode::Pusht, "pusht value\npop".into()),
+        ("pushn", Opcode::Pushn, "pushn fir\npop".into()),
+        ("pushcl", Opcode::Pushcl, "pushcl 300\npop".into()),
+        ("pushloc", Opcode::Pushloc, "pushloc 1 1\npop".into()),
+        ("regrxn", Opcode::Regrxn, "pushn fir\npushc 1\npushc 0\nregrxn".into()),
+        ("deregrxn", Opcode::Deregrxn, "pushn fir\npushc 1\nderegrxn".into()),
+        ("out", Opcode::Out, "pushc 1\npushc 1\nout".into()),
+        ("inp (empty TS)", Opcode::Inp, "pusht location\npushc 1\ninp".into()),
+        ("rdp (empty TS)", Opcode::Rdp, "pusht location\npushc 1\nrdp".into()),
+        ("in", Opcode::In, "pushc 1\npushc 1\nout\npusht value\npushc 1\nin\npop\npop".into()),
+        ("rd", Opcode::Rd, "pushc 1\npushc 1\nout\npusht value\npushc 1\nrd\npop\npop".into()),
+        ("tcount", Opcode::Tcount, "pusht value\npushc 1\ntcount\npop".into()),
+    ]
+}
+
+/// Reproduces Fig. 12: per-instruction latency. The *model* column is what
+/// drives the simulator's virtual clock (calibrated to the paper's three
+/// classes); the *wall* column times this crate's real interpreter, the
+/// analogue of the paper timing its mote interpreter.
+pub fn fig12_local_ops(reps: u32) -> Vec<Fig12Row> {
+    let cost = CostModel::mica2();
+    fig12_programs()
+        .into_iter()
+        .map(|(name, op, snippet)| {
+            // Build an agent that repeats the snippet in a loop; time many
+            // full program executions.
+            let src = format!("{snippet}\nhalt");
+            let program = asm::assemble(&src).expect("fig12 snippet assembles");
+            // Instructions per execution, for the per-instruction average.
+            let per_run = {
+                let code = program.code();
+                let mut n = 0u64;
+                let mut pc = 0usize;
+                while pc < code.len() {
+                    let (_, len) = agilla_vm::isa::Instruction::decode(code, pc as u16)
+                        .expect("valid program");
+                    n += 1;
+                    pc += len;
+                }
+                n
+            };
+            let start = std::time::Instant::now();
+            let mut instrs = 0u64;
+            for _ in 0..reps {
+                // Fresh host per repetition: reaction registrations and
+                // inserted tuples must not accumulate across runs.
+                let mut host = TestHost::at(Location::new(1, 1));
+                host.neighbors = vec![Location::new(1, 2), Location::new(2, 1)];
+                host.sensor_values
+                    .insert(wsn_common::SensorType::Temperature, 70);
+                let mut agent =
+                    AgentState::with_code(AgentId(1), program.code().to_vec()).expect("agent");
+                loop {
+                    match run_to_effect(&mut agent, &mut host, 64).expect("fig12 agent runs") {
+                        StepResult::Halted => break,
+                        StepResult::Blocked => unreachable!("snippets never block"),
+                        _ => {}
+                    }
+                }
+                instrs += per_run;
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            Fig12Row {
+                name,
+                model_us: cost.cost_us(op),
+                wall_ns: elapsed / instrs as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_snippets_assemble_and_run() {
+        let rows = fig12_local_ops(2);
+        assert_eq!(rows.len(), 18, "all Fig. 12 instructions present");
+        for r in &rows {
+            assert!(r.model_us >= 50, "{}: {}", r.name, r.model_us);
+            assert!(r.wall_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig12_classes_ordered() {
+        let rows = fig12_local_ops(2);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().model_us;
+        assert!(get("loc") < get("pushn"));
+        assert!(get("pushn") < get("out"));
+        assert!(get("inp (empty TS)") < get("in"));
+    }
+
+    #[test]
+    fn fig11_runs_with_tiny_trials() {
+        let rows = fig11_one_hop(2, 5, &AgillaConfig::default());
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.samples > 0, "{} produced no samples", r.op.name());
+            assert!(r.mean_ms > 1.0, "{}: {}ms", r.op.name(), r.mean_ms);
+        }
+        // Tuple-space ops are much cheaper than migrations.
+        let rout = rows.iter().find(|r| r.op == RemoteOpKind::Rout).unwrap().mean_ms;
+        let smove = rows.iter().find(|r| r.op == RemoteOpKind::Smove).unwrap().mean_ms;
+        assert!(smove > 2.0 * rout, "smove {smove} vs rout {rout}");
+    }
+
+    #[test]
+    fn fig9_runs_with_tiny_trials() {
+        let rows = fig9_fig10(3, 42, &AgillaConfig::default());
+        assert_eq!(rows.len(), 5);
+        assert!(rows[0].smove_success > 0.5);
+        assert!(rows[0].rout_success > 0.5);
+    }
+}

@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every table and figure of the Agilla
+//! paper's evaluation (Section 4) and case study (Section 5).
+//!
+//! Each `fig*`/`table_*`/`ablation_*` binary prints the paper's reported
+//! numbers next to the reproduction's, so EXPERIMENTS.md can be regenerated
+//! by running them all (`cargo run -p agilla-bench --release --bin
+//! all_figures`).
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    fig11_one_hop, fig12_local_ops, fig9_fig10, Fig11Row, Fig12Row, HopResult, RemoteOpKind,
+};
+pub use report::Table;

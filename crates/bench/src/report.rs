@@ -1,0 +1,89 @@
+//! Minimal aligned-table printing for the figure binaries.
+
+use std::fmt::Write as _;
+
+/// A simple console table with aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use agilla_bench::Table;
+///
+/// let mut t = Table::new(vec!["hops", "success"]);
+/// t.row(vec!["1".into(), "99%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("hops"));
+/// assert!(s.contains("99%"));
+/// ```
+#[derive(Debug)]
+pub struct Table {
+    headers: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&'static str>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends one row; missing cells render empty.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:<width$}  ", h, width = widths[i]);
+        }
+        out.push('\n');
+        for width in widths.iter().take(self.headers.len()) {
+            let _ = write!(out, "{}  ", "-".repeat(*width));
+        }
+        out.push('\n');
+        let empty = String::new();
+        for row in &self.rows {
+            for (i, width) in widths.iter().enumerate().take(cols) {
+                let cell = row.get(i).unwrap_or(&empty);
+                let _ = write!(out, "{:<width$}  ", cell, width = width);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        t.row(vec!["y".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with("-----"));
+        // All rows equal width per column: the second column starts at the
+        // same offset in every line.
+        let col2 = lines[0].find("long-header").unwrap();
+        assert_eq!(&lines[2][col2..col2 + 1], "1");
+    }
+}

@@ -1,0 +1,90 @@
+//! Node and agent identifiers.
+
+use std::fmt;
+
+/// Index of a simulated mote within a network.
+///
+/// `NodeId` is a dense index assigned by the network builder; it identifies a
+/// mote for simulation bookkeeping. Application-level addressing uses
+/// [`Location`](crate::Location) per Agilla's location-as-address model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a mobile agent.
+///
+/// The paper: "The agent ID is unique to each agent and is maintained across
+/// move operations. A cloned agent is assigned a new ID." IDs are 16-bit on
+/// the mote; the injector hands out fresh ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AgentId(pub u16);
+
+impl AgentId {
+    /// Returns the raw 16-bit value carried in migration messages.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u16> for AgentId {
+    fn from(v: u16) -> Self {
+        AgentId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        let n = NodeId(7);
+        assert_eq!(n.to_string(), "n7");
+        assert_eq!(n.index(), 7);
+        assert_eq!(NodeId::from(7u16), n);
+    }
+
+    #[test]
+    fn agent_id_roundtrip() {
+        let a = AgentId(0xBEEF);
+        assert_eq!(a.raw(), 0xBEEF);
+        assert_eq!(AgentId::from(0xBEEFu16), a);
+        assert_eq!(a.to_string(), "a48879");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(AgentId(1) < AgentId(2));
+    }
+
+    #[test]
+    fn ids_default_to_zero() {
+        assert_eq!(NodeId::default(), NodeId(0));
+        assert_eq!(AgentId::default(), AgentId(0));
+    }
+}

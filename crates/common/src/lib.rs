@@ -1,0 +1,43 @@
+//! Shared identifiers, geometry, and constants for the Agilla reproduction.
+//!
+//! This crate holds the small vocabulary types that every layer of the stack
+//! speaks: [`NodeId`], [`Location`], [`AgentId`], and [`SensorType`]. Agilla
+//! addresses nodes *by physical location* rather than network address
+//! (Section 2.2 of the paper), so [`Location`] carries the ε-tolerant
+//! comparison the paper calls for ("To account for slight errors in location,
+//! Agilla allows an error ε when specifying the address").
+//!
+//! # Examples
+//!
+//! ```
+//! use wsn_common::{Location, NodeId};
+//!
+//! let a = Location::new(1, 1);
+//! let b = Location::new(5, 1);
+//! assert_eq!(a.grid_hops(b), 4);
+//! assert!(a.matches_within(Location::new(1, 1), 0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ids;
+pub mod location;
+pub mod sensor;
+
+pub use ids::{AgentId, NodeId};
+pub use location::Location;
+pub use sensor::{SensorReading, SensorType};
+
+/// Maximum payload of a single TinyOS active message, in bytes.
+///
+/// The paper sizes tuples so that "a tuple can fit within the 27 byte payload
+/// of a single TinyOS message" (Section 3.2).
+pub const TOS_PAYLOAD: usize = 27;
+
+/// The broadcast "location": operations addressed here are delivered to every
+/// one-hop neighbor. Mirrors TinyOS's `TOS_BCAST_ADDR`.
+pub const BCAST_LOCATION: Location = Location { x: i16::MAX, y: i16::MAX };
+
+/// Location reserved for the base station / UART bridge (the paper's laptop
+/// with MIB510 board sits just off the sensor grid at (0,0)).
+pub const BASE_LOCATION: Location = Location { x: 0, y: 0 };

@@ -1,0 +1,215 @@
+//! Physical locations used as node addresses.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A node's physical location on the sensing plane, in grid units.
+///
+/// Agilla identifies nodes by location: "A node's location is its address"
+/// (Section 2.2). The experimental grid assigns integer coordinates with the
+/// lower-left mote at (1,1); the base station sits at (0,0).
+///
+/// Coordinates are signed 16-bit, matching the mote's 16-bit word size: a
+/// location fits into two VM stack cells and four bytes of message payload.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_common::Location;
+///
+/// let here = Location::new(2, 3);
+/// let there = Location::new(5, 1);
+/// assert_eq!(here.grid_hops(there), 5);
+/// assert!(here.distance(there) > 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Location {
+    /// East-west coordinate in grid units.
+    pub x: i16,
+    /// North-south coordinate in grid units.
+    pub y: i16,
+}
+
+impl Location {
+    /// Creates a location from grid coordinates.
+    pub fn new(x: i16, y: i16) -> Self {
+        Location { x, y }
+    }
+
+    /// Euclidean distance to `other` in grid units.
+    pub fn distance(self, other: Location) -> f64 {
+        let dx = f64::from(self.x) - f64::from(other.x);
+        let dy = f64::from(self.y) - f64::from(other.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance; cheaper when only comparing magnitudes.
+    pub fn distance_sq(self, other: Location) -> i64 {
+        let dx = i64::from(self.x) - i64::from(other.x);
+        let dy = i64::from(self.y) - i64::from(other.y);
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan distance, which equals the hop count on the experimental
+    /// 4-neighbor grid used throughout the evaluation.
+    pub fn grid_hops(self, other: Location) -> u32 {
+        let dx = (i32::from(self.x) - i32::from(other.x)).unsigned_abs();
+        let dy = (i32::from(self.y) - i32::from(other.y)).unsigned_abs();
+        dx + dy
+    }
+
+    /// Location-address matching with error tolerance ε (in grid units).
+    ///
+    /// The paper: "To account for slight errors in location, Agilla allows an
+    /// error ε when specifying the address." A target matches if it lies
+    /// within Chebyshev distance ε of `self`.
+    pub fn matches_within(self, target: Location, epsilon: u16) -> bool {
+        let dx = (i32::from(self.x) - i32::from(target.x)).unsigned_abs();
+        let dy = (i32::from(self.y) - i32::from(target.y)).unsigned_abs();
+        dx <= u32::from(epsilon) && dy <= u32::from(epsilon)
+    }
+
+    /// Whether this location lies inside the axis-aligned rectangle spanned by
+    /// `lo` and `hi` (inclusive). Used by region-addressed clone operations.
+    pub fn in_region(self, lo: Location, hi: Location) -> bool {
+        let (x0, x1) = (lo.x.min(hi.x), lo.x.max(hi.x));
+        let (y0, y1) = (lo.y.min(hi.y), lo.y.max(hi.y));
+        (x0..=x1).contains(&self.x) && (y0..=y1).contains(&self.y)
+    }
+
+    /// Serializes into four little-endian bytes (two 16-bit words), the wire
+    /// format used in tuple fields and migration messages.
+    pub fn to_bytes(self) -> [u8; 4] {
+        let xb = self.x.to_le_bytes();
+        let yb = self.y.to_le_bytes();
+        [xb[0], xb[1], yb[0], yb[1]]
+    }
+
+    /// Deserializes from the wire format produced by [`Location::to_bytes`].
+    pub fn from_bytes(b: [u8; 4]) -> Self {
+        Location {
+            x: i16::from_le_bytes([b[0], b[1]]),
+            y: i16::from_le_bytes([b[2], b[3]]),
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    /// Formats as `(x,y)`, the notation used throughout the paper.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl Add for Location {
+    type Output = Location;
+
+    fn add(self, rhs: Location) -> Location {
+        Location::new(self.x.saturating_add(rhs.x), self.y.saturating_add(rhs.y))
+    }
+}
+
+impl Sub for Location {
+    type Output = Location;
+
+    fn sub(self, rhs: Location) -> Location {
+        Location::new(self.x.saturating_sub(rhs.x), self.y.saturating_sub(rhs.y))
+    }
+}
+
+impl From<(i16, i16)> for Location {
+    fn from((x, y): (i16, i16)) -> Self {
+        Location::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Location::new(0, 0);
+        let b = Location::new(3, 4);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_sq(b), 25);
+    }
+
+    #[test]
+    fn grid_hops_is_manhattan() {
+        assert_eq!(Location::new(1, 1).grid_hops(Location::new(5, 1)), 4);
+        assert_eq!(Location::new(0, 0).grid_hops(Location::new(5, 1)), 6);
+        assert_eq!(Location::new(2, 2).grid_hops(Location::new(2, 2)), 0);
+    }
+
+    #[test]
+    fn epsilon_matching() {
+        let target = Location::new(10, 10);
+        assert!(Location::new(10, 10).matches_within(target, 0));
+        assert!(Location::new(11, 9).matches_within(target, 1));
+        assert!(!Location::new(12, 10).matches_within(target, 1));
+    }
+
+    #[test]
+    fn region_membership() {
+        let lo = Location::new(1, 1);
+        let hi = Location::new(3, 3);
+        assert!(Location::new(2, 2).in_region(lo, hi));
+        assert!(Location::new(1, 3).in_region(lo, hi));
+        assert!(!Location::new(0, 2).in_region(lo, hi));
+        // Region corners may be given in any order.
+        assert!(Location::new(2, 2).in_region(hi, lo));
+    }
+
+    #[test]
+    fn wire_roundtrip_examples() {
+        let l = Location::new(-5, 300);
+        assert_eq!(Location::from_bytes(l.to_bytes()), l);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Location::new(5, 1).to_string(), "(5,1)");
+    }
+
+    #[test]
+    fn add_sub_saturate() {
+        let max = Location::new(i16::MAX, i16::MAX);
+        assert_eq!(max + Location::new(1, 1), max);
+        let min = Location::new(i16::MIN, i16::MIN);
+        assert_eq!(min - Location::new(1, 1), min);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wire_roundtrip(x in i16::MIN..=i16::MAX, y in i16::MIN..=i16::MAX) {
+            let l = Location::new(x, y);
+            prop_assert_eq!(Location::from_bytes(l.to_bytes()), l);
+        }
+
+        #[test]
+        fn prop_distance_symmetric(ax in -100i16..100, ay in -100i16..100,
+                                   bx in -100i16..100, by in -100i16..100) {
+            let a = Location::new(ax, ay);
+            let b = Location::new(bx, by);
+            prop_assert_eq!(a.distance_sq(b), b.distance_sq(a));
+            prop_assert_eq!(a.grid_hops(b), b.grid_hops(a));
+        }
+
+        #[test]
+        fn prop_hops_bounds_distance(ax in -100i16..100, ay in -100i16..100,
+                                     bx in -100i16..100, by in -100i16..100) {
+            // Manhattan distance upper-bounds Euclidean distance.
+            let a = Location::new(ax, ay);
+            let b = Location::new(bx, by);
+            prop_assert!(f64::from(a.grid_hops(b)) + 1e-9 >= a.distance(b));
+        }
+
+        #[test]
+        fn prop_matching_is_reflexive(x in -100i16..100, y in -100i16..100, eps in 0u16..5) {
+            let l = Location::new(x, y);
+            prop_assert!(l.matches_within(l, eps));
+        }
+    }
+}

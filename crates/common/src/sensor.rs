@@ -1,0 +1,119 @@
+//! Sensor types and readings.
+
+use std::fmt;
+
+/// The kinds of on-board sensors a MICA2 sensor board may carry.
+///
+/// Agilla advertises a node's sensing capabilities by placing pre-defined
+/// tuples in its tuple space ("If a node has a thermometer, Agilla would
+/// insert a 'temperature tuple' into its tuple space", Section 2.2), and the
+/// `sense` instruction takes one of these as its operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SensorType {
+    /// Thermistor; the fire case study assumes fire when a reading exceeds 200.
+    Temperature = 0,
+    /// Photoresistor.
+    Light = 1,
+    /// Two-axis accelerometer magnitude.
+    Accelerometer = 2,
+    /// Magnetometer, used by intruder/vehicle tracking applications.
+    Magnetometer = 3,
+    /// Microphone peak detector.
+    Sound = 4,
+}
+
+impl SensorType {
+    /// All sensor types, in wire-code order.
+    pub const ALL: [SensorType; 5] = [
+        SensorType::Temperature,
+        SensorType::Light,
+        SensorType::Accelerometer,
+        SensorType::Magnetometer,
+        SensorType::Sound,
+    ];
+
+    /// Wire code carried in tuple fields and the `sense` operand.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: u8) -> Option<SensorType> {
+        SensorType::ALL.get(code as usize).copied()
+    }
+
+    /// Short lowercase name used by the assembler (e.g. `sense temperature`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SensorType::Temperature => "temperature",
+            SensorType::Light => "light",
+            SensorType::Accelerometer => "accelerometer",
+            SensorType::Magnetometer => "magnetometer",
+            SensorType::Sound => "sound",
+        }
+    }
+
+    /// Parses the assembler name.
+    pub fn from_name(name: &str) -> Option<SensorType> {
+        SensorType::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for SensorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A sensor reading: the sensing modality plus its 10-bit ADC value.
+///
+/// Readings are a first-class tuple field type in Agilla ("Types may include
+/// integers, strings, locations, and sensor readings", Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SensorReading {
+    /// Which sensor produced the value.
+    pub sensor: SensorType,
+    /// Raw ADC value (the mote ADC is 10-bit; we keep i16 for VM arithmetic).
+    pub value: i16,
+}
+
+impl SensorReading {
+    /// Creates a reading.
+    pub fn new(sensor: SensorType, value: i16) -> Self {
+        SensorReading { sensor, value }
+    }
+}
+
+impl fmt::Display for SensorReading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.sensor, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip_all() {
+        for s in SensorType::ALL {
+            assert_eq!(SensorType::from_code(s.code()), Some(s));
+        }
+        assert_eq!(SensorType::from_code(200), None);
+    }
+
+    #[test]
+    fn name_roundtrip_all() {
+        for s in SensorType::ALL {
+            assert_eq!(SensorType::from_name(s.name()), Some(s));
+        }
+        assert_eq!(SensorType::from_name("geiger"), None);
+    }
+
+    #[test]
+    fn reading_display() {
+        let r = SensorReading::new(SensorType::Temperature, 250);
+        assert_eq!(r.to_string(), "temperature=250");
+    }
+}

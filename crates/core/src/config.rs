@@ -1,0 +1,162 @@
+//! Middleware configuration: the paper's defaults, made explicit.
+
+use wsn_sim::SimDuration;
+
+/// Protocol and resource parameters of an Agilla node.
+///
+/// Defaults are the paper's published values; the ablation benches sweep the
+/// interesting ones.
+#[derive(Debug, Clone)]
+pub struct AgillaConfig {
+    /// Concurrent agents per node: "By default the agent manager can handle
+    /// up to 4 agents" (Section 3.2).
+    pub max_agents: usize,
+    /// Instruction-memory block size: "the instruction manager allocates the
+    /// minimum number of 22 byte blocks necessary" (Section 3.2).
+    pub code_block_bytes: usize,
+    /// Instruction-memory blocks: "By default, the instruction manager is
+    /// allocated 440 bytes (20 blocks)" (Section 3.2).
+    pub code_blocks: usize,
+    /// Tuple-space arena bytes: 600 by default (Section 3.2).
+    pub tuple_space_bytes: usize,
+    /// Reaction registry budget: 400 bytes / 10 reactions (Section 3.2).
+    pub reaction_registry_bytes: usize,
+    /// Reaction registry slots.
+    pub reaction_registry_slots: usize,
+    /// Engine slice: "each agent can execute a fixed number of instructions
+    /// before switching context. The default number of instructions is 4"
+    /// (Section 3.2).
+    pub engine_slice: u32,
+    /// Migration ack timeout: "If a one-hop acknowledgement is not received
+    /// within 0.1 seconds, the message is retransmitted" (Section 3.2).
+    pub migration_ack_timeout: SimDuration,
+    /// Migration retransmissions: "This repeats up for four times"
+    /// (Section 3.2).
+    pub migration_retx: u32,
+    /// Receiver abort: "If the operation stalls for over 0.25 seconds, the
+    /// receiver aborts" (Section 3.2).
+    pub migration_receiver_abort: SimDuration,
+    /// Remote tuple-space timeout: "the initiator timeouts after 2 seconds"
+    /// (Section 3.2).
+    pub remote_op_timeout: SimDuration,
+    /// Remote tuple-space retransmissions: "re-transmits the request at most
+    /// twice" (Section 3.2).
+    pub remote_op_retx: u32,
+    /// Location-address matching tolerance ε, grid units (Section 2.2).
+    pub epsilon: u16,
+    /// When `true`, migration uses the paper's final hop-by-hop acknowledged
+    /// protocol; `false` selects the end-to-end variant the paper tried and
+    /// rejected ("We tried using end-to-end communication ... but found the
+    /// high packet-loss probability over multiple links made this
+    /// unacceptably prone to failure", Section 3.2). Kept for the ablation.
+    pub hop_by_hop_migration: bool,
+    /// Timing constants for protocol-layer software costs.
+    pub timing: TimingModel,
+}
+
+impl AgillaConfig {
+    /// The code budget in bytes (`code_blocks * code_block_bytes`).
+    pub fn code_budget(&self) -> usize {
+        self.code_blocks * self.code_block_bytes
+    }
+}
+
+impl Default for AgillaConfig {
+    fn default() -> Self {
+        AgillaConfig {
+            max_agents: 4,
+            code_block_bytes: 22,
+            code_blocks: 20,
+            tuple_space_bytes: 600,
+            reaction_registry_bytes: 400,
+            reaction_registry_slots: 10,
+            engine_slice: 4,
+            migration_ack_timeout: SimDuration::from_millis(100),
+            migration_retx: 4,
+            migration_receiver_abort: SimDuration::from_millis(250),
+            remote_op_timeout: SimDuration::from_secs(2),
+            remote_op_retx: 2,
+            epsilon: 0,
+            hop_by_hop_migration: true,
+            timing: TimingModel::mica2(),
+        }
+    }
+}
+
+/// Software-path timing constants, calibrated so the simulated operation
+/// latencies land on the paper's measurements (≈55 ms one-hop remote
+/// tuple-space ops, ≈225 ms one-hop migrations; Figs. 10–11). See
+/// EXPERIMENTS.md for the calibration run.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    /// Serializing an agent and opening a sender session, µs. Covers the
+    /// instruction manager packaging code blocks and the tuple-space manager
+    /// packaging reactions (Section 3.2).
+    pub migration_sender_setup_us: u64,
+    /// Installing an arrived agent: allocation, reaction re-registration,
+    /// scheduling, µs.
+    pub migration_receiver_restore_us: u64,
+    /// Handling one migration data message at the receiver (copy into the
+    /// reassembly buffer, ack turnaround), µs.
+    pub migration_msg_handling_us: u64,
+    /// Executing a remote tuple-space request at the destination, µs.
+    pub remote_op_service_us: u64,
+    /// Gap between a mote finishing one frame and starting the next queued
+    /// one (radio turnaround + task latency), µs.
+    pub tx_turnaround_us: u64,
+    /// Per-hop software cost of geographically forwarding a remote
+    /// tuple-space message at an intermediate node, µs.
+    pub georouting_forward_us: u64,
+}
+
+impl TimingModel {
+    /// The calibrated MICA2 profile.
+    pub fn mica2() -> Self {
+        TimingModel {
+            migration_sender_setup_us: 50_000,
+            migration_receiver_restore_us: 55_000,
+            migration_msg_handling_us: 20_000,
+            remote_op_service_us: 4_200,
+            tx_turnaround_us: 1_500,
+            georouting_forward_us: 8_000,
+        }
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::mica2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AgillaConfig::default();
+        assert_eq!(c.max_agents, 4);
+        assert_eq!(c.code_block_bytes, 22);
+        assert_eq!(c.code_blocks, 20);
+        assert_eq!(c.code_budget(), 440);
+        assert_eq!(c.tuple_space_bytes, 600);
+        assert_eq!(c.reaction_registry_bytes, 400);
+        assert_eq!(c.reaction_registry_slots, 10);
+        assert_eq!(c.engine_slice, 4);
+        assert_eq!(c.migration_ack_timeout.as_millis(), 100);
+        assert_eq!(c.migration_retx, 4);
+        assert_eq!(c.migration_receiver_abort.as_millis(), 250);
+        assert_eq!(c.remote_op_timeout.as_millis(), 2_000);
+        assert_eq!(c.remote_op_retx, 2);
+        assert!(c.hop_by_hop_migration);
+    }
+
+    #[test]
+    fn timing_model_is_positive() {
+        let t = TimingModel::mica2();
+        assert!(t.migration_sender_setup_us > 0);
+        assert!(t.migration_receiver_restore_us > 0);
+        assert!(t.remote_op_service_us > 0);
+    }
+}

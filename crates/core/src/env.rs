@@ -1,0 +1,295 @@
+//! The physical environment sampled by the `sense` instruction.
+//!
+//! The paper's case study needs a fire: "a WSN for detecting fire ... It
+//! assumes there is a fire if the sensor returns a value greater than 200"
+//! (Sections 2.1 and 5). Since we have no Arizona forest, the [`FireModel`]
+//! provides a deterministic spreading fire over the grid; other field shapes
+//! support the habitat-monitoring and tracking examples.
+
+use wsn_common::{Location, SensorType};
+use wsn_sim::{RngStream, SimTime};
+
+/// A scalar field over space and time, feeding one sensor type.
+#[derive(Debug, Clone)]
+pub enum FieldModel {
+    /// The same value everywhere, forever.
+    Constant(i16),
+    /// Constant plus uniform noise in `[-amplitude, +amplitude]`.
+    Noisy {
+        /// Baseline value.
+        base: i16,
+        /// Noise amplitude.
+        amplitude: i16,
+    },
+    /// Linear gradient: `base + slope_x*x + slope_y*y` (clamped to i16).
+    Gradient {
+        /// Value at the origin.
+        base: i16,
+        /// Change per x grid unit.
+        slope_x: i16,
+        /// Change per y grid unit.
+        slope_y: i16,
+    },
+    /// A spreading circular fire (see [`FireModel`]).
+    Fire(FireModel),
+}
+
+impl FieldModel {
+    /// Samples the field at `loc` and `now`, drawing noise from `rng`.
+    pub fn sample(&self, loc: Location, now: SimTime, rng: &mut RngStream) -> i16 {
+        match self {
+            FieldModel::Constant(v) => *v,
+            FieldModel::Noisy { base, amplitude } => {
+                let amp = i64::from(*amplitude);
+                let noise = if amp == 0 {
+                    0
+                } else {
+                    rng.range_u64(0, (2 * amp + 1) as u64) as i64 - amp
+                };
+                clamp_i16(i64::from(*base) + noise)
+            }
+            FieldModel::Gradient { base, slope_x, slope_y } => clamp_i16(
+                i64::from(*base)
+                    + i64::from(*slope_x) * i64::from(loc.x)
+                    + i64::from(*slope_y) * i64::from(loc.y),
+            ),
+            FieldModel::Fire(fire) => fire.sample(loc, now, rng),
+        }
+    }
+}
+
+fn clamp_i16(v: i64) -> i16 {
+    v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16
+}
+
+/// A deterministic circular fire: ignites at `origin` at `ignition`, and its
+/// front advances `spread_per_sec` grid units per second. Temperatures inside
+/// the front read `burning_temp` (plus noise); outside, `ambient_temp`.
+#[derive(Debug, Clone)]
+pub struct FireModel {
+    /// Where the lightning strikes.
+    pub origin: Location,
+    /// When the fire starts.
+    pub ignition: SimTime,
+    /// Front speed, grid units per second.
+    pub spread_per_sec: f64,
+    /// Ambient thermistor reading (well below the 200 threshold).
+    pub ambient_temp: i16,
+    /// In-fire thermistor reading (well above the 200 threshold).
+    pub burning_temp: i16,
+    /// Reading noise amplitude.
+    pub noise: i16,
+}
+
+impl FireModel {
+    /// A fire igniting at `origin` at time `ignition` with case-study
+    /// defaults: ambient 70, burning 400, spreading 0.1 grid units/s.
+    pub fn new(origin: Location, ignition: SimTime) -> Self {
+        FireModel {
+            origin,
+            ignition,
+            spread_per_sec: 0.1,
+            ambient_temp: 70,
+            burning_temp: 400,
+            noise: 5,
+        }
+    }
+
+    /// Radius of the burning front at `now` (zero before ignition).
+    pub fn radius_at(&self, now: SimTime) -> f64 {
+        if now < self.ignition {
+            return 0.0;
+        }
+        now.since(self.ignition).as_secs_f64() * self.spread_per_sec
+    }
+
+    /// Whether `loc` is burning at `now`.
+    pub fn is_burning(&self, loc: Location, now: SimTime) -> bool {
+        now >= self.ignition && loc.distance(self.origin) <= self.radius_at(now)
+    }
+
+    fn sample(&self, loc: Location, now: SimTime, rng: &mut RngStream) -> i16 {
+        let base = if self.is_burning(loc, now) {
+            self.burning_temp
+        } else {
+            self.ambient_temp
+        };
+        let amp = i64::from(self.noise);
+        let noise = if amp == 0 {
+            0
+        } else {
+            rng.range_u64(0, (2 * amp + 1) as u64) as i64 - amp
+        };
+        clamp_i16(i64::from(base) + noise)
+    }
+}
+
+/// The complete environment: one field per sensor type a node may carry.
+///
+/// Nodes advertise which sensors they have through capability tuples seeded
+/// into their tuple spaces at boot (Section 2.2); `sense` on a missing
+/// sensor type reports failure through the condition code.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    fields: Vec<(SensorType, FieldModel)>,
+}
+
+impl Environment {
+    /// An environment with no sensors at all.
+    pub fn empty() -> Self {
+        Environment { fields: Vec::new() }
+    }
+
+    /// A benign default: quiet temperature and light fields.
+    pub fn ambient() -> Self {
+        Environment::empty()
+            .with(SensorType::Temperature, FieldModel::Noisy { base: 70, amplitude: 5 })
+            .with(SensorType::Light, FieldModel::Noisy { base: 500, amplitude: 20 })
+    }
+
+    /// The case-study environment: ambient light plus a [`FireModel`]
+    /// temperature field.
+    pub fn with_fire(fire: FireModel) -> Self {
+        Environment::empty()
+            .with(SensorType::Temperature, FieldModel::Fire(fire))
+            .with(SensorType::Light, FieldModel::Noisy { base: 500, amplitude: 20 })
+    }
+
+    /// Adds or replaces the field behind `sensor` (builder style).
+    pub fn with(mut self, sensor: SensorType, field: FieldModel) -> Self {
+        self.fields.retain(|(s, _)| *s != sensor);
+        self.fields.push((sensor, field));
+        self
+    }
+
+    /// Which sensors exist in this environment.
+    pub fn sensors(&self) -> impl Iterator<Item = SensorType> + '_ {
+        self.fields.iter().map(|(s, _)| *s)
+    }
+
+    /// Samples `sensor` at `loc`/`now`; `None` if the environment has no such
+    /// field (the node "lacks the sensor board").
+    pub fn sample(
+        &self,
+        sensor: SensorType,
+        loc: Location,
+        now: SimTime,
+        rng: &mut RngStream,
+    ) -> Option<i16> {
+        self.fields
+            .iter()
+            .find(|(s, _)| *s == sensor)
+            .map(|(_, f)| f.sample(loc, now, rng))
+    }
+
+    /// The fire model, if the temperature field is a fire (case-study
+    /// introspection for examples and tests).
+    pub fn fire(&self) -> Option<&FireModel> {
+        self.fields.iter().find_map(|(s, f)| match (s, f) {
+            (SensorType::Temperature, FieldModel::Fire(fire)) => Some(fire),
+            _ => None,
+        })
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Environment::ambient()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::SimDuration;
+
+    fn rng() -> RngStream {
+        RngStream::derive(1, "env-test")
+    }
+
+    #[test]
+    fn constant_field() {
+        let f = FieldModel::Constant(42);
+        assert_eq!(f.sample(Location::new(0, 0), SimTime::ZERO, &mut rng()), 42);
+    }
+
+    #[test]
+    fn noisy_field_stays_in_band() {
+        let f = FieldModel::Noisy { base: 100, amplitude: 10 };
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = f.sample(Location::new(1, 1), SimTime::ZERO, &mut r);
+            assert!((90..=110).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gradient_field() {
+        let f = FieldModel::Gradient { base: 10, slope_x: 2, slope_y: -1 };
+        assert_eq!(f.sample(Location::new(3, 4), SimTime::ZERO, &mut rng()), 12);
+    }
+
+    #[test]
+    fn gradient_clamps() {
+        let f = FieldModel::Gradient { base: 32000, slope_x: 32000, slope_y: 0 };
+        assert_eq!(f.sample(Location::new(100, 0), SimTime::ZERO, &mut rng()), i16::MAX);
+    }
+
+    #[test]
+    fn fire_spreads_over_time() {
+        let ignition = SimTime::ZERO + SimDuration::from_secs(10);
+        let fire = FireModel::new(Location::new(3, 3), ignition);
+        // Before ignition: nothing burns.
+        assert!(!fire.is_burning(Location::new(3, 3), SimTime::ZERO));
+        // At ignition: only the origin.
+        assert!(fire.is_burning(Location::new(3, 3), ignition));
+        assert!(!fire.is_burning(Location::new(4, 3), ignition));
+        // After 10 more seconds the front has moved 1 unit.
+        let later = ignition + SimDuration::from_secs(10);
+        assert!(fire.is_burning(Location::new(4, 3), later));
+        assert!(!fire.is_burning(Location::new(5, 3), later));
+    }
+
+    #[test]
+    fn fire_temperature_crosses_threshold() {
+        let fire = FireModel::new(Location::new(1, 1), SimTime::ZERO);
+        let env = Environment::with_fire(fire);
+        let mut r = rng();
+        let burning = env
+            .sample(SensorType::Temperature, Location::new(1, 1), SimTime::ZERO, &mut r)
+            .unwrap();
+        let ambient = env
+            .sample(SensorType::Temperature, Location::new(5, 5), SimTime::ZERO, &mut r)
+            .unwrap();
+        assert!(burning > 200, "burning reading {burning}");
+        assert!(ambient < 200, "ambient reading {ambient}");
+    }
+
+    #[test]
+    fn missing_sensor_is_none() {
+        let env = Environment::ambient();
+        let mut r = rng();
+        assert!(env
+            .sample(SensorType::Magnetometer, Location::new(1, 1), SimTime::ZERO, &mut r)
+            .is_none());
+        assert_eq!(env.sensors().count(), 2);
+    }
+
+    #[test]
+    fn with_replaces_existing_field() {
+        let env = Environment::ambient().with(SensorType::Temperature, FieldModel::Constant(7));
+        let mut r = rng();
+        assert_eq!(
+            env.sample(SensorType::Temperature, Location::new(0, 0), SimTime::ZERO, &mut r),
+            Some(7)
+        );
+        assert_eq!(env.sensors().count(), 2, "replaced, not duplicated");
+    }
+
+    #[test]
+    fn fire_accessor() {
+        let env = Environment::with_fire(FireModel::new(Location::new(2, 2), SimTime::ZERO));
+        assert!(env.fire().is_some());
+        assert!(Environment::ambient().fire().is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! Middleware-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+use agilla_vm::VmError;
+
+/// Errors surfaced by the Agilla middleware API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgillaError {
+    /// Agent assembly or construction failed.
+    BadAgent(String),
+    /// The target node has no free agent slot or code blocks.
+    Admission {
+        /// Why admission failed.
+        reason: &'static str,
+    },
+    /// A location did not resolve to any node (within ε).
+    UnknownLocation(String),
+    /// The VM faulted while executing an agent.
+    Vm(VmError),
+}
+
+impl fmt::Display for AgillaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgillaError::BadAgent(why) => write!(f, "bad agent: {why}"),
+            AgillaError::Admission { reason } => write!(f, "admission refused: {reason}"),
+            AgillaError::UnknownLocation(loc) => write!(f, "no node at {loc}"),
+            AgillaError::Vm(e) => write!(f, "vm fault: {e}"),
+        }
+    }
+}
+
+impl Error for AgillaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AgillaError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for AgillaError {
+    fn from(e: VmError) -> Self {
+        AgillaError::Vm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AgillaError::Admission { reason: "no free slot" };
+        assert_eq!(e.to_string(), "admission refused: no free slot");
+        let e: AgillaError = VmError::StackOverflow.into();
+        assert!(e.source().is_some());
+        assert!(AgillaError::BadAgent("x".into()).source().is_none());
+    }
+}

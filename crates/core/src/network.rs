@@ -1,0 +1,1712 @@
+//! The simulated Agilla network: event loop, engine, and protocol drivers.
+//!
+//! One [`AgillaNetwork`] owns the event queue, the radio medium, and every
+//! node; all middleware behaviour — the round-robin engine, the hop-by-hop
+//! migration protocol, remote tuple-space operations, beacons — is driven by
+//! the deterministic event dispatch loop, so identical seeds give identical
+//! runs.
+
+use agilla_tuplespace::{Reaction, Template, Tuple, TupleSpaceError};
+use agilla_vm::exec::{self, RemoteOp, StepResult};
+use agilla_vm::isa::{CostModel, Instruction};
+use agilla_vm::{asm, AgentState, Host, MigrateKind, VmError};
+use wsn_common::{AgentId, Location, NodeId, SensorType};
+use wsn_net::{
+    decode_beacon, encode_beacon, next_hop, ActiveMessage, CsmaMac, MacConfig, BEACON_PERIOD,
+};
+use wsn_radio::{DeliveryOutcome, Frame, GilbertElliott, LossModel, Medium, Topology};
+use wsn_sim::{EventQueue, Metrics, RngStream, SimDuration, SimTime, Tracer};
+
+use crate::config::AgillaConfig;
+use crate::env::Environment;
+use crate::error::AgillaError;
+use crate::migration::MigrationImage;
+use crate::node::{
+    AgentStatus, Node, PendingRemote, ReceiverSession, SenderSession,
+};
+use crate::stats::{ExperimentLog, OpRecord};
+use crate::wire::{
+    self, am, Envelope, MigAck, MigData, MigHeader, MigNack, RtsKind, RtsReply, RtsRequest,
+};
+
+/// Fragment chunk size in end-to-end ablation mode: the 9-byte geographic
+/// envelope plus the 4-byte fragment header leave 14 bytes per message.
+const E2E_CHUNK: usize = 14;
+
+/// End-to-end mode needs a whole-path round trip per ack; the paper's 0.1 s
+/// hop timeout is scaled up accordingly for the ablation.
+const E2E_ACK_TIMEOUT_FACTOR: u64 = 5;
+
+/// The result of a remote tuple-space operation, delivered to the waiting
+/// agent by `complete_remote`.
+#[derive(Debug)]
+struct RemoteOutcome {
+    op_id: u16,
+    tuple: Option<Tuple>,
+    success: bool,
+    retransmitted: bool,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Execute one instruction (or deliver one pending reaction) on a node.
+    EngineInstr { node: NodeId },
+    /// The MAC is ready to attempt transmitting the head-of-queue frame.
+    TxReady { node: NodeId },
+    /// A frame copy reached a receiver.
+    FrameArrived { node: NodeId, frame: Frame, outcome: DeliveryOutcome },
+    /// Periodic neighbor beacon.
+    Beacon { node: NodeId },
+    /// A sleeping agent's wake-up.
+    AgentWake { node: NodeId, slot: usize },
+    /// Migration sender retransmit check.
+    MigRetx { node: NodeId, session: u16 },
+    /// Migration receiver stall watchdog.
+    MigAbort { node: NodeId, session: u16 },
+    /// Remote tuple-space operation timeout.
+    RemoteTimeout { node: NodeId, op_id: u16 },
+}
+
+/// The complete simulated network (see module docs).
+#[derive(Debug)]
+pub struct AgillaNetwork {
+    config: AgillaConfig,
+    env: Environment,
+    queue: EventQueue<Event>,
+    medium: Medium,
+    nodes: Vec<Node>,
+    tracer: Tracer,
+    metrics: Metrics,
+    log: ExperimentLog,
+    mac: CsmaMac,
+    rng_mac: RngStream,
+    rng_vm: RngStream,
+    rng_env: RngStream,
+    cost: CostModel,
+    base: NodeId,
+    clock: SimTime,
+    next_agent_id: u16,
+    next_session: u16,
+    next_op_id: u16,
+    /// Maps clone sender sessions to the slot holding the paused original.
+    clone_origins: Vec<(NodeId, u16, usize)>,
+}
+
+impl AgillaNetwork {
+    /// Builds a network over `topology` with explicit radio loss and
+    /// environment models. `seed` drives every random stream.
+    pub fn new(
+        topology: Topology,
+        loss: LossModel,
+        config: AgillaConfig,
+        env: Environment,
+        seed: u64,
+    ) -> Self {
+        let medium = Medium::new(topology, loss, seed);
+        let nodes: Vec<Node> = medium
+            .topology()
+            .nodes()
+            .map(|id| Node::new(id, medium.topology().location(id), &config))
+            .collect();
+        let mut net = AgillaNetwork {
+            config,
+            env,
+            queue: EventQueue::new(),
+            medium,
+            nodes,
+            tracer: Tracer::new(),
+            metrics: Metrics::new(),
+            log: ExperimentLog::new(),
+            mac: CsmaMac::new(MacConfig::mica2()),
+            rng_mac: RngStream::derive(seed, "net.mac"),
+            rng_vm: RngStream::derive(seed, "net.vm"),
+            rng_env: RngStream::derive(seed, "net.env"),
+            cost: CostModel::mica2(),
+            base: NodeId(0),
+            clock: SimTime::ZERO,
+            next_agent_id: 1,
+            next_session: 1,
+            next_op_id: 1,
+            clone_origins: Vec::new(),
+        };
+        net.boot();
+        net
+    }
+
+    /// The paper's testbed: 5×5 grid plus a base station, the calibrated
+    /// MICA2 loss profile (BER + burst fading), and an ambient environment.
+    pub fn testbed_5x5(config: AgillaConfig, seed: u64) -> Self {
+        let mut loss = LossModel::mica2_testbed();
+        loss.bursts = Some(GilbertElliott::new(50.0, 0.55, 0.95));
+        AgillaNetwork::new(
+            Topology::grid_with_base(5, 5),
+            loss,
+            config,
+            Environment::ambient(),
+            seed,
+        )
+    }
+
+    /// A lossless variant of the testbed for functional tests and examples.
+    pub fn reliable_5x5(config: AgillaConfig, seed: u64) -> Self {
+        AgillaNetwork::new(
+            Topology::grid_with_base(5, 5),
+            LossModel::perfect(),
+            config,
+            Environment::ambient(),
+            seed,
+        )
+    }
+
+    fn boot(&mut self) {
+        // The testbed has been up long enough for neighbor discovery to have
+        // converged; seed the acquaintance lists, then let beacons keep them
+        // fresh (a node that dies would age out naturally).
+        let topo = self.medium.topology().clone();
+        for id in topo.nodes() {
+            for nb in topo.neighbors(id) {
+                let loc = topo.location(nb);
+                self.nodes[id.index()].acq.heard(nb, loc, SimTime::ZERO);
+            }
+        }
+        // Capability tuples: "Agilla places special tuples into each node's
+        // tuple space indicating what type of sensors are available".
+        let sensors: Vec<SensorType> = self.env.sensors().collect();
+        for node in &mut self.nodes {
+            for s in &sensors {
+                let t = Tuple::new(vec![agilla_tuplespace::Field::SensorType(*s)])
+                    .expect("capability tuple");
+                node.space.out(t).expect("capability tuple fits an empty space");
+            }
+        }
+        // Staggered beacons.
+        for id in topo.nodes() {
+            let jitter = self.rng_mac.range_u64(0, BEACON_PERIOD.as_micros());
+            self.queue.schedule(
+                SimTime::ZERO + SimDuration::from_micros(jitter),
+                Event::Beacon { node: id },
+            );
+        }
+    }
+
+    // --- public API -------------------------------------------------------
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.max(self.queue.now())
+    }
+
+    /// Runs the simulation until `deadline` (events after it stay queued).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked event exists");
+            self.dispatch(at, ev);
+        }
+        self.clock = self.clock.max(deadline);
+    }
+
+    /// Runs the simulation for `d` from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Assembles `source` and injects the agent at the base station.
+    ///
+    /// # Errors
+    ///
+    /// Assembly errors or admission failure.
+    pub fn inject_source(&mut self, source: &str) -> Result<AgentId, AgillaError> {
+        let program =
+            asm::assemble(source).map_err(|e| AgillaError::BadAgent(e.to_string()))?;
+        self.inject_at(self.base, program.into_code())
+    }
+
+    /// Assembles `source` and injects at the node addressed by `loc`.
+    ///
+    /// # Errors
+    ///
+    /// Assembly errors, unknown locations, or admission failure.
+    pub fn inject_source_at(&mut self, loc: Location, source: &str) -> Result<AgentId, AgillaError> {
+        let program =
+            asm::assemble(source).map_err(|e| AgillaError::BadAgent(e.to_string()))?;
+        let node = self
+            .medium
+            .topology()
+            .node_near(loc, self.config.epsilon)
+            .ok_or_else(|| AgillaError::UnknownLocation(loc.to_string()))?;
+        self.inject_at(node, program.into_code())
+    }
+
+    /// Injects bytecode as a new agent on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Admission failure or an over-budget program.
+    pub fn inject_at(&mut self, node: NodeId, code: Vec<u8>) -> Result<AgentId, AgillaError> {
+        let idx = node.index();
+        if !self.nodes[idx].can_admit(code.len(), &self.config) {
+            return Err(AgillaError::Admission { reason: "no agent slot or code blocks free" });
+        }
+        let id = AgentId(self.next_agent_id);
+        self.next_agent_id = self.next_agent_id.wrapping_add(1).max(1);
+        let agent = AgentState::with_code_budget(id, code, self.config.code_budget())?;
+        self.nodes[idx].admit(agent).expect("can_admit checked");
+        let now = self.now();
+        self.log.push(OpRecord::AgentInjected { agent: id, node, at: now });
+        self.tracer.record(now, Some(node), "agent.inject", format!("{id}"));
+        self.schedule_engine(idx, SimDuration::ZERO);
+        Ok(id)
+    }
+
+    /// The base-station node (agents are injected here by default).
+    pub fn base(&self) -> NodeId {
+        self.base
+    }
+
+    /// The node addressed by `loc` (exact match).
+    pub fn node_at(&self, loc: Location) -> Option<NodeId> {
+        self.medium.topology().node_at(loc)
+    }
+
+    /// Immutable view of a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The node currently hosting `agent`, if any.
+    pub fn find_agent(&self, agent: AgentId) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .find(|n| n.slot_of(agent).is_some())
+            .map(|n| n.id)
+    }
+
+    /// A read-only view of a resident agent's execution state (registers,
+    /// stack, heap) — the debugging window the paper's base-station UI
+    /// offered over RMI.
+    pub fn agent_state(&self, agent: AgentId) -> Option<&AgentState> {
+        self.nodes.iter().find_map(|n| {
+            let slot = n.slot_of(agent)?;
+            n.slots[slot].as_ref().map(|s| &s.agent)
+        })
+    }
+
+    /// The scheduling status of a resident agent.
+    pub fn agent_status(&self, agent: AgentId) -> Option<AgentStatus> {
+        self.nodes.iter().find_map(|n| {
+            let slot = n.slot_of(agent)?;
+            n.slots[slot].as_ref().map(|s| s.status)
+        })
+    }
+
+    /// The structured experiment log.
+    pub fn log(&self) -> &ExperimentLog {
+        &self.log
+    }
+
+    /// Clears the experiment log (between trials).
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    /// The diagnostic trace.
+    pub fn trace(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Echo trace records to stdout as they happen (for examples).
+    pub fn set_trace_echo(&mut self, echo: bool) {
+        self.tracer.set_echo(echo);
+    }
+
+    /// Metrics counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The radio medium (frame statistics).
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+
+    /// The middleware configuration.
+    pub fn config(&self) -> &AgillaConfig {
+        &self.config
+    }
+
+    /// The environment model.
+    pub fn environment(&self) -> &Environment {
+        &self.env
+    }
+
+    /// Replaces the environment (e.g. to ignite a fire mid-run).
+    pub fn set_environment(&mut self, env: Environment) {
+        self.env = env;
+    }
+
+    /// Fault injection: permanently fails a mote. Dead nodes stop executing
+    /// agents, transmitting (including beacons), and receiving; their
+    /// neighbors age them out of acquaintance lists after the beacon TTL,
+    /// after which routing detours around the hole.
+    pub fn kill_node(&mut self, node: NodeId) {
+        let idx = node.index();
+        self.nodes[idx].dead = true;
+        self.nodes[idx].tx_queue.clear();
+        let now = self.now();
+        self.tracer.record(now, Some(node), "node.dead", "fault injected".into());
+        self.metrics.incr("faults.nodes_killed");
+    }
+
+    /// Whether `node` has been failed by fault injection.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].dead
+    }
+
+    // --- event dispatch ---------------------------------------------------
+
+    fn dispatch(&mut self, at: SimTime, ev: Event) {
+        // Dead motes neither compute nor communicate; their queued timers
+        // and frames fall on the floor.
+        let owner = match &ev {
+            Event::EngineInstr { node }
+            | Event::TxReady { node }
+            | Event::FrameArrived { node, .. }
+            | Event::Beacon { node }
+            | Event::AgentWake { node, .. }
+            | Event::MigRetx { node, .. }
+            | Event::MigAbort { node, .. }
+            | Event::RemoteTimeout { node, .. } => *node,
+        };
+        if self.nodes[owner.index()].dead {
+            return;
+        }
+        match ev {
+            Event::EngineInstr { node } => self.handle_engine_instr(node.index(), at),
+            Event::TxReady { node } => self.handle_tx_ready(node.index(), at),
+            Event::FrameArrived { node, frame, outcome } => {
+                self.handle_frame(node.index(), frame, outcome, at)
+            }
+            Event::Beacon { node } => self.handle_beacon(node.index(), at),
+            Event::AgentWake { node, slot } => self.handle_wake(node.index(), slot, at),
+            Event::MigRetx { node, session } => self.handle_mig_retx(node.index(), session, at),
+            Event::MigAbort { node, session } => self.handle_mig_abort(node.index(), session, at),
+            Event::RemoteTimeout { node, op_id } => {
+                self.handle_remote_timeout(node.index(), op_id, at)
+            }
+        }
+    }
+
+    // --- engine -----------------------------------------------------------
+
+    fn schedule_engine(&mut self, idx: usize, delay: SimDuration) {
+        if self.nodes[idx].engine_scheduled || !self.nodes[idx].has_ready_agent() {
+            return;
+        }
+        self.nodes[idx].engine_scheduled = true;
+        let node = self.nodes[idx].id;
+        self.queue.schedule(self.queue.now() + delay, Event::EngineInstr { node });
+    }
+
+    fn handle_engine_instr(&mut self, idx: usize, now: SimTime) {
+        self.nodes[idx].engine_scheduled = false;
+        let slice = self.config.engine_slice;
+        let Some(slot_idx) = self.nodes[idx].pick_ready(slice) else {
+            return;
+        };
+
+        // Deliver a pending reaction before the next instruction.
+        let pending = {
+            let slot = self.nodes[idx].slots[slot_idx].as_mut().expect("picked slot");
+            slot.pending_reactions.pop_front()
+        };
+        if let Some((tuple, pc)) = pending {
+            let node_id = self.nodes[idx].id;
+            let slot = self.nodes[idx].slots[slot_idx].as_mut().expect("picked slot");
+            match exec::enter_reaction(&mut slot.agent, &tuple, pc) {
+                Ok(()) => {
+                    self.tracer.record(
+                        now,
+                        Some(node_id),
+                        "reaction.dispatch",
+                        format!("{} -> pc {pc}", slot.agent.id()),
+                    );
+                    let cost = SimDuration::from_micros(self.cost.reaction_dispatch_us);
+                    self.schedule_engine(idx, cost);
+                }
+                Err(e) => self.kill_agent(idx, slot_idx, e, now),
+            }
+            return;
+        }
+
+        // Execute exactly one instruction.
+        let (op_cost, result, inserted) = {
+            let AgillaNetwork { nodes, env, rng_vm, rng_env, cost, .. } = self;
+            let node = &mut nodes[idx];
+            let Node { loc, acq, space, registry, slots, leds, .. } = node;
+            let slot = slots[slot_idx].as_mut().expect("picked slot");
+            let op_cost = Instruction::decode(slot.agent.code(), slot.agent.pc())
+                .map(|(ins, _)| cost.cost_us(ins.op))
+                .unwrap_or(60);
+            let mut host = HostView {
+                loc: *loc,
+                now,
+                space,
+                registry,
+                acq,
+                leds,
+                env,
+                rng: rng_vm,
+                rng_env,
+                owner: slot.agent.id(),
+                inserted: Vec::new(),
+            };
+            let result = exec::step(&mut slot.agent, &mut host);
+            slot.slice_used += 1;
+            (op_cost, result, host.inserted)
+        };
+
+        // Side effects of local tuple insertion (reactions, blocked wakeups).
+        if !inserted.is_empty() {
+            self.after_insertions(idx, inserted, now);
+        }
+
+        let cost = SimDuration::from_micros(op_cost);
+        match result {
+            Ok(StepResult::Continue) => {
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::Halted) => {
+                self.finish_agent(idx, slot_idx, now);
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::Sleep { ticks }) => {
+                // One tick is 1/8 s (Fig. 13's 4800 ticks = 10 minutes).
+                let until = now + SimDuration::from_micros(u64::from(ticks) * 125_000);
+                let node_id = self.nodes[idx].id;
+                self.set_status(idx, slot_idx, AgentStatus::Sleeping { until });
+                self.queue.schedule(until, Event::AgentWake { node: node_id, slot: slot_idx });
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::WaitForReaction) => {
+                self.set_status(idx, slot_idx, AgentStatus::Waiting);
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::Blocked) => {
+                self.set_status(idx, slot_idx, AgentStatus::Blocked);
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::Migrate { kind, dest }) => {
+                self.start_migration(idx, slot_idx, kind, dest, now);
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::Remote(op)) => {
+                self.issue_remote(idx, slot_idx, op, now);
+                self.schedule_engine(idx, cost);
+            }
+            Err(e) => {
+                self.kill_agent(idx, slot_idx, e, now);
+                self.schedule_engine(idx, cost);
+            }
+        }
+    }
+
+    fn set_status(&mut self, idx: usize, slot_idx: usize, status: AgentStatus) {
+        if let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() {
+            slot.status = status;
+        }
+    }
+
+    fn handle_wake(&mut self, idx: usize, slot_idx: usize, _now: SimTime) {
+        if let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() {
+            if matches!(slot.status, AgentStatus::Sleeping { .. }) {
+                slot.status = AgentStatus::Ready;
+                self.schedule_engine(idx, SimDuration::ZERO);
+            }
+        }
+    }
+
+    /// Fires reactions and wakes blocked agents after tuples land in `idx`'s
+    /// space.
+    fn after_insertions(&mut self, idx: usize, tuples: Vec<Tuple>, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        for tuple in tuples {
+            let fired: Vec<Reaction> = self.nodes[idx].registry.matching(&tuple);
+            for r in fired {
+                if let Some(slot_idx) = self.nodes[idx].slot_of(r.owner) {
+                    let slot = self.nodes[idx].slots[slot_idx].as_mut().expect("slot_of");
+                    slot.pending_reactions.push_back((tuple.clone(), r.pc));
+                    if slot.status == AgentStatus::Waiting {
+                        slot.status = AgentStatus::Ready;
+                    }
+                    self.tracer.record(
+                        now,
+                        Some(node_id),
+                        "reaction.fire",
+                        format!("{} on {tuple}", r.owner),
+                    );
+                }
+            }
+            // Blocking in/rd retry on any insertion.
+            for slot in self.nodes[idx].slots.iter_mut().flatten() {
+                if slot.status == AgentStatus::Blocked {
+                    slot.status = AgentStatus::Ready;
+                }
+            }
+        }
+        self.schedule_engine(idx, SimDuration::ZERO);
+    }
+
+    fn finish_agent(&mut self, idx: usize, slot_idx: usize, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        if let Some(slot) = self.nodes[idx].evict(slot_idx) {
+            let id = slot.agent.id();
+            self.nodes[idx].registry.remove_all(id);
+            self.log.push(OpRecord::AgentHalted { agent: id, node: node_id, at: now });
+            self.tracer.record(now, Some(node_id), "agent.halt", format!("{id}"));
+        }
+    }
+
+    fn kill_agent(&mut self, idx: usize, slot_idx: usize, err: VmError, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        if let Some(slot) = self.nodes[idx].evict(slot_idx) {
+            let id = slot.agent.id();
+            self.nodes[idx].registry.remove_all(id);
+            self.log.push(OpRecord::AgentFaulted { agent: id, node: node_id, at: now });
+            self.tracer
+                .record(now, Some(node_id), "agent.fault", format!("{id}: {err}"));
+        }
+    }
+
+    // --- radio / MAC ------------------------------------------------------
+
+    fn enqueue_frame(&mut self, idx: usize, frame: Frame, extra_delay: SimDuration) {
+        self.nodes[idx].tx_queue.push_back(frame);
+        if !self.nodes[idx].tx_scheduled {
+            self.nodes[idx].tx_scheduled = true;
+            self.nodes[idx].tx_attempt = 0;
+            let delay = extra_delay + self.mac.tx_processing() + self.mac.initial_backoff(&mut self.rng_mac);
+            let node = self.nodes[idx].id;
+            self.queue.schedule(self.queue.now() + delay, Event::TxReady { node });
+        }
+    }
+
+    fn handle_tx_ready(&mut self, idx: usize, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        if self.nodes[idx].tx_queue.is_empty() {
+            self.nodes[idx].tx_scheduled = false;
+            return;
+        }
+        if self.medium.channel_busy(now, node_id) {
+            self.nodes[idx].tx_attempt += 1;
+            let attempt = self.nodes[idx].tx_attempt;
+            let delay = self.mac.congestion_backoff(&mut self.rng_mac, attempt);
+            self.queue.schedule(now + delay, Event::TxReady { node: node_id });
+            return;
+        }
+        let frame = self.nodes[idx].tx_queue.pop_front().expect("non-empty queue");
+        self.nodes[idx].tx_attempt = 0;
+        let air = frame.air_time();
+        self.metrics.incr("radio.frames_sent");
+        let deliveries = self.medium.transmit(now, &frame);
+        for d in deliveries {
+            if d.outcome != DeliveryOutcome::Delivered {
+                self.metrics.incr("radio.frames_lost");
+            }
+            self.queue.schedule(
+                d.arrive_at + self.mac.rx_processing(),
+                Event::FrameArrived { node: d.to, frame: frame.clone(), outcome: d.outcome },
+            );
+        }
+        if self.nodes[idx].tx_queue.is_empty() {
+            self.nodes[idx].tx_scheduled = false;
+        } else {
+            let delay = air
+                + SimDuration::from_micros(self.config.timing.tx_turnaround_us)
+                + self.mac.initial_backoff(&mut self.rng_mac);
+            self.queue.schedule(now + delay, Event::TxReady { node: node_id });
+        }
+    }
+
+    fn handle_beacon(&mut self, idx: usize, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let loc = self.nodes[idx].loc;
+        self.metrics.incr("radio.beacons");
+        let msg = wire::message(am::BEACON, encode_beacon(loc));
+        self.enqueue_frame(idx, Frame::broadcast(node_id, msg.encode()), SimDuration::ZERO);
+        let jitter = self.rng_mac.range_u64(0, 100_000);
+        self.queue.schedule(
+            now + BEACON_PERIOD + SimDuration::from_micros(jitter),
+            Event::Beacon { node: node_id },
+        );
+    }
+
+    fn handle_frame(&mut self, idx: usize, frame: Frame, outcome: DeliveryOutcome, now: SimTime) {
+        if outcome != DeliveryOutcome::Delivered {
+            return;
+        }
+        let me = self.nodes[idx].id;
+        if !frame.accepts(me) {
+            return;
+        }
+        let Some(msg) = ActiveMessage::decode(&frame.payload) else {
+            return;
+        };
+        match msg.am_type {
+            t if t == am::BEACON => {
+                if let Some(loc) = decode_beacon(&msg.payload) {
+                    self.nodes[idx].acq.heard(frame.src, loc, now);
+                }
+            }
+            t if t == am::MIG_HDR => {
+                if let Some(h) = MigHeader::decode(&msg.payload) {
+                    self.handle_mig_header(idx, frame.src, None, h, now);
+                }
+            }
+            t if t == am::MIG_DATA => {
+                if let Some(d) = MigData::decode(&msg.payload) {
+                    self.handle_mig_data(idx, frame.src, d, now);
+                }
+            }
+            t if t == am::MIG_E2E => {
+                if let Some(env) = Envelope::decode(&msg.payload) {
+                    self.handle_envelope(idx, frame.src, env, now);
+                }
+            }
+            t if t == am::MIG_ACK => {
+                if let Some(a) = MigAck::decode(&msg.payload) {
+                    self.handle_mig_ack(idx, a, now);
+                }
+            }
+            t if t == am::MIG_NACK => {
+                if let Some(n) = MigNack::decode(&msg.payload) {
+                    self.fail_sender(idx, n.session, "refused by receiver", now);
+                }
+            }
+            t if t == am::RTS_REQ => {
+                if let Some(r) = RtsRequest::decode(&msg.payload) {
+                    self.handle_rts_request(idx, r, now);
+                }
+            }
+            t if t == am::RTS_REP => {
+                if let Some(r) = RtsReply::decode(&msg.payload) {
+                    self.handle_rts_reply(idx, r, now);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- migration: sender side -------------------------------------------
+
+    fn start_migration(
+        &mut self,
+        idx: usize,
+        slot_idx: usize,
+        kind: MigrateKind,
+        dest: Location,
+        now: SimTime,
+    ) {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        let eps = self.config.epsilon;
+
+        // Destination is this very node: no radio involved.
+        if my_loc.matches_within(dest, eps) {
+            self.local_migration(idx, slot_idx, kind, now);
+            return;
+        }
+
+        let owner = self.nodes[idx].slots[slot_idx]
+            .as_ref()
+            .expect("migrating slot")
+            .agent
+            .id();
+
+        // Reactions travelling with the agent.
+        let reactions: Vec<Reaction> = if kind.is_strong() {
+            if kind.is_clone() {
+                self.nodes[idx]
+                    .registry
+                    .iter()
+                    .filter(|r| r.owner == owner)
+                    .cloned()
+                    .collect()
+            } else {
+                self.nodes[idx].registry.remove_all(owner)
+            }
+        } else {
+            if !kind.is_clone() {
+                self.nodes[idx].registry.remove_all(owner);
+            }
+            Vec::new()
+        };
+
+        // Build the travelling image.
+        let (image, held_agent, origin_slot) = if kind.is_clone() {
+            let slot = self.nodes[idx].slots[slot_idx].as_mut().expect("migrating slot");
+            let mut copy = slot.agent.clone();
+            let new_id = AgentId(self.next_agent_id);
+            self.next_agent_id = self.next_agent_id.wrapping_add(1).max(1);
+            copy.set_id(new_id);
+            let mut reactions = reactions;
+            for r in &mut reactions {
+                r.owner = new_id;
+            }
+            slot.status = AgentStatus::InMigration;
+            (MigrationImage::package(&copy, kind, dest, reactions), None, Some(slot_idx))
+        } else {
+            let slot = self.nodes[idx].evict(slot_idx).expect("migrating slot");
+            let image = MigrationImage::package(&slot.agent, kind, dest, reactions);
+            (image, Some(slot.agent), None)
+        };
+
+        self.tracer.record(
+            now,
+            Some(node_id),
+            "migrate.start",
+            format!("{} {:?} -> {dest}", image.agent_id, kind),
+        );
+        self.metrics.incr("migration.started");
+        let setup = SimDuration::from_micros(self.config.timing.migration_sender_setup_us);
+        self.open_sender_session(idx, image, held_agent, origin_slot, setup, now);
+    }
+
+    /// A migration whose destination is the current node.
+    fn local_migration(&mut self, idx: usize, slot_idx: usize, kind: MigrateKind, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        if kind.is_clone() {
+            let (copy, owner) = {
+                let slot = self.nodes[idx].slots[slot_idx].as_ref().expect("slot");
+                (slot.agent.clone(), slot.agent.id())
+            };
+            let mut copy = copy;
+            let new_id = AgentId(self.next_agent_id);
+            self.next_agent_id = self.next_agent_id.wrapping_add(1).max(1);
+            copy.set_id(new_id);
+            if !kind.is_strong() {
+                copy.reset_weak();
+            }
+            copy.set_condition(1);
+            let admitted = self.nodes[idx].can_admit(copy.code().len(), &self.config)
+                && self.nodes[idx].admit(copy).is_some();
+            // Clone reactions for strong local clones.
+            if admitted && kind.is_strong() {
+                let cloned: Vec<Reaction> = self.nodes[idx]
+                    .registry
+                    .iter()
+                    .filter(|r| r.owner == owner)
+                    .cloned()
+                    .collect();
+                for mut r in cloned {
+                    r.owner = new_id;
+                    let _ = self.nodes[idx].registry.register(r);
+                }
+            }
+            let slot = self.nodes[idx].slots[slot_idx].as_mut().expect("slot");
+            slot.agent.set_condition(if admitted { 2 } else { 0 });
+            slot.status = AgentStatus::Ready;
+            if admitted {
+                self.log.push(OpRecord::MigrationArrived {
+                    agent: new_id,
+                    node: node_id,
+                    kind,
+                    at: now,
+                });
+                self.tracer
+                    .record(now, Some(node_id), "migrate.arrive", format!("{new_id} (local clone)"));
+            } else {
+                self.tracer
+                    .record(now, Some(node_id), "migrate.fail", "local clone refused".into());
+            }
+        } else {
+            // Moving to yourself succeeds trivially.
+            let slot = self.nodes[idx].slots[slot_idx].as_mut().expect("slot");
+            slot.agent.set_condition(1);
+            slot.status = AgentStatus::Ready;
+            let id = slot.agent.id();
+            self.log.push(OpRecord::MigrationArrived { agent: id, node: node_id, kind, at: now });
+        }
+        self.schedule_engine(idx, SimDuration::ZERO);
+    }
+
+    fn open_sender_session(
+        &mut self,
+        idx: usize,
+        image: MigrationImage,
+        held_agent: Option<AgentState>,
+        origin_slot: Option<usize>,
+        setup: SimDuration,
+        now: SimTime,
+    ) {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        let neighbors = self.nodes[idx].acq.live(now);
+        let Some(hop) = next_hop(my_loc, &neighbors, image.final_dest) else {
+            self.tracer.record(
+                now,
+                Some(node_id),
+                "migrate.noroute",
+                format!("{} -> {}", image.agent_id, image.final_dest),
+            );
+            self.resume_failed_migration(idx, image, held_agent, origin_slot, now);
+            return;
+        };
+        let session = self.next_session;
+        self.next_session = self.next_session.wrapping_add(1).max(1);
+        let header = image.header(session);
+        let fragments = if self.config.hop_by_hop_migration {
+            image.fragments(session)
+        } else {
+            image.fragments_sized(session, E2E_CHUNK, E2E_CHUNK)
+        };
+        let s = SenderSession {
+            image,
+            fragments,
+            header,
+            next_frag: None,
+            tries: 0,
+            next_hop: hop,
+            held_agent,
+            resume_on_success: origin_slot.is_some(),
+            retx_timer: None,
+        };
+        self.nodes[idx].send_sessions.insert(session, s);
+        // Remember which slot the clone original sits in via the map below.
+        if let Some(slot_idx) = origin_slot {
+            self.metrics.incr("migration.clone_sessions");
+            // Encode the slot in the session record through held_agent=None +
+            // origin lookup at completion time: store in a side map.
+            self.clone_origins.push((node_id, session, slot_idx));
+        }
+        self.send_migration_msg(idx, session, setup, now);
+    }
+
+    fn send_migration_msg(&mut self, idx: usize, session: u16, extra: SimDuration, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        let (payload, am_type, hop, final_dest) = {
+            let Some(s) = self.nodes[idx].send_sessions.get(&session) else {
+                return;
+            };
+            let payload = match s.next_frag {
+                None => (am::MIG_HDR, s.header.encode()),
+                Some(k) => (am::MIG_DATA, s.fragments[k].encode()),
+            };
+            (payload.1, payload.0, s.next_hop, s.image.final_dest)
+        };
+        let (msg, ack_timeout) = if self.config.hop_by_hop_migration {
+            (wire::message(am_type, payload), self.config.migration_ack_timeout)
+        } else {
+            // End-to-end ablation: wrap in the geographic envelope; only the
+            // final destination unwraps and acknowledges.
+            let env = Envelope { dest: final_dest, src: my_loc, inner_am: am_type, inner: payload };
+            (
+                wire::message(am::MIG_E2E, env.encode()),
+                SimDuration::from_micros(
+                    self.config.migration_ack_timeout.as_micros() * E2E_ACK_TIMEOUT_FACTOR,
+                ),
+            )
+        };
+        self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), extra);
+        let timer = self.queue.schedule(
+            now + extra + ack_timeout,
+            Event::MigRetx { node: node_id, session },
+        );
+        if let Some(s) = self.nodes[idx].send_sessions.get_mut(&session) {
+            s.retx_timer = Some(timer);
+        }
+    }
+
+    fn handle_mig_ack(&mut self, idx: usize, ack: MigAck, now: SimTime) {
+        let finished = {
+            let Some(s) = self.nodes[idx].send_sessions.get_mut(&ack.session) else {
+                return;
+            };
+            // Only the in-flight message's ack advances the window.
+            let expected = match s.next_frag {
+                None => ack.seq == MigAck::HEADER_SEQ,
+                Some(k) => {
+                    let f = &s.fragments[k];
+                    f.section == ack.section && f.seq == ack.seq
+                }
+            };
+            if !expected {
+                return;
+            }
+            if let Some(t) = s.retx_timer.take() {
+                self.queue.cancel(t);
+            }
+            s.tries = 0;
+            let next = match s.next_frag {
+                None => 0,
+                Some(k) => k + 1,
+            };
+            if next >= s.fragments.len() {
+                true
+            } else {
+                s.next_frag = Some(next);
+                false
+            }
+        };
+        if finished {
+            self.finish_sender(idx, ack.session, now);
+        } else {
+            self.send_migration_msg(idx, ack.session, SimDuration::ZERO, now);
+        }
+    }
+
+    fn handle_mig_retx(&mut self, idx: usize, session: u16, now: SimTime) {
+        let give_up = {
+            let Some(s) = self.nodes[idx].send_sessions.get_mut(&session) else {
+                return;
+            };
+            s.tries += 1;
+            s.tries > self.config.migration_retx
+        };
+        if give_up {
+            self.fail_sender(idx, session, "ack retries exhausted", now);
+        } else {
+            self.metrics.incr("migration.retx");
+            self.send_migration_msg(idx, session, SimDuration::ZERO, now);
+        }
+    }
+
+    fn finish_sender(&mut self, idx: usize, session: u16, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let Some(s) = self.nodes[idx].send_sessions.remove(&session) else {
+            return;
+        };
+        self.tracer.record(
+            now,
+            Some(node_id),
+            "migrate.hop",
+            format!("{} forwarded via {}", s.image.agent_id, s.next_hop),
+        );
+        if s.resume_on_success {
+            // Clone original resumes with condition 2 (copy dispatched).
+            if let Some(slot_idx) = self.take_clone_origin(node_id, session) {
+                if let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() {
+                    if slot.status == AgentStatus::InMigration {
+                        slot.agent.set_condition(2);
+                        slot.status = AgentStatus::Ready;
+                        self.schedule_engine(idx, SimDuration::ZERO);
+                    }
+                }
+            }
+        }
+        // Movers and relays: the agent now lives down the path.
+    }
+
+    fn fail_sender(&mut self, idx: usize, session: u16, why: &str, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let Some(s) = self.nodes[idx].send_sessions.remove(&session) else {
+            return;
+        };
+        if let Some(t) = s.retx_timer {
+            self.queue.cancel(t);
+        }
+        self.tracer.record(
+            now,
+            Some(node_id),
+            "migrate.fail",
+            format!("{}: {why}", s.image.agent_id),
+        );
+        self.metrics.incr("migration.failed");
+        let origin_slot = self.take_clone_origin(node_id, session);
+        self.resume_failed_migration_session(idx, s, origin_slot, now);
+    }
+
+    fn resume_failed_migration_session(
+        &mut self,
+        idx: usize,
+        s: SenderSession,
+        origin_slot: Option<usize>,
+        now: SimTime,
+    ) {
+        self.resume_failed_migration_inner(idx, s.image, s.held_agent, origin_slot, now);
+    }
+
+    fn resume_failed_migration(
+        &mut self,
+        idx: usize,
+        image: MigrationImage,
+        held_agent: Option<AgentState>,
+        origin_slot: Option<usize>,
+        now: SimTime,
+    ) {
+        self.resume_failed_migration_inner(idx, image, held_agent, origin_slot, now);
+    }
+
+    /// "If the sender detects a failure, it resumes the agent running on the
+    /// local machine with the condition code set to zero." (Section 3.2)
+    fn resume_failed_migration_inner(
+        &mut self,
+        idx: usize,
+        image: MigrationImage,
+        held_agent: Option<AgentState>,
+        origin_slot: Option<usize>,
+        now: SimTime,
+    ) {
+        let node_id = self.nodes[idx].id;
+        let agent_id = image.agent_id;
+        if let Some(slot_idx) = origin_slot {
+            // Clone original: resume with condition 0.
+            if let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() {
+                if slot.status == AgentStatus::InMigration {
+                    slot.agent.set_condition(0);
+                    slot.status = AgentStatus::Ready;
+                }
+            }
+            self.log.push(OpRecord::MigrationFailed { agent: agent_id, node: node_id, at: now });
+            self.schedule_engine(idx, SimDuration::ZERO);
+            return;
+        }
+        // Mover (held state) or relay (re-materialize from the image).
+        let mut agent = match held_agent {
+            Some(a) => a,
+            None => match crate::migration::reassemble(
+                &image.header(0),
+                &image.state,
+                image.code.clone(),
+                &image.reactions.iter().map(crate::migration::encode_reaction).collect::<Vec<_>>(),
+            ) {
+                Ok((a, _)) => a,
+                Err(_) => {
+                    self.tracer.record(now, Some(node_id), "migrate.lost", format!("{agent_id}"));
+                    self.log.push(OpRecord::MigrationFailed {
+                        agent: agent_id,
+                        node: node_id,
+                        at: now,
+                    });
+                    return;
+                }
+            },
+        };
+        agent.set_condition(0);
+        self.log.push(OpRecord::MigrationFailed { agent: agent_id, node: node_id, at: now });
+        if self.nodes[idx].can_admit(agent.code().len(), &self.config) {
+            let reactions = image.reactions.clone();
+            self.nodes[idx].admit(agent);
+            for r in reactions {
+                let _ = self.nodes[idx].registry.register(r);
+            }
+            self.schedule_engine(idx, SimDuration::ZERO);
+        } else {
+            self.tracer.record(
+                now,
+                Some(node_id),
+                "migrate.lost",
+                format!("{agent_id}: no room to resume"),
+            );
+        }
+    }
+
+    // --- migration: receiver side -----------------------------------------
+
+    /// Routes an enveloped (end-to-end) migration message: unwrap at the
+    /// destination, forward geographically otherwise.
+    fn handle_envelope(&mut self, idx: usize, from: NodeId, env: Envelope, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        if my_loc.matches_within(env.dest, self.config.epsilon) {
+            match env.inner_am {
+                t if t == am::MIG_HDR => {
+                    if let Some(h) = MigHeader::decode(&env.inner) {
+                        self.handle_mig_header(idx, from, Some(env.src), h, now);
+                    }
+                }
+                t if t == am::MIG_DATA => {
+                    if let Some(d) = MigData::decode(&env.inner) {
+                        self.handle_mig_data(idx, from, d, now);
+                    }
+                }
+                t if t == am::MIG_ACK => {
+                    if let Some(a) = MigAck::decode(&env.inner) {
+                        self.handle_mig_ack(idx, a, now);
+                    }
+                }
+                t if t == am::MIG_NACK => {
+                    if let Some(n) = MigNack::decode(&env.inner) {
+                        self.fail_sender(idx, n.session, "refused by receiver", now);
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
+        // Forward toward the envelope destination.
+        let neighbors = self.nodes[idx].acq.live(now);
+        if let Some(hop) = next_hop(my_loc, &neighbors, env.dest) {
+            let msg = wire::message(am::MIG_E2E, env.encode());
+            let fwd = SimDuration::from_micros(self.config.timing.georouting_forward_us);
+            self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), fwd);
+        }
+    }
+
+    fn handle_mig_header(
+        &mut self,
+        idx: usize,
+        from: NodeId,
+        origin: Option<Location>,
+        h: MigHeader,
+        now: SimTime,
+    ) {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        let is_final = my_loc.matches_within(h.final_dest, self.config.epsilon);
+        if self.nodes[idx].recv_sessions.contains_key(&h.session) {
+            // Duplicate header: re-ack.
+            self.send_session_ack(idx, h.session, wire::MigSection::State, MigAck::HEADER_SEQ);
+            return;
+        }
+        if is_final && !self.nodes[idx].can_admit(h.code_len as usize, &self.config) {
+            let nack = MigNack { session: h.session }.encode();
+            match origin {
+                None => {
+                    let msg = wire::message(am::MIG_NACK, nack);
+                    self.enqueue_frame(idx, Frame::unicast(node_id, from, msg.encode()), SimDuration::ZERO);
+                }
+                Some(org) => self.send_enveloped(idx, org, am::MIG_NACK, nack, now),
+            }
+            self.tracer
+                .record(now, Some(node_id), "migrate.refuse", format!("session {}", h.session));
+            return;
+        }
+        // End-to-end sessions stall for whole-path round trips, so their
+        // watchdog scales with the ack timeout.
+        let abort_after = if origin.is_none() {
+            self.config.migration_receiver_abort
+        } else {
+            SimDuration::from_micros(
+                self.config.migration_receiver_abort.as_micros() * E2E_ACK_TIMEOUT_FACTOR,
+            )
+        };
+        let abort_timer = self.queue.schedule(
+            now + abort_after,
+            Event::MigAbort { node: node_id, session: h.session },
+        );
+        let buf = if self.config.hop_by_hop_migration {
+            crate::migration::ReassemblyBuffer::new(h)
+        } else {
+            crate::migration::ReassemblyBuffer::with_chunks(h, E2E_CHUNK, E2E_CHUNK)
+        };
+        let session = ReceiverSession {
+            buf,
+            from,
+            origin,
+            last_progress: now,
+            abort_timer: Some(abort_timer),
+        };
+        self.nodes[idx].recv_sessions.insert(h.session, session);
+        self.send_session_ack(idx, h.session, wire::MigSection::State, MigAck::HEADER_SEQ);
+    }
+
+    /// Acknowledges a migration message along the session's reply path
+    /// (link-local for hop-by-hop, geographic for end-to-end).
+    fn send_session_ack(&mut self, idx: usize, session: u16, section: wire::MigSection, seq: u8) {
+        let node_id = self.nodes[idx].id;
+        let Some(s) = self.nodes[idx].recv_sessions.get(&session) else {
+            return;
+        };
+        let (from, origin) = (s.from, s.origin);
+        let ack = MigAck { session, section, seq }.encode();
+        match origin {
+            None => {
+                let msg = wire::message(am::MIG_ACK, ack);
+                self.enqueue_frame(idx, Frame::unicast(node_id, from, msg.encode()), SimDuration::ZERO);
+            }
+            Some(org) => {
+                let now = self.queue.now();
+                self.send_enveloped(idx, org, am::MIG_ACK, ack, now);
+            }
+        }
+    }
+
+    /// Sends an enveloped migration message geographically toward `dest`.
+    fn send_enveloped(
+        &mut self,
+        idx: usize,
+        dest: Location,
+        inner_am: wsn_net::AmType,
+        inner: Vec<u8>,
+        now: SimTime,
+    ) {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        let env = Envelope { dest, src: my_loc, inner_am, inner };
+        let neighbors = self.nodes[idx].acq.live(now);
+        if let Some(hop) = next_hop(my_loc, &neighbors, dest) {
+            let msg = wire::message(am::MIG_E2E, env.encode());
+            self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), SimDuration::ZERO);
+        }
+    }
+
+    fn handle_mig_data(&mut self, idx: usize, _from: NodeId, d: MigData, now: SimTime) {
+        let complete = {
+            let Some(s) = self.nodes[idx].recv_sessions.get_mut(&d.session) else {
+                return; // aborted or unknown session; sender will give up
+            };
+            if !s.buf.accept(&d) {
+                return;
+            }
+            s.last_progress = now;
+            s.buf.is_complete()
+        };
+        self.send_session_ack(idx, d.session, d.section, d.seq);
+        if complete {
+            self.finish_receiver(idx, d.session, now);
+        }
+    }
+
+    fn handle_mig_abort(&mut self, idx: usize, session: u16, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let (stalled, last_progress, window) = {
+            let Some(s) = self.nodes[idx].recv_sessions.get(&session) else {
+                return;
+            };
+            let window = if s.origin.is_none() {
+                self.config.migration_receiver_abort
+            } else {
+                SimDuration::from_micros(
+                    self.config.migration_receiver_abort.as_micros() * E2E_ACK_TIMEOUT_FACTOR,
+                )
+            };
+            let stalled = now.saturating_since(s.last_progress) >= window;
+            (stalled, s.last_progress, window)
+        };
+        if stalled {
+            self.nodes[idx].recv_sessions.remove(&session);
+            self.tracer
+                .record(now, Some(node_id), "migrate.rxabort", format!("session {session}"));
+            self.metrics.incr("migration.rxabort");
+        } else {
+            let timer = self.queue.schedule(
+                last_progress + window,
+                Event::MigAbort { node: node_id, session },
+            );
+            if let Some(s) = self.nodes[idx].recv_sessions.get_mut(&session) {
+                s.abort_timer = Some(timer);
+            }
+        }
+    }
+
+    fn finish_receiver(&mut self, idx: usize, session: u16, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let Some(s) = self.nodes[idx].recv_sessions.remove(&session) else {
+            return;
+        };
+        if let Some(t) = s.abort_timer {
+            self.queue.cancel(t);
+        }
+        let header = *s.buf.header();
+        let (agent, reactions) = match s.buf.finish() {
+            Ok(v) => v,
+            Err(e) => {
+                self.tracer
+                    .record(now, Some(node_id), "migrate.corrupt", format!("session {session}: {e}"));
+                return;
+            }
+        };
+        let my_loc = self.nodes[idx].loc;
+        if my_loc.matches_within(header.final_dest, self.config.epsilon) {
+            // Final destination: install and schedule.
+            let restore = SimDuration::from_micros(self.config.timing.migration_receiver_restore_us);
+            let agent_id = agent.id();
+            if !self.nodes[idx].can_admit(agent.code().len(), &self.config) {
+                self.tracer
+                    .record(now, Some(node_id), "migrate.refuse", format!("{agent_id} on arrival"));
+                return;
+            }
+            self.nodes[idx].admit(agent);
+            for r in reactions {
+                let _ = self.nodes[idx].registry.register(r);
+            }
+            self.metrics.incr("migration.arrived");
+            self.log.push(OpRecord::MigrationArrived {
+                agent: agent_id,
+                node: node_id,
+                kind: header.kind,
+                at: now + restore,
+            });
+            self.tracer
+                .record(now, Some(node_id), "migrate.arrive", format!("{agent_id}"));
+            self.schedule_engine(idx, restore);
+        } else {
+            // Relay: store-and-forward toward the final destination.
+            let image = MigrationImage {
+                kind: header.kind,
+                final_dest: header.final_dest,
+                agent_id: agent.id(),
+                state: agent.encode_state(),
+                code: agent.code().to_vec(),
+                reactions,
+            };
+            let handling = SimDuration::from_micros(self.config.timing.migration_msg_handling_us);
+            self.open_sender_session(idx, image, None, None, handling, now);
+        }
+    }
+
+    // --- remote tuple-space operations --------------------------------------
+
+    fn issue_remote(&mut self, idx: usize, slot_idx: usize, op: RemoteOp, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        let agent_id = self.nodes[idx].slots[slot_idx]
+            .as_ref()
+            .expect("issuing slot")
+            .agent
+            .id();
+        let op_id = self.next_op_id;
+        self.next_op_id = self.next_op_id.wrapping_add(1).max(1);
+        let dest = op.dest();
+        self.log.push(OpRecord::RemoteIssued { op_id, agent: agent_id, dest, at: now });
+        self.tracer
+            .record(now, Some(node_id), "remote.issue", format!("{agent_id} op{op_id} -> {dest}"));
+
+        let request = match &op {
+            RemoteOp::Out { dest, tuple } => RtsRequest::for_out(op_id, my_loc, *dest, tuple),
+            RemoteOp::Inp { dest, template } => {
+                RtsRequest::for_probe(op_id, my_loc, *dest, RtsKind::Inp, template)
+            }
+            RemoteOp::Rdp { dest, template } => {
+                RtsRequest::for_probe(op_id, my_loc, *dest, RtsKind::Rdp, template)
+            }
+        };
+        let request = match request {
+            Ok(r) => r,
+            Err(e) => {
+                // Too large to ship in one message: fail locally, condition 0.
+                self.tracer
+                    .record(now, Some(node_id), "remote.toolarge", format!("op{op_id}: {e}"));
+                self.complete_remote(idx, slot_idx, RemoteOutcome { op_id, tuple: None, success: false, retransmitted: false }, now);
+                return;
+            }
+        };
+
+        // Local destination: serve synchronously.
+        if my_loc.matches_within(dest, self.config.epsilon) {
+            let (tuple, success, inserted) = self.serve_rts_locally(idx, &request);
+            if !inserted.is_empty() {
+                self.after_insertions(idx, inserted, now);
+            }
+            self.complete_remote(idx, slot_idx, RemoteOutcome { op_id, tuple, success, retransmitted: false }, now);
+            return;
+        }
+
+        self.nodes[idx].pending_remote.insert(
+            op_id,
+            PendingRemote {
+                request: request.clone(),
+                slot: slot_idx,
+                tries: 0,
+                issued_at: now,
+                retransmitted: false,
+                timer: None,
+            },
+        );
+        self.set_status(idx, slot_idx, AgentStatus::AwaitingRemote { op_id });
+        self.send_rts_request(idx, op_id, now);
+    }
+
+    fn send_rts_request(&mut self, idx: usize, op_id: u16, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        let (payload, dest) = {
+            let Some(p) = self.nodes[idx].pending_remote.get(&op_id) else {
+                return;
+            };
+            (p.request.encode(), p.request.dest)
+        };
+        let neighbors = self.nodes[idx].acq.live(now);
+        let timer = self.queue.schedule(
+            now + self.config.remote_op_timeout,
+            Event::RemoteTimeout { node: node_id, op_id },
+        );
+        if let Some(p) = self.nodes[idx].pending_remote.get_mut(&op_id) {
+            p.timer = Some(timer);
+        }
+        match next_hop(my_loc, &neighbors, dest) {
+            Some(hop) => {
+                let msg = wire::message(am::RTS_REQ, payload);
+                self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), SimDuration::ZERO);
+            }
+            None => {
+                self.tracer
+                    .record(now, Some(node_id), "remote.noroute", format!("op{op_id} -> {dest}"));
+            }
+        }
+    }
+
+    fn handle_remote_timeout(&mut self, idx: usize, op_id: u16, now: SimTime) {
+        let give_up = {
+            let Some(p) = self.nodes[idx].pending_remote.get_mut(&op_id) else {
+                return;
+            };
+            p.tries += 1;
+            p.retransmitted = true;
+            p.tries > self.config.remote_op_retx
+        };
+        if give_up {
+            let Some(p) = self.nodes[idx].pending_remote.remove(&op_id) else {
+                return;
+            };
+            self.complete_remote(idx, p.slot, RemoteOutcome { op_id, tuple: None, success: false, retransmitted: p.retransmitted }, now);
+        } else {
+            self.metrics.incr("remote.retx");
+            self.send_rts_request(idx, op_id, now);
+        }
+    }
+
+    /// Performs a remote-op request against this node's own space. Returns
+    /// (result tuple, success, tuples inserted).
+    fn serve_rts_locally(&mut self, idx: usize, req: &RtsRequest) -> (Option<Tuple>, bool, Vec<Tuple>) {
+        match req.kind {
+            RtsKind::Out => match req.tuple() {
+                Ok(t) => match self.nodes[idx].space.out(t.clone()) {
+                    Ok(()) => (None, true, vec![t]),
+                    Err(_) => (None, false, vec![]),
+                },
+                Err(_) => (None, false, vec![]),
+            },
+            RtsKind::Inp => match req.template() {
+                Ok(tmpl) => {
+                    let found = self.nodes[idx].space.inp(&tmpl);
+                    let ok = found.is_some();
+                    (found, ok, vec![])
+                }
+                Err(_) => (None, false, vec![]),
+            },
+            RtsKind::Rdp => match req.template() {
+                Ok(tmpl) => {
+                    let found = self.nodes[idx].space.rdp(&tmpl);
+                    let ok = found.is_some();
+                    (found, ok, vec![])
+                }
+                Err(_) => (None, false, vec![]),
+            },
+        }
+    }
+
+    fn handle_rts_request(&mut self, idx: usize, req: RtsRequest, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        if my_loc.matches_within(req.dest, self.config.epsilon) {
+            // Serve (with duplicate suppression via the reply cache).
+            let reply = if let Some(r) = self.nodes[idx].cached_reply(req.op_id, req.origin) {
+                r.clone()
+            } else {
+                let (tuple, success, inserted) = self.serve_rts_locally(idx, &req);
+                if !inserted.is_empty() {
+                    self.after_insertions(idx, inserted, now);
+                }
+                let reply = RtsReply { op_id: req.op_id, dest: req.origin, success, tuple };
+                self.nodes[idx].cache_reply(req.op_id, req.origin, reply.clone());
+                self.tracer
+                    .record(now, Some(node_id), "remote.serve", format!("op{}", req.op_id));
+                reply
+            };
+            let service = SimDuration::from_micros(self.config.timing.remote_op_service_us);
+            self.forward_rts_reply(idx, reply, service, now);
+        } else {
+            // Forward toward the destination (a TinyOS task at each hop).
+            let fwd = SimDuration::from_micros(self.config.timing.georouting_forward_us);
+            let neighbors = self.nodes[idx].acq.live(now);
+            match next_hop(my_loc, &neighbors, req.dest) {
+                Some(hop) => {
+                    let msg = wire::message(am::RTS_REQ, req.encode());
+                    self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), fwd);
+                }
+                None => {
+                    self.tracer
+                        .record(now, Some(node_id), "remote.noroute", format!("op{} fwd", req.op_id));
+                }
+            }
+        }
+    }
+
+    fn forward_rts_reply(&mut self, idx: usize, reply: RtsReply, extra: SimDuration, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        if my_loc.matches_within(reply.dest, self.config.epsilon) {
+            // We are the origin.
+            self.deliver_rts_reply(idx, reply, now);
+            return;
+        }
+        let neighbors = self.nodes[idx].acq.live(now);
+        match next_hop(my_loc, &neighbors, reply.dest) {
+            Some(hop) => {
+                let msg = wire::message(am::RTS_REP, reply.encode());
+                self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), extra);
+            }
+            None => {
+                self.tracer
+                    .record(now, Some(node_id), "remote.noroute", format!("op{} reply", reply.op_id));
+            }
+        }
+    }
+
+    fn handle_rts_reply(&mut self, idx: usize, reply: RtsReply, now: SimTime) {
+        let my_loc = self.nodes[idx].loc;
+        if my_loc.matches_within(reply.dest, self.config.epsilon) {
+            self.deliver_rts_reply(idx, reply, now);
+        } else {
+            let fwd = SimDuration::from_micros(self.config.timing.georouting_forward_us);
+            self.forward_rts_reply(idx, reply, fwd, now);
+        }
+    }
+
+    fn deliver_rts_reply(&mut self, idx: usize, reply: RtsReply, now: SimTime) {
+        let Some(p) = self.nodes[idx].pending_remote.remove(&reply.op_id) else {
+            return; // late duplicate; the operation already completed
+        };
+        if let Some(t) = p.timer {
+            self.queue.cancel(t);
+        }
+        self.complete_remote(
+            idx,
+            p.slot,
+            RemoteOutcome {
+                op_id: reply.op_id,
+                tuple: reply.tuple,
+                success: reply.success,
+                retransmitted: p.retransmitted,
+            },
+            now,
+        );
+    }
+
+    fn complete_remote(&mut self, idx: usize, slot_idx: usize, outcome: RemoteOutcome, now: SimTime) {
+        let RemoteOutcome { op_id, tuple, success, retransmitted } = outcome;
+        let node_id = self.nodes[idx].id;
+        let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() else {
+            return;
+        };
+        // The slot may have been reused; verify it is the waiting agent.
+        let matches = match slot.status {
+            AgentStatus::AwaitingRemote { op_id: waiting } => waiting == op_id,
+            // Synchronous completion (local destination / too-large error).
+            _ => true,
+        };
+        if !matches {
+            return;
+        }
+        let agent_id = slot.agent.id();
+        match exec::deliver_remote_result(&mut slot.agent, tuple, success) {
+            Ok(()) => {
+                slot.status = AgentStatus::Ready;
+                self.log.push(OpRecord::RemoteCompleted {
+                    op_id,
+                    agent: agent_id,
+                    success,
+                    retransmitted,
+                    at: now,
+                });
+                self.tracer.record(
+                    now,
+                    Some(node_id),
+                    "remote.complete",
+                    format!("{agent_id} op{op_id} success={success}"),
+                );
+                self.schedule_engine(idx, SimDuration::ZERO);
+            }
+            Err(e) => self.kill_agent(idx, slot_idx, e, now),
+        }
+    }
+}
+
+// Side table mapping clone sender sessions to the originating slot; kept out
+// of `SenderSession` so relay sessions stay slot-free.
+impl AgillaNetwork {
+    fn take_clone_origin(&mut self, node: NodeId, session: u16) -> Option<usize> {
+        let pos = self
+            .clone_origins
+            .iter()
+            .position(|(n, s, _)| *n == node && *s == session)?;
+        Some(self.clone_origins.remove(pos).2)
+    }
+}
+
+/// The [`Host`] implementation backing one instruction step: disjoint
+/// borrows of the node's managers plus the network-level environment.
+struct HostView<'a> {
+    loc: Location,
+    now: SimTime,
+    space: &'a mut agilla_tuplespace::TupleSpace,
+    registry: &'a mut agilla_tuplespace::ReactionRegistry,
+    acq: &'a wsn_net::AcquaintanceList,
+    leds: &'a mut i16,
+    env: &'a Environment,
+    rng: &'a mut RngStream,
+    rng_env: &'a mut RngStream,
+    owner: AgentId,
+    /// Tuples inserted during this step (reaction firing happens after the
+    /// step, once the agent borrow is released).
+    inserted: Vec<Tuple>,
+}
+
+impl Host for HostView<'_> {
+    fn location(&self) -> Location {
+        self.loc
+    }
+
+    fn random(&mut self) -> i16 {
+        self.rng.next_u64() as i16
+    }
+
+    fn sense(&mut self, sensor: SensorType) -> Option<i16> {
+        self.env.sample(sensor, self.loc, self.now, self.rng_env)
+    }
+
+    fn set_leds(&mut self, v: i16) {
+        *self.leds = v;
+    }
+
+    fn num_neighbors(&self) -> usize {
+        self.acq.len(self.now)
+    }
+
+    fn neighbor(&self, index: usize) -> Option<Location> {
+        self.acq.get(index, self.now)
+    }
+
+    fn random_neighbor(&mut self) -> Option<Location> {
+        self.acq.random(self.rng, self.now)
+    }
+
+    fn ts_out(&mut self, tuple: Tuple) -> Result<(), TupleSpaceError> {
+        self.space.out(tuple.clone())?;
+        self.inserted.push(tuple);
+        Ok(())
+    }
+
+    fn ts_inp(&mut self, template: &Template) -> Option<Tuple> {
+        self.space.inp(template)
+    }
+
+    fn ts_rdp(&mut self, template: &Template) -> Option<Tuple> {
+        self.space.rdp(template)
+    }
+
+    fn ts_count(&mut self, template: &Template) -> usize {
+        self.space.count(template)
+    }
+
+    fn register_reaction(
+        &mut self,
+        owner: AgentId,
+        template: Template,
+        pc: u16,
+    ) -> Result<(), TupleSpaceError> {
+        debug_assert_eq!(owner, self.owner);
+        self.registry.register(Reaction::new(owner, template, pc)).map(|_| ())
+    }
+
+    fn deregister_reaction(&mut self, owner: AgentId, template: &Template) -> bool {
+        self.registry.deregister(owner, template).is_some()
+    }
+}

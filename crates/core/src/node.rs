@@ -1,0 +1,387 @@
+//! Per-mote state: agent slots, managers, and protocol sessions.
+
+use std::collections::{HashMap, VecDeque};
+
+use agilla_tuplespace::{ReactionRegistry, Tuple, TupleSpace};
+use agilla_vm::AgentState;
+use wsn_common::{AgentId, Location, NodeId};
+use wsn_net::AcquaintanceList;
+use wsn_radio::Frame;
+use wsn_sim::{EventId, SimDuration, SimTime};
+
+use crate::config::AgillaConfig;
+use crate::migration::{MigrationImage, ReassemblyBuffer};
+use crate::wire::{MigData, MigHeader, RtsReply, RtsRequest};
+
+/// Why an agent is not currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentStatus {
+    /// Runnable; the engine will schedule it round-robin.
+    Ready,
+    /// Executing `sleep`; wakes at the given time.
+    Sleeping {
+        /// Wake-up time.
+        until: SimTime,
+    },
+    /// Executing `wait`; wakes when one of its reactions fires.
+    Waiting,
+    /// A blocking `in`/`rd` found no match; wakes on any local insertion.
+    Blocked,
+    /// Awaiting a remote tuple-space reply.
+    AwaitingRemote {
+        /// The pending operation id.
+        op_id: u16,
+    },
+    /// Held by a migration sender session (clone originals and would-be
+    /// movers awaiting the first-hop outcome).
+    InMigration,
+}
+
+/// One occupied agent slot.
+#[derive(Debug)]
+pub struct AgentSlot {
+    /// The agent's execution state.
+    pub agent: AgentState,
+    /// Why it is or isn't running.
+    pub status: AgentStatus,
+    /// Reactions that fired while the agent was busy; delivered before its
+    /// next instruction.
+    pub pending_reactions: VecDeque<(Tuple, u16)>,
+    /// Instructions executed in the current engine slice.
+    pub slice_used: u32,
+}
+
+impl AgentSlot {
+    /// Creates a ready slot for `agent`.
+    pub fn new(agent: AgentState) -> Self {
+        AgentSlot {
+            agent,
+            status: AgentStatus::Ready,
+            pending_reactions: VecDeque::new(),
+            slice_used: 0,
+        }
+    }
+}
+
+/// A migration sender session: one hop's worth of acknowledged transfer.
+#[derive(Debug)]
+pub struct SenderSession {
+    /// The packaged agent.
+    pub image: MigrationImage,
+    /// Precomputed data fragments.
+    pub fragments: Vec<MigData>,
+    /// The session header.
+    pub header: MigHeader,
+    /// Next fragment to send; `None` means the header is in flight.
+    pub next_frag: Option<usize>,
+    /// Transmissions of the current message so far.
+    pub tries: u32,
+    /// Link destination for this hop.
+    pub next_hop: NodeId,
+    /// The original agent, held for failure resume: movers' state, or the
+    /// clone original to resume on completion. `None` for relay sessions.
+    pub held_agent: Option<AgentState>,
+    /// Whether the held agent should resume locally on *success* too
+    /// (clones) or only on failure (moves).
+    pub resume_on_success: bool,
+    /// The pending retransmit timer.
+    pub retx_timer: Option<EventId>,
+}
+
+/// A migration receiver session: reassembly plus the abort watchdog.
+#[derive(Debug)]
+pub struct ReceiverSession {
+    /// Fragment reassembly state.
+    pub buf: ReassemblyBuffer,
+    /// The link-layer sender, for hop-by-hop acks.
+    pub from: NodeId,
+    /// End-to-end sessions route acks back to this origin instead.
+    pub origin: Option<Location>,
+    /// Last time a new fragment arrived (watchdog reference).
+    pub last_progress: SimTime,
+    /// The pending abort-check timer.
+    pub abort_timer: Option<EventId>,
+}
+
+/// Initiator-side state of a pending remote tuple-space operation.
+#[derive(Debug)]
+pub struct PendingRemote {
+    /// The request (kept for retransmission).
+    pub request: RtsRequest,
+    /// The waiting agent's slot.
+    pub slot: usize,
+    /// Transmissions so far.
+    pub tries: u32,
+    /// When the operation was issued (latency metric).
+    pub issued_at: SimTime,
+    /// Whether the first transmission has been answered (first-attempt
+    /// latency metric for Fig. 10).
+    pub retransmitted: bool,
+    /// The pending timeout timer.
+    pub timer: Option<EventId>,
+}
+
+/// One simulated Agilla mote.
+#[derive(Debug)]
+pub struct Node {
+    /// Simulation identity.
+    pub id: NodeId,
+    /// Physical location (= network address).
+    pub loc: Location,
+    /// The local tuple space.
+    pub space: TupleSpace,
+    /// The local reaction registry.
+    pub registry: ReactionRegistry,
+    /// One-hop neighbor table.
+    pub acq: AcquaintanceList,
+    /// Agent slots (fixed count from the config).
+    pub slots: Vec<Option<AgentSlot>>,
+    /// Round-robin cursor over slots.
+    pub rr_cursor: usize,
+    /// Whether an engine-instruction event is already queued.
+    pub engine_scheduled: bool,
+    /// Outbound frame queue (MAC).
+    pub tx_queue: VecDeque<Frame>,
+    /// Whether a TxReady event is already queued.
+    pub tx_scheduled: bool,
+    /// Congestion retry counter for the frame at the queue head.
+    pub tx_attempt: u32,
+    /// Last LED value an agent displayed.
+    pub leds: i16,
+    /// Outbound migration sessions by session id.
+    pub send_sessions: HashMap<u16, SenderSession>,
+    /// Inbound migration sessions by session id.
+    pub recv_sessions: HashMap<u16, ReceiverSession>,
+    /// Pending remote operations by op id.
+    pub pending_remote: HashMap<u16, PendingRemote>,
+    /// Recently served remote operations, for duplicate-request replies.
+    pub reply_cache: VecDeque<(u16, Location, RtsReply)>,
+    /// Whether the mote has been failed by fault injection: dead nodes send
+    /// nothing, receive nothing, and execute nothing.
+    pub dead: bool,
+}
+
+/// Capacity of the served-operation reply cache.
+const REPLY_CACHE: usize = 8;
+
+impl Node {
+    /// Creates a node with the configured resource budgets.
+    pub fn new(id: NodeId, loc: Location, config: &AgillaConfig) -> Self {
+        Node {
+            id,
+            loc,
+            space: TupleSpace::new(
+                config.tuple_space_bytes,
+                agilla_tuplespace::ArenaKind::Linear,
+            ),
+            registry: ReactionRegistry::new(
+                config.reaction_registry_slots,
+                config.reaction_registry_bytes,
+            ),
+            acq: AcquaintanceList::new(SimDuration::from_micros(
+                3 * wsn_net::BEACON_PERIOD.as_micros() + 500_000,
+            )),
+            slots: (0..config.max_agents).map(|_| None).collect(),
+            rr_cursor: 0,
+            engine_scheduled: false,
+            tx_queue: VecDeque::new(),
+            tx_scheduled: false,
+            tx_attempt: 0,
+            leds: 0,
+            send_sessions: HashMap::new(),
+            recv_sessions: HashMap::new(),
+            pending_remote: HashMap::new(),
+            reply_cache: VecDeque::new(),
+            dead: false,
+        }
+    }
+
+    /// Code blocks consumed by resident agents (instruction manager
+    /// accounting: minimum whole 22-byte blocks per agent).
+    pub fn blocks_used(&self, block_bytes: usize) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.agent.code().len().div_ceil(block_bytes))
+            .sum()
+    }
+
+    /// Whether an agent with `code_len` bytes of code can be admitted:
+    /// needs a free slot and enough free instruction blocks.
+    pub fn can_admit(&self, code_len: usize, config: &AgillaConfig) -> bool {
+        let free_slot = self.slots.iter().any(Option::is_none);
+        let needed = code_len.div_ceil(config.code_block_bytes);
+        let used = self.blocks_used(config.code_block_bytes);
+        free_slot && used + needed <= config.code_blocks
+    }
+
+    /// Installs an agent into a free slot, returning the slot index.
+    /// Callers check [`Node::can_admit`] first; `None` means no free slot.
+    pub fn admit(&mut self, agent: AgentState) -> Option<usize> {
+        let idx = self.slots.iter().position(Option::is_none)?;
+        self.slots[idx] = Some(AgentSlot::new(agent));
+        Some(idx)
+    }
+
+    /// Removes the agent in `slot`, returning it.
+    pub fn evict(&mut self, slot: usize) -> Option<AgentSlot> {
+        self.slots.get_mut(slot)?.take()
+    }
+
+    /// The slot index currently holding `agent`, if resident.
+    pub fn slot_of(&self, agent: AgentId) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| s.agent.id() == agent))
+    }
+
+    /// Ids of all resident agents.
+    pub fn agents(&self) -> Vec<AgentId> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.agent.id())
+            .collect()
+    }
+
+    /// Whether any slot is ready to execute.
+    pub fn has_ready_agent(&self) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .any(|s| s.status == AgentStatus::Ready)
+    }
+
+    /// Picks the next ready slot round-robin, advancing the cursor when the
+    /// current slot's slice is exhausted or it is not runnable.
+    pub fn pick_ready(&mut self, slice: u32) -> Option<usize> {
+        let n = self.slots.len();
+        // If the cursor's agent is ready and within its slice, keep it.
+        if let Some(Some(slot)) = self.slots.get(self.rr_cursor) {
+            if slot.status == AgentStatus::Ready && slot.slice_used < slice {
+                return Some(self.rr_cursor);
+            }
+        }
+        // Otherwise rotate to the next ready agent with a fresh slice.
+        for step in 1..=n {
+            let idx = (self.rr_cursor + step) % n;
+            if let Some(Some(slot)) = self.slots.get(idx) {
+                if slot.status == AgentStatus::Ready {
+                    self.rr_cursor = idx;
+                    if let Some(Some(slot)) = self.slots.get_mut(idx) {
+                        slot.slice_used = 0;
+                    }
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    /// Caches a served remote operation's reply for duplicate requests.
+    pub fn cache_reply(&mut self, op_id: u16, origin: Location, reply: RtsReply) {
+        if self.reply_cache.len() == REPLY_CACHE {
+            self.reply_cache.pop_front();
+        }
+        self.reply_cache.push_back((op_id, origin, reply));
+    }
+
+    /// Looks up a cached reply for a duplicate request.
+    pub fn cached_reply(&self, op_id: u16, origin: Location) -> Option<&RtsReply> {
+        self.reply_cache
+            .iter()
+            .find(|(id, org, _)| *id == op_id && *org == origin)
+            .map(|(_, _, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agilla_vm::asm::assemble;
+
+    fn cfg() -> AgillaConfig {
+        AgillaConfig::default()
+    }
+
+    fn agent(id: u16, code_bytes: usize) -> AgentState {
+        AgentState::with_code(AgentId(id), vec![0; code_bytes.max(1)]).unwrap()
+    }
+
+    fn node() -> Node {
+        Node::new(NodeId(1), Location::new(1, 1), &cfg())
+    }
+
+    #[test]
+    fn admit_up_to_max_agents() {
+        let mut n = node();
+        for i in 0..4 {
+            assert!(n.can_admit(10, &cfg()), "agent {i}");
+            n.admit(agent(i, 10)).unwrap();
+        }
+        assert!(!n.can_admit(10, &cfg()), "fifth agent refused: no slot");
+        assert_eq!(n.agents().len(), 4);
+    }
+
+    #[test]
+    fn admission_respects_code_blocks() {
+        let mut n = node();
+        // Two agents of 220 bytes = 10 blocks each fill the 20-block budget.
+        n.admit(agent(1, 220)).unwrap();
+        assert!(n.can_admit(220, &cfg()));
+        n.admit(agent(2, 220)).unwrap();
+        assert_eq!(n.blocks_used(22), 20);
+        assert!(!n.can_admit(1, &cfg()), "no blocks left despite free slots");
+    }
+
+    #[test]
+    fn evict_frees_slot_and_blocks() {
+        let mut n = node();
+        n.admit(agent(1, 220)).unwrap();
+        n.admit(agent(2, 220)).unwrap();
+        let slot = n.slot_of(AgentId(1)).unwrap();
+        let evicted = n.evict(slot).unwrap();
+        assert_eq!(evicted.agent.id(), AgentId(1));
+        assert!(n.can_admit(220, &cfg()));
+        assert_eq!(n.slot_of(AgentId(1)), None);
+    }
+
+    #[test]
+    fn round_robin_slices() {
+        let mut n = node();
+        let code = assemble("halt").unwrap().into_code();
+        for i in 0..3 {
+            n.admit(AgentState::with_code(AgentId(i), code.clone()).unwrap());
+        }
+        // All ready: cursor stays within slice, rotates after 4 instructions.
+        let first = n.pick_ready(4).unwrap();
+        n.slots[first].as_mut().unwrap().slice_used = 4;
+        let second = n.pick_ready(4).unwrap();
+        assert_ne!(first, second, "slice exhausted, engine rotates");
+        // Mark second non-ready: rotation skips it.
+        n.slots[second].as_mut().unwrap().status = AgentStatus::Waiting;
+        let third = n.pick_ready(4).unwrap();
+        assert_ne!(third, second);
+    }
+
+    #[test]
+    fn pick_ready_none_when_all_blocked() {
+        let mut n = node();
+        n.admit(agent(1, 4)).unwrap();
+        n.slots[0].as_mut().unwrap().status = AgentStatus::Waiting;
+        assert_eq!(n.pick_ready(4), None);
+        assert!(!n.has_ready_agent());
+    }
+
+    #[test]
+    fn reply_cache_evicts_oldest() {
+        let mut n = node();
+        let origin = Location::new(0, 1);
+        for i in 0..10u16 {
+            n.cache_reply(i, origin, RtsReply { op_id: i, dest: origin, success: true, tuple: None });
+        }
+        assert!(n.cached_reply(0, origin).is_none(), "oldest evicted");
+        assert!(n.cached_reply(9, origin).is_some());
+        assert!(n.cached_reply(9, Location::new(5, 5)).is_none(), "origin mismatch");
+    }
+}

@@ -1,0 +1,245 @@
+//! Typed experiment records: the harness-facing log of operation outcomes.
+//!
+//! The [`Tracer`](wsn_sim::Tracer) carries free-form diagnostics; benches
+//! need structured facts ("did agent 7 arrive at (5,1), and when?"). The
+//! network appends [`OpRecord`]s as protocol milestones occur, and
+//! [`ExperimentLog`] offers the queries the figure harnesses are built on.
+
+use agilla_vm::MigrateKind;
+use wsn_common::{AgentId, Location, NodeId};
+use wsn_sim::SimTime;
+
+/// One protocol milestone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpRecord {
+    /// An agent was injected (or cloned) into the network.
+    AgentInjected {
+        /// The new agent.
+        agent: AgentId,
+        /// Hosting node.
+        node: NodeId,
+        /// When.
+        at: SimTime,
+    },
+    /// An agent completed a migration into a node (its final destination).
+    MigrationArrived {
+        /// The arriving agent (clones carry their new id).
+        agent: AgentId,
+        /// Destination node.
+        node: NodeId,
+        /// Which instruction moved it.
+        kind: MigrateKind,
+        /// When it was installed and scheduled.
+        at: SimTime,
+    },
+    /// A migration failed and the agent resumed (or was stranded) locally.
+    MigrationFailed {
+        /// The agent.
+        agent: AgentId,
+        /// Node where the failure surfaced.
+        node: NodeId,
+        /// When.
+        at: SimTime,
+    },
+    /// An agent executed `halt`.
+    AgentHalted {
+        /// The agent.
+        agent: AgentId,
+        /// Node it halted on.
+        node: NodeId,
+        /// When.
+        at: SimTime,
+    },
+    /// An agent faulted and was killed.
+    AgentFaulted {
+        /// The agent.
+        agent: AgentId,
+        /// Node it faulted on.
+        node: NodeId,
+        /// When.
+        at: SimTime,
+    },
+    /// A remote tuple-space operation was issued.
+    RemoteIssued {
+        /// Operation id.
+        op_id: u16,
+        /// Issuing agent.
+        agent: AgentId,
+        /// Target address.
+        dest: Location,
+        /// When.
+        at: SimTime,
+    },
+    /// A remote tuple-space operation completed (reply or final timeout).
+    RemoteCompleted {
+        /// Operation id.
+        op_id: u16,
+        /// Issuing agent.
+        agent: AgentId,
+        /// Whether it succeeded.
+        success: bool,
+        /// Whether any retransmission was needed.
+        retransmitted: bool,
+        /// When the result reached the agent.
+        at: SimTime,
+    },
+}
+
+/// Append-only log of [`OpRecord`]s with experiment-oriented queries.
+#[derive(Debug, Default)]
+pub struct ExperimentLog {
+    records: Vec<OpRecord>,
+}
+
+impl ExperimentLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ExperimentLog::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, r: OpRecord) {
+        self.records.push(r);
+    }
+
+    /// All records, in order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Clears the log (between trials).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// When `agent` was injected, if recorded.
+    pub fn injected_at(&self, agent: AgentId) -> Option<SimTime> {
+        self.records.iter().find_map(|r| match r {
+            OpRecord::AgentInjected { agent: a, at, .. } if *a == agent => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Arrival times of `agent` at `node` (a round trip shows up twice at
+    /// the endpoints).
+    pub fn arrivals(&self, agent: AgentId, node: NodeId) -> Vec<SimTime> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                OpRecord::MigrationArrived { agent: a, node: n, at, .. }
+                    if *a == agent && *n == node =>
+                {
+                    Some(*at)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether `agent` ever arrived at `node`.
+    pub fn arrived(&self, agent: AgentId, node: NodeId) -> bool {
+        !self.arrivals(agent, node).is_empty()
+    }
+
+    /// When `agent` halted, if it did.
+    pub fn halted_at(&self, agent: AgentId) -> Option<SimTime> {
+        self.records.iter().find_map(|r| match r {
+            OpRecord::AgentHalted { agent: a, at, .. } if *a == agent => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// The completion record for remote operation `op_id`.
+    pub fn remote_completion(&self, op_id: u16) -> Option<(bool, bool, SimTime)> {
+        self.records.iter().find_map(|r| match r {
+            OpRecord::RemoteCompleted { op_id: id, success, retransmitted, at, .. }
+                if *id == op_id =>
+            {
+                Some((*success, *retransmitted, *at))
+            }
+            _ => None,
+        })
+    }
+
+    /// Issue time of remote operation `op_id`.
+    pub fn remote_issued_at(&self, op_id: u16) -> Option<SimTime> {
+        self.records.iter().find_map(|r| match r {
+            OpRecord::RemoteIssued { op_id: id, at, .. } if *id == op_id => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// All remote operation ids issued by `agent`.
+    pub fn remote_ops_of(&self, agent: AgentId) -> Vec<u16> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                OpRecord::RemoteIssued { op_id, agent: a, .. } if *a == agent => Some(*op_id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Count of migration failures recorded.
+    pub fn migration_failures(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, OpRecord::MigrationFailed { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_micros(ms * 1000)
+    }
+
+    #[test]
+    fn queries_find_their_records() {
+        let mut log = ExperimentLog::new();
+        log.push(OpRecord::AgentInjected { agent: AgentId(1), node: NodeId(0), at: t(1) });
+        log.push(OpRecord::MigrationArrived {
+            agent: AgentId(1),
+            node: NodeId(5),
+            kind: MigrateKind::StrongMove,
+            at: t(200),
+        });
+        log.push(OpRecord::AgentHalted { agent: AgentId(1), node: NodeId(5), at: t(300) });
+        log.push(OpRecord::RemoteIssued {
+            op_id: 9,
+            agent: AgentId(1),
+            dest: Location::new(5, 1),
+            at: t(10),
+        });
+        log.push(OpRecord::RemoteCompleted {
+            op_id: 9,
+            agent: AgentId(1),
+            success: true,
+            retransmitted: false,
+            at: t(65),
+        });
+
+        assert_eq!(log.injected_at(AgentId(1)), Some(t(1)));
+        assert!(log.arrived(AgentId(1), NodeId(5)));
+        assert!(!log.arrived(AgentId(1), NodeId(3)));
+        assert_eq!(log.halted_at(AgentId(1)), Some(t(300)));
+        assert_eq!(log.remote_completion(9), Some((true, false, t(65))));
+        assert_eq!(log.remote_issued_at(9), Some(t(10)));
+        assert_eq!(log.remote_ops_of(AgentId(1)), vec![9]);
+        assert_eq!(log.migration_failures(), 0);
+        assert_eq!(log.records().len(), 5);
+        log.clear();
+        assert!(log.records().is_empty());
+    }
+
+    #[test]
+    fn missing_records_are_none() {
+        let log = ExperimentLog::new();
+        assert_eq!(log.injected_at(AgentId(9)), None);
+        assert_eq!(log.remote_completion(1), None);
+        assert!(log.arrivals(AgentId(1), NodeId(1)).is_empty());
+    }
+}

@@ -1,0 +1,672 @@
+//! Active-message types and payload codecs for Agilla's protocols.
+//!
+//! Everything here fits the 27-byte TinyOS payload (checked by
+//! constructors), matching the paper's division of an agent into "numerous
+//! types of messages" (Fig. 5) and single-message remote tuple-space
+//! requests ("a request can fit in one message", Section 3.2).
+
+use agilla_tuplespace::{Template, Tuple, TupleSpaceError};
+use agilla_vm::MigrateKind;
+use wsn_common::{AgentId, Location, TOS_PAYLOAD};
+use wsn_net::AmType;
+
+/// Active-message type assignments.
+pub mod am {
+    use wsn_net::AmType;
+
+    /// Neighbor-discovery beacon (context manager).
+    pub const BEACON: AmType = AmType(1);
+    /// Migration session header (agent sender → agent receiver).
+    pub const MIG_HDR: AmType = AmType(2);
+    /// Migration data fragment (state, code block, or reaction).
+    pub const MIG_DATA: AmType = AmType(3);
+    /// Migration per-message acknowledgement.
+    pub const MIG_ACK: AmType = AmType(4);
+    /// Migration refusal (no slot / no code blocks).
+    pub const MIG_NACK: AmType = AmType(5);
+    /// Remote tuple-space request.
+    pub const RTS_REQ: AmType = AmType(6);
+    /// Remote tuple-space reply.
+    pub const RTS_REP: AmType = AmType(7);
+    /// Geographic envelope for *end-to-end* migration messages — the
+    /// protocol variant the paper rejected, kept for the ablation bench.
+    pub const MIG_E2E: AmType = AmType(8);
+}
+
+/// Fragment payload size for agent-state images. With the 4-byte fragment
+/// header this fills a TinyOS message, mirroring the paper's ~20-byte state
+/// message (Fig. 5).
+pub const STATE_FRAG_BYTES: usize = 20;
+
+/// Fragment payload size for code: exactly one instruction-manager block
+/// ("Code ... one instruction block", Fig. 5).
+pub const CODE_FRAG_BYTES: usize = 22;
+
+/// The sections of a migrating agent, in transfer order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum MigSection {
+    /// Registers + stack + heap image ([`AgentState::encode_state`]).
+    ///
+    /// [`AgentState::encode_state`]: agilla_vm::AgentState::encode_state
+    State = 0,
+    /// Bytecode, one 22-byte block per fragment.
+    Code = 1,
+    /// One registered reaction per fragment (strong migrations only).
+    Reaction = 2,
+}
+
+impl MigSection {
+    /// Parses the wire tag.
+    pub fn from_tag(tag: u8) -> Option<MigSection> {
+        match tag {
+            0 => Some(MigSection::State),
+            1 => Some(MigSection::Code),
+            2 => Some(MigSection::Reaction),
+            _ => None,
+        }
+    }
+}
+
+fn kind_tag(kind: MigrateKind) -> u8 {
+    match kind {
+        MigrateKind::StrongMove => 0,
+        MigrateKind::WeakMove => 1,
+        MigrateKind::StrongClone => 2,
+        MigrateKind::WeakClone => 3,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Option<MigrateKind> {
+    match tag {
+        0 => Some(MigrateKind::StrongMove),
+        1 => Some(MigrateKind::WeakMove),
+        2 => Some(MigrateKind::StrongClone),
+        3 => Some(MigrateKind::WeakClone),
+        _ => None,
+    }
+}
+
+/// The migration session header: the first (acknowledged) message of every
+/// hop, announcing what is about to arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigHeader {
+    /// Session id, unique per hop transfer.
+    pub session: u16,
+    /// Which migration instruction initiated the transfer.
+    pub kind: MigrateKind,
+    /// The agent's final destination (hops re-route geographically).
+    pub final_dest: Location,
+    /// The migrating agent's id (clones are re-identified on arrival).
+    pub agent_id: AgentId,
+    /// Total bytes of the state image.
+    pub state_len: u16,
+    /// Total bytes of code.
+    pub code_len: u16,
+    /// Number of reaction fragments.
+    pub rxn_frags: u8,
+}
+
+impl MigHeader {
+    /// Number of state fragments implied by `state_len`.
+    pub fn state_frags(&self) -> u8 {
+        self.state_len.div_ceil(STATE_FRAG_BYTES as u16) as u8
+    }
+
+    /// Number of code fragments implied by `code_len`.
+    pub fn code_frags(&self) -> u8 {
+        self.code_len.div_ceil(CODE_FRAG_BYTES as u16) as u8
+    }
+
+    /// Total data fragments following this header.
+    pub fn total_frags(&self) -> u16 {
+        u16::from(self.state_frags()) + u16::from(self.code_frags()) + u16::from(self.rxn_frags)
+    }
+
+    /// Serializes to a message payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(14);
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.push(kind_tag(self.kind));
+        out.extend_from_slice(&self.final_dest.to_bytes());
+        out.extend_from_slice(&self.agent_id.raw().to_le_bytes());
+        out.extend_from_slice(&self.state_len.to_le_bytes());
+        out.extend_from_slice(&self.code_len.to_le_bytes());
+        out.push(self.rxn_frags);
+        debug_assert!(out.len() <= TOS_PAYLOAD);
+        out
+    }
+
+    /// Parses a message payload.
+    pub fn decode(b: &[u8]) -> Option<MigHeader> {
+        if b.len() != 14 {
+            return None;
+        }
+        Some(MigHeader {
+            session: u16::from_le_bytes([b[0], b[1]]),
+            kind: kind_from_tag(b[2])?,
+            final_dest: Location::from_bytes([b[3], b[4], b[5], b[6]]),
+            agent_id: AgentId(u16::from_le_bytes([b[7], b[8]])),
+            state_len: u16::from_le_bytes([b[9], b[10]]),
+            code_len: u16::from_le_bytes([b[11], b[12]]),
+            rxn_frags: b[13],
+        })
+    }
+}
+
+/// One migration data fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigData {
+    /// Session this fragment belongs to.
+    pub session: u16,
+    /// Which section the bytes extend.
+    pub section: MigSection,
+    /// Fragment index within the section.
+    pub seq: u8,
+    /// The bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl MigData {
+    /// Serializes to a message payload.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the TinyOS payload bound; fragment sizes are chosen by
+    /// the sender to respect it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.bytes.len());
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.push(self.section as u8);
+        out.push(self.seq);
+        out.extend_from_slice(&self.bytes);
+        debug_assert!(out.len() <= TOS_PAYLOAD, "fragment too large");
+        out
+    }
+
+    /// Parses a message payload.
+    pub fn decode(b: &[u8]) -> Option<MigData> {
+        if b.len() < 4 {
+            return None;
+        }
+        Some(MigData {
+            session: u16::from_le_bytes([b[0], b[1]]),
+            section: MigSection::from_tag(b[2])?,
+            seq: b[3],
+            bytes: b[4..].to_vec(),
+        })
+    }
+}
+
+/// Per-message migration acknowledgement. `seq == 0xFF` with
+/// `section == State` acknowledges the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigAck {
+    /// Session being acknowledged.
+    pub session: u16,
+    /// Section of the acknowledged fragment.
+    pub section: MigSection,
+    /// Fragment index, or `0xFF` for the header.
+    pub seq: u8,
+}
+
+impl MigAck {
+    /// The sequence value acknowledging a session header.
+    pub const HEADER_SEQ: u8 = 0xFF;
+
+    /// Serializes to a message payload.
+    pub fn encode(&self) -> Vec<u8> {
+        vec![
+            self.session.to_le_bytes()[0],
+            self.session.to_le_bytes()[1],
+            self.section as u8,
+            self.seq,
+        ]
+    }
+
+    /// Parses a message payload.
+    pub fn decode(b: &[u8]) -> Option<MigAck> {
+        if b.len() != 4 {
+            return None;
+        }
+        Some(MigAck {
+            session: u16::from_le_bytes([b[0], b[1]]),
+            section: MigSection::from_tag(b[2])?,
+            seq: b[3],
+        })
+    }
+}
+
+/// Migration refusal: the receiver cannot admit the agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigNack {
+    /// Session being refused.
+    pub session: u16,
+}
+
+impl MigNack {
+    /// Serializes to a message payload.
+    pub fn encode(&self) -> Vec<u8> {
+        self.session.to_le_bytes().to_vec()
+    }
+
+    /// Parses a message payload.
+    pub fn decode(b: &[u8]) -> Option<MigNack> {
+        let bytes: [u8; 2] = b.try_into().ok()?;
+        Some(MigNack { session: u16::from_le_bytes(bytes) })
+    }
+}
+
+/// Remote tuple-space operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RtsKind {
+    /// `rout`.
+    Out = 0,
+    /// `rinp`.
+    Inp = 1,
+    /// `rrdp`.
+    Rdp = 2,
+}
+
+impl RtsKind {
+    /// Parses the wire tag.
+    pub fn from_tag(tag: u8) -> Option<RtsKind> {
+        match tag {
+            0 => Some(RtsKind::Out),
+            1 => Some(RtsKind::Inp),
+            2 => Some(RtsKind::Rdp),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum encoded tuple/template bytes a remote request can carry
+/// (header overhead leaves less than the local 25-byte bound).
+pub const RTS_BODY_MAX: usize = TOS_PAYLOAD - 11;
+
+/// A remote tuple-space request, geographically routed to `dest`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtsRequest {
+    /// Initiator-unique operation id (reply correlation + dedup).
+    pub op_id: u16,
+    /// Where the reply should travel back to.
+    pub origin: Location,
+    /// The node whose tuple space is addressed.
+    pub dest: Location,
+    /// Operation kind.
+    pub kind: RtsKind,
+    /// Encoded [`Tuple`] (for `out`) or [`Template`] (for `inp`/`rdp`).
+    pub body: Vec<u8>,
+}
+
+impl RtsRequest {
+    /// Builds an `out` request.
+    ///
+    /// # Errors
+    ///
+    /// [`TupleSpaceError::TupleTooLarge`] if the tuple exceeds
+    /// [`RTS_BODY_MAX`] — remote operations have less room than local ones.
+    pub fn for_out(
+        op_id: u16,
+        origin: Location,
+        dest: Location,
+        tuple: &Tuple,
+    ) -> Result<RtsRequest, TupleSpaceError> {
+        let body = tuple.encode();
+        if body.len() > RTS_BODY_MAX {
+            return Err(TupleSpaceError::TupleTooLarge { size: body.len(), max: RTS_BODY_MAX });
+        }
+        Ok(RtsRequest { op_id, origin, dest, kind: RtsKind::Out, body })
+    }
+
+    /// Builds an `inp`/`rdp` request.
+    ///
+    /// # Errors
+    ///
+    /// [`TupleSpaceError::TupleTooLarge`] if the template exceeds
+    /// [`RTS_BODY_MAX`].
+    pub fn for_probe(
+        op_id: u16,
+        origin: Location,
+        dest: Location,
+        kind: RtsKind,
+        template: &Template,
+    ) -> Result<RtsRequest, TupleSpaceError> {
+        let body = template.encode();
+        if body.len() > RTS_BODY_MAX {
+            return Err(TupleSpaceError::TupleTooLarge { size: body.len(), max: RTS_BODY_MAX });
+        }
+        Ok(RtsRequest { op_id, origin, dest, kind, body })
+    }
+
+    /// Serializes to a message payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(11 + self.body.len());
+        out.extend_from_slice(&self.op_id.to_le_bytes());
+        out.extend_from_slice(&self.origin.to_bytes());
+        out.extend_from_slice(&self.dest.to_bytes());
+        out.push(self.kind as u8);
+        out.extend_from_slice(&self.body);
+        debug_assert!(out.len() <= TOS_PAYLOAD);
+        out
+    }
+
+    /// Parses a message payload.
+    pub fn decode(b: &[u8]) -> Option<RtsRequest> {
+        if b.len() < 11 {
+            return None;
+        }
+        Some(RtsRequest {
+            op_id: u16::from_le_bytes([b[0], b[1]]),
+            origin: Location::from_bytes([b[2], b[3], b[4], b[5]]),
+            dest: Location::from_bytes([b[6], b[7], b[8], b[9]]),
+            kind: RtsKind::from_tag(b[10])?,
+            body: b[11..].to_vec(),
+        })
+    }
+
+    /// Decodes the body as a tuple (`out` requests).
+    ///
+    /// # Errors
+    ///
+    /// Decode errors for malformed bodies.
+    pub fn tuple(&self) -> Result<Tuple, TupleSpaceError> {
+        Tuple::decode(&self.body).map(|(t, _)| t)
+    }
+
+    /// Decodes the body as a template (`inp`/`rdp` requests).
+    ///
+    /// # Errors
+    ///
+    /// Decode errors for malformed bodies.
+    pub fn template(&self) -> Result<Template, TupleSpaceError> {
+        Template::decode(&self.body).map(|(t, _)| t)
+    }
+}
+
+/// A remote tuple-space reply, geographically routed back to the origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtsReply {
+    /// The request's operation id.
+    pub op_id: u16,
+    /// Where the reply is headed (the request's origin).
+    pub dest: Location,
+    /// Whether the operation succeeded (insert done / tuple found).
+    pub success: bool,
+    /// The matched tuple for successful `inp`/`rdp`.
+    pub tuple: Option<Tuple>,
+}
+
+impl RtsReply {
+    /// Serializes to a message payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(7);
+        out.extend_from_slice(&self.op_id.to_le_bytes());
+        out.extend_from_slice(&self.dest.to_bytes());
+        out.push(u8::from(self.success));
+        if let Some(t) = &self.tuple {
+            out.extend_from_slice(&t.encode());
+        }
+        debug_assert!(out.len() <= TOS_PAYLOAD);
+        out
+    }
+
+    /// Parses a message payload.
+    pub fn decode(b: &[u8]) -> Option<RtsReply> {
+        if b.len() < 7 {
+            return None;
+        }
+        let tuple = if b.len() > 7 {
+            Some(Tuple::decode(&b[7..]).ok()?.0)
+        } else {
+            None
+        };
+        Some(RtsReply {
+            op_id: u16::from_le_bytes([b[0], b[1]]),
+            dest: Location::from_bytes([b[2], b[3], b[4], b[5]]),
+            success: b[6] != 0,
+            tuple,
+        })
+    }
+}
+
+/// Geographic envelope carrying a migration message end-to-end (ablation
+/// mode): destination, reply-path origin, inner message type, inner payload.
+///
+/// The 9-byte envelope squeezes the inner fragment budget — one of the
+/// inherent costs of the end-to-end design the paper abandoned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Where the inner message must be delivered.
+    pub dest: Location,
+    /// Where replies should be routed.
+    pub src: Location,
+    /// The inner active-message type (`MIG_HDR`, `MIG_DATA`, …).
+    pub inner_am: AmType,
+    /// The inner payload.
+    pub inner: Vec<u8>,
+}
+
+impl Envelope {
+    /// Inner payload budget inside an enveloped message.
+    pub const INNER_MAX: usize = TOS_PAYLOAD - 9;
+
+    /// Serializes to a message payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + self.inner.len());
+        out.extend_from_slice(&self.dest.to_bytes());
+        out.extend_from_slice(&self.src.to_bytes());
+        out.push(self.inner_am.0);
+        out.extend_from_slice(&self.inner);
+        debug_assert!(out.len() <= TOS_PAYLOAD, "enveloped payload too large");
+        out
+    }
+
+    /// Parses a message payload.
+    pub fn decode(b: &[u8]) -> Option<Envelope> {
+        if b.len() < 9 {
+            return None;
+        }
+        Some(Envelope {
+            dest: Location::from_bytes([b[0], b[1], b[2], b[3]]),
+            src: Location::from_bytes([b[4], b[5], b[6], b[7]]),
+            inner_am: AmType(b[8]),
+            inner: b[9..].to_vec(),
+        })
+    }
+}
+
+/// Convenience: wraps a payload in an [`ActiveMessage`] of the given type.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds the TinyOS bound — codecs above guarantee it
+/// doesn't, so a panic indicates a middleware bug.
+///
+/// [`ActiveMessage`]: wsn_net::ActiveMessage
+pub fn message(am_type: AmType, payload: Vec<u8>) -> wsn_net::ActiveMessage {
+    wsn_net::ActiveMessage::new(am_type, payload).expect("payload exceeds TinyOS message bound")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agilla_tuplespace::{Field, TemplateField};
+
+    #[test]
+    fn mig_header_roundtrip() {
+        let h = MigHeader {
+            session: 0xABCD,
+            kind: MigrateKind::StrongClone,
+            final_dest: Location::new(5, 1),
+            agent_id: AgentId(7),
+            state_len: 45,
+            code_len: 44,
+            rxn_frags: 2,
+        };
+        assert_eq!(MigHeader::decode(&h.encode()), Some(h));
+        assert_eq!(h.state_frags(), 3);
+        assert_eq!(h.code_frags(), 2);
+        assert_eq!(h.total_frags(), 7);
+    }
+
+    #[test]
+    fn mig_header_rejects_bad() {
+        assert_eq!(MigHeader::decode(&[0; 13]), None);
+        let mut bytes = MigHeader {
+            session: 1,
+            kind: MigrateKind::StrongMove,
+            final_dest: Location::new(1, 1),
+            agent_id: AgentId(1),
+            state_len: 1,
+            code_len: 1,
+            rxn_frags: 0,
+        }
+        .encode();
+        bytes[2] = 99; // bad kind tag
+        assert_eq!(MigHeader::decode(&bytes), None);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for kind in [
+            MigrateKind::StrongMove,
+            MigrateKind::WeakMove,
+            MigrateKind::StrongClone,
+            MigrateKind::WeakClone,
+        ] {
+            let h = MigHeader {
+                session: 9,
+                kind,
+                final_dest: Location::new(0, 1),
+                agent_id: AgentId(2),
+                state_len: 10,
+                code_len: 10,
+                rxn_frags: 0,
+            };
+            assert_eq!(MigHeader::decode(&h.encode()).unwrap().kind, kind);
+        }
+    }
+
+    #[test]
+    fn mig_data_roundtrip_and_bounds() {
+        let d = MigData {
+            session: 3,
+            section: MigSection::Code,
+            seq: 1,
+            bytes: vec![0xAA; CODE_FRAG_BYTES],
+        };
+        let encoded = d.encode();
+        assert!(encoded.len() <= TOS_PAYLOAD);
+        assert_eq!(MigData::decode(&encoded), Some(d));
+        assert_eq!(MigData::decode(&[1, 2]), None);
+    }
+
+    #[test]
+    fn mig_ack_roundtrip() {
+        let a = MigAck { session: 4, section: MigSection::State, seq: MigAck::HEADER_SEQ };
+        assert_eq!(MigAck::decode(&a.encode()), Some(a));
+        assert_eq!(MigAck::decode(&[0; 3]), None);
+    }
+
+    #[test]
+    fn mig_nack_roundtrip() {
+        let n = MigNack { session: 77 };
+        assert_eq!(MigNack::decode(&n.encode()), Some(n));
+        assert_eq!(MigNack::decode(&[1]), None);
+    }
+
+    fn fire_tuple() -> Tuple {
+        Tuple::new(vec![Field::str("fir"), Field::location(Location::new(3, 3))]).unwrap()
+    }
+
+    #[test]
+    fn rts_request_roundtrip() {
+        let r = RtsRequest::for_out(11, Location::new(0, 1), Location::new(5, 1), &fire_tuple())
+            .unwrap();
+        let encoded = r.encode();
+        assert!(encoded.len() <= TOS_PAYLOAD);
+        let back = RtsRequest::decode(&encoded).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.tuple().unwrap(), fire_tuple());
+    }
+
+    #[test]
+    fn rts_probe_roundtrip() {
+        let tmpl = Template::new(vec![
+            TemplateField::exact(Field::str("fir")),
+            TemplateField::any_location(),
+        ]);
+        let r = RtsRequest::for_probe(12, Location::new(0, 1), Location::new(2, 2), RtsKind::Inp, &tmpl)
+            .unwrap();
+        let back = RtsRequest::decode(&r.encode()).unwrap();
+        assert_eq!(back.template().unwrap(), tmpl);
+        assert_eq!(back.kind, RtsKind::Inp);
+    }
+
+    #[test]
+    fn rts_request_size_limit() {
+        // An 8-value tuple encodes to 25 bytes > RTS_BODY_MAX.
+        let big = Tuple::new(vec![Field::value(1); 8]).unwrap();
+        let err = RtsRequest::for_out(1, Location::new(0, 1), Location::new(1, 1), &big).unwrap_err();
+        assert!(matches!(err, TupleSpaceError::TupleTooLarge { .. }));
+    }
+
+    #[test]
+    fn rts_reply_roundtrip() {
+        let r = RtsReply { op_id: 5, dest: Location::new(0, 1), success: true, tuple: Some(fire_tuple()) };
+        assert_eq!(RtsReply::decode(&r.encode()), Some(r));
+        let r = RtsReply { op_id: 5, dest: Location::new(0, 1), success: false, tuple: None };
+        assert_eq!(RtsReply::decode(&r.encode()), Some(r));
+        assert_eq!(RtsReply::decode(&[0; 3]), None);
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_budget() {
+        let env = Envelope {
+            dest: Location::new(5, 1),
+            src: Location::new(0, 1),
+            inner_am: am::MIG_DATA,
+            inner: vec![7; Envelope::INNER_MAX],
+        };
+        let encoded = env.encode();
+        assert!(encoded.len() <= TOS_PAYLOAD);
+        assert_eq!(Envelope::decode(&encoded), Some(env));
+        assert_eq!(Envelope::decode(&[0; 8]), None, "truncated header");
+    }
+
+    #[test]
+    fn envelope_fits_e2e_fragments() {
+        // A 14-byte chunk + 4-byte MigData header fits the inner budget.
+        let data = MigData { session: 1, section: MigSection::Code, seq: 0, bytes: vec![0; 14] };
+        assert!(data.encode().len() <= Envelope::INNER_MAX);
+        // So does a session header (14 bytes) and an ack (4 bytes).
+        let h = MigHeader {
+            session: 1,
+            kind: MigrateKind::StrongMove,
+            final_dest: Location::new(1, 1),
+            agent_id: AgentId(1),
+            state_len: 9,
+            code_len: 9,
+            rxn_frags: 0,
+        };
+        assert!(h.encode().len() <= Envelope::INNER_MAX);
+        assert!(MigAck { session: 1, section: MigSection::State, seq: 0 }.encode().len()
+            <= Envelope::INNER_MAX);
+    }
+
+    #[test]
+    fn decode_garbage_never_panics() {
+        for len in 0..30 {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+            let _ = MigHeader::decode(&bytes);
+            let _ = MigData::decode(&bytes);
+            let _ = MigAck::decode(&bytes);
+            let _ = MigNack::decode(&bytes);
+            let _ = RtsRequest::decode(&bytes);
+            let _ = RtsReply::decode(&bytes);
+            let _ = Envelope::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The paper's agent programs, as assembly sources.
+//!
+//! These are the exact workloads of the evaluation (Fig. 8) and the case
+//! study (Figs. 2 and 13), parameterized where the paper hard-codes grid
+//! coordinates.
+
+use wsn_common::Location;
+
+/// Fig. 8 (top): "The smove agent moves to a remote node and back."
+/// Moves to (5,1) and back to the base at (0,1), then halts.
+pub const SMOVE_TEST_AGENT: &str = "\
+pushloc 5 1
+smove       // strong move to mote at (5,1)
+pushloc 0 1
+smove       // strong move back to the base station
+halt";
+
+/// Fig. 8 (bottom): "the rout agent places a tuple in a remote node's tuple
+/// space."
+pub const ROUT_TEST_AGENT: &str = "\
+pushc 1
+pushc 1     // tuple <value:1> on stack
+pushloc 5 1
+rout        // do rout on mote (5,1)
+halt";
+
+/// The Fig. 8 smove agent with a parameterized target.
+pub fn smove_test_agent(target: Location, home: Location) -> String {
+    format!(
+        "pushloc {} {}\nsmove\npushloc {} {}\nsmove\nhalt",
+        target.x, target.y, home.x, home.y
+    )
+}
+
+/// The Fig. 8 rout agent with a parameterized target.
+pub fn rout_test_agent(target: Location) -> String {
+    format!("pushc 1\npushc 1\npushloc {} {}\nrout\nhalt", target.x, target.y)
+}
+
+/// A one-way smove agent (for one-hop operation timing, Fig. 11).
+pub fn one_way_agent(op: &str, target: Location) -> String {
+    format!("pushloc {} {}\n{op}\nhalt", target.x, target.y)
+}
+
+/// Fig. 13: the FIREDETECTOR agent. Samples the thermometer, and when the
+/// reading exceeds 200 sends a fire-alert tuple to `alert_dest` (the paper
+/// uses the base station / FireTracker host). The paper's listing sleeps
+/// 4800 ticks (ten minutes); the default here is parameterized so the case
+/// study runs in simulated minutes, not hours.
+pub fn fire_detector(alert_dest: Location, sleep_ticks: u16) -> String {
+    format!(
+        "\
+BEGIN pushc TEMPERATURE
+sense             // measure the temperature
+pushcl 200        // push 200 onto stack
+clt               // set condition=1 if temperature > 200
+rjumpc FIRE       // jump to FIRE if condition=1
+pushcl {sleep_ticks}
+sleep             // sleep between samples
+rjump BEGIN
+FIRE pushn fir    // push string \"fir\"
+loc               // push current location
+pushc 2           // stack has fire alert tuple
+pushloc {} {}
+rout              // rout fire alert tuple to the alert host
+halt",
+        alert_dest.x, alert_dest.y
+    )
+}
+
+/// Fig. 2: the FIRETRACKER agent prologue plus a tracking body. Registers a
+/// reaction on fire-alert tuples, waits, and on alert strong-clones to the
+/// node that detected the fire. The clone marks the perimeter with a `trk`
+/// tuple and halts; the original returns to waiting so it can dispatch
+/// trackers to every subsequent alert (the full dynamic-perimeter logic of
+/// the authors' IPSN'05 companion paper is approximated by perimeter
+/// marking — see DESIGN.md).
+pub const FIRE_TRACKER: &str = "\
+BEGIN pushn fir
+pusht location
+pushc 2
+pushc FIRE
+regrxn            // register fire alert reaction
+IDLE wait         // wait for reaction to fire
+rjump IDLE
+FIRE pop          // drop the tuple arity: [savedPC, \"fir\", alertLoc]
+setvar 2          // stash the alert location
+pop               // drop \"fir\": [savedPC]
+getvar 2
+sclone            // strong clone to the node that detected the fire
+loc
+getvar 2
+ceq               // am I standing at the alert location?
+rjumpc MARK       // the clone is; the original is not
+jumps             // original: return to the wait loop
+MARK pushn trk
+loc
+pushc 2
+out               // perimeter-mark the fire node
+halt";
+
+/// A habitat-monitoring agent: samples the light sensor `samples` times at
+/// `period_ticks` spacing, accumulating a max in heap 0, then reports it to
+/// the base with a `hab` tuple.
+pub fn habitat_monitor(samples: u8, period_ticks: u16, base: Location) -> String {
+    format!(
+        "\
+pushc 0
+setvar 0          // running max
+pushc 0
+setvar 1          // sample counter
+LOOP pushc LIGHT
+sense             // [reading]
+copy              // [reading, reading]
+getvar 0          // [reading, reading, max]
+clt               // condition = max < reading; [reading]
+rjumpc NEWMAX
+pop               // not a new max: drop the reading
+rjump NEXT
+NEWMAX setvar 0   // store the new max
+NEXT getvar 1
+inc
+setvar 1
+getvar 1
+pushc {samples}
+ceq
+rjumpc DONE
+pushcl {period_ticks}
+sleep
+rjump LOOP
+DONE pushn hab
+getvar 0
+loc
+pushc 3
+pushloc {} {}
+rout              // report <\"hab\", max, location> to the base
+halt",
+        base.x, base.y
+    )
+}
+
+/// A trivial blink agent for the quickstart: lights LEDs and halts.
+pub const BLINK_AGENT: &str = "\
+pushc 7
+putled
+halt";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agilla_vm::asm::assemble;
+
+    #[test]
+    fn all_fixed_workloads_assemble() {
+        for src in [SMOVE_TEST_AGENT, ROUT_TEST_AGENT, FIRE_TRACKER, BLINK_AGENT] {
+            assemble(src).expect(src);
+        }
+    }
+
+    #[test]
+    fn parameterized_workloads_assemble() {
+        assemble(&smove_test_agent(Location::new(3, 1), Location::new(0, 1))).unwrap();
+        assemble(&rout_test_agent(Location::new(2, 2))).unwrap();
+        assemble(&fire_detector(Location::new(0, 1), 80)).unwrap();
+        assemble(&habitat_monitor(5, 40, Location::new(0, 1))).unwrap();
+        for op in ["smove", "wmove", "sclone", "wclone"] {
+            assemble(&one_way_agent(op, Location::new(1, 1))).unwrap();
+        }
+    }
+
+    #[test]
+    fn workloads_fit_the_code_budget() {
+        for src in [
+            SMOVE_TEST_AGENT.to_string(),
+            ROUT_TEST_AGENT.to_string(),
+            FIRE_TRACKER.to_string(),
+            fire_detector(Location::new(0, 1), 4800),
+            habitat_monitor(10, 80, Location::new(0, 1)),
+        ] {
+            let code = assemble(&src).unwrap().into_code();
+            assert!(code.len() <= 440, "{} bytes", code.len());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Failure-injection tests: the middleware under dead motes.
+
+use agilla::{workload, AgillaConfig, AgillaNetwork, Environment};
+use wsn_common::{Location, NodeId};
+use wsn_radio::{Connectivity, LossModel, Topology};
+use wsn_sim::SimDuration;
+
+fn reliable() -> AgillaNetwork {
+    AgillaNetwork::reliable_5x5(AgillaConfig::default(), 77)
+}
+
+#[test]
+fn dead_node_stops_beaconing_and_ages_out() {
+    let mut net = reliable();
+    let victim = net.node_at(Location::new(2, 1)).unwrap();
+    let observer = net.node_at(Location::new(1, 1)).unwrap();
+    net.run_for(SimDuration::from_secs(2));
+    let now = net.now();
+    assert!(net
+        .node(observer)
+        .acq
+        .live(now)
+        .iter()
+        .any(|(n, _)| *n == victim));
+
+    net.kill_node(victim);
+    assert!(net.is_dead(victim));
+    // Past the acquaintance TTL the victim disappears from neighbor lists.
+    net.run_for(SimDuration::from_secs(6));
+    let now = net.now();
+    assert!(
+        !net.node(observer).acq.live(now).iter().any(|(n, _)| *n == victim),
+        "dead neighbor aged out"
+    );
+}
+
+#[test]
+fn routing_detours_around_a_dead_relay() {
+    // (1,1) -> (3,3) with the central relay (2,2) dead: greedy forwarding
+    // still makes progress along the grid edge once the dead node has aged
+    // out of its neighbors' acquaintance lists.
+    let mut net = reliable();
+    let relay = net.node_at(Location::new(2, 2)).unwrap();
+    net.kill_node(relay);
+    // Wait out the acquaintance TTL so georouting no longer sees the relay.
+    net.run_for(SimDuration::from_secs(6));
+    let id = net
+        .inject_source_at(
+            Location::new(1, 1),
+            &workload::one_way_agent("smove", Location::new(3, 3)),
+        )
+        .unwrap();
+    net.run_for(SimDuration::from_secs(15));
+    let target = net.node_at(Location::new(3, 3)).unwrap();
+    assert!(
+        net.log().arrived(id, target),
+        "migration detoured around the dead relay"
+    );
+    // And the dead node itself was never a hop.
+    assert!(net.node(relay).agents().is_empty());
+}
+
+#[test]
+fn agents_on_a_dead_node_stop_executing() {
+    let mut net = reliable();
+    let node = net.node_at(Location::new(3, 3)).unwrap();
+    // A slow counter that would halt after ~6 seconds of sleeping.
+    let id = net
+        .inject_source_at(Location::new(3, 3), "pushcl 48\nsleep\nhalt")
+        .unwrap();
+    net.run_for(SimDuration::from_secs(1));
+    net.kill_node(node);
+    net.run_for(SimDuration::from_secs(20));
+    assert!(
+        net.log().halted_at(id).is_none(),
+        "agents die with their mote"
+    );
+}
+
+#[test]
+fn migration_into_a_dead_node_fails_and_resumes_sender() {
+    // A two-node line: killing the destination strands the agent at the
+    // sender, which resumes with condition 0 (the paper's failure path).
+    let topo = Topology::new(
+        vec![Location::new(1, 1), Location::new(2, 1)],
+        Connectivity::GridAdjacent,
+    );
+    let mut net = AgillaNetwork::new(
+        topo,
+        LossModel::perfect(),
+        AgillaConfig::default(),
+        Environment::ambient(),
+        5,
+    );
+    net.kill_node(NodeId(1));
+    // Inject before the TTL expires: the sender still believes in the route.
+    let src = "\
+pushloc 2 1
+smove
+rjumpc ARRIVED
+pushc 1
+putled
+halt
+ARRIVED pushc 7
+putled
+halt";
+    let id = net.inject_at(NodeId(0), agilla_vm::asm::assemble(src).unwrap().into_code()).unwrap();
+    net.run_for(SimDuration::from_secs(10));
+    assert_eq!(net.log().migration_failures(), 1);
+    assert!(net.log().halted_at(id).is_some(), "sender resumed and finished");
+    assert_eq!(net.node(NodeId(0)).leds, 1, "condition 0 signalled the failure");
+}
+
+#[test]
+fn remote_op_times_out_against_dead_destination() {
+    let mut net = reliable();
+    let dest = net.node_at(Location::new(3, 1)).unwrap();
+    net.kill_node(dest);
+    let id = net
+        .inject_source(&workload::rout_test_agent(Location::new(3, 1)))
+        .unwrap();
+    // 2s timeout x (1 + 2 retries) = 6s worst case, plus slack.
+    net.run_for(SimDuration::from_secs(10));
+    let ops = net.log().remote_ops_of(id);
+    let (success, retransmitted, _) = net.log().remote_completion(ops[0]).unwrap();
+    assert!(!success, "no reply from a dead node");
+    assert!(retransmitted, "the initiator retried before giving up");
+    assert!(net.log().halted_at(id).is_some(), "agent continued past the failure");
+}
+
+#[test]
+fn network_survives_killing_half_the_grid() {
+    let mut net = reliable();
+    for x in 1..=5i16 {
+        for y in [2i16, 4] {
+            let n = net.node_at(Location::new(x, y)).unwrap();
+            net.kill_node(n);
+        }
+    }
+    net.run_for(SimDuration::from_secs(8));
+    // Agents still run on the surviving row.
+    let id = net
+        .inject_source_at(Location::new(2, 1), workload::BLINK_AGENT)
+        .unwrap();
+    net.run_for(SimDuration::from_secs(2));
+    assert!(net.log().halted_at(id).is_some());
+    assert_eq!(net.metrics().counter("faults.nodes_killed"), 10);
+}

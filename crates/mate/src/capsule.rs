@@ -1,0 +1,125 @@
+//! Capsules: Maté's unit of code distribution.
+
+use std::fmt;
+
+/// Maximum instructions per capsule (Maté's capsules hold 24 one-byte
+/// instructions so a capsule fits in a single TinyOS message).
+pub const MAX_CAPSULE_INSTRUCTIONS: usize = 24;
+
+/// The four capsule roles of Maté's fixed execution contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum CapsuleKind {
+    /// Runs on the periodic clock timer.
+    Clock = 0,
+    /// Runs when a packet is sent.
+    Send = 1,
+    /// Runs when a packet is received.
+    Receive = 2,
+    /// Callable subroutine.
+    Subroutine = 3,
+}
+
+impl CapsuleKind {
+    /// All kinds, in wire order.
+    pub const ALL: [CapsuleKind; 4] = [
+        CapsuleKind::Clock,
+        CapsuleKind::Send,
+        CapsuleKind::Receive,
+        CapsuleKind::Subroutine,
+    ];
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> Option<CapsuleKind> {
+        CapsuleKind::ALL.get(tag as usize).copied()
+    }
+}
+
+impl fmt::Display for CapsuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CapsuleKind::Clock => "clock",
+            CapsuleKind::Send => "send",
+            CapsuleKind::Receive => "receive",
+            CapsuleKind::Subroutine => "subroutine",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A versioned code capsule.
+///
+/// "Each node stores the most recent version of each capsule"; a capsule
+/// carrying a higher version number than the installed one replaces it and
+/// is re-broadcast (viral flooding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capsule {
+    /// Which context the capsule programs.
+    pub kind: CapsuleKind,
+    /// Monotone version; higher wins.
+    pub version: u16,
+    /// Up to [`MAX_CAPSULE_INSTRUCTIONS`] bytecode bytes.
+    pub code: Vec<u8>,
+}
+
+impl Capsule {
+    /// Creates a capsule; `None` if the code exceeds the capsule size.
+    pub fn new(kind: CapsuleKind, version: u16, code: Vec<u8>) -> Option<Capsule> {
+        if code.len() > MAX_CAPSULE_INSTRUCTIONS {
+            return None;
+        }
+        Some(Capsule { kind, version, code })
+    }
+
+    /// Serializes to a message payload: kind, version, code.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(3 + self.code.len());
+        out.push(self.kind as u8);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.code);
+        out
+    }
+
+    /// Parses a message payload.
+    pub fn decode(b: &[u8]) -> Option<Capsule> {
+        if b.len() < 3 {
+            return None;
+        }
+        let kind = CapsuleKind::from_tag(b[0])?;
+        let version = u16::from_le_bytes([b[1], b[2]]);
+        Capsule::new(kind, version, b[3..].to_vec())
+    }
+}
+
+impl fmt::Display for Capsule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} v{} [{}B]", self.kind, self.version, self.code.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_bound_enforced() {
+        assert!(Capsule::new(CapsuleKind::Clock, 1, vec![0; 24]).is_some());
+        assert!(Capsule::new(CapsuleKind::Clock, 1, vec![0; 25]).is_none());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let c = Capsule::new(CapsuleKind::Receive, 7, vec![1, 2, 3]).unwrap();
+        assert_eq!(Capsule::decode(&c.encode()), Some(c));
+        assert_eq!(Capsule::decode(&[9, 0, 0]), None, "bad kind tag");
+        assert_eq!(Capsule::decode(&[0]), None, "truncated");
+    }
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for k in CapsuleKind::ALL {
+            assert_eq!(CapsuleKind::from_tag(k as u8), Some(k));
+        }
+        assert_eq!(CapsuleKind::from_tag(9), None);
+    }
+}

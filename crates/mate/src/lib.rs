@@ -1,0 +1,21 @@
+//! A Maté-style capsule VM baseline, for the paper's Section 5 comparison.
+//!
+//! "In Maté, applications are divided into capsules that are flooded
+//! throughout the network. Each node stores the most recent version of each
+//! capsule and runs the application by interpreting the instructions within
+//! them. Maté does not allow a user to control where an application is
+//! installed. This limits the network to run a single application at a
+//! time." (Section 1)
+//!
+//! This crate implements exactly that reprogramming model on the same radio
+//! substrate as Agilla, so the `mate_comparison` bench can quantify the
+//! paper's qualitative flexibility argument: whole-network flooding versus
+//! targeted agent injection.
+
+#![warn(missing_docs)]
+
+pub mod capsule;
+pub mod network;
+
+pub use capsule::{Capsule, CapsuleKind, MAX_CAPSULE_INSTRUCTIONS};
+pub use network::MateNetwork;

@@ -1,0 +1,45 @@
+//! Location beacons for neighbor discovery.
+
+use wsn_common::Location;
+use wsn_sim::SimDuration;
+
+/// Default beacon period. TinyOS neighbor-discovery services beaconed on the
+/// order of once per second; the acquaintance list tolerates a few misses
+/// before evicting (see [`AcquaintanceList`]).
+///
+/// [`AcquaintanceList`]: crate::AcquaintanceList
+pub const BEACON_PERIOD: SimDuration = SimDuration::from_micros(1_000_000);
+
+/// Encodes a beacon payload: the sender's claimed location.
+pub fn encode_beacon(loc: Location) -> Vec<u8> {
+    loc.to_bytes().to_vec()
+}
+
+/// Decodes a beacon payload; `None` if malformed.
+pub fn decode_beacon(payload: &[u8]) -> Option<Location> {
+    let bytes: [u8; 4] = payload.try_into().ok()?;
+    Some(Location::from_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let loc = Location::new(-3, 12);
+        assert_eq!(decode_beacon(&encode_beacon(loc)), Some(loc));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(decode_beacon(&[1, 2, 3]), None);
+        assert_eq!(decode_beacon(&[1, 2, 3, 4, 5]), None);
+        assert_eq!(decode_beacon(&[]), None);
+    }
+
+    #[test]
+    fn period_is_one_second() {
+        assert_eq!(BEACON_PERIOD.as_millis(), 1_000);
+    }
+}

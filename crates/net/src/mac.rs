@@ -1,0 +1,139 @@
+//! A CSMA MAC with random backoff, after TinyOS 1.x's CC1000 stack.
+
+use wsn_sim::{RngStream, SimDuration};
+
+/// Tunable MAC timing parameters.
+#[derive(Debug, Clone)]
+pub struct MacConfig {
+    /// Minimum initial backoff before transmitting, µs.
+    pub backoff_min_us: u64,
+    /// Maximum initial backoff, µs.
+    pub backoff_max_us: u64,
+    /// Extra delay per congestion retry when the channel stays busy, µs.
+    pub congestion_step_us: u64,
+    /// Software path cost per send: task posting, buffer copy, SPI transfer
+    /// to the radio, µs. Calibrated so that a request/reply remote
+    /// tuple-space operation lands at the paper's ≈55 ms (Section 4).
+    pub tx_processing_us: u64,
+    /// Software path cost per receive: interrupt, CRC, dispatch, µs.
+    pub rx_processing_us: u64,
+}
+
+impl MacConfig {
+    /// The calibrated MICA2/TinyOS profile (see DESIGN.md §6).
+    pub fn mica2() -> Self {
+        MacConfig {
+            backoff_min_us: 400,
+            backoff_max_us: 6_400,
+            congestion_step_us: 3_200,
+            tx_processing_us: 9_000,
+            rx_processing_us: 4_000,
+        }
+    }
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig::mica2()
+    }
+}
+
+/// The MAC decision component: backoff and processing delays.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_net::{CsmaMac, MacConfig};
+/// use wsn_sim::RngStream;
+///
+/// let mac = CsmaMac::new(MacConfig::mica2());
+/// let mut rng = RngStream::derive(1, "mac");
+/// let d = mac.initial_backoff(&mut rng);
+/// assert!(d.as_micros() >= 400 && d.as_micros() <= 6_400);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsmaMac {
+    config: MacConfig,
+}
+
+impl CsmaMac {
+    /// Creates a MAC with the given configuration.
+    pub fn new(config: MacConfig) -> Self {
+        CsmaMac { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MacConfig {
+        &self.config
+    }
+
+    /// Random delay before the first carrier-sense attempt.
+    pub fn initial_backoff(&self, rng: &mut RngStream) -> SimDuration {
+        let us = rng.range_u64(self.config.backoff_min_us, self.config.backoff_max_us + 1);
+        SimDuration::from_micros(us)
+    }
+
+    /// Random delay before retrying after sensing a busy channel; grows
+    /// linearly with the retry count (bounded congestion backoff).
+    pub fn congestion_backoff(&self, rng: &mut RngStream, attempt: u32) -> SimDuration {
+        let step = self.config.congestion_step_us * u64::from(attempt.min(8) + 1);
+        let us = rng.range_u64(self.config.backoff_min_us, self.config.backoff_min_us + step + 1);
+        SimDuration::from_micros(us)
+    }
+
+    /// Fixed software cost added before a frame hits the air.
+    pub fn tx_processing(&self) -> SimDuration {
+        SimDuration::from_micros(self.config.tx_processing_us)
+    }
+
+    /// Fixed software cost between frame arrival and handler dispatch.
+    pub fn rx_processing(&self) -> SimDuration {
+        SimDuration::from_micros(self.config.rx_processing_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_backoff_within_bounds() {
+        let mac = CsmaMac::new(MacConfig::mica2());
+        let mut rng = RngStream::derive(7, "t");
+        for _ in 0..1000 {
+            let d = mac.initial_backoff(&mut rng).as_micros();
+            assert!((400..=6_400).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn congestion_backoff_grows_with_attempts() {
+        let mac = CsmaMac::new(MacConfig::mica2());
+        let mut rng = RngStream::derive(8, "t");
+        let avg = |attempt: u32, rng: &mut RngStream| -> u64 {
+            (0..500).map(|_| mac.congestion_backoff(rng, attempt).as_micros()).sum::<u64>() / 500
+        };
+        let early = avg(0, &mut rng);
+        let late = avg(6, &mut rng);
+        assert!(late > early, "late {late} <= early {early}");
+    }
+
+    #[test]
+    fn congestion_backoff_is_capped() {
+        let mac = CsmaMac::new(MacConfig::mica2());
+        let mut rng = RngStream::derive(9, "t");
+        // Attempt counts beyond 8 are clamped.
+        let max_step = mac.config().congestion_step_us * 9 + mac.config().backoff_min_us;
+        for _ in 0..200 {
+            let d = mac.congestion_backoff(&mut rng, 1000).as_micros();
+            assert!(d <= max_step);
+        }
+    }
+
+    #[test]
+    fn processing_costs_exposed() {
+        let mac = CsmaMac::new(MacConfig::mica2());
+        assert_eq!(mac.tx_processing().as_micros(), 9_000);
+        assert_eq!(mac.rx_processing().as_micros(), 4_000);
+    }
+}

@@ -1,0 +1,115 @@
+//! Active messages: typed datagrams within radio frames.
+
+use std::fmt;
+
+use wsn_common::TOS_PAYLOAD;
+
+/// An active-message type: the one-byte dispatch tag TinyOS uses to route an
+/// incoming message to its handler component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AmType(pub u8);
+
+impl fmt::Display for AmType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "am{}", self.0)
+    }
+}
+
+/// A typed message payload, sized to fit a single TinyOS frame.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_net::{ActiveMessage, AmType};
+///
+/// let m = ActiveMessage::new(AmType(7), vec![1, 2, 3]).unwrap();
+/// let frame_payload = m.encode();
+/// let back = ActiveMessage::decode(&frame_payload).unwrap();
+/// assert_eq!(back, m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveMessage {
+    /// Dispatch tag.
+    pub am_type: AmType,
+    /// Application payload (≤ [`TOS_PAYLOAD`] bytes).
+    pub payload: Vec<u8>,
+}
+
+impl ActiveMessage {
+    /// Creates a message, enforcing the TinyOS payload bound.
+    ///
+    /// Returns `None` if `payload` exceeds [`TOS_PAYLOAD`] bytes.
+    pub fn new(am_type: AmType, payload: Vec<u8>) -> Option<ActiveMessage> {
+        if payload.len() > TOS_PAYLOAD {
+            return None;
+        }
+        Some(ActiveMessage { am_type, payload })
+    }
+
+    /// Serializes into a radio-frame payload: tag byte then payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.payload.len());
+        out.push(self.am_type.0);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a radio-frame payload. Returns `None` when empty or oversized.
+    pub fn decode(bytes: &[u8]) -> Option<ActiveMessage> {
+        let (&tag, rest) = bytes.split_first()?;
+        ActiveMessage::new(AmType(tag), rest.to_vec())
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+impl fmt::Display for ActiveMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}B]", self.am_type, self.payload.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = ActiveMessage::new(AmType(3), vec![9; 27]).unwrap();
+        assert_eq!(ActiveMessage::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn payload_bound_enforced() {
+        assert!(ActiveMessage::new(AmType(0), vec![0; 28]).is_none());
+        assert!(ActiveMessage::new(AmType(0), vec![0; 27]).is_some());
+    }
+
+    #[test]
+    fn decode_rejects_empty_and_oversized() {
+        assert_eq!(ActiveMessage::decode(&[]), None);
+        assert!(ActiveMessage::decode(&[1; 29]).is_none());
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let m = ActiveMessage::new(AmType(1), vec![]).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(ActiveMessage::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn display() {
+        let m = ActiveMessage::new(AmType(2), vec![0; 5]).unwrap();
+        assert_eq!(m.to_string(), "am2[5B]");
+    }
+}

@@ -1,0 +1,33 @@
+//! MICA2/CC1000 radio model for the Agilla reproduction.
+//!
+//! The paper runs on MICA2 motes: "an 8 MHz Atmel ATmega128L 8-bit
+//! microprocessor connected to a Chipcon CC1000 radio transceiver. The radio
+//! communicates at up to 38 Kbps over a range of 100m, though the actual
+//! amounts vary substantially based on the environment" (Section 3.1). Their
+//! testbed "modified TinyOS's network stack to filter out all messages except
+//! those from immediate neighbors based on the grid topology" (Section 4).
+//!
+//! This crate models exactly that substrate:
+//!
+//! * [`Frame`] — an on-air frame with MICA2 preamble/header overheads and an
+//!   air time derived from the CC1000 bit rate.
+//! * [`Topology`] — node positions plus a connectivity rule, including the
+//!   paper's grid-neighbor filter.
+//! * [`LossModel`] — per-frame loss: BER-driven (longer frames lose more — the
+//!   mechanism behind Fig. 9's migration-vs-tuple-op reliability split), an
+//!   i.i.d. floor, and optional Gilbert-Elliott bursts.
+//! * [`Medium`] — the shared broadcast medium that resolves who hears a
+//!   transmission, when, and whether it survives loss and collisions.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod loss;
+pub mod medium;
+pub mod mica2;
+pub mod topology;
+
+pub use frame::Frame;
+pub use loss::{GilbertElliott, LossModel};
+pub use medium::{Delivery, DeliveryOutcome, Medium};
+pub use topology::{Connectivity, Topology};

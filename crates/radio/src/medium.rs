@@ -1,0 +1,305 @@
+//! The shared broadcast medium.
+
+use std::collections::HashMap;
+
+use wsn_common::NodeId;
+use wsn_sim::{RngStream, SimDuration, SimTime};
+
+use crate::frame::Frame;
+use crate::loss::{GilbertElliott, LossModel};
+use crate::topology::Topology;
+
+/// What happened to one copy of a transmitted frame at one receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// The frame arrives intact.
+    Delivered,
+    /// The frame was corrupted by bit errors or interference.
+    LostChannel,
+    /// The frame overlapped another reception at this receiver.
+    LostCollision,
+}
+
+/// One receiver-side delivery decision produced by [`Medium::transmit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Receiving node.
+    pub to: NodeId,
+    /// When reception completes (transmit start + air time).
+    pub arrive_at: SimTime,
+    /// Whether and how the copy survived.
+    pub outcome: DeliveryOutcome,
+}
+
+/// The broadcast radio medium: topology + loss + collision bookkeeping.
+///
+/// The caller (the network stack) asks the medium to `transmit` a frame at a
+/// given start time; the medium decides, per in-range receiver, whether that
+/// copy survives, and returns the deliveries for the caller to schedule. The
+/// medium is purely *decisional* — it owns no event queue — which keeps the
+/// radio layer reusable under any driver (tests call it directly).
+///
+/// # Examples
+///
+/// ```
+/// use wsn_radio::{Frame, LossModel, Medium, Topology};
+/// use wsn_common::NodeId;
+/// use wsn_sim::SimTime;
+///
+/// let topo = Topology::line(3);
+/// let mut medium = Medium::new(topo, LossModel::perfect(), 7);
+/// let frame = Frame::broadcast(NodeId(0), vec![1, 2, 3]);
+/// let deliveries = medium.transmit(SimTime::ZERO, &frame);
+/// assert_eq!(deliveries.len(), 1); // only the adjacent node hears it
+/// assert_eq!(deliveries[0].to, NodeId(1));
+/// ```
+#[derive(Debug)]
+pub struct Medium {
+    topology: Topology,
+    loss: LossModel,
+    rng: RngStream,
+    /// Per directed link (src, dst): burst channel state.
+    burst_state: HashMap<(NodeId, NodeId), GilbertElliott>,
+    /// Per receiver: time until which its radio is busy receiving.
+    rx_busy_until: HashMap<NodeId, SimTime>,
+    /// Per transmitter: time until which it occupies the channel.
+    tx_busy_until: HashMap<NodeId, SimTime>,
+    frames_sent: u64,
+    frames_lost: u64,
+}
+
+impl Medium {
+    /// Creates a medium over `topology` with the given loss model; `seed`
+    /// drives all loss draws deterministically.
+    pub fn new(topology: Topology, loss: LossModel, seed: u64) -> Self {
+        Medium {
+            topology,
+            loss,
+            rng: RngStream::derive(seed, "radio.medium"),
+            burst_state: HashMap::new(),
+            rx_busy_until: HashMap::new(),
+            tx_busy_until: HashMap::new(),
+            frames_sent: 0,
+            frames_lost: 0,
+        }
+    }
+
+    /// The topology the medium operates over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Whether the channel is sensed busy at `node` (another node in range is
+    /// transmitting). Used by the MAC for CSMA.
+    pub fn channel_busy(&self, now: SimTime, node: NodeId) -> bool {
+        self.tx_busy_until.iter().any(|(&tx, &until)| {
+            until > now && (tx == node || self.topology.are_neighbors(tx, node))
+        })
+    }
+
+    /// Transmits `frame` starting at `now`; returns the per-receiver
+    /// deliveries (one per in-range node, whatever the link destination —
+    /// the MAC filters by address on arrival, as real hardware does).
+    pub fn transmit(&mut self, now: SimTime, frame: &Frame) -> Vec<Delivery> {
+        let air = frame.air_time();
+        let end = now + air;
+        self.frames_sent += 1;
+        self.tx_busy_until.insert(frame.src, end);
+
+        let neighbors = self.topology.neighbors(frame.src);
+        let mut out = Vec::with_capacity(neighbors.len());
+        for dst in neighbors {
+            let outcome = self.decide(now, end, frame, dst);
+            if outcome != DeliveryOutcome::Delivered {
+                self.frames_lost += 1;
+            }
+            out.push(Delivery { to: dst, arrive_at: end, outcome });
+        }
+        out
+    }
+
+    fn decide(&mut self, now: SimTime, end: SimTime, frame: &Frame, dst: NodeId) -> DeliveryOutcome {
+        // Collision: the receiver is still capturing a previous frame.
+        let busy_until = self.rx_busy_until.get(&dst).copied().unwrap_or(SimTime::ZERO);
+        if busy_until > now {
+            return DeliveryOutcome::LostCollision;
+        }
+        self.rx_busy_until.insert(dst, end);
+
+        // Burst state for this directed link.
+        if let Some(template) = &self.loss.bursts {
+            let ge = self
+                .burst_state
+                .entry((frame.src, dst))
+                .or_insert_with(|| template.clone());
+            // Each link advances with draws from the shared medium stream;
+            // determinism holds because event dispatch order is deterministic.
+            if ge.advance(now, &mut self.rng) {
+                let bad_loss = ge.bad_loss;
+                if self.rng.chance(bad_loss) {
+                    return DeliveryOutcome::LostChannel;
+                }
+            }
+        }
+
+        let p = self.loss.frame_loss_probability(frame.on_air_bits());
+        if self.rng.chance(p) {
+            DeliveryOutcome::LostChannel
+        } else {
+            DeliveryOutcome::Delivered
+        }
+    }
+
+    /// Time the medium stays busy for a frame of this size — exposed so MACs
+    /// can compute backoff windows.
+    pub fn air_time(&self, frame: &Frame) -> SimDuration {
+        frame.air_time()
+    }
+
+    /// Total frames transmitted.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Total per-receiver copies lost (channel + collision).
+    pub fn frames_lost(&self) -> u64 {
+        self.frames_lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_common::Location;
+    use crate::topology::Connectivity;
+
+    fn perfect_line(n: i16) -> Medium {
+        Medium::new(Topology::line(n), LossModel::perfect(), 1)
+    }
+
+    #[test]
+    fn delivers_to_all_neighbors() {
+        let mut m = perfect_line(3);
+        // middle node: two neighbors
+        let f = Frame::broadcast(NodeId(1), vec![0; 5]);
+        let d = m.transmit(SimTime::ZERO, &f);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.outcome == DeliveryOutcome::Delivered));
+        assert!(d.iter().all(|d| d.arrive_at > SimTime::ZERO));
+    }
+
+    #[test]
+    fn out_of_range_nodes_hear_nothing() {
+        let mut m = perfect_line(5);
+        let f = Frame::broadcast(NodeId(0), vec![0; 5]);
+        let d = m.transmit(SimTime::ZERO, &f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].to, NodeId(1));
+    }
+
+    #[test]
+    fn uniform_loss_drops_roughly_that_fraction() {
+        let topo = Topology::line(2);
+        let mut m = Medium::new(topo, LossModel::uniform(0.3), 42);
+        let mut lost = 0u32;
+        let n: u32 = 10_000;
+        for i in 0..n {
+            let f = Frame::broadcast(NodeId(0), vec![0; 5]);
+            // Space transmissions out so they never collide.
+            let t = SimTime::from_micros(u64::from(i) * 1_000_000);
+            let d = m.transmit(t, &f);
+            if d[0].outcome != DeliveryOutcome::Delivered {
+                lost += 1;
+            }
+        }
+        let frac = f64::from(lost) / f64::from(n);
+        assert!((0.27..0.33).contains(&frac), "loss fraction {frac}");
+    }
+
+    #[test]
+    fn overlapping_receptions_collide() {
+        // Y topology: nodes 0 and 2 both neighbors of 1, not of each other.
+        let topo = Topology::new(
+            vec![Location::new(0, 1), Location::new(1, 1), Location::new(2, 1)],
+            Connectivity::GridAdjacent,
+        );
+        let mut m = Medium::new(topo, LossModel::perfect(), 3);
+        let f0 = Frame::broadcast(NodeId(0), vec![0; 20]);
+        let f2 = Frame::broadcast(NodeId(2), vec![0; 20]);
+        let d0 = m.transmit(SimTime::ZERO, &f0);
+        // Hidden terminal: node 2 cannot hear node 0 and transmits over it.
+        let d2 = m.transmit(SimTime::from_micros(100), &f2);
+        assert_eq!(d0[0].outcome, DeliveryOutcome::Delivered);
+        assert_eq!(d2[0].outcome, DeliveryOutcome::LostCollision);
+    }
+
+    #[test]
+    fn sequential_transmissions_do_not_collide() {
+        let mut m = perfect_line(2);
+        let f = Frame::broadcast(NodeId(0), vec![0; 20]);
+        let d1 = m.transmit(SimTime::ZERO, &f);
+        let after = d1[0].arrive_at + SimDuration::from_micros(1);
+        let d2 = m.transmit(after, &f);
+        assert_eq!(d2[0].outcome, DeliveryOutcome::Delivered);
+    }
+
+    #[test]
+    fn channel_busy_during_neighbor_tx() {
+        let mut m = perfect_line(3);
+        let f = Frame::broadcast(NodeId(0), vec![0; 20]);
+        m.transmit(SimTime::ZERO, &f);
+        assert!(m.channel_busy(SimTime::from_micros(10), NodeId(1)));
+        assert!(m.channel_busy(SimTime::from_micros(10), NodeId(0)));
+        // Node 2 is out of range of node 0: channel idle there.
+        assert!(!m.channel_busy(SimTime::from_micros(10), NodeId(2)));
+        // Long after the frame: idle everywhere.
+        assert!(!m.channel_busy(SimTime::from_micros(10_000_000), NodeId(1)));
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let topo = Topology::line(2);
+        let mut m = Medium::new(topo, LossModel::uniform(1.0), 9);
+        let f = Frame::broadcast(NodeId(0), vec![0; 5]);
+        m.transmit(SimTime::ZERO, &f);
+        assert_eq!(m.frames_sent(), 1);
+        assert_eq!(m.frames_lost(), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcomes() {
+        let run = |seed| {
+            let topo = Topology::line(2);
+            let mut m = Medium::new(topo, LossModel::uniform(0.5), seed);
+            (0..100)
+                .map(|i| {
+                    let f = Frame::broadcast(NodeId(0), vec![0; 5]);
+                    let t = SimTime::from_micros(i * 1_000_000);
+                    m.transmit(t, &f)[0].outcome
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn burst_channel_loses_during_bad_state() {
+        let topo = Topology::line(2);
+        let mut loss = LossModel::perfect();
+        loss.bursts = Some(GilbertElliott::new(1.0, 1.0, 1.0));
+        let mut m = Medium::new(topo, loss, 21);
+        let mut lost = 0u32;
+        let n: u32 = 2_000;
+        for i in 0..n {
+            let f = Frame::broadcast(NodeId(0), vec![0; 5]);
+            let t = SimTime::from_micros(u64::from(i) * 1_000_000);
+            if m.transmit(t, &f)[0].outcome != DeliveryOutcome::Delivered {
+                lost += 1;
+            }
+        }
+        let frac = f64::from(lost) / f64::from(n);
+        // Stationary bad probability is 0.5 with certain loss in bad state.
+        assert!((0.4..0.6).contains(&frac), "burst loss fraction {frac}");
+    }
+}

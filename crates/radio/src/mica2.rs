@@ -1,0 +1,79 @@
+//! Constants describing the MICA2 mote and its CC1000 radio.
+
+/// CC1000 effective bit rate, bits per second.
+///
+/// The paper: "The radio communicates at up to 38 Kbps" (Section 3.1). TinyOS
+/// 1.x configured the CC1000 at 38.4 kbaud Manchester-encoded; we use the
+/// commonly-cited 38.4 kbps on-air rate.
+pub const BITRATE_BPS: u64 = 38_400;
+
+/// Bytes of preamble + synchronization the CC1000 stack sends before each
+/// frame. TinyOS 1.x used a long preamble (18 bytes) plus sync; we fold
+/// start-symbol and settling into this figure.
+pub const PREAMBLE_BYTES: usize = 20;
+
+/// TinyOS `TOS_Msg` header bytes: destination address (2), active-message
+/// type (1), group id (1), length (1).
+pub const HEADER_BYTES: usize = 5;
+
+/// CRC trailer bytes.
+pub const CRC_BYTES: usize = 2;
+
+/// Maximum `TOS_Msg` payload the paper assumes ("the 27 byte payload of a
+/// single TinyOS message", Section 3.2).
+pub const MAX_PAYLOAD: usize = 27;
+
+/// Nominal open-field radio range in meters (Section 3.1).
+pub const RANGE_M: f64 = 100.0;
+
+/// Instruction memory of the ATmega128L, bytes (Section 3.1: "128KB").
+pub const ROM_BYTES: usize = 128 * 1024;
+
+/// Data memory of the ATmega128L, bytes (Section 3.1: "4KB").
+pub const RAM_BYTES: usize = 4 * 1024;
+
+/// Air time of a frame with `payload` bytes of payload, in microseconds.
+///
+/// `on_air_bytes = preamble + header + payload + crc`, sent at
+/// [`BITRATE_BPS`].
+pub fn air_time_us(payload: usize) -> u64 {
+    let bytes = (PREAMBLE_BYTES + HEADER_BYTES + payload + CRC_BYTES) as u64;
+    let bits = bytes * 8;
+    // round up to whole microseconds
+    bits * 1_000_000 / BITRATE_BPS + u64::from(!(bits * 1_000_000).is_multiple_of(BITRATE_BPS))
+}
+
+/// Total on-air bits for a frame with `payload` bytes, used by BER loss.
+pub fn on_air_bits(payload: usize) -> u64 {
+    ((PREAMBLE_BYTES + HEADER_BYTES + payload + CRC_BYTES) * 8) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn air_time_for_full_payload_is_about_11ms() {
+        // 20 + 5 + 27 + 2 = 54 bytes = 432 bits @ 38.4kbps = 11.25 ms
+        let us = air_time_us(MAX_PAYLOAD);
+        assert!((11_000..11_500).contains(&us), "got {us}us");
+    }
+
+    #[test]
+    fn air_time_grows_with_payload() {
+        assert!(air_time_us(27) > air_time_us(4));
+    }
+
+    #[test]
+    fn zero_payload_still_costs_overhead() {
+        // 27 bytes of overhead = 216 bits = 5.625ms
+        let us = air_time_us(0);
+        assert!((5_500..5_700).contains(&us), "got {us}us");
+    }
+
+    #[test]
+    fn on_air_bits_counts_overheads() {
+        assert_eq!(on_air_bits(0), 27 * 8);
+        assert_eq!(on_air_bits(10), 37 * 8);
+    }
+}

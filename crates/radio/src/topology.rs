@@ -1,0 +1,311 @@
+//! Node placement and connectivity.
+
+use std::collections::BTreeSet;
+
+use wsn_common::{Location, NodeId};
+
+/// How two nodes are judged to be radio neighbors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Connectivity {
+    /// In range iff Euclidean distance ≤ the given radius (grid units).
+    Range(f64),
+    /// The paper's testbed rule: neighbors iff Manhattan-adjacent on the grid
+    /// ("we modified TinyOS's network stack to filter out all messages except
+    /// those from immediate neighbors based on the grid topology", Section 4).
+    GridAdjacent,
+}
+
+/// Positions of every node plus the connectivity rule.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_radio::Topology;
+/// use wsn_common::{Location, NodeId};
+///
+/// // The paper's testbed: 5x5 grid with a base station at (0,0).
+/// let topo = Topology::grid_with_base(5, 5);
+/// assert_eq!(topo.len(), 26);
+/// assert_eq!(topo.node_at(Location::new(1, 1)), Some(NodeId(1)));
+/// assert!(topo.are_neighbors(NodeId(0), NodeId(1))); // base <-> (1,1)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: Vec<Location>,
+    connectivity: Connectivity,
+}
+
+impl Topology {
+    /// Builds a topology from explicit positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty or contains duplicate locations
+    /// (locations are addresses; duplicates would be ambiguous).
+    pub fn new(positions: Vec<Location>, connectivity: Connectivity) -> Self {
+        assert!(!positions.is_empty(), "topology must contain at least one node");
+        let unique: BTreeSet<_> = positions.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            positions.len(),
+            "duplicate node locations are not allowed (locations are addresses)"
+        );
+        Topology { positions, connectivity }
+    }
+
+    /// The paper's experimental arrangement: a `w x h` grid with the
+    /// lower-left mote at (1,1), plus a base-station node 0 on the western
+    /// edge. The paper injects test agents "into node (0,0)" and measures 1–5
+    /// hops to targets along the bottom row; for those hop counts to hold
+    /// under Manhattan adjacency the base must sit at (0,1) — distance to
+    /// (k,1) is exactly k hops. We place it there (the paper's "(0,0)" label
+    /// predates its own convention that the grid origin is (1,1)).
+    pub fn grid_with_base(w: i16, h: i16) -> Self {
+        let mut positions = vec![Location::new(0, 1)];
+        for y in 1..=h {
+            for x in 1..=w {
+                positions.push(Location::new(x, y));
+            }
+        }
+        Topology::new(positions, Connectivity::GridAdjacent)
+    }
+
+    /// A `w x h` grid without a base station, lower-left at (1,1).
+    pub fn grid(w: i16, h: i16) -> Self {
+        let mut positions = Vec::new();
+        for y in 1..=h {
+            for x in 1..=w {
+                positions.push(Location::new(x, y));
+            }
+        }
+        Topology::new(positions, Connectivity::GridAdjacent)
+    }
+
+    /// A straight line of `n` nodes at y=1, x=1..=n — handy for hop-count
+    /// experiments.
+    pub fn line(n: i16) -> Self {
+        let positions = (1..=n).map(|x| Location::new(x, 1)).collect();
+        Topology::new(positions, Connectivity::GridAdjacent)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the topology is empty (never true: the constructor rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Location of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn location(&self, node: NodeId) -> Location {
+        self.positions[node.index()]
+    }
+
+    /// The node whose location exactly equals `loc`, if any.
+    pub fn node_at(&self, loc: Location) -> Option<NodeId> {
+        self.positions
+            .iter()
+            .position(|&p| p == loc)
+            .map(|i| NodeId(i as u16))
+    }
+
+    /// The node matching `loc` within Chebyshev tolerance `epsilon`,
+    /// preferring the closest match. Supports the paper's ε-addressing.
+    pub fn node_near(&self, loc: Location, epsilon: u16) -> Option<NodeId> {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.matches_within(loc, epsilon))
+            .min_by_key(|(_, p)| p.distance_sq(loc))
+            .map(|(i, _)| NodeId(i as u16))
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len()).map(|i| NodeId(i as u16))
+    }
+
+    /// Whether `a` and `b` are radio neighbors under the connectivity rule.
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let pa = self.location(a);
+        let pb = self.location(b);
+        match self.connectivity {
+            Connectivity::Range(r) => pa.distance(pb) <= r,
+            Connectivity::GridAdjacent => pa.grid_hops(pb) == 1,
+        }
+    }
+
+    /// Neighbor ids of `node`.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        self.nodes().filter(|&n| self.are_neighbors(node, n)).collect()
+    }
+
+    /// Minimum hop count between two nodes (BFS over the neighbor relation),
+    /// or `None` if disconnected. Used by tests and the bench harness to
+    /// label experiments by hop distance.
+    pub fn hops_between(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        if a == b {
+            return Some(0);
+        }
+        let n = self.len();
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[a.index()] = 0;
+        queue.push_back(a);
+        while let Some(cur) = queue.pop_front() {
+            for nb in self.neighbors(cur) {
+                if dist[nb.index()] == u32::MAX {
+                    dist[nb.index()] = dist[cur.index()] + 1;
+                    if nb == b {
+                        return Some(dist[nb.index()]);
+                    }
+                    queue.push_back(nb);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn grid_with_base_layout() {
+        let t = Topology::grid_with_base(5, 5);
+        assert_eq!(t.len(), 26);
+        assert_eq!(t.location(NodeId(0)), Location::new(0, 1));
+        assert_eq!(t.node_at(Location::new(1, 1)), Some(NodeId(1)));
+        assert_eq!(t.node_at(Location::new(5, 5)), Some(NodeId(25)));
+        assert_eq!(t.node_at(Location::new(9, 9)), None);
+    }
+
+    #[test]
+    fn base_is_n_hops_from_targets() {
+        let t = Topology::grid_with_base(5, 5);
+        for k in 1..=5i16 {
+            let target = t.node_at(Location::new(k, 1)).unwrap();
+            assert_eq!(
+                t.hops_between(NodeId(0), target),
+                Some(k as u32),
+                "target ({k},1)"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_adjacency_excludes_diagonals() {
+        let t = Topology::grid(3, 3);
+        let center = t.node_at(Location::new(2, 2)).unwrap();
+        let diag = t.node_at(Location::new(3, 3)).unwrap();
+        let side = t.node_at(Location::new(2, 3)).unwrap();
+        assert!(!t.are_neighbors(center, diag));
+        assert!(t.are_neighbors(center, side));
+        assert_eq!(t.neighbors(center).len(), 4);
+    }
+
+    #[test]
+    fn corner_has_two_neighbors() {
+        let t = Topology::grid(3, 3);
+        let corner = t.node_at(Location::new(1, 1)).unwrap();
+        assert_eq!(t.neighbors(corner).len(), 2);
+    }
+
+    #[test]
+    fn range_connectivity() {
+        let t = Topology::new(
+            vec![Location::new(0, 0), Location::new(3, 4), Location::new(10, 0)],
+            Connectivity::Range(6.0),
+        );
+        assert!(t.are_neighbors(NodeId(0), NodeId(1))); // distance 5
+        assert!(!t.are_neighbors(NodeId(0), NodeId(2))); // distance 10
+    }
+
+    #[test]
+    fn node_near_uses_epsilon_and_prefers_closest() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.node_near(Location::new(2, 2), 0), t.node_at(Location::new(2, 2)));
+        // No node at (0,0); (1,1) is within eps=1.
+        assert_eq!(t.node_near(Location::new(0, 0), 1), t.node_at(Location::new(1, 1)));
+        assert_eq!(t.node_near(Location::new(0, 0), 0), None);
+    }
+
+    #[test]
+    fn nodes_are_never_their_own_neighbor() {
+        let t = Topology::grid(2, 2);
+        for n in t.nodes() {
+            assert!(!t.are_neighbors(n, n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node locations")]
+    fn duplicate_locations_rejected() {
+        Topology::new(
+            vec![Location::new(1, 1), Location::new(1, 1)],
+            Connectivity::GridAdjacent,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_topology_rejected() {
+        Topology::new(vec![], Connectivity::GridAdjacent);
+    }
+
+    #[test]
+    fn line_hops() {
+        let t = Topology::line(6);
+        assert_eq!(t.hops_between(NodeId(0), NodeId(5)), Some(5));
+    }
+
+    #[test]
+    fn disconnected_pairs_return_none() {
+        let t = Topology::new(
+            vec![Location::new(0, 0), Location::new(100, 100)],
+            Connectivity::GridAdjacent,
+        );
+        assert_eq!(t.hops_between(NodeId(0), NodeId(1)), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_neighbor_relation_symmetric(w in 2i16..5, h in 2i16..5) {
+            let t = Topology::grid(w, h);
+            for a in t.nodes() {
+                for b in t.nodes() {
+                    prop_assert_eq!(t.are_neighbors(a, b), t.are_neighbors(b, a));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_hops_symmetric_on_grid(w in 2i16..5, h in 2i16..5, ai in 0u16..8, bi in 0u16..8) {
+            let t = Topology::grid(w, h);
+            let a = NodeId(ai % t.len() as u16);
+            let b = NodeId(bi % t.len() as u16);
+            prop_assert_eq!(t.hops_between(a, b), t.hops_between(b, a));
+        }
+
+        #[test]
+        fn prop_grid_hops_equals_manhattan(w in 2i16..6, h in 2i16..6, ai in 0u16..16, bi in 0u16..16) {
+            // On a full rectangular grid, BFS hops == Manhattan distance.
+            let t = Topology::grid(w, h);
+            let a = NodeId(ai % t.len() as u16);
+            let b = NodeId(bi % t.len() as u16);
+            let expected = t.location(a).grid_hops(t.location(b));
+            prop_assert_eq!(t.hops_between(a, b), Some(expected));
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Cancellable, deterministic event queue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+/// A deterministic discrete-event priority queue.
+///
+/// Events at equal timestamps pop in the order they were scheduled (FIFO),
+/// which keeps whole-network simulations reproducible regardless of hash-map
+/// iteration order or platform.
+///
+/// Cancellation is O(1): cancelled ids are tombstoned and skipped on pop.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let id = q.schedule(SimTime::from_micros(10), "a");
+/// q.schedule(SimTime::from_micros(10), "b");
+/// q.cancel(id);
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "b")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Events scheduled but not yet fired or cancelled. An entry popped from
+    /// the heap whose id is no longer live was cancelled and is skipped.
+    live: HashSet<EventId>,
+    next_seq: u64,
+    now: SimTime,
+    dispatched: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            dispatched: 0,
+        }
+    }
+
+    /// The virtual clock: the timestamp of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far (a cheap progress / runaway indicator).
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedules `payload` at absolute time `at` and returns its handle.
+    ///
+    /// Scheduling in the past is clamped to `now`; the simulated world has no
+    /// way to act retroactively, and clamping (rather than panicking) mirrors
+    /// how a mote timer that "should have fired already" fires immediately.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+        self.live.insert(EventId(seq));
+        EventId(seq)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event had not yet
+    /// fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id)
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if !self.live.remove(&EventId(entry.seq)) {
+                continue; // cancelled
+            }
+            debug_assert!(entry.at >= self.now, "event queue time regression");
+            self.now = entry.at;
+            self.dispatched += 1;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let head_seq = match self.heap.peek() {
+                Some(Reverse(e)) => e.seq,
+                None => return None,
+            };
+            if !self.live.contains(&EventId(head_seq)) {
+                self.heap.pop();
+                continue;
+            }
+            return self.heap.peek().map(|Reverse(e)| e.at);
+        }
+    }
+
+    /// Whether no live events remain. Mutable because peeking discards
+    /// cancelled tombstones (see [`EventQueue::peek_time`]).
+    pub fn has_no_live_events(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of entries in the heap, including not-yet-skipped tombstones.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds no entries at all (live or tombstoned).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), 3);
+        q.schedule(SimTime::from_micros(10), 1);
+        q.schedule(SimTime::from_micros(20), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_tiebreak_at_same_time() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().map(|(_, e)| e), Some(i));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(42));
+        assert_eq!(q.dispatched(), 1);
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(100), "first");
+        q.pop();
+        q.schedule(SimTime::from_micros(1), "late");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "late");
+        assert_eq!(t, SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(1), "a");
+        let b = q.schedule(SimTime::from_micros(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(!q.cancel(b), "cancel after fire reports false");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(1), "a");
+        q.schedule(SimTime::from_micros(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pops_are_monotone(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(*t), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        #[test]
+        fn prop_equal_times_preserve_fifo(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule(SimTime::from_micros(7), i);
+            }
+            let mut seen = Vec::new();
+            while let Some((_, e)) = q.pop() {
+                seen.push(e);
+            }
+            prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_cancelled_never_pop(
+            times in proptest::collection::vec(0u64..1000, 1..100),
+            cancel_mask in proptest::collection::vec(proptest::bool::ANY, 1..100),
+        ) {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i, q.schedule(SimTime::from_micros(*t), i)))
+                .collect();
+            let mut cancelled = std::collections::HashSet::new();
+            for ((i, id), c) in ids.iter().zip(cancel_mask.iter()) {
+                if *c {
+                    q.cancel(*id);
+                    cancelled.insert(*i);
+                }
+            }
+            while let Some((_, e)) = q.pop() {
+                prop_assert!(!cancelled.contains(&e));
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Counters and latency statistics for experiments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Records a set of latency samples and reports summary statistics.
+///
+/// Used by every figure-regeneration bench: the paper reports means over 100
+/// trials (Figs. 9–11) and means of 1000×100 repetitions (Fig. 12), plus
+/// notes on variance ("migration operations have higher variance").
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::{LatencyRecorder, SimDuration};
+///
+/// let mut r = LatencyRecorder::new();
+/// for ms in [10, 20, 30] {
+///     r.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(r.mean().as_millis(), 20);
+/// assert_eq!(r.max().unwrap().as_millis(), 30);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_us.push(d.as_micros());
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Arithmetic mean ([`SimDuration::ZERO`] when empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.samples_us.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.samples_us.iter().map(|&s| u128::from(s)).sum();
+        SimDuration::from_micros((total / self.samples_us.len() as u128) as u64)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> SimDuration {
+        let n = self.samples_us.len();
+        if n < 2 {
+            return SimDuration::ZERO;
+        }
+        let mean = self.mean().as_micros() as f64;
+        let var = self
+            .samples_us
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        SimDuration::from_micros(var.sqrt().round() as u64)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples_us.iter().min().map(|&s| SimDuration::from_micros(s))
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples_us.iter().max().map(|&s| SimDuration::from_micros(s))
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank on sorted samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(SimDuration::from_micros(sorted[rank]))
+    }
+
+    /// Immutable view of the raw samples, in record order (microseconds).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples_us
+    }
+}
+
+impl fmt::Display for LatencyRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} sd={} min={} max={}",
+            self.len(),
+            self.mean(),
+            self.stddev(),
+            self.min().unwrap_or(SimDuration::ZERO),
+            self.max().unwrap_or(SimDuration::ZERO),
+        )
+    }
+}
+
+/// A registry of named counters and latency recorders.
+///
+/// Keys are static strings so call sites stay cheap and typo-resistant via
+/// shared constants. `BTreeMap` keeps report ordering deterministic.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    latencies: BTreeMap<&'static str, LatencyRecorder>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Reads counter `name` (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a latency sample under `name`.
+    pub fn record_latency(&mut self, name: &'static str, d: SimDuration) {
+        self.latencies.entry(name).or_default().record(d);
+    }
+
+    /// Returns the recorder for `name`, if any samples exist.
+    pub fn latency(&self, name: &str) -> Option<&LatencyRecorder> {
+        self.latencies.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates latency recorders in name order.
+    pub fn latencies(&self) -> impl Iterator<Item = (&'static str, &LatencyRecorder)> + '_ {
+        self.latencies.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_min_max() {
+        let mut r = LatencyRecorder::new();
+        for us in [100u64, 200, 300] {
+            r.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(r.mean().as_micros(), 200);
+        assert_eq!(r.min().unwrap().as_micros(), 100);
+        assert_eq!(r.max().unwrap().as_micros(), 300);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn empty_recorder_is_safe() {
+        let r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), SimDuration::ZERO);
+        assert_eq!(r.stddev(), SimDuration::ZERO);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.percentile(0.5), None);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let mut r = LatencyRecorder::new();
+        for _ in 0..10 {
+            r.record(SimDuration::from_micros(50));
+        }
+        assert_eq!(r.stddev(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut r = LatencyRecorder::new();
+        for us in 1..=100u64 {
+            r.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(r.percentile(0.0).unwrap().as_micros(), 1);
+        assert_eq!(r.percentile(1.0).unwrap().as_micros(), 100);
+        let p50 = r.percentile(0.5).unwrap().as_micros();
+        assert!((50..=51).contains(&p50));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn percentile_rejects_bad_q() {
+        LatencyRecorder::new().percentile(1.5);
+    }
+
+    #[test]
+    fn metrics_counters() {
+        let mut m = Metrics::new();
+        m.incr("tx");
+        m.add("tx", 4);
+        assert_eq!(m.counter("tx"), 5);
+        assert_eq!(m.counter("rx"), 0);
+        assert_eq!(m.counters().collect::<Vec<_>>(), vec![("tx", 5)]);
+    }
+
+    #[test]
+    fn metrics_latencies() {
+        let mut m = Metrics::new();
+        m.record_latency("op", SimDuration::from_millis(5));
+        m.record_latency("op", SimDuration::from_millis(15));
+        let r = m.latency("op").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.mean().as_millis(), 10);
+        assert!(m.latency("nope").is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_min_max(samples in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+            let mut r = LatencyRecorder::new();
+            for s in &samples {
+                r.record(SimDuration::from_micros(*s));
+            }
+            let mean = r.mean().as_micros();
+            prop_assert!(mean >= r.min().unwrap().as_micros());
+            prop_assert!(mean <= r.max().unwrap().as_micros());
+        }
+
+        #[test]
+        fn prop_percentile_monotone(samples in proptest::collection::vec(0u64..1_000_000, 2..100)) {
+            let mut r = LatencyRecorder::new();
+            for s in &samples {
+                r.record(SimDuration::from_micros(*s));
+            }
+            let p25 = r.percentile(0.25).unwrap();
+            let p75 = r.percentile(0.75).unwrap();
+            prop_assert!(p25 <= p75);
+        }
+    }
+}

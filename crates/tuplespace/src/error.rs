@@ -1,0 +1,77 @@
+//! Error types for tuple-space operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by tuple-space operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TupleSpaceError {
+    /// The arena lacks room for the tuple being inserted.
+    SpaceFull {
+        /// Bytes the encoded tuple needs.
+        needed: usize,
+        /// Bytes currently free in the arena.
+        available: usize,
+    },
+    /// The tuple exceeds the single-message size bound.
+    TupleTooLarge {
+        /// Encoded size of the offending tuple.
+        size: usize,
+        /// Maximum allowed encoded size.
+        max: usize,
+    },
+    /// A tuple must contain at least one field.
+    EmptyTuple,
+    /// The reaction registry is out of slots or bytes.
+    RegistryFull {
+        /// Registered reactions at the time of the attempt.
+        registered: usize,
+        /// Maximum reactions the registry can hold.
+        max: usize,
+    },
+    /// Malformed bytes encountered while decoding a tuple.
+    Decode(&'static str),
+}
+
+impl fmt::Display for TupleSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TupleSpaceError::SpaceFull { needed, available } => {
+                write!(f, "tuple space full: need {needed} bytes, {available} free")
+            }
+            TupleSpaceError::TupleTooLarge { size, max } => {
+                write!(f, "tuple too large: {size} bytes exceeds the {max}-byte message bound")
+            }
+            TupleSpaceError::EmptyTuple => write!(f, "tuple must contain at least one field"),
+            TupleSpaceError::RegistryFull { registered, max } => {
+                write!(f, "reaction registry full: {registered} of {max} in use")
+            }
+            TupleSpaceError::Decode(what) => write!(f, "malformed tuple bytes: {what}"),
+        }
+    }
+}
+
+impl Error for TupleSpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TupleSpaceError::SpaceFull { needed: 10, available: 4 };
+        assert_eq!(e.to_string(), "tuple space full: need 10 bytes, 4 free");
+        let e = TupleSpaceError::TupleTooLarge { size: 30, max: 25 };
+        assert!(e.to_string().contains("25-byte"));
+        assert!(TupleSpaceError::EmptyTuple.to_string().contains("at least one"));
+        let e = TupleSpaceError::RegistryFull { registered: 10, max: 10 };
+        assert!(e.to_string().contains("10 of 10"));
+        assert!(TupleSpaceError::Decode("truncated").to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_err(TupleSpaceError::EmptyTuple);
+    }
+}

@@ -1,0 +1,317 @@
+//! Typed tuple fields and their wire codec.
+
+use std::fmt;
+
+use wsn_common::{AgentId, Location, SensorReading, SensorType};
+
+use crate::error::TupleSpaceError;
+
+/// The type of a field, used both as a wire tag and as the wildcard unit in
+/// templates ("their fields may contain wild cards that match by type",
+/// Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum FieldType {
+    /// 16-bit signed integer.
+    Value = 0,
+    /// Short packed string (exactly three ASCII characters, like the paper's
+    /// `pushn fir`).
+    Str = 1,
+    /// A physical location.
+    Location = 2,
+    /// A sensor reading (sensor type + 10-bit value).
+    Reading = 3,
+    /// An agent identifier.
+    AgentId = 4,
+    /// A bare sensor type, used for the predefined capability tuples Agilla
+    /// seeds into each node's tuple space.
+    SensorType = 5,
+}
+
+impl FieldType {
+    /// All field types in wire-tag order.
+    pub const ALL: [FieldType; 6] = [
+        FieldType::Value,
+        FieldType::Str,
+        FieldType::Location,
+        FieldType::Reading,
+        FieldType::AgentId,
+        FieldType::SensorType,
+    ];
+
+    /// Wire tag for this type.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> Option<FieldType> {
+        FieldType::ALL.get(tag as usize).copied()
+    }
+
+    /// Encoded payload size in bytes (excluding the tag byte).
+    pub fn payload_len(self) -> usize {
+        match self {
+            FieldType::Value => 2,
+            FieldType::Str => 3,
+            FieldType::Location => 4,
+            FieldType::Reading => 3,
+            FieldType::AgentId => 2,
+            FieldType::SensorType => 1,
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FieldType::Value => "value",
+            FieldType::Str => "str",
+            FieldType::Location => "location",
+            FieldType::Reading => "reading",
+            FieldType::AgentId => "agent-id",
+            FieldType::SensorType => "sensor-type",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One field of a tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Field {
+    /// 16-bit signed integer.
+    Value(i16),
+    /// Exactly three ASCII bytes (shorter names are space-padded).
+    Str([u8; 3]),
+    /// A physical location.
+    Location(Location),
+    /// A sensor reading.
+    Reading(SensorReading),
+    /// An agent identifier.
+    AgentId(AgentId),
+    /// A bare sensor type (capability advertisement).
+    SensorType(SensorType),
+}
+
+impl Field {
+    /// Convenience constructor for [`Field::Value`].
+    pub fn value(v: i16) -> Field {
+        Field::Value(v)
+    }
+
+    /// Convenience constructor for [`Field::Str`]; takes the first three
+    /// bytes of `s`, space-padding shorter strings (Agilla string literals
+    /// are three characters, e.g. `"fir"`).
+    pub fn str(s: &str) -> Field {
+        let mut b = [b' '; 3];
+        for (i, ch) in s.bytes().take(3).enumerate() {
+            b[i] = ch;
+        }
+        Field::Str(b)
+    }
+
+    /// Convenience constructor for [`Field::Location`].
+    pub fn location(loc: Location) -> Field {
+        Field::Location(loc)
+    }
+
+    /// Convenience constructor for [`Field::Reading`].
+    pub fn reading(sensor: SensorType, value: i16) -> Field {
+        Field::Reading(SensorReading::new(sensor, value))
+    }
+
+    /// The field's type.
+    pub fn field_type(&self) -> FieldType {
+        match self {
+            Field::Value(_) => FieldType::Value,
+            Field::Str(_) => FieldType::Str,
+            Field::Location(_) => FieldType::Location,
+            Field::Reading(_) => FieldType::Reading,
+            Field::AgentId(_) => FieldType::AgentId,
+            Field::SensorType(_) => FieldType::SensorType,
+        }
+    }
+
+    /// Encoded size on the wire, including the tag byte.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.field_type().payload_len()
+    }
+
+    /// Appends the wire encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.field_type().tag());
+        match self {
+            Field::Value(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Field::Str(b) => out.extend_from_slice(b),
+            Field::Location(l) => out.extend_from_slice(&l.to_bytes()),
+            Field::Reading(r) => {
+                out.push(r.sensor.code());
+                out.extend_from_slice(&r.value.to_le_bytes());
+            }
+            Field::AgentId(a) => out.extend_from_slice(&a.raw().to_le_bytes()),
+            Field::SensorType(s) => out.push(s.code()),
+        }
+    }
+
+    /// Decodes one field from the front of `bytes`, returning the field and
+    /// the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TupleSpaceError::Decode`] on an unknown tag or truncation.
+    pub fn decode(bytes: &[u8]) -> Result<(Field, usize), TupleSpaceError> {
+        let (&tag, rest) = bytes
+            .split_first()
+            .ok_or(TupleSpaceError::Decode("empty field"))?;
+        let ty = FieldType::from_tag(tag).ok_or(TupleSpaceError::Decode("unknown field tag"))?;
+        let need = ty.payload_len();
+        if rest.len() < need {
+            return Err(TupleSpaceError::Decode("truncated field payload"));
+        }
+        let p = &rest[..need];
+        let field = match ty {
+            FieldType::Value => Field::Value(i16::from_le_bytes([p[0], p[1]])),
+            FieldType::Str => Field::Str([p[0], p[1], p[2]]),
+            FieldType::Location => Field::Location(Location::from_bytes([p[0], p[1], p[2], p[3]])),
+            FieldType::Reading => {
+                let sensor = SensorType::from_code(p[0])
+                    .ok_or(TupleSpaceError::Decode("unknown sensor code"))?;
+                Field::Reading(SensorReading::new(sensor, i16::from_le_bytes([p[1], p[2]])))
+            }
+            FieldType::AgentId => Field::AgentId(AgentId(u16::from_le_bytes([p[0], p[1]]))),
+            FieldType::SensorType => Field::SensorType(
+                SensorType::from_code(p[0]).ok_or(TupleSpaceError::Decode("unknown sensor code"))?,
+            ),
+        };
+        Ok((field, 1 + need))
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::Value(v) => write!(f, "{v}"),
+            Field::Str(b) => {
+                let s: String = b.iter().map(|&c| c as char).collect();
+                write!(f, "\"{}\"", s.trim_end())
+            }
+            Field::Location(l) => write!(f, "{l}"),
+            Field::Reading(r) => write!(f, "{r}"),
+            Field::AgentId(a) => write!(f, "{a}"),
+            Field::SensorType(s) => write!(f, "<{s}>"),
+        }
+    }
+}
+
+impl From<i16> for Field {
+    fn from(v: i16) -> Field {
+        Field::Value(v)
+    }
+}
+
+impl From<Location> for Field {
+    fn from(l: Location) -> Field {
+        Field::Location(l)
+    }
+}
+
+impl From<SensorReading> for Field {
+    fn from(r: SensorReading) -> Field {
+        Field::Reading(r)
+    }
+}
+
+impl From<AgentId> for Field {
+    fn from(a: AgentId) -> Field {
+        Field::AgentId(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all_example_fields() -> Vec<Field> {
+        vec![
+            Field::value(-42),
+            Field::str("fir"),
+            Field::location(Location::new(5, 1)),
+            Field::reading(SensorType::Temperature, 250),
+            Field::AgentId(AgentId(7)),
+            Field::SensorType(SensorType::Light),
+        ]
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for t in FieldType::ALL {
+            assert_eq!(FieldType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(FieldType::from_tag(99), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_types() {
+        for f in all_example_fields() {
+            let mut buf = Vec::new();
+            f.encode(&mut buf);
+            assert_eq!(buf.len(), f.encoded_len());
+            let (decoded, used) = Field::decode(&buf).unwrap();
+            assert_eq!(decoded, f);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn str_pads_and_truncates() {
+        assert_eq!(Field::str("ab"), Field::Str([b'a', b'b', b' ']));
+        assert_eq!(Field::str("abcdef"), Field::Str([b'a', b'b', b'c']));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Field::decode(&[]), Err(TupleSpaceError::Decode("empty field")));
+        assert_eq!(
+            Field::decode(&[200]),
+            Err(TupleSpaceError::Decode("unknown field tag"))
+        );
+        assert_eq!(
+            Field::decode(&[FieldType::Location.tag(), 1, 2]),
+            Err(TupleSpaceError::Decode("truncated field payload"))
+        );
+        assert_eq!(
+            Field::decode(&[FieldType::SensorType.tag(), 250]),
+            Err(TupleSpaceError::Decode("unknown sensor code"))
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Field::str("fir").to_string(), "\"fir\"");
+        assert_eq!(Field::value(3).to_string(), "3");
+        assert_eq!(Field::location(Location::new(1, 2)).to_string(), "(1,2)");
+    }
+
+    #[test]
+    fn conversion_traits() {
+        assert_eq!(Field::from(5i16), Field::Value(5));
+        assert_eq!(Field::from(Location::new(1, 1)), Field::location(Location::new(1, 1)));
+        assert_eq!(Field::from(AgentId(3)), Field::AgentId(AgentId(3)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_value_roundtrip(v in i16::MIN..=i16::MAX) {
+            let f = Field::Value(v);
+            let mut buf = Vec::new();
+            f.encode(&mut buf);
+            prop_assert_eq!(Field::decode(&buf).unwrap().0, f);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..16)) {
+            let _ = Field::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Linda-like tuple spaces for Agilla.
+//!
+//! "Agilla tuple spaces offer a shared memory model where the datum is a
+//! tuple. Tuples adhere to a strict format and are accessed by pattern
+//! matching via templates. A tuple is an ordered set of fields where each
+//! field has a type and value. Types may include integers, strings,
+//! locations, and sensor readings." (Section 2.2)
+//!
+//! This crate implements:
+//!
+//! * [`Field`], [`Tuple`] — typed fields with a compact wire codec sized so a
+//!   tuple "can fit within the 27 byte payload of a single TinyOS message".
+//! * [`Template`] — templates whose fields are either exact values or
+//!   type wildcards.
+//! * [`TupleSpace`] — the paper's 600-byte *linear arena*: tuples are stored
+//!   serialized back-to-back; removal shifts all following tuples forward
+//!   (Section 3.2, Tuple Space Manager). A free-list alternative is provided
+//!   for the DESIGN.md ablation.
+//! * [`Reaction`], [`ReactionRegistry`] — the 400-byte reaction registry that
+//!   notifies agents when a matching tuple is inserted.
+//!
+//! # Examples
+//!
+//! ```
+//! use agilla_tuplespace::{Field, Template, TemplateField, Tuple, TupleSpace};
+//!
+//! let mut ts = TupleSpace::with_default_capacity();
+//! let fire = Tuple::new(vec![Field::str("fir"), Field::value(1)]).unwrap();
+//! ts.out(fire.clone()).unwrap();
+//!
+//! // Match by exact string + integer wildcard, as the FireTracker does.
+//! let tmpl = Template::new(vec![
+//!     TemplateField::exact(Field::str("fir")),
+//!     TemplateField::any_value(),
+//! ]);
+//! assert_eq!(ts.rdp(&tmpl), Some(fire.clone()));
+//! assert_eq!(ts.inp(&tmpl), Some(fire));
+//! assert_eq!(ts.inp(&tmpl), None); // inp removes
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod field;
+pub mod reaction;
+pub mod space;
+pub mod template;
+pub mod tuple;
+
+pub use error::TupleSpaceError;
+pub use field::{Field, FieldType};
+pub use reaction::{Reaction, ReactionId, ReactionRegistry};
+pub use space::{ArenaKind, TupleSpace};
+pub use template::{Template, TemplateField};
+pub use tuple::Tuple;

@@ -1,0 +1,295 @@
+//! Reactions: agent-registered notifications on tuple insertion.
+//!
+//! "Reactions allow an agent to tell Agilla that it is interested in tuples
+//! that match a particular template. When the matching tuple is placed into
+//! the tuple space, the agent is notified, allowing it to immediately
+//! respond. ... Agilla reactions are strictly local." (Section 2.2)
+
+use std::fmt;
+
+use wsn_common::AgentId;
+
+use crate::error::TupleSpaceError;
+use crate::template::Template;
+use crate::tuple::Tuple;
+
+/// Handle identifying a registered reaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReactionId(u32);
+
+/// A registered reaction: when a tuple matching `template` is inserted, the
+/// owning agent's program counter jumps to `pc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reaction {
+    /// Agent that registered the reaction.
+    pub owner: AgentId,
+    /// Pattern of interest.
+    pub template: Template,
+    /// Address of the first instruction of the reaction's handler code
+    /// (the `value` operand of `regrxn`).
+    pub pc: u16,
+}
+
+impl Reaction {
+    /// Creates a reaction record.
+    pub fn new(owner: AgentId, template: Template, pc: u16) -> Self {
+        Reaction { owner, template, pc }
+    }
+
+    /// Encoded size: owner id (2) + handler pc (2) + template encoding.
+    /// With typical 2-slot templates this lands near the paper's 36-byte
+    /// reaction migration message (Fig. 5).
+    pub fn encoded_len(&self) -> usize {
+        4 + self.template.encoded_len()
+    }
+}
+
+impl fmt::Display for Reaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} on {}", self.owner, self.pc, self.template)
+    }
+}
+
+/// The per-node reaction registry.
+///
+/// "By default the reaction registry is allocated 400 bytes, allowing it to
+/// remember up to 10 reactions." (Section 3.2). Both bounds are enforced.
+///
+/// # Examples
+///
+/// ```
+/// use agilla_tuplespace::{Field, Reaction, ReactionRegistry, Template, TemplateField, Tuple};
+/// use wsn_common::AgentId;
+///
+/// let mut reg = ReactionRegistry::with_default_capacity();
+/// let tmpl = Template::new(vec![TemplateField::any_value()]);
+/// reg.register(Reaction::new(AgentId(1), tmpl, 7)).unwrap();
+///
+/// let fired = reg.matching(&Tuple::new(vec![Field::value(3)]).unwrap());
+/// assert_eq!(fired.len(), 1);
+/// assert_eq!(fired[0].pc, 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReactionRegistry {
+    entries: Vec<(ReactionId, Reaction)>,
+    max_count: usize,
+    max_bytes: usize,
+    next_id: u32,
+}
+
+impl Default for ReactionRegistry {
+    /// Equivalent to [`ReactionRegistry::with_default_capacity`].
+    fn default() -> Self {
+        ReactionRegistry::with_default_capacity()
+    }
+}
+
+impl ReactionRegistry {
+    /// The paper's default registry budget (Section 3.2).
+    pub const DEFAULT_BYTES: usize = 400;
+    /// The paper's default registry slot count (Section 3.2).
+    pub const DEFAULT_COUNT: usize = 10;
+
+    /// Creates a registry with the paper's defaults.
+    pub fn with_default_capacity() -> Self {
+        ReactionRegistry::new(Self::DEFAULT_COUNT, Self::DEFAULT_BYTES)
+    }
+
+    /// Creates a registry bounded by `max_count` reactions and `max_bytes`
+    /// total encoded bytes.
+    pub fn new(max_count: usize, max_bytes: usize) -> Self {
+        ReactionRegistry {
+            entries: Vec::new(),
+            max_count,
+            max_bytes,
+            next_id: 0,
+        }
+    }
+
+    /// Number of registered reactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total encoded bytes of registered reactions.
+    pub fn used_bytes(&self) -> usize {
+        self.entries.iter().map(|(_, r)| r.encoded_len()).sum()
+    }
+
+    /// Registers a reaction.
+    ///
+    /// # Errors
+    ///
+    /// [`TupleSpaceError::RegistryFull`] when either the slot count or the
+    /// byte budget would be exceeded.
+    pub fn register(&mut self, reaction: Reaction) -> Result<ReactionId, TupleSpaceError> {
+        if self.entries.len() >= self.max_count
+            || self.used_bytes() + reaction.encoded_len() > self.max_bytes
+        {
+            return Err(TupleSpaceError::RegistryFull {
+                registered: self.entries.len(),
+                max: self.max_count,
+            });
+        }
+        let id = ReactionId(self.next_id);
+        self.next_id += 1;
+        self.entries.push((id, reaction));
+        Ok(id)
+    }
+
+    /// Deregisters the first reaction of `owner` matching `template`
+    /// (the `deregrxn` instruction). Returns it if found.
+    pub fn deregister(&mut self, owner: AgentId, template: &Template) -> Option<Reaction> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|(_, r)| r.owner == owner && r.template == *template)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Removes a reaction by handle.
+    pub fn remove(&mut self, id: ReactionId) -> Option<Reaction> {
+        let pos = self.entries.iter().position(|(i, _)| *i == id)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Removes and returns all reactions of `owner`, in registration order.
+    /// Used when packaging an agent for migration ("the tuple space manager
+    /// packages up all reactions registered by an agent", Section 3.2).
+    pub fn remove_all(&mut self, owner: AgentId) -> Vec<Reaction> {
+        let mut removed = Vec::new();
+        self.entries.retain(|(_, r)| {
+            if r.owner == owner {
+                removed.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Reactions (clones) whose template matches `tuple`, in registration
+    /// order — the notifications fired by an insertion.
+    pub fn matching(&self, tuple: &Tuple) -> Vec<Reaction> {
+        self.entries
+            .iter()
+            .filter(|(_, r)| r.template.matches(tuple))
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// Iterates all registered reactions.
+    pub fn iter(&self) -> impl Iterator<Item = &Reaction> {
+        self.entries.iter().map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Field;
+    use crate::template::TemplateField;
+
+    fn tmpl_any() -> Template {
+        Template::new(vec![TemplateField::any_value()])
+    }
+
+    fn tmpl_exact(v: i16) -> Template {
+        Template::new(vec![TemplateField::exact(Field::value(v))])
+    }
+
+    fn tup(v: i16) -> Tuple {
+        Tuple::new(vec![Field::value(v)]).unwrap()
+    }
+
+    #[test]
+    fn register_and_fire() {
+        let mut reg = ReactionRegistry::with_default_capacity();
+        reg.register(Reaction::new(AgentId(1), tmpl_exact(5), 10)).unwrap();
+        reg.register(Reaction::new(AgentId(2), tmpl_any(), 20)).unwrap();
+        let fired = reg.matching(&tup(5));
+        assert_eq!(fired.len(), 2);
+        let fired = reg.matching(&tup(6));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].owner, AgentId(2));
+    }
+
+    #[test]
+    fn slot_limit_enforced() {
+        let mut reg = ReactionRegistry::new(2, 4096);
+        reg.register(Reaction::new(AgentId(1), tmpl_any(), 0)).unwrap();
+        reg.register(Reaction::new(AgentId(1), tmpl_any(), 1)).unwrap();
+        let err = reg.register(Reaction::new(AgentId(1), tmpl_any(), 2)).unwrap_err();
+        assert_eq!(err, TupleSpaceError::RegistryFull { registered: 2, max: 2 });
+    }
+
+    #[test]
+    fn byte_limit_enforced() {
+        // Each reaction: 4 + (1 + 2) = 7 bytes with an any-value template.
+        let mut reg = ReactionRegistry::new(100, 14);
+        reg.register(Reaction::new(AgentId(1), tmpl_any(), 0)).unwrap();
+        reg.register(Reaction::new(AgentId(1), tmpl_any(), 1)).unwrap();
+        assert!(reg.register(Reaction::new(AgentId(1), tmpl_any(), 2)).is_err());
+        assert_eq!(reg.used_bytes(), 14);
+    }
+
+    #[test]
+    fn default_capacity_is_ten() {
+        let mut reg = ReactionRegistry::with_default_capacity();
+        for pc in 0..10 {
+            reg.register(Reaction::new(AgentId(1), tmpl_any(), pc)).unwrap();
+        }
+        assert!(reg.register(Reaction::new(AgentId(1), tmpl_any(), 11)).is_err());
+    }
+
+    #[test]
+    fn deregister_by_owner_and_template() {
+        let mut reg = ReactionRegistry::with_default_capacity();
+        reg.register(Reaction::new(AgentId(1), tmpl_exact(5), 10)).unwrap();
+        reg.register(Reaction::new(AgentId(2), tmpl_exact(5), 20)).unwrap();
+        let removed = reg.deregister(AgentId(2), &tmpl_exact(5)).unwrap();
+        assert_eq!(removed.pc, 20);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.deregister(AgentId(2), &tmpl_exact(5)).is_none());
+        // Wrong template: no removal.
+        assert!(reg.deregister(AgentId(1), &tmpl_any()).is_none());
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut reg = ReactionRegistry::with_default_capacity();
+        let id = reg.register(Reaction::new(AgentId(1), tmpl_any(), 10)).unwrap();
+        assert!(reg.remove(id).is_some());
+        assert!(reg.remove(id).is_none());
+    }
+
+    #[test]
+    fn remove_all_for_migration() {
+        let mut reg = ReactionRegistry::with_default_capacity();
+        reg.register(Reaction::new(AgentId(1), tmpl_exact(1), 10)).unwrap();
+        reg.register(Reaction::new(AgentId(2), tmpl_exact(2), 20)).unwrap();
+        reg.register(Reaction::new(AgentId(1), tmpl_exact(3), 30)).unwrap();
+        let mine = reg.remove_all(AgentId(1));
+        assert_eq!(mine.len(), 2);
+        assert_eq!(mine[0].pc, 10);
+        assert_eq!(mine[1].pc, 30);
+        assert_eq!(reg.len(), 1);
+        // Re-register on arrival: capacity permitting, restores state.
+        for r in mine {
+            reg.register(r).unwrap();
+        }
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = Reaction::new(AgentId(1), tmpl_exact(5), 10);
+        assert_eq!(r.to_string(), "a1@10 on <5>");
+    }
+}

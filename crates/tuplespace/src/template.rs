@@ -1,0 +1,333 @@
+//! Templates: patterns that match tuples.
+
+use std::fmt;
+
+use crate::error::TupleSpaceError;
+use crate::field::{Field, FieldType};
+use crate::tuple::Tuple;
+
+/// One slot of a template: either an exact field or a by-type wildcard.
+///
+/// "Templates are unique in that their fields may contain wild cards that
+/// match by type." (Section 2.2)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemplateField {
+    /// Matches only a field equal to the given one.
+    Exact(Field),
+    /// Matches any field of the given type.
+    Any(FieldType),
+}
+
+impl TemplateField {
+    /// Convenience constructor for [`TemplateField::Exact`].
+    pub fn exact(f: Field) -> TemplateField {
+        TemplateField::Exact(f)
+    }
+
+    /// Wildcard for 16-bit integers.
+    pub fn any_value() -> TemplateField {
+        TemplateField::Any(FieldType::Value)
+    }
+
+    /// Wildcard for strings.
+    pub fn any_str() -> TemplateField {
+        TemplateField::Any(FieldType::Str)
+    }
+
+    /// Wildcard for locations.
+    pub fn any_location() -> TemplateField {
+        TemplateField::Any(FieldType::Location)
+    }
+
+    /// Wildcard for sensor readings.
+    pub fn any_reading() -> TemplateField {
+        TemplateField::Any(FieldType::Reading)
+    }
+
+    /// Whether this slot matches `field`.
+    pub fn matches(&self, field: &Field) -> bool {
+        match self {
+            TemplateField::Exact(f) => f == field,
+            TemplateField::Any(ty) => field.field_type() == *ty,
+        }
+    }
+
+    /// Encoded size, including a one-byte slot kind.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            TemplateField::Exact(f) => 1 + f.encoded_len(),
+            TemplateField::Any(_) => 2,
+        }
+    }
+
+    /// Appends the wire encoding to `out`: `0x00` + field for exact slots,
+    /// `0x01` + type tag for wildcards.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TemplateField::Exact(f) => {
+                out.push(0);
+                f.encode(out);
+            }
+            TemplateField::Any(ty) => {
+                out.push(1);
+                out.push(ty.tag());
+            }
+        }
+    }
+
+    /// Decodes one slot from the front of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TupleSpaceError::Decode`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<(TemplateField, usize), TupleSpaceError> {
+        let (&kind, rest) = bytes
+            .split_first()
+            .ok_or(TupleSpaceError::Decode("empty template field"))?;
+        match kind {
+            0 => {
+                let (f, n) = Field::decode(rest)?;
+                Ok((TemplateField::Exact(f), 1 + n))
+            }
+            1 => {
+                let &tag = rest
+                    .first()
+                    .ok_or(TupleSpaceError::Decode("truncated wildcard"))?;
+                let ty = FieldType::from_tag(tag)
+                    .ok_or(TupleSpaceError::Decode("unknown wildcard type"))?;
+                Ok((TemplateField::Any(ty), 2))
+            }
+            _ => Err(TupleSpaceError::Decode("unknown template slot kind")),
+        }
+    }
+}
+
+impl fmt::Display for TemplateField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateField::Exact(field) => write!(f, "{field}"),
+            TemplateField::Any(ty) => write!(f, "?{ty}"),
+        }
+    }
+}
+
+/// An ordered pattern over tuples.
+///
+/// "A template matches a tuple if they have the same number of fields, and
+/// each field in the tuple matches the corresponding field in the template."
+/// (Section 2.2)
+///
+/// # Examples
+///
+/// ```
+/// use agilla_tuplespace::{Field, Template, TemplateField, Tuple};
+///
+/// let t = Tuple::new(vec![Field::str("fir"), Field::value(7)]).unwrap();
+/// let matching = Template::new(vec![
+///     TemplateField::exact(Field::str("fir")),
+///     TemplateField::any_value(),
+/// ]);
+/// let wrong_arity = Template::new(vec![TemplateField::any_str()]);
+/// assert!(matching.matches(&t));
+/// assert!(!wrong_arity.matches(&t));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Template {
+    slots: Vec<TemplateField>,
+}
+
+impl Template {
+    /// Creates a template from slots. An empty template matches nothing
+    /// (tuples are never empty).
+    pub fn new(slots: Vec<TemplateField>) -> Template {
+        Template { slots }
+    }
+
+    /// A template of all-exact slots that matches precisely `tuple`.
+    pub fn for_tuple(tuple: &Tuple) -> Template {
+        Template {
+            slots: tuple.fields().iter().copied().map(TemplateField::Exact).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn arity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The slots, in order.
+    pub fn slots(&self) -> &[TemplateField] {
+        &self.slots
+    }
+
+    /// Whether this template matches `tuple`.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.slots.len() == tuple.arity()
+            && self
+                .slots
+                .iter()
+                .zip(tuple.fields())
+                .all(|(slot, field)| slot.matches(field))
+    }
+
+    /// Encoded size: one arity byte plus slot encodings.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.slots.iter().map(TemplateField::encoded_len).sum::<usize>()
+    }
+
+    /// Serializes to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.push(self.slots.len() as u8);
+        for s in &self.slots {
+            s.encode(&mut out);
+        }
+        out
+    }
+
+    /// Decodes a template from the front of `bytes`, returning it and the
+    /// bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TupleSpaceError::Decode`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<(Template, usize), TupleSpaceError> {
+        let (&arity, mut rest) = bytes
+            .split_first()
+            .ok_or(TupleSpaceError::Decode("empty template"))?;
+        let mut slots = Vec::with_capacity(arity as usize);
+        let mut used = 1;
+        for _ in 0..arity {
+            let (s, n) = TemplateField::decode(rest)?;
+            slots.push(s);
+            rest = &rest[n..];
+            used += n;
+        }
+        Ok((Template::new(slots), used))
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, s) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wsn_common::{Location, SensorType};
+
+    fn fire_tuple() -> Tuple {
+        Tuple::new(vec![Field::str("fir"), Field::location(Location::new(2, 3))]).unwrap()
+    }
+
+    #[test]
+    fn exact_template_matches_only_its_tuple() {
+        let t = fire_tuple();
+        let tmpl = Template::for_tuple(&t);
+        assert!(tmpl.matches(&t));
+        let other = Tuple::new(vec![Field::str("fir"), Field::location(Location::new(9, 9))]).unwrap();
+        assert!(!tmpl.matches(&other));
+    }
+
+    #[test]
+    fn wildcard_matches_by_type() {
+        let t = fire_tuple();
+        let tmpl = Template::new(vec![
+            TemplateField::exact(Field::str("fir")),
+            TemplateField::any_location(),
+        ]);
+        assert!(tmpl.matches(&t));
+        // Wrong type in second slot.
+        let tmpl2 = Template::new(vec![
+            TemplateField::exact(Field::str("fir")),
+            TemplateField::any_value(),
+        ]);
+        assert!(!tmpl2.matches(&t));
+    }
+
+    #[test]
+    fn arity_must_match() {
+        let t = fire_tuple();
+        let short = Template::new(vec![TemplateField::any_str()]);
+        let long = Template::new(vec![
+            TemplateField::any_str(),
+            TemplateField::any_location(),
+            TemplateField::any_value(),
+        ]);
+        assert!(!short.matches(&t));
+        assert!(!long.matches(&t));
+    }
+
+    #[test]
+    fn empty_template_matches_nothing() {
+        let t = fire_tuple();
+        assert!(!Template::new(vec![]).matches(&t));
+    }
+
+    #[test]
+    fn reading_wildcard() {
+        let t = Tuple::new(vec![Field::reading(SensorType::Temperature, 250)]).unwrap();
+        let tmpl = Template::new(vec![TemplateField::any_reading()]);
+        assert!(tmpl.matches(&t));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tmpl = Template::new(vec![
+            TemplateField::exact(Field::str("fir")),
+            TemplateField::any_location(),
+            TemplateField::any_value(),
+        ]);
+        let bytes = tmpl.encode();
+        assert_eq!(bytes.len(), tmpl.encoded_len());
+        let (decoded, used) = Template::decode(&bytes).unwrap();
+        assert_eq!(decoded, tmpl);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Template::decode(&[]).is_err());
+        assert!(Template::decode(&[1, 7]).is_err()); // unknown slot kind
+        assert!(Template::decode(&[1, 1, 200]).is_err()); // unknown wildcard type
+    }
+
+    #[test]
+    fn display_shows_wildcards() {
+        let tmpl = Template::new(vec![
+            TemplateField::exact(Field::value(3)),
+            TemplateField::any_str(),
+        ]);
+        assert_eq!(tmpl.to_string(), "<3, ?str>");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_for_tuple_always_matches(vals in proptest::collection::vec(any::<i16>(), 1..8)) {
+            let t = Tuple::new(vals.into_iter().map(Field::Value).collect()).unwrap();
+            prop_assert!(Template::for_tuple(&t).matches(&t));
+        }
+
+        #[test]
+        fn prop_all_wildcards_match_same_types(vals in proptest::collection::vec(any::<i16>(), 1..8)) {
+            let t = Tuple::new(vals.into_iter().map(Field::Value).collect()).unwrap();
+            let tmpl = Template::new(vec![TemplateField::any_value(); t.arity()]);
+            prop_assert!(tmpl.matches(&t));
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..32)) {
+            let _ = Template::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Tuples: ordered sets of typed fields.
+
+use std::fmt;
+
+use crate::error::TupleSpaceError;
+use crate::field::Field;
+
+/// Maximum encoded size of one tuple, in bytes.
+///
+/// The paper: "a tuple may contain up to 25 bytes worth of fields. This
+/// ensures a tuple can fit within the 27 byte payload of a single TinyOS
+/// message" (Section 3.2) — two bytes are reserved for the operation header.
+pub const MAX_TUPLE_BYTES: usize = 25;
+
+/// An ordered, immutable set of fields.
+///
+/// # Examples
+///
+/// ```
+/// use agilla_tuplespace::{Field, Tuple};
+/// use wsn_common::Location;
+///
+/// // The fire-alert tuple the FireDetector sends: <"fir", location>.
+/// let t = Tuple::new(vec![
+///     Field::str("fir"),
+///     Field::location(Location::new(3, 4)),
+/// ]).unwrap();
+/// assert_eq!(t.arity(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    fields: Vec<Field>,
+}
+
+impl Tuple {
+    /// Creates a tuple from fields.
+    ///
+    /// # Errors
+    ///
+    /// * [`TupleSpaceError::EmptyTuple`] if `fields` is empty.
+    /// * [`TupleSpaceError::TupleTooLarge`] if the encoding exceeds
+    ///   [`MAX_TUPLE_BYTES`].
+    pub fn new(fields: Vec<Field>) -> Result<Tuple, TupleSpaceError> {
+        if fields.is_empty() {
+            return Err(TupleSpaceError::EmptyTuple);
+        }
+        let t = Tuple { fields };
+        let size = t.encoded_len();
+        if size > MAX_TUPLE_BYTES {
+            return Err(TupleSpaceError::TupleTooLarge { size, max: MAX_TUPLE_BYTES });
+        }
+        Ok(t)
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at `index`, if present.
+    pub fn field(&self, index: usize) -> Option<&Field> {
+        self.fields.get(index)
+    }
+
+    /// Encoded size: one arity byte plus each field's encoding.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.fields.iter().map(Field::encoded_len).sum::<usize>()
+    }
+
+    /// Serializes to the wire format: `arity` byte, then fields in order.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.push(self.fields.len() as u8);
+        for f in &self.fields {
+            f.encode(&mut out);
+        }
+        out
+    }
+
+    /// Decodes a tuple from the front of `bytes`, returning it and the bytes
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TupleSpaceError::Decode`] for malformed input and the
+    /// constructor errors for empty/oversized tuples.
+    pub fn decode(bytes: &[u8]) -> Result<(Tuple, usize), TupleSpaceError> {
+        let (&arity, mut rest) = bytes
+            .split_first()
+            .ok_or(TupleSpaceError::Decode("empty tuple"))?;
+        let mut fields = Vec::with_capacity(arity as usize);
+        let mut used = 1;
+        for _ in 0..arity {
+            let (f, n) = Field::decode(rest)?;
+            fields.push(f);
+            rest = &rest[n..];
+            used += n;
+        }
+        Ok((Tuple::new(fields)?, used))
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wsn_common::Location;
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Tuple::new(vec![]), Err(TupleSpaceError::EmptyTuple));
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        // 9 location fields = 9*5+1 = 46 bytes > 25.
+        let fields = vec![Field::location(Location::new(0, 0)); 9];
+        match Tuple::new(fields) {
+            Err(TupleSpaceError::TupleTooLarge { size, max }) => {
+                assert_eq!(size, 46);
+                assert_eq!(max, 25);
+            }
+            other => panic!("expected TupleTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_size_tuple_is_accepted() {
+        // 8 value fields = 8*3+1 = 25 bytes exactly.
+        let t = Tuple::new(vec![Field::value(1); 8]).unwrap();
+        assert_eq!(t.encoded_len(), MAX_TUPLE_BYTES);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = Tuple::new(vec![
+            Field::str("fir"),
+            Field::location(Location::new(3, 4)),
+            Field::value(200),
+        ])
+        .unwrap();
+        let bytes = t.encode();
+        assert_eq!(bytes.len(), t.encoded_len());
+        let (decoded, used) = Tuple::decode(&bytes).unwrap();
+        assert_eq!(decoded, t);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn decode_with_trailing_bytes_reports_consumption() {
+        let t = Tuple::new(vec![Field::value(9)]).unwrap();
+        let mut bytes = t.encode();
+        bytes.extend_from_slice(&[0xFF, 0xFF]);
+        let (decoded, used) = Tuple::decode(&bytes).unwrap();
+        assert_eq!(decoded, t);
+        assert_eq!(used, bytes.len() - 2);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let t = Tuple::new(vec![Field::location(Location::new(1, 1))]).unwrap();
+        let bytes = t.encode();
+        assert!(Tuple::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Tuple::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn display_lists_fields() {
+        let t = Tuple::new(vec![Field::str("fir"), Field::value(1)]).unwrap();
+        assert_eq!(t.to_string(), "<\"fir\", 1>");
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Tuple::new(vec![Field::value(1), Field::value(2)]).unwrap();
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.field(1), Some(&Field::value(2)));
+        assert_eq!(t.field(2), None);
+        assert_eq!(t.fields().len(), 2);
+    }
+
+    fn arb_field() -> impl Strategy<Value = Field> {
+        prop_oneof![
+            any::<i16>().prop_map(Field::Value),
+            proptest::array::uniform3(0x20u8..0x7F).prop_map(Field::Str),
+            (any::<i16>(), any::<i16>())
+                .prop_map(|(x, y)| Field::location(Location::new(x, y))),
+            (0u8..5, any::<i16>()).prop_map(|(s, v)| {
+                Field::reading(wsn_common::SensorType::from_code(s).unwrap(), v)
+            }),
+            any::<u16>().prop_map(|v| Field::AgentId(wsn_common::AgentId(v))),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(fields in proptest::collection::vec(arb_field(), 1..5)) {
+            if let Ok(t) = Tuple::new(fields) {
+                let bytes = t.encode();
+                let (decoded, used) = Tuple::decode(&bytes).unwrap();
+                prop_assert_eq!(decoded, t);
+                prop_assert_eq!(used, bytes.len());
+            }
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..32)) {
+            let _ = Tuple::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,649 @@
+//! Assembler and disassembler for the Agilla agent language.
+//!
+//! The surface syntax is the paper's listing style (Figs. 2, 8, 13):
+//!
+//! ```text
+//! 1: BEGIN pushn fir
+//! 2:       pusht LOCATION
+//! 3:       pushc 2
+//! 4:       pushc FIRE
+//! 5:       regrxn     // register fire alert reaction
+//! 6:       wait       // wait for reaction to fire
+//! 7: FIRE  pop
+//! 8:       sclone
+//! ```
+//!
+//! Leading `N:` line numbers are ignored, so paper listings paste verbatim.
+//! Comments start with `//` or `;`. A leading token that is not a mnemonic
+//! is a label (an optional trailing `:` is accepted). `pushc` accepts small
+//! integers, sensor-name constants (`TEMPERATURE`, …), or label references
+//! (code addresses); `rjump`/`rjumpc` take labels or signed byte offsets.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use agilla_tuplespace::FieldType;
+use wsn_common::SensorType;
+
+use crate::isa::Opcode;
+
+/// An assembled program: bytecode plus its label table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    code: Vec<u8>,
+    labels: BTreeMap<String, u16>,
+}
+
+impl Program {
+    /// The bytecode.
+    pub fn code(&self) -> &[u8] {
+        &self.code
+    }
+
+    /// Consumes the program, returning the bytecode.
+    pub fn into_code(self) -> Vec<u8> {
+        self.code
+    }
+
+    /// The byte address of `label`, if defined.
+    pub fn label(&self, label: &str) -> Option<u16> {
+        self.labels.get(label).copied()
+    }
+
+    /// All labels in name order.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, u16)> {
+        self.labels.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// Errors produced by [`assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A token was not a known mnemonic (and could not be a label).
+    UnknownMnemonic {
+        /// 1-based source line.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// 1-based source line.
+        line: usize,
+        /// The label name.
+        label: String,
+    },
+    /// An operand referenced an undefined label.
+    UndefinedLabel {
+        /// 1-based source line.
+        line: usize,
+        /// The label name.
+        label: String,
+    },
+    /// An operand was missing, malformed, or out of range.
+    BadOperand {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A relative jump target is farther than a signed byte reaches.
+    JumpTooFar {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// The program assembles to more than 65535 bytes.
+    ProgramTooLarge,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic { line, token } => {
+                write!(f, "line {line}: unknown mnemonic `{token}`")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+            AsmError::UndefinedLabel { line, label } => {
+                write!(f, "line {line}: undefined label `{label}`")
+            }
+            AsmError::BadOperand { line, reason } => write!(f, "line {line}: {reason}"),
+            AsmError::JumpTooFar { line } => write!(f, "line {line}: relative jump out of range"),
+            AsmError::ProgramTooLarge => write!(f, "program exceeds 65535 bytes"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// One parsed source statement.
+#[derive(Debug)]
+struct Stmt<'a> {
+    line: usize,
+    op: Opcode,
+    operands: Vec<&'a str>,
+    /// Byte address, filled in pass 1.
+    addr: u16,
+}
+
+/// Assembles Agilla source into a [`Program`].
+///
+/// # Errors
+///
+/// Any [`AsmError`] describing the first problem found.
+///
+/// # Examples
+///
+/// ```
+/// use agilla_vm::asm::assemble;
+///
+/// let p = assemble("BEGIN pushc 1\nrjump BEGIN").unwrap();
+/// assert_eq!(p.label("BEGIN"), Some(0));
+/// assert_eq!(p.code().len(), 4);
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut stmts: Vec<Stmt<'_>> = Vec::new();
+    let mut labels: BTreeMap<String, u16> = BTreeMap::new();
+
+    // Pass 1: parse, assign addresses, collect labels.
+    let mut addr: u32 = 0;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut tokens: Vec<&str> = text.split_whitespace().collect();
+
+        // Strip the paper's `N:` line-number prefixes.
+        if let Some(first) = tokens.first() {
+            let body = first.strip_suffix(':').unwrap_or(first);
+            if !body.is_empty() && body.chars().all(|c| c.is_ascii_digit()) {
+                tokens.remove(0);
+            }
+        }
+        if tokens.is_empty() {
+            continue;
+        }
+
+        // A leading non-mnemonic token is a label — but only when it stands
+        // alone or is followed by a mnemonic, so that typos like `florble 3`
+        // report the typo rather than a confusing follow-on error.
+        let first = tokens[0];
+        let label_candidate = first.strip_suffix(':').unwrap_or(first);
+        if Opcode::from_mnemonic(&first.to_ascii_lowercase()).is_none() {
+            let followed_by_mnemonic = tokens
+                .get(1)
+                .is_some_and(|t| Opcode::from_mnemonic(&t.to_ascii_lowercase()).is_some());
+            if !is_label_like(label_candidate) || !(tokens.len() == 1 || followed_by_mnemonic) {
+                return Err(AsmError::UnknownMnemonic { line, token: first.to_string() });
+            }
+            if labels
+                .insert(label_candidate.to_string(), addr as u16)
+                .is_some()
+            {
+                return Err(AsmError::DuplicateLabel { line, label: label_candidate.to_string() });
+            }
+            tokens.remove(0);
+            if tokens.is_empty() {
+                continue; // bare label line
+            }
+        }
+
+        let mnemonic = tokens[0].to_ascii_lowercase();
+        let op = Opcode::from_mnemonic(&mnemonic)
+            .ok_or_else(|| AsmError::UnknownMnemonic { line, token: tokens[0].to_string() })?;
+        let stmt = Stmt { line, op, operands: tokens[1..].to_vec(), addr: addr as u16 };
+        addr += op.encoded_len() as u32;
+        if addr > u32::from(u16::MAX) {
+            return Err(AsmError::ProgramTooLarge);
+        }
+        stmts.push(stmt);
+    }
+
+    // Pass 2: emit.
+    let mut code = Vec::with_capacity(addr as usize);
+    for stmt in &stmts {
+        emit(stmt, &labels, &mut code)?;
+    }
+    Ok(Program { code, labels })
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line
+        .find("//")
+        .into_iter()
+        .chain(line.find(';'))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn is_label_like(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn emit(stmt: &Stmt<'_>, labels: &BTreeMap<String, u16>, code: &mut Vec<u8>) -> Result<(), AsmError> {
+    let line = stmt.line;
+    let expect = |n: usize| -> Result<(), AsmError> {
+        if stmt.operands.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError::BadOperand {
+                line,
+                reason: format!(
+                    "`{}` expects {} operand(s), found {}",
+                    stmt.op.mnemonic(),
+                    n,
+                    stmt.operands.len()
+                ),
+            })
+        }
+    };
+    code.push(stmt.op as u8);
+    use Opcode::*;
+    match stmt.op {
+        Pushc => {
+            expect(1)?;
+            let v = const_u8(stmt.operands[0], labels, line)?;
+            code.push(v);
+        }
+        Pushcl => {
+            expect(1)?;
+            let v = const_i16(stmt.operands[0], labels, line)?;
+            code.extend_from_slice(&v.to_le_bytes());
+        }
+        Pushloc => {
+            expect(2)?;
+            let x = int_i8(stmt.operands[0], line)?;
+            let y = int_i8(stmt.operands[1], line)?;
+            code.push(x as u8);
+            code.push(y as u8);
+        }
+        Pushn => {
+            expect(1)?;
+            let s = stmt.operands[0];
+            if s.len() > 3 || s.is_empty() || !s.is_ascii() {
+                return Err(AsmError::BadOperand {
+                    line,
+                    reason: format!("`pushn` needs a 1-3 character ASCII name, got `{s}`"),
+                });
+            }
+            let mut b = [b' '; 3];
+            b[..s.len()].copy_from_slice(s.as_bytes());
+            code.extend_from_slice(&b);
+        }
+        Pusht => {
+            expect(1)?;
+            let ty = field_type_name(stmt.operands[0]).ok_or_else(|| AsmError::BadOperand {
+                line,
+                reason: format!("unknown field type `{}`", stmt.operands[0]),
+            })?;
+            code.push(ty.tag());
+        }
+        Pushrt => {
+            expect(1)?;
+            let s = sensor_name(stmt.operands[0]).ok_or_else(|| AsmError::BadOperand {
+                line,
+                reason: format!("unknown sensor `{}`", stmt.operands[0]),
+            })?;
+            code.push(s.code());
+        }
+        Getvar | Setvar => {
+            expect(1)?;
+            let v: u8 = stmt.operands[0].parse().map_err(|_| AsmError::BadOperand {
+                line,
+                reason: format!("bad heap index `{}`", stmt.operands[0]),
+            })?;
+            code.push(v);
+        }
+        Rjump | Rjumpc => {
+            expect(1)?;
+            let tok = stmt.operands[0];
+            let next = i32::from(stmt.addr) + stmt.op.encoded_len() as i32;
+            let offset: i32 = if let Ok(n) = tok.parse::<i32>() {
+                n
+            } else {
+                let target = *labels
+                    .get(tok)
+                    .ok_or_else(|| AsmError::UndefinedLabel { line, label: tok.to_string() })?;
+                i32::from(target) - next
+            };
+            let offset = i8::try_from(offset).map_err(|_| AsmError::JumpTooFar { line })?;
+            code.push(offset as u8);
+        }
+        _ => expect(0)?,
+    }
+    Ok(())
+}
+
+fn int_i8(tok: &str, line: usize) -> Result<i8, AsmError> {
+    tok.parse().map_err(|_| AsmError::BadOperand {
+        line,
+        reason: format!("expected a signed byte, got `{tok}`"),
+    })
+}
+
+fn const_u8(tok: &str, labels: &BTreeMap<String, u16>, line: usize) -> Result<u8, AsmError> {
+    let wide = const_i16(tok, labels, line)?;
+    u8::try_from(wide).map_err(|_| AsmError::BadOperand {
+        line,
+        reason: format!("`pushc` operand `{tok}` out of 0-255 range (use pushcl)"),
+    })
+}
+
+fn const_i16(tok: &str, labels: &BTreeMap<String, u16>, line: usize) -> Result<i16, AsmError> {
+    if let Ok(n) = tok.parse::<i16>() {
+        return Ok(n);
+    }
+    if let Some(s) = sensor_name(tok) {
+        return Ok(i16::from(s.code()));
+    }
+    if let Some(addr) = labels.get(tok) {
+        return i16::try_from(*addr).map_err(|_| AsmError::BadOperand {
+            line,
+            reason: format!("label `{tok}` address out of immediate range"),
+        });
+    }
+    Err(AsmError::BadOperand {
+        line,
+        reason: format!("cannot resolve constant `{tok}`"),
+    })
+}
+
+fn sensor_name(tok: &str) -> Option<SensorType> {
+    SensorType::from_name(&tok.to_ascii_lowercase())
+}
+
+fn field_type_name(tok: &str) -> Option<FieldType> {
+    match tok.to_ascii_lowercase().as_str() {
+        "value" | "int" => Some(FieldType::Value),
+        "str" | "string" | "name" => Some(FieldType::Str),
+        "location" | "loc" => Some(FieldType::Location),
+        "reading" => Some(FieldType::Reading),
+        "agentid" | "agent_id" | "agent-id" => Some(FieldType::AgentId),
+        "sensortype" | "sensor_type" | "sensor-type" => Some(FieldType::SensorType),
+        _ => None,
+    }
+}
+
+/// Disassembles bytecode into listing text, one instruction per line with
+/// byte offsets. Inverse of [`assemble`] up to labels and formatting.
+pub fn disassemble(code: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut pc: usize = 0;
+    while pc < code.len() {
+        match crate::isa::Instruction::decode(code, pc as u16) {
+            Ok((ins, len)) => {
+                let _ = write!(out, "{pc:4}: {}", ins.op.mnemonic());
+                match ins.op {
+                    Opcode::Pushc | Opcode::Getvar | Opcode::Setvar => {
+                        let _ = write!(out, " {}", ins.operand_u8());
+                    }
+                    Opcode::Pushcl => {
+                        let _ = write!(out, " {}", ins.operand_i16());
+                    }
+                    Opcode::Pushloc => {
+                        let (x, y) = ins.operand_xy();
+                        let _ = write!(out, " {x} {y}");
+                    }
+                    Opcode::Pushn => {
+                        let b = ins.operand_str3();
+                        let s: String = b.iter().map(|&c| c as char).collect();
+                        let _ = write!(out, " {}", s.trim_end());
+                    }
+                    Opcode::Pusht => {
+                        let name = FieldType::from_tag(ins.operand_u8())
+                            .map(|t| t.to_string())
+                            .unwrap_or_else(|| format!("?{}", ins.operand_u8()));
+                        let _ = write!(out, " {name}");
+                    }
+                    Opcode::Pushrt => {
+                        let name = SensorType::from_code(ins.operand_u8())
+                            .map(|s| s.name().to_string())
+                            .unwrap_or_else(|| format!("?{}", ins.operand_u8()));
+                        let _ = write!(out, " {name}");
+                    }
+                    Opcode::Rjump | Opcode::Rjumpc => {
+                        let _ = write!(out, " {}", ins.operand_i8());
+                    }
+                    _ => {}
+                }
+                out.push('\n');
+                pc += len;
+            }
+            Err(_) => {
+                let _ = writeln!(out, "{pc:4}: .byte 0x{:02x}", code[pc]);
+                pc += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_simple_program() {
+        let p = assemble("pushc 2\npushc 3\nadd\nhalt").unwrap();
+        assert_eq!(
+            p.code(),
+            &[
+                Opcode::Pushc as u8,
+                2,
+                Opcode::Pushc as u8,
+                3,
+                Opcode::Add as u8,
+                Opcode::Halt as u8
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_listing_pastes_verbatim() {
+        // Fig. 2, the FireTracker prologue, with paper line numbers.
+        let src = "\
+1: BEGIN pushn fir
+2: pusht LOCATION
+3: pushc 2
+4: pushc FIRE
+5: regrxn // register fire alert reaction
+6: wait // wait for reaction to fire
+7: FIRE pop
+8: sclone // strong clone to the node that detected the fire
+9: halt";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.label("BEGIN"), Some(0));
+        let fire = p.label("FIRE").unwrap();
+        // pushn(4) + pusht(2) + pushc(2) + pushc(2) + regrxn(1) + wait(1) = 12
+        assert_eq!(fire, 12);
+        // The pushc FIRE operand (bytes 8..10) resolved to the label address.
+        assert_eq!(p.code()[9], fire as u8);
+    }
+
+    #[test]
+    fn labels_with_colon_and_bare_lines() {
+        let p = assemble("START:\n  pushc 1\n  rjump START").unwrap();
+        assert_eq!(p.label("START"), Some(0));
+    }
+
+    #[test]
+    fn sensor_constants_resolve() {
+        let p = assemble("pushc TEMPERATURE\nsense\nhalt").unwrap();
+        assert_eq!(p.code()[1], 0);
+        let p = assemble("pushc LIGHT\nsense").unwrap();
+        assert_eq!(p.code()[1], 1);
+    }
+
+    #[test]
+    fn pusht_type_names() {
+        for (name, tag) in [
+            ("value", 0u8),
+            ("str", 1),
+            ("LOCATION", 2),
+            ("reading", 3),
+            ("agent-id", 4),
+            ("sensor-type", 5),
+        ] {
+            let p = assemble(&format!("pusht {name}")).unwrap();
+            assert_eq!(p.code()[1], tag, "{name}");
+        }
+    }
+
+    #[test]
+    fn rjump_label_and_numeric_offsets() {
+        // Backward jump: LOOP at 0, rjump at 2; offset = 0 - 4 = -4.
+        let p = assemble("LOOP pushc 1\nrjump LOOP").unwrap();
+        assert_eq!(p.code()[3] as i8, -4);
+        let p = assemble("rjump 2").unwrap();
+        assert_eq!(p.code()[1] as i8, 2);
+    }
+
+    #[test]
+    fn forward_jump_resolves() {
+        let p = assemble("rjumpc DONE\npushc 1\nDONE halt").unwrap();
+        // rjumpc at 0 (2 bytes), pushc at 2 (2 bytes), DONE at 4; offset = 4-2 = 2.
+        assert_eq!(p.code()[1] as i8, 2);
+    }
+
+    #[test]
+    fn negative_and_wide_constants() {
+        let p = assemble("pushcl -300").unwrap();
+        assert_eq!(i16::from_le_bytes([p.code()[1], p.code()[2]]), -300);
+        let p = assemble("pushloc -2 5").unwrap();
+        assert_eq!(p.code()[1] as i8, -2);
+        assert_eq!(p.code()[2] as i8, 5);
+    }
+
+    #[test]
+    fn error_unknown_mnemonic() {
+        match assemble("florble 3") {
+            Err(AsmError::UnknownMnemonic { line: 1, token }) => assert_eq!(token, "florble"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_label_like_unknown_followed_by_operand_is_unknown_mnemonic() {
+        // `foo 3` parses as label `foo` + mnemonic `3`, which is not a
+        // mnemonic -> unknown mnemonic error mentioning `3`.
+        assert!(assemble("foo 3").is_err());
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        match assemble("A halt\nA halt") {
+            Err(AsmError::DuplicateLabel { line: 2, label }) => assert_eq!(label, "A"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_undefined_label() {
+        match assemble("rjump NOWHERE") {
+            Err(AsmError::UndefinedLabel { label, .. }) => assert_eq!(label, "NOWHERE"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_jump_too_far() {
+        // 200 pushc = 400 bytes, beyond an i8 offset.
+        let mut src = String::from("rjump END\n");
+        for _ in 0..200 {
+            src.push_str("pushc 0\n");
+        }
+        src.push_str("END halt");
+        assert!(matches!(assemble(&src), Err(AsmError::JumpTooFar { .. })));
+    }
+
+    #[test]
+    fn error_operand_arity() {
+        assert!(matches!(assemble("pushc"), Err(AsmError::BadOperand { .. })));
+        assert!(matches!(assemble("add 3"), Err(AsmError::BadOperand { .. })));
+        assert!(matches!(assemble("pushloc 1"), Err(AsmError::BadOperand { .. })));
+    }
+
+    #[test]
+    fn error_pushc_range() {
+        assert!(matches!(assemble("pushc 300"), Err(AsmError::BadOperand { .. })));
+        assert!(assemble("pushcl 300").is_ok());
+    }
+
+    #[test]
+    fn error_bad_pushn() {
+        assert!(assemble("pushn abcd").is_err());
+        assert!(assemble("pushn").is_err());
+        assert!(assemble("pushn ab").is_ok());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("; full comment\n\n  // another\n halt ; trailing").unwrap();
+        assert_eq!(p.code(), &[Opcode::Halt as u8]);
+    }
+
+    #[test]
+    fn disassemble_roundtrip_reassembles() {
+        let src = "pushc 5\npushcl -300\npushloc 2 -3\npushn fir\npusht location\npushrt temperature\ngetvar 3\nrjump -2\nhalt";
+        let p = assemble(src).unwrap();
+        let listing = disassemble(p.code());
+        // Strip offsets and reassemble: same bytes.
+        let stripped: String = listing
+            .lines()
+            .map(|l| l.split_once(": ").map(|(_, rest)| rest).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let p2 = assemble(&stripped).unwrap();
+        assert_eq!(p.code(), p2.code());
+    }
+
+    #[test]
+    fn disassemble_handles_garbage() {
+        let text = disassemble(&[0xEE, Opcode::Halt as u8]);
+        assert!(text.contains(".byte 0xee"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn fig8_smove_agent_assembles() {
+        // Fig. 8 (top): the smove test agent.
+        let src = "\
+1: pushloc 5 1
+2: smove // strong move to mote at (5,1)
+3: pushloc 0 1
+4: smove // strong move back to base
+5: halt";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.code().len(), 3 + 1 + 3 + 1 + 1);
+    }
+
+    #[test]
+    fn fig13_firedetector_assembles() {
+        let src = "\
+1: BEGIN pushc TEMPERATURE
+2: sense
+3: pushcl 200
+4: clt
+5: rjumpc FIRE
+6: pushcl 4800
+7: sleep
+8: rjump BEGIN
+9: FIRE pushn fir
+10: loc
+11: pushc 2
+12: pushloc 0 1
+13: rout
+14: halt";
+        let p = assemble(src).unwrap();
+        assert!(p.label("BEGIN") == Some(0));
+        assert!(p.label("FIRE").is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! VM error types.
+
+use std::error::Error;
+use std::fmt;
+
+use agilla_tuplespace::TupleSpaceError;
+
+/// Errors raised while executing or constructing an agent.
+///
+/// On a real mote a faulting agent is killed and its resources reclaimed; the
+/// engine does the same here, recording the error in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A pop was attempted on an empty operand stack.
+    StackUnderflow {
+        /// Opcode name executing at the time.
+        during: &'static str,
+    },
+    /// A push would exceed [`STACK_DEPTH`](crate::STACK_DEPTH).
+    StackOverflow,
+    /// An operand had the wrong type for the instruction.
+    TypeMismatch {
+        /// Opcode name executing at the time.
+        during: &'static str,
+        /// What the instruction required.
+        expected: &'static str,
+    },
+    /// `getvar`/`setvar` addressed a heap slot outside `0..HEAP_SLOTS`.
+    HeapIndexOutOfRange {
+        /// The offending index.
+        index: u8,
+    },
+    /// `getvar` read a heap slot that was never written.
+    HeapSlotEmpty {
+        /// The offending index.
+        index: u8,
+    },
+    /// An unknown opcode byte was fetched.
+    InvalidOpcode(u8),
+    /// The program counter left the code region.
+    PcOutOfRange {
+        /// Program counter value.
+        pc: u16,
+        /// Code length in bytes.
+        code_len: usize,
+    },
+    /// An instruction's inline operand was truncated by the end of code.
+    TruncatedOperand(&'static str),
+    /// The agent's code exceeds what the instruction manager can hold.
+    CodeTooLarge {
+        /// Code size in bytes.
+        size: usize,
+        /// Maximum size in bytes.
+        max: usize,
+    },
+    /// A relative jump target fell outside the code region.
+    JumpOutOfRange,
+    /// A tuple-space operation failed structurally.
+    Tuple(TupleSpaceError),
+    /// The node cannot host another agent or ran out of a resource.
+    Resource(&'static str),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow { during } => write!(f, "stack underflow during {during}"),
+            VmError::StackOverflow => write!(f, "operand stack overflow"),
+            VmError::TypeMismatch { during, expected } => {
+                write!(f, "type mismatch during {during}: expected {expected}")
+            }
+            VmError::HeapIndexOutOfRange { index } => {
+                write!(f, "heap index {index} out of range")
+            }
+            VmError::HeapSlotEmpty { index } => write!(f, "heap slot {index} read before write"),
+            VmError::InvalidOpcode(b) => write!(f, "invalid opcode byte 0x{b:02x}"),
+            VmError::PcOutOfRange { pc, code_len } => {
+                write!(f, "program counter {pc} outside code of {code_len} bytes")
+            }
+            VmError::TruncatedOperand(op) => write!(f, "truncated operand for {op}"),
+            VmError::CodeTooLarge { size, max } => {
+                write!(f, "agent code of {size} bytes exceeds the {max}-byte budget")
+            }
+            VmError::JumpOutOfRange => write!(f, "jump target outside code region"),
+            VmError::Tuple(e) => write!(f, "tuple error: {e}"),
+            VmError::Resource(what) => write!(f, "resource exhausted: {what}"),
+        }
+    }
+}
+
+impl Error for VmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VmError::Tuple(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TupleSpaceError> for VmError {
+    fn from(e: TupleSpaceError) -> Self {
+        VmError::Tuple(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let samples: Vec<VmError> = vec![
+            VmError::StackUnderflow { during: "add" },
+            VmError::StackOverflow,
+            VmError::TypeMismatch { during: "add", expected: "value" },
+            VmError::HeapIndexOutOfRange { index: 13 },
+            VmError::HeapSlotEmpty { index: 2 },
+            VmError::InvalidOpcode(0xEE),
+            VmError::PcOutOfRange { pc: 99, code_len: 10 },
+            VmError::TruncatedOperand("pushcl"),
+            VmError::CodeTooLarge { size: 500, max: 440 },
+            VmError::JumpOutOfRange,
+            VmError::Resource("agent slots"),
+        ];
+        for e in samples {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn tuple_errors_convert_and_chain() {
+        let e: VmError = TupleSpaceError::EmptyTuple.into();
+        assert!(matches!(e, VmError::Tuple(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<VmError>();
+    }
+}

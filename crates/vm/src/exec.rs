@@ -1,0 +1,1023 @@
+//! The bytecode interpreter.
+//!
+//! Execution is effect-based: [`step`] runs exactly one instruction and
+//! returns a [`StepResult`]. Purely local instructions complete immediately
+//! through the [`Host`] trait; long-running operations (sleep, wait,
+//! migration, remote tuple-space ops, blocking `in`/`rd` misses) are returned
+//! as effects for the middleware engine to act on. This mirrors the mote
+//! implementation, where "Agilla executes each instruction as a separate
+//! task" and the engine "immediately switches context" on long-running
+//! instructions (Sections 3.2 and 4).
+
+use agilla_tuplespace::{Field, FieldType, Template, TemplateField, Tuple, TupleSpaceError};
+use wsn_common::{AgentId, Location, SensorType};
+
+use crate::agent::AgentState;
+use crate::error::VmError;
+use crate::isa::{Instruction, Opcode};
+
+/// Which of the four migration instructions an agent executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigrateKind {
+    /// `smove`: code + state, resume after the instruction.
+    StrongMove,
+    /// `wmove`: code only, restart at pc 0.
+    WeakMove,
+    /// `sclone`: copy code + state; both continue.
+    StrongClone,
+    /// `wclone`: copy code only; copy restarts at pc 0.
+    WeakClone,
+}
+
+impl MigrateKind {
+    /// Whether state (stack, heap, pc) travels with the agent.
+    pub fn is_strong(self) -> bool {
+        matches!(self, MigrateKind::StrongMove | MigrateKind::StrongClone)
+    }
+
+    /// Whether the original keeps running at the source.
+    pub fn is_clone(self) -> bool {
+        matches!(self, MigrateKind::StrongClone | MigrateKind::WeakClone)
+    }
+
+    /// The opcode that triggers this migration.
+    pub fn opcode(self) -> Opcode {
+        match self {
+            MigrateKind::StrongMove => Opcode::Smove,
+            MigrateKind::WeakMove => Opcode::Wmove,
+            MigrateKind::StrongClone => Opcode::Sclone,
+            MigrateKind::WeakClone => Opcode::Wclone,
+        }
+    }
+}
+
+/// A remote tuple-space operation surfaced to the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteOp {
+    /// `rout`: insert `tuple` at the node addressed by `dest`.
+    Out {
+        /// Target node address.
+        dest: Location,
+        /// Tuple to insert remotely.
+        tuple: Tuple,
+    },
+    /// `rinp`: remote non-blocking take matching `template`.
+    Inp {
+        /// Target node address.
+        dest: Location,
+        /// Pattern to match remotely.
+        template: Template,
+    },
+    /// `rrdp`: remote non-blocking read matching `template`.
+    Rdp {
+        /// Target node address.
+        dest: Location,
+        /// Pattern to match remotely.
+        template: Template,
+    },
+}
+
+impl RemoteOp {
+    /// The destination address of the operation.
+    pub fn dest(&self) -> Location {
+        match self {
+            RemoteOp::Out { dest, .. } | RemoteOp::Inp { dest, .. } | RemoteOp::Rdp { dest, .. } => {
+                *dest
+            }
+        }
+    }
+}
+
+/// Outcome of executing one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepResult {
+    /// The instruction completed; keep running.
+    Continue,
+    /// `halt`: the agent is done; reclaim its resources.
+    Halted,
+    /// `sleep`: deschedule for this many 1/8-second ticks.
+    Sleep {
+        /// Number of 1/8-second ticks to sleep.
+        ticks: u16,
+    },
+    /// `wait`: deschedule until one of the agent's reactions fires.
+    WaitForReaction,
+    /// Blocking `in`/`rd` found no match: deschedule until a tuple is
+    /// inserted, then retry (pc has *not* advanced; the stack still holds
+    /// the template).
+    Blocked,
+    /// A migration instruction: the engine must run the migration protocol.
+    /// The agent's pc has advanced past the instruction (so a strong arrival
+    /// resumes correctly); on failure the engine resumes it locally with
+    /// condition 0.
+    Migrate {
+        /// Which migration instruction.
+        kind: MigrateKind,
+        /// Destination address (ε-matched by the engine).
+        dest: Location,
+    },
+    /// A remote tuple-space instruction: the engine must send the request
+    /// and later deliver the reply via [`deliver_remote_result`].
+    Remote(RemoteOp),
+}
+
+/// Services an agent can demand from its host node synchronously.
+///
+/// The middleware implements this for real nodes; [`TestHost`] provides a
+/// scriptable implementation for unit tests.
+pub trait Host {
+    /// The node's location (the `loc` instruction).
+    fn location(&self) -> Location;
+
+    /// A uniformly random 16-bit value (the `rand` instruction).
+    fn random(&mut self) -> i16;
+
+    /// Reads a sensor; `None` if the node lacks that sensor.
+    fn sense(&mut self, sensor: SensorType) -> Option<i16>;
+
+    /// Displays `v`'s low bits on the LEDs.
+    fn set_leds(&mut self, v: i16);
+
+    /// Number of one-hop neighbors.
+    fn num_neighbors(&self) -> usize;
+
+    /// Location of neighbor `index`, if it exists.
+    fn neighbor(&self, index: usize) -> Option<Location>;
+
+    /// Location of a uniformly random neighbor, if any exist.
+    fn random_neighbor(&mut self) -> Option<Location>;
+
+    /// Local tuple-space insert.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena capacity errors.
+    fn ts_out(&mut self, tuple: Tuple) -> Result<(), TupleSpaceError>;
+
+    /// Local non-blocking take.
+    fn ts_inp(&mut self, template: &Template) -> Option<Tuple>;
+
+    /// Local non-blocking read.
+    fn ts_rdp(&mut self, template: &Template) -> Option<Tuple>;
+
+    /// Count of matching local tuples.
+    fn ts_count(&mut self, template: &Template) -> usize;
+
+    /// Registers a reaction for `owner` jumping to `pc` on a match.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry capacity errors.
+    fn register_reaction(&mut self, owner: AgentId, template: Template, pc: u16)
+        -> Result<(), TupleSpaceError>;
+
+    /// Deregisters `owner`'s reaction on `template`; true if one existed.
+    fn deregister_reaction(&mut self, owner: AgentId, template: &Template) -> bool;
+}
+
+/// Executes exactly one instruction of `agent` against `host`.
+///
+/// On success the program counter has advanced (except for [`StepResult::Blocked`],
+/// which leaves the agent poised to retry). Errors leave the agent in a
+/// well-defined but dead state — the engine kills faulting agents, as the
+/// mote implementation does.
+///
+/// # Errors
+///
+/// Any [`VmError`] raised by decoding or executing the instruction.
+pub fn step<H: Host>(agent: &mut AgentState, host: &mut H) -> Result<StepResult, VmError> {
+    let (ins, len) = Instruction::decode(agent.code(), agent.pc())?;
+    let next_pc = agent.pc() + len as u16;
+    use Opcode::*;
+    match ins.op {
+        Halt => return Ok(StepResult::Halted),
+
+        // --- stack & arithmetic ---
+        Loc => {
+            agent.push_field(Field::Location(host.location()))?;
+        }
+        Aid => {
+            let id = agent.id();
+            agent.push_field(Field::AgentId(id))?;
+        }
+        Rand => {
+            let v = host.random();
+            agent.push_value(v)?;
+        }
+        Pop => {
+            agent.pop("pop")?;
+        }
+        Copy => {
+            let top = *agent
+                .stack()
+                .last()
+                .ok_or(VmError::StackUnderflow { during: "copy" })?;
+            agent.push(top)?;
+        }
+        Swap => {
+            let b = agent.pop("swap")?;
+            let a = agent.pop("swap")?;
+            agent.push(b)?;
+            agent.push(a)?;
+        }
+        Clear => agent.set_condition(0),
+        Add => binary_arith(agent, "add", |a, b| a.wrapping_add(b))?,
+        Sub => binary_arith(agent, "sub", |a, b| a.wrapping_sub(b))?,
+        And => binary_arith(agent, "and", |a, b| a & b)?,
+        Or => binary_arith(agent, "or", |a, b| a | b)?,
+        Mod => {
+            let b = agent.pop_value("mod")?;
+            let a = agent.pop_value("mod")?;
+            if b == 0 {
+                return Err(VmError::TypeMismatch { during: "mod", expected: "non-zero divisor" });
+            }
+            agent.push_value(a.rem_euclid(b))?;
+        }
+        Not => {
+            let a = agent.pop_value("not")?;
+            agent.push_value(!a)?;
+        }
+        Inc => {
+            let a = agent.pop_value("inc")?;
+            agent.push_value(a.wrapping_add(1))?;
+        }
+        Halve => {
+            let a = agent.pop_value("halve")?;
+            agent.push_value(a >> 1)?;
+        }
+        Makeloc => {
+            let y = agent.pop_value("makeloc")?;
+            let x = agent.pop_value("makeloc")?;
+            agent.push_field(Field::Location(Location::new(x, y)))?;
+        }
+        Eq => {
+            let b = agent.pop("eq")?;
+            let a = agent.pop("eq")?;
+            agent.push_value(i16::from(a == b))?;
+        }
+        Ceq => {
+            let b = agent.pop("ceq")?;
+            let a = agent.pop("ceq")?;
+            agent.set_condition(i16::from(a == b));
+        }
+        Clt => {
+            let b = agent.pop_value("clt")?;
+            let a = agent.pop_value("clt")?;
+            agent.set_condition(i16::from(b < a));
+        }
+        Cgt => {
+            let b = agent.pop_value("cgt")?;
+            let a = agent.pop_value("cgt")?;
+            agent.set_condition(i16::from(b > a));
+        }
+        PutLed => {
+            let v = agent.pop_value("putled")?;
+            host.set_leds(v);
+        }
+        Sense => {
+            let code = agent.pop_value("sense")?;
+            let sensor = u8::try_from(code)
+                .ok()
+                .and_then(SensorType::from_code)
+                .ok_or(VmError::TypeMismatch { during: "sense", expected: "sensor-type code" })?;
+            match host.sense(sensor) {
+                Some(v) => {
+                    agent.push_value(v)?;
+                    agent.set_condition(1);
+                }
+                None => {
+                    // Missing sensor: push 0 and clear the condition so the
+                    // agent can detect the miss (capability tuples are the
+                    // intended discovery path).
+                    agent.push_value(0)?;
+                    agent.set_condition(0);
+                }
+            }
+        }
+
+        // --- control flow ---
+        Jumps => {
+            let target = agent.pop_value("jumps")?;
+            let target = u16::try_from(target).map_err(|_| VmError::JumpOutOfRange)?;
+            if (target as usize) >= agent.code().len() {
+                return Err(VmError::JumpOutOfRange);
+            }
+            agent.set_pc(target);
+            return Ok(StepResult::Continue);
+        }
+        Rjump | Rjumpc => {
+            let taken = ins.op == Rjump || agent.condition() != 0;
+            if taken {
+                let target = i32::from(next_pc) + i32::from(ins.operand_i8());
+                if target < 0 || target as usize >= agent.code().len() {
+                    return Err(VmError::JumpOutOfRange);
+                }
+                agent.set_pc(target as u16);
+            } else {
+                agent.set_pc(next_pc);
+            }
+            return Ok(StepResult::Continue);
+        }
+        Sleep => {
+            let ticks = agent.pop_value("sleep")?;
+            let ticks = u16::try_from(ticks)
+                .map_err(|_| VmError::TypeMismatch { during: "sleep", expected: "non-negative ticks" })?;
+            agent.set_pc(next_pc);
+            return Ok(StepResult::Sleep { ticks });
+        }
+        Wait => {
+            agent.set_pc(next_pc);
+            return Ok(StepResult::WaitForReaction);
+        }
+
+        // --- context discovery ---
+        Numnbrs => {
+            let n = host.num_neighbors() as i16;
+            agent.push_value(n)?;
+        }
+        Getnbr => {
+            let idx = agent.pop_value("getnbr")?;
+            match usize::try_from(idx).ok().and_then(|i| host.neighbor(i)) {
+                Some(loc) => {
+                    agent.push_field(Field::Location(loc))?;
+                    agent.set_condition(1);
+                }
+                None => agent.set_condition(0),
+            }
+        }
+        Randnbr => match host.random_neighbor() {
+            Some(loc) => {
+                agent.push_field(Field::Location(loc))?;
+                agent.set_condition(1);
+            }
+            None => agent.set_condition(0),
+        },
+
+        // --- push family ---
+        Pushc => agent.push_value(i16::from(ins.operand_u8()))?,
+        Pushcl => agent.push_value(ins.operand_i16())?,
+        Pushloc => {
+            let (x, y) = ins.operand_xy();
+            agent.push_field(Field::Location(Location::new(i16::from(x), i16::from(y))))?;
+        }
+        Pushn => agent.push_field(Field::Str(ins.operand_str3()))?,
+        Pusht => {
+            let ty = FieldType::from_tag(ins.operand_u8())
+                .ok_or(VmError::TypeMismatch { during: "pusht", expected: "field-type tag" })?;
+            agent.push(TemplateField::Any(ty))?;
+        }
+        Pushrt => {
+            let sensor = SensorType::from_code(ins.operand_u8())
+                .ok_or(VmError::TypeMismatch { during: "pushrt", expected: "sensor-type code" })?;
+            agent.push_field(Field::SensorType(sensor))?;
+        }
+
+        // --- heap ---
+        Getvar => agent.getvar(ins.operand_u8())?,
+        Setvar => agent.setvar(ins.operand_u8())?,
+
+        // --- local tuple space ---
+        Out => {
+            let tuple = agent.pop_tuple("out")?;
+            host.ts_out(tuple)?;
+        }
+        Inp | Rdp => {
+            let template = agent.pop_template(ins.op.mnemonic())?;
+            let found = if ins.op == Inp {
+                host.ts_inp(&template)
+            } else {
+                host.ts_rdp(&template)
+            };
+            match found {
+                Some(t) => {
+                    agent.push_tuple(&t)?;
+                    agent.set_condition(1);
+                }
+                None => agent.set_condition(0),
+            }
+        }
+        In | Rd => {
+            // Peek the template without consuming it so a miss can retry
+            // after the wait queue wakes us ("implemented by having the
+            // agent repeatedly trying to inp or rdp a tuple", Section 3.4).
+            let mut probe = agent.clone();
+            let template = probe.pop_template(ins.op.mnemonic())?;
+            let found = if ins.op == In {
+                host.ts_inp(&template)
+            } else {
+                host.ts_rdp(&template)
+            };
+            match found {
+                Some(t) => {
+                    *agent = probe;
+                    agent.push_tuple(&t)?;
+                    agent.set_condition(1);
+                }
+                None => return Ok(StepResult::Blocked),
+            }
+        }
+        Tcount => {
+            let template = agent.pop_template("tcount")?;
+            let n = host.ts_count(&template) as i16;
+            agent.push_value(n)?;
+        }
+
+        // --- reactions ---
+        Regrxn => {
+            let pc = agent.pop_value("regrxn")?;
+            let pc = u16::try_from(pc).map_err(|_| VmError::JumpOutOfRange)?;
+            if (pc as usize) >= agent.code().len() {
+                return Err(VmError::JumpOutOfRange);
+            }
+            let template = agent.pop_template("regrxn")?;
+            let owner = agent.id();
+            host.register_reaction(owner, template, pc)?;
+        }
+        Deregrxn => {
+            let template = agent.pop_template("deregrxn")?;
+            let owner = agent.id();
+            let existed = host.deregister_reaction(owner, &template);
+            agent.set_condition(i16::from(existed));
+        }
+
+        // --- migration ---
+        Smove | Wmove | Sclone | Wclone => {
+            let kind = match ins.op {
+                Smove => MigrateKind::StrongMove,
+                Wmove => MigrateKind::WeakMove,
+                Sclone => MigrateKind::StrongClone,
+                _ => MigrateKind::WeakClone,
+            };
+            let dest = agent.pop_location(ins.op.mnemonic())?;
+            agent.set_pc(next_pc);
+            return Ok(StepResult::Migrate { kind, dest });
+        }
+
+        // --- remote tuple space ---
+        Rout => {
+            let dest = agent.pop_location("rout")?;
+            let tuple = agent.pop_tuple("rout")?;
+            agent.set_pc(next_pc);
+            return Ok(StepResult::Remote(RemoteOp::Out { dest, tuple }));
+        }
+        Rinp | Rrdp => {
+            let dest = agent.pop_location(ins.op.mnemonic())?;
+            let template = agent.pop_template(ins.op.mnemonic())?;
+            agent.set_pc(next_pc);
+            let op = if ins.op == Rinp {
+                RemoteOp::Inp { dest, template }
+            } else {
+                RemoteOp::Rdp { dest, template }
+            };
+            return Ok(StepResult::Remote(op));
+        }
+    }
+    agent.set_pc(next_pc);
+    Ok(StepResult::Continue)
+}
+
+fn binary_arith(
+    agent: &mut AgentState,
+    during: &'static str,
+    f: impl FnOnce(i16, i16) -> i16,
+) -> Result<(), VmError> {
+    let b = agent.pop_value(during)?;
+    let a = agent.pop_value(during)?;
+    agent.push_value(f(a, b))
+}
+
+/// Delivers the result of a remote tuple-space operation back into a blocked
+/// agent, per Section 3.4: "If the operation is successful, the resulting
+/// tuple is placed onto the stack and the condition is set to 1."
+///
+/// * `rout` success: condition 1, nothing pushed.
+/// * `rinp`/`rrdp` success: tuple pushed, condition 1.
+/// * failure/timeout/no-match: condition 0.
+///
+/// # Errors
+///
+/// [`VmError::StackOverflow`] if the reply tuple does not fit.
+pub fn deliver_remote_result(agent: &mut AgentState, result: Option<Tuple>, success: bool)
+    -> Result<(), VmError>
+{
+    if let Some(t) = result {
+        agent.push_tuple(&t)?;
+    }
+    agent.set_condition(i16::from(success));
+    Ok(())
+}
+
+/// Dispatches a fired reaction: saves the interrupted pc on the stack, pushes
+/// the triggering tuple, and jumps to the handler ("the original PC is stored
+/// on the stack", Section 3.3).
+///
+/// # Errors
+///
+/// [`VmError::StackOverflow`] if the frame does not fit.
+pub fn enter_reaction(agent: &mut AgentState, tuple: &Tuple, handler_pc: u16) -> Result<(), VmError> {
+    let interrupted = agent.pc();
+    agent.push_value(interrupted as i16)?;
+    agent.push_tuple(tuple)?;
+    agent.set_pc(handler_pc);
+    Ok(())
+}
+
+/// Runs `agent` until it yields a non-[`StepResult::Continue`] effect or
+/// `max_steps` instructions have executed.
+///
+/// Convenience for tests and benches; the engine drives [`step`] directly.
+///
+/// # Errors
+///
+/// Any [`VmError`] from execution, or [`VmError::Resource`] if `max_steps`
+/// is exhausted (a runaway-agent guard).
+pub fn run_to_effect<H: Host>(
+    agent: &mut AgentState,
+    host: &mut H,
+    max_steps: usize,
+) -> Result<StepResult, VmError> {
+    for _ in 0..max_steps {
+        match step(agent, host)? {
+            StepResult::Continue => continue,
+            effect => return Ok(effect),
+        }
+    }
+    Err(VmError::Resource("instruction budget"))
+}
+
+/// A scriptable [`Host`] for unit tests: one node at a fixed location with an
+/// in-memory tuple space, fixed neighbor list, scripted sensor values, and a
+/// deterministic "random" counter.
+#[derive(Debug, Default)]
+pub struct TestHost {
+    /// The node's location.
+    pub loc: Location,
+    /// Neighbor locations returned by `getnbr`/`numnbrs`/`randnbr`.
+    pub neighbors: Vec<Location>,
+    /// Scripted per-sensor values; `None` entries mean "sensor missing".
+    pub sensor_values: std::collections::HashMap<SensorType, i16>,
+    /// The local tuple space.
+    pub space: agilla_tuplespace::TupleSpace,
+    /// The local reaction registry.
+    pub registry: agilla_tuplespace::ReactionRegistry,
+    /// Last LED value set.
+    pub leds: Option<i16>,
+    counter: u16,
+}
+
+impl TestHost {
+    /// A host at `loc` with no neighbors or sensors.
+    pub fn at(loc: Location) -> Self {
+        TestHost { loc, ..Default::default() }
+    }
+}
+
+impl Host for TestHost {
+    fn location(&self) -> Location {
+        self.loc
+    }
+
+    fn random(&mut self) -> i16 {
+        self.counter = self.counter.wrapping_add(1);
+        self.counter as i16
+    }
+
+    fn sense(&mut self, sensor: SensorType) -> Option<i16> {
+        self.sensor_values.get(&sensor).copied()
+    }
+
+    fn set_leds(&mut self, v: i16) {
+        self.leds = Some(v);
+    }
+
+    fn num_neighbors(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    fn neighbor(&self, index: usize) -> Option<Location> {
+        self.neighbors.get(index).copied()
+    }
+
+    fn random_neighbor(&mut self) -> Option<Location> {
+        if self.neighbors.is_empty() {
+            None
+        } else {
+            let i = (self.random() as usize) % self.neighbors.len();
+            Some(self.neighbors[i])
+        }
+    }
+
+    fn ts_out(&mut self, tuple: Tuple) -> Result<(), TupleSpaceError> {
+        self.space.out(tuple)
+    }
+
+    fn ts_inp(&mut self, template: &Template) -> Option<Tuple> {
+        self.space.inp(template)
+    }
+
+    fn ts_rdp(&mut self, template: &Template) -> Option<Tuple> {
+        self.space.rdp(template)
+    }
+
+    fn ts_count(&mut self, template: &Template) -> usize {
+        self.space.count(template)
+    }
+
+    fn register_reaction(
+        &mut self,
+        owner: AgentId,
+        template: Template,
+        pc: u16,
+    ) -> Result<(), TupleSpaceError> {
+        self.registry
+            .register(agilla_tuplespace::Reaction::new(owner, template, pc))
+            .map(|_| ())
+    }
+
+    fn deregister_reaction(&mut self, owner: AgentId, template: &Template) -> bool {
+        self.registry.deregister(owner, template).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn agent_with(src: &str) -> AgentState {
+        let program = assemble(src).expect("assembly failed");
+        AgentState::with_code(AgentId(1), program.code().to_vec()).unwrap()
+    }
+
+    fn run(src: &str, host: &mut TestHost) -> (AgentState, StepResult) {
+        let mut a = agent_with(src);
+        let r = run_to_effect(&mut a, host, 10_000).expect("vm error");
+        (a, r)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut h = TestHost::default();
+        let (a, r) = run("pushc 2\npushc 3\nadd\nhalt", &mut h);
+        assert_eq!(r, StepResult::Halted);
+        assert_eq!(a.stack().len(), 1);
+        let mut a = a;
+        assert_eq!(a.pop_value("t").unwrap(), 5);
+    }
+
+    #[test]
+    fn sub_and_wrapping() {
+        let mut h = TestHost::default();
+        let (mut a, _) = run("pushcl 32767\npushc 1\nadd\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), i16::MIN);
+        let (mut a, _) = run("pushc 3\npushc 5\nsub\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), -2);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let mut h = TestHost::default();
+        let (mut a, _) = run("pushc 12\npushc 10\nand\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 8);
+        let (mut a, _) = run("pushc 12\npushc 10\nor\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 14);
+        let (mut a, _) = run("pushc 0\nnot\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), -1);
+    }
+
+    #[test]
+    fn makeloc_builds_locations() {
+        let mut h = TestHost::default();
+        let (mut a, _) = run("pushc 3\npushc 4\nmakeloc\nhalt", &mut h);
+        assert_eq!(a.pop_location("t").unwrap(), Location::new(3, 4));
+        // Type error: a location is not a value operand.
+        let mut a = agent_with("pushloc 1 1\npushc 2\nmakeloc\nhalt");
+        assert!(run_to_effect(&mut a, &mut h, 10).is_err());
+    }
+
+    #[test]
+    fn mod_and_halve_and_inc() {
+        let mut h = TestHost::default();
+        let (mut a, _) = run("pushc 17\npushc 5\nmod\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 2);
+        let (mut a, _) = run("pushc 9\nhalve\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 4);
+        let (mut a, _) = run("pushc 9\ninc\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 10);
+    }
+
+    #[test]
+    fn mod_by_zero_errors() {
+        let mut h = TestHost::default();
+        let mut a = agent_with("pushc 17\npushc 0\nmod\nhalt");
+        assert!(run_to_effect(&mut a, &mut h, 100).is_err());
+    }
+
+    #[test]
+    fn stack_shuffling() {
+        let mut h = TestHost::default();
+        let (mut a, _) = run("pushc 1\npushc 2\nswap\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 1);
+        assert_eq!(a.pop_value("t").unwrap(), 2);
+        let (mut a, _) = run("pushc 7\ncopy\nadd\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 14);
+        let (a, _) = run("pushc 7\npop\nhalt", &mut h);
+        assert_eq!(a.stack_depth(), 0);
+    }
+
+    #[test]
+    fn comparisons_set_condition() {
+        let mut h = TestHost::default();
+        // clt per the FireDetector idiom: temp=250 > 200 => condition 1.
+        let (a, _) = run("pushcl 250\npushcl 200\nclt\nhalt", &mut h);
+        assert_eq!(a.condition(), 1);
+        let (a, _) = run("pushcl 150\npushcl 200\nclt\nhalt", &mut h);
+        assert_eq!(a.condition(), 0);
+        let (a, _) = run("pushc 5\npushc 5\nceq\nhalt", &mut h);
+        assert_eq!(a.condition(), 1);
+        let (a, _) = run("pushcl 150\npushcl 200\ncgt\nhalt", &mut h);
+        assert_eq!(a.condition(), 1);
+        // clear resets.
+        let (a, _) = run("pushc 5\npushc 5\nceq\nclear\nhalt", &mut h);
+        assert_eq!(a.condition(), 0);
+    }
+
+    #[test]
+    fn eq_pushes_result() {
+        let mut h = TestHost::default();
+        let (mut a, _) = run("pushn fir\npushn fir\neq\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 1);
+        let (mut a, _) = run("pushn fir\npushn bar\neq\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn loc_and_aid() {
+        let mut h = TestHost::at(Location::new(3, 4));
+        let (mut a, _) = run("loc\nhalt", &mut h);
+        assert_eq!(a.pop_location("t").unwrap(), Location::new(3, 4));
+        let (a, _) = run("aid\nhalt", &mut h);
+        assert_eq!(a.stack()[0], TemplateField::Exact(Field::AgentId(AgentId(1))));
+    }
+
+    #[test]
+    fn leds_and_rand() {
+        let mut h = TestHost::default();
+        let (_, _) = run("pushc 5\nputled\nhalt", &mut h);
+        assert_eq!(h.leds, Some(5));
+        let (mut a, _) = run("rand\nhalt", &mut h);
+        a.pop_value("t").unwrap();
+    }
+
+    #[test]
+    fn sense_reads_scripted_sensor() {
+        let mut h = TestHost::default();
+        h.sensor_values.insert(SensorType::Temperature, 222);
+        let (mut a, _) = run("pushc 0\nsense\nhalt", &mut h);
+        assert_eq!(a.condition(), 1);
+        assert_eq!(a.pop_value("t").unwrap(), 222);
+    }
+
+    #[test]
+    fn sense_missing_sensor_clears_condition() {
+        let mut h = TestHost::default();
+        let (mut a, _) = run("pushc 1\nsense\nhalt", &mut h);
+        assert_eq!(a.condition(), 0);
+        assert_eq!(a.pop_value("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn neighbor_instructions() {
+        let mut h = TestHost {
+            neighbors: vec![Location::new(1, 2), Location::new(2, 1)],
+            ..TestHost::default()
+        };
+        let (mut a, _) = run("numnbrs\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 2);
+        let (mut a, _) = run("pushc 1\ngetnbr\nhalt", &mut h);
+        assert_eq!(a.pop_location("t").unwrap(), Location::new(2, 1));
+        let (a, _) = run("pushc 9\ngetnbr\nhalt", &mut h);
+        assert_eq!(a.condition(), 0);
+        let (mut a, _) = run("randnbr\nhalt", &mut h);
+        assert_eq!(a.condition(), 1);
+        a.pop_location("t").unwrap();
+    }
+
+    #[test]
+    fn randnbr_with_no_neighbors() {
+        let mut h = TestHost::default();
+        let (a, _) = run("randnbr\nhalt", &mut h);
+        assert_eq!(a.condition(), 0);
+        assert_eq!(a.stack_depth(), 0);
+    }
+
+    #[test]
+    fn heap_via_instructions() {
+        let mut h = TestHost::default();
+        let (mut a, _) = run("pushc 42\nsetvar 3\ngetvar 3\ngetvar 3\nadd\nhalt", &mut h);
+        assert_eq!(a.pop_value("t").unwrap(), 84);
+    }
+
+    #[test]
+    fn local_tuple_space_roundtrip() {
+        let mut h = TestHost::default();
+        // out <5>, then inp with a wildcard: cond=1, tuple back on stack.
+        let (mut a, _) = run(
+            "pushc 5\npushc 1\nout\npusht value\npushc 1\ninp\nhalt",
+            &mut h,
+        );
+        assert_eq!(a.condition(), 1);
+        assert_eq!(a.pop_value("arity").unwrap(), 1);
+        assert_eq!(a.pop_value("field").unwrap(), 5);
+        assert!(h.space.is_empty());
+    }
+
+    #[test]
+    fn rdp_leaves_tuple_in_space() {
+        let mut h = TestHost::default();
+        let (a, _) = run("pushc 5\npushc 1\nout\npusht value\npushc 1\nrdp\nhalt", &mut h);
+        assert_eq!(a.condition(), 1);
+        assert_eq!(h.space.len(), 1);
+    }
+
+    #[test]
+    fn inp_miss_clears_condition_and_pushes_nothing() {
+        let mut h = TestHost::default();
+        let (a, _) = run("pusht value\npushc 1\ninp\nhalt", &mut h);
+        assert_eq!(a.condition(), 0);
+        assert_eq!(a.stack_depth(), 0);
+    }
+
+    #[test]
+    fn blocking_in_blocks_then_retries() {
+        let mut h = TestHost::default();
+        let mut a = agent_with("pusht value\npushc 1\nin\nhalt");
+        let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+        assert_eq!(r, StepResult::Blocked);
+        // Template still on the stack, pc still at `in`.
+        assert_eq!(a.stack_depth(), 2);
+        // A tuple appears; retrying succeeds.
+        h.space
+            .out(Tuple::new(vec![Field::value(9)]).unwrap())
+            .unwrap();
+        let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+        assert_eq!(r, StepResult::Halted);
+        assert_eq!(a.condition(), 1);
+        assert_eq!(a.pop_value("arity").unwrap(), 1);
+        assert_eq!(a.pop_value("field").unwrap(), 9);
+    }
+
+    #[test]
+    fn tcount_counts() {
+        let mut h = TestHost::default();
+        let (mut a, _) = run(
+            "pushc 5\npushc 1\nout\npushc 5\npushc 1\nout\npusht value\npushc 1\ntcount\nhalt",
+            &mut h,
+        );
+        assert_eq!(a.pop_value("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn reactions_register_and_deregister() {
+        let mut h = TestHost::default();
+        // Fig. 2 idiom: template, then handler address, then regrxn.
+        let (_, r) = run("pushn fir\npusht location\npushc 2\npushc 0\nregrxn\nhalt", &mut h);
+        assert_eq!(r, StepResult::Halted);
+        assert_eq!(h.registry.len(), 1);
+        // Deregister the same template: cond = 1.
+        let (a, _) = run(
+            "pushn fir\npusht location\npushc 2\ndregrxn_placeholder\nhalt"
+                .replace("dregrxn_placeholder", "deregrxn")
+                .as_str(),
+            &mut h,
+        );
+        assert_eq!(a.condition(), 1);
+        assert_eq!(h.registry.len(), 0);
+    }
+
+    #[test]
+    fn wait_and_reaction_dispatch() {
+        let mut h = TestHost::default();
+        let src = "pushn fir\npusht value\npushc 2\npushc FIRE\nregrxn\nwait\nFIRE pop\nhalt";
+        let mut a = agent_with(src);
+        let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+        assert_eq!(r, StepResult::WaitForReaction);
+        // Engine-side: a matching tuple arrives, dispatch the reaction.
+        let fired = Tuple::new(vec![Field::str("fir"), Field::value(3)]).unwrap();
+        let rx = h.registry.matching(&fired);
+        assert_eq!(rx.len(), 1);
+        enter_reaction(&mut a, &fired, rx[0].pc).unwrap();
+        let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+        assert_eq!(r, StepResult::Halted);
+        // Handler popped the arity; fields + saved pc remain.
+        assert_eq!(a.stack_depth(), 3);
+    }
+
+    #[test]
+    fn jumps_returns_from_reaction() {
+        let mut h = TestHost::default();
+        // Handler at RET pops arity+fields then returns via jumps.
+        let src = "pushc 1\npop\nhalt\nRET pop\npop\npop\njumps";
+        let mut a = agent_with(src);
+        // Simulate: agent was at pc 0; reaction fires to RET with tuple <1,2>.
+        let t = Tuple::new(vec![Field::value(1), Field::value(2)]).unwrap();
+        let program = crate::asm::assemble(src).unwrap();
+        let ret = program.label("RET").unwrap();
+        enter_reaction(&mut a, &t, ret).unwrap();
+        let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+        // After return, execution continues from pc 0 and halts normally.
+        assert_eq!(r, StepResult::Halted);
+        assert_eq!(a.stack_depth(), 0);
+    }
+
+    #[test]
+    fn migration_effects() {
+        let mut h = TestHost::default();
+        let mut a = agent_with("pushloc 5 1\nsmove\nhalt");
+        let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+        assert_eq!(
+            r,
+            StepResult::Migrate { kind: MigrateKind::StrongMove, dest: Location::new(5, 1) }
+        );
+        // pc advanced past smove: a strong arrival resumes at `halt`.
+        let (ins, _) = Instruction::decode(a.code(), a.pc()).unwrap();
+        assert_eq!(ins.op, Opcode::Halt);
+
+        for (src, kind) in [
+            ("pushloc 1 1\nwmove\nhalt", MigrateKind::WeakMove),
+            ("pushloc 1 1\nsclone\nhalt", MigrateKind::StrongClone),
+            ("pushloc 1 1\nwclone\nhalt", MigrateKind::WeakClone),
+        ] {
+            let mut a = agent_with(src);
+            let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+            assert_eq!(r, StepResult::Migrate { kind, dest: Location::new(1, 1) });
+        }
+    }
+
+    #[test]
+    fn remote_ops_surface_effects() {
+        let mut h = TestHost::default();
+        // rout: tuple then location (Fig. 8's rout agent).
+        let mut a = agent_with("pushc 1\npushc 1\npushloc 5 1\nrout\nhalt");
+        let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+        match r {
+            StepResult::Remote(RemoteOp::Out { dest, tuple }) => {
+                assert_eq!(dest, Location::new(5, 1));
+                assert_eq!(tuple, Tuple::new(vec![Field::value(1)]).unwrap());
+            }
+            other => panic!("expected rout effect, got {other:?}"),
+        }
+        let mut a = agent_with("pusht value\npushc 1\npushloc 2 1\nrinp\nhalt");
+        let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+        assert!(matches!(r, StepResult::Remote(RemoteOp::Inp { .. })));
+        let mut a = agent_with("pusht value\npushc 1\npushloc 2 1\nrrdp\nhalt");
+        let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+        assert!(matches!(r, StepResult::Remote(RemoteOp::Rdp { .. })));
+    }
+
+    #[test]
+    fn remote_result_delivery() {
+        let mut a = agent_with("halt");
+        deliver_remote_result(&mut a, None, false).unwrap();
+        assert_eq!(a.condition(), 0);
+        let t = Tuple::new(vec![Field::value(4)]).unwrap();
+        deliver_remote_result(&mut a, Some(t), true).unwrap();
+        assert_eq!(a.condition(), 1);
+        assert_eq!(a.pop_value("arity").unwrap(), 1);
+        assert_eq!(a.pop_value("f").unwrap(), 4);
+    }
+
+    #[test]
+    fn sleep_yields_ticks() {
+        let mut h = TestHost::default();
+        let mut a = agent_with("pushcl 4800\nsleep\nhalt");
+        let r = run_to_effect(&mut a, &mut h, 100).unwrap();
+        assert_eq!(r, StepResult::Sleep { ticks: 4800 });
+    }
+
+    #[test]
+    fn rjump_loops_and_rjumpc_branches() {
+        let mut h = TestHost::default();
+        // Loop three times: counter in heap 0.
+        let src = "pushc 0\nsetvar 0\nLOOP getvar 0\ninc\nsetvar 0\ngetvar 0\npushc 3\nceq\nrjumpc DONE\nrjump LOOP\nDONE halt";
+        let (mut a, r) = run(src, &mut h);
+        assert_eq!(r, StepResult::Halted);
+        a.getvar(0).unwrap();
+        assert_eq!(a.pop_value("t").unwrap(), 3);
+    }
+
+    #[test]
+    fn runaway_agent_is_stopped() {
+        let mut h = TestHost::default();
+        let mut a = agent_with("LOOP rjump LOOP");
+        let err = run_to_effect(&mut a, &mut h, 1000).unwrap_err();
+        assert_eq!(err, VmError::Resource("instruction budget"));
+    }
+
+    #[test]
+    fn invalid_jump_targets_error() {
+        let mut h = TestHost::default();
+        let mut a = agent_with("pushcl 999\njumps");
+        assert_eq!(run_to_effect(&mut a, &mut h, 10), Err(VmError::JumpOutOfRange));
+    }
+}

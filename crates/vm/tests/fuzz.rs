@@ -1,0 +1,108 @@
+//! Robustness: arbitrary bytes fed to the VM as code must never panic —
+//! agents arrive over a lossy radio, so the interpreter treats code as
+//! untrusted input and faults gracefully.
+
+use agilla_vm::exec::{run_to_effect, StepResult, TestHost};
+use agilla_vm::{asm, AgentState};
+use proptest::prelude::*;
+use wsn_common::{AgentId, Location, SensorType};
+
+fn host() -> TestHost {
+    let mut h = TestHost::at(Location::new(2, 2));
+    h.neighbors = vec![Location::new(1, 2), Location::new(2, 1)];
+    h.sensor_values.insert(SensorType::Temperature, 70);
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Completely random bytes: decode errors, stack faults, whatever — but
+    /// never a panic, and never more instructions than the budget.
+    #[test]
+    fn random_bytes_never_panic(code in proptest::collection::vec(any::<u8>(), 1..200)) {
+        let Ok(mut agent) = AgentState::with_code(AgentId(1), code) else {
+            return Ok(()); // over the 440-byte budget: rejected cleanly
+        };
+        let mut h = host();
+        let _ = run_to_effect(&mut agent, &mut h, 2_000);
+    }
+
+    /// Random *valid* opcode streams (operands may still be nonsense).
+    #[test]
+    fn random_opcode_streams_never_panic(
+        ops in proptest::collection::vec(0usize..agilla_vm::Opcode::ALL.len(), 1..80),
+        operands in proptest::collection::vec(any::<u8>(), 3),
+    ) {
+        let mut code = Vec::new();
+        for i in ops {
+            let op = agilla_vm::Opcode::ALL[i];
+            code.push(op as u8);
+            for k in 1..op.encoded_len() {
+                code.push(operands[k % 3]);
+            }
+        }
+        let Ok(mut agent) = AgentState::with_code(AgentId(1), code) else {
+            return Ok(());
+        };
+        let mut h = host();
+        let _ = run_to_effect(&mut agent, &mut h, 2_000);
+    }
+
+    /// Assembler/disassembler round trip: any program built from the full
+    /// instruction inventory survives assemble -> disassemble -> assemble
+    /// with identical bytes.
+    #[test]
+    fn asm_disasm_roundtrip(statements in proptest::collection::vec(arb_statement(), 1..40)) {
+        let src = statements.join("\n");
+        let p1 = asm::assemble(&src).expect("generated programs assemble");
+        let listing = asm::disassemble(p1.code());
+        let stripped: String = listing
+            .lines()
+            .map(|l| l.split_once(": ").map(|(_, rest)| rest).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let p2 = asm::assemble(&stripped).expect("disassembly reassembles");
+        prop_assert_eq!(p1.code(), p2.code());
+    }
+}
+
+/// One random assembly statement with valid operands.
+fn arb_statement() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("halt".to_string()),
+        Just("loc".to_string()),
+        Just("aid".to_string()),
+        Just("pop".to_string()),
+        Just("copy".to_string()),
+        Just("swap".to_string()),
+        Just("add".to_string()),
+        Just("makeloc".to_string()),
+        Just("out".to_string()),
+        Just("inp".to_string()),
+        Just("regrxn".to_string()),
+        Just("numnbrs".to_string()),
+        (0u8..=255).prop_map(|v| format!("pushc {v}")),
+        any::<i16>().prop_map(|v| format!("pushcl {v}")),
+        ((-9i8..9), (-9i8..9)).prop_map(|(x, y)| format!("pushloc {x} {y}")),
+        "[a-z]{1,3}".prop_map(|s| format!("pushn {s}")),
+        Just("pusht location".to_string()),
+        Just("pushrt temperature".to_string()),
+        (0u8..12).prop_map(|i| format!("setvar {i}")),
+        (0u8..12).prop_map(|i| format!("getvar {i}")),
+        (-20i8..20).prop_map(|o| format!("rjump {o}")),
+    ]
+}
+
+/// A deterministic smoke check that the fuzz harness itself works: a benign
+/// program runs to halt.
+#[test]
+fn fuzz_harness_smoke() {
+    let mut agent = AgentState::with_code(
+        AgentId(1),
+        asm::assemble("pushc 1\npushc 2\nadd\npop\nhalt").unwrap().into_code(),
+    )
+    .unwrap();
+    let mut h = host();
+    assert_eq!(run_to_effect(&mut agent, &mut h, 100).unwrap(), StepResult::Halted);
+}

@@ -1,0 +1,72 @@
+//! The paper's case study (Sections 2.1 and 5): FIREDETECTOR agents watch
+//! for fire; when one detects it, it alerts a waiting FIRETRACKER, which
+//! clones itself to the burning node and marks the perimeter.
+//!
+//! Run with: `cargo run --example fire_tracking`
+
+use agilla::{workload, AgillaConfig, AgillaNetwork, Environment, FireModel};
+use agilla_tuplespace::{Field, Template, TemplateField};
+use wsn_common::Location;
+use wsn_sim::{SimDuration, SimTime};
+
+fn main() {
+    let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), 7);
+
+    // The fire tracker waits at the base station for fire-alert tuples.
+    let tracker = net.inject_source(workload::FIRE_TRACKER).expect("inject tracker");
+    println!("FIRETRACKER {tracker} waiting at the base station.");
+
+    // Fire detectors on a patrol line of the forest, sampling every second.
+    let detector_src = workload::fire_detector(Location::new(0, 1), 8);
+    for x in 1..=5i16 {
+        let loc = Location::new(x, 3);
+        let id = net.inject_source_at(loc, &detector_src).expect("inject detector");
+        println!("FIREDETECTOR {id} deployed at {loc}.");
+    }
+
+    // Lightning strikes (3,3) twenty simulated seconds in; the front spreads
+    // at 0.1 grid units per second.
+    let ignition = SimTime::ZERO + SimDuration::from_secs(20);
+    let fire = FireModel::new(Location::new(3, 3), ignition);
+    net.set_environment(Environment::with_fire(fire));
+    println!("\nLightning will ignite (3,3) at t=20s. Running 120 simulated seconds...\n");
+
+    net.run_for(SimDuration::from_secs(120));
+
+    println!("--- alerts and reactions ---");
+    for rec in net.trace().iter().filter(|r| {
+        r.kind == "reaction.fire" || r.kind == "migrate.arrive" || r.kind == "remote.serve"
+    }) {
+        println!("{rec}");
+    }
+
+    // Perimeter marks left by tracker clones.
+    let trk = Template::new(vec![
+        TemplateField::exact(Field::str("trk")),
+        TemplateField::any_location(),
+    ]);
+    println!("\n--- perimeter map (t = tracker mark, * = burning, . = quiet) ---");
+    let fire = net.environment().fire().expect("fire environment").clone();
+    let now = net.now();
+    for y in (1..=5i16).rev() {
+        let mut row = String::new();
+        for x in 1..=5i16 {
+            let loc = Location::new(x, y);
+            let node = net.node_at(loc).unwrap();
+            let marked = net.node(node).space.count(&trk) > 0;
+            let burning = fire.is_burning(loc, now);
+            row.push(match (marked, burning) {
+                (true, _) => 't',
+                (false, true) => '*',
+                (false, false) => '.',
+            });
+            row.push(' ');
+        }
+        println!("  {row}");
+    }
+
+    println!(
+        "\nThe tracker original still waits at the base for more alerts: {}",
+        net.find_agent(tracker) == Some(net.base())
+    );
+}

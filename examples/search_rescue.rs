@@ -1,0 +1,120 @@
+//! Search and rescue (from the motivating example, Section 2.1): after the
+//! fire, rescuers inject agents that scour the region looking for lost
+//! hikers, report their positions to the base station, and leave waypoint
+//! tuples that rescuers carrying PDAs can follow.
+//!
+//! Hikers are modelled as `hik` tuples pre-placed on the nodes nearest to
+//! them (e.g. dropped by a previous sensing application); a column of
+//! searcher agents sweeps the grid, probing each node's tuple space.
+//!
+//! Run with: `cargo run --example search_rescue`
+
+use agilla::{AgillaConfig, AgillaNetwork};
+use agilla_tuplespace::{Field, Template, TemplateField};
+use wsn_common::Location;
+use wsn_sim::SimDuration;
+
+/// A sweep agent: walks its column from y=1 to y=5 (row counter in heap 1);
+/// on each node it probes for a hiker tuple; if found, routs a `fnd` report
+/// (with the hiker's location) to the base station and drops a `way`
+/// waypoint marker.
+fn searcher(column: i16) -> String {
+    format!(
+        "\
+pushc 1
+setvar 1          // y := 1
+BEGIN pushn hik
+pusht value
+pushc 2
+rdp               // anyone here?
+rjumpc FOUND
+NEXT getvar 1
+pushc 5
+ceq               // at the top of the column?
+rjumpc DONE
+getvar 1
+inc
+setvar 1          // y := y + 1
+pushc {col}
+getvar 1
+makeloc           // target (col, y)
+smove             // move up the column
+rjump BEGIN
+FOUND pop         // drop arity: [\"hik\", id]
+pop               // drop hiker id
+pop               // drop \"hik\"
+pushn fnd
+loc
+pushc 2
+pushloc 0 1
+rout              // report <\"fnd\", location> to the base
+pushn way
+loc
+pushc 2
+out               // waypoint for the rescuers
+rjump NEXT
+DONE halt",
+        col = column
+    )
+}
+
+fn main() {
+    let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), 11);
+
+    // Two lost hikers, known to the reader but not to the searchers.
+    for (loc, id) in [(Location::new(2, 4), 71i16), (Location::new(4, 2), 72)] {
+        let seed = format!("pushn hik\npushcl {id}\npushc 2\nout\nhalt");
+        net.inject_source_at(loc, &seed).expect("seed hiker tuple");
+    }
+    net.run_for(SimDuration::from_secs(1));
+    println!("Two hikers are lost somewhere on the grid. Injecting 5 searchers...\n");
+
+    // One searcher per column, starting at the southern edge.
+    for col in 1..=5i16 {
+        let id = net
+            .inject_source_at(Location::new(col, 1), &searcher(col))
+            .expect("inject searcher");
+        println!("searcher {id} sweeping column {col}");
+    }
+
+    net.run_for(SimDuration::from_secs(60));
+
+    // The base station collects the find reports.
+    let fnd = Template::new(vec![
+        TemplateField::exact(Field::str("fnd")),
+        TemplateField::any_location(),
+    ]);
+    println!("\n--- reports at the base station ---");
+    let base = net.base();
+    let mut found = Vec::new();
+    for t in net.node(base).space.iter() {
+        if fnd.matches(&t) {
+            println!("  {t}");
+            if let Some(Field::Location(l)) = t.field(1) {
+                found.push(*l);
+            }
+        }
+    }
+    println!(
+        "\nBoth hikers located: {}",
+        found.contains(&Location::new(2, 4)) && found.contains(&Location::new(4, 2))
+    );
+
+    // Waypoints on the ground.
+    let way = Template::new(vec![
+        TemplateField::exact(Field::str("way")),
+        TemplateField::any_location(),
+    ]);
+    println!("\n--- waypoint map (w = waypoint, h = hiker node) ---");
+    for y in (1..=5i16).rev() {
+        let mut row = String::new();
+        for x in 1..=5i16 {
+            let node = net.node_at(Location::new(x, y)).unwrap();
+            let w = net.node(node).space.count(&way) > 0;
+            let h = [Location::new(2, 4), Location::new(4, 2)].contains(&Location::new(x, y));
+            row.push(if w { 'w' } else if h { 'h' } else { '.' });
+            row.push(' ');
+        }
+        println!("  {row}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the Agilla reproduction: re-exports every layer so the
+//! examples and cross-crate integration tests have one coherent import
+//! surface.
+//!
+//! Start with [`agilla::AgillaNetwork`] and the [`agilla::workload`] agents;
+//! see the `examples/` directory for runnable scenarios and DESIGN.md for
+//! the system inventory.
+
+#![warn(missing_docs)]
+
+pub use agilla;
+pub use agilla_tuplespace as tuplespace;
+pub use agilla_vm as vm;
+pub use mate_baseline as mate;
+pub use wsn_common as common;
+pub use wsn_net as net;
+pub use wsn_radio as radio;
+pub use wsn_sim as sim;

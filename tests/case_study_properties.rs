@@ -1,0 +1,63 @@
+//! End-to-end properties of the fire case study: wherever the fire starts
+//! and whenever it ignites, the detector-tracker pipeline marks the burning
+//! node.
+
+use agilla_suite::agilla::{workload, AgillaConfig, AgillaNetwork, Environment, FireModel};
+use agilla_suite::common::Location;
+use agilla_suite::sim::{SimDuration, SimTime};
+use agilla_suite::tuplespace::{Field, Template, TemplateField};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fire_anywhere_gets_tracked(
+        fx in 1i16..=5,
+        fy in 1i16..=5,
+        ignite_s in 0u64..20,
+        seed in 0u64..1_000,
+    ) {
+        let fire_loc = Location::new(fx, fy);
+        let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), seed);
+        net.set_environment(Environment::with_fire(FireModel::new(
+            fire_loc,
+            SimTime::ZERO + SimDuration::from_secs(ignite_s),
+        )));
+        let tracker = net.inject_source(workload::FIRE_TRACKER).expect("tracker");
+        net.inject_source_at(fire_loc, &workload::fire_detector(Location::new(0, 1), 8))
+            .expect("detector");
+        net.run_for(SimDuration::from_secs(ignite_s + 40));
+
+        let fire_node = net.node_at(fire_loc).expect("grid node");
+        let trk = Template::new(vec![
+            TemplateField::exact(Field::str("trk")),
+            TemplateField::any_location(),
+        ]);
+        prop_assert_eq!(
+            net.node(fire_node).space.count(&trk),
+            1,
+            "perimeter mark at {}", fire_loc
+        );
+        // The tracker original survives to serve the next alert.
+        prop_assert_eq!(net.find_agent(tracker), Some(net.base()));
+    }
+
+    /// The detector never false-alarms: without a fire, no `fir` tuple ever
+    /// reaches the base station.
+    #[test]
+    fn no_fire_no_alert(seed in 0u64..1_000, dx in 1i16..=5, dy in 1i16..=5) {
+        let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), seed);
+        net.inject_source_at(
+            Location::new(dx, dy),
+            &workload::fire_detector(Location::new(0, 1), 8),
+        )
+        .expect("detector");
+        net.run_for(SimDuration::from_secs(30));
+        let fir = Template::new(vec![
+            TemplateField::exact(Field::str("fir")),
+            TemplateField::any_location(),
+        ]);
+        prop_assert_eq!(net.node(net.base()).space.count(&fir), 0);
+    }
+}
