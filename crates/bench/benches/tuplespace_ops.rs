@@ -1,5 +1,5 @@
 //! Tuple-space operation cost versus arena occupancy and discipline — the
-//! measured side of the DESIGN.md §4.2 arena ablation.
+//! measured side of the arena-discipline ablation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

@@ -1,7 +1,7 @@
 //! Runs every figure and table binary's logic in sequence with reduced trial
-//! counts — a one-command regeneration of the paper's evaluation for
-//! EXPERIMENTS.md. For publication-grade numbers run the individual binaries
-//! with their default (100-trial) settings in release mode.
+//! counts — a one-command regeneration of the paper's evaluation. For
+//! publication-grade numbers run the individual binaries with their default
+//! (100-trial) settings in release mode.
 
 use std::process::Command;
 

@@ -3,7 +3,7 @@
 //! smove latencies are one-way (round trip halved, as in the paper); rout
 //! latencies are means over operations that succeeded without an end-to-end
 //! retransmission (the paper's 2 s timeout retries would otherwise dominate
-//! the mean — see EXPERIMENTS.md).
+//! the mean).
 
 use agilla::AgillaConfig;
 use agilla_bench::{fig9_fig10, Table};

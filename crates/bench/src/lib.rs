@@ -2,7 +2,7 @@
 //! paper's evaluation (Section 4) and case study (Section 5).
 //!
 //! Each `fig*`/`table_*`/`ablation_*` binary prints the paper's reported
-//! numbers next to the reproduction's, so EXPERIMENTS.md can be regenerated
+//! numbers next to the reproduction's, so the figure report can be regenerated
 //! by running them all (`cargo run -p agilla-bench --release --bin
 //! all_figures`).
 

@@ -85,8 +85,8 @@ impl Default for AgillaConfig {
 
 /// Software-path timing constants, calibrated so the simulated operation
 /// latencies land on the paper's measurements (≈55 ms one-hop remote
-/// tuple-space ops, ≈225 ms one-hop migrations; Figs. 10–11). See
-/// EXPERIMENTS.md for the calibration run.
+/// tuple-space ops, ≈225 ms one-hop migrations; Figs. 10–11). The
+/// `fig10_latency` and `fig11_remote_ops` binaries replay the calibration.
 #[derive(Debug, Clone)]
 pub struct TimingModel {
     /// Serializing an agent and opening a sender session, µs. Covers the

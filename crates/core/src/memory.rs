@@ -7,7 +7,7 @@
 //! budget comes directly from the configuration (the same numbers the paper
 //! states), and each component's ROM cost is an estimate proportional to its
 //! implementation complexity, normalized so the total matches the measured
-//! build the paper reports. EXPERIMENTS.md discusses the substitution.
+//! build the paper reports. The substitution is noted in the README.
 
 use crate::config::AgillaConfig;
 

@@ -1164,6 +1164,19 @@ impl AgillaNetwork {
             self.send_session_ack(idx, h.session, wire::MigSection::State, MigAck::HEADER_SEQ);
             return;
         }
+        if let Some((cached_from, cached_origin)) = self.nodes[idx].mig_done(h.session, from, now) {
+            // Header retransmission for a completed session: re-ack rather
+            // than reopening the session and receiving a duplicate agent.
+            self.send_ack_via(
+                idx,
+                h.session,
+                wire::MigSection::State,
+                MigAck::HEADER_SEQ,
+                cached_from,
+                cached_origin,
+            );
+            return;
+        }
         if is_final && !self.nodes[idx].can_admit(h.code_len as usize, &self.config) {
             let nack = MigNack { session: h.session }.encode();
             match origin {
@@ -1209,11 +1222,25 @@ impl AgillaNetwork {
     /// Acknowledges a migration message along the session's reply path
     /// (link-local for hop-by-hop, geographic for end-to-end).
     fn send_session_ack(&mut self, idx: usize, session: u16, section: wire::MigSection, seq: u8) {
-        let node_id = self.nodes[idx].id;
         let Some(s) = self.nodes[idx].recv_sessions.get(&session) else {
             return;
         };
         let (from, origin) = (s.from, s.origin);
+        self.send_ack_via(idx, session, section, seq, from, origin);
+    }
+
+    /// Sends a migration ack along an explicit reply path (link-local for
+    /// hop-by-hop, geographic for end-to-end).
+    fn send_ack_via(
+        &mut self,
+        idx: usize,
+        session: u16,
+        section: wire::MigSection,
+        seq: u8,
+        from: NodeId,
+        origin: Option<Location>,
+    ) {
+        let node_id = self.nodes[idx].id;
         let ack = MigAck { session, section, seq }.encode();
         match origin {
             None => {
@@ -1246,10 +1273,18 @@ impl AgillaNetwork {
         }
     }
 
-    fn handle_mig_data(&mut self, idx: usize, _from: NodeId, d: MigData, now: SimTime) {
+    fn handle_mig_data(&mut self, idx: usize, from: NodeId, d: MigData, now: SimTime) {
         let complete = {
             let Some(s) = self.nodes[idx].recv_sessions.get_mut(&d.session) else {
-                return; // aborted or unknown session; sender will give up
+                // A retransmission for a session this node already completed
+                // means the final ack was lost: re-ack so the sender does not
+                // declare failure and resume a duplicate of an agent that in
+                // fact arrived. Truly unknown (aborted) sessions stay silent
+                // and the sender gives up.
+                if let Some((reply_to, origin)) = self.nodes[idx].mig_done(d.session, from, now) {
+                    self.send_ack_via(idx, d.session, d.section, d.seq, reply_to, origin);
+                }
+                return;
             };
             if !s.buf.accept(&d) {
                 return;
@@ -1303,6 +1338,7 @@ impl AgillaNetwork {
         if let Some(t) = s.abort_timer {
             self.queue.cancel(t);
         }
+        self.nodes[idx].cache_mig_done(session, s.from, s.origin, now);
         let header = *s.buf.header();
         let (agent, reactions) = match s.buf.finish() {
             Ok(v) => v,

@@ -156,6 +156,14 @@ pub struct Node {
     pub pending_remote: HashMap<u16, PendingRemote>,
     /// Recently served remote operations, for duplicate-request replies.
     pub reply_cache: VecDeque<(u16, Location, RtsReply)>,
+    /// Recently completed inbound migration sessions `(session, from,
+    /// origin, completed_at)`. A data retransmission for one of these means
+    /// the final ack was lost; re-acking from this cache stops the sender
+    /// from declaring failure and resuming a duplicate of an agent that
+    /// already arrived. Entries expire (see [`Node::mig_done`]) so a
+    /// wrapped-around session id cannot match a stale record and black-hole
+    /// a genuinely new migration.
+    pub mig_done_cache: VecDeque<(u16, NodeId, Option<Location>, SimTime)>,
     /// Whether the mote has been failed by fault injection: dead nodes send
     /// nothing, receive nothing, and execute nothing.
     pub dead: bool,
@@ -192,6 +200,7 @@ impl Node {
             recv_sessions: HashMap::new(),
             pending_remote: HashMap::new(),
             reply_cache: VecDeque::new(),
+            mig_done_cache: VecDeque::new(),
             dead: false,
         }
     }
@@ -293,6 +302,48 @@ impl Node {
             .find(|(id, org, _)| *id == op_id && *org == origin)
             .map(|(_, _, r)| r)
     }
+
+    /// How long a completed-session record answers duplicate migration
+    /// messages. Far above the sender's worst-case retry horizon (≈0.5 s
+    /// hop-by-hop, ≈2.5 s end-to-end), far below any plausible time for the
+    /// global session counter to wrap back to the same id.
+    pub const MIG_DONE_TTL_SECS: u64 = 10;
+
+    /// Records a completed inbound migration session for duplicate re-acks.
+    pub fn cache_mig_done(
+        &mut self,
+        session: u16,
+        from: NodeId,
+        origin: Option<Location>,
+        now: SimTime,
+    ) {
+        if self.mig_done_cache.len() == REPLY_CACHE {
+            self.mig_done_cache.pop_front();
+        }
+        self.mig_done_cache.push_back((session, from, origin, now));
+    }
+
+    /// Looks up the reply path of a recently completed inbound migration
+    /// session. Hop-by-hop entries additionally require the same link
+    /// sender, so only the retransmitting sender (not a new migration that
+    /// happens to reuse the id) gets the cached ack; end-to-end duplicates
+    /// can arrive via a different last hop, so those match on session alone.
+    pub fn mig_done(
+        &self,
+        session: u16,
+        from: NodeId,
+        now: SimTime,
+    ) -> Option<(NodeId, Option<Location>)> {
+        let ttl = SimDuration::from_secs(Self::MIG_DONE_TTL_SECS);
+        self.mig_done_cache
+            .iter()
+            .find(|(s, f, origin, at)| {
+                *s == session
+                    && now.saturating_since(*at) <= ttl
+                    && (origin.is_some() || *f == from)
+            })
+            .map(|(_, from, origin, _)| (*from, *origin))
+    }
 }
 
 #[cfg(test)]
@@ -383,5 +434,52 @@ mod tests {
         assert!(n.cached_reply(0, origin).is_none(), "oldest evicted");
         assert!(n.cached_reply(9, origin).is_some());
         assert!(n.cached_reply(9, Location::new(5, 5)).is_none(), "origin mismatch");
+    }
+
+    #[test]
+    fn mig_done_cache_answers_the_retransmitting_sender() {
+        let mut n = node();
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        n.cache_mig_done(42, NodeId(7), None, now);
+        // The sender whose final ack was lost gets the cached reply path.
+        assert_eq!(n.mig_done(42, NodeId(7), now), Some((NodeId(7), None)));
+        // A *different* link sender reusing the session id (wrap-around)
+        // must not hit the hop-by-hop entry.
+        assert_eq!(n.mig_done(42, NodeId(9), now), None);
+        // Unknown sessions (e.g. receiver-aborted) stay silent.
+        assert_eq!(n.mig_done(43, NodeId(7), now), None);
+    }
+
+    #[test]
+    fn mig_done_cache_matches_e2e_sessions_from_any_hop() {
+        let mut n = node();
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        let origin = Some(Location::new(0, 1));
+        n.cache_mig_done(5, NodeId(2), origin, now);
+        // End-to-end duplicates can be georouted in via a different last
+        // hop, so the match is on session alone.
+        assert_eq!(n.mig_done(5, NodeId(3), now), Some((NodeId(2), origin)));
+    }
+
+    #[test]
+    fn mig_done_cache_entries_expire() {
+        let mut n = node();
+        let done_at = SimTime::ZERO + SimDuration::from_secs(1);
+        n.cache_mig_done(42, NodeId(7), None, done_at);
+        let within = done_at + SimDuration::from_secs(Node::MIG_DONE_TTL_SECS);
+        assert!(n.mig_done(42, NodeId(7), within).is_some(), "alive inside the TTL");
+        let after = within + SimDuration::from_micros(1);
+        assert_eq!(n.mig_done(42, NodeId(7), after), None, "expired past the TTL");
+    }
+
+    #[test]
+    fn mig_done_cache_evicts_oldest() {
+        let mut n = node();
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        for s in 0..10u16 {
+            n.cache_mig_done(s, NodeId(7), None, now);
+        }
+        assert_eq!(n.mig_done(0, NodeId(7), now), None, "oldest evicted");
+        assert!(n.mig_done(9, NodeId(7), now).is_some());
     }
 }

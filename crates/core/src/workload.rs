@@ -74,7 +74,12 @@ halt",
 /// tuple and halts; the original returns to waiting so it can dispatch
 /// trackers to every subsequent alert (the full dynamic-perimeter logic of
 /// the authors' IPSN'05 companion paper is approximated by perimeter
-/// marking — see DESIGN.md).
+/// marking).
+///
+/// A failed migration resumes the in-transit agent on the node where the
+/// transfer stalled with the condition code cleared (Section 3.2), so the
+/// agent re-issues the `sclone` from there until a copy reaches the alert
+/// location — the retry-on-condition-zero idiom of the paper's agents.
 pub const FIRE_TRACKER: &str = "\
 BEGIN pushn fir
 pusht location
@@ -86,9 +91,11 @@ rjump IDLE
 FIRE pop          // drop the tuple arity: [savedPC, \"fir\", alertLoc]
 setvar 2          // stash the alert location
 pop               // drop \"fir\": [savedPC]
-getvar 2
+RETRY getvar 2
 sclone            // strong clone to the node that detected the fire
-loc
+rjumpc ARRIVED    // 1 = arrived copy, 2 = clone dispatched
+rjump RETRY       // 0 = migration failed: retry from where we stand
+ARRIVED loc
 getvar 2
 ceq               // am I standing at the alert location?
 rjumpc MARK       // the clone is; the original is not

@@ -184,6 +184,36 @@ fn reaction_fires_on_rout_and_fire_tracker_clones_to_fire() {
     assert_eq!(net.find_agent(tracker), Some(net.base()));
 }
 
+/// Regression test for the two migration-robustness fixes that landed with
+/// the workspace bootstrap: `FIRE_TRACKER` retries `sclone` on condition 0
+/// (so a failed hop cannot strand the tracker clone), and receivers re-ack
+/// duplicate migration messages from the completed-session cache (so a lost
+/// final ack cannot duplicate the clone). On the lossy testbed profile the
+/// mark count distinguishes the three outcomes: 0 = retry missing,
+/// 2+ = duplicate suppression missing, 1 = both correct.
+#[test]
+fn fire_tracking_is_exactly_once_under_loss() {
+    for seed in [1u64, 3, 5, 7, 11, 42] {
+        let mut net = AgillaNetwork::testbed_5x5(AgillaConfig::default(), seed);
+        let fire_loc = Location::new(4, 4);
+        net.set_environment(Environment::with_fire(FireModel::new(fire_loc, SimTime::ZERO)));
+        net.inject_source(workload::FIRE_TRACKER).unwrap();
+        net.inject_source_at(fire_loc, &workload::fire_detector(Location::new(0, 1), 8))
+            .unwrap();
+        net.run_for(SimDuration::from_secs(90));
+        let fire_node = net.node_at(fire_loc).unwrap();
+        let trk = Template::new(vec![
+            TemplateField::exact(Field::str("trk")),
+            TemplateField::any_location(),
+        ]);
+        assert_eq!(
+            net.node(fire_node).space.count(&trk),
+            1,
+            "seed {seed}: exactly one perimeter mark"
+        );
+    }
+}
+
 #[test]
 fn capability_tuples_advertise_sensors() {
     let net = reliable();

@@ -20,7 +20,7 @@ pub struct MacConfig {
 }
 
 impl MacConfig {
-    /// The calibrated MICA2/TinyOS profile (see DESIGN.md §6).
+    /// The calibrated MICA2/TinyOS profile (see the loss-model docs in `wsn_radio`).
     pub fn mica2() -> Self {
         MacConfig {
             backoff_min_us: 400,

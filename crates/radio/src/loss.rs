@@ -90,7 +90,7 @@ impl GilbertElliott {
 /// ```
 /// use wsn_radio::LossModel;
 ///
-/// // The calibrated testbed profile: see DESIGN.md §6.
+/// // The calibrated testbed profile (MICA2 measurements).
 /// let m = LossModel::mica2_testbed();
 /// let small = m.frame_loss_probability(12 * 8);
 /// let large = m.frame_loss_probability(60 * 8);
@@ -123,7 +123,7 @@ impl LossModel {
     }
 
     /// The calibrated MICA2 desk-testbed profile used for the paper's
-    /// figures (see DESIGN.md §6 and EXPERIMENTS.md for the calibration).
+    /// figures (see the module docs for the calibration rationale).
     ///
     /// BER ≈ 2.6e-4 gives ≈8–10 % loss for the small tuple-op frames
     /// (≈45 on-air bytes) and ≈13–16 % for large migration frames

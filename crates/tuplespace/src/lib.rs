@@ -15,7 +15,7 @@
 //! * [`TupleSpace`] — the paper's 600-byte *linear arena*: tuples are stored
 //!   serialized back-to-back; removal shifts all following tuples forward
 //!   (Section 3.2, Tuple Space Manager). A free-list alternative is provided
-//!   for the DESIGN.md ablation.
+//!   for the arena-discipline ablation.
 //! * [`Reaction`], [`ReactionRegistry`] — the 400-byte reaction registry that
 //!   notifies agents when a matching tuple is inserted.
 //!

@@ -12,7 +12,7 @@ use crate::tuple::{Tuple, MAX_TUPLE_BYTES};
 /// the need for forward pointers, the 600-bytes are allocated linearly. When
 /// a tuple is removed, all following tuples are shifted forward. While this
 /// may result in more memory swapping, it is simple." (Section 3.2). The
-/// free-list alternative exists for the DESIGN.md §4.2 ablation.
+/// free-list alternative exists for the arena-discipline ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ArenaKind {
     /// Paper's design: contiguous storage, shift-compaction on removal.

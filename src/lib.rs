@@ -3,8 +3,8 @@
 //! surface.
 //!
 //! Start with [`agilla::AgillaNetwork`] and the [`agilla::workload`] agents;
-//! see the `examples/` directory for runnable scenarios and DESIGN.md for
-//! the system inventory.
+//! see the `examples/` directory for runnable scenarios and README.md for
+//! the crate-by-crate map to the paper's sections.
 
 #![warn(missing_docs)]
 

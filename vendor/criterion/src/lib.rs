@@ -1,0 +1,329 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides `Criterion`, benchmark groups, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros with a
+//! simple wall-clock measurement loop: warm up, pick an iteration count
+//! that fills the measurement window, take `sample_size` samples, and
+//! report mean / best / worst per-iteration time (plus derived throughput).
+//! No statistical regression analysis, plots, or saved baselines; each
+//! iteration is timed individually, so nanosecond-scale routines carry the
+//! timer-read overhead (tens of ns) in their absolute numbers — fine for
+//! regression guarding, not for absolute claims.
+//!
+//! Like the real crate, running a bench binary with `--test` (as
+//! `cargo test --benches` does) executes every routine exactly once.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target wall-clock time for the whole measurement phase.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up duration before measurement begins.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Applies command-line flags (`--test` switches to one-shot mode; the
+    /// harness flags cargo passes, like `--bench`, are accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        self.run_one(&id.into().full_name(), None, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    fn run_one(&mut self, name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: if self.test_mode { Mode::TestOnce } else { Mode::Warmup(self.warm_up_time) },
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            warmup_estimate: 1,
+        };
+        if self.test_mode {
+            f(&mut bencher);
+            println!("test {name} ... ok");
+            return;
+        }
+        // Warm-up pass: also calibrates how many iterations fit a sample.
+        f(&mut bencher);
+        let per_iter = bencher.warmup_estimate.max(1);
+        let sample_budget = self.measurement_time.as_nanos() / self.sample_size as u128;
+        bencher.iters_per_sample = ((sample_budget / per_iter).clamp(1, 1_000_000)) as u64;
+        bencher.mode = Mode::Measure(self.sample_size);
+        f(&mut bencher);
+        report(name, throughput, &bencher.samples, bencher.iters_per_sample);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.full_name());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { function: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { function: name, parameter: None }
+    }
+}
+
+/// Units processed per iteration, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (instructions, tuples, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; all variants behave the same here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+enum Mode {
+    TestOnce,
+    Warmup(Duration),
+    Measure(usize),
+}
+
+/// Passed to benchmark closures; drives the measurement loop.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    /// Scratch written during warm-up: estimated nanoseconds per iteration.
+    warmup_estimate: u128,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine(setup()));
+            }
+            Mode::Warmup(budget) => {
+                let start = Instant::now();
+                let mut iters: u64 = 0;
+                while start.elapsed() < budget {
+                    let input = setup();
+                    black_box(routine(input));
+                    iters += 1;
+                }
+                // Calibrate on the full setup+routine loop cost so expensive
+                // setups (iter_batched) cannot inflate the iteration count —
+                // the measurement phase pays for setup too, even though only
+                // routine time is recorded.
+                self.warmup_estimate =
+                    (start.elapsed().as_nanos() / u128::from(iters.max(1))).max(1);
+            }
+            Mode::Measure(sample_count) => {
+                self.samples.clear();
+                for _ in 0..sample_count {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..self.iters_per_sample {
+                        let input = setup();
+                        let t0 = Instant::now();
+                        black_box(routine(input));
+                        total += t0.elapsed();
+                    }
+                    self.samples.push(total);
+                }
+            }
+        }
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, samples: &[Duration], iters: u64) {
+    let per_iter: Vec<f64> =
+        samples.iter().map(|s| s.as_nanos() as f64 / iters as f64).collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let best = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let worst = per_iter.iter().copied().fold(0.0, f64::max);
+    let mut line = format!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_ns(best),
+        fmt_ns(mean),
+        fmt_ns(worst)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / (mean / 1e9);
+        let _ = write!(line, "  thrpt: {:.3} M{unit}/s", rate / 1e6);
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,69 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a value uniformly from the whole domain of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, u8, i16, u16, i32, u32, i64, u64, isize, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Any<T> {
+    /// Const constructor, backing the `num::*::ANY` and `bool::ANY` consts.
+    pub const NEW: Any<T> = Any(PhantomData);
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the full-domain strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u8_eventually_covers_extremes() {
+        let mut rng = TestRng::for_test("any_u8_eventually_covers_extremes");
+        let s = any::<u8>();
+        let mut lo = u8::MAX;
+        let mut hi = u8::MIN;
+        for _ in 0..4_096 {
+            let v = s.generate(&mut rng);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 8 && hi > 247, "poor coverage: lo={lo} hi={hi}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace uses.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements the same surface the test suites import: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map`, [`prop_oneof!`],
+//! [`strategy::Just`], [`arbitrary::any`], [`collection::vec`], integer and
+//! inclusive ranges as strategies, a tiny character-class regex strategy for
+//! `&str`, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports its
+//! seed and values, but is not minimised) and deterministic per-test RNG
+//! streams (derived from the test name) instead of OS entropy. Both are the
+//! right trade for a hermetic, reproducible CI.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Full-domain strategies per numeric type, mirroring `proptest::num`.
+pub mod num {
+    macro_rules! num_mod {
+        ($($m:ident => $t:ty),* $(,)?) => {$(
+            /// Strategies for this numeric type.
+            pub mod $m {
+                /// The full-domain strategy.
+                pub const ANY: crate::arbitrary::Any<$t> = crate::arbitrary::Any::NEW;
+            }
+        )*};
+    }
+    num_mod!(
+        i8 => i8, u8 => u8, i16 => i16, u16 => u16,
+        i32 => i32, u32 => u32, i64 => i64, u64 => u64,
+        isize => isize, usize => usize,
+    );
+}
+
+/// The full-domain `bool` strategy, mirroring `proptest::bool`.
+pub mod bool {
+    /// The full-domain strategy.
+    pub const ANY: crate::arbitrary::Any<bool> = crate::arbitrary::Any::NEW;
+}
+
+/// Fixed-size array strategies, mirroring `proptest::array`.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `[S::Value; N]` by sampling `S` once per element.
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),* $(,)?) => {$(
+            /// Generates arrays of this arity from one element strategy.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )*};
+    }
+
+    uniform_fns!(uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4, uniform8 => 8);
+}
+
+/// The conventional glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                let mut __pt_bindings: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $(
+                    let __pt_value = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    __pt_bindings.push(format!(
+                        "{} = {:?}", stringify!($pat), &__pt_value,
+                    ));
+                    let $pat = __pt_value;
+                )+
+                let values = __pt_bindings.join(", ");
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{} with {}: {}",
+                        stringify!($name), case + 1, config.cases, values, err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Fails the enclosing property (without panicking) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", lhs, rhs),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}: {}", lhs, rhs, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", lhs, rhs),
+            ));
+        }
+    }};
+}
+
+/// Uniformly picks one of several strategies with the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,163 @@
+//! String generation from a small regex subset.
+//!
+//! The real proptest treats `&str` strategies as full regexes. The test
+//! suites in this workspace only use character-class patterns like
+//! `"[a-z]{1,3}"`, so this module implements exactly that subset: literal
+//! characters, `[...]` classes built from single characters and `a-z`
+//! ranges, and the quantifiers `{n}`, `{m,n}`, `?`, `*`, and `+`
+//! (unbounded repetition is capped at 8).
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a string matching `pattern` (see module docs for the subset).
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset, so an unsupported pattern
+/// fails loudly rather than generating junk.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = piece.min + rng.index(piece.max - piece.min + 1);
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let mut pick = rng.index(total as usize) as u32;
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick)
+                        .expect("class ranges hold valid chars");
+                }
+                pick -= span;
+            }
+            unreachable!("pick is within the summed spans")
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in {pattern:?}"));
+                        assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+            ),
+            '{' | '}' | '?' | '*' | '+' => {
+                panic!("unsupported regex syntax at {c:?} in {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => {
+                        let m: usize = m.trim().parse().expect("repeat lower bound");
+                        let n: usize = n.trim().parse().expect("repeat upper bound");
+                        assert!(m <= n, "inverted repeat {{{spec}}} in {pattern:?}");
+                        (m, n)
+                    }
+                    None => {
+                        let n: usize = spec.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_counted_repeat() {
+        let mut rng = TestRng::for_test("class_with_counted_repeat");
+        for _ in 0..512 {
+            let s = generate_matching("[a-z]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad chars: {s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::for_test("literals_and_quantifiers");
+        for _ in 0..256 {
+            let s = generate_matching("ab?c+[0-9]{2}", &mut rng);
+            assert!(s.starts_with('a'));
+            let digits: String = s.chars().rev().take(2).collect();
+            assert!(digits.chars().all(|c| c.is_ascii_digit()), "bad tail: {s:?}");
+        }
+    }
+}
