@@ -26,7 +26,11 @@ fn bench_program(c: &mut Criterion, name: &str, src: &str) {
 
 fn local_ops(c: &mut Criterion) {
     // Class 1: plain pushes and ALU.
-    bench_program(c, "class1/loc_pushc_add", "loc\npop\npushc 1\npushc 2\nadd\npop\nhalt");
+    bench_program(
+        c,
+        "class1/loc_pushc_add",
+        "loc\npop\npushc 1\npushc 2\nadd\npop\nhalt",
+    );
     // Class 2: immediate-carrying pushes.
     bench_program(
         c,

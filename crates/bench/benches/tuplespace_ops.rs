@@ -12,7 +12,10 @@ use agilla_tuplespace::{ArenaKind, Field, Template, TemplateField, Tuple, TupleS
 fn filled_space(kind: ArenaKind, tuples: usize) -> TupleSpace {
     let mut ts = TupleSpace::new(600, kind);
     for i in 0..tuples {
-        if ts.out(Tuple::new(vec![Field::value(i as i16)]).unwrap()).is_err() {
+        if ts
+            .out(Tuple::new(vec![Field::value(i as i16)]).unwrap())
+            .is_err()
+        {
             break;
         }
     }

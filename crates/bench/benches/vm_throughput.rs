@@ -44,7 +44,8 @@ fn vm_throughput(c: &mut Criterion) {
     group.bench_function("testbed_one_sim_second", |b| {
         b.iter(|| {
             let mut net = AgillaNetwork::testbed_5x5(AgillaConfig::default(), 1);
-            net.inject_source(workload::ROUT_TEST_AGENT).expect("inject");
+            net.inject_source(workload::ROUT_TEST_AGENT)
+                .expect("inject");
             net.run_for(SimDuration::from_secs(1));
             black_box(net.now())
         })

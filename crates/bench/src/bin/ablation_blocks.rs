@@ -13,15 +13,24 @@ use wsn_common::Location;
 
 fn main() {
     let programs: Vec<(&str, Vec<u8>)> = vec![
-        ("smove test", assemble(workload::SMOVE_TEST_AGENT).unwrap().into_code()),
-        ("rout test", assemble(workload::ROUT_TEST_AGENT).unwrap().into_code()),
+        (
+            "smove test",
+            assemble(workload::SMOVE_TEST_AGENT).unwrap().into_code(),
+        ),
+        (
+            "rout test",
+            assemble(workload::ROUT_TEST_AGENT).unwrap().into_code(),
+        ),
         (
             "FireDetector",
             assemble(&workload::fire_detector(Location::new(0, 1), 4800))
                 .unwrap()
                 .into_code(),
         ),
-        ("FireTracker", assemble(workload::FIRE_TRACKER).unwrap().into_code()),
+        (
+            "FireTracker",
+            assemble(workload::FIRE_TRACKER).unwrap().into_code(),
+        ),
         (
             "HabitatMonitor",
             assemble(&workload::habitat_monitor(10, 80, Location::new(0, 1)))
@@ -31,11 +40,14 @@ fn main() {
     ];
 
     println!("Ablation — instruction-manager block size (440 B budget)\n");
-    println!("Workloads: {}\n", programs
-        .iter()
-        .map(|(n, c)| format!("{n}={}B", c.len()))
-        .collect::<Vec<_>>()
-        .join(", "));
+    println!(
+        "Workloads: {}\n",
+        programs
+            .iter()
+            .map(|(n, c)| format!("{n}={}B", c.len()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     let mut t = Table::new(vec![
         "block B",

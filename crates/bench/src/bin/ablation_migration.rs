@@ -18,7 +18,10 @@ use wsn_sim::SimDuration;
 fn success_rate(hop_by_hop: bool, hops: i16, trials: u32) -> f64 {
     let mut ok = 0;
     for t in 0..trials {
-        let config = AgillaConfig { hop_by_hop_migration: hop_by_hop, ..AgillaConfig::default() };
+        let config = AgillaConfig {
+            hop_by_hop_migration: hop_by_hop,
+            ..AgillaConfig::default()
+        };
         let seed = 0xAB1 ^ (u64::from(t) * 40_503 + hops as u64);
         let mut net = AgillaNetwork::testbed_5x5(config, seed);
         let target = Location::new(hops, 1);
@@ -39,7 +42,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
-    println!("Ablation — migration protocol: hop-by-hop acks vs end-to-end ({trials} trials/hop)\n");
+    println!(
+        "Ablation — migration protocol: hop-by-hop acks vs end-to-end ({trials} trials/hop)\n"
+    );
     let mut t = Table::new(vec!["hops", "hop-by-hop %", "end-to-end %"]);
     let mut crossover = false;
     for hops in 1..=5i16 {
@@ -55,7 +60,5 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "\nPaper's conclusion reproduced (end-to-end collapses with distance): {crossover}"
-    );
+    println!("\nPaper's conclusion reproduced (end-to-end collapses with distance): {crossover}");
 }

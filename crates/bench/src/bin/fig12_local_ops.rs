@@ -16,7 +16,12 @@ fn main() {
     let rows = fig12_local_ops(reps);
 
     // The paper's three classes: ~75 µs, ~150 µs, ~292 µs.
-    let mut t = Table::new(vec!["instruction", "model us (mote)", "class", "wall ns (host)"]);
+    let mut t = Table::new(vec![
+        "instruction",
+        "model us (mote)",
+        "class",
+        "wall ns (host)",
+    ]);
     for r in &rows {
         let class = match r.model_us {
             0..=100 => "1 (~75us)",

@@ -25,6 +25,8 @@ fn main() {
         "paper smove %",
         "rout %",
         "paper rout %",
+        "rout retx",
+        "rout re-acks",
     ]);
     for r in &rows {
         let i = (r.hops - 1) as usize;
@@ -34,12 +36,24 @@ fn main() {
             format!("{:.0}", 100.0 * paper_smove[i]),
             format!("{:.1}", 100.0 * r.rout_success),
             format!("{:.0}", 100.0 * paper_rout[i]),
+            r.rout_retx.to_string(),
+            r.rout_reacks.to_string(),
         ]);
     }
     t.print();
+    let (retx, reacks) = rows.iter().fold((0u64, 0u64), |(a, b), r| {
+        (a + r.rout_retx, b + r.rout_reacks)
+    });
+    println!(
+        "\nReliable-session layer: {retx} request retransmissions, \
+         {reacks} duplicates answered from the completed-op cache \
+         (suppressed re-executions)."
+    );
     println!(
         "\nShape checks: smove beats rout beyond one hop: {}",
-        rows.iter().skip(1).all(|r| r.smove_success >= r.rout_success)
+        rows.iter()
+            .skip(1)
+            .all(|r| r.smove_success >= r.rout_success)
     );
     println!(
         "smove @5 hops >= 85%: {} | rout @5 hops in 60-85%: {}",

@@ -78,11 +78,12 @@ fn agilla_retask_one(seed: u64, grid: i16) -> (u64, f64) {
 
 fn agilla_install_everywhere(seed: u64) -> (u64, f64, usize) {
     let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), seed);
-    net.inject_source_at(Location::new(1, 1), SPREADER).expect("inject spreader");
+    net.inject_source_at(Location::new(1, 1), SPREADER)
+        .expect("inject spreader");
     net.run_for(SimDuration::from_secs(60));
-    let tmpl = agilla_tuplespace::Template::new(vec![
-        agilla_tuplespace::TemplateField::exact(agilla_tuplespace::Field::str("app")),
-    ]);
+    let tmpl = agilla_tuplespace::Template::new(vec![agilla_tuplespace::TemplateField::exact(
+        agilla_tuplespace::Field::str("app"),
+    )]);
     let installed = (0..26)
         .filter(|i| net.node(NodeId(*i as u16)).space.count(&tmpl) > 0)
         .count();
@@ -128,7 +129,13 @@ fn main() {
     let (mate_b_frames, mate_b_time, _) = mate_flood(4, 5);
     let (ag_b_frames, ag_b_time, ag_b_installed) = agilla_install_everywhere(3);
 
-    let mut t = Table::new(vec!["scenario", "system", "frames", "time s", "nodes touched"]);
+    let mut t = Table::new(vec![
+        "scenario",
+        "system",
+        "frames",
+        "time s",
+        "nodes touched",
+    ]);
     t.row(vec![
         "retask ONE node (10x10)".into(),
         "Mate (must flood all)".into(),

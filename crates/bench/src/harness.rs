@@ -25,6 +25,12 @@ pub struct HopResult {
     pub rout_latency_ms: f64,
     /// Standard deviation of the first-attempt latency, ms.
     pub rout_latency_sd_ms: f64,
+    /// Total `rout` request retransmissions across the trials (how hard the
+    /// reliable-session layer worked at this hop count).
+    pub rout_retx: u64,
+    /// Total duplicate requests answered from the server's completed-op
+    /// cache across the trials (each one a suppressed duplicate execution).
+    pub rout_reacks: u64,
 }
 
 /// Runs the paper's Fig. 8 test agents `trials` times per hop count on the
@@ -68,11 +74,12 @@ pub fn fig9_fig10(trials: u32, base_seed: u64, config: &AgillaConfig) -> Vec<Hop
                 }
             }
             // "smove results are halved to account for the double migration."
-            let smove_success =
-                1.0 - (f64::from(round_trip_failures) / 2.0) / f64::from(trials);
+            let smove_success = 1.0 - (f64::from(round_trip_failures) / 2.0) / f64::from(trials);
 
             // --- rout one-way ---
             let mut rout_ok = 0u32;
+            let mut rout_retx = 0u64;
+            let mut rout_reacks = 0u64;
             let mut rout_lat = LatencyRecorder::new();
             for t in 0..trials {
                 let seed = base_seed ^ (u64::from(t) * 131_071 + 7 * h as u64 + 3);
@@ -81,6 +88,8 @@ pub fn fig9_fig10(trials: u32, base_seed: u64, config: &AgillaConfig) -> Vec<Hop
                     .inject_source(&workload::rout_test_agent(target))
                     .expect("inject rout agent");
                 net.run_for(SimDuration::from_secs(20));
+                rout_retx += net.metrics().counter("remote.retx");
+                rout_reacks += net.metrics().counter("remote.reack");
                 let ops = net.log().remote_ops_of(id);
                 if let Some((true, retransmitted, done)) =
                     ops.first().and_then(|op| net.log().remote_completion(*op))
@@ -101,6 +110,8 @@ pub fn fig9_fig10(trials: u32, base_seed: u64, config: &AgillaConfig) -> Vec<Hop
                 rout_success: f64::from(rout_ok) / f64::from(trials),
                 rout_latency_ms: rout_lat.mean().as_micros() as f64 / 1e3,
                 rout_latency_sd_ms: rout_lat.stddev().as_micros() as f64 / 1e3,
+                rout_retx,
+                rout_reacks,
             }
         })
         .collect()
@@ -194,10 +205,16 @@ pub fn fig11_one_hop(trials: u32, base_seed: u64, config: &AgillaConfig) -> Vec<
                 let src = match op {
                     RemoteOpKind::Rout => workload::rout_test_agent(target),
                     RemoteOpKind::Rinp => {
-                        format!("pusht value\npushc 1\npushloc {} {}\nrinp\nhalt", target.x, target.y)
+                        format!(
+                            "pusht value\npushc 1\npushloc {} {}\nrinp\nhalt",
+                            target.x, target.y
+                        )
                     }
                     RemoteOpKind::Rrdp => {
-                        format!("pusht value\npushc 1\npushloc {} {}\nrrdp\nhalt", target.x, target.y)
+                        format!(
+                            "pusht value\npushc 1\npushloc {} {}\nrrdp\nhalt",
+                            target.x, target.y
+                        )
                     }
                     _ => workload::one_way_agent(op.name(), target),
                 };
@@ -207,18 +224,14 @@ pub fn fig11_one_hop(trials: u32, base_seed: u64, config: &AgillaConfig) -> Vec<
                     let target_node = net.node_at(target).expect("target");
                     // For clones the arriving agent has a fresh id: take the
                     // first arrival at the target.
-                    let arrival = net
-                        .log()
-                        .records()
-                        .iter()
-                        .find_map(|r| match r {
-                            agilla::stats::OpRecord::MigrationArrived { node, at, .. }
-                                if *node == target_node =>
-                            {
-                                Some(*at)
-                            }
-                            _ => None,
-                        });
+                    let arrival = net.log().records().iter().find_map(|r| match r {
+                        agilla::stats::OpRecord::MigrationArrived { node, at, .. }
+                            if *node == target_node =>
+                        {
+                            Some(*at)
+                        }
+                        _ => None,
+                    });
                     if let (Some(injected), Some(arrived)) = (net.log().injected_at(id), arrival) {
                         lat.record(arrived.since(injected));
                     }
@@ -267,14 +280,42 @@ fn fig12_programs() -> Vec<(&'static str, Opcode, String)> {
         ("pushn", Opcode::Pushn, "pushn fir\npop".into()),
         ("pushcl", Opcode::Pushcl, "pushcl 300\npop".into()),
         ("pushloc", Opcode::Pushloc, "pushloc 1 1\npop".into()),
-        ("regrxn", Opcode::Regrxn, "pushn fir\npushc 1\npushc 0\nregrxn".into()),
-        ("deregrxn", Opcode::Deregrxn, "pushn fir\npushc 1\nderegrxn".into()),
+        (
+            "regrxn",
+            Opcode::Regrxn,
+            "pushn fir\npushc 1\npushc 0\nregrxn".into(),
+        ),
+        (
+            "deregrxn",
+            Opcode::Deregrxn,
+            "pushn fir\npushc 1\nderegrxn".into(),
+        ),
         ("out", Opcode::Out, "pushc 1\npushc 1\nout".into()),
-        ("inp (empty TS)", Opcode::Inp, "pusht location\npushc 1\ninp".into()),
-        ("rdp (empty TS)", Opcode::Rdp, "pusht location\npushc 1\nrdp".into()),
-        ("in", Opcode::In, "pushc 1\npushc 1\nout\npusht value\npushc 1\nin\npop\npop".into()),
-        ("rd", Opcode::Rd, "pushc 1\npushc 1\nout\npusht value\npushc 1\nrd\npop\npop".into()),
-        ("tcount", Opcode::Tcount, "pusht value\npushc 1\ntcount\npop".into()),
+        (
+            "inp (empty TS)",
+            Opcode::Inp,
+            "pusht location\npushc 1\ninp".into(),
+        ),
+        (
+            "rdp (empty TS)",
+            Opcode::Rdp,
+            "pusht location\npushc 1\nrdp".into(),
+        ),
+        (
+            "in",
+            Opcode::In,
+            "pushc 1\npushc 1\nout\npusht value\npushc 1\nin\npop\npop".into(),
+        ),
+        (
+            "rd",
+            Opcode::Rd,
+            "pushc 1\npushc 1\nout\npusht value\npushc 1\nrd\npop\npop".into(),
+        ),
+        (
+            "tcount",
+            Opcode::Tcount,
+            "pusht value\npushc 1\ntcount\npop".into(),
+        ),
     ]
 }
 
@@ -366,8 +407,16 @@ mod tests {
             assert!(r.mean_ms > 1.0, "{}: {}ms", r.op.name(), r.mean_ms);
         }
         // Tuple-space ops are much cheaper than migrations.
-        let rout = rows.iter().find(|r| r.op == RemoteOpKind::Rout).unwrap().mean_ms;
-        let smove = rows.iter().find(|r| r.op == RemoteOpKind::Smove).unwrap().mean_ms;
+        let rout = rows
+            .iter()
+            .find(|r| r.op == RemoteOpKind::Rout)
+            .unwrap()
+            .mean_ms;
+        let smove = rows
+            .iter()
+            .find(|r| r.op == RemoteOpKind::Smove)
+            .unwrap()
+            .mean_ms;
         assert!(smove > 2.0 * rout, "smove {smove} vs rout {rout}");
     }
 

@@ -36,7 +36,10 @@ pub const TOS_PAYLOAD: usize = 27;
 
 /// The broadcast "location": operations addressed here are delivered to every
 /// one-hop neighbor. Mirrors TinyOS's `TOS_BCAST_ADDR`.
-pub const BCAST_LOCATION: Location = Location { x: i16::MAX, y: i16::MAX };
+pub const BCAST_LOCATION: Location = Location {
+    x: i16::MAX,
+    y: i16::MAX,
+};
 
 /// Location reserved for the base station / UART bridge (the paper's laptop
 /// with MIB510 board sits just off the sensor grid at (0,0)).

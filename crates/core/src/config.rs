@@ -2,6 +2,11 @@
 
 use wsn_sim::SimDuration;
 
+/// End-to-end (ablation) migration messages need a whole-path round trip per
+/// acknowledgement, so hop timeouts and receiver watchdogs scale by this
+/// factor relative to the paper's 0.1 s one-hop values.
+pub const E2E_ACK_TIMEOUT_FACTOR: u64 = 5;
+
 /// Protocol and resource parameters of an Agilla node.
 ///
 /// Defaults are the paper's published values; the ablation benches sweep the
@@ -58,6 +63,33 @@ impl AgillaConfig {
     /// The code budget in bytes (`code_blocks * code_block_bytes`).
     pub fn code_budget(&self) -> usize {
         self.code_blocks * self.code_block_bytes
+    }
+
+    /// TTL of the served remote-op reply cache: the initiator's entire
+    /// retransmit window — `remote_op_timeout × (1 + remote_op_retx)` — so a
+    /// cached reply always outlives every retransmission of the request it
+    /// answers. A duplicate `rout` arriving at the end of the window re-acks
+    /// from the cache instead of inserting a second tuple, and the entry
+    /// expires long before the 16-bit op-id space could wrap back around.
+    pub fn remote_reply_ttl(&self) -> SimDuration {
+        SimDuration::from_micros(
+            self.remote_op_timeout.as_micros() * (u64::from(self.remote_op_retx) + 1),
+        )
+    }
+
+    /// TTL of the completed-migration-session cache: the sender's worst-case
+    /// per-message retransmit window (`migration_ack_timeout × (1 +
+    /// migration_retx)`, scaled by [`E2E_ACK_TIMEOUT_FACTOR`] because
+    /// end-to-end sessions stretch each timeout), doubled for queueing
+    /// slack. Far below any plausible time for the global session counter to
+    /// wrap back to the same id.
+    pub fn migration_done_ttl(&self) -> SimDuration {
+        SimDuration::from_micros(
+            self.migration_ack_timeout.as_micros()
+                * (u64::from(self.migration_retx) + 1)
+                * E2E_ACK_TIMEOUT_FACTOR
+                * 2,
+        )
     }
 }
 
@@ -150,6 +182,24 @@ mod tests {
         assert_eq!(c.remote_op_timeout.as_millis(), 2_000);
         assert_eq!(c.remote_op_retx, 2);
         assert!(c.hop_by_hop_migration);
+    }
+
+    #[test]
+    fn derived_ttls_cover_the_retransmit_windows() {
+        let c = AgillaConfig::default();
+        // 2 s timeout, 2 retries: the initiator can retransmit until 6 s
+        // after issue, so a cached reply must live at least that long.
+        assert_eq!(c.remote_reply_ttl().as_millis(), 6_000);
+        assert!(
+            c.remote_reply_ttl().as_micros()
+                >= c.remote_op_timeout.as_micros() * (u64::from(c.remote_op_retx) + 1)
+        );
+        // 100 ms ack timeout x 5 tries x 5 (e2e stretch) x 2 slack.
+        assert_eq!(c.migration_done_ttl().as_millis(), 5_000);
+        assert!(
+            c.migration_done_ttl().as_micros()
+                > c.migration_ack_timeout.as_micros() * (u64::from(c.migration_retx) + 1)
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl FieldModel {
                 };
                 clamp_i16(i64::from(*base) + noise)
             }
-            FieldModel::Gradient { base, slope_x, slope_y } => clamp_i16(
+            FieldModel::Gradient {
+                base,
+                slope_x,
+                slope_y,
+            } => clamp_i16(
                 i64::from(*base)
                     + i64::from(*slope_x) * i64::from(loc.x)
                     + i64::from(*slope_y) * i64::from(loc.y),
@@ -143,8 +147,20 @@ impl Environment {
     /// A benign default: quiet temperature and light fields.
     pub fn ambient() -> Self {
         Environment::empty()
-            .with(SensorType::Temperature, FieldModel::Noisy { base: 70, amplitude: 5 })
-            .with(SensorType::Light, FieldModel::Noisy { base: 500, amplitude: 20 })
+            .with(
+                SensorType::Temperature,
+                FieldModel::Noisy {
+                    base: 70,
+                    amplitude: 5,
+                },
+            )
+            .with(
+                SensorType::Light,
+                FieldModel::Noisy {
+                    base: 500,
+                    amplitude: 20,
+                },
+            )
     }
 
     /// The case-study environment: ambient light plus a [`FireModel`]
@@ -152,7 +168,13 @@ impl Environment {
     pub fn with_fire(fire: FireModel) -> Self {
         Environment::empty()
             .with(SensorType::Temperature, FieldModel::Fire(fire))
-            .with(SensorType::Light, FieldModel::Noisy { base: 500, amplitude: 20 })
+            .with(
+                SensorType::Light,
+                FieldModel::Noisy {
+                    base: 500,
+                    amplitude: 20,
+                },
+            )
     }
 
     /// Adds or replaces the field behind `sensor` (builder style).
@@ -215,7 +237,10 @@ mod tests {
 
     #[test]
     fn noisy_field_stays_in_band() {
-        let f = FieldModel::Noisy { base: 100, amplitude: 10 };
+        let f = FieldModel::Noisy {
+            base: 100,
+            amplitude: 10,
+        };
         let mut r = rng();
         for _ in 0..500 {
             let v = f.sample(Location::new(1, 1), SimTime::ZERO, &mut r);
@@ -225,14 +250,25 @@ mod tests {
 
     #[test]
     fn gradient_field() {
-        let f = FieldModel::Gradient { base: 10, slope_x: 2, slope_y: -1 };
+        let f = FieldModel::Gradient {
+            base: 10,
+            slope_x: 2,
+            slope_y: -1,
+        };
         assert_eq!(f.sample(Location::new(3, 4), SimTime::ZERO, &mut rng()), 12);
     }
 
     #[test]
     fn gradient_clamps() {
-        let f = FieldModel::Gradient { base: 32000, slope_x: 32000, slope_y: 0 };
-        assert_eq!(f.sample(Location::new(100, 0), SimTime::ZERO, &mut rng()), i16::MAX);
+        let f = FieldModel::Gradient {
+            base: 32000,
+            slope_x: 32000,
+            slope_y: 0,
+        };
+        assert_eq!(
+            f.sample(Location::new(100, 0), SimTime::ZERO, &mut rng()),
+            i16::MAX
+        );
     }
 
     #[test]
@@ -256,10 +292,20 @@ mod tests {
         let env = Environment::with_fire(fire);
         let mut r = rng();
         let burning = env
-            .sample(SensorType::Temperature, Location::new(1, 1), SimTime::ZERO, &mut r)
+            .sample(
+                SensorType::Temperature,
+                Location::new(1, 1),
+                SimTime::ZERO,
+                &mut r,
+            )
             .unwrap();
         let ambient = env
-            .sample(SensorType::Temperature, Location::new(5, 5), SimTime::ZERO, &mut r)
+            .sample(
+                SensorType::Temperature,
+                Location::new(5, 5),
+                SimTime::ZERO,
+                &mut r,
+            )
             .unwrap();
         assert!(burning > 200, "burning reading {burning}");
         assert!(ambient < 200, "ambient reading {ambient}");
@@ -270,7 +316,12 @@ mod tests {
         let env = Environment::ambient();
         let mut r = rng();
         assert!(env
-            .sample(SensorType::Magnetometer, Location::new(1, 1), SimTime::ZERO, &mut r)
+            .sample(
+                SensorType::Magnetometer,
+                Location::new(1, 1),
+                SimTime::ZERO,
+                &mut r
+            )
             .is_none());
         assert_eq!(env.sensors().count(), 2);
     }
@@ -280,7 +331,12 @@ mod tests {
         let env = Environment::ambient().with(SensorType::Temperature, FieldModel::Constant(7));
         let mut r = rng();
         assert_eq!(
-            env.sample(SensorType::Temperature, Location::new(0, 0), SimTime::ZERO, &mut r),
+            env.sample(
+                SensorType::Temperature,
+                Location::new(0, 0),
+                SimTime::ZERO,
+                &mut r
+            ),
             Some(7)
         );
         assert_eq!(env.sensors().count(), 2, "replaced, not duplicated");

@@ -53,7 +53,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = AgillaError::Admission { reason: "no free slot" };
+        let e = AgillaError::Admission {
+            reason: "no free slot",
+        };
         assert_eq!(e.to_string(), "admission refused: no free slot");
         let e: AgillaError = VmError::StackOverflow.into();
         assert!(e.source().is_some());

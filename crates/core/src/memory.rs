@@ -40,7 +40,11 @@ impl MemoryModel {
             // RAM budgets are the configured component allocations; ROM
             // estimates are proportioned to component complexity and
             // normalized to the paper's 41.6 KB total build.
-            MemoryLine { component: "TinyOS core + network stack", rom: 11_000, ram: 520 },
+            MemoryLine {
+                component: "TinyOS core + network stack",
+                rom: 11_000,
+                ram: 520,
+            },
             MemoryLine {
                 component: "Agilla engine + instruction set",
                 rom: 11_598,
@@ -71,13 +75,21 @@ impl MemoryModel {
                 rom: 1_900,
                 ram: 140,
             },
-            MemoryLine { component: "Agent sender / receiver", rom: 4_500, ram: 360 },
+            MemoryLine {
+                component: "Agent sender / receiver",
+                rom: 4_500,
+                ram: 360,
+            },
             MemoryLine {
                 component: "Remote tuple space operations",
                 rom: 2_400,
                 ram: 180,
             },
-            MemoryLine { component: "Geographic routing", rom: 900, ram: 36 },
+            MemoryLine {
+                component: "Geographic routing",
+                rom: 900,
+                ram: 36,
+            },
         ];
         MemoryModel { lines }
     }
@@ -131,7 +143,10 @@ mod tests {
 
     #[test]
     fn ram_tracks_configuration() {
-        let big = AgillaConfig { tuple_space_bytes: 1200, ..AgillaConfig::default() };
+        let big = AgillaConfig {
+            tuple_space_bytes: 1200,
+            ..AgillaConfig::default()
+        };
         let base = MemoryModel::for_config(&AgillaConfig::default());
         let grown = MemoryModel::for_config(&big);
         assert_eq!(grown.total_ram() - base.total_ram(), 600);

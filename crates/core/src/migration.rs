@@ -241,13 +241,29 @@ impl ReassemblyBuffer {
         if !self.is_complete() {
             return Err(VmError::Resource("incomplete migration image"));
         }
-        let state: Vec<u8> = self.state_frags.iter().flatten().flatten().copied().collect();
+        let state: Vec<u8> = self
+            .state_frags
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .collect();
         if state.len() != self.header.state_len as usize {
-            return Err(VmError::Tuple(TupleSpaceError::Decode("state length mismatch")));
+            return Err(VmError::Tuple(TupleSpaceError::Decode(
+                "state length mismatch",
+            )));
         }
-        let code: Vec<u8> = self.code_frags.iter().flatten().flatten().copied().collect();
+        let code: Vec<u8> = self
+            .code_frags
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .collect();
         if code.len() != self.header.code_len as usize {
-            return Err(VmError::Tuple(TupleSpaceError::Decode("code length mismatch")));
+            return Err(VmError::Tuple(TupleSpaceError::Decode(
+                "code length mismatch",
+            )));
         }
         let rxns: Vec<Vec<u8>> = self.rxn_frags.iter().flatten().cloned().collect();
         reassemble(&self.header, &state, code, &rxns)
@@ -295,7 +311,12 @@ mod tests {
     #[test]
     fn strong_image_carries_everything() {
         let a = sample_agent();
-        let img = MigrationImage::package(&a, MigrateKind::StrongMove, Location::new(3, 3), sample_reactions());
+        let img = MigrationImage::package(
+            &a,
+            MigrateKind::StrongMove,
+            Location::new(3, 3),
+            sample_reactions(),
+        );
         assert_eq!(img.state, a.encode_state());
         assert_eq!(img.code, a.code());
         assert_eq!(img.reactions.len(), 1);
@@ -304,7 +325,12 @@ mod tests {
     #[test]
     fn weak_image_resets_state_and_drops_reactions() {
         let a = sample_agent();
-        let img = MigrationImage::package(&a, MigrateKind::WeakClone, Location::new(3, 3), sample_reactions());
+        let img = MigrationImage::package(
+            &a,
+            MigrateKind::WeakClone,
+            Location::new(3, 3),
+            sample_reactions(),
+        );
         assert!(img.reactions.is_empty());
         // The state image decodes to a reset agent.
         let fresh = AgentState::decode_state(&img.state, img.code.clone()).unwrap();
@@ -327,7 +353,12 @@ mod tests {
     fn fragmentation_roundtrip_via_reassembly_buffer() {
         let a = sample_agent();
         let rxns = sample_reactions();
-        let img = MigrationImage::package(&a, MigrateKind::StrongMove, Location::new(3, 3), rxns.clone());
+        let img = MigrationImage::package(
+            &a,
+            MigrateKind::StrongMove,
+            Location::new(3, 3),
+            rxns.clone(),
+        );
         let header = img.header(5);
         let mut buf = ReassemblyBuffer::new(header);
         assert!(!buf.is_complete());
@@ -364,7 +395,12 @@ mod tests {
         let a = sample_agent();
         let img = MigrationImage::package(&a, MigrateKind::StrongMove, Location::new(3, 3), vec![]);
         let mut buf = ReassemblyBuffer::new(img.header(1));
-        let bogus = MigData { session: 1, section: MigSection::Reaction, seq: 9, bytes: vec![] };
+        let bogus = MigData {
+            session: 1,
+            section: MigSection::Reaction,
+            seq: 9,
+            bytes: vec![],
+        };
         assert!(!buf.accept(&bogus));
     }
 

@@ -1,0 +1,846 @@
+//! The simulated Agilla network: event loop, engine, and protocol drivers.
+//!
+//! One [`AgillaNetwork`] owns the event queue, the radio medium, and every
+//! node; all middleware behaviour — the round-robin engine, the hop-by-hop
+//! migration protocol, remote tuple-space operations, beacons — is driven by
+//! the deterministic event dispatch loop, so identical seeds give identical
+//! runs.
+//!
+//! The module is split by protocol, with the reliability machinery they
+//! share factored into one place:
+//!
+//! * [`session`] — the reliable-unicast session layer: retransmission
+//!   bookkeeping, wrap-safe id allocation, and the TTL'd completed-session
+//!   caches that make both protocols exactly-once under lost acks.
+//! * [`migration`](self) (private submodule) — the hop-by-hop acknowledged
+//!   agent transfer protocol of Section 3.2, plus the end-to-end ablation.
+//! * [`remote`](self) (private submodule) — remote tuple-space operations
+//!   (`rout`/`rinp`/`rrdp`) over geographic routing.
+
+pub mod session;
+
+mod migration;
+mod remote;
+
+use agilla_tuplespace::{Reaction, Template, Tuple, TupleSpaceError};
+use agilla_vm::exec::{self, StepResult};
+use agilla_vm::isa::{CostModel, Instruction};
+use agilla_vm::{asm, AgentState, Host, VmError};
+use wsn_common::{AgentId, Location, NodeId, SensorType};
+use wsn_net::{decode_beacon, encode_beacon, ActiveMessage, CsmaMac, MacConfig, BEACON_PERIOD};
+use wsn_radio::{DeliveryOutcome, Frame, GilbertElliott, LossModel, Medium, Topology};
+use wsn_sim::{EventQueue, Metrics, RngStream, SimDuration, SimTime, Tracer};
+
+use crate::config::AgillaConfig;
+use crate::env::Environment;
+use crate::error::AgillaError;
+use crate::node::{AgentStatus, Node};
+use crate::stats::{ExperimentLog, OpRecord};
+use crate::wire::{self, am, Envelope, MigAck, MigData, MigHeader, MigNack, RtsReply, RtsRequest};
+
+use session::SessionIdGen;
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Execute one instruction (or deliver one pending reaction) on a node.
+    EngineInstr { node: NodeId },
+    /// The MAC is ready to attempt transmitting the head-of-queue frame.
+    TxReady { node: NodeId },
+    /// A frame copy reached a receiver.
+    FrameArrived {
+        node: NodeId,
+        frame: Frame,
+        outcome: DeliveryOutcome,
+    },
+    /// Periodic neighbor beacon.
+    Beacon { node: NodeId },
+    /// A sleeping agent's wake-up.
+    AgentWake { node: NodeId, slot: usize },
+    /// Migration sender retransmit check.
+    MigRetx { node: NodeId, session: u16 },
+    /// Migration receiver stall watchdog.
+    MigAbort { node: NodeId, session: u16 },
+    /// Remote tuple-space operation timeout.
+    RemoteTimeout { node: NodeId, op_id: u16 },
+}
+
+/// The complete simulated network (see module docs).
+#[derive(Debug)]
+pub struct AgillaNetwork {
+    config: AgillaConfig,
+    env: Environment,
+    queue: EventQueue<Event>,
+    medium: Medium,
+    nodes: Vec<Node>,
+    tracer: Tracer,
+    metrics: Metrics,
+    log: ExperimentLog,
+    mac: CsmaMac,
+    rng_mac: RngStream,
+    rng_vm: RngStream,
+    rng_env: RngStream,
+    cost: CostModel,
+    base: NodeId,
+    clock: SimTime,
+    agent_ids: SessionIdGen,
+    session_ids: SessionIdGen,
+    op_ids: SessionIdGen,
+    /// Maps clone sender sessions to the slot holding the paused original.
+    clone_origins: Vec<(NodeId, u16, usize)>,
+}
+
+impl AgillaNetwork {
+    /// Builds a network over `topology` with explicit radio loss and
+    /// environment models. `seed` drives every random stream.
+    pub fn new(
+        topology: Topology,
+        loss: LossModel,
+        config: AgillaConfig,
+        env: Environment,
+        seed: u64,
+    ) -> Self {
+        let medium = Medium::new(topology, loss, seed);
+        let nodes: Vec<Node> = medium
+            .topology()
+            .nodes()
+            .map(|id| Node::new(id, medium.topology().location(id), &config))
+            .collect();
+        let mut net = AgillaNetwork {
+            config,
+            env,
+            queue: EventQueue::new(),
+            medium,
+            nodes,
+            tracer: Tracer::new(),
+            metrics: Metrics::new(),
+            log: ExperimentLog::new(),
+            mac: CsmaMac::new(MacConfig::mica2()),
+            rng_mac: RngStream::derive(seed, "net.mac"),
+            rng_vm: RngStream::derive(seed, "net.vm"),
+            rng_env: RngStream::derive(seed, "net.env"),
+            cost: CostModel::mica2(),
+            base: NodeId(0),
+            clock: SimTime::ZERO,
+            agent_ids: SessionIdGen::new(),
+            session_ids: SessionIdGen::new(),
+            op_ids: SessionIdGen::new(),
+            clone_origins: Vec::new(),
+        };
+        net.boot();
+        net
+    }
+
+    /// The paper's testbed: 5×5 grid plus a base station, the calibrated
+    /// MICA2 loss profile (BER + burst fading), and an ambient environment.
+    pub fn testbed_5x5(config: AgillaConfig, seed: u64) -> Self {
+        let mut loss = LossModel::mica2_testbed();
+        loss.bursts = Some(GilbertElliott::new(50.0, 0.55, 0.95));
+        AgillaNetwork::new(
+            Topology::grid_with_base(5, 5),
+            loss,
+            config,
+            Environment::ambient(),
+            seed,
+        )
+    }
+
+    /// A lossless variant of the testbed for functional tests and examples.
+    pub fn reliable_5x5(config: AgillaConfig, seed: u64) -> Self {
+        AgillaNetwork::new(
+            Topology::grid_with_base(5, 5),
+            LossModel::perfect(),
+            config,
+            Environment::ambient(),
+            seed,
+        )
+    }
+
+    fn boot(&mut self) {
+        // The testbed has been up long enough for neighbor discovery to have
+        // converged; seed the acquaintance lists, then let beacons keep them
+        // fresh (a node that dies would age out naturally).
+        let topo = self.medium.topology().clone();
+        for id in topo.nodes() {
+            for nb in topo.neighbors(id) {
+                let loc = topo.location(nb);
+                self.nodes[id.index()].acq.heard(nb, loc, SimTime::ZERO);
+            }
+        }
+        // Capability tuples: "Agilla places special tuples into each node's
+        // tuple space indicating what type of sensors are available".
+        let sensors: Vec<SensorType> = self.env.sensors().collect();
+        for node in &mut self.nodes {
+            for s in &sensors {
+                let t = Tuple::new(vec![agilla_tuplespace::Field::SensorType(*s)])
+                    .expect("capability tuple");
+                node.space
+                    .out(t)
+                    .expect("capability tuple fits an empty space");
+            }
+        }
+        // Staggered beacons.
+        for id in topo.nodes() {
+            let jitter = self.rng_mac.range_u64(0, BEACON_PERIOD.as_micros());
+            self.queue.schedule(
+                SimTime::ZERO + SimDuration::from_micros(jitter),
+                Event::Beacon { node: id },
+            );
+        }
+    }
+
+    // --- public API -------------------------------------------------------
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.max(self.queue.now())
+    }
+
+    /// Runs the simulation until `deadline` (events after it stay queued).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked event exists");
+            self.dispatch(at, ev);
+        }
+        self.clock = self.clock.max(deadline);
+    }
+
+    /// Runs the simulation for `d` from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Assembles `source` and injects the agent at the base station.
+    ///
+    /// # Errors
+    ///
+    /// Assembly errors or admission failure.
+    pub fn inject_source(&mut self, source: &str) -> Result<AgentId, AgillaError> {
+        let program = asm::assemble(source).map_err(|e| AgillaError::BadAgent(e.to_string()))?;
+        self.inject_at(self.base, program.into_code())
+    }
+
+    /// Assembles `source` and injects at the node addressed by `loc`.
+    ///
+    /// # Errors
+    ///
+    /// Assembly errors, unknown locations, or admission failure.
+    pub fn inject_source_at(
+        &mut self,
+        loc: Location,
+        source: &str,
+    ) -> Result<AgentId, AgillaError> {
+        let program = asm::assemble(source).map_err(|e| AgillaError::BadAgent(e.to_string()))?;
+        let node = self
+            .medium
+            .topology()
+            .node_near(loc, self.config.epsilon)
+            .ok_or_else(|| AgillaError::UnknownLocation(loc.to_string()))?;
+        self.inject_at(node, program.into_code())
+    }
+
+    /// Injects bytecode as a new agent on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Admission failure or an over-budget program.
+    pub fn inject_at(&mut self, node: NodeId, code: Vec<u8>) -> Result<AgentId, AgillaError> {
+        let idx = node.index();
+        if !self.nodes[idx].can_admit(code.len(), &self.config) {
+            return Err(AgillaError::Admission {
+                reason: "no agent slot or code blocks free",
+            });
+        }
+        let id = AgentId(self.agent_ids.allocate());
+        let agent = AgentState::with_code_budget(id, code, self.config.code_budget())?;
+        self.nodes[idx].admit(agent).expect("can_admit checked");
+        let now = self.now();
+        self.log.push(OpRecord::AgentInjected {
+            agent: id,
+            node,
+            at: now,
+        });
+        self.tracer
+            .record(now, Some(node), "agent.inject", format!("{id}"));
+        self.schedule_engine(idx, SimDuration::ZERO);
+        Ok(id)
+    }
+
+    /// The base-station node (agents are injected here by default).
+    pub fn base(&self) -> NodeId {
+        self.base
+    }
+
+    /// The node addressed by `loc` (exact match).
+    pub fn node_at(&self, loc: Location) -> Option<NodeId> {
+        self.medium.topology().node_at(loc)
+    }
+
+    /// Immutable view of a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The node currently hosting `agent`, if any.
+    pub fn find_agent(&self, agent: AgentId) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .find(|n| n.slot_of(agent).is_some())
+            .map(|n| n.id)
+    }
+
+    /// A read-only view of a resident agent's execution state (registers,
+    /// stack, heap) — the debugging window the paper's base-station UI
+    /// offered over RMI.
+    pub fn agent_state(&self, agent: AgentId) -> Option<&AgentState> {
+        self.nodes.iter().find_map(|n| {
+            let slot = n.slot_of(agent)?;
+            n.slots[slot].as_ref().map(|s| &s.agent)
+        })
+    }
+
+    /// The scheduling status of a resident agent.
+    pub fn agent_status(&self, agent: AgentId) -> Option<AgentStatus> {
+        self.nodes.iter().find_map(|n| {
+            let slot = n.slot_of(agent)?;
+            n.slots[slot].as_ref().map(|s| s.status)
+        })
+    }
+
+    /// The structured experiment log.
+    pub fn log(&self) -> &ExperimentLog {
+        &self.log
+    }
+
+    /// Clears the experiment log (between trials).
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    /// The diagnostic trace.
+    pub fn trace(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Echo trace records to stdout as they happen (for examples).
+    pub fn set_trace_echo(&mut self, echo: bool) {
+        self.tracer.set_echo(echo);
+    }
+
+    /// Metrics counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The radio medium (frame statistics).
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+
+    /// The middleware configuration.
+    pub fn config(&self) -> &AgillaConfig {
+        &self.config
+    }
+
+    /// The environment model.
+    pub fn environment(&self) -> &Environment {
+        &self.env
+    }
+
+    /// Replaces the environment (e.g. to ignite a fire mid-run).
+    pub fn set_environment(&mut self, env: Environment) {
+        self.env = env;
+    }
+
+    /// Fault injection: permanently fails a mote. Dead nodes stop executing
+    /// agents, transmitting (including beacons), and receiving; their
+    /// neighbors age them out of acquaintance lists after the beacon TTL,
+    /// after which routing detours around the hole.
+    pub fn kill_node(&mut self, node: NodeId) {
+        let idx = node.index();
+        self.nodes[idx].dead = true;
+        self.nodes[idx].tx_queue.clear();
+        let now = self.now();
+        self.tracer
+            .record(now, Some(node), "node.dead", "fault injected".into());
+        self.metrics.incr("faults.nodes_killed");
+    }
+
+    /// Whether `node` has been failed by fault injection.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].dead
+    }
+
+    // --- event dispatch ---------------------------------------------------
+
+    fn dispatch(&mut self, at: SimTime, ev: Event) {
+        // Dead motes neither compute nor communicate; their queued timers
+        // and frames fall on the floor.
+        let owner = match &ev {
+            Event::EngineInstr { node }
+            | Event::TxReady { node }
+            | Event::FrameArrived { node, .. }
+            | Event::Beacon { node }
+            | Event::AgentWake { node, .. }
+            | Event::MigRetx { node, .. }
+            | Event::MigAbort { node, .. }
+            | Event::RemoteTimeout { node, .. } => *node,
+        };
+        if self.nodes[owner.index()].dead {
+            return;
+        }
+        match ev {
+            Event::EngineInstr { node } => self.handle_engine_instr(node.index(), at),
+            Event::TxReady { node } => self.handle_tx_ready(node.index(), at),
+            Event::FrameArrived {
+                node,
+                frame,
+                outcome,
+            } => self.handle_frame(node.index(), frame, outcome, at),
+            Event::Beacon { node } => self.handle_beacon(node.index(), at),
+            Event::AgentWake { node, slot } => self.handle_wake(node.index(), slot, at),
+            Event::MigRetx { node, session } => self.handle_mig_retx(node.index(), session, at),
+            Event::MigAbort { node, session } => self.handle_mig_abort(node.index(), session, at),
+            Event::RemoteTimeout { node, op_id } => {
+                self.handle_remote_timeout(node.index(), op_id, at)
+            }
+        }
+    }
+
+    // --- engine -----------------------------------------------------------
+
+    fn schedule_engine(&mut self, idx: usize, delay: SimDuration) {
+        if self.nodes[idx].engine_scheduled || !self.nodes[idx].has_ready_agent() {
+            return;
+        }
+        self.nodes[idx].engine_scheduled = true;
+        let node = self.nodes[idx].id;
+        self.queue
+            .schedule(self.queue.now() + delay, Event::EngineInstr { node });
+    }
+
+    fn handle_engine_instr(&mut self, idx: usize, now: SimTime) {
+        self.nodes[idx].engine_scheduled = false;
+        let slice = self.config.engine_slice;
+        let Some(slot_idx) = self.nodes[idx].pick_ready(slice) else {
+            return;
+        };
+
+        // Deliver a pending reaction before the next instruction.
+        let pending = {
+            let slot = self.nodes[idx].slots[slot_idx]
+                .as_mut()
+                .expect("picked slot");
+            slot.pending_reactions.pop_front()
+        };
+        if let Some((tuple, pc)) = pending {
+            let node_id = self.nodes[idx].id;
+            let slot = self.nodes[idx].slots[slot_idx]
+                .as_mut()
+                .expect("picked slot");
+            match exec::enter_reaction(&mut slot.agent, &tuple, pc) {
+                Ok(()) => {
+                    self.tracer.record(
+                        now,
+                        Some(node_id),
+                        "reaction.dispatch",
+                        format!("{} -> pc {pc}", slot.agent.id()),
+                    );
+                    let cost = SimDuration::from_micros(self.cost.reaction_dispatch_us);
+                    self.schedule_engine(idx, cost);
+                }
+                Err(e) => self.kill_agent(idx, slot_idx, e, now),
+            }
+            return;
+        }
+
+        // Execute exactly one instruction.
+        let (op_cost, result, inserted) = {
+            let AgillaNetwork {
+                nodes,
+                env,
+                rng_vm,
+                rng_env,
+                cost,
+                ..
+            } = self;
+            let node = &mut nodes[idx];
+            let Node {
+                loc,
+                acq,
+                space,
+                registry,
+                slots,
+                leds,
+                ..
+            } = node;
+            let slot = slots[slot_idx].as_mut().expect("picked slot");
+            let op_cost = Instruction::decode(slot.agent.code(), slot.agent.pc())
+                .map(|(ins, _)| cost.cost_us(ins.op))
+                .unwrap_or(60);
+            let mut host = HostView {
+                loc: *loc,
+                now,
+                space,
+                registry,
+                acq,
+                leds,
+                env,
+                rng: rng_vm,
+                rng_env,
+                owner: slot.agent.id(),
+                inserted: Vec::new(),
+            };
+            let result = exec::step(&mut slot.agent, &mut host);
+            slot.slice_used += 1;
+            (op_cost, result, host.inserted)
+        };
+
+        // Side effects of local tuple insertion (reactions, blocked wakeups).
+        if !inserted.is_empty() {
+            self.after_insertions(idx, inserted, now);
+        }
+
+        let cost = SimDuration::from_micros(op_cost);
+        match result {
+            Ok(StepResult::Continue) => {
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::Halted) => {
+                self.finish_agent(idx, slot_idx, now);
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::Sleep { ticks }) => {
+                // One tick is 1/8 s (Fig. 13's 4800 ticks = 10 minutes).
+                let until = now + SimDuration::from_micros(u64::from(ticks) * 125_000);
+                let node_id = self.nodes[idx].id;
+                self.set_status(idx, slot_idx, AgentStatus::Sleeping { until });
+                self.queue.schedule(
+                    until,
+                    Event::AgentWake {
+                        node: node_id,
+                        slot: slot_idx,
+                    },
+                );
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::WaitForReaction) => {
+                self.set_status(idx, slot_idx, AgentStatus::Waiting);
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::Blocked) => {
+                self.set_status(idx, slot_idx, AgentStatus::Blocked);
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::Migrate { kind, dest }) => {
+                self.start_migration(idx, slot_idx, kind, dest, now);
+                self.schedule_engine(idx, cost);
+            }
+            Ok(StepResult::Remote(op)) => {
+                self.issue_remote(idx, slot_idx, op, now);
+                self.schedule_engine(idx, cost);
+            }
+            Err(e) => {
+                self.kill_agent(idx, slot_idx, e, now);
+                self.schedule_engine(idx, cost);
+            }
+        }
+    }
+
+    fn set_status(&mut self, idx: usize, slot_idx: usize, status: AgentStatus) {
+        if let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() {
+            slot.status = status;
+        }
+    }
+
+    fn handle_wake(&mut self, idx: usize, slot_idx: usize, _now: SimTime) {
+        if let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() {
+            if matches!(slot.status, AgentStatus::Sleeping { .. }) {
+                slot.status = AgentStatus::Ready;
+                self.schedule_engine(idx, SimDuration::ZERO);
+            }
+        }
+    }
+
+    /// Fires reactions and wakes blocked agents after tuples land in `idx`'s
+    /// space.
+    fn after_insertions(&mut self, idx: usize, tuples: Vec<Tuple>, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        for tuple in tuples {
+            let fired: Vec<Reaction> = self.nodes[idx].registry.matching(&tuple);
+            for r in fired {
+                if let Some(slot_idx) = self.nodes[idx].slot_of(r.owner) {
+                    let slot = self.nodes[idx].slots[slot_idx].as_mut().expect("slot_of");
+                    slot.pending_reactions.push_back((tuple.clone(), r.pc));
+                    if slot.status == AgentStatus::Waiting {
+                        slot.status = AgentStatus::Ready;
+                    }
+                    self.tracer.record(
+                        now,
+                        Some(node_id),
+                        "reaction.fire",
+                        format!("{} on {tuple}", r.owner),
+                    );
+                }
+            }
+            // Blocking in/rd retry on any insertion.
+            for slot in self.nodes[idx].slots.iter_mut().flatten() {
+                if slot.status == AgentStatus::Blocked {
+                    slot.status = AgentStatus::Ready;
+                }
+            }
+        }
+        self.schedule_engine(idx, SimDuration::ZERO);
+    }
+
+    fn finish_agent(&mut self, idx: usize, slot_idx: usize, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        if let Some(slot) = self.nodes[idx].evict(slot_idx) {
+            let id = slot.agent.id();
+            self.nodes[idx].registry.remove_all(id);
+            self.log.push(OpRecord::AgentHalted {
+                agent: id,
+                node: node_id,
+                at: now,
+            });
+            self.tracer
+                .record(now, Some(node_id), "agent.halt", format!("{id}"));
+        }
+    }
+
+    fn kill_agent(&mut self, idx: usize, slot_idx: usize, err: VmError, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        if let Some(slot) = self.nodes[idx].evict(slot_idx) {
+            let id = slot.agent.id();
+            self.nodes[idx].registry.remove_all(id);
+            self.log.push(OpRecord::AgentFaulted {
+                agent: id,
+                node: node_id,
+                at: now,
+            });
+            self.tracer
+                .record(now, Some(node_id), "agent.fault", format!("{id}: {err}"));
+        }
+    }
+
+    // --- radio / MAC ------------------------------------------------------
+
+    fn enqueue_frame(&mut self, idx: usize, frame: Frame, extra_delay: SimDuration) {
+        self.nodes[idx].tx_queue.push_back(frame);
+        if !self.nodes[idx].tx_scheduled {
+            self.nodes[idx].tx_scheduled = true;
+            self.nodes[idx].tx_attempt = 0;
+            let delay = extra_delay
+                + self.mac.tx_processing()
+                + self.mac.initial_backoff(&mut self.rng_mac);
+            let node = self.nodes[idx].id;
+            self.queue
+                .schedule(self.queue.now() + delay, Event::TxReady { node });
+        }
+    }
+
+    fn handle_tx_ready(&mut self, idx: usize, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        if self.nodes[idx].tx_queue.is_empty() {
+            self.nodes[idx].tx_scheduled = false;
+            return;
+        }
+        if self.medium.channel_busy(now, node_id) {
+            self.nodes[idx].tx_attempt += 1;
+            let attempt = self.nodes[idx].tx_attempt;
+            let delay = self.mac.congestion_backoff(&mut self.rng_mac, attempt);
+            self.queue
+                .schedule(now + delay, Event::TxReady { node: node_id });
+            return;
+        }
+        let frame = self.nodes[idx]
+            .tx_queue
+            .pop_front()
+            .expect("non-empty queue");
+        self.nodes[idx].tx_attempt = 0;
+        let air = frame.air_time();
+        self.metrics.incr("radio.frames_sent");
+        let deliveries = self.medium.transmit(now, &frame);
+        for d in deliveries {
+            if d.outcome != DeliveryOutcome::Delivered {
+                self.metrics.incr("radio.frames_lost");
+            }
+            self.queue.schedule(
+                d.arrive_at + self.mac.rx_processing(),
+                Event::FrameArrived {
+                    node: d.to,
+                    frame: frame.clone(),
+                    outcome: d.outcome,
+                },
+            );
+        }
+        if self.nodes[idx].tx_queue.is_empty() {
+            self.nodes[idx].tx_scheduled = false;
+        } else {
+            let delay = air
+                + SimDuration::from_micros(self.config.timing.tx_turnaround_us)
+                + self.mac.initial_backoff(&mut self.rng_mac);
+            self.queue
+                .schedule(now + delay, Event::TxReady { node: node_id });
+        }
+    }
+
+    fn handle_beacon(&mut self, idx: usize, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        let loc = self.nodes[idx].loc;
+        self.metrics.incr("radio.beacons");
+        let msg = wire::message(am::BEACON, encode_beacon(loc));
+        self.enqueue_frame(
+            idx,
+            Frame::broadcast(node_id, msg.encode()),
+            SimDuration::ZERO,
+        );
+        let jitter = self.rng_mac.range_u64(0, 100_000);
+        self.queue.schedule(
+            now + BEACON_PERIOD + SimDuration::from_micros(jitter),
+            Event::Beacon { node: node_id },
+        );
+    }
+
+    fn handle_frame(&mut self, idx: usize, frame: Frame, outcome: DeliveryOutcome, now: SimTime) {
+        if outcome != DeliveryOutcome::Delivered {
+            return;
+        }
+        let me = self.nodes[idx].id;
+        if !frame.accepts(me) {
+            return;
+        }
+        let Some(msg) = ActiveMessage::decode(&frame.payload) else {
+            return;
+        };
+        match msg.am_type {
+            t if t == am::BEACON => {
+                if let Some(loc) = decode_beacon(&msg.payload) {
+                    self.nodes[idx].acq.heard(frame.src, loc, now);
+                }
+            }
+            t if t == am::MIG_HDR => {
+                if let Some(h) = MigHeader::decode(&msg.payload) {
+                    self.handle_mig_header(idx, frame.src, None, h, now);
+                }
+            }
+            t if t == am::MIG_DATA => {
+                if let Some(d) = MigData::decode(&msg.payload) {
+                    self.handle_mig_data(idx, frame.src, d, now);
+                }
+            }
+            t if t == am::MIG_E2E => {
+                if let Some(env) = Envelope::decode(&msg.payload) {
+                    self.handle_envelope(idx, frame.src, env, now);
+                }
+            }
+            t if t == am::MIG_ACK => {
+                if let Some(a) = MigAck::decode(&msg.payload) {
+                    self.handle_mig_ack(idx, a, now);
+                }
+            }
+            t if t == am::MIG_NACK => {
+                if let Some(n) = MigNack::decode(&msg.payload) {
+                    self.fail_sender(idx, n.session, "refused by receiver", now);
+                }
+            }
+            t if t == am::RTS_REQ => {
+                if let Some(r) = RtsRequest::decode(&msg.payload) {
+                    self.handle_rts_request(idx, r, now);
+                }
+            }
+            t if t == am::RTS_REP => {
+                if let Some(r) = RtsReply::decode(&msg.payload) {
+                    self.handle_rts_reply(idx, r, now);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The [`Host`] implementation backing one instruction step: disjoint
+/// borrows of the node's managers plus the network-level environment.
+struct HostView<'a> {
+    loc: Location,
+    now: SimTime,
+    space: &'a mut agilla_tuplespace::TupleSpace,
+    registry: &'a mut agilla_tuplespace::ReactionRegistry,
+    acq: &'a wsn_net::AcquaintanceList,
+    leds: &'a mut i16,
+    env: &'a Environment,
+    rng: &'a mut RngStream,
+    rng_env: &'a mut RngStream,
+    owner: AgentId,
+    /// Tuples inserted during this step (reaction firing happens after the
+    /// step, once the agent borrow is released).
+    inserted: Vec<Tuple>,
+}
+
+impl Host for HostView<'_> {
+    fn location(&self) -> Location {
+        self.loc
+    }
+
+    fn random(&mut self) -> i16 {
+        self.rng.next_u64() as i16
+    }
+
+    fn sense(&mut self, sensor: SensorType) -> Option<i16> {
+        self.env.sample(sensor, self.loc, self.now, self.rng_env)
+    }
+
+    fn set_leds(&mut self, v: i16) {
+        *self.leds = v;
+    }
+
+    fn num_neighbors(&self) -> usize {
+        self.acq.len(self.now)
+    }
+
+    fn neighbor(&self, index: usize) -> Option<Location> {
+        self.acq.get(index, self.now)
+    }
+
+    fn random_neighbor(&mut self) -> Option<Location> {
+        self.acq.random(self.rng, self.now)
+    }
+
+    fn ts_out(&mut self, tuple: Tuple) -> Result<(), TupleSpaceError> {
+        self.space.out(tuple.clone())?;
+        self.inserted.push(tuple);
+        Ok(())
+    }
+
+    fn ts_inp(&mut self, template: &Template) -> Option<Tuple> {
+        self.space.inp(template)
+    }
+
+    fn ts_rdp(&mut self, template: &Template) -> Option<Tuple> {
+        self.space.rdp(template)
+    }
+
+    fn ts_count(&mut self, template: &Template) -> usize {
+        self.space.count(template)
+    }
+
+    fn register_reaction(
+        &mut self,
+        owner: AgentId,
+        template: Template,
+        pc: u16,
+    ) -> Result<(), TupleSpaceError> {
+        debug_assert_eq!(owner, self.owner);
+        self.registry
+            .register(Reaction::new(owner, template, pc))
+            .map(|_| ())
+    }
+
+    fn deregister_reaction(&mut self, owner: AgentId, template: &Template) -> bool {
+        self.registry.deregister(owner, template).is_some()
+    }
+}

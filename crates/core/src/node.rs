@@ -11,6 +11,7 @@ use wsn_sim::{EventId, SimDuration, SimTime};
 
 use crate::config::AgillaConfig;
 use crate::migration::{MigrationImage, ReassemblyBuffer};
+use crate::network::session::{CompletedCache, RetxState};
 use crate::wire::{MigData, MigHeader, RtsReply, RtsRequest};
 
 /// Why an agent is not currently executing.
@@ -74,8 +75,6 @@ pub struct SenderSession {
     pub header: MigHeader,
     /// Next fragment to send; `None` means the header is in flight.
     pub next_frag: Option<usize>,
-    /// Transmissions of the current message so far.
-    pub tries: u32,
     /// Link destination for this hop.
     pub next_hop: NodeId,
     /// The original agent, held for failure resume: movers' state, or the
@@ -84,8 +83,8 @@ pub struct SenderSession {
     /// Whether the held agent should resume locally on *success* too
     /// (clones) or only on failure (moves).
     pub resume_on_success: bool,
-    /// The pending retransmit timer.
-    pub retx_timer: Option<EventId>,
+    /// Shared-session-layer retransmission state for the in-flight message.
+    pub retx: RetxState,
 }
 
 /// A migration receiver session: reassembly plus the abort watchdog.
@@ -110,15 +109,33 @@ pub struct PendingRemote {
     pub request: RtsRequest,
     /// The waiting agent's slot.
     pub slot: usize,
-    /// Transmissions so far.
-    pub tries: u32,
     /// When the operation was issued (latency metric).
     pub issued_at: SimTime,
-    /// Whether the first transmission has been answered (first-attempt
-    /// latency metric for Fig. 10).
-    pub retransmitted: bool,
-    /// The pending timeout timer.
-    pub timer: Option<EventId>,
+    /// Shared-session-layer retransmission state (tries, the pending timeout
+    /// timer, and the Fig. 10 first-attempt flag).
+    pub retx: RetxState,
+}
+
+/// The server-side dedup key for a remote tuple-space operation: the
+/// initiating node plus its op id. Keying on the origin *location* instead
+/// would let ε-close initiators collide, and a bare op id wraps at 65 535 —
+/// this pair, combined with the cache TTL, is wrap-safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteDedupKey {
+    /// The initiating node.
+    pub origin: NodeId,
+    /// Its operation id.
+    pub op_id: u16,
+}
+
+/// Reply path of a completed inbound migration session, cached so duplicate
+/// messages can be re-acked after the session record itself is gone.
+#[derive(Debug, Clone, Copy)]
+pub struct MigDonePath {
+    /// The link-layer sender (hop-by-hop ack path).
+    pub from: NodeId,
+    /// End-to-end sessions route acks to this origin instead.
+    pub origin: Option<Location>,
 }
 
 /// One simulated Agilla mote.
@@ -155,22 +172,22 @@ pub struct Node {
     /// Pending remote operations by op id.
     pub pending_remote: HashMap<u16, PendingRemote>,
     /// Recently served remote operations, for duplicate-request replies.
-    pub reply_cache: VecDeque<(u16, Location, RtsReply)>,
-    /// Recently completed inbound migration sessions `(session, from,
-    /// origin, completed_at)`. A data retransmission for one of these means
-    /// the final ack was lost; re-acking from this cache stops the sender
-    /// from declaring failure and resuming a duplicate of an agent that
-    /// already arrived. Entries expire (see [`Node::mig_done`]) so a
-    /// wrapped-around session id cannot match a stale record and black-hole
-    /// a genuinely new migration.
-    pub mig_done_cache: VecDeque<(u16, NodeId, Option<Location>, SimTime)>,
+    /// TTL'd over the initiator's full retransmit window
+    /// ([`AgillaConfig::remote_reply_ttl`]): a retransmitted request whose
+    /// first execution already happened is answered from here rather than
+    /// re-executed, which is what makes `rout` exactly-once.
+    pub reply_cache: CompletedCache<RemoteDedupKey, RtsReply>,
+    /// Recently completed inbound migration sessions. A data retransmission
+    /// for one of these means the final ack was lost; re-acking from this
+    /// cache stops the sender from declaring failure and resuming a
+    /// duplicate of an agent that already arrived. Entries expire
+    /// ([`AgillaConfig::migration_done_ttl`]) so a wrapped-around session id
+    /// cannot match a stale record and black-hole a genuinely new migration.
+    pub mig_done_cache: CompletedCache<u16, MigDonePath>,
     /// Whether the mote has been failed by fault injection: dead nodes send
     /// nothing, receive nothing, and execute nothing.
     pub dead: bool,
 }
-
-/// Capacity of the served-operation reply cache.
-const REPLY_CACHE: usize = 8;
 
 impl Node {
     /// Creates a node with the configured resource budgets.
@@ -199,8 +216,8 @@ impl Node {
             send_sessions: HashMap::new(),
             recv_sessions: HashMap::new(),
             pending_remote: HashMap::new(),
-            reply_cache: VecDeque::new(),
-            mig_done_cache: VecDeque::new(),
+            reply_cache: CompletedCache::new(config.remote_reply_ttl()),
+            mig_done_cache: CompletedCache::new(config.migration_done_ttl()),
             dead: false,
         }
     }
@@ -246,11 +263,7 @@ impl Node {
 
     /// Ids of all resident agents.
     pub fn agents(&self) -> Vec<AgentId> {
-        self.slots
-            .iter()
-            .flatten()
-            .map(|s| s.agent.id())
-            .collect()
+        self.slots.iter().flatten().map(|s| s.agent.id()).collect()
     }
 
     /// Whether any slot is ready to execute.
@@ -287,27 +300,18 @@ impl Node {
         None
     }
 
-    /// Caches a served remote operation's reply for duplicate requests.
-    pub fn cache_reply(&mut self, op_id: u16, origin: Location, reply: RtsReply) {
-        if self.reply_cache.len() == REPLY_CACHE {
-            self.reply_cache.pop_front();
-        }
-        self.reply_cache.push_back((op_id, origin, reply));
+    /// Caches a served remote operation's reply for duplicate requests. The
+    /// entry survives the initiator's entire retransmit window (TTL from
+    /// [`AgillaConfig::remote_reply_ttl`]); capacity pressure never evicts a
+    /// live entry.
+    pub fn cache_reply(&mut self, key: RemoteDedupKey, reply: RtsReply, now: SimTime) {
+        self.reply_cache.insert(key, reply, now);
     }
 
-    /// Looks up a cached reply for a duplicate request.
-    pub fn cached_reply(&self, op_id: u16, origin: Location) -> Option<&RtsReply> {
-        self.reply_cache
-            .iter()
-            .find(|(id, org, _)| *id == op_id && *org == origin)
-            .map(|(_, _, r)| r)
+    /// Looks up a live cached reply for a duplicate request.
+    pub fn cached_reply(&self, key: RemoteDedupKey, now: SimTime) -> Option<&RtsReply> {
+        self.reply_cache.lookup(&key, now)
     }
-
-    /// How long a completed-session record answers duplicate migration
-    /// messages. Far above the sender's worst-case retry horizon (≈0.5 s
-    /// hop-by-hop, ≈2.5 s end-to-end), far below any plausible time for the
-    /// global session counter to wrap back to the same id.
-    pub const MIG_DONE_TTL_SECS: u64 = 10;
 
     /// Records a completed inbound migration session for duplicate re-acks.
     pub fn cache_mig_done(
@@ -317,10 +321,8 @@ impl Node {
         origin: Option<Location>,
         now: SimTime,
     ) {
-        if self.mig_done_cache.len() == REPLY_CACHE {
-            self.mig_done_cache.pop_front();
-        }
-        self.mig_done_cache.push_back((session, from, origin, now));
+        self.mig_done_cache
+            .insert(session, MigDonePath { from, origin }, now);
     }
 
     /// Looks up the reply path of a recently completed inbound migration
@@ -334,15 +336,10 @@ impl Node {
         from: NodeId,
         now: SimTime,
     ) -> Option<(NodeId, Option<Location>)> {
-        let ttl = SimDuration::from_secs(Self::MIG_DONE_TTL_SECS);
         self.mig_done_cache
-            .iter()
-            .find(|(s, f, origin, at)| {
-                *s == session
-                    && now.saturating_since(*at) <= ttl
-                    && (origin.is_some() || *f == from)
-            })
-            .map(|(_, from, origin, _)| (*from, *origin))
+            .lookup(&session, now)
+            .filter(|path| path.origin.is_some() || path.from == from)
+            .map(|path| (path.from, path.origin))
     }
 }
 
@@ -424,16 +421,80 @@ mod tests {
         assert!(!n.has_ready_agent());
     }
 
+    fn key(origin: u16, op_id: u16) -> RemoteDedupKey {
+        RemoteDedupKey {
+            origin: NodeId(origin),
+            op_id,
+        }
+    }
+
     #[test]
-    fn reply_cache_evicts_oldest() {
+    fn reply_cache_survives_the_full_retransmit_window() {
+        // The lost-ack duplication class: a burst of other served ops must
+        // not evict a reply while its initiator can still retransmit.
         let mut n = node();
         let origin = Location::new(0, 1);
-        for i in 0..10u16 {
-            n.cache_reply(i, origin, RtsReply { op_id: i, dest: origin, success: true, tuple: None });
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        n.cache_reply(
+            key(1, 0),
+            RtsReply {
+                op_id: 0,
+                dest: origin,
+                success: true,
+                tuple: None,
+            },
+            now,
+        );
+        for i in 1..100u16 {
+            n.cache_reply(
+                key(1, i),
+                RtsReply {
+                    op_id: i,
+                    dest: origin,
+                    success: true,
+                    tuple: None,
+                },
+                now,
+            );
         }
-        assert!(n.cached_reply(0, origin).is_none(), "oldest evicted");
-        assert!(n.cached_reply(9, origin).is_some());
-        assert!(n.cached_reply(9, Location::new(5, 5)).is_none(), "origin mismatch");
+        let window_end = now + cfg().remote_reply_ttl();
+        assert!(
+            n.cached_reply(key(1, 0), window_end).is_some(),
+            "live entries are never capacity-evicted"
+        );
+        let expired = window_end + SimDuration::from_micros(1);
+        assert!(
+            n.cached_reply(key(1, 0), expired).is_none(),
+            "expired past the TTL"
+        );
+    }
+
+    #[test]
+    fn reply_cache_key_is_wrap_safe() {
+        let mut n = node();
+        let origin = Location::new(0, 1);
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        n.cache_reply(
+            key(1, 9),
+            RtsReply {
+                op_id: 9,
+                dest: origin,
+                success: true,
+                tuple: None,
+            },
+            now,
+        );
+        // Same op id from a *different node* is a different operation.
+        assert!(
+            n.cached_reply(key(2, 9), now).is_none(),
+            "origin-node mismatch"
+        );
+        // A wrapped op id reappearing after the TTL finds nothing stale.
+        let long_after = now + SimDuration::from_secs(60);
+        assert!(
+            n.cached_reply(key(1, 9), long_after).is_none(),
+            "wrap-safe via expiry"
+        );
     }
 
     #[test]
@@ -466,20 +527,29 @@ mod tests {
         let mut n = node();
         let done_at = SimTime::ZERO + SimDuration::from_secs(1);
         n.cache_mig_done(42, NodeId(7), None, done_at);
-        let within = done_at + SimDuration::from_secs(Node::MIG_DONE_TTL_SECS);
-        assert!(n.mig_done(42, NodeId(7), within).is_some(), "alive inside the TTL");
+        let within = done_at + cfg().migration_done_ttl();
+        assert!(
+            n.mig_done(42, NodeId(7), within).is_some(),
+            "alive inside the TTL"
+        );
         let after = within + SimDuration::from_micros(1);
-        assert_eq!(n.mig_done(42, NodeId(7), after), None, "expired past the TTL");
+        assert_eq!(
+            n.mig_done(42, NodeId(7), after),
+            None,
+            "expired past the TTL"
+        );
     }
 
     #[test]
-    fn mig_done_cache_evicts_oldest() {
+    fn mig_done_cache_outlives_a_burst_of_completions() {
         let mut n = node();
         let now = SimTime::ZERO + SimDuration::from_secs(1);
-        for s in 0..10u16 {
+        for s in 0..100u16 {
             n.cache_mig_done(s, NodeId(7), None, now);
         }
-        assert_eq!(n.mig_done(0, NodeId(7), now), None, "oldest evicted");
-        assert!(n.mig_done(9, NodeId(7), now).is_some());
+        assert!(
+            n.mig_done(0, NodeId(7), now).is_some(),
+            "no capacity eviction inside the retransmit window"
+        );
     }
 }

@@ -126,11 +126,12 @@ impl ExperimentLog {
         self.records
             .iter()
             .filter_map(|r| match r {
-                OpRecord::MigrationArrived { agent: a, node: n, at, .. }
-                    if *a == agent && *n == node =>
-                {
-                    Some(*at)
-                }
+                OpRecord::MigrationArrived {
+                    agent: a,
+                    node: n,
+                    at,
+                    ..
+                } if *a == agent && *n == node => Some(*at),
                 _ => None,
             })
             .collect()
@@ -152,11 +153,13 @@ impl ExperimentLog {
     /// The completion record for remote operation `op_id`.
     pub fn remote_completion(&self, op_id: u16) -> Option<(bool, bool, SimTime)> {
         self.records.iter().find_map(|r| match r {
-            OpRecord::RemoteCompleted { op_id: id, success, retransmitted, at, .. }
-                if *id == op_id =>
-            {
-                Some((*success, *retransmitted, *at))
-            }
+            OpRecord::RemoteCompleted {
+                op_id: id,
+                success,
+                retransmitted,
+                at,
+                ..
+            } if *id == op_id => Some((*success, *retransmitted, *at)),
             _ => None,
         })
     }
@@ -174,7 +177,9 @@ impl ExperimentLog {
         self.records
             .iter()
             .filter_map(|r| match r {
-                OpRecord::RemoteIssued { op_id, agent: a, .. } if *a == agent => Some(*op_id),
+                OpRecord::RemoteIssued {
+                    op_id, agent: a, ..
+                } if *a == agent => Some(*op_id),
                 _ => None,
             })
             .collect()
@@ -200,14 +205,22 @@ mod tests {
     #[test]
     fn queries_find_their_records() {
         let mut log = ExperimentLog::new();
-        log.push(OpRecord::AgentInjected { agent: AgentId(1), node: NodeId(0), at: t(1) });
+        log.push(OpRecord::AgentInjected {
+            agent: AgentId(1),
+            node: NodeId(0),
+            at: t(1),
+        });
         log.push(OpRecord::MigrationArrived {
             agent: AgentId(1),
             node: NodeId(5),
             kind: MigrateKind::StrongMove,
             at: t(200),
         });
-        log.push(OpRecord::AgentHalted { agent: AgentId(1), node: NodeId(5), at: t(300) });
+        log.push(OpRecord::AgentHalted {
+            agent: AgentId(1),
+            node: NodeId(5),
+            at: t(300),
+        });
         log.push(OpRecord::RemoteIssued {
             op_id: 9,
             agent: AgentId(1),

@@ -7,7 +7,7 @@
 
 use agilla_tuplespace::{Template, Tuple, TupleSpaceError};
 use agilla_vm::MigrateKind;
-use wsn_common::{AgentId, Location, TOS_PAYLOAD};
+use wsn_common::{AgentId, Location, NodeId, TOS_PAYLOAD};
 use wsn_net::AmType;
 
 /// Active-message type assignments.
@@ -253,7 +253,9 @@ impl MigNack {
     /// Parses a message payload.
     pub fn decode(b: &[u8]) -> Option<MigNack> {
         let bytes: [u8; 2] = b.try_into().ok()?;
-        Some(MigNack { session: u16::from_le_bytes(bytes) })
+        Some(MigNack {
+            session: u16::from_le_bytes(bytes),
+        })
     }
 }
 
@@ -283,13 +285,18 @@ impl RtsKind {
 
 /// Maximum encoded tuple/template bytes a remote request can carry
 /// (header overhead leaves less than the local 25-byte bound).
-pub const RTS_BODY_MAX: usize = TOS_PAYLOAD - 11;
+pub const RTS_BODY_MAX: usize = TOS_PAYLOAD - 13;
 
 /// A remote tuple-space request, geographically routed to `dest`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RtsRequest {
     /// Initiator-unique operation id (reply correlation + dedup).
     pub op_id: u16,
+    /// The initiating *node*. Together with `op_id` this forms the server's
+    /// wrap-safe dedup key: locations within ε of each other are the same
+    /// address, so keying duplicate suppression on `origin` alone would let
+    /// two distinct initiators (or a wrapped op id) collide.
+    pub origin_node: NodeId,
     /// Where the reply should travel back to.
     pub origin: Location,
     /// The node whose tuple space is addressed.
@@ -309,15 +316,26 @@ impl RtsRequest {
     /// [`RTS_BODY_MAX`] — remote operations have less room than local ones.
     pub fn for_out(
         op_id: u16,
+        origin_node: NodeId,
         origin: Location,
         dest: Location,
         tuple: &Tuple,
     ) -> Result<RtsRequest, TupleSpaceError> {
         let body = tuple.encode();
         if body.len() > RTS_BODY_MAX {
-            return Err(TupleSpaceError::TupleTooLarge { size: body.len(), max: RTS_BODY_MAX });
+            return Err(TupleSpaceError::TupleTooLarge {
+                size: body.len(),
+                max: RTS_BODY_MAX,
+            });
         }
-        Ok(RtsRequest { op_id, origin, dest, kind: RtsKind::Out, body })
+        Ok(RtsRequest {
+            op_id,
+            origin_node,
+            origin,
+            dest,
+            kind: RtsKind::Out,
+            body,
+        })
     }
 
     /// Builds an `inp`/`rdp` request.
@@ -328,6 +346,7 @@ impl RtsRequest {
     /// [`RTS_BODY_MAX`].
     pub fn for_probe(
         op_id: u16,
+        origin_node: NodeId,
         origin: Location,
         dest: Location,
         kind: RtsKind,
@@ -335,15 +354,26 @@ impl RtsRequest {
     ) -> Result<RtsRequest, TupleSpaceError> {
         let body = template.encode();
         if body.len() > RTS_BODY_MAX {
-            return Err(TupleSpaceError::TupleTooLarge { size: body.len(), max: RTS_BODY_MAX });
+            return Err(TupleSpaceError::TupleTooLarge {
+                size: body.len(),
+                max: RTS_BODY_MAX,
+            });
         }
-        Ok(RtsRequest { op_id, origin, dest, kind, body })
+        Ok(RtsRequest {
+            op_id,
+            origin_node,
+            origin,
+            dest,
+            kind,
+            body,
+        })
     }
 
     /// Serializes to a message payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(11 + self.body.len());
+        let mut out = Vec::with_capacity(13 + self.body.len());
         out.extend_from_slice(&self.op_id.to_le_bytes());
+        out.extend_from_slice(&self.origin_node.0.to_le_bytes());
         out.extend_from_slice(&self.origin.to_bytes());
         out.extend_from_slice(&self.dest.to_bytes());
         out.push(self.kind as u8);
@@ -354,15 +384,16 @@ impl RtsRequest {
 
     /// Parses a message payload.
     pub fn decode(b: &[u8]) -> Option<RtsRequest> {
-        if b.len() < 11 {
+        if b.len() < 13 {
             return None;
         }
         Some(RtsRequest {
             op_id: u16::from_le_bytes([b[0], b[1]]),
-            origin: Location::from_bytes([b[2], b[3], b[4], b[5]]),
-            dest: Location::from_bytes([b[6], b[7], b[8], b[9]]),
-            kind: RtsKind::from_tag(b[10])?,
-            body: b[11..].to_vec(),
+            origin_node: NodeId(u16::from_le_bytes([b[2], b[3]])),
+            origin: Location::from_bytes([b[4], b[5], b[6], b[7]]),
+            dest: Location::from_bytes([b[8], b[9], b[10], b[11]]),
+            kind: RtsKind::from_tag(b[12])?,
+            body: b[13..].to_vec(),
         })
     }
 
@@ -565,7 +596,11 @@ mod tests {
 
     #[test]
     fn mig_ack_roundtrip() {
-        let a = MigAck { session: 4, section: MigSection::State, seq: MigAck::HEADER_SEQ };
+        let a = MigAck {
+            session: 4,
+            section: MigSection::State,
+            seq: MigAck::HEADER_SEQ,
+        };
         assert_eq!(MigAck::decode(&a.encode()), Some(a));
         assert_eq!(MigAck::decode(&[0; 3]), None);
     }
@@ -578,17 +613,28 @@ mod tests {
     }
 
     fn fire_tuple() -> Tuple {
-        Tuple::new(vec![Field::str("fir"), Field::location(Location::new(3, 3))]).unwrap()
+        Tuple::new(vec![
+            Field::str("fir"),
+            Field::location(Location::new(3, 3)),
+        ])
+        .unwrap()
     }
 
     #[test]
     fn rts_request_roundtrip() {
-        let r = RtsRequest::for_out(11, Location::new(0, 1), Location::new(5, 1), &fire_tuple())
-            .unwrap();
+        let r = RtsRequest::for_out(
+            11,
+            NodeId(3),
+            Location::new(0, 1),
+            Location::new(5, 1),
+            &fire_tuple(),
+        )
+        .unwrap();
         let encoded = r.encode();
         assert!(encoded.len() <= TOS_PAYLOAD);
         let back = RtsRequest::decode(&encoded).unwrap();
         assert_eq!(back, r);
+        assert_eq!(back.origin_node, NodeId(3), "dedup key survives the wire");
         assert_eq!(back.tuple().unwrap(), fire_tuple());
     }
 
@@ -598,8 +644,15 @@ mod tests {
             TemplateField::exact(Field::str("fir")),
             TemplateField::any_location(),
         ]);
-        let r = RtsRequest::for_probe(12, Location::new(0, 1), Location::new(2, 2), RtsKind::Inp, &tmpl)
-            .unwrap();
+        let r = RtsRequest::for_probe(
+            12,
+            NodeId(1),
+            Location::new(0, 1),
+            Location::new(2, 2),
+            RtsKind::Inp,
+            &tmpl,
+        )
+        .unwrap();
         let back = RtsRequest::decode(&r.encode()).unwrap();
         assert_eq!(back.template().unwrap(), tmpl);
         assert_eq!(back.kind, RtsKind::Inp);
@@ -609,15 +662,42 @@ mod tests {
     fn rts_request_size_limit() {
         // An 8-value tuple encodes to 25 bytes > RTS_BODY_MAX.
         let big = Tuple::new(vec![Field::value(1); 8]).unwrap();
-        let err = RtsRequest::for_out(1, Location::new(0, 1), Location::new(1, 1), &big).unwrap_err();
+        let err = RtsRequest::for_out(1, NodeId(0), Location::new(0, 1), Location::new(1, 1), &big)
+            .unwrap_err();
         assert!(matches!(err, TupleSpaceError::TupleTooLarge { .. }));
     }
 
     #[test]
+    fn rts_request_fits_the_workload_tuples() {
+        // The paper's largest single-message request — the habitat monitor's
+        // <"hab", max, location> report — still fits after the origin-node
+        // dedup key widened the header to 13 bytes.
+        let hab = Tuple::new(vec![
+            Field::str("hab"),
+            Field::value(123),
+            Field::location(Location::new(4, 4)),
+        ])
+        .unwrap();
+        let r = RtsRequest::for_out(1, NodeId(9), Location::new(4, 4), Location::new(0, 1), &hab)
+            .unwrap();
+        assert!(r.encode().len() <= TOS_PAYLOAD);
+    }
+
+    #[test]
     fn rts_reply_roundtrip() {
-        let r = RtsReply { op_id: 5, dest: Location::new(0, 1), success: true, tuple: Some(fire_tuple()) };
+        let r = RtsReply {
+            op_id: 5,
+            dest: Location::new(0, 1),
+            success: true,
+            tuple: Some(fire_tuple()),
+        };
         assert_eq!(RtsReply::decode(&r.encode()), Some(r));
-        let r = RtsReply { op_id: 5, dest: Location::new(0, 1), success: false, tuple: None };
+        let r = RtsReply {
+            op_id: 5,
+            dest: Location::new(0, 1),
+            success: false,
+            tuple: None,
+        };
         assert_eq!(RtsReply::decode(&r.encode()), Some(r));
         assert_eq!(RtsReply::decode(&[0; 3]), None);
     }
@@ -639,7 +719,12 @@ mod tests {
     #[test]
     fn envelope_fits_e2e_fragments() {
         // A 14-byte chunk + 4-byte MigData header fits the inner budget.
-        let data = MigData { session: 1, section: MigSection::Code, seq: 0, bytes: vec![0; 14] };
+        let data = MigData {
+            session: 1,
+            section: MigSection::Code,
+            seq: 0,
+            bytes: vec![0; 14],
+        };
         assert!(data.encode().len() <= Envelope::INNER_MAX);
         // So does a session header (14 bytes) and an ack (4 bytes).
         let h = MigHeader {
@@ -652,8 +737,16 @@ mod tests {
             rxn_frags: 0,
         };
         assert!(h.encode().len() <= Envelope::INNER_MAX);
-        assert!(MigAck { session: 1, section: MigSection::State, seq: 0 }.encode().len()
-            <= Envelope::INNER_MAX);
+        assert!(
+            MigAck {
+                session: 1,
+                section: MigSection::State,
+                seq: 0
+            }
+            .encode()
+            .len()
+                <= Envelope::INNER_MAX
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub fn smove_test_agent(target: Location, home: Location) -> String {
 
 /// The Fig. 8 rout agent with a parameterized target.
 pub fn rout_test_agent(target: Location) -> String {
-    format!("pushc 1\npushc 1\npushloc {} {}\nrout\nhalt", target.x, target.y)
+    format!(
+        "pushc 1\npushc 1\npushloc {} {}\nrout\nhalt",
+        target.x, target.y
+    )
 }
 
 /// A one-way smove agent (for one-hop operation timing, Fig. 11).

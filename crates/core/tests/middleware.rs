@@ -28,10 +28,19 @@ fn smove_agent_round_trips_on_reliable_network() {
     let target = net.node_at(Location::new(5, 1)).unwrap();
     assert!(net.log().arrived(id, target), "reached (5,1)");
     assert!(net.log().arrived(id, net.base()), "returned to base");
-    let halted = net.log().halted_at(id).expect("halted after the round trip");
+    let halted = net
+        .log()
+        .halted_at(id)
+        .expect("halted after the round trip");
     // 5 hops out + 5 hops back at ~225 ms/hop: between 1.5 and 4 seconds.
-    assert!(halted > SimTime::from_micros(1_500_000), "halted at {halted}");
-    assert!(halted < SimTime::from_micros(4_000_000), "halted at {halted}");
+    assert!(
+        halted > SimTime::from_micros(1_500_000),
+        "halted at {halted}"
+    );
+    assert!(
+        halted < SimTime::from_micros(4_000_000),
+        "halted at {halted}"
+    );
     // The agent is gone from every node.
     assert_eq!(net.find_agent(id), None);
 }
@@ -139,14 +148,23 @@ fn blocking_in_wakes_on_remote_insertion() {
     let consumer_src = "pusht value\npushc 1\nin\nputled\nhalt";
     // The consumer pushes the tuple <9>: after `in`, stack is [9, 1(arity)];
     // putled pops the arity... display something nonzero either way.
-    let consumer = net.inject_source_at(Location::new(2, 1), consumer_src).unwrap();
+    let consumer = net
+        .inject_source_at(Location::new(2, 1), consumer_src)
+        .unwrap();
     net.run_for(SimDuration::from_secs(1));
-    assert!(net.log().halted_at(consumer).is_none(), "consumer is blocked");
+    assert!(
+        net.log().halted_at(consumer).is_none(),
+        "consumer is blocked"
+    );
 
     let producer_src = "pushc 9\npushc 1\npushloc 2 1\nrout\nhalt";
-    net.inject_source_at(Location::new(1, 1), producer_src).unwrap();
+    net.inject_source_at(Location::new(1, 1), producer_src)
+        .unwrap();
     net.run_for(SimDuration::from_secs(5));
-    assert!(net.log().halted_at(consumer).is_some(), "consumer unblocked and finished");
+    assert!(
+        net.log().halted_at(consumer).is_some(),
+        "consumer unblocked and finished"
+    );
     let consumer_node = net.node_at(Location::new(2, 1)).unwrap();
     // `in` removed the tuple.
     let tmpl = Template::new(vec![TemplateField::any_value()]);
@@ -164,7 +182,9 @@ fn reaction_fires_on_rout_and_fire_tracker_clones_to_fire() {
         SimTime::ZERO,
     )));
     let detector_src = workload::fire_detector(Location::new(0, 1), 8);
-    let detector = net.inject_source_at(Location::new(3, 3), &detector_src).unwrap();
+    let detector = net
+        .inject_source_at(Location::new(3, 3), &detector_src)
+        .unwrap();
     net.run_for(SimDuration::from_secs(20));
 
     // The detector sensed >200, sent the alert, and halted.
@@ -191,12 +211,21 @@ fn reaction_fires_on_rout_and_fire_tracker_clones_to_fire() {
 /// final ack cannot duplicate the clone). On the lossy testbed profile the
 /// mark count distinguishes the three outcomes: 0 = retry missing,
 /// 2+ = duplicate suppression missing, 1 = both correct.
+///
+/// The seeds are chosen so the detector's single unacknowledged `rout`
+/// alert actually reaches the tracker (the paper's Fig. 13 detector is
+/// fire-and-forget, so on some trajectories the alert is simply lost) *and*
+/// the run re-acks at least one duplicate from the completed-session cache —
+/// both protocol paths under test are provably exercised every time.
 #[test]
 fn fire_tracking_is_exactly_once_under_loss() {
-    for seed in [1u64, 3, 5, 7, 11, 42] {
+    for seed in [1u64, 2, 11, 13, 24, 35] {
         let mut net = AgillaNetwork::testbed_5x5(AgillaConfig::default(), seed);
         let fire_loc = Location::new(4, 4);
-        net.set_environment(Environment::with_fire(FireModel::new(fire_loc, SimTime::ZERO)));
+        net.set_environment(Environment::with_fire(FireModel::new(
+            fire_loc,
+            SimTime::ZERO,
+        )));
         net.inject_source(workload::FIRE_TRACKER).unwrap();
         net.inject_source_at(fire_loc, &workload::fire_detector(Location::new(0, 1), 8))
             .unwrap();
@@ -211,6 +240,14 @@ fn fire_tracking_is_exactly_once_under_loss() {
             1,
             "seed {seed}: exactly one perimeter mark"
         );
+        assert!(
+            net.metrics().counter("migration.retx") > 0,
+            "seed {seed}: the lossy profile forced migration retransmissions"
+        );
+        assert!(
+            net.metrics().counter("migration.reack") > 0,
+            "seed {seed}: a duplicate was answered from the completed-session cache"
+        );
     }
 }
 
@@ -218,7 +255,9 @@ fn fire_tracking_is_exactly_once_under_loss() {
 fn capability_tuples_advertise_sensors() {
     let net = reliable();
     let n = net.node_at(Location::new(2, 2)).unwrap();
-    let tmpl = Template::new(vec![TemplateField::Any(agilla_tuplespace::FieldType::SensorType)]);
+    let tmpl = Template::new(vec![TemplateField::Any(
+        agilla_tuplespace::FieldType::SensorType,
+    )]);
     assert_eq!(net.node(n).space.count(&tmpl), 2, "temperature + light");
 }
 
@@ -338,7 +377,10 @@ halt";
     // Interleaving: both halted within a slice-ish window of each other.
     let ha = net.log().halted_at(a).unwrap();
     let hb = net.log().halted_at(b).unwrap();
-    let gap = hb.saturating_since(ha).as_micros().max(ha.saturating_since(hb).as_micros());
+    let gap = hb
+        .saturating_since(ha)
+        .as_micros()
+        .max(ha.saturating_since(hb).as_micros());
     assert!(gap < 200_000, "round-robin keeps both moving (gap {gap}us)");
 }
 
@@ -439,7 +481,10 @@ halt";
 fn end_to_end_migration_mode_works_when_lossless() {
     // The ablation variant still delivers agents on a perfect channel; its
     // weakness is loss compounding, not correctness.
-    let config = AgillaConfig { hop_by_hop_migration: false, ..AgillaConfig::default() };
+    let config = AgillaConfig {
+        hop_by_hop_migration: false,
+        ..AgillaConfig::default()
+    };
     let mut net = AgillaNetwork::new(
         Topology::grid_with_base(5, 5),
         LossModel::perfect(),
@@ -481,15 +526,24 @@ halt";
     net.run_for(SimDuration::from_secs(3));
     let target = net.node_at(Location::new(2, 1)).unwrap();
     assert_eq!(net.find_agent(id), Some(target), "agent moved");
-    assert_eq!(net.node(target).registry.len(), 1, "reaction restored at dest");
     assert_eq!(
-        net.node(net.node_at(Location::new(1, 1)).unwrap()).registry.len(),
+        net.node(target).registry.len(),
+        1,
+        "reaction restored at dest"
+    );
+    assert_eq!(
+        net.node(net.node_at(Location::new(1, 1)).unwrap())
+            .registry
+            .len(),
         0,
         "reaction removed at source"
     );
     // Fire the restored reaction with a matching tuple from a local agent.
-    net.inject_source_at(Location::new(2, 1), "pushn fir\npushc 3\npushc 2\nout\nhalt")
-        .unwrap();
+    net.inject_source_at(
+        Location::new(2, 1),
+        "pushn fir\npushc 3\npushc 2\nout\nhalt",
+    )
+    .unwrap();
     net.run_for(SimDuration::from_secs(3));
     assert_eq!(net.node(target).leds, 7, "restored reaction fired");
     assert!(net.log().halted_at(id).is_some());
@@ -508,7 +562,9 @@ fn base_station_is_node_zero_one_hop_from_grid() {
 fn agent_state_inspection() {
     let mut net = reliable();
     // Stores 42 in heap 0 and waits forever.
-    let id = net.inject_source("pushcl 42\nsetvar 0\nwait\nhalt").unwrap();
+    let id = net
+        .inject_source("pushcl 42\nsetvar 0\nwait\nhalt")
+        .unwrap();
     net.run_for(SimDuration::from_secs(1));
     let state = net.agent_state(id).expect("agent resident");
     assert_eq!(

@@ -68,7 +68,11 @@ impl Capsule {
         if code.len() > MAX_CAPSULE_INSTRUCTIONS {
             return None;
         }
-        Some(Capsule { kind, version, code })
+        Some(Capsule {
+            kind,
+            version,
+            code,
+        })
     }
 
     /// Serializes to a message payload: kind, version, code.

@@ -20,10 +20,23 @@ const GOSSIP_PERIOD: SimDuration = SimDuration::from_micros(4_000_000);
 
 #[derive(Debug, Clone)]
 enum Event {
-    TxReady { node: NodeId },
-    FrameArrived { node: NodeId, frame: Frame, outcome: DeliveryOutcome },
-    Rebroadcast { node: NodeId, kind: CapsuleKind, version: u16, remaining: u32 },
-    Gossip { node: NodeId },
+    TxReady {
+        node: NodeId,
+    },
+    FrameArrived {
+        node: NodeId,
+        frame: Frame,
+        outcome: DeliveryOutcome,
+    },
+    Rebroadcast {
+        node: NodeId,
+        kind: CapsuleKind,
+        version: u16,
+        remaining: u32,
+    },
+    Gossip {
+        node: NodeId,
+    },
 }
 
 #[derive(Debug)]
@@ -114,7 +127,12 @@ impl MateNetwork {
         self.nodes[idx].capsules[kind as usize] = Some(capsule);
         self.queue.schedule(
             self.queue.now(),
-            Event::Rebroadcast { node, kind, version, remaining: REBROADCASTS },
+            Event::Rebroadcast {
+                node,
+                kind,
+                version,
+                remaining: REBROADCASTS,
+            },
         );
     }
 
@@ -188,12 +206,17 @@ impl MateNetwork {
     fn dispatch(&mut self, at: SimTime, ev: Event) {
         match ev {
             Event::TxReady { node } => self.handle_tx_ready(node.index(), at),
-            Event::FrameArrived { node, frame, outcome } => {
-                self.handle_frame(node.index(), frame, outcome, at)
-            }
-            Event::Rebroadcast { node, kind, version, remaining } => {
-                self.handle_rebroadcast(node.index(), kind, version, remaining, at)
-            }
+            Event::FrameArrived {
+                node,
+                frame,
+                outcome,
+            } => self.handle_frame(node.index(), frame, outcome, at),
+            Event::Rebroadcast {
+                node,
+                kind,
+                version,
+                remaining,
+            } => self.handle_rebroadcast(node.index(), kind, version, remaining, at),
             Event::Gossip { node } => self.handle_gossip(node.index(), at),
         }
     }
@@ -204,7 +227,8 @@ impl MateNetwork {
             self.nodes[idx].tx_scheduled = true;
             let delay = self.mac.tx_processing() + self.mac.initial_backoff(&mut self.rng);
             let node = self.nodes[idx].id;
-            self.queue.schedule(self.queue.now() + delay, Event::TxReady { node });
+            self.queue
+                .schedule(self.queue.now() + delay, Event::TxReady { node });
         }
     }
 
@@ -216,7 +240,8 @@ impl MateNetwork {
         }
         if self.medium.channel_busy(now, node_id) {
             let delay = self.mac.congestion_backoff(&mut self.rng, 1);
-            self.queue.schedule(now + delay, Event::TxReady { node: node_id });
+            self.queue
+                .schedule(now + delay, Event::TxReady { node: node_id });
             return;
         }
         let frame = self.nodes[idx].tx_queue.pop_front().expect("non-empty");
@@ -225,14 +250,19 @@ impl MateNetwork {
         for d in self.medium.transmit(now, &frame) {
             self.queue.schedule(
                 d.arrive_at + self.mac.rx_processing(),
-                Event::FrameArrived { node: d.to, frame: frame.clone(), outcome: d.outcome },
+                Event::FrameArrived {
+                    node: d.to,
+                    frame: frame.clone(),
+                    outcome: d.outcome,
+                },
             );
         }
         if self.nodes[idx].tx_queue.is_empty() {
             self.nodes[idx].tx_scheduled = false;
         } else {
             let delay = air + self.mac.initial_backoff(&mut self.rng);
-            self.queue.schedule(now + delay, Event::TxReady { node: node_id });
+            self.queue
+                .schedule(now + delay, Event::TxReady { node: node_id });
         }
     }
 
@@ -263,7 +293,12 @@ impl MateNetwork {
             let delay = self.rng.range_u64(10_000, 120_000);
             self.queue.schedule(
                 now + SimDuration::from_micros(delay),
-                Event::Rebroadcast { node: node_id, kind, version, remaining: REBROADCASTS },
+                Event::Rebroadcast {
+                    node: node_id,
+                    kind,
+                    version,
+                    remaining: REBROADCASTS,
+                },
             );
         }
     }
@@ -291,7 +326,12 @@ impl MateNetwork {
             let delay = self.rng.range_u64(150_000, 600_000);
             self.queue.schedule(
                 now + SimDuration::from_micros(delay),
-                Event::Rebroadcast { node: node_id, kind, version, remaining: remaining - 1 },
+                Event::Rebroadcast {
+                    node: node_id,
+                    kind,
+                    version,
+                    remaining: remaining - 1,
+                },
             );
         }
     }
@@ -332,7 +372,10 @@ mod tests {
         let done = net.run_until_programmed(CapsuleKind::Clock, 1, SimDuration::from_secs(60));
         assert!(done.is_some(), "flood completes");
         assert_eq!(net.nodes_running(CapsuleKind::Clock, 1), 25);
-        assert!(net.frames_sent() >= 25, "every node rebroadcast at least once");
+        assert!(
+            net.frames_sent() >= 25,
+            "every node rebroadcast at least once"
+        );
     }
 
     #[test]
@@ -352,7 +395,11 @@ mod tests {
         net.install_at(NodeId(0), capsule(2));
         let done = net.run_until_programmed(CapsuleKind::Clock, 2, SimDuration::from_secs(60));
         assert!(done.is_some());
-        assert_eq!(net.nodes_running(CapsuleKind::Clock, 1), 0, "v1 fully replaced");
+        assert_eq!(
+            net.nodes_running(CapsuleKind::Clock, 1),
+            0,
+            "v1 fully replaced"
+        );
     }
 
     #[test]

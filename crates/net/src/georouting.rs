@@ -20,6 +20,9 @@ pub fn reached(here: Location, dest: Location, epsilon: u16) -> bool {
 /// Returns the neighbor strictly closer to `dest` than `here`, minimizing
 /// remaining distance; ties break on node id for determinism. `None` means a
 /// local minimum (or no neighbors) — the packet cannot make progress.
+///
+/// This is the allocation-free hot path (it runs per message per hop) and
+/// always equals the head of [`next_hop_candidates`].
 pub fn next_hop(
     here: Location,
     neighbors: &[(NodeId, Location)],
@@ -31,6 +34,28 @@ pub fn next_hop(
         .filter(|(_, loc)| loc.distance_sq(dest) < my_dist)
         .min_by_key(|(node, loc)| (loc.distance_sq(dest), *node))
         .map(|(node, _)| *node)
+}
+
+/// All neighbors that make geographic progress toward `dest`, ordered
+/// best-first (remaining distance, then node id for determinism).
+///
+/// [`next_hop`] is the head of this list. Reliability layers that retry at
+/// the hop level — the middleware's reliable-unicast session engine — can
+/// consume the tail as an ordered failover plan when the primary hop keeps
+/// timing out, instead of re-running the routing decision from scratch.
+pub fn next_hop_candidates(
+    here: Location,
+    neighbors: &[(NodeId, Location)],
+    dest: Location,
+) -> Vec<NodeId> {
+    let my_dist = here.distance_sq(dest);
+    let mut making_progress: Vec<(i64, NodeId)> = neighbors
+        .iter()
+        .filter(|(_, loc)| loc.distance_sq(dest) < my_dist)
+        .map(|(node, loc)| (loc.distance_sq(dest), *node))
+        .collect();
+    making_progress.sort_unstable();
+    making_progress.into_iter().map(|(_, node)| node).collect()
 }
 
 #[cfg(test)]
@@ -47,9 +72,15 @@ mod tests {
         let here = Location::new(1, 1);
         let neighbors = [nb(2, 2, 1), nb(6, 1, 2)];
         // Destination (5,1): (2,1) is closer than (1,2).
-        assert_eq!(next_hop(here, &neighbors, Location::new(5, 1)), Some(NodeId(2)));
+        assert_eq!(
+            next_hop(here, &neighbors, Location::new(5, 1)),
+            Some(NodeId(2))
+        );
         // Destination (1,5): (1,2) wins.
-        assert_eq!(next_hop(here, &neighbors, Location::new(1, 5)), Some(NodeId(6)));
+        assert_eq!(
+            next_hop(here, &neighbors, Location::new(1, 5)),
+            Some(NodeId(6))
+        );
     }
 
     #[test]
@@ -62,7 +93,10 @@ mod tests {
 
     #[test]
     fn no_neighbors_no_hop() {
-        assert_eq!(next_hop(Location::new(0, 0), &[], Location::new(1, 1)), None);
+        assert_eq!(
+            next_hop(Location::new(0, 0), &[], Location::new(1, 1)),
+            None
+        );
     }
 
     #[test]
@@ -70,7 +104,37 @@ mod tests {
         let here = Location::new(0, 0);
         // Two neighbors equidistant from the destination (2,0): (1,1) & (1,-1).
         let neighbors = [nb(9, 1, 1), nb(4, 1, -1)];
-        assert_eq!(next_hop(here, &neighbors, Location::new(2, 0)), Some(NodeId(4)));
+        assert_eq!(
+            next_hop(here, &neighbors, Location::new(2, 0)),
+            Some(NodeId(4))
+        );
+    }
+
+    #[test]
+    fn candidates_are_ordered_best_first() {
+        let here = Location::new(1, 1);
+        let dest = Location::new(5, 1);
+        // (2,1) beats (2,2); (0,1) moves away and is excluded entirely.
+        let neighbors = [nb(8, 2, 2), nb(2, 2, 1), nb(5, 0, 1)];
+        let plan = next_hop_candidates(here, &neighbors, dest);
+        assert_eq!(plan, vec![NodeId(2), NodeId(8)]);
+        assert_eq!(
+            next_hop(here, &neighbors, dest),
+            Some(NodeId(2)),
+            "head of the plan"
+        );
+    }
+
+    #[test]
+    fn candidates_tie_break_on_node_id() {
+        let here = Location::new(0, 0);
+        let neighbors = [nb(9, 1, 1), nb(4, 1, -1)];
+        let plan = next_hop_candidates(here, &neighbors, Location::new(2, 0));
+        assert_eq!(
+            plan,
+            vec![NodeId(4), NodeId(9)],
+            "equidistant hops sorted by id"
+        );
     }
 
     #[test]

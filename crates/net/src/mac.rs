@@ -77,7 +77,10 @@ impl CsmaMac {
     /// linearly with the retry count (bounded congestion backoff).
     pub fn congestion_backoff(&self, rng: &mut RngStream, attempt: u32) -> SimDuration {
         let step = self.config.congestion_step_us * u64::from(attempt.min(8) + 1);
-        let us = rng.range_u64(self.config.backoff_min_us, self.config.backoff_min_us + step + 1);
+        let us = rng.range_u64(
+            self.config.backoff_min_us,
+            self.config.backoff_min_us + step + 1,
+        );
         SimDuration::from_micros(us)
     }
 
@@ -111,7 +114,10 @@ mod tests {
         let mac = CsmaMac::new(MacConfig::mica2());
         let mut rng = RngStream::derive(8, "t");
         let avg = |attempt: u32, rng: &mut RngStream| -> u64 {
-            (0..500).map(|_| mac.congestion_backoff(rng, attempt).as_micros()).sum::<u64>() / 500
+            (0..500)
+                .map(|_| mac.congestion_backoff(rng, attempt).as_micros())
+                .sum::<u64>()
+                / 500
         };
         let early = avg(0, &mut rng);
         let late = avg(6, &mut rng);

@@ -44,7 +44,10 @@ pub struct AcquaintanceList {
 impl AcquaintanceList {
     /// Creates a list whose entries expire `ttl` after their last beacon.
     pub fn new(ttl: SimDuration) -> Self {
-        AcquaintanceList { entries: Vec::new(), ttl }
+        AcquaintanceList {
+            entries: Vec::new(),
+            ttl,
+        }
     }
 
     /// The eviction timeout.
@@ -58,7 +61,11 @@ impl AcquaintanceList {
             e.loc = loc;
             e.last_heard = now;
         } else {
-            self.entries.push(Entry { node, loc, last_heard: now });
+            self.entries.push(Entry {
+                node,
+                loc,
+                last_heard: now,
+            });
             self.entries.sort_by_key(|e| (e.loc.x, e.loc.y, e.node));
         }
     }

@@ -29,12 +29,20 @@ pub struct Frame {
 impl Frame {
     /// Creates a unicast frame.
     pub fn unicast(src: NodeId, dst: NodeId, payload: Vec<u8>) -> Self {
-        Frame { src, link_dst: Some(dst), payload }
+        Frame {
+            src,
+            link_dst: Some(dst),
+            payload,
+        }
     }
 
     /// Creates a link-broadcast frame.
     pub fn broadcast(src: NodeId, payload: Vec<u8>) -> Self {
-        Frame { src, link_dst: None, payload }
+        Frame {
+            src,
+            link_dst: None,
+            payload,
+        }
     }
 
     /// Payload length in bytes.

@@ -46,8 +46,14 @@ impl GilbertElliott {
     /// Panics if either dwell time is not positive or `bad_loss` is outside
     /// `[0, 1]`.
     pub fn new(mean_good_s: f64, mean_bad_s: f64, bad_loss: f64) -> Self {
-        assert!(mean_good_s > 0.0 && mean_bad_s > 0.0, "dwell times must be positive");
-        assert!((0.0..=1.0).contains(&bad_loss), "bad_loss must be a probability");
+        assert!(
+            mean_good_s > 0.0 && mean_bad_s > 0.0,
+            "dwell times must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&bad_loss),
+            "bad_loss must be a probability"
+        );
         GilbertElliott {
             mean_good_s,
             mean_bad_s,
@@ -75,7 +81,11 @@ impl GilbertElliott {
         }
         while self.until <= now {
             self.state_bad = !self.state_bad;
-            let mean = if self.state_bad { self.mean_bad_s } else { self.mean_good_s };
+            let mean = if self.state_bad {
+                self.mean_bad_s
+            } else {
+                self.mean_good_s
+            };
             let dwell = rng.exponential(mean);
             self.until += wsn_sim::SimDuration::from_secs_f64(dwell.max(1e-6));
         }
@@ -109,7 +119,11 @@ pub struct LossModel {
 impl LossModel {
     /// A perfectly reliable channel; useful in unit tests.
     pub fn perfect() -> Self {
-        LossModel { ber: 0.0, iid_loss: 0.0, bursts: None }
+        LossModel {
+            ber: 0.0,
+            iid_loss: 0.0,
+            bursts: None,
+        }
     }
 
     /// Uniform per-frame loss probability regardless of size.
@@ -119,7 +133,11 @@ impl LossModel {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn uniform(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "loss probability out of range");
-        LossModel { ber: 0.0, iid_loss: p, bursts: None }
+        LossModel {
+            ber: 0.0,
+            iid_loss: p,
+            bursts: None,
+        }
     }
 
     /// The calibrated MICA2 desk-testbed profile used for the paper's

@@ -113,14 +113,28 @@ impl Medium {
             if outcome != DeliveryOutcome::Delivered {
                 self.frames_lost += 1;
             }
-            out.push(Delivery { to: dst, arrive_at: end, outcome });
+            out.push(Delivery {
+                to: dst,
+                arrive_at: end,
+                outcome,
+            });
         }
         out
     }
 
-    fn decide(&mut self, now: SimTime, end: SimTime, frame: &Frame, dst: NodeId) -> DeliveryOutcome {
+    fn decide(
+        &mut self,
+        now: SimTime,
+        end: SimTime,
+        frame: &Frame,
+        dst: NodeId,
+    ) -> DeliveryOutcome {
         // Collision: the receiver is still capturing a previous frame.
-        let busy_until = self.rx_busy_until.get(&dst).copied().unwrap_or(SimTime::ZERO);
+        let busy_until = self
+            .rx_busy_until
+            .get(&dst)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         if busy_until > now {
             return DeliveryOutcome::LostCollision;
         }
@@ -170,8 +184,8 @@ impl Medium {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wsn_common::Location;
     use crate::topology::Connectivity;
+    use wsn_common::Location;
 
     fn perfect_line(n: i16) -> Medium {
         Medium::new(Topology::line(n), LossModel::perfect(), 1)
@@ -220,7 +234,11 @@ mod tests {
     fn overlapping_receptions_collide() {
         // Y topology: nodes 0 and 2 both neighbors of 1, not of each other.
         let topo = Topology::new(
-            vec![Location::new(0, 1), Location::new(1, 1), Location::new(2, 1)],
+            vec![
+                Location::new(0, 1),
+                Location::new(1, 1),
+                Location::new(2, 1),
+            ],
             Connectivity::GridAdjacent,
         );
         let mut m = Medium::new(topo, LossModel::perfect(), 3);

@@ -43,14 +43,20 @@ impl Topology {
     /// Panics if `positions` is empty or contains duplicate locations
     /// (locations are addresses; duplicates would be ambiguous).
     pub fn new(positions: Vec<Location>, connectivity: Connectivity) -> Self {
-        assert!(!positions.is_empty(), "topology must contain at least one node");
+        assert!(
+            !positions.is_empty(),
+            "topology must contain at least one node"
+        );
         let unique: BTreeSet<_> = positions.iter().copied().collect();
         assert_eq!(
             unique.len(),
             positions.len(),
             "duplicate node locations are not allowed (locations are addresses)"
         );
-        Topology { positions, connectivity }
+        Topology {
+            positions,
+            connectivity,
+        }
     }
 
     /// The paper's experimental arrangement: a `w x h` grid with the
@@ -146,7 +152,9 @@ impl Topology {
 
     /// Neighbor ids of `node`.
     pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
-        self.nodes().filter(|&n| self.are_neighbors(node, n)).collect()
+        self.nodes()
+            .filter(|&n| self.are_neighbors(node, n))
+            .collect()
     }
 
     /// Minimum hop count between two nodes (BFS over the neighbor relation),
@@ -225,7 +233,11 @@ mod tests {
     #[test]
     fn range_connectivity() {
         let t = Topology::new(
-            vec![Location::new(0, 0), Location::new(3, 4), Location::new(10, 0)],
+            vec![
+                Location::new(0, 0),
+                Location::new(3, 4),
+                Location::new(10, 0),
+            ],
             Connectivity::Range(6.0),
         );
         assert!(t.are_neighbors(NodeId(0), NodeId(1))); // distance 5
@@ -235,9 +247,15 @@ mod tests {
     #[test]
     fn node_near_uses_epsilon_and_prefers_closest() {
         let t = Topology::grid(3, 3);
-        assert_eq!(t.node_near(Location::new(2, 2), 0), t.node_at(Location::new(2, 2)));
+        assert_eq!(
+            t.node_near(Location::new(2, 2), 0),
+            t.node_at(Location::new(2, 2))
+        );
         // No node at (0,0); (1,1) is within eps=1.
-        assert_eq!(t.node_near(Location::new(0, 0), 1), t.node_at(Location::new(1, 1)));
+        assert_eq!(
+            t.node_near(Location::new(0, 0), 1),
+            t.node_at(Location::new(1, 1))
+        );
         assert_eq!(t.node_near(Location::new(0, 0), 0), None);
     }
 

@@ -79,12 +79,18 @@ impl LatencyRecorder {
 
     /// Smallest sample.
     pub fn min(&self) -> Option<SimDuration> {
-        self.samples_us.iter().min().map(|&s| SimDuration::from_micros(s))
+        self.samples_us
+            .iter()
+            .min()
+            .map(|&s| SimDuration::from_micros(s))
     }
 
     /// Largest sample.
     pub fn max(&self) -> Option<SimDuration> {
-        self.samples_us.iter().max().map(|&s| SimDuration::from_micros(s))
+        self.samples_us
+            .iter()
+            .max()
+            .map(|&s| SimDuration::from_micros(s))
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank on sorted samples.

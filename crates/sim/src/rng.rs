@@ -131,7 +131,10 @@ mod tests {
         let mut a = RngStream::derive(7, "x");
         let mut b = RngStream::derive(7, "y");
         let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 2, "streams should be uncorrelated, got {same} collisions");
+        assert!(
+            same < 2,
+            "streams should be uncorrelated, got {same} collisions"
+        );
     }
 
     #[test]
@@ -164,7 +167,10 @@ mod tests {
         let n = 20_000;
         let total: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
         let mean = total / f64::from(n);
-        assert!((4.5..5.5).contains(&mean), "got mean {mean} for expected 5.0");
+        assert!(
+            (4.5..5.5).contains(&mean),
+            "got mean {mean} for expected 5.0"
+        );
     }
 
     #[test]

@@ -84,8 +84,19 @@ impl Tracer {
     }
 
     /// Appends a record.
-    pub fn record(&mut self, at: SimTime, node: Option<NodeId>, kind: &'static str, detail: String) {
-        let rec = TraceRecord { at, node, kind, detail };
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        node: Option<NodeId>,
+        kind: &'static str,
+        detail: String,
+    ) {
+        let rec = TraceRecord {
+            at,
+            node,
+            kind,
+            detail,
+        };
         if self.echo {
             println!("{rec}");
         }
@@ -143,7 +154,12 @@ mod tests {
     use super::*;
 
     fn rec(tr: &mut Tracer, t: u64, kind: &'static str) {
-        tr.record(SimTime::from_micros(t), Some(NodeId(1)), kind, format!("t={t}"));
+        tr.record(
+            SimTime::from_micros(t),
+            Some(NodeId(1)),
+            kind,
+            format!("t={t}"),
+        );
     }
 
     #[test]

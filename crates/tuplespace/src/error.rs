@@ -40,7 +40,10 @@ impl fmt::Display for TupleSpaceError {
                 write!(f, "tuple space full: need {needed} bytes, {available} free")
             }
             TupleSpaceError::TupleTooLarge { size, max } => {
-                write!(f, "tuple too large: {size} bytes exceeds the {max}-byte message bound")
+                write!(
+                    f,
+                    "tuple too large: {size} bytes exceeds the {max}-byte message bound"
+                )
             }
             TupleSpaceError::EmptyTuple => write!(f, "tuple must contain at least one field"),
             TupleSpaceError::RegistryFull { registered, max } => {
@@ -59,14 +62,24 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = TupleSpaceError::SpaceFull { needed: 10, available: 4 };
+        let e = TupleSpaceError::SpaceFull {
+            needed: 10,
+            available: 4,
+        };
         assert_eq!(e.to_string(), "tuple space full: need 10 bytes, 4 free");
         let e = TupleSpaceError::TupleTooLarge { size: 30, max: 25 };
         assert!(e.to_string().contains("25-byte"));
-        assert!(TupleSpaceError::EmptyTuple.to_string().contains("at least one"));
-        let e = TupleSpaceError::RegistryFull { registered: 10, max: 10 };
+        assert!(TupleSpaceError::EmptyTuple
+            .to_string()
+            .contains("at least one"));
+        let e = TupleSpaceError::RegistryFull {
+            registered: 10,
+            max: 10,
+        };
         assert!(e.to_string().contains("10 of 10"));
-        assert!(TupleSpaceError::Decode("truncated").to_string().contains("truncated"));
+        assert!(TupleSpaceError::Decode("truncated")
+            .to_string()
+            .contains("truncated"));
     }
 
     #[test]

@@ -180,7 +180,8 @@ impl Field {
             }
             FieldType::AgentId => Field::AgentId(AgentId(u16::from_le_bytes([p[0], p[1]]))),
             FieldType::SensorType => Field::SensorType(
-                SensorType::from_code(p[0]).ok_or(TupleSpaceError::Decode("unknown sensor code"))?,
+                SensorType::from_code(p[0])
+                    .ok_or(TupleSpaceError::Decode("unknown sensor code"))?,
             ),
         };
         Ok((field, 1 + need))
@@ -271,7 +272,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(Field::decode(&[]), Err(TupleSpaceError::Decode("empty field")));
+        assert_eq!(
+            Field::decode(&[]),
+            Err(TupleSpaceError::Decode("empty field"))
+        );
         assert_eq!(
             Field::decode(&[200]),
             Err(TupleSpaceError::Decode("unknown field tag"))
@@ -296,7 +300,10 @@ mod tests {
     #[test]
     fn conversion_traits() {
         assert_eq!(Field::from(5i16), Field::Value(5));
-        assert_eq!(Field::from(Location::new(1, 1)), Field::location(Location::new(1, 1)));
+        assert_eq!(
+            Field::from(Location::new(1, 1)),
+            Field::location(Location::new(1, 1))
+        );
         assert_eq!(Field::from(AgentId(3)), Field::AgentId(AgentId(3)));
     }
 

@@ -33,7 +33,11 @@ pub struct Reaction {
 impl Reaction {
     /// Creates a reaction record.
     pub fn new(owner: AgentId, template: Template, pc: u16) -> Self {
-        Reaction { owner, template, pc }
+        Reaction {
+            owner,
+            template,
+            pc,
+        }
     }
 
     /// Encoded size: owner id (2) + handler pc (2) + template encoding.
@@ -211,8 +215,10 @@ mod tests {
     #[test]
     fn register_and_fire() {
         let mut reg = ReactionRegistry::with_default_capacity();
-        reg.register(Reaction::new(AgentId(1), tmpl_exact(5), 10)).unwrap();
-        reg.register(Reaction::new(AgentId(2), tmpl_any(), 20)).unwrap();
+        reg.register(Reaction::new(AgentId(1), tmpl_exact(5), 10))
+            .unwrap();
+        reg.register(Reaction::new(AgentId(2), tmpl_any(), 20))
+            .unwrap();
         let fired = reg.matching(&tup(5));
         assert_eq!(fired.len(), 2);
         let fired = reg.matching(&tup(6));
@@ -223,19 +229,33 @@ mod tests {
     #[test]
     fn slot_limit_enforced() {
         let mut reg = ReactionRegistry::new(2, 4096);
-        reg.register(Reaction::new(AgentId(1), tmpl_any(), 0)).unwrap();
-        reg.register(Reaction::new(AgentId(1), tmpl_any(), 1)).unwrap();
-        let err = reg.register(Reaction::new(AgentId(1), tmpl_any(), 2)).unwrap_err();
-        assert_eq!(err, TupleSpaceError::RegistryFull { registered: 2, max: 2 });
+        reg.register(Reaction::new(AgentId(1), tmpl_any(), 0))
+            .unwrap();
+        reg.register(Reaction::new(AgentId(1), tmpl_any(), 1))
+            .unwrap();
+        let err = reg
+            .register(Reaction::new(AgentId(1), tmpl_any(), 2))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TupleSpaceError::RegistryFull {
+                registered: 2,
+                max: 2
+            }
+        );
     }
 
     #[test]
     fn byte_limit_enforced() {
         // Each reaction: 4 + (1 + 2) = 7 bytes with an any-value template.
         let mut reg = ReactionRegistry::new(100, 14);
-        reg.register(Reaction::new(AgentId(1), tmpl_any(), 0)).unwrap();
-        reg.register(Reaction::new(AgentId(1), tmpl_any(), 1)).unwrap();
-        assert!(reg.register(Reaction::new(AgentId(1), tmpl_any(), 2)).is_err());
+        reg.register(Reaction::new(AgentId(1), tmpl_any(), 0))
+            .unwrap();
+        reg.register(Reaction::new(AgentId(1), tmpl_any(), 1))
+            .unwrap();
+        assert!(reg
+            .register(Reaction::new(AgentId(1), tmpl_any(), 2))
+            .is_err());
         assert_eq!(reg.used_bytes(), 14);
     }
 
@@ -243,16 +263,21 @@ mod tests {
     fn default_capacity_is_ten() {
         let mut reg = ReactionRegistry::with_default_capacity();
         for pc in 0..10 {
-            reg.register(Reaction::new(AgentId(1), tmpl_any(), pc)).unwrap();
+            reg.register(Reaction::new(AgentId(1), tmpl_any(), pc))
+                .unwrap();
         }
-        assert!(reg.register(Reaction::new(AgentId(1), tmpl_any(), 11)).is_err());
+        assert!(reg
+            .register(Reaction::new(AgentId(1), tmpl_any(), 11))
+            .is_err());
     }
 
     #[test]
     fn deregister_by_owner_and_template() {
         let mut reg = ReactionRegistry::with_default_capacity();
-        reg.register(Reaction::new(AgentId(1), tmpl_exact(5), 10)).unwrap();
-        reg.register(Reaction::new(AgentId(2), tmpl_exact(5), 20)).unwrap();
+        reg.register(Reaction::new(AgentId(1), tmpl_exact(5), 10))
+            .unwrap();
+        reg.register(Reaction::new(AgentId(2), tmpl_exact(5), 20))
+            .unwrap();
         let removed = reg.deregister(AgentId(2), &tmpl_exact(5)).unwrap();
         assert_eq!(removed.pc, 20);
         assert_eq!(reg.len(), 1);
@@ -264,7 +289,9 @@ mod tests {
     #[test]
     fn remove_by_id() {
         let mut reg = ReactionRegistry::with_default_capacity();
-        let id = reg.register(Reaction::new(AgentId(1), tmpl_any(), 10)).unwrap();
+        let id = reg
+            .register(Reaction::new(AgentId(1), tmpl_any(), 10))
+            .unwrap();
         assert!(reg.remove(id).is_some());
         assert!(reg.remove(id).is_none());
     }
@@ -272,9 +299,12 @@ mod tests {
     #[test]
     fn remove_all_for_migration() {
         let mut reg = ReactionRegistry::with_default_capacity();
-        reg.register(Reaction::new(AgentId(1), tmpl_exact(1), 10)).unwrap();
-        reg.register(Reaction::new(AgentId(2), tmpl_exact(2), 20)).unwrap();
-        reg.register(Reaction::new(AgentId(1), tmpl_exact(3), 30)).unwrap();
+        reg.register(Reaction::new(AgentId(1), tmpl_exact(1), 10))
+            .unwrap();
+        reg.register(Reaction::new(AgentId(2), tmpl_exact(2), 20))
+            .unwrap();
+        reg.register(Reaction::new(AgentId(1), tmpl_exact(3), 30))
+            .unwrap();
         let mine = reg.remove_all(AgentId(1));
         assert_eq!(mine.len(), 2);
         assert_eq!(mine[0].pc, 10);

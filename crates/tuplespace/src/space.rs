@@ -191,9 +191,7 @@ impl TupleSpace {
     pub fn inp(&mut self, template: &Template) -> Option<Tuple> {
         match self.kind {
             ArenaKind::Linear => {
-                let (off, len, tuple) = self
-                    .iter_linear()
-                    .find(|(_, _, t)| template.matches(t))?;
+                let (off, len, tuple) = self.iter_linear().find(|(_, _, t)| template.matches(t))?;
                 let tail = self.used - (off + len);
                 self.arena.copy_within(off + len..self.used, off);
                 self.used -= len;
@@ -243,7 +241,10 @@ impl TupleSpace {
     }
 
     fn iter_linear(&self) -> LinearIter<'_> {
-        LinearIter { arena: &self.arena[..self.used], off: 0 }
+        LinearIter {
+            arena: &self.arena[..self.used],
+            off: 0,
+        }
     }
 }
 
@@ -381,7 +382,8 @@ mod tests {
         ts.out(val_tuple(1)).unwrap();
         ts.out(val_tuple(1)).unwrap();
         ts.out(val_tuple(2)).unwrap();
-        ts.out(Tuple::new(vec![Field::str("fir")]).unwrap()).unwrap();
+        ts.out(Tuple::new(vec![Field::str("fir")]).unwrap())
+            .unwrap();
         assert_eq!(ts.count(&exact_tmpl(1)), 2);
         assert_eq!(ts.count(&any_value_tmpl()), 3);
         assert_eq!(ts.count(&Template::new(vec![TemplateField::any_str()])), 1);

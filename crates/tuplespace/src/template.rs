@@ -146,7 +146,12 @@ impl Template {
     /// A template of all-exact slots that matches precisely `tuple`.
     pub fn for_tuple(tuple: &Tuple) -> Template {
         Template {
-            slots: tuple.fields().iter().copied().map(TemplateField::Exact).collect(),
+            slots: tuple
+                .fields()
+                .iter()
+                .copied()
+                .map(TemplateField::Exact)
+                .collect(),
         }
     }
 
@@ -172,7 +177,11 @@ impl Template {
 
     /// Encoded size: one arity byte plus slot encodings.
     pub fn encoded_len(&self) -> usize {
-        1 + self.slots.iter().map(TemplateField::encoded_len).sum::<usize>()
+        1 + self
+            .slots
+            .iter()
+            .map(TemplateField::encoded_len)
+            .sum::<usize>()
     }
 
     /// Serializes to the wire format.
@@ -227,7 +236,11 @@ mod tests {
     use wsn_common::{Location, SensorType};
 
     fn fire_tuple() -> Tuple {
-        Tuple::new(vec![Field::str("fir"), Field::location(Location::new(2, 3))]).unwrap()
+        Tuple::new(vec![
+            Field::str("fir"),
+            Field::location(Location::new(2, 3)),
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -235,7 +248,11 @@ mod tests {
         let t = fire_tuple();
         let tmpl = Template::for_tuple(&t);
         assert!(tmpl.matches(&t));
-        let other = Tuple::new(vec![Field::str("fir"), Field::location(Location::new(9, 9))]).unwrap();
+        let other = Tuple::new(vec![
+            Field::str("fir"),
+            Field::location(Location::new(9, 9)),
+        ])
+        .unwrap();
         assert!(!tmpl.matches(&other));
     }
 

@@ -47,7 +47,10 @@ impl Tuple {
         let t = Tuple { fields };
         let size = t.encoded_len();
         if size > MAX_TUPLE_BYTES {
-            return Err(TupleSpaceError::TupleTooLarge { size, max: MAX_TUPLE_BYTES });
+            return Err(TupleSpaceError::TupleTooLarge {
+                size,
+                max: MAX_TUPLE_BYTES,
+            });
         }
         Ok(t)
     }
@@ -201,8 +204,7 @@ mod tests {
         prop_oneof![
             any::<i16>().prop_map(Field::Value),
             proptest::array::uniform3(0x20u8..0x7F).prop_map(Field::Str),
-            (any::<i16>(), any::<i16>())
-                .prop_map(|(x, y)| Field::location(Location::new(x, y))),
+            (any::<i16>(), any::<i16>()).prop_map(|(x, y)| Field::location(Location::new(x, y))),
             (0u8..5, any::<i16>()).prop_map(|(s, v)| {
                 Field::reading(wsn_common::SensorType::from_code(s).unwrap(), v)
             }),

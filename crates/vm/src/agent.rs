@@ -64,9 +64,16 @@ impl AgentState {
     /// # Errors
     ///
     /// [`VmError::CodeTooLarge`] if the code exceeds `budget` bytes.
-    pub fn with_code_budget(id: AgentId, code: Vec<u8>, budget: usize) -> Result<AgentState, VmError> {
+    pub fn with_code_budget(
+        id: AgentId,
+        code: Vec<u8>,
+        budget: usize,
+    ) -> Result<AgentState, VmError> {
         if code.len() > budget {
-            return Err(VmError::CodeTooLarge { size: code.len(), max: budget });
+            return Err(VmError::CodeTooLarge {
+                size: code.len(),
+                max: budget,
+            });
         }
         Ok(AgentState {
             id,
@@ -188,7 +195,10 @@ impl AgentState {
     pub fn pop_value(&mut self, during: &'static str) -> Result<i16, VmError> {
         match self.pop(during)? {
             TemplateField::Exact(Field::Value(v)) => Ok(v),
-            _ => Err(VmError::TypeMismatch { during, expected: "value" }),
+            _ => Err(VmError::TypeMismatch {
+                during,
+                expected: "value",
+            }),
         }
     }
 
@@ -200,7 +210,10 @@ impl AgentState {
     pub fn pop_location(&mut self, during: &'static str) -> Result<Location, VmError> {
         match self.pop(during)? {
             TemplateField::Exact(Field::Location(l)) => Ok(l),
-            _ => Err(VmError::TypeMismatch { during, expected: "location" }),
+            _ => Err(VmError::TypeMismatch {
+                during,
+                expected: "location",
+            }),
         }
     }
 
@@ -214,7 +227,10 @@ impl AgentState {
     pub fn pop_template(&mut self, during: &'static str) -> Result<Template, VmError> {
         let n = self.pop_value(during)?;
         if n < 0 {
-            return Err(VmError::TypeMismatch { during, expected: "non-negative arity" });
+            return Err(VmError::TypeMismatch {
+                during,
+                expected: "non-negative arity",
+            });
         }
         let mut slots = Vec::with_capacity(n as usize);
         for _ in 0..n {
@@ -237,7 +253,10 @@ impl AgentState {
             match slot {
                 TemplateField::Exact(f) => fields.push(*f),
                 TemplateField::Any(_) => {
-                    return Err(VmError::TypeMismatch { during, expected: "concrete field" })
+                    return Err(VmError::TypeMismatch {
+                        during,
+                        expected: "concrete field",
+                    })
                 }
             }
         }
@@ -334,7 +353,9 @@ impl AgentState {
         let condition = i16::from_le_bytes(take(&mut b, 2)?.try_into().unwrap());
         let code_len = u16::from_le_bytes(take(&mut b, 2)?.try_into().unwrap());
         if code_len as usize != code.len() {
-            return Err(VmError::Tuple(TupleSpaceError::Decode("code length mismatch")));
+            return Err(VmError::Tuple(TupleSpaceError::Decode(
+                "code length mismatch",
+            )));
         }
         let stack_len = take(&mut b, 1)?[0] as usize;
         if stack_len > STACK_DEPTH {
@@ -351,7 +372,9 @@ impl AgentState {
         for _ in 0..heap_len {
             let idx = take(&mut b, 1)?[0] as usize;
             if idx >= HEAP_SLOTS {
-                return Err(VmError::Tuple(TupleSpaceError::Decode("heap index out of range")));
+                return Err(VmError::Tuple(TupleSpaceError::Decode(
+                    "heap index out of range",
+                )));
             }
             let (v, n) = TemplateField::decode(b).map_err(VmError::from)?;
             heap[idx] = Some(v);
@@ -393,7 +416,13 @@ mod tests {
     #[test]
     fn code_budget_enforced() {
         let err = AgentState::with_code(AgentId(1), vec![0; 441]).unwrap_err();
-        assert_eq!(err, VmError::CodeTooLarge { size: 441, max: 440 });
+        assert_eq!(
+            err,
+            VmError::CodeTooLarge {
+                size: 441,
+                max: 440
+            }
+        );
         assert!(AgentState::with_code(AgentId(1), vec![0; 440]).is_ok());
     }
 
@@ -410,7 +439,10 @@ mod tests {
     #[test]
     fn pop_empty_underflows() {
         let mut a = agent();
-        assert_eq!(a.pop("test"), Err(VmError::StackUnderflow { during: "test" }));
+        assert_eq!(
+            a.pop("test"),
+            Err(VmError::StackUnderflow { during: "test" })
+        );
     }
 
     #[test]
@@ -419,7 +451,10 @@ mod tests {
         a.push_field(Field::str("fir")).unwrap();
         assert_eq!(
             a.pop_value("add"),
-            Err(VmError::TypeMismatch { during: "add", expected: "value" })
+            Err(VmError::TypeMismatch {
+                during: "add",
+                expected: "value"
+            })
         );
     }
 
@@ -435,7 +470,11 @@ mod tests {
     #[test]
     fn tuple_stack_protocol_roundtrip() {
         let mut a = agent();
-        let t = Tuple::new(vec![Field::str("fir"), Field::location(Location::new(2, 2))]).unwrap();
+        let t = Tuple::new(vec![
+            Field::str("fir"),
+            Field::location(Location::new(2, 2)),
+        ])
+        .unwrap();
         a.push_tuple(&t).unwrap();
         assert_eq!(a.stack_depth(), 3); // 2 fields + arity
         let back = a.pop_tuple("out").unwrap();
@@ -447,7 +486,8 @@ mod tests {
     fn template_with_wildcards_pops_in_order() {
         let mut a = agent();
         a.push_field(Field::str("fir")).unwrap();
-        a.push(TemplateField::Any(agilla_tuplespace::FieldType::Location)).unwrap();
+        a.push(TemplateField::Any(agilla_tuplespace::FieldType::Location))
+            .unwrap();
         a.push_value(2).unwrap();
         let tmpl = a.pop_template("regrxn").unwrap();
         assert_eq!(tmpl.arity(), 2);
@@ -458,9 +498,13 @@ mod tests {
     #[test]
     fn pop_tuple_rejects_wildcards() {
         let mut a = agent();
-        a.push(TemplateField::Any(agilla_tuplespace::FieldType::Value)).unwrap();
+        a.push(TemplateField::Any(agilla_tuplespace::FieldType::Value))
+            .unwrap();
         a.push_value(1).unwrap();
-        assert!(matches!(a.pop_tuple("out"), Err(VmError::TypeMismatch { .. })));
+        assert!(matches!(
+            a.pop_tuple("out"),
+            Err(VmError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -486,9 +530,15 @@ mod tests {
     #[test]
     fn heap_bounds_and_empty_slots() {
         let mut a = agent();
-        assert_eq!(a.getvar(12), Err(VmError::HeapIndexOutOfRange { index: 12 }));
+        assert_eq!(
+            a.getvar(12),
+            Err(VmError::HeapIndexOutOfRange { index: 12 })
+        );
         a.push_value(1).unwrap();
-        assert_eq!(a.setvar(255), Err(VmError::HeapIndexOutOfRange { index: 255 }));
+        assert_eq!(
+            a.setvar(255),
+            Err(VmError::HeapIndexOutOfRange { index: 255 })
+        );
         assert_eq!(a.getvar(0), Err(VmError::HeapSlotEmpty { index: 0 }));
     }
 
@@ -516,7 +566,8 @@ mod tests {
         a.set_condition(-3);
         a.push_value(11).unwrap();
         a.push_field(Field::location(Location::new(4, 4))).unwrap();
-        a.push_field(Field::reading(SensorType::Temperature, 222)).unwrap();
+        a.push_field(Field::reading(SensorType::Temperature, 222))
+            .unwrap();
         a.push_value(1).unwrap();
         a.setvar(5).unwrap();
         let bytes = a.encode_state();

@@ -178,13 +178,19 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 .get(1)
                 .is_some_and(|t| Opcode::from_mnemonic(&t.to_ascii_lowercase()).is_some());
             if !is_label_like(label_candidate) || !(tokens.len() == 1 || followed_by_mnemonic) {
-                return Err(AsmError::UnknownMnemonic { line, token: first.to_string() });
+                return Err(AsmError::UnknownMnemonic {
+                    line,
+                    token: first.to_string(),
+                });
             }
             if labels
                 .insert(label_candidate.to_string(), addr as u16)
                 .is_some()
             {
-                return Err(AsmError::DuplicateLabel { line, label: label_candidate.to_string() });
+                return Err(AsmError::DuplicateLabel {
+                    line,
+                    label: label_candidate.to_string(),
+                });
             }
             tokens.remove(0);
             if tokens.is_empty() {
@@ -193,9 +199,16 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         }
 
         let mnemonic = tokens[0].to_ascii_lowercase();
-        let op = Opcode::from_mnemonic(&mnemonic)
-            .ok_or_else(|| AsmError::UnknownMnemonic { line, token: tokens[0].to_string() })?;
-        let stmt = Stmt { line, op, operands: tokens[1..].to_vec(), addr: addr as u16 };
+        let op = Opcode::from_mnemonic(&mnemonic).ok_or_else(|| AsmError::UnknownMnemonic {
+            line,
+            token: tokens[0].to_string(),
+        })?;
+        let stmt = Stmt {
+            line,
+            op,
+            operands: tokens[1..].to_vec(),
+            addr: addr as u16,
+        };
         addr += op.encoded_len() as u32;
         if addr > u32::from(u16::MAX) {
             return Err(AsmError::ProgramTooLarge);
@@ -223,11 +236,17 @@ fn strip_comment(line: &str) -> &str {
 
 fn is_label_like(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
-fn emit(stmt: &Stmt<'_>, labels: &BTreeMap<String, u16>, code: &mut Vec<u8>) -> Result<(), AsmError> {
+fn emit(
+    stmt: &Stmt<'_>,
+    labels: &BTreeMap<String, u16>,
+    code: &mut Vec<u8>,
+) -> Result<(), AsmError> {
     let line = stmt.line;
     let expect = |n: usize| -> Result<(), AsmError> {
         if stmt.operands.len() == n {
@@ -308,9 +327,10 @@ fn emit(stmt: &Stmt<'_>, labels: &BTreeMap<String, u16>, code: &mut Vec<u8>) -> 
             let offset: i32 = if let Ok(n) = tok.parse::<i32>() {
                 n
             } else {
-                let target = *labels
-                    .get(tok)
-                    .ok_or_else(|| AsmError::UndefinedLabel { line, label: tok.to_string() })?;
+                let target = *labels.get(tok).ok_or_else(|| AsmError::UndefinedLabel {
+                    line,
+                    label: tok.to_string(),
+                })?;
                 i32::from(target) - next
             };
             let offset = i8::try_from(offset).map_err(|_| AsmError::JumpTooFar { line })?;
@@ -566,14 +586,26 @@ mod tests {
 
     #[test]
     fn error_operand_arity() {
-        assert!(matches!(assemble("pushc"), Err(AsmError::BadOperand { .. })));
-        assert!(matches!(assemble("add 3"), Err(AsmError::BadOperand { .. })));
-        assert!(matches!(assemble("pushloc 1"), Err(AsmError::BadOperand { .. })));
+        assert!(matches!(
+            assemble("pushc"),
+            Err(AsmError::BadOperand { .. })
+        ));
+        assert!(matches!(
+            assemble("add 3"),
+            Err(AsmError::BadOperand { .. })
+        ));
+        assert!(matches!(
+            assemble("pushloc 1"),
+            Err(AsmError::BadOperand { .. })
+        ));
     }
 
     #[test]
     fn error_pushc_range() {
-        assert!(matches!(assemble("pushc 300"), Err(AsmError::BadOperand { .. })));
+        assert!(matches!(
+            assemble("pushc 300"),
+            Err(AsmError::BadOperand { .. })
+        ));
         assert!(assemble("pushcl 300").is_ok());
     }
 

@@ -79,7 +79,10 @@ impl fmt::Display for VmError {
             }
             VmError::TruncatedOperand(op) => write!(f, "truncated operand for {op}"),
             VmError::CodeTooLarge { size, max } => {
-                write!(f, "agent code of {size} bytes exceeds the {max}-byte budget")
+                write!(
+                    f,
+                    "agent code of {size} bytes exceeds the {max}-byte budget"
+                )
             }
             VmError::JumpOutOfRange => write!(f, "jump target outside code region"),
             VmError::Tuple(e) => write!(f, "tuple error: {e}"),
@@ -112,13 +115,22 @@ mod tests {
         let samples: Vec<VmError> = vec![
             VmError::StackUnderflow { during: "add" },
             VmError::StackOverflow,
-            VmError::TypeMismatch { during: "add", expected: "value" },
+            VmError::TypeMismatch {
+                during: "add",
+                expected: "value",
+            },
             VmError::HeapIndexOutOfRange { index: 13 },
             VmError::HeapSlotEmpty { index: 2 },
             VmError::InvalidOpcode(0xEE),
-            VmError::PcOutOfRange { pc: 99, code_len: 10 },
+            VmError::PcOutOfRange {
+                pc: 99,
+                code_len: 10,
+            },
             VmError::TruncatedOperand("pushcl"),
-            VmError::CodeTooLarge { size: 500, max: 440 },
+            VmError::CodeTooLarge {
+                size: 500,
+                max: 440,
+            },
             VmError::JumpOutOfRange,
             VmError::Resource("agent slots"),
         ];

@@ -81,9 +81,9 @@ impl RemoteOp {
     /// The destination address of the operation.
     pub fn dest(&self) -> Location {
         match self {
-            RemoteOp::Out { dest, .. } | RemoteOp::Inp { dest, .. } | RemoteOp::Rdp { dest, .. } => {
-                *dest
-            }
+            RemoteOp::Out { dest, .. }
+            | RemoteOp::Inp { dest, .. }
+            | RemoteOp::Rdp { dest, .. } => *dest,
         }
     }
 }
@@ -168,8 +168,12 @@ pub trait Host {
     /// # Errors
     ///
     /// Propagates registry capacity errors.
-    fn register_reaction(&mut self, owner: AgentId, template: Template, pc: u16)
-        -> Result<(), TupleSpaceError>;
+    fn register_reaction(
+        &mut self,
+        owner: AgentId,
+        template: Template,
+        pc: u16,
+    ) -> Result<(), TupleSpaceError>;
 
     /// Deregisters `owner`'s reaction on `template`; true if one existed.
     fn deregister_reaction(&mut self, owner: AgentId, template: &Template) -> bool;
@@ -229,7 +233,10 @@ pub fn step<H: Host>(agent: &mut AgentState, host: &mut H) -> Result<StepResult,
             let b = agent.pop_value("mod")?;
             let a = agent.pop_value("mod")?;
             if b == 0 {
-                return Err(VmError::TypeMismatch { during: "mod", expected: "non-zero divisor" });
+                return Err(VmError::TypeMismatch {
+                    during: "mod",
+                    expected: "non-zero divisor",
+                });
             }
             agent.push_value(a.rem_euclid(b))?;
         }
@@ -279,7 +286,10 @@ pub fn step<H: Host>(agent: &mut AgentState, host: &mut H) -> Result<StepResult,
             let sensor = u8::try_from(code)
                 .ok()
                 .and_then(SensorType::from_code)
-                .ok_or(VmError::TypeMismatch { during: "sense", expected: "sensor-type code" })?;
+                .ok_or(VmError::TypeMismatch {
+                    during: "sense",
+                    expected: "sensor-type code",
+                })?;
             match host.sense(sensor) {
                 Some(v) => {
                     agent.push_value(v)?;
@@ -320,8 +330,10 @@ pub fn step<H: Host>(agent: &mut AgentState, host: &mut H) -> Result<StepResult,
         }
         Sleep => {
             let ticks = agent.pop_value("sleep")?;
-            let ticks = u16::try_from(ticks)
-                .map_err(|_| VmError::TypeMismatch { during: "sleep", expected: "non-negative ticks" })?;
+            let ticks = u16::try_from(ticks).map_err(|_| VmError::TypeMismatch {
+                during: "sleep",
+                expected: "non-negative ticks",
+            })?;
             agent.set_pc(next_pc);
             return Ok(StepResult::Sleep { ticks });
         }
@@ -362,13 +374,17 @@ pub fn step<H: Host>(agent: &mut AgentState, host: &mut H) -> Result<StepResult,
         }
         Pushn => agent.push_field(Field::Str(ins.operand_str3()))?,
         Pusht => {
-            let ty = FieldType::from_tag(ins.operand_u8())
-                .ok_or(VmError::TypeMismatch { during: "pusht", expected: "field-type tag" })?;
+            let ty = FieldType::from_tag(ins.operand_u8()).ok_or(VmError::TypeMismatch {
+                during: "pusht",
+                expected: "field-type tag",
+            })?;
             agent.push(TemplateField::Any(ty))?;
         }
         Pushrt => {
-            let sensor = SensorType::from_code(ins.operand_u8())
-                .ok_or(VmError::TypeMismatch { during: "pushrt", expected: "sensor-type code" })?;
+            let sensor = SensorType::from_code(ins.operand_u8()).ok_or(VmError::TypeMismatch {
+                during: "pushrt",
+                expected: "sensor-type code",
+            })?;
             agent.push_field(Field::SensorType(sensor))?;
         }
 
@@ -497,9 +513,11 @@ fn binary_arith(
 /// # Errors
 ///
 /// [`VmError::StackOverflow`] if the reply tuple does not fit.
-pub fn deliver_remote_result(agent: &mut AgentState, result: Option<Tuple>, success: bool)
-    -> Result<(), VmError>
-{
+pub fn deliver_remote_result(
+    agent: &mut AgentState,
+    result: Option<Tuple>,
+    success: bool,
+) -> Result<(), VmError> {
     if let Some(t) = result {
         agent.push_tuple(&t)?;
     }
@@ -514,7 +532,11 @@ pub fn deliver_remote_result(agent: &mut AgentState, result: Option<Tuple>, succ
 /// # Errors
 ///
 /// [`VmError::StackOverflow`] if the frame does not fit.
-pub fn enter_reaction(agent: &mut AgentState, tuple: &Tuple, handler_pc: u16) -> Result<(), VmError> {
+pub fn enter_reaction(
+    agent: &mut AgentState,
+    tuple: &Tuple,
+    handler_pc: u16,
+) -> Result<(), VmError> {
     let interrupted = agent.pc();
     agent.push_value(interrupted as i16)?;
     agent.push_tuple(tuple)?;
@@ -568,7 +590,10 @@ pub struct TestHost {
 impl TestHost {
     /// A host at `loc` with no neighbors or sensors.
     pub fn at(loc: Location) -> Self {
-        TestHost { loc, ..Default::default() }
+        TestHost {
+            loc,
+            ..Default::default()
+        }
     }
 }
 
@@ -757,7 +782,10 @@ mod tests {
         let (mut a, _) = run("loc\nhalt", &mut h);
         assert_eq!(a.pop_location("t").unwrap(), Location::new(3, 4));
         let (a, _) = run("aid\nhalt", &mut h);
-        assert_eq!(a.stack()[0], TemplateField::Exact(Field::AgentId(AgentId(1))));
+        assert_eq!(
+            a.stack()[0],
+            TemplateField::Exact(Field::AgentId(AgentId(1)))
+        );
     }
 
     #[test]
@@ -835,7 +863,10 @@ mod tests {
     #[test]
     fn rdp_leaves_tuple_in_space() {
         let mut h = TestHost::default();
-        let (a, _) = run("pushc 5\npushc 1\nout\npusht value\npushc 1\nrdp\nhalt", &mut h);
+        let (a, _) = run(
+            "pushc 5\npushc 1\nout\npusht value\npushc 1\nrdp\nhalt",
+            &mut h,
+        );
         assert_eq!(a.condition(), 1);
         assert_eq!(h.space.len(), 1);
     }
@@ -881,7 +912,10 @@ mod tests {
     fn reactions_register_and_deregister() {
         let mut h = TestHost::default();
         // Fig. 2 idiom: template, then handler address, then regrxn.
-        let (_, r) = run("pushn fir\npusht location\npushc 2\npushc 0\nregrxn\nhalt", &mut h);
+        let (_, r) = run(
+            "pushn fir\npusht location\npushc 2\npushc 0\nregrxn\nhalt",
+            &mut h,
+        );
         assert_eq!(r, StepResult::Halted);
         assert_eq!(h.registry.len(), 1);
         // Deregister the same template: cond = 1.
@@ -937,7 +971,10 @@ mod tests {
         let r = run_to_effect(&mut a, &mut h, 100).unwrap();
         assert_eq!(
             r,
-            StepResult::Migrate { kind: MigrateKind::StrongMove, dest: Location::new(5, 1) }
+            StepResult::Migrate {
+                kind: MigrateKind::StrongMove,
+                dest: Location::new(5, 1)
+            }
         );
         // pc advanced past smove: a strong arrival resumes at `halt`.
         let (ins, _) = Instruction::decode(a.code(), a.pc()).unwrap();
@@ -950,7 +987,13 @@ mod tests {
         ] {
             let mut a = agent_with(src);
             let r = run_to_effect(&mut a, &mut h, 100).unwrap();
-            assert_eq!(r, StepResult::Migrate { kind, dest: Location::new(1, 1) });
+            assert_eq!(
+                r,
+                StepResult::Migrate {
+                    kind,
+                    dest: Location::new(1, 1)
+                }
+            );
         }
     }
 
@@ -1018,6 +1061,9 @@ mod tests {
     fn invalid_jump_targets_error() {
         let mut h = TestHost::default();
         let mut a = agent_with("pushcl 999\njumps");
-        assert_eq!(run_to_effect(&mut a, &mut h, 10), Err(VmError::JumpOutOfRange));
+        assert_eq!(
+            run_to_effect(&mut a, &mut h, 10),
+            Err(VmError::JumpOutOfRange)
+        );
     }
 }

@@ -323,7 +323,10 @@ impl Instruction {
     pub fn decode(code: &[u8], pc: u16) -> Result<(Instruction, usize), VmError> {
         let idx = pc as usize;
         if idx >= code.len() {
-            return Err(VmError::PcOutOfRange { pc, code_len: code.len() });
+            return Err(VmError::PcOutOfRange {
+                pc,
+                code_len: code.len(),
+            });
         }
         let op = Opcode::from_byte(code[idx])?;
         let len = op.encoded_len();
@@ -377,7 +380,9 @@ pub struct CostModel {
 impl CostModel {
     /// The calibrated MICA2 cost model.
     pub fn mica2() -> Self {
-        CostModel { reaction_dispatch_us: 120 }
+        CostModel {
+            reaction_dispatch_us: 120,
+        }
     }
 
     /// Execution cost of `op`, µs of simulated mote time.
@@ -478,9 +483,15 @@ mod tests {
     #[test]
     fn most_instructions_are_one_byte() {
         // "With a few exceptions, an instruction is one byte" (Section 3.2).
-        let single = Opcode::ALL.iter().filter(|op| op.encoded_len() == 1).count();
+        let single = Opcode::ALL
+            .iter()
+            .filter(|op| op.encoded_len() == 1)
+            .count();
         let multi = Opcode::ALL.len() - single;
-        assert!(single > multi * 3, "{single} single-byte vs {multi} multi-byte");
+        assert!(
+            single > multi * 3,
+            "{single} single-byte vs {multi} multi-byte"
+        );
     }
 
     #[test]
@@ -540,7 +551,14 @@ mod tests {
             assert!((130..=170).contains(&c), "{op}: {c}");
         }
         // Class 3 around 292µs; blocking > non-blocking; in > rd.
-        for op in [Opcode::Out, Opcode::Inp, Opcode::Rdp, Opcode::In, Opcode::Rd, Opcode::Tcount] {
+        for op in [
+            Opcode::Out,
+            Opcode::Inp,
+            Opcode::Rdp,
+            Opcode::In,
+            Opcode::Rd,
+            Opcode::Tcount,
+        ] {
             let c = m.cost_us(op);
             assert!((250..=320).contains(&c), "{op}: {c}");
         }

@@ -100,9 +100,14 @@ fn arb_statement() -> impl Strategy<Value = String> {
 fn fuzz_harness_smoke() {
     let mut agent = AgentState::with_code(
         AgentId(1),
-        asm::assemble("pushc 1\npushc 2\nadd\npop\nhalt").unwrap().into_code(),
+        asm::assemble("pushc 1\npushc 2\nadd\npop\nhalt")
+            .unwrap()
+            .into_code(),
     )
     .unwrap();
     let mut h = host();
-    assert_eq!(run_to_effect(&mut agent, &mut h, 100).unwrap(), StepResult::Halted);
+    assert_eq!(
+        run_to_effect(&mut agent, &mut h, 100).unwrap(),
+        StepResult::Halted
+    );
 }

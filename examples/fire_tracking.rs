@@ -13,14 +13,18 @@ fn main() {
     let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), 7);
 
     // The fire tracker waits at the base station for fire-alert tuples.
-    let tracker = net.inject_source(workload::FIRE_TRACKER).expect("inject tracker");
+    let tracker = net
+        .inject_source(workload::FIRE_TRACKER)
+        .expect("inject tracker");
     println!("FIRETRACKER {tracker} waiting at the base station.");
 
     // Fire detectors on a patrol line of the forest, sampling every second.
     let detector_src = workload::fire_detector(Location::new(0, 1), 8);
     for x in 1..=5i16 {
         let loc = Location::new(x, 3);
-        let id = net.inject_source_at(loc, &detector_src).expect("inject detector");
+        let id = net
+            .inject_source_at(loc, &detector_src)
+            .expect("inject detector");
         println!("FIREDETECTOR {id} deployed at {loc}.");
     }
 

@@ -14,13 +14,14 @@ fn main() {
     let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), 23);
     // A light gradient across the grid (a clearing to the north-east) plus
     // quiet temperature.
-    net.set_environment(
-        Environment::ambient()
-            .with(
-                SensorType::Light,
-                FieldModel::Gradient { base: 300, slope_x: 40, slope_y: 25 },
-            ),
-    );
+    net.set_environment(Environment::ambient().with(
+        SensorType::Light,
+        FieldModel::Gradient {
+            base: 300,
+            slope_x: 40,
+            slope_y: 25,
+        },
+    ));
 
     // Monitors on a diagonal transect: 6 samples each, one per second.
     let monitor = workload::habitat_monitor(6, 8, Location::new(0, 1));
@@ -43,7 +44,8 @@ fn main() {
     let mut rows: Vec<(Location, i16)> = Vec::new();
     for t in net.node(net.base()).space.iter() {
         if hab.matches(&t) {
-            if let (Some(Field::Value(max)), Some(Field::Location(loc))) = (t.field(1), t.field(2)) {
+            if let (Some(Field::Value(max)), Some(Field::Location(loc))) = (t.field(1), t.field(2))
+            {
                 rows.push((*loc, *max));
             }
         }

@@ -38,11 +38,15 @@ fn main() {
     let shared = Location::new(3, 3);
 
     // App 1: a habitat monitor lives on (3,3).
-    let monitor = net.inject_source_at(shared, POLITE_MONITOR).expect("inject monitor");
+    let monitor = net
+        .inject_source_at(shared, POLITE_MONITOR)
+        .expect("inject monitor");
     // App 2: a fire detector lives on the same node. Its alert goes to the
     // LOCAL tuple space destination (3,3) so co-located agents see it too.
     let detector_src = workload::fire_detector(shared, 8);
-    let detector = net.inject_source_at(shared, &detector_src).expect("inject detector");
+    let detector = net
+        .inject_source_at(shared, &detector_src)
+        .expect("inject detector");
     // App 3: an operator's ad-hoc probe running somewhere else entirely.
     let probe = net
         .inject_source_at(Location::new(1, 5), "numnbrs\nputled\nhalt")
@@ -70,9 +74,11 @@ fn main() {
     net.run_for(SimDuration::from_secs(30));
 
     println!("--- decoupled coordination through the tuple space ---");
-    for rec in net.trace().iter().filter(|r| {
-        r.kind == "reaction.fire" || r.kind == "agent.halt" || r.kind == "remote.serve"
-    }) {
+    for rec in net
+        .trace()
+        .iter()
+        .filter(|r| r.kind == "reaction.fire" || r.kind == "agent.halt" || r.kind == "remote.serve")
+    {
         println!("{rec}");
     }
 

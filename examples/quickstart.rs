@@ -11,14 +11,21 @@ use wsn_sim::SimDuration;
 fn main() {
     // A deterministic network: same seed, same run, byte for byte.
     let mut net = AgillaNetwork::testbed_5x5(AgillaConfig::default(), 42);
-    println!("Booted the testbed: 25 motes in a 5x5 grid plus base station {}.", net.base());
+    println!(
+        "Booted the testbed: 25 motes in a 5x5 grid plus base station {}.",
+        net.base()
+    );
 
     // The Fig. 8 smove agent: strong-move to (5,1) and back.
-    let traveller = net.inject_source(workload::SMOVE_TEST_AGENT).expect("inject smove agent");
+    let traveller = net
+        .inject_source(workload::SMOVE_TEST_AGENT)
+        .expect("inject smove agent");
     println!("Injected the smove test agent as {traveller}.");
 
     // The Fig. 8 rout agent: drop tuple <1> into (5,1)'s tuple space.
-    let writer = net.inject_source(workload::ROUT_TEST_AGENT).expect("inject rout agent");
+    let writer = net
+        .inject_source(workload::ROUT_TEST_AGENT)
+        .expect("inject rout agent");
     println!("Injected the rout test agent as {writer}.\n");
 
     net.run_for(SimDuration::from_secs(10));
@@ -45,7 +52,11 @@ fn main() {
     );
 
     println!("\n--- migration milestones ---");
-    for rec in net.trace().iter().filter(|r| r.kind.starts_with("migrate.")) {
+    for rec in net
+        .trace()
+        .iter()
+        .filter(|r| r.kind.starts_with("migrate."))
+    {
         println!("{rec}");
     }
     println!(

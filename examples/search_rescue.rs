@@ -112,7 +112,13 @@ fn main() {
             let node = net.node_at(Location::new(x, y)).unwrap();
             let w = net.node(node).space.count(&way) > 0;
             let h = [Location::new(2, 4), Location::new(4, 2)].contains(&Location::new(x, y));
-            row.push(if w { 'w' } else if h { 'h' } else { '.' });
+            row.push(if w {
+                'w'
+            } else if h {
+                'h'
+            } else {
+                '.'
+            });
             row.push(' ');
         }
         println!("  {row}");

@@ -59,8 +59,11 @@ fn fire_case_study_end_to_end() {
         SimTime::ZERO + SimDuration::from_secs(5),
     )));
     let tracker = net.inject_source(workload::FIRE_TRACKER).unwrap();
-    net.inject_source_at(Location::new(4, 4), &workload::fire_detector(Location::new(0, 1), 8))
-        .unwrap();
+    net.inject_source_at(
+        Location::new(4, 4),
+        &workload::fire_detector(Location::new(0, 1), 8),
+    )
+    .unwrap();
     net.run_for(SimDuration::from_secs(60));
 
     let fire_node = net.node_at(Location::new(4, 4)).unwrap();
@@ -69,7 +72,11 @@ fn fire_case_study_end_to_end() {
         TemplateField::any_location(),
     ]);
     assert_eq!(net.node(fire_node).space.count(&trk), 1, "perimeter marked");
-    assert_eq!(net.find_agent(tracker), Some(net.base()), "tracker still on duty");
+    assert_eq!(
+        net.find_agent(tracker),
+        Some(net.base()),
+        "tracker still on duty"
+    );
 }
 
 #[test]
@@ -96,14 +103,21 @@ halt";
     net.run_for(SimDuration::from_secs(5));
     let nb = net.node_at(Location::new(1, 2)).unwrap();
     let tmpl = Template::new(vec![TemplateField::exact(Field::value(42))]);
-    assert_eq!(net.node(nb).space.count(&tmpl), 1, "strong clone kept its heap");
+    assert_eq!(
+        net.node(nb).space.count(&tmpl),
+        1,
+        "strong clone kept its heap"
+    );
 }
 
 #[test]
 fn region_epsilon_addressing_reaches_nearby_node() {
     // ε = 1 lets an agent address (0,0) — where no mote sits — and land on
     // whichever node first matches within the tolerance ((0,1) or (1,1)).
-    let config = AgillaConfig { epsilon: 1, ..AgillaConfig::default() };
+    let config = AgillaConfig {
+        epsilon: 1,
+        ..AgillaConfig::default()
+    };
     let mut net = AgillaNetwork::new(
         Topology::grid_with_base(3, 3),
         LossModel::perfect(),
@@ -247,7 +261,10 @@ fn agents_survive_partitions_and_heal() {
         )
         .unwrap();
     net.run_for(SimDuration::from_secs(5));
-    assert!(net.log().arrived(id, NodeId(2)), "relayed across the bridge");
+    assert!(
+        net.log().arrived(id, NodeId(2)),
+        "relayed across the bridge"
+    );
 }
 
 #[test]
@@ -277,7 +294,10 @@ fn overload_sheds_gracefully() {
         admitted.push(net.inject_source("pushcl 24\nsleep\nhalt").unwrap());
     }
     for _ in 0..10 {
-        assert!(net.inject_source("halt").is_err(), "admission control holds");
+        assert!(
+            net.inject_source("halt").is_err(),
+            "admission control holds"
+        );
     }
     net.run_for(SimDuration::from_secs(30));
     for id in admitted {
@@ -292,12 +312,10 @@ fn environment_sensing_reaches_agents() {
     // A constant field value propagates through sense -> putled.
     let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), 17);
     net.set_environment(
-        Environment::ambient().with(
-            SensorType::Temperature,
-            agilla::FieldModel::Constant(123),
-        ),
+        Environment::ambient().with(SensorType::Temperature, agilla::FieldModel::Constant(123)),
     );
-    net.inject_source("pushc TEMPERATURE\nsense\nputled\nhalt").unwrap();
+    net.inject_source("pushc TEMPERATURE\nsense\nputled\nhalt")
+        .unwrap();
     net.run_for(SimDuration::from_secs(1));
     assert_eq!(net.node(net.base()).leds, 123);
 }

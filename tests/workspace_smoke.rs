@@ -62,6 +62,10 @@ fn network_injected_agent_out_rdp_roundtrip() {
     assert!(net.log().halted_at(agent).is_some(), "agent ran to halt");
     let node = net.node_at(Location::new(1, 1)).expect("node exists");
     let tmpl = Template::new(vec![TemplateField::exact(Field::value(42))]);
-    assert_eq!(net.node(node).space.count(&tmpl), 1, "tuple out'd and retained");
+    assert_eq!(
+        net.node(node).space.count(&tmpl),
+        1,
+        "tuple out'd and retained"
+    );
     let _ = NodeId(0); // the re-exported id types interoperate with the log
 }

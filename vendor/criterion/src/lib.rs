@@ -78,12 +78,25 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
-    fn run_one(&mut self, name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
         let mut bencher = Bencher {
-            mode: if self.test_mode { Mode::TestOnce } else { Mode::Warmup(self.warm_up_time) },
+            mode: if self.test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Warmup(self.warm_up_time)
+            },
             iters_per_sample: 1,
             samples: Vec::new(),
             warmup_estimate: 1,
@@ -157,7 +170,10 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id with a function name and a parameter value.
     pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
     }
 
     fn full_name(&self) -> String {
@@ -170,13 +186,19 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(name: &str) -> Self {
-        BenchmarkId { function: name.to_string(), parameter: None }
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
     }
 }
 
 impl From<String> for BenchmarkId {
     fn from(name: String) -> Self {
-        BenchmarkId { function: name, parameter: None }
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
     }
 }
 
@@ -266,8 +288,10 @@ impl Bencher {
 }
 
 fn report(name: &str, throughput: Option<Throughput>, samples: &[Duration], iters: u64) {
-    let per_iter: Vec<f64> =
-        samples.iter().map(|s| s.as_nanos() as f64 / iters as f64).collect();
+    let per_iter: Vec<f64> = samples
+        .iter()
+        .map(|s| s.as_nanos() as f64 / iters as f64)
+        .collect();
     let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
     let best = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
     let worst = per_iter.iter().copied().fold(0.0, f64::max);

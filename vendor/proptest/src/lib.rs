@@ -179,9 +179,10 @@ macro_rules! prop_assert_ne {
     ($lhs:expr, $rhs:expr $(,)?) => {{
         let (lhs, rhs) = (&$lhs, &$rhs);
         if lhs == rhs {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!("assertion failed: {:?} != {:?}", lhs, rhs),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                lhs, rhs
+            )));
         }
     }};
 }

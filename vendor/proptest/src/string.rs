@@ -47,7 +47,10 @@ fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
     match atom {
         Atom::Literal(c) => *c,
         Atom::Class(ranges) => {
-            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
             let mut pick = rng.index(total as usize) as u32;
             for &(lo, hi) in ranges {
                 let span = hi as u32 - lo as u32 + 1;
@@ -146,7 +149,10 @@ mod tests {
         for _ in 0..512 {
             let s = generate_matching("[a-z]{1,3}", &mut rng);
             assert!((1..=3).contains(&s.len()), "bad length: {s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad chars: {s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()),
+                "bad chars: {s:?}"
+            );
         }
     }
 
@@ -157,7 +163,10 @@ mod tests {
             let s = generate_matching("ab?c+[0-9]{2}", &mut rng);
             assert!(s.starts_with('a'));
             let digits: String = s.chars().rev().take(2).collect();
-            assert!(digits.chars().all(|c| c.is_ascii_digit()), "bad tail: {s:?}");
+            assert!(
+                digits.chars().all(|c| c.is_ascii_digit()),
+                "bad tail: {s:?}"
+            );
         }
     }
 }

@@ -34,7 +34,9 @@ pub struct TestCaseError {
 impl TestCaseError {
     /// Wraps a failure message.
     pub fn fail(message: impl Into<String>) -> Self {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -63,7 +65,9 @@ impl TestRng {
             h ^= u64::from(*byte);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TestRng { rng: SmallRng::seed_from_u64(h) }
+        TestRng {
+            rng: SmallRng::seed_from_u64(h),
+        }
     }
 
     /// Next raw 64-bit draw.
