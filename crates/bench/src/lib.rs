@@ -12,6 +12,8 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    fig11_one_hop, fig12_local_ops, fig9_fig10, Fig11Row, Fig12Row, HopResult, RemoteOpKind,
+    fig11_one_hop, fig12_local_ops, fig9_fig10, fig_energy_agents_alive, fig_energy_lifetime,
+    fig_energy_per_op, AliveSample, EnergyOpRow, Fig11Row, Fig12Row, HopResult, LifetimeRow,
+    RemoteOpKind,
 };
 pub use report::Table;

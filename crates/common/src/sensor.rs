@@ -58,6 +58,32 @@ impl SensorType {
     pub fn from_name(name: &str) -> Option<SensorType> {
         SensorType::ALL.iter().copied().find(|s| s.name() == name)
     }
+
+    /// Time one `sense` keeps the ADC path busy, µs — excitation settling
+    /// plus conversion on the MTS310 sensor board. The magnetometer's
+    /// set/reset-strap cycle makes it the slow outlier.
+    pub fn sample_time_us(self) -> u64 {
+        match self {
+            SensorType::Temperature => 1_100,
+            SensorType::Light => 900,
+            SensorType::Accelerometer => 17_000, // ADXL202 start-up dominates
+            SensorType::Magnetometer => 35_000,
+            SensorType::Sound => 1_200,
+        }
+    }
+
+    /// Current the powered sensor draws while sampling, mA (MTS310 board
+    /// figures; the energy meter charges this on top of the CPU-active
+    /// draw for [`SensorType::sample_time_us`]).
+    pub fn sample_current_ma(self) -> f64 {
+        match self {
+            SensorType::Temperature => 0.7,
+            SensorType::Light => 0.6,
+            SensorType::Accelerometer => 0.6,
+            SensorType::Magnetometer => 5.0,
+            SensorType::Sound => 0.8,
+        }
+    }
 }
 
 impl fmt::Display for SensorType {
@@ -109,6 +135,24 @@ mod tests {
             assert_eq!(SensorType::from_name(s.name()), Some(s));
         }
         assert_eq!(SensorType::from_name("geiger"), None);
+    }
+
+    #[test]
+    fn sampling_costs_are_positive_and_magnetometer_is_dearest() {
+        for s in SensorType::ALL {
+            assert!(s.sample_time_us() > 0);
+            assert!(s.sample_current_ma() > 0.0);
+        }
+        let mag = SensorType::Magnetometer;
+        for s in SensorType::ALL {
+            if s != mag {
+                assert!(
+                    mag.sample_current_ma() * mag.sample_time_us() as f64
+                        > s.sample_current_ma() * s.sample_time_us() as f64,
+                    "{s} out-draws the magnetometer"
+                );
+            }
+        }
     }
 
     #[test]

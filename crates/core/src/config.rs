@@ -7,6 +7,16 @@ use wsn_sim::SimDuration;
 /// factor relative to the paper's 0.1 s one-hop values.
 pub const E2E_ACK_TIMEOUT_FACTOR: u64 = 5;
 
+/// Maximum candidate switches one reliable session may make under
+/// [`AgillaConfig::hop_failover`] before declaring failure. Bounding this
+/// keeps the total retransmission window finite — in particular the
+/// server-side reply-cache TTL ([`AgillaConfig::remote_reply_ttl`]) must
+/// outlive *every* window the initiator can burn, across all candidates,
+/// or a reissued `rout` after failover could re-execute and duplicate its
+/// tuple. Greedy candidates are strictly-closer neighbors, so on the
+/// paper's grid there are at most 3 alternates anyway.
+pub const MAX_HOP_FAILOVERS: usize = 3;
+
 /// Protocol and resource parameters of an Agilla node.
 ///
 /// Defaults are the paper's published values; the ablation benches sweep the
@@ -49,14 +59,29 @@ pub struct AgillaConfig {
     pub remote_op_retx: u32,
     /// Location-address matching tolerance ε, grid units (Section 2.2).
     pub epsilon: u16,
+    /// Neighbor-beacon period (default [`wsn_net::BEACON_PERIOD`]).
+    /// Energy experiments dial this: beacons are the dominant idle traffic,
+    /// and micro-measurements of a single operation's joules stretch the
+    /// period so no beacon lands inside the measurement window.
+    pub beacon_period: SimDuration,
     /// When `true`, migration uses the paper's final hop-by-hop acknowledged
     /// protocol; `false` selects the end-to-end variant the paper tried and
     /// rejected ("We tried using end-to-end communication ... but found the
     /// high packet-loss probability over multiple links made this
     /// unacceptably prone to failure", Section 3.2). Kept for the ablation.
     pub hop_by_hop_migration: bool,
+    /// When `true`, a reliable session that exhausts its retransmission
+    /// budget toward one greedy next hop fails over to the next candidate in
+    /// [`wsn_net::next_hop_candidates`] order before declaring failure —
+    /// how sessions survive a next hop whose battery just died. `false`
+    /// (default) keeps the paper's single-candidate behaviour, so existing
+    /// figures are unchanged.
+    pub hop_failover: bool,
     /// Timing constants for protocol-layer software costs.
     pub timing: TimingModel,
+    /// Energy accounting and duty-cycling; disabled by default, in which
+    /// case nothing in the simulation changes by a single bit.
+    pub energy: EnergyConfig,
 }
 
 impl AgillaConfig {
@@ -71,9 +96,19 @@ impl AgillaConfig {
     /// answers. A duplicate `rout` arriving at the end of the window re-acks
     /// from the cache instead of inserting a second tuple, and the entry
     /// expires long before the 16-bit op-id space could wrap back around.
+    ///
+    /// With [`AgillaConfig::hop_failover`] on, the initiator gets a fresh
+    /// budget per candidate (up to [`MAX_HOP_FAILOVERS`] switches), so the
+    /// TTL scales by the candidate count — otherwise a reissue after
+    /// failover could arrive past the single-window TTL and re-execute.
     pub fn remote_reply_ttl(&self) -> SimDuration {
+        let windows = if self.hop_failover {
+            1 + MAX_HOP_FAILOVERS as u64
+        } else {
+            1
+        };
         SimDuration::from_micros(
-            self.remote_op_timeout.as_micros() * (u64::from(self.remote_op_retx) + 1),
+            self.remote_op_timeout.as_micros() * (u64::from(self.remote_op_retx) + 1) * windows,
         )
     }
 
@@ -109,9 +144,96 @@ impl Default for AgillaConfig {
             remote_op_timeout: SimDuration::from_secs(2),
             remote_op_retx: 2,
             epsilon: 0,
+            beacon_period: wsn_net::BEACON_PERIOD,
             hop_by_hop_migration: true,
+            hop_failover: false,
             timing: TimingModel::mica2(),
+            energy: EnergyConfig::default(),
         }
+    }
+}
+
+/// Energy accounting, batteries, and low-power listening.
+///
+/// Disabled by default: the paper's evaluation never ran long enough to
+/// drain a battery, and every fig9–fig12 number must stay byte-identical.
+/// Enabling it attaches a MICA2 [`EnergyMeter`](wsn_radio::EnergyMeter) to
+/// every node; a node whose battery reaches 0 J is removed from the radio
+/// topology and its in-flight work is dropped (sessions toward it recover
+/// via retransmission and, with [`AgillaConfig::hop_failover`], candidate
+/// failover).
+#[derive(Debug, Clone)]
+pub struct EnergyConfig {
+    /// Master switch. `false` ⇒ no meters, no LPL, no behavioural change.
+    pub enabled: bool,
+    /// Per-node battery capacity, joules. The default is two AA cells
+    /// (≈30.8 kJ); lifetime experiments shrink this so deaths happen in
+    /// simulated minutes instead of months.
+    pub battery_joules: f64,
+    /// B-MAC low-power listening check interval. `None` keeps radios always
+    /// on (the paper's stack). When set, idle-listen drain scales down by
+    /// the duty cycle and every transmission pays a stretched preamble; the
+    /// ack/abort/reply timeouts are widened by the stretch so the protocols
+    /// keep working at long intervals (see [`AgillaConfig::lpl_adjusted`]).
+    pub lpl_check_interval: Option<SimDuration>,
+}
+
+impl EnergyConfig {
+    /// Accounting on, with `battery_joules` per node and radios always on.
+    pub fn with_battery(battery_joules: f64) -> Self {
+        EnergyConfig {
+            enabled: true,
+            battery_joules,
+            lpl_check_interval: None,
+        }
+    }
+
+    /// Accounting on with low-power listening at `check_interval`.
+    pub fn with_lpl(battery_joules: f64, check_interval: SimDuration) -> Self {
+        EnergyConfig {
+            enabled: true,
+            battery_joules,
+            lpl_check_interval: Some(check_interval),
+        }
+    }
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            enabled: false,
+            battery_joules: wsn_radio::energy::AA_BATTERY_J,
+            lpl_check_interval: None,
+        }
+    }
+}
+
+impl AgillaConfig {
+    /// A copy of the config with every stop-and-wait timeout widened by the
+    /// LPL preamble stretch, so duty-cycled runs do not spuriously time out
+    /// while a frame is still (legitimately) in its stretched preamble.
+    /// Identity when LPL is off — including when a check interval is set
+    /// but the energy master switch is not (`enabled: false` promises no
+    /// behavioural change whatsoever).
+    pub fn lpl_adjusted(&self) -> AgillaConfig {
+        if !self.energy.enabled {
+            return self.clone();
+        }
+        let Some(interval) = self.energy.lpl_check_interval else {
+            return self.clone();
+        };
+        let stretch = interval.as_micros();
+        let mut adj = self.clone();
+        // Each acknowledged exchange is one data frame plus one ack frame,
+        // both stretched; 2x covers the round trip.
+        adj.migration_ack_timeout =
+            SimDuration::from_micros(adj.migration_ack_timeout.as_micros() + 2 * stretch);
+        adj.migration_receiver_abort =
+            SimDuration::from_micros(adj.migration_receiver_abort.as_micros() + 3 * stretch);
+        // A remote op crosses up to ~5 hops out and back on the testbed.
+        adj.remote_op_timeout =
+            SimDuration::from_micros(adj.remote_op_timeout.as_micros() + 10 * stretch);
+        adj
     }
 }
 
@@ -182,6 +304,51 @@ mod tests {
         assert_eq!(c.remote_op_timeout.as_millis(), 2_000);
         assert_eq!(c.remote_op_retx, 2);
         assert!(c.hop_by_hop_migration);
+        assert!(!c.hop_failover, "single-candidate greedy, as evaluated");
+        assert!(!c.energy.enabled, "no meters unless asked");
+        assert!(c.energy.lpl_check_interval.is_none());
+    }
+
+    #[test]
+    fn lpl_adjustment_widens_timeouts_only_when_lpl_is_on() {
+        let plain = AgillaConfig::default();
+        let adj = plain.lpl_adjusted();
+        assert_eq!(adj.migration_ack_timeout, plain.migration_ack_timeout);
+        assert_eq!(adj.remote_op_timeout, plain.remote_op_timeout);
+
+        // A check interval with the master switch off is inert: the
+        // `enabled: false` contract is "no behavioural change whatsoever".
+        let disabled = AgillaConfig {
+            energy: EnergyConfig {
+                enabled: false,
+                lpl_check_interval: Some(SimDuration::from_millis(100)),
+                ..EnergyConfig::default()
+            },
+            ..AgillaConfig::default()
+        };
+        let adj = disabled.lpl_adjusted();
+        assert_eq!(adj.migration_ack_timeout, plain.migration_ack_timeout);
+        assert_eq!(adj.remote_op_timeout, plain.remote_op_timeout);
+
+        let lpl = AgillaConfig {
+            energy: EnergyConfig::with_lpl(100.0, SimDuration::from_millis(100)),
+            ..AgillaConfig::default()
+        };
+        let adj = lpl.lpl_adjusted();
+        assert_eq!(adj.migration_ack_timeout.as_millis(), 100 + 200);
+        assert_eq!(adj.migration_receiver_abort.as_millis(), 250 + 300);
+        assert_eq!(adj.remote_op_timeout.as_millis(), 2_000 + 1_000);
+    }
+
+    #[test]
+    fn energy_config_constructors() {
+        let e = EnergyConfig::with_battery(5.0);
+        assert!(e.enabled);
+        assert!(e.lpl_check_interval.is_none());
+        let e = EnergyConfig::with_lpl(5.0, SimDuration::from_millis(50));
+        assert!(e.enabled);
+        assert_eq!(e.lpl_check_interval.unwrap().as_millis(), 50);
+        assert!(EnergyConfig::default().battery_joules > 10_000.0, "2x AA");
     }
 
     #[test]
@@ -190,6 +357,13 @@ mod tests {
         // 2 s timeout, 2 retries: the initiator can retransmit until 6 s
         // after issue, so a cached reply must live at least that long.
         assert_eq!(c.remote_reply_ttl().as_millis(), 6_000);
+        // Failover grants a fresh budget per candidate: the TTL must cover
+        // the initial window plus MAX_HOP_FAILOVERS failover windows.
+        let failover = AgillaConfig {
+            hop_failover: true,
+            ..AgillaConfig::default()
+        };
+        assert_eq!(failover.remote_reply_ttl().as_millis(), 24_000);
         assert!(
             c.remote_reply_ttl().as_micros()
                 >= c.remote_op_timeout.as_micros() * (u64::from(c.remote_op_retx) + 1)

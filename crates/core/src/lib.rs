@@ -59,7 +59,7 @@ pub mod stats;
 pub mod wire;
 pub mod workload;
 
-pub use config::{AgillaConfig, TimingModel};
+pub use config::{AgillaConfig, EnergyConfig, TimingModel};
 pub use env::{Environment, FieldModel, FireModel};
 pub use error::AgillaError;
 pub use memory::MemoryModel;

@@ -218,6 +218,7 @@ impl AgillaNetwork {
             header,
             next_frag: None,
             next_hop: hop,
+            tried_hops: Vec::new(),
             held_agent,
             resume_on_success: origin_slot.is_some(),
             retx: super::session::RetxState::new(),
@@ -280,11 +281,28 @@ impl AgillaNetwork {
         }
     }
 
-    pub(super) fn handle_mig_ack(&mut self, idx: usize, ack: MigAck, now: SimTime) {
+    /// Processes a migration ack. `from` is the link-layer sender for
+    /// hop-by-hop acks — only the current `next_hop` may advance the
+    /// window, so a late ack from a hop the session already failed away
+    /// from cannot be mis-credited to the new candidate (which has not
+    /// even seen the header yet). End-to-end acks arrive enveloped via an
+    /// arbitrary last hop and pass `None`.
+    pub(super) fn handle_mig_ack(
+        &mut self,
+        idx: usize,
+        from: Option<NodeId>,
+        ack: MigAck,
+        now: SimTime,
+    ) {
         let finished = {
             let Some(s) = self.nodes[idx].send_sessions.get_mut(&ack.session) else {
                 return;
             };
+            if let Some(f) = from {
+                if f != s.next_hop {
+                    return;
+                }
+            }
             // Only the in-flight message's ack advances the window.
             let expected = match s.next_frag {
                 None => ack.seq == MigAck::HEADER_SEQ,
@@ -317,6 +335,31 @@ impl AgillaNetwork {
         }
     }
 
+    /// Processes a migration refusal. Like acks, hop-by-hop NACKs carry
+    /// their link-layer sender in `from` and only the current `next_hop`
+    /// may kill the session — a stale NACK from a hop the session already
+    /// failed away from must not abort the transfer now progressing toward
+    /// the new candidate. End-to-end NACKs arrive enveloped via an
+    /// arbitrary last hop and pass `None`.
+    pub(super) fn handle_mig_nack(
+        &mut self,
+        idx: usize,
+        from: Option<NodeId>,
+        session: u16,
+        now: SimTime,
+    ) {
+        if let Some(f) = from {
+            let current = self.nodes[idx]
+                .send_sessions
+                .get(&session)
+                .map(|s| s.next_hop);
+            if current != Some(f) {
+                return;
+            }
+        }
+        self.fail_sender(idx, session, "refused by receiver", now);
+    }
+
     pub(super) fn handle_mig_retx(&mut self, idx: usize, session: u16, now: SimTime) {
         let verdict = {
             let Some(s) = self.nodes[idx].send_sessions.get_mut(&session) else {
@@ -325,12 +368,66 @@ impl AgillaNetwork {
             s.retx.on_timeout(self.config.migration_retx)
         };
         match verdict {
-            RetxVerdict::GiveUp => self.fail_sender(idx, session, "ack retries exhausted", now),
+            RetxVerdict::GiveUp => {
+                // Hop-level failover: the primary candidate kept timing out
+                // (dead battery, faded link) — before declaring the session
+                // failed, restart it toward the next-best hop in
+                // `next_hop_candidates` order.
+                if self.config.hop_failover && self.failover_sender(idx, session, now) {
+                    return;
+                }
+                self.fail_sender(idx, session, "ack retries exhausted", now)
+            }
             RetxVerdict::Retry => {
                 self.metrics.incr("migration.retx");
                 self.send_migration_msg(idx, session, SimDuration::ZERO, now);
             }
         }
+    }
+
+    /// Restarts sender session `session` toward the next untried candidate
+    /// from [`wsn_net::next_hop_candidates`], with a fresh retransmission
+    /// budget (capped at [`crate::config::MAX_HOP_FAILOVERS`] switches).
+    /// Returns `false` when every candidate has been exhausted (the caller
+    /// then fails the session as before).
+    ///
+    /// Residual duplication risk, inherited from the paper's protocol: if
+    /// the abandoned hop in fact received everything and only its acks were
+    /// lost, the agent now exists there *and* gets re-shipped to the new
+    /// candidate — the same two-copies outcome as the protocol's original
+    /// give-up path, which resumes the agent locally (Section 3.2 accepts
+    /// this trade; the receiver-side completed-session cache closes the
+    /// common retransmit case but cannot span receivers).
+    fn failover_sender(&mut self, idx: usize, session: u16, now: SimTime) -> bool {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        let neighbors = self.nodes[idx].acq.live(now);
+        let (previous, next) = {
+            let Some(s) = self.nodes[idx].send_sessions.get_mut(&session) else {
+                return false;
+            };
+            let previous = s.next_hop;
+            let candidates = wsn_net::next_hop_candidates(my_loc, &neighbors, s.image.final_dest);
+            let Some(next) =
+                super::session::pick_failover_hop(&mut s.tried_hops, previous, &candidates)
+            else {
+                return false;
+            };
+            s.next_hop = next;
+            // The new hop has none of the session: restart from the header.
+            s.next_frag = None;
+            s.retx.reset_for_failover();
+            (previous, next)
+        };
+        self.metrics.incr("migration.failover");
+        self.tracer.record(
+            now,
+            Some(node_id),
+            "migrate.failover",
+            format!("session {session}: {previous} -> {next}"),
+        );
+        self.send_migration_msg(idx, session, SimDuration::ZERO, now);
+        true
     }
 
     fn finish_sender(&mut self, idx: usize, session: u16, now: SimTime) {
@@ -482,12 +579,12 @@ impl AgillaNetwork {
                 }
                 t if t == am::MIG_ACK => {
                     if let Some(a) = MigAck::decode(&env.inner) {
-                        self.handle_mig_ack(idx, a, now);
+                        self.handle_mig_ack(idx, None, a, now);
                     }
                 }
                 t if t == am::MIG_NACK => {
                     if let Some(n) = MigNack::decode(&env.inner) {
-                        self.fail_sender(idx, n.session, "refused by receiver", now);
+                        self.handle_mig_nack(idx, None, n.session, now);
                     }
                 }
                 _ => {}

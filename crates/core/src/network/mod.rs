@@ -24,11 +24,14 @@ mod remote;
 
 use agilla_tuplespace::{Reaction, Template, Tuple, TupleSpaceError};
 use agilla_vm::exec::{self, StepResult};
-use agilla_vm::isa::{CostModel, Instruction};
+use agilla_vm::isa::{CostModel, EnergyClass, Instruction};
 use agilla_vm::{asm, AgentState, Host, VmError};
 use wsn_common::{AgentId, Location, NodeId, SensorType};
-use wsn_net::{decode_beacon, encode_beacon, ActiveMessage, CsmaMac, MacConfig, BEACON_PERIOD};
-use wsn_radio::{DeliveryOutcome, Frame, GilbertElliott, LossModel, Medium, Topology};
+use wsn_net::{decode_beacon, encode_beacon, ActiveMessage, CsmaMac, MacConfig};
+use wsn_radio::{
+    DeliveryOutcome, EnergyLedger, EnergyMeter, EnergyState, Frame, GilbertElliott, LossModel,
+    Medium, Topology,
+};
 use wsn_sim::{EventQueue, Metrics, RngStream, SimDuration, SimTime, Tracer};
 
 use crate::config::AgillaConfig;
@@ -100,7 +103,22 @@ impl AgillaNetwork {
         env: Environment,
         seed: u64,
     ) -> Self {
-        let medium = Medium::new(topology, loss, seed);
+        // LPL stretches every preamble; widen the protocol timeouts to
+        // match (identity when LPL is off).
+        let config = config.lpl_adjusted();
+        let mut medium = Medium::new(topology, loss, seed);
+        let mac_config = match config.energy.lpl_check_interval {
+            Some(interval) if config.energy.enabled => MacConfig::mica2_lpl(interval),
+            _ => MacConfig::mica2(),
+        };
+        if config.energy.enabled {
+            let duty = mac_config.lpl.as_ref().map_or(1.0, |l| l.listen_duty());
+            let n = medium.topology().len();
+            medium.attach_energy(EnergyLedger::new(n, config.energy.battery_joules, duty));
+            if let Some(lpl) = &mac_config.lpl {
+                medium.set_preamble_stretch(lpl.preamble_stretch());
+            }
+        }
         let nodes: Vec<Node> = medium
             .topology()
             .nodes()
@@ -115,7 +133,7 @@ impl AgillaNetwork {
             tracer: Tracer::new(),
             metrics: Metrics::new(),
             log: ExperimentLog::new(),
-            mac: CsmaMac::new(MacConfig::mica2()),
+            mac: CsmaMac::new(mac_config),
             rng_mac: RngStream::derive(seed, "net.mac"),
             rng_vm: RngStream::derive(seed, "net.vm"),
             rng_env: RngStream::derive(seed, "net.env"),
@@ -181,7 +199,9 @@ impl AgillaNetwork {
         }
         // Staggered beacons.
         for id in topo.nodes() {
-            let jitter = self.rng_mac.range_u64(0, BEACON_PERIOD.as_micros());
+            let jitter = self
+                .rng_mac
+                .range_u64(0, self.config.beacon_period.as_micros());
             self.queue.schedule(
                 SimTime::ZERO + SimDuration::from_micros(jitter),
                 Event::Beacon { node: id },
@@ -365,14 +385,100 @@ impl AgillaNetwork {
         self.nodes[idx].dead = true;
         self.nodes[idx].tx_queue.clear();
         let now = self.now();
+        self.log.push(OpRecord::NodeDied { node, at: now });
         self.tracer
             .record(now, Some(node), "node.dead", "fault injected".into());
         self.metrics.incr("faults.nodes_killed");
     }
 
-    /// Whether `node` has been failed by fault injection.
+    /// Whether `node` has been failed by fault injection or battery death.
     pub fn is_dead(&self, node: NodeId) -> bool {
         self.nodes[node.index()].dead
+    }
+
+    /// Nodes still alive (not fault-injected, battery not depleted).
+    pub fn alive_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.dead).count()
+    }
+
+    // --- energy -----------------------------------------------------------
+
+    /// The battery meter of `node`, when energy accounting is enabled.
+    pub fn energy_meter(&self, node: NodeId) -> Option<&EnergyMeter> {
+        self.medium.energy().map(|l| l.meter(node))
+    }
+
+    /// Replaces `node`'s battery capacity — e.g. an effectively infinite
+    /// battery for a mains-powered base station. No-op when accounting is
+    /// off.
+    pub fn set_battery(&mut self, node: NodeId, joules: f64) {
+        if let Some(l) = self.medium.energy_mut() {
+            l.meter_mut(node).set_capacity(joules);
+        }
+    }
+
+    /// Brings every meter's idle baseline up to the current time and
+    /// publishes the `energy.*` metrics: network-wide totals per power
+    /// state (millijoules) plus one `energy.nodeNN.drained_mj` gauge per
+    /// node. No-op when accounting is off.
+    pub fn record_energy_metrics(&mut self) {
+        let now = self.now();
+        let Some(ledger) = self.medium.energy_mut() else {
+            return;
+        };
+        ledger.advance_all(now);
+        let totals = ledger.totals();
+        let per_node: Vec<(u16, f64)> = (0..ledger.len())
+            .map(|i| {
+                let id = NodeId(i as u16);
+                (id.0, ledger.meter(id).drained_j())
+            })
+            .collect();
+        let mj = |j: f64| (j * 1e3).round() as u64;
+        self.metrics.set("energy.total_mj", mj(totals.total()));
+        for s in EnergyState::ALL {
+            self.metrics
+                .set(format!("energy.{}_mj", s.name()), mj(totals.state(s)));
+        }
+        for (id, j) in per_node {
+            self.metrics
+                .set(format!("energy.node{id:02}.drained_mj"), mj(j));
+        }
+    }
+
+    /// Integrates `node`'s idle baseline up to `now` and, if that pushed
+    /// the battery to zero, takes the node out of the network for good:
+    /// stop computing and transmitting, drop out of the radio topology (so
+    /// routing detours once neighbors age it out), and record the death.
+    fn account_idle(&mut self, node: NodeId, now: SimTime) {
+        let Some(ledger) = self.medium.energy_mut() else {
+            return;
+        };
+        let meter = ledger.meter_mut(node);
+        meter.advance(now);
+        if meter.is_depleted() && !self.nodes[node.index()].dead {
+            self.node_battery_died(node, now);
+        }
+    }
+
+    /// Charges `us` microseconds of CPU-active time to `node`.
+    fn charge_cpu(&mut self, node: NodeId, us: u64) {
+        if let Some(ledger) = self.medium.energy_mut() {
+            ledger
+                .meter_mut(node)
+                .charge(EnergyState::Cpu, SimDuration::from_micros(us));
+        }
+    }
+
+    fn node_battery_died(&mut self, node: NodeId, now: SimTime) {
+        let idx = node.index();
+        self.nodes[idx].dead = true;
+        self.nodes[idx].tx_queue.clear();
+        self.medium.remove_node(node);
+        self.log.push(OpRecord::NodeDied { node, at: now });
+        self.tracer
+            .record(now, Some(node), "node.dead", "battery depleted".into());
+        self.metrics.incr("energy.nodes_dead");
     }
 
     // --- event dispatch ---------------------------------------------------
@@ -390,6 +496,12 @@ impl AgillaNetwork {
             | Event::MigAbort { node, .. }
             | Event::RemoteTimeout { node, .. } => *node,
         };
+        // Energy accounting: the owner pays its idle baseline up to this
+        // instant, and a battery that just hit zero kills the node before
+        // the event runs (its queued timers and frames fall on the floor).
+        if self.medium.energy().is_some() {
+            self.account_idle(owner, at);
+        }
         if self.nodes[owner.index()].dead {
             return;
         }
@@ -450,7 +562,9 @@ impl AgillaNetwork {
                         "reaction.dispatch",
                         format!("{} -> pc {pc}", slot.agent.id()),
                     );
-                    let cost = SimDuration::from_micros(self.cost.reaction_dispatch_us);
+                    let dispatch_us = self.cost.reaction_dispatch_us;
+                    self.charge_cpu(node_id, dispatch_us);
+                    let cost = SimDuration::from_micros(dispatch_us);
                     self.schedule_engine(idx, cost);
                 }
                 Err(e) => self.kill_agent(idx, slot_idx, e, now),
@@ -459,7 +573,7 @@ impl AgillaNetwork {
         }
 
         // Execute exactly one instruction.
-        let (op_cost, result, inserted) = {
+        let (op_cost, op_class, result, inserted, sensed) = {
             let AgillaNetwork {
                 nodes,
                 env,
@@ -479,9 +593,9 @@ impl AgillaNetwork {
                 ..
             } = node;
             let slot = slots[slot_idx].as_mut().expect("picked slot");
-            let op_cost = Instruction::decode(slot.agent.code(), slot.agent.pc())
-                .map(|(ins, _)| cost.cost_us(ins.op))
-                .unwrap_or(60);
+            let (op_cost, op_class) = Instruction::decode(slot.agent.code(), slot.agent.pc())
+                .map(|(ins, _)| (cost.cost_us(ins.op), ins.op.energy_class()))
+                .unwrap_or((60, EnergyClass::Cpu));
             let mut host = HostView {
                 loc: *loc,
                 now,
@@ -494,11 +608,35 @@ impl AgillaNetwork {
                 rng_env,
                 owner: slot.agent.id(),
                 inserted: Vec::new(),
+                sensed: Vec::new(),
             };
             let result = exec::step(&mut slot.agent, &mut host);
             slot.slice_used += 1;
-            (op_cost, result, host.inserted)
+            (op_cost, op_class, result, host.inserted, host.sensed)
         };
+
+        // Energy: the instruction's execution time, attributed by its
+        // energy class — `sense` keeps the CPU awake for the sensor board,
+        // so its time lands in the Sensor state; everything else (including
+        // the local slice of the radio ops, whose real cost is the frames
+        // charged by the medium) is plain CPU. Each reading additionally
+        // pays the board's ADC window.
+        if self.medium.energy().is_some() {
+            let node_id = self.nodes[idx].id;
+            let op_state = match op_class {
+                EnergyClass::Sensing => EnergyState::Sensor,
+                EnergyClass::Cpu | EnergyClass::Radio => EnergyState::Cpu,
+            };
+            if let Some(ledger) = self.medium.energy_mut() {
+                let meter = ledger.meter_mut(node_id);
+                meter.charge(op_state, SimDuration::from_micros(op_cost));
+                for s in &sensed {
+                    let window = SimDuration::from_micros(s.sample_time_us());
+                    meter.charge(EnergyState::Sensor, window);
+                    meter.charge_current(EnergyState::Sensor, s.sample_current_ma(), window);
+                }
+            }
+        }
 
         // Side effects of local tuple insertion (reactions, blocked wakeups).
         if !inserted.is_empty() {
@@ -643,11 +781,21 @@ impl AgillaNetwork {
         }
     }
 
+    /// One CC1000 clear-channel assessment: radio start-up + RSSI settle.
+    const CCA_SAMPLE: SimDuration = SimDuration::from_micros(350);
+
     fn handle_tx_ready(&mut self, idx: usize, now: SimTime) {
         let node_id = self.nodes[idx].id;
         if self.nodes[idx].tx_queue.is_empty() {
             self.nodes[idx].tx_scheduled = false;
             return;
+        }
+        // Carrier sense keeps the radio on for one CCA sample, whether or
+        // not the channel turns out busy.
+        if let Some(ledger) = self.medium.energy_mut() {
+            ledger
+                .meter_mut(node_id)
+                .charge(EnergyState::Listen, Self::CCA_SAMPLE);
         }
         if self.medium.channel_busy(now, node_id) {
             self.nodes[idx].tx_attempt += 1;
@@ -662,7 +810,7 @@ impl AgillaNetwork {
             .pop_front()
             .expect("non-empty queue");
         self.nodes[idx].tx_attempt = 0;
-        let air = frame.air_time();
+        let air = self.medium.effective_air_time(&frame);
         self.metrics.incr("radio.frames_sent");
         let deliveries = self.medium.transmit(now, &frame);
         for d in deliveries {
@@ -701,7 +849,7 @@ impl AgillaNetwork {
         );
         let jitter = self.rng_mac.range_u64(0, 100_000);
         self.queue.schedule(
-            now + BEACON_PERIOD + SimDuration::from_micros(jitter),
+            now + self.config.beacon_period + SimDuration::from_micros(jitter),
             Event::Beacon { node: node_id },
         );
     }
@@ -740,12 +888,12 @@ impl AgillaNetwork {
             }
             t if t == am::MIG_ACK => {
                 if let Some(a) = MigAck::decode(&msg.payload) {
-                    self.handle_mig_ack(idx, a, now);
+                    self.handle_mig_ack(idx, Some(frame.src), a, now);
                 }
             }
             t if t == am::MIG_NACK => {
                 if let Some(n) = MigNack::decode(&msg.payload) {
-                    self.fail_sender(idx, n.session, "refused by receiver", now);
+                    self.handle_mig_nack(idx, Some(frame.src), n.session, now);
                 }
             }
             t if t == am::RTS_REQ => {
@@ -779,6 +927,9 @@ struct HostView<'a> {
     /// Tuples inserted during this step (reaction firing happens after the
     /// step, once the agent borrow is released).
     inserted: Vec<Tuple>,
+    /// Sensor readings taken during this step, for energy accounting (the
+    /// ADC window is charged after the step, like insertions).
+    sensed: Vec<SensorType>,
 }
 
 impl Host for HostView<'_> {
@@ -791,6 +942,7 @@ impl Host for HostView<'_> {
     }
 
     fn sense(&mut self, sensor: SensorType) -> Option<i16> {
+        self.sensed.push(sensor);
         self.env.sample(sensor, self.loc, self.now, self.rng_env)
     }
 

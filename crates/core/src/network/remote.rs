@@ -137,6 +137,8 @@ impl AgillaNetwork {
                 request: request.clone(),
                 slot: slot_idx,
                 issued_at: now,
+                last_hop: None,
+                tried_hops: Vec::new(),
                 retx: RetxState::new(),
             },
         );
@@ -147,11 +149,11 @@ impl AgillaNetwork {
     fn send_rts_request(&mut self, idx: usize, op_id: u16, now: SimTime) {
         let node_id = self.nodes[idx].id;
         let my_loc = self.nodes[idx].loc;
-        let (payload, dest) = {
+        let (payload, dest, tried) = {
             let Some(p) = self.nodes[idx].pending_remote.get(&op_id) else {
                 return;
             };
-            (p.request.encode(), p.request.dest)
+            (p.request.encode(), p.request.dest, p.tried_hops.clone())
         };
         let neighbors = self.nodes[idx].acq.live(now);
         let timer = self.queue.schedule(
@@ -164,8 +166,21 @@ impl AgillaNetwork {
         if let Some(p) = self.nodes[idx].pending_remote.get_mut(&op_id) {
             p.retx.arm(timer);
         }
-        match next_hop(my_loc, &neighbors, dest) {
+        // Without failover history this is exactly `next_hop` (the head of
+        // the candidate list); after a first-hop failover, exhausted
+        // candidates are skipped in best-first order.
+        let hop = if tried.is_empty() {
+            next_hop(my_loc, &neighbors, dest)
+        } else {
+            wsn_net::next_hop_candidates(my_loc, &neighbors, dest)
+                .into_iter()
+                .find(|c| !tried.contains(c))
+        };
+        match hop {
             Some(hop) => {
+                if let Some(p) = self.nodes[idx].pending_remote.get_mut(&op_id) {
+                    p.last_hop = Some(hop);
+                }
                 let msg = wire::message(am::RTS_REQ, payload);
                 self.enqueue_frame(
                     idx,
@@ -193,6 +208,13 @@ impl AgillaNetwork {
         };
         match verdict {
             RetxVerdict::GiveUp => {
+                // First-hop failover: the whole retransmission budget went
+                // into one neighbor (dead battery, faded link) — reissue
+                // the request via the next geographic candidate before
+                // reporting failure to the agent.
+                if self.config.hop_failover && self.failover_remote(idx, op_id, now) {
+                    return;
+                }
                 let Some(p) = self.nodes[idx].pending_remote.remove(&op_id) else {
                     return;
                 };
@@ -214,6 +236,39 @@ impl AgillaNetwork {
                 self.send_rts_request(idx, op_id, now);
             }
         }
+    }
+
+    /// Marks the current first hop exhausted and, if an untried candidate
+    /// from [`wsn_net::next_hop_candidates`] remains, reissues the request
+    /// toward it with a fresh retransmission budget. Returns `false` when
+    /// no alternative exists (the op then fails as before). Switches are
+    /// capped at [`crate::config::MAX_HOP_FAILOVERS`], which is what lets
+    /// [`AgillaConfig::remote_reply_ttl`](crate::config::AgillaConfig::remote_reply_ttl)
+    /// bound the server's dedup-cache TTL over every budget the initiator
+    /// can burn — an uncapped reissue could arrive after the cached reply
+    /// expired and re-execute the operation.
+    fn failover_remote(&mut self, idx: usize, op_id: u16, now: SimTime) -> bool {
+        let node_id = self.nodes[idx].id;
+        let my_loc = self.nodes[idx].loc;
+        let neighbors = self.nodes[idx].acq.live(now);
+        {
+            let Some(p) = self.nodes[idx].pending_remote.get_mut(&op_id) else {
+                return false;
+            };
+            let Some(last) = p.last_hop else {
+                return false; // never routed at all: no candidate to blame
+            };
+            let candidates = wsn_net::next_hop_candidates(my_loc, &neighbors, p.request.dest);
+            if super::session::pick_failover_hop(&mut p.tried_hops, last, &candidates).is_none() {
+                return false;
+            }
+            p.retx.reset_for_failover();
+        }
+        self.metrics.incr("remote.failover");
+        self.tracer
+            .record(now, Some(node_id), "remote.failover", format!("op{op_id}"));
+        self.send_rts_request(idx, op_id, now);
+        true
     }
 
     /// Performs a remote-op request against this node's own space. Returns

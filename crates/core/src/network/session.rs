@@ -16,7 +16,7 @@
 //!   of the peer (never evicted early by capacity pressure), then expire so
 //!   a wrapped-around id cannot match a stale record.
 //!
-//! The paper motivates exactly this layering: "reliability [is] addressed
+//! The paper motivates exactly this layering: "reliability \[is\] addressed
 //! within the network" (Section 3.2) — robust delivery belongs to reusable
 //! middleware infrastructure, not to each protocol separately. Georouted
 //! forwarding ([`wsn_net::next_hop_candidates`]) exposes an ordered failover
@@ -25,7 +25,32 @@
 
 use std::collections::VecDeque;
 
+use wsn_common::NodeId;
 use wsn_sim::{EventId, SimDuration, SimTime};
+
+/// Candidate failover for a reliable session whose retransmission budget
+/// toward one next hop is exhausted: records the hop as tried, enforces the
+/// shared switch cap ([`crate::config::MAX_HOP_FAILOVERS`]), and returns the
+/// best untried candidate, or `None` when the session must fail.
+///
+/// Both protocols route their failover decisions through here so the cap —
+/// which the server-side reply-cache TTL
+/// ([`crate::config::AgillaConfig::remote_reply_ttl`]) depends on — cannot
+/// drift between them. `candidates` is the
+/// [`wsn_net::next_hop_candidates`] ordering at decision time.
+pub fn pick_failover_hop(
+    tried: &mut Vec<NodeId>,
+    exhausted: NodeId,
+    candidates: &[NodeId],
+) -> Option<NodeId> {
+    if !tried.contains(&exhausted) {
+        tried.push(exhausted);
+    }
+    if tried.len() > crate::config::MAX_HOP_FAILOVERS {
+        return None;
+    }
+    candidates.iter().copied().find(|c| !tried.contains(c))
+}
 
 /// Allocates wrapping `u16` identifiers that are never zero (zero is
 /// reserved as "unassigned" across the wire formats).
@@ -122,6 +147,16 @@ impl RetxState {
     /// Whether any message of this exchange timed out at least once.
     pub fn retransmitted(&self) -> bool {
         self.retransmitted
+    }
+
+    /// The session failed over to a new next-hop candidate: the fresh link
+    /// gets a full retransmission budget, but the fact that the exchange
+    /// needed recovery stays sticky (first-attempt latency filters must
+    /// still exclude it). Any pending timer must already be gone — failover
+    /// decisions are made inside the timeout handler.
+    pub fn reset_for_failover(&mut self) {
+        debug_assert!(self.timer.is_none(), "failover with a live timer");
+        self.tries = 0;
     }
 }
 
@@ -228,6 +263,59 @@ mod tests {
         assert_eq!(r.on_timeout(2), RetxVerdict::Retry);
         assert_eq!(r.on_timeout(2), RetxVerdict::Retry);
         assert_eq!(r.on_timeout(2), RetxVerdict::GiveUp);
+        assert!(r.retransmitted());
+    }
+
+    #[test]
+    fn failover_pick_walks_candidates_and_respects_the_cap() {
+        let mut tried = Vec::new();
+        let candidates = [NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)];
+        // Exhausting hop 1 yields hop 2, and so on, best-first.
+        assert_eq!(
+            pick_failover_hop(&mut tried, NodeId(1), &candidates),
+            Some(NodeId(2))
+        );
+        assert_eq!(
+            pick_failover_hop(&mut tried, NodeId(2), &candidates),
+            Some(NodeId(3))
+        );
+        assert_eq!(
+            pick_failover_hop(&mut tried, NodeId(3), &candidates),
+            Some(NodeId(4))
+        );
+        // Cap reached: MAX_HOP_FAILOVERS switches granted, no fourth —
+        // this bound is what remote_reply_ttl's window math relies on.
+        assert_eq!(pick_failover_hop(&mut tried, NodeId(4), &candidates), None);
+        assert_eq!(tried.len(), crate::config::MAX_HOP_FAILOVERS + 1);
+        // Double-exhausting the same hop is not double-counted.
+        let mut tried = vec![NodeId(7)];
+        assert_eq!(pick_failover_hop(&mut tried, NodeId(7), &[NodeId(9)]), {
+            Some(NodeId(9))
+        });
+        assert_eq!(tried, vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn failover_pick_none_without_fresh_candidates() {
+        let mut tried = Vec::new();
+        assert_eq!(pick_failover_hop(&mut tried, NodeId(1), &[]), None);
+        assert_eq!(
+            pick_failover_hop(&mut tried, NodeId(2), &[NodeId(1), NodeId(2)]),
+            None,
+            "every candidate already exhausted"
+        );
+    }
+
+    #[test]
+    fn failover_reset_refreshes_the_budget_but_stays_retransmitted() {
+        let mut r = RetxState::new();
+        assert_eq!(r.on_timeout(1), RetxVerdict::Retry);
+        assert_eq!(r.on_timeout(1), RetxVerdict::GiveUp);
+        r.reset_for_failover();
+        // The new candidate link gets the full budget again…
+        assert_eq!(r.on_timeout(1), RetxVerdict::Retry);
+        assert_eq!(r.on_timeout(1), RetxVerdict::GiveUp);
+        // …and the exchange still counts as retransmitted.
         assert!(r.retransmitted());
     }
 

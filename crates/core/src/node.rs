@@ -77,6 +77,11 @@ pub struct SenderSession {
     pub next_frag: Option<usize>,
     /// Link destination for this hop.
     pub next_hop: NodeId,
+    /// Next-hop candidates already exhausted by retransmission (including,
+    /// once failover triggers, the original `next_hop`). With
+    /// `hop_failover` on, the session walks `next_hop_candidates` order
+    /// skipping these before giving up.
+    pub tried_hops: Vec<NodeId>,
     /// The original agent, held for failure resume: movers' state, or the
     /// clone original to resume on completion. `None` for relay sessions.
     pub held_agent: Option<AgentState>,
@@ -111,6 +116,11 @@ pub struct PendingRemote {
     pub slot: usize,
     /// When the operation was issued (latency metric).
     pub issued_at: SimTime,
+    /// First hop the request was last forwarded to (failover bookkeeping).
+    pub last_hop: Option<NodeId>,
+    /// First hops already exhausted by the full retransmission budget;
+    /// with `hop_failover` on, resends skip these in candidate order.
+    pub tried_hops: Vec<NodeId>,
     /// Shared-session-layer retransmission state (tries, the pending timeout
     /// timer, and the Fig. 10 first-attempt flag).
     pub retx: RetxState,
@@ -204,7 +214,7 @@ impl Node {
                 config.reaction_registry_bytes,
             ),
             acq: AcquaintanceList::new(SimDuration::from_micros(
-                3 * wsn_net::BEACON_PERIOD.as_micros() + 500_000,
+                3 * config.beacon_period.as_micros() + 500_000,
             )),
             slots: (0..config.max_agents).map(|_| None).collect(),
             rr_cursor: 0,

@@ -70,6 +70,14 @@ pub enum OpRecord {
         /// When.
         at: SimTime,
     },
+    /// A node left the network for good: battery depletion (energy
+    /// accounting) or fault injection.
+    NodeDied {
+        /// The dead node.
+        node: NodeId,
+        /// When it went dark.
+        at: SimTime,
+    },
     /// A remote tuple-space operation completed (reply or final timeout).
     RemoteCompleted {
         /// Operation id.
@@ -185,6 +193,23 @@ impl ExperimentLog {
             .collect()
     }
 
+    /// Node deaths in order of occurrence, with their times.
+    pub fn node_deaths(&self) -> Vec<(NodeId, SimTime)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                OpRecord::NodeDied { node, at } => Some((*node, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// When the first node died, if any has (the classic network-lifetime
+    /// metric).
+    pub fn first_death_at(&self) -> Option<SimTime> {
+        self.node_deaths().first().map(|(_, at)| *at)
+    }
+
     /// Count of migration failures recorded.
     pub fn migration_failures(&self) -> usize {
         self.records
@@ -254,5 +279,25 @@ mod tests {
         assert_eq!(log.injected_at(AgentId(9)), None);
         assert_eq!(log.remote_completion(1), None);
         assert!(log.arrivals(AgentId(1), NodeId(1)).is_empty());
+        assert!(log.node_deaths().is_empty());
+        assert_eq!(log.first_death_at(), None);
+    }
+
+    #[test]
+    fn node_deaths_are_ordered_and_first_death_is_the_lifetime() {
+        let mut log = ExperimentLog::new();
+        log.push(OpRecord::NodeDied {
+            node: NodeId(4),
+            at: t(500),
+        });
+        log.push(OpRecord::NodeDied {
+            node: NodeId(2),
+            at: t(900),
+        });
+        assert_eq!(
+            log.node_deaths(),
+            vec![(NodeId(4), t(500)), (NodeId(2), t(900))]
+        );
+        assert_eq!(log.first_death_at(), Some(t(500)));
     }
 }

@@ -1,0 +1,234 @@
+//! Energy subsystem acceptance tests: zero-cost when disabled, deterministic
+//! battery deaths, LPL lifetime gains, topology removal on depletion, and
+//! hop-level session failover past dead nodes.
+
+use agilla::{AgillaConfig, AgillaNetwork, EnergyConfig, Environment};
+use wsn_common::{Location, NodeId};
+use wsn_radio::{LossModel, Topology};
+use wsn_sim::{SimDuration, SimTime};
+
+fn energy_net(config: AgillaConfig, seed: u64) -> AgillaNetwork {
+    AgillaNetwork::reliable_5x5(config, seed)
+}
+
+#[test]
+fn energy_disabled_by_default_costs_nothing() {
+    let mut net = AgillaNetwork::testbed_5x5(AgillaConfig::default(), 11);
+    net.run_for(SimDuration::from_secs(5));
+    assert!(net.energy_meter(NodeId(0)).is_none(), "no meters attached");
+    assert_eq!(net.metrics().counter("energy.nodes_dead"), 0);
+    net.record_energy_metrics();
+    assert_eq!(net.metrics().counter("energy.total_mj"), 0);
+    assert_eq!(net.alive_nodes(), 26);
+}
+
+#[test]
+fn identical_seeds_yield_identical_death_times() {
+    let run = |seed: u64| -> Vec<(NodeId, SimTime)> {
+        let config = AgillaConfig {
+            energy: EnergyConfig::with_battery(0.5),
+            ..AgillaConfig::default()
+        };
+        let mut net = energy_net(config, seed);
+        net.run_for(SimDuration::from_secs(60));
+        net.log().node_deaths()
+    };
+    let a = run(42);
+    let b = run(42);
+    assert!(!a.is_empty(), "0.5 J batteries must deplete within 60 s");
+    assert_eq!(a, b, "same seed, same death schedule, to the microsecond");
+    let c = run(43);
+    assert_ne!(a, c, "different seeds drain differently somewhere");
+}
+
+#[test]
+fn per_node_energy_conservation_over_a_real_run() {
+    let config = AgillaConfig {
+        energy: EnergyConfig::with_battery(100.0),
+        ..AgillaConfig::default()
+    };
+    let mut net = energy_net(config, 7);
+    net.inject_source(agilla::workload::SMOVE_TEST_AGENT)
+        .expect("inject");
+    net.run_for(SimDuration::from_secs(30));
+    net.record_energy_metrics();
+    for id in 0..26u16 {
+        let m = net.energy_meter(NodeId(id)).expect("meter");
+        let total = m.drained_j();
+        let by_state = m.breakdown().total();
+        assert!(
+            (total - by_state).abs() <= 1e-9 * total.max(1.0),
+            "node {id}: total {total} != per-state sum {by_state}"
+        );
+        assert!(total > 0.0, "node {id} drained nothing in 30 s");
+    }
+    // The published metrics add up too (tolerating per-state mJ rounding).
+    let total_mj = net.metrics().counter("energy.total_mj") as i64;
+    let state_sum: i64 = ["sleep", "listen", "tx", "rx", "cpu", "sensor"]
+        .iter()
+        .map(|s| net.metrics().counter(&format!("energy.{s}_mj")) as i64)
+        .sum();
+    assert!(
+        (total_mj - state_sum).abs() <= 6,
+        "metrics disagree: total {total_mj} vs state sum {state_sum}"
+    );
+    assert!(net.metrics().counter("energy.node00.drained_mj") > 0);
+    assert!(net.metrics().counter("energy.node25.drained_mj") > 0);
+}
+
+#[test]
+fn lpl_duty_cycling_extends_network_lifetime() {
+    let lifetime = |lpl: Option<SimDuration>| -> SimTime {
+        let energy = match lpl {
+            None => EnergyConfig::with_battery(0.5),
+            Some(iv) => EnergyConfig::with_lpl(0.5, iv),
+        };
+        let config = AgillaConfig {
+            energy,
+            ..AgillaConfig::default()
+        };
+        let mut net = energy_net(config, 5);
+        net.run_for(SimDuration::from_secs(300));
+        net.log().first_death_at().expect("a 0.5 J battery dies")
+    };
+    let always_on = lifetime(None);
+    let lpl_100ms = lifetime(Some(SimDuration::from_millis(100)));
+    assert!(
+        lpl_100ms.as_micros() > 2 * always_on.as_micros(),
+        "LPL at 100 ms should far outlive always-on listening: \
+         {always_on} vs {lpl_100ms}"
+    );
+}
+
+/// A 3×2 grid where the best greedy hop toward the destination dies of
+/// battery depletion: the node leaves the radio topology, and with
+/// `hop_failover` the sender session retries via the second candidate.
+fn failover_config() -> AgillaConfig {
+    AgillaConfig {
+        hop_failover: true,
+        energy: EnergyConfig::with_battery(1_000.0),
+        ..AgillaConfig::default()
+    }
+}
+
+fn failover_net(seed: u64) -> (AgillaNetwork, NodeId, NodeId) {
+    let topo = Topology::grid(3, 2);
+    let mut net = AgillaNetwork::new(
+        topo,
+        LossModel::perfect(),
+        failover_config(),
+        Environment::ambient(),
+        seed,
+    );
+    let doomed = net.node_at(Location::new(2, 1)).expect("primary hop");
+    let dest = net.node_at(Location::new(3, 2)).expect("destination");
+    // The greedy-best hop from (1,1) toward (3,2) is (2,1); give it a
+    // battery so small it dies within its first beacon interval.
+    net.set_battery(doomed, 0.005);
+    (net, doomed, dest)
+}
+
+#[test]
+fn depleted_node_leaves_the_topology_and_migration_fails_over() {
+    let (mut net, doomed, dest) = failover_net(3);
+    // Sleep 2 s (16 ticks), then strong-move to (3,2). By then the primary
+    // hop is dead but still in the acquaintance list, so the session tries
+    // it first, exhausts its retransmissions, and must fail over.
+    let agent = net
+        .inject_source("pushcl 16\nsleep\npushloc 3 2\nsmove\nhalt")
+        .expect("inject");
+    net.run_for(SimDuration::from_secs(12));
+
+    assert!(net.is_dead(doomed), "0.005 J battery is gone");
+    assert!(!net.medium().topology().is_active(doomed));
+    let deaths = net.log().node_deaths();
+    assert_eq!(deaths.len(), 1);
+    assert_eq!(deaths[0].0, doomed);
+    assert!(
+        deaths[0].1 < SimTime::ZERO + SimDuration::from_secs(2),
+        "died before the agent woke: {}",
+        deaths[0].1
+    );
+    assert!(
+        net.metrics().counter("migration.failover") >= 1,
+        "retx exhaustion toward the dead hop must trigger failover"
+    );
+    assert!(
+        net.log().arrived(agent, dest),
+        "the agent still reaches (3,2) via the surviving candidate"
+    );
+    assert_eq!(net.metrics().counter("migration.failed"), 0);
+}
+
+#[test]
+fn depleted_node_remote_ops_fail_over_to_the_next_candidate() {
+    // A short remote timeout so the whole retransmission budget burns out
+    // while the dead hop is still in the acquaintance list (with the
+    // paper's 2 s timeout, beacon age-out would reroute the plain retries
+    // first — failover is the recovery path for the window before that).
+    let topo = Topology::grid(3, 2);
+    let config = AgillaConfig {
+        remote_op_timeout: SimDuration::from_millis(300),
+        ..failover_config()
+    };
+    let mut net = AgillaNetwork::new(
+        topo,
+        LossModel::perfect(),
+        config,
+        Environment::ambient(),
+        9,
+    );
+    let doomed = net.node_at(Location::new(2, 1)).expect("primary hop");
+    let dest = net.node_at(Location::new(3, 2)).expect("destination");
+    net.set_battery(doomed, 0.005);
+    let agent = net
+        .inject_source("pushcl 16\nsleep\npushc 1\npushc 1\npushloc 3 2\nrout\nhalt")
+        .expect("inject");
+    net.run_for(SimDuration::from_secs(25));
+
+    assert!(net.is_dead(doomed));
+    assert!(
+        net.metrics().counter("remote.failover") >= 1,
+        "request retransmissions all went into the dead first hop"
+    );
+    let ops = net.log().remote_ops_of(agent);
+    let (success, retransmitted, _) = ops
+        .first()
+        .and_then(|op| net.log().remote_completion(*op))
+        .expect("op completed");
+    assert!(success, "the rout lands once routing fails over");
+    assert!(retransmitted, "but only after recovery work");
+    let tuple_count = net.node(dest).space.len();
+    assert!(tuple_count >= 1, "tuple present at the destination");
+}
+
+#[test]
+fn without_hop_failover_the_dead_hop_is_fatal() {
+    // Control for the two tests above: identical scenario, failover off.
+    let topo = Topology::grid(3, 2);
+    let config = AgillaConfig {
+        hop_failover: false,
+        energy: EnergyConfig::with_battery(1_000.0),
+        ..AgillaConfig::default()
+    };
+    let mut net = AgillaNetwork::new(
+        topo,
+        LossModel::perfect(),
+        config,
+        Environment::ambient(),
+        3,
+    );
+    let doomed = net.node_at(Location::new(2, 1)).expect("primary hop");
+    let dest = net.node_at(Location::new(3, 2)).expect("destination");
+    net.set_battery(doomed, 0.005);
+    let agent = net
+        .inject_source("pushcl 16\nsleep\npushloc 3 2\nsmove\nhalt")
+        .expect("inject");
+    net.run_for(SimDuration::from_secs(12));
+    assert_eq!(net.metrics().counter("migration.failover"), 0);
+    assert!(
+        !net.log().arrived(agent, dest),
+        "single-candidate greedy cannot cross the hole this early"
+    );
+    assert!(net.metrics().counter("migration.failed") >= 1);
+}

@@ -22,6 +22,6 @@ pub mod neighbors;
 
 pub use beacon::{decode_beacon, encode_beacon, BEACON_PERIOD};
 pub use georouting::{next_hop, next_hop_candidates, reached};
-pub use mac::{CsmaMac, MacConfig};
+pub use mac::{CsmaMac, LplConfig, MacConfig};
 pub use message::{ActiveMessage, AmType};
 pub use neighbors::AcquaintanceList;

@@ -1,6 +1,48 @@
-//! A CSMA MAC with random backoff, after TinyOS 1.x's CC1000 stack.
+//! A CSMA MAC with random backoff, after TinyOS 1.x's CC1000 stack, plus an
+//! optional B-MAC-style low-power-listening (LPL) mode.
 
 use wsn_sim::{RngStream, SimDuration};
+
+/// B-MAC low-power listening: receivers sleep and only sample the channel
+/// every `check_interval_us`; senders stretch each preamble to cover a full
+/// check interval so a sampling receiver cannot miss the frame.
+///
+/// The trade is the classic one from the B-MAC evaluation: idle-listening
+/// draw shrinks by the duty cycle (`check_time / check_interval`), while
+/// every transmission pays `check_interval` of extra air time — so the
+/// optimal interval depends on traffic rate, and lifetime vs. interval is
+/// non-monotone. The `fig_energy` bench sweeps exactly that curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LplConfig {
+    /// Sleep/wake period: how often a listening radio samples the channel, µs.
+    pub check_interval_us: u64,
+    /// How long one channel sample keeps the radio on (CC1000 start-up +
+    /// RSSI settle), µs.
+    pub check_time_us: u64,
+}
+
+impl LplConfig {
+    /// An LPL mode with the given check interval and the MICA2's ≈2.5 ms
+    /// wake-and-sample cost.
+    pub fn with_interval(check_interval: SimDuration) -> Self {
+        LplConfig {
+            check_interval_us: check_interval.as_micros().max(1),
+            check_time_us: 2_500,
+        }
+    }
+
+    /// Fraction of idle time the radio spends listening (1.0 = the check
+    /// interval is no longer than one sample, i.e. effectively always on).
+    pub fn listen_duty(&self) -> f64 {
+        (self.check_time_us as f64 / self.check_interval_us as f64).min(1.0)
+    }
+
+    /// Extra preamble air time every transmission pays so that a receiver
+    /// sampling once per interval is guaranteed to catch it.
+    pub fn preamble_stretch(&self) -> SimDuration {
+        SimDuration::from_micros(self.check_interval_us)
+    }
+}
 
 /// Tunable MAC timing parameters.
 #[derive(Debug, Clone)]
@@ -17,6 +59,9 @@ pub struct MacConfig {
     pub tx_processing_us: u64,
     /// Software path cost per receive: interrupt, CRC, dispatch, µs.
     pub rx_processing_us: u64,
+    /// Low-power listening; `None` keeps the radio always on (the paper's
+    /// configuration) with timing bit-for-bit unchanged.
+    pub lpl: Option<LplConfig>,
 }
 
 impl MacConfig {
@@ -28,6 +73,15 @@ impl MacConfig {
             congestion_step_us: 3_200,
             tx_processing_us: 9_000,
             rx_processing_us: 4_000,
+            lpl: None,
+        }
+    }
+
+    /// The MICA2 profile with B-MAC low-power listening at `check_interval`.
+    pub fn mica2_lpl(check_interval: SimDuration) -> Self {
+        MacConfig {
+            lpl: Some(LplConfig::with_interval(check_interval)),
+            ..MacConfig::mica2()
         }
     }
 }
@@ -93,6 +147,11 @@ impl CsmaMac {
     pub fn rx_processing(&self) -> SimDuration {
         SimDuration::from_micros(self.config.rx_processing_us)
     }
+
+    /// The low-power-listening mode, if one is configured.
+    pub fn lpl(&self) -> Option<&LplConfig> {
+        self.config.lpl.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +200,32 @@ mod tests {
         let mac = CsmaMac::new(MacConfig::mica2());
         assert_eq!(mac.tx_processing().as_micros(), 9_000);
         assert_eq!(mac.rx_processing().as_micros(), 4_000);
+        assert!(mac.lpl().is_none(), "the paper's stack is always-on");
+    }
+
+    #[test]
+    fn lpl_duty_and_stretch_track_the_check_interval() {
+        let lpl = LplConfig::with_interval(SimDuration::from_millis(100));
+        assert_eq!(lpl.preamble_stretch().as_millis(), 100);
+        assert!((lpl.listen_duty() - 0.025).abs() < 1e-12, "2.5ms / 100ms");
+        // Longer intervals: cheaper listening, dearer preambles.
+        let slow = LplConfig::with_interval(SimDuration::from_secs(1));
+        assert!(slow.listen_duty() < lpl.listen_duty());
+        assert!(slow.preamble_stretch() > lpl.preamble_stretch());
+        // Degenerate tiny interval clamps to always-on.
+        let tiny = LplConfig::with_interval(SimDuration::from_micros(10));
+        assert_eq!(tiny.listen_duty(), 1.0);
+    }
+
+    #[test]
+    fn mica2_lpl_profile_only_differs_in_lpl() {
+        let plain = MacConfig::mica2();
+        let lpl = MacConfig::mica2_lpl(SimDuration::from_millis(50));
+        assert_eq!(plain.backoff_min_us, lpl.backoff_min_us);
+        assert_eq!(plain.tx_processing_us, lpl.tx_processing_us);
+        assert_eq!(
+            lpl.lpl,
+            Some(LplConfig::with_interval(SimDuration::from_millis(50)))
+        );
     }
 }

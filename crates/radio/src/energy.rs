@@ -1,0 +1,431 @@
+//! MICA2 power model and per-node energy accounting.
+//!
+//! The paper's deployment currency is energy: MICA2 motes run on two AA
+//! cells, and the CC1000's idle-listening draw — not computation — dominates
+//! the budget. This module provides the current-draw constants (the values
+//! commonly used by PowerTOSSIM and the B-MAC evaluation for the MICA2
+//! platform) and an [`EnergyMeter`] that integrates joules per power state
+//! over simulated time, so lifetime experiments can be driven from the same
+//! deterministic event loop as every figure.
+//!
+//! The model is *additive over a baseline*: the meter continuously drains
+//! the idle baseline (CPU sleep plus the radio's idle-listen draw, scaled by
+//! the low-power-listening duty cycle), and discrete activities — transmit,
+//! receive, CPU-active instruction execution, sensor sampling — charge their
+//! state current on top for their duration. Accounting is optional and
+//! purely observational: with no meter attached, the radio medium behaves
+//! bit-for-bit as before.
+
+use std::fmt;
+
+use wsn_common::NodeId;
+use wsn_sim::{SimDuration, SimTime};
+
+/// Battery / regulator voltage, volts (two AA cells).
+pub const VOLTAGE_V: f64 = 3.0;
+
+/// ATmega128L active draw at 8 MHz, mA.
+pub const CPU_ACTIVE_MA: f64 = 8.0;
+
+/// Mote sleep draw (CPU power-save + peripherals quiescent), mA.
+pub const CPU_SLEEP_MA: f64 = 0.016;
+
+/// CC1000 receive / idle-listen draw, mA (listening costs the same as
+/// receiving — the reason duty-cycled MACs exist).
+pub const RADIO_RX_MA: f64 = 9.6;
+
+/// CC1000 transmit draw at 0 dBm, mA.
+pub const RADIO_TX_MA: f64 = 16.5;
+
+/// Nominal capacity of two AA cells (≈2850 mAh at [`VOLTAGE_V`]), joules.
+pub const AA_BATTERY_J: f64 = 30_780.0;
+
+/// Energy drawn by a load of `ma` milliamps held for `d`, in joules.
+pub fn joules(ma: f64, d: SimDuration) -> f64 {
+    ma * 1e-3 * VOLTAGE_V * d.as_secs_f64()
+}
+
+/// The power states an energy meter attributes drain to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum EnergyState {
+    /// Baseline mote sleep (always accrues).
+    Sleep = 0,
+    /// Radio idle listening (baseline, scaled by the LPL duty cycle).
+    Listen = 1,
+    /// Radio transmitting (including stretched LPL preambles).
+    Tx = 2,
+    /// Radio actively receiving a frame.
+    Rx = 3,
+    /// CPU executing agent instructions or middleware work.
+    Cpu = 4,
+    /// Sensor board sampling.
+    Sensor = 5,
+}
+
+impl EnergyState {
+    /// All states, in index order.
+    pub const ALL: [EnergyState; 6] = [
+        EnergyState::Sleep,
+        EnergyState::Listen,
+        EnergyState::Tx,
+        EnergyState::Rx,
+        EnergyState::Cpu,
+        EnergyState::Sensor,
+    ];
+
+    /// Display label used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnergyState::Sleep => "sleep",
+            EnergyState::Listen => "listen",
+            EnergyState::Tx => "tx",
+            EnergyState::Rx => "rx",
+            EnergyState::Cpu => "cpu",
+            EnergyState::Sensor => "sensor",
+        }
+    }
+}
+
+/// Joules drained per power state (one meter, or a whole ledger summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Drain per [`EnergyState`], indexed by the state's discriminant.
+    pub by_state: [f64; 6],
+}
+
+impl EnergyBreakdown {
+    /// Total joules across all states.
+    pub fn total(&self) -> f64 {
+        self.by_state.iter().sum()
+    }
+
+    /// Drain attributed to one state.
+    pub fn state(&self, s: EnergyState) -> f64 {
+        self.by_state[s as usize]
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} J (", self.total())?;
+        for (i, s) in EnergyState::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={:.3}", s.name(), self.state(*s))?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One node's battery: integrates joules per power state over sim time.
+///
+/// The meter is advanced lazily: [`EnergyMeter::advance`] charges the idle
+/// baseline (sleep + duty-cycled listen) for the elapsed interval, and
+/// [`EnergyMeter::charge`] adds a discrete activity on top. Once the battery
+/// is depleted the meter pins: further charges are ignored and
+/// [`EnergyMeter::depleted_at`] records the crossing time, which is what
+/// makes node-death times exactly reproducible per seed.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_radio::energy::{EnergyMeter, EnergyState};
+/// use wsn_sim::{SimDuration, SimTime};
+///
+/// let mut m = EnergyMeter::new(1.0, 1.0); // 1 J battery, always listening
+/// m.advance(SimTime::ZERO + SimDuration::from_secs(10));
+/// assert!(m.drained_j() > 0.25, "idle listening drains the battery");
+/// m.charge(EnergyState::Tx, SimDuration::from_millis(50));
+/// assert!((m.drained_j() - m.breakdown().total()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    capacity_j: f64,
+    drained_j: f64,
+    breakdown: EnergyBreakdown,
+    last_update: SimTime,
+    /// Fraction of idle time the radio spends listening (1.0 = always on;
+    /// B-MAC low-power listening shrinks this to check-time / interval).
+    listen_duty: f64,
+    depleted_at: Option<SimTime>,
+}
+
+impl EnergyMeter {
+    /// A full battery of `capacity_j` joules whose radio listens for
+    /// `listen_duty` of idle time (clamped to `[0, 1]`).
+    pub fn new(capacity_j: f64, listen_duty: f64) -> Self {
+        EnergyMeter {
+            capacity_j,
+            drained_j: 0.0,
+            breakdown: EnergyBreakdown::default(),
+            last_update: SimTime::ZERO,
+            listen_duty: listen_duty.clamp(0.0, 1.0),
+            depleted_at: None,
+        }
+    }
+
+    /// Replaces the battery capacity (e.g. a mains-powered base station).
+    /// Keeps whatever has already been drained.
+    pub fn set_capacity(&mut self, capacity_j: f64) {
+        self.capacity_j = capacity_j;
+        if self.drained_j < self.capacity_j {
+            self.depleted_at = None;
+        }
+    }
+
+    /// The configured battery capacity, joules.
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Total joules drained so far.
+    pub fn drained_j(&self) -> f64 {
+        self.drained_j
+    }
+
+    /// Joules left (zero once depleted).
+    pub fn remaining_j(&self) -> f64 {
+        (self.capacity_j - self.drained_j).max(0.0)
+    }
+
+    /// Per-state drain attribution.
+    pub fn breakdown(&self) -> &EnergyBreakdown {
+        &self.breakdown
+    }
+
+    /// Whether the battery has hit zero.
+    pub fn is_depleted(&self) -> bool {
+        self.depleted_at.is_some()
+    }
+
+    /// When the battery hit zero, if it has.
+    pub fn depleted_at(&self) -> Option<SimTime> {
+        self.depleted_at
+    }
+
+    /// Integrates the idle baseline (sleep + duty-cycled listen) up to
+    /// `now`. Must be called with monotonically non-decreasing times; the
+    /// event loop guarantees that.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_update);
+        self.last_update = self.last_update.max(now);
+        if dt == SimDuration::ZERO || self.is_depleted() {
+            return;
+        }
+        self.deposit(EnergyState::Sleep, joules(CPU_SLEEP_MA, dt), now);
+        if !self.is_depleted() {
+            self.deposit(
+                EnergyState::Listen,
+                joules(RADIO_RX_MA, dt) * self.listen_duty,
+                now,
+            );
+        }
+    }
+
+    /// Charges a discrete activity in `state` for `d` at that state's
+    /// nominal current, on top of the baseline.
+    pub fn charge(&mut self, state: EnergyState, d: SimDuration) {
+        let ma = match state {
+            EnergyState::Sleep => CPU_SLEEP_MA,
+            EnergyState::Listen | EnergyState::Rx => RADIO_RX_MA,
+            EnergyState::Tx => RADIO_TX_MA,
+            EnergyState::Cpu => CPU_ACTIVE_MA,
+            EnergyState::Sensor => CPU_ACTIVE_MA, // ADC runs with the CPU awake
+        };
+        self.charge_current(state, ma, d);
+    }
+
+    /// Charges `d` at an explicit current (sensor boards differ per
+    /// modality; see `SensorType::sample_current_ma` in `wsn-common`).
+    pub fn charge_current(&mut self, state: EnergyState, ma: f64, d: SimDuration) {
+        if self.is_depleted() {
+            return;
+        }
+        let at = self.last_update;
+        self.deposit(state, joules(ma, d), at);
+    }
+
+    fn deposit(&mut self, state: EnergyState, j: f64, at: SimTime) {
+        if self.is_depleted() {
+            return;
+        }
+        self.drained_j += j;
+        self.breakdown.by_state[state as usize] += j;
+        if self.drained_j >= self.capacity_j {
+            self.depleted_at = Some(at);
+        }
+    }
+}
+
+/// Per-node energy meters for a whole network, indexed by [`NodeId`].
+#[derive(Debug, Clone)]
+pub struct EnergyLedger {
+    meters: Vec<EnergyMeter>,
+}
+
+impl EnergyLedger {
+    /// One full meter per node, uniform capacity and listen duty.
+    pub fn new(nodes: usize, capacity_j: f64, listen_duty: f64) -> Self {
+        EnergyLedger {
+            meters: (0..nodes)
+                .map(|_| EnergyMeter::new(capacity_j, listen_duty))
+                .collect(),
+        }
+    }
+
+    /// Number of meters (= nodes).
+    pub fn len(&self) -> usize {
+        self.meters.len()
+    }
+
+    /// Whether the ledger tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.meters.is_empty()
+    }
+
+    /// The meter for `node`.
+    pub fn meter(&self, node: NodeId) -> &EnergyMeter {
+        &self.meters[node.index()]
+    }
+
+    /// Mutable meter for `node`.
+    pub fn meter_mut(&mut self, node: NodeId) -> &mut EnergyMeter {
+        &mut self.meters[node.index()]
+    }
+
+    /// Advances every meter's idle baseline to `now`.
+    pub fn advance_all(&mut self, now: SimTime) {
+        for m in &mut self.meters {
+            m.advance(now);
+        }
+    }
+
+    /// Nodes whose batteries are not yet depleted.
+    pub fn alive(&self) -> usize {
+        self.meters.iter().filter(|m| !m.is_depleted()).count()
+    }
+
+    /// Network-wide drain, summed per state across all meters.
+    pub fn totals(&self) -> EnergyBreakdown {
+        let mut out = EnergyBreakdown::default();
+        for m in &self.meters {
+            for i in 0..out.by_state.len() {
+                out.by_state[i] += m.breakdown.by_state[i];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn idle_listening_dominates_the_baseline() {
+        let mut m = EnergyMeter::new(100.0, 1.0);
+        m.advance(t(100));
+        let b = m.breakdown();
+        assert!(b.state(EnergyState::Listen) > 100.0 * b.state(EnergyState::Sleep));
+        // 9.6 mA * 3 V * 100 s = 2.88 J
+        assert!((b.state(EnergyState::Listen) - 2.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lpl_duty_scales_listen_drain() {
+        let mut always_on = EnergyMeter::new(100.0, 1.0);
+        let mut duty_cycled = EnergyMeter::new(100.0, 0.01);
+        always_on.advance(t(1000));
+        duty_cycled.advance(t(1000));
+        let on = always_on.breakdown().state(EnergyState::Listen);
+        let lpl = duty_cycled.breakdown().state(EnergyState::Listen);
+        assert!((on / lpl - 100.0).abs() < 1e-6, "duty 0.01 => 100x less");
+    }
+
+    #[test]
+    fn depletion_is_latched_at_the_crossing_time() {
+        let mut m = EnergyMeter::new(0.1, 1.0);
+        m.advance(t(2));
+        m.advance(t(10));
+        assert!(m.is_depleted());
+        let died = m.depleted_at().expect("depleted");
+        assert!(died <= t(10));
+        let drained = m.drained_j();
+        // Post-death charges are ignored: the meter is pinned.
+        m.charge(EnergyState::Tx, SimDuration::from_secs(100));
+        m.advance(t(1000));
+        assert_eq!(m.drained_j(), drained);
+        assert_eq!(m.depleted_at(), Some(died));
+        assert_eq!(m.remaining_j(), 0.0);
+    }
+
+    #[test]
+    fn tx_costs_more_than_rx_per_unit_time() {
+        let mut tx = EnergyMeter::new(10.0, 0.0);
+        let mut rx = EnergyMeter::new(10.0, 0.0);
+        tx.charge(EnergyState::Tx, SimDuration::from_millis(100));
+        rx.charge(EnergyState::Rx, SimDuration::from_millis(100));
+        assert!(tx.drained_j() > rx.drained_j());
+    }
+
+    #[test]
+    fn set_capacity_models_a_mains_powered_base() {
+        let mut m = EnergyMeter::new(0.1, 1.0);
+        m.set_capacity(1e12);
+        m.advance(t(3600));
+        assert!(!m.is_depleted());
+        assert!(m.remaining_j() > 0.0);
+    }
+
+    #[test]
+    fn ledger_aggregates_and_counts_alive() {
+        let mut l = EnergyLedger::new(3, 1.0, 1.0);
+        l.meter_mut(NodeId(0)).set_capacity(1e6);
+        l.advance_all(t(100)); // drains ~2.9 J: nodes 1 and 2 die
+        assert_eq!(l.alive(), 1);
+        assert!(l.totals().total() > 0.0);
+        assert!(l.meter(NodeId(1)).is_depleted());
+    }
+
+    proptest! {
+        /// Energy conservation: per-state joules always sum to the total
+        /// meter drain, across arbitrary interleavings of baseline advances
+        /// and discrete charges.
+        #[test]
+        fn prop_per_state_joules_sum_to_total_drain(
+            steps in proptest::collection::vec((0u8..8, 1u64..5_000_000), 1..60),
+            capacity_mj in 1u64..5_000,
+            duty in 0u8..=100,
+        ) {
+            let mut m = EnergyMeter::new(capacity_mj as f64 / 1e3, f64::from(duty) / 100.0);
+            let mut clock = SimTime::ZERO;
+            for (kind, us) in steps {
+                let d = SimDuration::from_micros(us);
+                match kind {
+                    0 => { clock += d; m.advance(clock); }
+                    1 => m.charge(EnergyState::Tx, d),
+                    2 => m.charge(EnergyState::Rx, d),
+                    3 => m.charge(EnergyState::Cpu, d),
+                    4 => m.charge(EnergyState::Sensor, d),
+                    5 => m.charge_current(EnergyState::Sensor, 0.7, d),
+                    6 => m.charge(EnergyState::Listen, d),
+                    _ => m.charge(EnergyState::Sleep, d),
+                }
+            }
+            let total = m.drained_j();
+            let by_state = m.breakdown().total();
+            prop_assert!((total - by_state).abs() <= 1e-9 * total.max(1.0),
+                "total {total} != sum {by_state}");
+            // Drain is monotone and remaining never goes negative.
+            prop_assert!(m.remaining_j() >= 0.0);
+            prop_assert!(m.is_depleted() == (total >= m.capacity_j()));
+        }
+    }
+}

@@ -18,15 +18,20 @@
 //!   i.i.d. floor, and optional Gilbert-Elliott bursts.
 //! * [`Medium`] — the shared broadcast medium that resolves who hears a
 //!   transmission, when, and whether it survives loss and collisions.
+//! * [`energy`] — the MICA2 power model: per-node [`EnergyMeter`]s that
+//!   integrate joules per state (tx/rx/listen/cpu/sensor) over sim time,
+//!   optionally attached to the medium for lifetime experiments.
 
 #![warn(missing_docs)]
 
+pub mod energy;
 pub mod frame;
 pub mod loss;
 pub mod medium;
 pub mod mica2;
 pub mod topology;
 
+pub use energy::{EnergyBreakdown, EnergyLedger, EnergyMeter, EnergyState};
 pub use frame::Frame;
 pub use loss::{GilbertElliott, LossModel};
 pub use medium::{Delivery, DeliveryOutcome, Medium};

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use wsn_common::NodeId;
 use wsn_sim::{RngStream, SimDuration, SimTime};
 
+use crate::energy::{EnergyLedger, EnergyState};
 use crate::frame::Frame;
 use crate::loss::{GilbertElliott, LossModel};
 use crate::topology::Topology;
@@ -66,6 +67,12 @@ pub struct Medium {
     tx_busy_until: HashMap<NodeId, SimTime>,
     frames_sent: u64,
     frames_lost: u64,
+    /// Extra air time prepended to every frame: the stretched preamble of a
+    /// B-MAC-style low-power-listening MAC. Zero when LPL is off, in which
+    /// case timing is bit-for-bit identical to the plain CC1000 stack.
+    preamble_stretch: SimDuration,
+    /// Optional per-node energy accounting; `None` costs nothing.
+    energy: Option<EnergyLedger>,
 }
 
 impl Medium {
@@ -81,12 +88,48 @@ impl Medium {
             tx_busy_until: HashMap::new(),
             frames_sent: 0,
             frames_lost: 0,
+            preamble_stretch: SimDuration::ZERO,
+            energy: None,
         }
     }
 
     /// The topology the medium operates over.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// Drops `node` out of the radio graph (battery depletion): it stops
+    /// hearing, being heard, and contributing carrier.
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.topology.remove_node(node);
+    }
+
+    /// Attaches per-node energy meters; every subsequent transmission
+    /// charges the sender's TX state and each in-range receiver's RX state.
+    pub fn attach_energy(&mut self, ledger: EnergyLedger) {
+        self.energy = Some(ledger);
+    }
+
+    /// The energy ledger, if accounting is enabled.
+    pub fn energy(&self) -> Option<&EnergyLedger> {
+        self.energy.as_ref()
+    }
+
+    /// Mutable energy ledger, for drivers charging CPU/sensor states.
+    pub fn energy_mut(&mut self) -> Option<&mut EnergyLedger> {
+        self.energy.as_mut()
+    }
+
+    /// Sets the stretched-preamble overhead every frame pays (B-MAC LPL:
+    /// the preamble must outlast the receivers' check interval).
+    pub fn set_preamble_stretch(&mut self, stretch: SimDuration) {
+        self.preamble_stretch = stretch;
+    }
+
+    /// Air time of `frame` including the LPL preamble stretch — what the
+    /// MAC must use for transmit-queue pacing when LPL is on.
+    pub fn effective_air_time(&self, frame: &Frame) -> SimDuration {
+        frame.air_time() + self.preamble_stretch
     }
 
     /// Whether the channel is sensed busy at `node` (another node in range is
@@ -101,10 +144,18 @@ impl Medium {
     /// deliveries (one per in-range node, whatever the link destination —
     /// the MAC filters by address on arrival, as real hardware does).
     pub fn transmit(&mut self, now: SimTime, frame: &Frame) -> Vec<Delivery> {
-        let air = frame.air_time();
+        let air = self.effective_air_time(frame);
         let end = now + air;
         self.frames_sent += 1;
         self.tx_busy_until.insert(frame.src, end);
+        if let Some(ledger) = self.energy.as_mut() {
+            // The sender pays for the whole transmission, stretched preamble
+            // included — the LPL bargain: senders spend more so idle
+            // listeners can sleep.
+            let m = ledger.meter_mut(frame.src);
+            m.advance(now);
+            m.charge(EnergyState::Tx, air);
+        }
 
         let neighbors = self.topology.neighbors(frame.src);
         let mut out = Vec::with_capacity(neighbors.len());
@@ -112,6 +163,14 @@ impl Medium {
             let outcome = self.decide(now, end, frame, dst);
             if outcome != DeliveryOutcome::Delivered {
                 self.frames_lost += 1;
+            }
+            if let Some(ledger) = self.energy.as_mut() {
+                // Receivers wake at the preamble's tail and capture the
+                // frame proper; corrupted and collided copies cost the same
+                // radio-on time as good ones.
+                let m = ledger.meter_mut(dst);
+                m.advance(now);
+                m.charge(EnergyState::Rx, frame.air_time());
             }
             out.push(Delivery {
                 to: dst,
@@ -165,9 +224,9 @@ impl Medium {
     }
 
     /// Time the medium stays busy for a frame of this size — exposed so MACs
-    /// can compute backoff windows.
+    /// can compute backoff windows. Includes the LPL preamble stretch.
     pub fn air_time(&self, frame: &Frame) -> SimDuration {
-        frame.air_time()
+        self.effective_air_time(frame)
     }
 
     /// Total frames transmitted.
@@ -299,6 +358,64 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn energy_accounting_charges_tx_and_rx() {
+        use crate::energy::{EnergyLedger, EnergyState};
+
+        let mut m = perfect_line(3);
+        m.attach_energy(EnergyLedger::new(3, 100.0, 1.0));
+        let f = Frame::broadcast(NodeId(1), vec![0; 20]);
+        let t = SimTime::from_micros(1_000_000);
+        m.transmit(t, &f);
+        let ledger = m.energy().expect("attached");
+        let sender = ledger.meter(NodeId(1)).breakdown();
+        let hearer = ledger.meter(NodeId(0)).breakdown();
+        assert!(sender.state(EnergyState::Tx) > 0.0);
+        assert_eq!(sender.state(EnergyState::Rx), 0.0);
+        assert!(hearer.state(EnergyState::Rx) > 0.0);
+        // Both idled (listening) for the first simulated second.
+        assert!(sender.state(EnergyState::Listen) > 0.0);
+        assert!(hearer.state(EnergyState::Listen) > 0.0);
+    }
+
+    #[test]
+    fn preamble_stretch_extends_air_and_tx_cost() {
+        use crate::energy::{EnergyLedger, EnergyState};
+
+        let stretch = SimDuration::from_millis(100);
+        let mut plain = perfect_line(2);
+        let mut lpl = perfect_line(2);
+        lpl.set_preamble_stretch(stretch);
+        lpl.attach_energy(EnergyLedger::new(2, 100.0, 0.01));
+        let f = Frame::broadcast(NodeId(0), vec![0; 5]);
+        assert_eq!(
+            lpl.effective_air_time(&f),
+            plain.effective_air_time(&f) + stretch
+        );
+        let d_plain = plain.transmit(SimTime::ZERO, &f);
+        let d_lpl = lpl.transmit(SimTime::ZERO, &f);
+        assert_eq!(
+            d_lpl[0].arrive_at,
+            d_plain[0].arrive_at + stretch,
+            "receivers see the frame after the stretched preamble"
+        );
+        let tx_j = lpl.energy().unwrap().meter(NodeId(0)).breakdown();
+        // TX energy is dominated by the 100 ms stretch, not the ~6 ms frame.
+        assert!(tx_j.state(EnergyState::Tx) > crate::energy::joules(16.0, stretch));
+    }
+
+    #[test]
+    fn removed_node_neither_hears_nor_is_heard() {
+        let mut m = perfect_line(3);
+        m.remove_node(NodeId(1));
+        let f = Frame::broadcast(NodeId(0), vec![0; 5]);
+        assert!(m.transmit(SimTime::ZERO, &f).is_empty());
+        let f1 = Frame::broadcast(NodeId(1), vec![0; 5]);
+        assert!(m.transmit(SimTime::from_micros(50_000), &f1).is_empty());
+        // And its carrier no longer makes the channel busy for others.
+        assert!(!m.channel_busy(SimTime::from_micros(51_000), NodeId(0)));
     }
 
     #[test]

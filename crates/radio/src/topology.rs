@@ -33,6 +33,9 @@ pub enum Connectivity {
 pub struct Topology {
     positions: Vec<Location>,
     connectivity: Connectivity,
+    /// Nodes removed from the radio graph (battery depletion, destruction).
+    /// Ids stay stable; an inactive node is simply never anyone's neighbor.
+    inactive: Vec<bool>,
 }
 
 impl Topology {
@@ -53,10 +56,25 @@ impl Topology {
             positions.len(),
             "duplicate node locations are not allowed (locations are addresses)"
         );
+        let inactive = vec![false; positions.len()];
         Topology {
             positions,
             connectivity,
+            inactive,
         }
+    }
+
+    /// Drops `node` out of the radio graph: it stops being anyone's neighbor
+    /// (so the medium neither delivers to it nor counts its carrier), while
+    /// ids and locations stay stable for lookups. Used when a battery hits
+    /// zero or a mote is destroyed.
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.inactive[node.index()] = true;
+    }
+
+    /// Whether `node` is still part of the radio graph.
+    pub fn is_active(&self, node: NodeId) -> bool {
+        !self.inactive[node.index()]
     }
 
     /// The paper's experimental arrangement: a `w x h` grid with the
@@ -139,7 +157,7 @@ impl Topology {
 
     /// Whether `a` and `b` are radio neighbors under the connectivity rule.
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
-        if a == b {
+        if a == b || self.inactive[a.index()] || self.inactive[b.index()] {
             return false;
         }
         let pa = self.location(a);
@@ -257,6 +275,26 @@ mod tests {
             t.node_at(Location::new(1, 1))
         );
         assert_eq!(t.node_near(Location::new(0, 0), 0), None);
+    }
+
+    #[test]
+    fn removed_nodes_leave_the_radio_graph_but_keep_their_address() {
+        let mut t = Topology::grid(3, 3);
+        let center = t.node_at(Location::new(2, 2)).unwrap();
+        let side = t.node_at(Location::new(2, 3)).unwrap();
+        assert!(t.are_neighbors(center, side));
+        t.remove_node(center);
+        assert!(!t.is_active(center));
+        assert!(!t.are_neighbors(center, side));
+        assert!(!t.are_neighbors(side, center));
+        assert!(t.neighbors(center).is_empty());
+        assert!(!t.neighbors(side).contains(&center));
+        // Identity lookups still resolve: the mote is dead, not unaddressed.
+        assert_eq!(t.node_at(Location::new(2, 2)), Some(center));
+        // Routing around the hole: BFS now detours (2 -> 4 hops).
+        let a = t.node_at(Location::new(2, 1)).unwrap();
+        let b = t.node_at(Location::new(2, 3)).unwrap();
+        assert_eq!(t.hops_between(a, b), Some(4));
     }
 
     #[test]

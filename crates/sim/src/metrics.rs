@@ -1,5 +1,6 @@
 //! Counters and latency statistics for experiments.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -131,12 +132,15 @@ impl fmt::Display for LatencyRecorder {
 
 /// A registry of named counters and latency recorders.
 ///
-/// Keys are static strings so call sites stay cheap and typo-resistant via
-/// shared constants. `BTreeMap` keeps report ordering deterministic.
+/// Keys accept anything convertible to `Cow<'static, str>`: the hot
+/// protocol counters keep using `&'static str` constants (no allocation,
+/// typo-resistant), while dynamically named series — per-node energy
+/// counters like `energy.node07.drained_mj` — pass an owned `String`
+/// without leaking it. `BTreeMap` keeps report ordering deterministic.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    counters: BTreeMap<&'static str, u64>,
-    latencies: BTreeMap<&'static str, LatencyRecorder>,
+    counters: BTreeMap<Cow<'static, str>, u64>,
+    latencies: BTreeMap<Cow<'static, str>, LatencyRecorder>,
 }
 
 impl Metrics {
@@ -146,13 +150,19 @@ impl Metrics {
     }
 
     /// Adds `delta` to counter `name`, creating it at zero if absent.
-    pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+    pub fn add(&mut self, name: impl Into<Cow<'static, str>>, delta: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
     }
 
     /// Increments counter `name` by one.
-    pub fn incr(&mut self, name: &'static str) {
+    pub fn incr(&mut self, name: impl Into<Cow<'static, str>>) {
         self.add(name, 1);
+    }
+
+    /// Sets counter `name` to an absolute value (gauges, e.g. joules
+    /// remaining at the end of a run).
+    pub fn set(&mut self, name: impl Into<Cow<'static, str>>, value: u64) {
+        self.counters.insert(name.into(), value);
     }
 
     /// Reads counter `name` (zero if never written).
@@ -161,8 +171,8 @@ impl Metrics {
     }
 
     /// Records a latency sample under `name`.
-    pub fn record_latency(&mut self, name: &'static str, d: SimDuration) {
-        self.latencies.entry(name).or_default().record(d);
+    pub fn record_latency(&mut self, name: impl Into<Cow<'static, str>>, d: SimDuration) {
+        self.latencies.entry(name.into()).or_default().record(d);
     }
 
     /// Returns the recorder for `name`, if any samples exist.
@@ -171,13 +181,13 @@ impl Metrics {
     }
 
     /// Iterates counters in name order.
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_ref(), *v))
     }
 
     /// Iterates latency recorders in name order.
-    pub fn latencies(&self) -> impl Iterator<Item = (&'static str, &LatencyRecorder)> + '_ {
-        self.latencies.iter().map(|(k, v)| (*k, v))
+    pub fn latencies(&self) -> impl Iterator<Item = (&str, &LatencyRecorder)> + '_ {
+        self.latencies.iter().map(|(k, v)| (k.as_ref(), v))
     }
 }
 
@@ -243,6 +253,37 @@ mod tests {
         assert_eq!(m.counter("tx"), 5);
         assert_eq!(m.counter("rx"), 0);
         assert_eq!(m.counters().collect::<Vec<_>>(), vec![("tx", 5)]);
+    }
+
+    #[test]
+    fn dynamic_counter_names_need_no_leaked_strings() {
+        let mut m = Metrics::new();
+        for node in 0..3 {
+            m.add(format!("energy.node{node:02}.drained_mj"), node + 10);
+        }
+        m.incr("energy.nodes_dead"); // static and owned keys coexist
+        assert_eq!(m.counter("energy.node01.drained_mj"), 11);
+        assert_eq!(m.counter("energy.node02.drained_mj"), 12);
+        // BTreeMap ordering is lexicographic over the merged key space.
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(
+            names,
+            vec![
+                "energy.node00.drained_mj",
+                "energy.node01.drained_mj",
+                "energy.node02.drained_mj",
+                "energy.nodes_dead",
+            ]
+        );
+        m.set("energy.node00.drained_mj", 99);
+        assert_eq!(m.counter("energy.node00.drained_mj"), 99);
+    }
+
+    #[test]
+    fn dynamic_latency_names() {
+        let mut m = Metrics::new();
+        m.record_latency(format!("op.{}", 3), SimDuration::from_millis(4));
+        assert_eq!(m.latency("op.3").unwrap().len(), 1);
     }
 
     #[test]

@@ -364,6 +364,33 @@ impl Instruction {
     }
 }
 
+/// Which power state an instruction's cost should be attributed to when
+/// energy accounting is on: plain CPU work, a sensor-board sample, or a
+/// split-phase operation whose real cost is radio protocol traffic (the
+/// network layer charges radio energy separately as frames actually fly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnergyClass {
+    /// Pure CPU: the interpreter and local managers.
+    Cpu,
+    /// `sense`: CPU plus the powered sensor board for the ADC window.
+    Sensing,
+    /// Migration and remote tuple-space instructions: the local cost is
+    /// CPU, the dominant cost is the radio traffic they trigger.
+    Radio,
+}
+
+impl Opcode {
+    /// The power state this instruction's execution time belongs to.
+    pub fn energy_class(self) -> EnergyClass {
+        use Opcode::*;
+        match self {
+            Sense => EnergyClass::Sensing,
+            Smove | Wmove | Sclone | Wclone | Rout | Rinp | Rrdp => EnergyClass::Radio,
+            _ => EnergyClass::Cpu,
+        }
+    }
+}
+
 /// Per-instruction execution cost, in microseconds of mote CPU time.
 ///
 /// Calibrated to Fig. 12's three classes: "The first class ... take about
@@ -462,6 +489,24 @@ mod tests {
             assert_eq!(Opcode::from_byte(op as u8).unwrap(), op);
         }
         assert!(Opcode::from_byte(0xEE).is_err());
+    }
+
+    #[test]
+    fn energy_classes_partition_the_isa() {
+        let mut sensing = 0;
+        let mut radio = 0;
+        for op in Opcode::ALL {
+            match op.energy_class() {
+                EnergyClass::Sensing => sensing += 1,
+                EnergyClass::Radio => radio += 1,
+                EnergyClass::Cpu => {}
+            }
+        }
+        assert_eq!(sensing, 1, "only sense touches the sensor board");
+        assert_eq!(radio, 7, "4 migration + 3 remote tuple-space ops");
+        assert_eq!(Opcode::Sense.energy_class(), EnergyClass::Sensing);
+        assert_eq!(Opcode::Smove.energy_class(), EnergyClass::Radio);
+        assert_eq!(Opcode::Out.energy_class(), EnergyClass::Cpu);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Long-lived fire tracking under battery depletion: the application
+//! outlives the motes it runs on.
+//!
+//! The fire-tracking case study (Sections 2.1 and 5) rerun with the energy
+//! subsystem on: every field mote carries a small battery and a B-MAC
+//! low-power-listening radio; the base station is mains-powered. A slow fire
+//! creeps across the grid while FIREDETECTOR agents alert the FIRETRACKER
+//! waiting at the base, which strong-clones a tracker to every burning node.
+//! Midway through the mission the batteries start giving out — dead motes
+//! drop out of the radio topology, and `hop_failover` walks in-flight
+//! sessions around the holes via `next_hop_candidates`. The operator then
+//! does what Agilla was built for: redeploys a second wave of detector
+//! agents *in-network*, onto whatever motes still have charge, and the same
+//! tracker original keeps re-cloning to the new alerts. Agents outlive
+//! motes.
+//!
+//! Run with: `cargo run --release --example long_lived_tracking`
+
+use agilla::{workload, AgillaConfig, AgillaNetwork, EnergyConfig, Environment, FireModel};
+use agilla_tuplespace::{Field, Template, TemplateField};
+use wsn_common::Location;
+use wsn_sim::{SimDuration, SimTime};
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_micros(s * 1_000_000)
+}
+
+fn main() {
+    // 3 J batteries (~10 min at LPL 25 ms with beacon traffic); candidate
+    // failover on, so sessions survive hops that die mid-transfer.
+    let config = AgillaConfig {
+        hop_failover: true,
+        energy: EnergyConfig::with_lpl(3.0, SimDuration::from_millis(25)),
+        ..AgillaConfig::default()
+    };
+    let mut net = AgillaNetwork::reliable_5x5(config, 13);
+    net.set_battery(net.base(), 1e12); // the base station is wall-powered
+
+    let tracker = net
+        .inject_source(workload::FIRE_TRACKER)
+        .expect("inject tracker");
+    println!("FIRETRACKER {tracker} waiting at the mains-powered base station.");
+
+    // Wave 1: a detector on every field mote, sampling every two seconds.
+    let detector_src = workload::fire_detector(Location::new(0, 1), 16);
+    let mut wave1 = 0;
+    for y in 1..=5i16 {
+        for x in 1..=5i16 {
+            net.inject_source_at(Location::new(x, y), &detector_src)
+                .expect("inject detector");
+            wave1 += 1;
+        }
+    }
+    println!("Wave 1: {wave1} FIREDETECTORs deployed across the grid (3 J each).");
+
+    // A slow creeping fire: ignites at (3,3) at t=20 s, front moves 0.01
+    // grid units per second, so alerts trickle in over five minutes.
+    let mut fire = FireModel::new(Location::new(3, 3), SimTime::ZERO + secs(20));
+    fire.spread_per_sec = 0.01;
+    net.set_environment(Environment::with_fire(fire));
+    println!("\nLightning ignites (3,3) at t=20 s; the front creeps at 0.01 units/s.\n");
+
+    let trk = Template::new(vec![
+        TemplateField::exact(Field::str("trk")),
+        TemplateField::any_location(),
+    ]);
+    let status = |net: &AgillaNetwork, t: u64| {
+        let agents: usize = net
+            .medium()
+            .topology()
+            .nodes()
+            .filter(|&id| !net.is_dead(id))
+            .map(|id| net.node(id).agents().len())
+            .sum();
+        let marks: usize = net
+            .medium()
+            .topology()
+            .nodes()
+            .map(|id| net.node(id).space.count(&trk))
+            .sum();
+        println!(
+            "{t:>4}  {:>5}  {:>6}  {:>6}  {:>9}  {:>8}",
+            net.alive_nodes(),
+            agents,
+            net.log().node_deaths().len(),
+            marks,
+            net.metrics().counter("migration.failover"),
+        );
+    };
+
+    println!("t(s)  nodes  agents  deaths  perimeter  failover");
+    println!("----  -----  ------  ------  ---------  --------");
+    let mut t = 0u64;
+    while t < 360 {
+        net.run_for(secs(60));
+        t += 60;
+        status(&net, t);
+    }
+
+    // By now the first batteries are failing. Redeploy detectors onto the
+    // survivors — in-network reprogramming, no truck roll — and a second
+    // fire breaks out in the far corner while motes keep dying.
+    let survivors: Vec<Location> = net
+        .medium()
+        .topology()
+        .nodes()
+        .filter(|&id| id != net.base() && !net.is_dead(id))
+        .map(|id| net.node(id).loc)
+        .collect();
+    let mut alive_targets = 0;
+    for loc in survivors {
+        if net.inject_source_at(loc, &detector_src).is_ok() {
+            alive_targets += 1;
+        }
+    }
+    let mut second = FireModel::new(Location::new(5, 5), SimTime::ZERO + secs(380));
+    second.spread_per_sec = 0.05;
+    net.set_environment(Environment::with_fire(second));
+    println!("---- t=360 s: wave 2 — {alive_targets} detectors redeployed onto surviving motes;");
+    println!("----          a second fire ignites (5,5) at t=380 s ----");
+
+    while t < 720 {
+        net.run_for(secs(60));
+        t += 60;
+        status(&net, t);
+    }
+
+    println!("\n--- death schedule (first 8) ---");
+    for (node, at) in net.log().node_deaths().iter().take(8) {
+        println!("  {node} died at {at}");
+    }
+
+    net.record_energy_metrics();
+    println!("\n--- energy totals (network-wide) ---");
+    for (name, v) in net
+        .metrics()
+        .counters()
+        .filter(|(k, _)| k.starts_with("energy.") && !k.contains("node"))
+    {
+        println!("  {name} = {v}");
+    }
+    println!(
+        "  migration.failover = {} (sessions rerouted around dead hops)",
+        net.metrics().counter("migration.failover")
+    );
+
+    println!(
+        "\nDeaths: {} of 26 motes. The tracker original, anchored on mains \
+         power, still waits for alerts: {}",
+        net.log().node_deaths().len(),
+        net.find_agent(tracker) == Some(net.base())
+    );
+}
