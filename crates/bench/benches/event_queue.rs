@@ -1,0 +1,105 @@
+//! Event-queue microbenchmarks — the regression guard for the SimEngine's
+//! hottest structure.
+//!
+//! Three mixes model what the network actually does to the queue:
+//!
+//! * `schedule_pop_churn` — the engine's steady state: every pop schedules
+//!   a short-horizon follow-up (instruction steps, MAC timers).
+//! * `cancel_heavy_retx` — the MAC/session retransmit pattern: arm a far
+//!   timer, cancel it on ack, repeat. Exercises O(1) cancellation and the
+//!   tombstone compactor.
+//! * `peek_pop_drain` — the run loop's peek-then-pop pairing over a
+//!   pre-seeded population spanning the wheel and the far heap.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use wsn_sim::{EventQueue, SimTime};
+
+fn event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+
+    const CHURN_OPS: u64 = 10_000;
+    group.throughput(Throughput::Elements(CHURN_OPS));
+    group.bench_function("schedule_pop_churn", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            // Seed a working set, then run the schedule-one-pop-one loop
+            // the engine produces, with typical instruction-scale deltas.
+            for i in 0..64u64 {
+                q.schedule(SimTime::from_micros(i * 37), i);
+            }
+            for i in 0..CHURN_OPS {
+                let (t, _) = q.pop().expect("seeded");
+                q.schedule(t + wsn_sim::SimDuration::from_micros(60 + (i % 7) * 40), i);
+            }
+            black_box(q.now())
+        })
+    });
+
+    group.throughput(Throughput::Elements(CHURN_OPS));
+    group.bench_function("cancel_heavy_retx", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut live = Vec::new();
+            for i in 0..CHURN_OPS {
+                // Arm a 100 ms retransmit timer, ack (cancel) most of them.
+                let id = q.schedule(SimTime::from_micros(i * 10 + 100_000), i);
+                if i % 8 == 0 {
+                    live.push(id);
+                } else {
+                    q.cancel(id);
+                }
+            }
+            let len = q.len();
+            while q.pop().is_some() {}
+            black_box((len, live.len()))
+        })
+    });
+
+    const DRAIN_EVENTS: u64 = 4_096;
+    group.throughput(Throughput::Elements(DRAIN_EVENTS));
+    group.bench_function("peek_pop_drain", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::new();
+                for i in 0..DRAIN_EVENTS {
+                    // Mix near (wheel) and far (overflow heap) horizons.
+                    let t = if i % 5 == 0 {
+                        2_000_000 + i * 1_000
+                    } else {
+                        (i * 131) % 250_000
+                    };
+                    q.schedule(SimTime::from_micros(t), i);
+                }
+                q
+            },
+            |mut q| {
+                let mut n = 0u64;
+                while let Some(t) = q.peek_time() {
+                    let (pt, _) = q.pop().expect("peeked");
+                    debug_assert_eq!(t, pt);
+                    n += 1;
+                }
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = event_queue
+}
+criterion_main!(benches);

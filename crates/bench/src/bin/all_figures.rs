@@ -2,27 +2,51 @@
 //! counts — a one-command regeneration of the paper's evaluation. For
 //! publication-grade numbers run the individual binaries with their default
 //! (100-trial) settings in release mode.
+//!
+//! Usage: `all_figures [--quick] [--trials N] [--threads N] [--no-wall]`
+//! — `--threads` fans each figure's trials across SimEngine workers (the
+//! figures' stdout is byte-identical at any thread count), and `--no-wall`
+//! suppresses the host wall-clock column of fig12 (the one nondeterministic
+//! output), so two runs can be diffed byte-for-byte; CI diffs a
+//! `--threads 2` run against the serial one exactly this way.
 
 use std::process::Command;
 
+use agilla_bench::BenchArgs;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let trials = if quick { "20" } else { "100" };
-    let bins: &[(&str, &[&str])] = &[
-        ("fig9_reliability", &[trials]),
-        ("fig10_latency", &[trials]),
-        ("fig11_remote_ops", &[trials]),
-        ("fig12_local_ops", &[]),
-        ("table_memory", &[]),
-        ("mate_comparison", &[]),
-        ("ablation_migration", &[if quick { "20" } else { "60" }]),
-        ("ablation_arena", &[]),
-        ("ablation_blocks", &[]),
+    let args = BenchArgs::parse();
+    let trials = args
+        .trials_or(if args.quick { 20 } else { 100 })
+        .to_string();
+    let ablation = if args.quick { "20" } else { "60" }.to_string();
+    let threads = args.threads.to_string();
+
+    let threaded: &[String] = &["--threads".into(), threads];
+    let no_wall: &[String] = if args.no_wall {
+        &["--no-wall".to_string()]
+    } else {
+        &[]
+    };
+    // The binary list matches the historical one (fig_energy stays a
+    // standalone family), so the wall-clock numbers in EXPERIMENTS.md stay
+    // comparable release to release.
+    let with_threads = |t: &str| [std::slice::from_ref(&t.to_string()), threaded].concat();
+    let bins: Vec<(&str, Vec<String>)> = vec![
+        ("fig9_reliability", with_threads(&trials)),
+        ("fig10_latency", with_threads(&trials)),
+        ("fig11_remote_ops", with_threads(&trials)),
+        ("fig12_local_ops", no_wall.to_vec()),
+        ("table_memory", vec![]),
+        ("mate_comparison", vec![]),
+        ("ablation_migration", vec![ablation]),
+        ("ablation_arena", vec![]),
+        ("ablation_blocks", vec![]),
     ];
-    for (bin, args) in bins {
+    for (bin, bin_args) in bins {
         println!("\n=== {bin} ===\n");
         let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
-            .args(*args)
+            .args(&bin_args)
             .status();
         match status {
             Ok(s) if s.success() => {}

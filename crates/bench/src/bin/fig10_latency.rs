@@ -4,17 +4,20 @@
 //! latencies are means over operations that succeeded without an end-to-end
 //! retransmission (the paper's 2 s timeout retries would otherwise dominate
 //! the mean).
+//!
+//! Usage: `fig10_latency [trials] [--threads N]`.
 
 use agilla::AgillaConfig;
-use agilla_bench::{fig9_fig10, Table};
+use agilla_bench::{fig9_fig10, BenchArgs, Table, TrialExecutor};
 
 fn main() {
-    let trials: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let args = BenchArgs::parse();
+    let trials = args.trials_or(100);
     println!("Figure 10 — latency of smove vs rout ({trials} trials/hop)\n");
-    let rows = fig9_fig10(trials, 0xF10, &AgillaConfig::default());
+    let mut engine = TrialExecutor::new(args.threads);
+    let t0 = std::time::Instant::now();
+    let rows = fig9_fig10(trials, 0xF10, &AgillaConfig::default(), args.threads);
+    engine.note(10 * trials as usize, t0.elapsed());
 
     // The paper's curves, read off Fig. 10 (ms).
     let paper_smove = [225.0, 430.0, 650.0, 870.0, 1080.0];
@@ -51,4 +54,5 @@ fn main() {
         rows.iter()
             .all(|r| r.smove_latency_ms > 2.5 * r.rout_latency_ms)
     );
+    engine.report("fig10");
 }

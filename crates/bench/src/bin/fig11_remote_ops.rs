@@ -4,17 +4,20 @@
 //! and migration operations in 225ms" — with migrations showing higher
 //! variance (retransmit timers). Also prints the tracking-speed corollary
 //! the paper derives ("an agent can migrate across a network at 600km/h").
+//!
+//! Usage: `fig11_remote_ops [trials] [--threads N]`.
 
 use agilla::AgillaConfig;
-use agilla_bench::{fig11_one_hop, Table};
+use agilla_bench::{fig11_one_hop, BenchArgs, Table, TrialExecutor};
 
 fn main() {
-    let trials: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let args = BenchArgs::parse();
+    let trials = args.trials_or(100);
     println!("Figure 11 — one-hop latency of remote operations ({trials} trials)\n");
-    let rows = fig11_one_hop(trials, 0xF11, &AgillaConfig::default());
+    let mut engine = TrialExecutor::new(args.threads);
+    let t0 = std::time::Instant::now();
+    let rows = fig11_one_hop(trials, 0xF11, &AgillaConfig::default(), args.threads);
+    engine.note(7 * trials as usize, t0.elapsed());
 
     // The paper's bars, read off Fig. 11 (ms).
     let paper = [
@@ -56,4 +59,5 @@ fn main() {
         "Tracking-speed corollary: one hop per {:.2} s at 50 m/hop = {:.0} km/h (paper: ~600 km/h)",
         period_s, speed_kmh
     );
+    engine.report("fig11");
 }

@@ -4,16 +4,19 @@
 //! clock; reproduces the figure) and the wall-clock cost of this crate's
 //! interpreter (our analogue of the paper's measurement methodology —
 //! executing each instruction in a tight loop and averaging).
+//!
+//! Usage: `fig12_local_ops [reps] [--no-wall]` — `--no-wall` suppresses
+//! the host wall-clock column (the one nondeterministic output), so runs
+//! can be diffed byte-for-byte in CI. Wall timing is inherently serial;
+//! `--threads` is accepted for interface uniformity and ignored.
 
-use agilla_bench::{fig12_local_ops, Table};
+use agilla_bench::{fig12_local_ops_opts, BenchArgs, Table};
 
 fn main() {
-    let reps: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000);
+    let args = BenchArgs::parse();
+    let reps = args.trials_or(2_000);
     println!("Figure 12 — local instruction latency ({reps} repetitions)\n");
-    let rows = fig12_local_ops(reps);
+    let rows = fig12_local_ops_opts(reps, !args.no_wall);
 
     // The paper's three classes: ~75 µs, ~150 µs, ~292 µs.
     let mut t = Table::new(vec![
@@ -32,7 +35,7 @@ fn main() {
             r.name.to_string(),
             r.model_us.to_string(),
             class.to_string(),
-            format!("{:.0}", r.wall_ns),
+            r.wall_ns.map_or("-".to_string(), |w| format!("{w:.0}")),
         ]);
     }
     t.print();

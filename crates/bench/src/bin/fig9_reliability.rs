@@ -3,17 +3,22 @@
 //! Protocol per Section 4: the Fig. 8 test agents run 100 times per hop
 //! count on the (lossy) 5×5 testbed; smove failures are halved to account
 //! for the double migration.
+//!
+//! Usage: `fig9_reliability [trials] [--threads N]` — trials fan across
+//! the SimEngine executor; stdout is byte-identical at any thread count
+//! (the throughput report goes to stderr).
 
 use agilla::AgillaConfig;
-use agilla_bench::{fig9_fig10, Table};
+use agilla_bench::{fig9_fig10, BenchArgs, Table, TrialExecutor};
 
 fn main() {
-    let trials: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let args = BenchArgs::parse();
+    let trials = args.trials_or(100);
     println!("Figure 9 — reliability of smove vs rout ({trials} trials/hop)\n");
-    let rows = fig9_fig10(trials, 0xF19, &AgillaConfig::default());
+    let mut engine = TrialExecutor::new(args.threads);
+    let t0 = std::time::Instant::now();
+    let rows = fig9_fig10(trials, 0xF19, &AgillaConfig::default(), args.threads);
+    engine.note(10 * trials as usize, t0.elapsed());
 
     // The paper's curves, read off Fig. 9.
     let paper_smove = [1.00, 0.99, 0.97, 0.95, 0.92];
@@ -60,4 +65,5 @@ fn main() {
         rows[4].smove_success >= 0.85,
         (0.60..=0.85).contains(&rows[4].rout_success)
     );
+    engine.report("fig9");
 }

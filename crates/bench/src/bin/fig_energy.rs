@@ -16,21 +16,27 @@
 //!    base station's FIRETRACKER re-clones to fresh alerts, and
 //!    `hop_failover` carries sessions around the growing holes.
 //!
-//! Usage: `fig_energy [trials]` — `trials` scales the per-op sampling
-//! (default 20; CI smoke uses 2, which also shrinks the sim horizons).
+//! Usage: `fig_energy [trials] [--threads N]` — `trials` scales the per-op
+//! sampling (default 20; CI smoke uses 2, which also shrinks the sim
+//! horizons). Trials and sweep points fan across the SimEngine executor;
+//! stdout is byte-identical at any thread count.
 
-use agilla_bench::{fig_energy_agents_alive, fig_energy_lifetime, fig_energy_per_op, Table};
+use agilla_bench::{
+    fig_energy_agents_alive, fig_energy_lifetime, fig_energy_per_op, BenchArgs, Table,
+    TrialExecutor,
+};
 
 fn main() {
-    let trials: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let args = BenchArgs::parse();
+    let trials = args.trials_or(20);
     let quick = trials < 10;
+    let mut engine = TrialExecutor::new(args.threads);
 
     // --- 1. joules per operation ---------------------------------------
     println!("fig_energy — joules per operation ({trials} trials, 1 hop, quiet link)\n");
-    let rows = fig_energy_per_op(trials, 0xE0);
+    let t0 = std::time::Instant::now();
+    let rows = fig_energy_per_op(trials, 0xE0, args.threads);
+    engine.note(trials as usize, t0.elapsed());
     let mut t = Table::new(vec!["op", "total mJ", "radio mJ", "cpu mJ", "n"]);
     for r in &rows {
         t.row(vec![
@@ -57,7 +63,9 @@ fn main() {
         "fig_energy — network lifetime vs LPL check interval \
          ({battery} J/mote, 26 motes, beacons @1 Hz, horizon {horizon} s)\n"
     );
-    let rows = fig_energy_lifetime(&intervals, battery, horizon, 0xE1);
+    let t0 = std::time::Instant::now();
+    let rows = fig_energy_lifetime(&intervals, battery, horizon, 0xE1, args.threads);
+    engine.note(intervals.len(), t0.elapsed());
     let mut t = Table::new(vec![
         "LPL interval",
         "first death s",
@@ -103,7 +111,9 @@ fn main() {
         "fig_energy — fire-tracking under depletion ({battery} J/mote, \
          mains-powered base, fire at t=30 s, hop_failover on)\n"
     );
+    let t0 = std::time::Instant::now();
     let samples = fig_energy_agents_alive(battery, horizon, step, 0xE2);
+    engine.note(1, t0.elapsed());
     let mut t = Table::new(vec!["t s", "nodes alive", "agents alive", "deaths"]);
     for s in &samples {
         t.row(vec![
@@ -122,4 +132,5 @@ fn main() {
         last.nodes_alive >= 1,
         last.agents_alive >= 1,
     );
+    engine.report("fig_energy");
 }

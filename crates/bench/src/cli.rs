@@ -1,0 +1,123 @@
+//! Tiny shared argument parsing for the figure binaries.
+//!
+//! Every binary accepts the same shape: an optional positional trial count
+//! (kept for backwards compatibility), `--trials N`, `--threads N` (0 =
+//! one worker per available core), and `--no-wall` (suppress host
+//! wall-clock columns so outputs can be diffed across runs).
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Trial count, if given (positional or `--trials N`).
+    pub trials: Option<u32>,
+    /// Worker threads for the trial executor (default 1).
+    pub threads: usize,
+    /// Suppress nondeterministic host wall-clock columns.
+    pub no_wall: bool,
+    /// `--quick` (used by `all_figures` for reduced trial counts).
+    pub quick: bool,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument iterator (testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = BenchArgs {
+            trials: None,
+            threads: 1,
+            no_wall: false,
+            quick: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads takes a number");
+                    out.threads = if n == 0 {
+                        std::thread::available_parallelism().map_or(1, |p| p.get())
+                    } else {
+                        n
+                    };
+                }
+                "--trials" => {
+                    out.trials = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--trials takes a number"),
+                    );
+                }
+                "--no-wall" => out.no_wall = true,
+                "--quick" => out.quick = true,
+                // Anything else must be the positional trial count; a typo'd
+                // flag silently reconfiguring a benchmark would defeat the
+                // byte-for-byte diff contract, so reject it loudly.
+                other => match (out.trials, other.parse()) {
+                    (None, Ok(n)) => out.trials = Some(n),
+                    _ => panic!("unexpected argument: {other}"),
+                },
+            }
+        }
+        out
+    }
+
+    /// The trial count, or the binary's default.
+    pub fn trials_or(&self, default: u32) -> u32 {
+        self.trials.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.trials, None);
+        assert_eq!(a.threads, 1);
+        assert!(!a.no_wall);
+        assert_eq!(a.trials_or(100), 100);
+    }
+
+    #[test]
+    fn positional_trials_kept_for_compat() {
+        assert_eq!(parse(&["25"]).trials, Some(25));
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse(&["--trials", "5", "--threads", "4", "--no-wall", "--quick"]);
+        assert_eq!(a.trials, Some(5));
+        assert_eq!(a.threads, 4);
+        assert!(a.no_wall);
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn threads_zero_means_available_cores() {
+        assert!(parse(&["--threads", "0"]).threads >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn typoed_flag_is_rejected_not_swallowed() {
+        parse(&["--thread", "2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--trials takes a number")]
+    fn bad_trials_value_is_rejected() {
+        parse(&["--trials", "abc"]);
+    }
+}

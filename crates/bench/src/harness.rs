@@ -1,13 +1,20 @@
-//! Trial runners for the paper's experiments.
+//! Trial runners for the paper's experiments, built on the SimEngine:
+//! every figure describes its trials as `agilla::testbed::TrialSpec`s and
+//! fans them across [`crate::engine::run_trials_parallel`] workers. Results
+//! are merged in spec order, so any thread count produces byte-identical
+//! figures (a tier-1 test asserts exactly that).
 
+use agilla::testbed::{Testbed, TrialSpec};
 use agilla::workload;
 use agilla::{AgillaConfig, AgillaNetwork, EnergyConfig, Environment, FireModel};
 use agilla_vm::exec::{run_to_effect, StepResult, TestHost};
 use agilla_vm::isa::{CostModel, Opcode};
 use agilla_vm::{asm, AgentState};
 use wsn_common::{AgentId, Location};
-use wsn_radio::{EnergyBreakdown, EnergyState, LossModel, Topology};
-use wsn_sim::{LatencyRecorder, SimDuration, SimTime};
+use wsn_radio::{EnergyBreakdown, EnergyState};
+use wsn_sim::{LatencyRecorder, Metrics, SimDuration, SimTime};
+
+use crate::engine::run_trials_parallel;
 
 /// Results for one hop count in the Fig. 9/10 experiments.
 #[derive(Debug, Clone)]
@@ -34,74 +41,155 @@ pub struct HopResult {
     pub rout_reacks: u64,
 }
 
+/// What one Fig. 9/10 trial measured, extracted on the worker thread:
+/// the per-trial verdict plus the trial's whole metrics registry (moved
+/// out, not cloned), which the fold merges in spec order.
+#[derive(Debug)]
+struct Fig9Outcome {
+    ok: bool,
+    retransmitted: bool,
+    latency: Option<SimDuration>,
+    metrics: Metrics,
+}
+
+fn run_smove_trial(spec: &TrialSpec, target: Location) -> Fig9Outcome {
+    let mut trial = spec.execute();
+    let net = &trial.net;
+    let id = trial.agent(0);
+    let target_node = net.node_at(target).expect("target exists");
+    let reached = net.log().arrived(id, target_node);
+    let returned = reached && net.log().arrived(id, net.base());
+    let latency = if reached && returned {
+        let injected = net.log().injected_at(id).expect("injected");
+        let back = *net
+            .log()
+            .arrivals(id, net.base())
+            .last()
+            .expect("return arrival");
+        // Halve: one-way latency.
+        Some(SimDuration::from_micros(
+            back.since(injected).as_micros() / 2,
+        ))
+    } else {
+        None
+    };
+    let ok = reached && returned;
+    Fig9Outcome {
+        ok,
+        retransmitted: false,
+        latency,
+        metrics: trial.net.take_metrics(),
+    }
+}
+
+fn run_rout_trial(spec: &TrialSpec) -> Fig9Outcome {
+    let mut trial = spec.execute();
+    let net = &trial.net;
+    let id = trial.agent(0);
+    let ops = net.log().remote_ops_of(id);
+    let (ok, retransmitted, latency) =
+        match ops.first().and_then(|op| net.log().remote_completion(*op)) {
+            Some((true, retransmitted, done)) => {
+                let latency = if retransmitted {
+                    None
+                } else {
+                    let issued = net.log().remote_issued_at(ops[0]).expect("issued");
+                    Some(done.since(issued))
+                };
+                (true, retransmitted, latency)
+            }
+            _ => (false, false, None),
+        };
+    Fig9Outcome {
+        ok,
+        retransmitted,
+        latency,
+        metrics: trial.net.take_metrics(),
+    }
+}
+
 /// Runs the paper's Fig. 8 test agents `trials` times per hop count on the
-/// lossy 5×5 testbed, reproducing Figs. 9 and 10.
+/// lossy 5×5 testbed, reproducing Figs. 9 and 10, fanning independent
+/// trials across `threads` workers.
 ///
 /// The protocol follows Section 4: agents are injected at the base station;
 /// the smove agent moves to `(h,1)` and back (results halved "to account for
 /// the double migration"); the rout agent drops a tuple at `(h,1)`.
-pub fn fig9_fig10(trials: u32, base_seed: u64, config: &AgillaConfig) -> Vec<HopResult> {
+pub fn fig9_fig10(
+    trials: u32,
+    base_seed: u64,
+    config: &AgillaConfig,
+    threads: usize,
+) -> Vec<HopResult> {
+    const RUN: SimDuration = SimDuration::from_micros(20_000_000);
+    let bed = Testbed::lossy_5x5(config.clone(), base_seed);
+    // One flat batch covering every (hop, op, trial); workers pull from it
+    // freely, and results come back in this exact order.
+    let mut items: Vec<(i16, bool, TrialSpec)> = Vec::new();
+    for h in 1..=5i16 {
+        let target = Location::new(h, 1);
+        let home = Location::new(0, 1);
+        for t in 0..trials {
+            let spec = bed
+                .trial(u64::from(t) * 65_537 + h as u64)
+                .inject(workload::smove_test_agent(target, home))
+                .run(RUN);
+            items.push((h, true, spec));
+        }
+        for t in 0..trials {
+            let spec = bed
+                .trial(u64::from(t) * 131_071 + 7 * h as u64 + 3)
+                .inject(workload::rout_test_agent(target))
+                .run(RUN);
+            items.push((h, false, spec));
+        }
+    }
+    let outcomes = run_trials_parallel(&items, threads, |(h, is_smove, spec)| {
+        if *is_smove {
+            run_smove_trial(spec, Location::new(*h, 1))
+        } else {
+            run_rout_trial(spec)
+        }
+    });
+
     (1..=5i16)
         .map(|h| {
-            let target = Location::new(h, 1);
-            let home = Location::new(0, 1);
-
-            // --- smove round trips ---
+            let per_hop = |smove: bool| {
+                items
+                    .iter()
+                    .zip(&outcomes)
+                    .filter(move |((ih, s, _), _)| *ih == h && *s == smove)
+                    .map(|(_, o)| o)
+            };
             let mut round_trip_failures = 0u32;
             let mut smove_lat = LatencyRecorder::new();
-            for t in 0..trials {
-                let seed = base_seed ^ (u64::from(t) * 65_537 + h as u64);
-                let mut net = AgillaNetwork::testbed_5x5(config.clone(), seed);
-                let id = net
-                    .inject_source(&workload::smove_test_agent(target, home))
-                    .expect("inject smove agent");
-                net.run_for(SimDuration::from_secs(20));
-                let target_node = net.node_at(target).expect("target exists");
-                let reached = net.log().arrived(id, target_node);
-                let returned = reached && net.log().arrived(id, net.base());
-                if reached && returned {
-                    let injected = net.log().injected_at(id).expect("injected");
-                    let back = *net
-                        .log()
-                        .arrivals(id, net.base())
-                        .last()
-                        .expect("return arrival");
-                    // Halve: one-way latency.
-                    smove_lat.record(SimDuration::from_micros(
-                        back.since(injected).as_micros() / 2,
-                    ));
-                } else {
-                    round_trip_failures += 1;
+            for o in per_hop(true) {
+                match o.latency {
+                    Some(d) if o.ok => smove_lat.record(d),
+                    _ => round_trip_failures += 1,
                 }
             }
             // "smove results are halved to account for the double migration."
             let smove_success = 1.0 - (f64::from(round_trip_failures) / 2.0) / f64::from(trials);
 
-            // --- rout one-way ---
             let mut rout_ok = 0u32;
-            let mut rout_retx = 0u64;
-            let mut rout_reacks = 0u64;
+            // Per-trial metrics accumulated on each worker fold here in
+            // spec order — deterministic regardless of thread scheduling.
+            let mut rout_metrics = Metrics::new();
             let mut rout_lat = LatencyRecorder::new();
-            for t in 0..trials {
-                let seed = base_seed ^ (u64::from(t) * 131_071 + 7 * h as u64 + 3);
-                let mut net = AgillaNetwork::testbed_5x5(config.clone(), seed);
-                let id = net
-                    .inject_source(&workload::rout_test_agent(target))
-                    .expect("inject rout agent");
-                net.run_for(SimDuration::from_secs(20));
-                rout_retx += net.metrics().counter("remote.retx");
-                rout_reacks += net.metrics().counter("remote.reack");
-                let ops = net.log().remote_ops_of(id);
-                if let Some((true, retransmitted, done)) =
-                    ops.first().and_then(|op| net.log().remote_completion(*op))
-                {
+            for o in per_hop(false) {
+                rout_metrics.merge(&o.metrics);
+                if o.ok {
                     rout_ok += 1;
-                    if !retransmitted {
-                        let issued = net.log().remote_issued_at(ops[0]).expect("issued");
-                        rout_lat.record(done.since(issued));
+                    if !o.retransmitted {
+                        if let Some(d) = o.latency {
+                            rout_lat.record(d);
+                        }
                     }
                 }
             }
+            let rout_retx = rout_metrics.counter("remote.retx");
+            let rout_reacks = rout_metrics.counter("remote.reack");
 
             HopResult {
                 hops: h as u32,
@@ -183,66 +271,90 @@ pub struct Fig11Row {
     pub samples: usize,
 }
 
+/// Builds the spec for one Fig. 11 trial: optional tuple pre-seeding, then
+/// the measured operation.
+fn fig11_spec(bed: &Testbed, op: RemoteOpKind, op_idx: usize, t: u32) -> TrialSpec {
+    let target = Location::new(1, 1);
+    let mut spec = bed.trial((u64::from(t) * 2_097_143) ^ (op_idx as u64 * 7_919));
+    if matches!(op, RemoteOpKind::Rinp | RemoteOpKind::Rrdp) {
+        // Seed the target space with the probed tuple.
+        spec = spec
+            .inject_at(target, "pushc 1\npushc 1\nout\nhalt")
+            .run(SimDuration::from_secs(1))
+            .clear_log();
+    }
+    let src = match op {
+        RemoteOpKind::Rout => workload::rout_test_agent(target),
+        RemoteOpKind::Rinp => format!(
+            "pusht value\npushc 1\npushloc {} {}\nrinp\nhalt",
+            target.x, target.y
+        ),
+        RemoteOpKind::Rrdp => format!(
+            "pusht value\npushc 1\npushloc {} {}\nrrdp\nhalt",
+            target.x, target.y
+        ),
+        _ => workload::one_way_agent(op.name(), target),
+    };
+    spec.inject(src).run(SimDuration::from_secs(10))
+}
+
+fn fig11_latency(op: RemoteOpKind, spec: &TrialSpec) -> Option<SimDuration> {
+    let target = Location::new(1, 1);
+    let trial = spec.execute();
+    let net = &trial.net;
+    let id = *trial.agents.last().expect("op agent injected");
+    if op.is_migration() {
+        let target_node = net.node_at(target).expect("target");
+        // For clones the arriving agent has a fresh id: take the first
+        // arrival at the target.
+        let arrival = net.log().records().iter().find_map(|r| match r {
+            agilla::stats::OpRecord::MigrationArrived { node, at, .. } if *node == target_node => {
+                Some(*at)
+            }
+            _ => None,
+        });
+        match (net.log().injected_at(id), arrival) {
+            (Some(injected), Some(arrived)) => Some(arrived.since(injected)),
+            _ => None,
+        }
+    } else {
+        let ops = net.log().remote_ops_of(id);
+        match ops.first().and_then(|o| net.log().remote_completion(*o)) {
+            Some((true, _, done)) => {
+                let issued = net.log().remote_issued_at(ops[0]).expect("issued");
+                Some(done.since(issued))
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Measures the one-hop latency of every remote operation (Fig. 11):
 /// `trials` runs each on the lossless testbed (the paper's bars measure
-/// execution time, not loss).
-pub fn fig11_one_hop(trials: u32, base_seed: u64, config: &AgillaConfig) -> Vec<Fig11Row> {
-    let target = Location::new(1, 1);
+/// execution time, not loss), fanned across `threads` workers.
+pub fn fig11_one_hop(
+    trials: u32,
+    base_seed: u64,
+    config: &AgillaConfig,
+    threads: usize,
+) -> Vec<Fig11Row> {
+    let bed = Testbed::reliable_5x5(config.clone(), base_seed);
+    let mut items: Vec<(RemoteOpKind, TrialSpec)> = Vec::new();
+    for (op_idx, &op) in RemoteOpKind::ALL.iter().enumerate() {
+        for t in 0..trials {
+            items.push((op, fig11_spec(&bed, op, op_idx, t)));
+        }
+    }
+    let latencies = run_trials_parallel(&items, threads, |(op, spec)| fig11_latency(*op, spec));
+
     RemoteOpKind::ALL
         .iter()
-        .enumerate()
-        .map(|(op_idx, &op)| {
+        .map(|&op| {
             let mut lat = LatencyRecorder::new();
-            for t in 0..trials {
-                let seed = base_seed ^ (u64::from(t) * 2_097_143) ^ (op_idx as u64 * 7_919);
-                let mut net = AgillaNetwork::reliable_5x5(config.clone(), seed);
-                if matches!(op, RemoteOpKind::Rinp | RemoteOpKind::Rrdp) {
-                    // Seed the target space with the probed tuple.
-                    net.inject_source_at(target, "pushc 1\npushc 1\nout\nhalt")
-                        .expect("seed tuple agent");
-                    net.run_for(SimDuration::from_secs(1));
-                    net.clear_log();
-                }
-                let src = match op {
-                    RemoteOpKind::Rout => workload::rout_test_agent(target),
-                    RemoteOpKind::Rinp => {
-                        format!(
-                            "pusht value\npushc 1\npushloc {} {}\nrinp\nhalt",
-                            target.x, target.y
-                        )
-                    }
-                    RemoteOpKind::Rrdp => {
-                        format!(
-                            "pusht value\npushc 1\npushloc {} {}\nrrdp\nhalt",
-                            target.x, target.y
-                        )
-                    }
-                    _ => workload::one_way_agent(op.name(), target),
-                };
-                let id = net.inject_source(&src).expect("inject op agent");
-                net.run_for(SimDuration::from_secs(10));
-                if op.is_migration() {
-                    let target_node = net.node_at(target).expect("target");
-                    // For clones the arriving agent has a fresh id: take the
-                    // first arrival at the target.
-                    let arrival = net.log().records().iter().find_map(|r| match r {
-                        agilla::stats::OpRecord::MigrationArrived { node, at, .. }
-                            if *node == target_node =>
-                        {
-                            Some(*at)
-                        }
-                        _ => None,
-                    });
-                    if let (Some(injected), Some(arrived)) = (net.log().injected_at(id), arrival) {
-                        lat.record(arrived.since(injected));
-                    }
-                } else {
-                    let ops = net.log().remote_ops_of(id);
-                    if let Some((true, _, done)) =
-                        ops.first().and_then(|o| net.log().remote_completion(*o))
-                    {
-                        let issued = net.log().remote_issued_at(ops[0]).expect("issued");
-                        lat.record(done.since(issued));
+            for ((iop, _), l) in items.iter().zip(&latencies) {
+                if *iop == op {
+                    if let Some(d) = l {
+                        lat.record(*d);
                     }
                 }
             }
@@ -263,8 +375,10 @@ pub struct Fig12Row {
     pub name: &'static str,
     /// Simulated mote cost from the calibrated model, µs.
     pub model_us: u64,
-    /// Wall-clock cost of our implementation executing it, ns/instr.
-    pub wall_ns: f64,
+    /// Wall-clock cost of our implementation executing it, ns/instr —
+    /// `None` when wall timing was suppressed (`--no-wall`), which keeps
+    /// the figure's output deterministic for cross-run diffs.
+    pub wall_ns: Option<f64>,
 }
 
 /// Fig. 12's instruction list, with a closure building a one-shot agent that
@@ -323,8 +437,10 @@ fn fig12_programs() -> Vec<(&'static str, Opcode, String)> {
 /// Reproduces Fig. 12: per-instruction latency. The *model* column is what
 /// drives the simulator's virtual clock (calibrated to the paper's three
 /// classes); the *wall* column times this crate's real interpreter, the
-/// analogue of the paper timing its mote interpreter.
-pub fn fig12_local_ops(reps: u32) -> Vec<Fig12Row> {
+/// analogue of the paper timing its mote interpreter. Wall timing is
+/// inherently serial (parallel workers would contend for the core and skew
+/// it) and is skipped entirely when `measure_wall` is false.
+pub fn fig12_local_ops_opts(reps: u32, measure_wall: bool) -> Vec<Fig12Row> {
     let cost = CostModel::mica2();
     fig12_programs()
         .into_iter()
@@ -346,34 +462,41 @@ pub fn fig12_local_ops(reps: u32) -> Vec<Fig12Row> {
                 }
                 n
             };
-            let start = std::time::Instant::now();
-            let mut instrs = 0u64;
-            for _ in 0..reps {
-                // Fresh host per repetition: reaction registrations and
-                // inserted tuples must not accumulate across runs.
-                let mut host = TestHost::at(Location::new(1, 1));
-                host.neighbors = vec![Location::new(1, 2), Location::new(2, 1)];
-                host.sensor_values
-                    .insert(wsn_common::SensorType::Temperature, 70);
-                let mut agent =
-                    AgentState::with_code(AgentId(1), program.code().to_vec()).expect("agent");
-                loop {
-                    match run_to_effect(&mut agent, &mut host, 64).expect("fig12 agent runs") {
-                        StepResult::Halted => break,
-                        StepResult::Blocked => unreachable!("snippets never block"),
-                        _ => {}
+            let wall_ns = measure_wall.then(|| {
+                let start = std::time::Instant::now();
+                let mut instrs = 0u64;
+                for _ in 0..reps {
+                    // Fresh host per repetition: reaction registrations and
+                    // inserted tuples must not accumulate across runs.
+                    let mut host = TestHost::at(Location::new(1, 1));
+                    host.neighbors = vec![Location::new(1, 2), Location::new(2, 1)];
+                    host.sensor_values
+                        .insert(wsn_common::SensorType::Temperature, 70);
+                    let mut agent =
+                        AgentState::with_code(AgentId(1), program.code().to_vec()).expect("agent");
+                    loop {
+                        match run_to_effect(&mut agent, &mut host, 64).expect("fig12 agent runs") {
+                            StepResult::Halted => break,
+                            StepResult::Blocked => unreachable!("snippets never block"),
+                            _ => {}
+                        }
                     }
+                    instrs += per_run;
                 }
-                instrs += per_run;
-            }
-            let elapsed = start.elapsed().as_nanos() as f64;
+                start.elapsed().as_nanos() as f64 / instrs as f64
+            });
             Fig12Row {
                 name,
                 model_us: cost.cost_us(op),
-                wall_ns: elapsed / instrs as f64,
+                wall_ns,
             }
         })
         .collect()
+}
+
+/// [`fig12_local_ops_opts`] with wall timing on (the historical behavior).
+pub fn fig12_local_ops(reps: u32) -> Vec<Fig12Row> {
+    fig12_local_ops_opts(reps, true)
 }
 
 // --- fig_energy: the energy & lifetime benchmark family ---------------------
@@ -411,32 +534,9 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Measures joules per migration and per remote tuple-space operation
-/// (fig_energy, left table): for each trial, a control run (no agent) and an
-/// op run share the seed and duration on a quiet two-node link, so the idle
-/// baseline — identical in both — cancels out of the difference, leaving the
-/// marginal cost of the operation's frames and execution. Beacons are
-/// stretched out of the measurement window entirely (they would otherwise
-/// jitter across the boundary and drown a ~2 mJ operation in ±1-beacon
-/// noise); the median over trials guards whatever residue remains.
-pub fn fig_energy_per_op(trials: u32, base_seed: u64) -> Vec<EnergyOpRow> {
-    const RUN: SimDuration = SimDuration::from_micros(10_000_000);
-    let target = Location::new(2, 1);
-    let config = AgillaConfig {
-        energy: EnergyConfig::with_battery(1_000.0),
-        beacon_period: SimDuration::from_secs(3_600),
-        ..AgillaConfig::default()
-    };
-    let make_net = |seed: u64| {
-        AgillaNetwork::new(
-            Topology::line(2),
-            LossModel::perfect(),
-            config.clone(),
-            Environment::ambient(),
-            seed,
-        )
-    };
-    let ops: [(&'static str, String); 4] = [
+/// The four measured operations of the joules-per-op table.
+fn energy_ops(target: Location) -> [(&'static str, String); 4] {
+    [
         ("smove (1 hop)", workload::one_way_agent("smove", target)),
         ("sclone (1 hop)", workload::one_way_agent("sclone", target)),
         ("rout (1 hop)", workload::rout_test_agent(target)),
@@ -447,28 +547,55 @@ pub fn fig_energy_per_op(trials: u32, base_seed: u64) -> Vec<EnergyOpRow> {
                 target.x, target.y
             ),
         ),
-    ];
+    ]
+}
 
-    // Per-op sample vectors: (total, radio, cpu) deltas in mJ.
-    let mut samples: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
-        ops.iter().map(|_| Default::default()).collect();
+/// Measures joules per migration and per remote tuple-space operation
+/// (fig_energy, left table): for each trial, a control run (no agent) and an
+/// op run share the seed and duration on a quiet two-node link, so the idle
+/// baseline — identical in both — cancels out of the difference, leaving the
+/// marginal cost of the operation's frames and execution. Beacons are
+/// stretched out of the measurement window entirely (they would otherwise
+/// jitter across the boundary and drown a ~2 mJ operation in ±1-beacon
+/// noise); the median over trials guards whatever residue remains. One
+/// worker handles a whole trial (control + all four ops share its seed), so
+/// trials parallelize freely across `threads`.
+pub fn fig_energy_per_op(trials: u32, base_seed: u64, threads: usize) -> Vec<EnergyOpRow> {
+    const RUN: SimDuration = SimDuration::from_micros(10_000_000);
+    let target = Location::new(2, 1);
+    let config = AgillaConfig {
+        energy: EnergyConfig::with_battery(1_000.0),
+        beacon_period: SimDuration::from_secs(3_600),
+        ..AgillaConfig::default()
+    };
+    let bed = Testbed::line(2, config, base_seed);
+    let trial_indices: Vec<u32> = (0..trials).collect();
 
-    for t in 0..trials {
-        let seed = base_seed ^ (u64::from(t) * 514_229 + 1);
+    // Per trial: for each op, the (total, radio, cpu) mJ deltas over the
+    // shared-seed control run — or `None` when the op did not complete.
+    type OpDeltas = [Option<(f64, f64, f64)>; 4];
+    let per_trial: Vec<OpDeltas> = run_trials_parallel(&trial_indices, threads, |&t| {
+        let mix = u64::from(t) * 514_229 + 1;
         // Control: the same network idling for the same duration. Meters
         // integrate idle drain lazily (on events), so bring every meter up
         // to the horizon before reading — without this, both runs' idle
         // baselines would be cut off at their last *event* rather than the
         // shared deadline, and the difference would smuggle in idle drain.
-        let mut control = make_net(seed);
-        control.run_for(RUN);
-        control.record_energy_metrics();
-        let baseline = control.medium().energy().expect("energy enabled").totals();
+        let mut control = bed.trial(mix).run(RUN).execute();
+        control.net.record_energy_metrics();
+        let baseline = control
+            .net
+            .medium()
+            .energy()
+            .expect("energy enabled")
+            .totals();
 
+        let ops = energy_ops(target);
+        let mut deltas: OpDeltas = [None; 4];
         for (i, (_, src)) in ops.iter().enumerate() {
-            let mut net = make_net(seed);
-            let id = net.inject_source(src).expect("inject op agent");
-            net.run_for(RUN);
+            let mut trial = bed.trial(mix).inject(src.clone()).run(RUN).execute();
+            let net = &trial.net;
+            let id = trial.agent(0);
             let completed = if i < 2 {
                 // Clones arrive under a fresh id: any arrival at the target
                 // counts.
@@ -490,13 +617,33 @@ pub fn fig_energy_per_op(trials: u32, base_seed: u64) -> Vec<EnergyOpRow> {
             if !completed {
                 continue;
             }
-            net.record_energy_metrics(); // advance meters to the horizon
-            let totals = net.medium().energy().expect("energy enabled").totals();
-            samples[i].0.push((totals.total() - baseline.total()) * 1e3);
-            samples[i]
-                .1
-                .push((radio_j(&totals) - radio_j(&baseline)) * 1e3);
-            samples[i].2.push((cpu_j(&totals) - cpu_j(&baseline)) * 1e3);
+            trial.net.record_energy_metrics(); // advance meters to the horizon
+            let totals = trial
+                .net
+                .medium()
+                .energy()
+                .expect("energy enabled")
+                .totals();
+            deltas[i] = Some((
+                (totals.total() - baseline.total()) * 1e3,
+                (radio_j(&totals) - radio_j(&baseline)) * 1e3,
+                (cpu_j(&totals) - cpu_j(&baseline)) * 1e3,
+            ));
+        }
+        deltas
+    });
+
+    // Deterministic fold in trial order, exactly as the serial loop pushed.
+    let ops = energy_ops(target);
+    let mut samples: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
+        ops.iter().map(|_| Default::default()).collect();
+    for deltas in &per_trial {
+        for (i, d) in deltas.iter().enumerate() {
+            if let Some((total, radio, cpu)) = d {
+                samples[i].0.push(*total);
+                samples[i].1.push(*radio);
+                samples[i].2.push(*cpu);
+            }
         }
     }
     ops.iter()
@@ -529,43 +676,44 @@ pub struct LifetimeRow {
 /// with beacons running, for up to `horizon_s` simulated seconds. Short
 /// intervals cut idle listening ~40×; long intervals make every beacon pay a
 /// preamble longer than its payload — the B-MAC optimum sits in between.
+/// Each interval's run is independent, so the sweep fans across `threads`.
 pub fn fig_energy_lifetime(
     intervals_ms: &[Option<u64>],
     battery_j: f64,
     horizon_s: u64,
     seed: u64,
+    threads: usize,
 ) -> Vec<LifetimeRow> {
-    intervals_ms
-        .iter()
-        .map(|&interval| {
-            let energy = match interval {
-                None => EnergyConfig::with_battery(battery_j),
-                Some(ms) => EnergyConfig::with_lpl(battery_j, SimDuration::from_millis(ms)),
-            };
-            let config = AgillaConfig {
-                energy,
-                ..AgillaConfig::default()
-            };
-            let mut net = AgillaNetwork::reliable_5x5(config, seed);
-            let half = 13;
-            let mut elapsed = 0u64;
-            while elapsed < horizon_s {
-                let step = (horizon_s - elapsed).min(20);
-                net.run_for(SimDuration::from_micros(step * 1_000_000));
-                elapsed += step;
-                if net.log().node_deaths().len() >= half {
-                    break;
-                }
+    run_trials_parallel(intervals_ms, threads, |&interval| {
+        let energy = match interval {
+            None => EnergyConfig::with_battery(battery_j),
+            Some(ms) => EnergyConfig::with_lpl(battery_j, SimDuration::from_millis(ms)),
+        };
+        let config = AgillaConfig {
+            energy,
+            ..AgillaConfig::default()
+        };
+        // Stepped driving with an early exit predicate: build from the spec,
+        // then drive by hand.
+        let mut net = Testbed::reliable_5x5(config, seed).trial(0).build();
+        let half = 13;
+        let mut elapsed = 0u64;
+        while elapsed < horizon_s {
+            let step = (horizon_s - elapsed).min(20);
+            net.run_for(SimDuration::from_micros(step * 1_000_000));
+            elapsed += step;
+            if net.log().node_deaths().len() >= half {
+                break;
             }
-            let deaths = net.log().node_deaths();
-            LifetimeRow {
-                lpl_interval_ms: interval,
-                first_death_s: deaths.first().map(|(_, at)| at.as_secs_f64()),
-                half_dead_s: deaths.get(half - 1).map(|(_, at)| at.as_secs_f64()),
-                deaths: deaths.len(),
-            }
-        })
-        .collect()
+        }
+        let deaths = net.log().node_deaths();
+        LifetimeRow {
+            lpl_interval_ms: interval,
+            first_death_s: deaths.first().map(|(_, at)| at.as_secs_f64()),
+            half_dead_s: deaths.get(half - 1).map(|(_, at)| at.as_secs_f64()),
+            deaths: deaths.len(),
+        }
+    })
 }
 
 /// One sample of the agents-alive-over-time curve.
@@ -586,6 +734,7 @@ pub struct AliveSample {
 /// base station; a fire ignites at t=30 s. As motes brown out, the network
 /// loses nodes but the application outlives them — the tracker re-clones to
 /// each new alert (`hop_failover` carries its sessions around fresh holes).
+/// One continuous sampled run: inherently serial.
 pub fn fig_energy_agents_alive(
     battery_j: f64,
     horizon_s: u64,
@@ -597,7 +746,7 @@ pub fn fig_energy_agents_alive(
         energy: EnergyConfig::with_battery(battery_j),
         ..AgillaConfig::default()
     };
-    let mut net = AgillaNetwork::reliable_5x5(config, seed);
+    let mut net: AgillaNetwork = Testbed::reliable_5x5(config, seed).trial(0).build();
     // The base station is mains-powered: the application's anchor survives.
     net.set_battery(net.base(), 1e12);
     net.inject_source(workload::FIRE_TRACKER)
@@ -646,8 +795,15 @@ mod tests {
         assert_eq!(rows.len(), 18, "all Fig. 12 instructions present");
         for r in &rows {
             assert!(r.model_us >= 50, "{}: {}", r.name, r.model_us);
-            assert!(r.wall_ns > 0.0);
+            assert!(r.wall_ns.expect("wall timing on") > 0.0);
         }
+    }
+
+    #[test]
+    fn fig12_no_wall_skips_timing() {
+        let rows = fig12_local_ops_opts(2, false);
+        assert!(rows.iter().all(|r| r.wall_ns.is_none()));
+        assert_eq!(rows.len(), 18);
     }
 
     #[test]
@@ -661,7 +817,7 @@ mod tests {
 
     #[test]
     fn fig11_runs_with_tiny_trials() {
-        let rows = fig11_one_hop(2, 5, &AgillaConfig::default());
+        let rows = fig11_one_hop(2, 5, &AgillaConfig::default(), 1);
         assert_eq!(rows.len(), 7);
         for r in &rows {
             assert!(r.samples > 0, "{} produced no samples", r.op.name());
@@ -683,7 +839,7 @@ mod tests {
 
     #[test]
     fn fig9_runs_with_tiny_trials() {
-        let rows = fig9_fig10(3, 42, &AgillaConfig::default());
+        let rows = fig9_fig10(3, 42, &AgillaConfig::default(), 1);
         assert_eq!(rows.len(), 5);
         assert!(rows[0].smove_success > 0.5);
         assert!(rows[0].rout_success > 0.5);
@@ -691,7 +847,7 @@ mod tests {
 
     #[test]
     fn fig_energy_per_op_migrations_cost_more_than_tuple_ops() {
-        let rows = fig_energy_per_op(2, 99);
+        let rows = fig_energy_per_op(2, 99, 1);
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.samples > 0, "{} never completed", r.op);
@@ -714,7 +870,7 @@ mod tests {
 
     #[test]
     fn fig_energy_lifetime_lpl_beats_always_on() {
-        let rows = fig_energy_lifetime(&[None, Some(100)], 0.4, 400, 17);
+        let rows = fig_energy_lifetime(&[None, Some(100)], 0.4, 400, 17, 1);
         assert_eq!(rows.len(), 2);
         let on = rows[0].first_death_s.expect("always-on dies fast");
         assert!(rows[0].deaths > 0);

@@ -8,12 +8,16 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod engine;
 pub mod harness;
 pub mod report;
 
+pub use cli::BenchArgs;
+pub use engine::{run_trials_parallel, TrialExecutor};
 pub use harness::{
-    fig11_one_hop, fig12_local_ops, fig9_fig10, fig_energy_agents_alive, fig_energy_lifetime,
-    fig_energy_per_op, AliveSample, EnergyOpRow, Fig11Row, Fig12Row, HopResult, LifetimeRow,
-    RemoteOpKind,
+    fig11_one_hop, fig12_local_ops, fig12_local_ops_opts, fig9_fig10, fig_energy_agents_alive,
+    fig_energy_lifetime, fig_energy_per_op, AliveSample, EnergyOpRow, Fig11Row, Fig12Row,
+    HopResult, LifetimeRow, RemoteOpKind,
 };
 pub use report::Table;

@@ -1,0 +1,44 @@
+//! Tier-1 guard: figure results are byte-identical across executor thread
+//! counts.
+//!
+//! The SimEngine contract is that a trial's outcome is a pure function of
+//! its `TrialSpec` and results merge in spec order, so the thread count can
+//! only change wall-clock time — never a figure. These tests run real
+//! (reduced-trial) sweeps at 1 and several worker threads and compare the
+//! *complete* serialized results, including an energy-enabled family.
+
+use agilla::AgillaConfig;
+use agilla_bench::{fig11_one_hop, fig9_fig10, fig_energy_lifetime, fig_energy_per_op};
+
+#[test]
+fn fig9_sweep_identical_across_thread_counts() {
+    let serial = format!("{:?}", fig9_fig10(3, 42, &AgillaConfig::default(), 1));
+    for threads in [2, 4] {
+        let parallel = format!("{:?}", fig9_fig10(3, 42, &AgillaConfig::default(), threads));
+        assert_eq!(serial, parallel, "fig9 diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn fig11_sweep_identical_across_thread_counts() {
+    let serial = format!("{:?}", fig11_one_hop(2, 5, &AgillaConfig::default(), 1));
+    let parallel = format!("{:?}", fig11_one_hop(2, 5, &AgillaConfig::default(), 4));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn energy_per_op_identical_across_thread_counts() {
+    // Energy accounting exercises the fanout's per-receiver idle metering,
+    // battery bookkeeping, and the line topology — all under threads.
+    let serial = format!("{:?}", fig_energy_per_op(2, 99, 1));
+    let parallel = format!("{:?}", fig_energy_per_op(2, 99, 2));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn energy_lifetime_sweep_identical_across_thread_counts() {
+    let intervals = [None, Some(100u64)];
+    let serial = format!("{:?}", fig_energy_lifetime(&intervals, 0.4, 200, 17, 1));
+    let parallel = format!("{:?}", fig_energy_lifetime(&intervals, 0.4, 200, 17, 2));
+    assert_eq!(serial, parallel);
+}

@@ -56,6 +56,7 @@ pub mod migration;
 pub mod network;
 pub mod node;
 pub mod stats;
+pub mod testbed;
 pub mod wire;
 pub mod workload;
 
@@ -65,3 +66,4 @@ pub use error::AgillaError;
 pub use memory::MemoryModel;
 pub use network::AgillaNetwork;
 pub use node::{AgentStatus, Node};
+pub use testbed::{Testbed, TopologySpec, Trial, TrialSpec, TrialStep};

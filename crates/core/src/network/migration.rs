@@ -100,12 +100,10 @@ impl AgillaNetwork {
             (image, Some(slot.agent), None)
         };
 
-        self.tracer.record(
-            now,
-            Some(node_id),
-            "migrate.start",
-            format!("{} {:?} -> {dest}", image.agent_id, kind),
-        );
+        self.tracer
+            .record_with(now, Some(node_id), "migrate.start", || {
+                format!("{} {:?} -> {dest}", image.agent_id, kind)
+            });
         self.metrics.incr("migration.started");
         let setup = SimDuration::from_micros(self.config.timing.migration_sender_setup_us);
         self.open_sender_session(idx, image, held_agent, origin_slot, setup, now);
@@ -151,19 +149,15 @@ impl AgillaNetwork {
                     kind,
                     at: now,
                 });
-                self.tracer.record(
-                    now,
-                    Some(node_id),
-                    "migrate.arrive",
-                    format!("{new_id} (local clone)"),
-                );
+                self.tracer
+                    .record_with(now, Some(node_id), "migrate.arrive", || {
+                        format!("{new_id} (local clone)")
+                    });
             } else {
-                self.tracer.record(
-                    now,
-                    Some(node_id),
-                    "migrate.fail",
-                    "local clone refused".into(),
-                );
+                self.tracer
+                    .record_with(now, Some(node_id), "migrate.fail", || {
+                        "local clone refused".into()
+                    });
             }
         } else {
             // Moving to yourself succeeds trivially.
@@ -178,7 +172,7 @@ impl AgillaNetwork {
                 at: now,
             });
         }
-        self.schedule_engine(idx, SimDuration::ZERO);
+        self.schedule_engine(idx, now, SimDuration::ZERO);
     }
 
     pub(super) fn open_sender_session(
@@ -196,12 +190,10 @@ impl AgillaNetwork {
         // Head of the `next_hop_candidates` ordering; the tail is the
         // (not-yet-wired) failover plan for hop-level session retries.
         let Some(hop) = next_hop(my_loc, &neighbors, image.final_dest) else {
-            self.tracer.record(
-                now,
-                Some(node_id),
-                "migrate.noroute",
-                format!("{} -> {}", image.agent_id, image.final_dest),
-            );
+            self.tracer
+                .record_with(now, Some(node_id), "migrate.noroute", || {
+                    format!("{} -> {}", image.agent_id, image.final_dest)
+                });
             self.resume_failed_migration(idx, image, held_agent, origin_slot, now);
             return;
         };
@@ -268,7 +260,7 @@ impl AgillaNetwork {
                 ),
             )
         };
-        self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), extra);
+        self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), now, extra);
         let timer = self.queue.schedule(
             now + extra + ack_timeout,
             Event::MigRetx {
@@ -420,12 +412,10 @@ impl AgillaNetwork {
             (previous, next)
         };
         self.metrics.incr("migration.failover");
-        self.tracer.record(
-            now,
-            Some(node_id),
-            "migrate.failover",
-            format!("session {session}: {previous} -> {next}"),
-        );
+        self.tracer
+            .record_with(now, Some(node_id), "migrate.failover", || {
+                format!("session {session}: {previous} -> {next}")
+            });
         self.send_migration_msg(idx, session, SimDuration::ZERO, now);
         true
     }
@@ -435,12 +425,10 @@ impl AgillaNetwork {
         let Some(s) = self.nodes[idx].send_sessions.remove(&session) else {
             return;
         };
-        self.tracer.record(
-            now,
-            Some(node_id),
-            "migrate.hop",
-            format!("{} forwarded via {}", s.image.agent_id, s.next_hop),
-        );
+        self.tracer
+            .record_with(now, Some(node_id), "migrate.hop", || {
+                format!("{} forwarded via {}", s.image.agent_id, s.next_hop)
+            });
         if s.resume_on_success {
             // Clone original resumes with condition 2 (copy dispatched).
             if let Some(slot_idx) = self.take_clone_origin(node_id, session) {
@@ -448,7 +436,7 @@ impl AgillaNetwork {
                     if slot.status == AgentStatus::InMigration {
                         slot.agent.set_condition(2);
                         slot.status = AgentStatus::Ready;
-                        self.schedule_engine(idx, SimDuration::ZERO);
+                        self.schedule_engine(idx, now, SimDuration::ZERO);
                     }
                 }
             }
@@ -464,12 +452,10 @@ impl AgillaNetwork {
         if let Some(t) = s.retx.take_timer() {
             self.queue.cancel(t);
         }
-        self.tracer.record(
-            now,
-            Some(node_id),
-            "migrate.fail",
-            format!("{}: {why}", s.image.agent_id),
-        );
+        self.tracer
+            .record_with(now, Some(node_id), "migrate.fail", || {
+                format!("{}: {why}", s.image.agent_id)
+            });
         self.metrics.incr("migration.failed");
         let origin_slot = self.take_clone_origin(node_id, session);
         self.resume_failed_migration(idx, s.image, s.held_agent, origin_slot, now);
@@ -500,7 +486,7 @@ impl AgillaNetwork {
                 node: node_id,
                 at: now,
             });
-            self.schedule_engine(idx, SimDuration::ZERO);
+            self.schedule_engine(idx, now, SimDuration::ZERO);
             return;
         }
         // Mover (held state) or relay (re-materialize from the image).
@@ -519,7 +505,7 @@ impl AgillaNetwork {
                 Ok((a, _)) => a,
                 Err(_) => {
                     self.tracer
-                        .record(now, Some(node_id), "migrate.lost", format!("{agent_id}"));
+                        .record_with(now, Some(node_id), "migrate.lost", || format!("{agent_id}"));
                     self.log.push(OpRecord::MigrationFailed {
                         agent: agent_id,
                         node: node_id,
@@ -541,14 +527,12 @@ impl AgillaNetwork {
             for r in reactions {
                 let _ = self.nodes[idx].registry.register(r);
             }
-            self.schedule_engine(idx, SimDuration::ZERO);
+            self.schedule_engine(idx, now, SimDuration::ZERO);
         } else {
-            self.tracer.record(
-                now,
-                Some(node_id),
-                "migrate.lost",
-                format!("{agent_id}: no room to resume"),
-            );
+            self.tracer
+                .record_with(now, Some(node_id), "migrate.lost", || {
+                    format!("{agent_id}: no room to resume")
+                });
         }
     }
 
@@ -596,7 +580,7 @@ impl AgillaNetwork {
         if let Some(hop) = wsn_net::next_hop(my_loc, &neighbors, env.dest) {
             let msg = wire::message(am::MIG_E2E, env.encode());
             let fwd = SimDuration::from_micros(self.config.timing.georouting_forward_us);
-            self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), fwd);
+            self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), now, fwd);
         }
     }
 
@@ -638,17 +622,16 @@ impl AgillaNetwork {
                     self.enqueue_frame(
                         idx,
                         Frame::unicast(node_id, from, msg.encode()),
+                        now,
                         SimDuration::ZERO,
                     );
                 }
                 Some(org) => self.send_enveloped(idx, org, am::MIG_NACK, nack, now),
             }
-            self.tracer.record(
-                now,
-                Some(node_id),
-                "migrate.refuse",
-                format!("session {}", h.session),
-            );
+            self.tracer
+                .record_with(now, Some(node_id), "migrate.refuse", || {
+                    format!("session {}", h.session)
+                });
             return;
         }
         // End-to-end sessions stall for whole-path round trips, so their
@@ -705,6 +688,9 @@ impl AgillaNetwork {
         origin: Option<Location>,
     ) {
         let node_id = self.nodes[idx].id;
+        // Acks go out at the queue's current event time (every caller is a
+        // frame handler, so this equals its `now`).
+        let now = self.queue.now();
         let ack = MigAck {
             session,
             section,
@@ -717,11 +703,11 @@ impl AgillaNetwork {
                 self.enqueue_frame(
                     idx,
                     Frame::unicast(node_id, from, msg.encode()),
+                    now,
                     SimDuration::ZERO,
                 );
             }
             Some(org) => {
-                let now = self.queue.now();
                 self.send_enveloped(idx, org, am::MIG_ACK, ack, now);
             }
         }
@@ -750,6 +736,7 @@ impl AgillaNetwork {
             self.enqueue_frame(
                 idx,
                 Frame::unicast(node_id, hop, msg.encode()),
+                now,
                 SimDuration::ZERO,
             );
         }
@@ -799,12 +786,10 @@ impl AgillaNetwork {
         };
         if stalled {
             self.nodes[idx].recv_sessions.remove(&session);
-            self.tracer.record(
-                now,
-                Some(node_id),
-                "migrate.rxabort",
-                format!("session {session}"),
-            );
+            self.tracer
+                .record_with(now, Some(node_id), "migrate.rxabort", || {
+                    format!("session {session}")
+                });
             self.metrics.incr("migration.rxabort");
         } else {
             let timer = self.queue.schedule(
@@ -833,12 +818,10 @@ impl AgillaNetwork {
         let (agent, reactions) = match s.buf.finish() {
             Ok(v) => v,
             Err(e) => {
-                self.tracer.record(
-                    now,
-                    Some(node_id),
-                    "migrate.corrupt",
-                    format!("session {session}: {e}"),
-                );
+                self.tracer
+                    .record_with(now, Some(node_id), "migrate.corrupt", || {
+                        format!("session {session}: {e}")
+                    });
                 return;
             }
         };
@@ -849,12 +832,10 @@ impl AgillaNetwork {
                 SimDuration::from_micros(self.config.timing.migration_receiver_restore_us);
             let agent_id = agent.id();
             if !self.nodes[idx].can_admit(agent.code().len(), &self.config) {
-                self.tracer.record(
-                    now,
-                    Some(node_id),
-                    "migrate.refuse",
-                    format!("{agent_id} on arrival"),
-                );
+                self.tracer
+                    .record_with(now, Some(node_id), "migrate.refuse", || {
+                        format!("{agent_id} on arrival")
+                    });
                 return;
             }
             self.nodes[idx].admit(agent);
@@ -869,8 +850,10 @@ impl AgillaNetwork {
                 at: now + restore,
             });
             self.tracer
-                .record(now, Some(node_id), "migrate.arrive", format!("{agent_id}"));
-            self.schedule_engine(idx, restore);
+                .record_with(now, Some(node_id), "migrate.arrive", || {
+                    format!("{agent_id}")
+                });
+            self.schedule_engine(idx, now, restore);
         } else {
             // Relay: store-and-forward toward the final destination.
             let image = MigrationImage {

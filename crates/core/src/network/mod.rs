@@ -50,11 +50,15 @@ enum Event {
     EngineInstr { node: NodeId },
     /// The MAC is ready to attempt transmitting the head-of-queue frame.
     TxReady { node: NodeId },
-    /// A frame copy reached a receiver.
-    FrameArrived {
-        node: NodeId,
+    /// A transmitted frame's copies complete at every in-range receiver —
+    /// one fanout event per frame rather than one event per receiver, which
+    /// halves-or-better the event population in dense networks and shares
+    /// the frame allocation across receivers. Receivers are processed in
+    /// the batch's deterministic neighbor order, exactly the order the
+    /// per-receiver events used to pop at this same timestamp.
+    RxFanout {
         frame: Frame,
-        outcome: DeliveryOutcome,
+        outcomes: Vec<(NodeId, DeliveryOutcome)>,
     },
     /// Periodic neighbor beacon.
     Beacon { node: NodeId },
@@ -66,6 +70,17 @@ enum Event {
     MigAbort { node: NodeId, session: u16 },
     /// Remote tuple-space operation timeout.
     RemoteTimeout { node: NodeId, op_id: u16 },
+}
+
+/// What one engine unit did (see [`AgillaNetwork::engine_step`]).
+enum EngineStep {
+    /// Nothing ran; the engine goes quiet without rescheduling.
+    Idle,
+    /// A reaction delivery or instruction ran, costing `cost` CPU time.
+    Ran {
+        /// Virtual CPU time the unit consumed.
+        cost: SimDuration,
+    },
 }
 
 /// The complete simulated network (see module docs).
@@ -152,15 +167,22 @@ impl AgillaNetwork {
     /// The paper's testbed: 5×5 grid plus a base station, the calibrated
     /// MICA2 loss profile (BER + burst fading), and an ambient environment.
     pub fn testbed_5x5(config: AgillaConfig, seed: u64) -> Self {
-        let mut loss = LossModel::mica2_testbed();
-        loss.bursts = Some(GilbertElliott::new(50.0, 0.55, 0.95));
         AgillaNetwork::new(
             Topology::grid_with_base(5, 5),
-            loss,
+            Self::testbed_loss(),
             config,
             Environment::ambient(),
             seed,
         )
+    }
+
+    /// The calibrated testbed loss profile (MICA2 BER plus Gilbert-Elliott
+    /// burst fading) behind [`AgillaNetwork::testbed_5x5`], exposed so the
+    /// [`crate::testbed`] driver can rebuild the same substrate.
+    pub fn testbed_loss() -> LossModel {
+        let mut loss = LossModel::mica2_testbed();
+        loss.bursts = Some(GilbertElliott::new(50.0, 0.55, 0.95));
+        loss
     }
 
     /// A lossless variant of the testbed for functional tests and examples.
@@ -223,7 +245,7 @@ impl AgillaNetwork {
                 break;
             }
             let (at, ev) = self.queue.pop().expect("peeked event exists");
-            self.dispatch(at, ev);
+            self.dispatch(at, ev, deadline);
         }
         self.clock = self.clock.max(deadline);
     }
@@ -285,8 +307,11 @@ impl AgillaNetwork {
             at: now,
         });
         self.tracer
-            .record(now, Some(node), "agent.inject", format!("{id}"));
-        self.schedule_engine(idx, SimDuration::ZERO);
+            .record_with(now, Some(node), "agent.inject", || format!("{id}"));
+        // Historical behaviour: the first engine step lands at the queue's
+        // internal clock (the last popped event), not the run deadline.
+        let qnow = self.queue.now();
+        self.schedule_engine(idx, qnow, SimDuration::ZERO);
         Ok(id)
     }
 
@@ -351,9 +376,25 @@ impl AgillaNetwork {
         self.tracer.set_echo(echo);
     }
 
+    /// Enables or disables diagnostic trace capture (on by default; see
+    /// [`Tracer::set_capture`]). The [`crate::testbed`] trial driver turns
+    /// it off: figure measurements come from the experiment log and the
+    /// metrics registry, and skipping per-record `format!` allocations is a
+    /// measurable win in migration-heavy trials.
+    pub fn set_trace_capture(&mut self, capture: bool) {
+        self.tracer.set_capture(capture);
+    }
+
     /// Metrics counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Moves the metrics registry out of the network (leaving an empty
+    /// one), so a trial executor can fold per-trial metrics into a batch
+    /// total without cloning the maps.
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
     }
 
     /// The radio medium (frame statistics).
@@ -387,7 +428,7 @@ impl AgillaNetwork {
         let now = self.now();
         self.log.push(OpRecord::NodeDied { node, at: now });
         self.tracer
-            .record(now, Some(node), "node.dead", "fault injected".into());
+            .record_with(now, Some(node), "node.dead", || "fault injected".into());
         self.metrics.incr("faults.nodes_killed");
     }
 
@@ -477,24 +518,41 @@ impl AgillaNetwork {
         self.medium.remove_node(node);
         self.log.push(OpRecord::NodeDied { node, at: now });
         self.tracer
-            .record(now, Some(node), "node.dead", "battery depleted".into());
+            .record_with(now, Some(node), "node.dead", || "battery depleted".into());
         self.metrics.incr("energy.nodes_dead");
     }
 
     // --- event dispatch ---------------------------------------------------
 
-    fn dispatch(&mut self, at: SimTime, ev: Event) {
+    fn dispatch(&mut self, at: SimTime, ev: Event, deadline: SimTime) {
+        // A frame fanout touches several receivers: each settles its own
+        // idle-energy / battery-death bookkeeping in turn before handling
+        // its copy, in the same deterministic order the per-receiver
+        // events used to pop at this timestamp.
+        if let Event::RxFanout { frame, outcomes } = ev {
+            let energy = self.medium.energy().is_some();
+            for (node, outcome) in outcomes {
+                if energy {
+                    self.account_idle(node, at);
+                }
+                if self.nodes[node.index()].dead {
+                    continue;
+                }
+                self.handle_frame(node.index(), &frame, outcome, at);
+            }
+            return;
+        }
         // Dead motes neither compute nor communicate; their queued timers
         // and frames fall on the floor.
         let owner = match &ev {
             Event::EngineInstr { node }
             | Event::TxReady { node }
-            | Event::FrameArrived { node, .. }
             | Event::Beacon { node }
             | Event::AgentWake { node, .. }
             | Event::MigRetx { node, .. }
             | Event::MigAbort { node, .. }
             | Event::RemoteTimeout { node, .. } => *node,
+            Event::RxFanout { .. } => unreachable!("handled above"),
         };
         // Energy accounting: the owner pays its idle baseline up to this
         // instant, and a battery that just hit zero kills the node before
@@ -506,13 +564,9 @@ impl AgillaNetwork {
             return;
         }
         match ev {
-            Event::EngineInstr { node } => self.handle_engine_instr(node.index(), at),
+            Event::EngineInstr { node } => self.handle_engine_instr(node.index(), at, deadline),
             Event::TxReady { node } => self.handle_tx_ready(node.index(), at),
-            Event::FrameArrived {
-                node,
-                frame,
-                outcome,
-            } => self.handle_frame(node.index(), frame, outcome, at),
+            Event::RxFanout { .. } => unreachable!("handled above"),
             Event::Beacon { node } => self.handle_beacon(node.index(), at),
             Event::AgentWake { node, slot } => self.handle_wake(node.index(), slot, at),
             Event::MigRetx { node, session } => self.handle_mig_retx(node.index(), session, at),
@@ -525,21 +579,70 @@ impl AgillaNetwork {
 
     // --- engine -----------------------------------------------------------
 
-    fn schedule_engine(&mut self, idx: usize, delay: SimDuration) {
+    /// Schedules the next engine step `delay` after `now` (the caller's
+    /// current event time — every caller is inside a handler, so the
+    /// timestamp is explicit rather than read back from the queue, which
+    /// keeps inline instruction batching exact).
+    fn schedule_engine(&mut self, idx: usize, now: SimTime, delay: SimDuration) {
         if self.nodes[idx].engine_scheduled || !self.nodes[idx].has_ready_agent() {
             return;
         }
         self.nodes[idx].engine_scheduled = true;
         let node = self.nodes[idx].id;
         self.queue
-            .schedule(self.queue.now() + delay, Event::EngineInstr { node });
+            .schedule(now + delay, Event::EngineInstr { node });
     }
 
-    fn handle_engine_instr(&mut self, idx: usize, now: SimTime) {
+    /// Runs engine steps on `idx` starting at `now`, batching consecutive
+    /// steps inline for as long as doing so is provably equivalent to
+    /// round-tripping each step through the event queue: the next step's
+    /// time must not pass `deadline`, no queued event may fire at or
+    /// before it (strictly — an equal-time event would pop first under the
+    /// FIFO contract, since our continuation would carry a younger
+    /// sequence number), and no handler may have queued an engine event
+    /// mid-step (local migrations and tuple insertions do; the queued
+    /// event then governs). The batch replicates the dispatcher's
+    /// per-event energy bookkeeping, so byte-identical output holds with
+    /// accounting on or off — while busy agents stop paying a queue
+    /// round-trip per instruction.
+    fn handle_engine_instr(&mut self, idx: usize, at: SimTime, deadline: SimTime) {
+        let mut now = at;
         self.nodes[idx].engine_scheduled = false;
+        loop {
+            let EngineStep::Ran { cost } = self.engine_step(idx, now) else {
+                return;
+            };
+            if self.nodes[idx].engine_scheduled {
+                // A step side effect queued an engine event (same-time
+                // wake-ups); the queued event governs from here.
+                return;
+            }
+            let next = now + cost;
+            let inline = next <= deadline && self.queue.peek_time().is_none_or(|t| t > next);
+            if !inline {
+                self.schedule_engine(idx, now, cost);
+                return;
+            }
+            now = next;
+            // What the dispatcher would have done when popping the event.
+            if self.medium.energy().is_some() {
+                let node = self.nodes[idx].id;
+                self.account_idle(node, now);
+                if self.nodes[idx].dead {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Executes one engine unit (a pending reaction delivery or one
+    /// instruction) at time `now`, returning its CPU cost — or
+    /// [`EngineStep::Idle`] when the engine goes quiet (no ready agent, or
+    /// a reaction entry fault that kills the agent without rescheduling).
+    fn engine_step(&mut self, idx: usize, now: SimTime) -> EngineStep {
         let slice = self.config.engine_slice;
         let Some(slot_idx) = self.nodes[idx].pick_ready(slice) else {
-            return;
+            return EngineStep::Idle;
         };
 
         // Deliver a pending reaction before the next instruction.
@@ -554,22 +657,24 @@ impl AgillaNetwork {
             let slot = self.nodes[idx].slots[slot_idx]
                 .as_mut()
                 .expect("picked slot");
-            match exec::enter_reaction(&mut slot.agent, &tuple, pc) {
+            return match exec::enter_reaction(&mut slot.agent, &tuple, pc) {
                 Ok(()) => {
-                    self.tracer.record(
-                        now,
-                        Some(node_id),
-                        "reaction.dispatch",
-                        format!("{} -> pc {pc}", slot.agent.id()),
-                    );
+                    let agent_id = slot.agent.id();
+                    self.tracer
+                        .record_with(now, Some(node_id), "reaction.dispatch", || {
+                            format!("{agent_id} -> pc {pc}")
+                        });
                     let dispatch_us = self.cost.reaction_dispatch_us;
                     self.charge_cpu(node_id, dispatch_us);
-                    let cost = SimDuration::from_micros(dispatch_us);
-                    self.schedule_engine(idx, cost);
+                    EngineStep::Ran {
+                        cost: SimDuration::from_micros(dispatch_us),
+                    }
                 }
-                Err(e) => self.kill_agent(idx, slot_idx, e, now),
-            }
-            return;
+                Err(e) => {
+                    self.kill_agent(idx, slot_idx, e, now);
+                    EngineStep::Idle
+                }
+            };
         }
 
         // Execute exactly one instruction.
@@ -593,7 +698,10 @@ impl AgillaNetwork {
                 ..
             } = node;
             let slot = slots[slot_idx].as_mut().expect("picked slot");
-            let (op_cost, op_class) = Instruction::decode(slot.agent.code(), slot.agent.pc())
+            // One decode serves both the cost model and execution.
+            let decoded = Instruction::decode(slot.agent.code(), slot.agent.pc());
+            let (op_cost, op_class) = decoded
+                .as_ref()
                 .map(|(ins, _)| (cost.cost_us(ins.op), ins.op.energy_class()))
                 .unwrap_or((60, EnergyClass::Cpu));
             let mut host = HostView {
@@ -610,7 +718,10 @@ impl AgillaNetwork {
                 inserted: Vec::new(),
                 sensed: Vec::new(),
             };
-            let result = exec::step(&mut slot.agent, &mut host);
+            let result = match decoded {
+                Ok((ins, len)) => exec::step_decoded(&mut slot.agent, &mut host, ins, len),
+                Err(e) => Err(e),
+            };
             slot.slice_used += 1;
             (op_cost, op_class, result, host.inserted, host.sensed)
         };
@@ -645,12 +756,9 @@ impl AgillaNetwork {
 
         let cost = SimDuration::from_micros(op_cost);
         match result {
-            Ok(StepResult::Continue) => {
-                self.schedule_engine(idx, cost);
-            }
+            Ok(StepResult::Continue) => {}
             Ok(StepResult::Halted) => {
                 self.finish_agent(idx, slot_idx, now);
-                self.schedule_engine(idx, cost);
             }
             Ok(StepResult::Sleep { ticks }) => {
                 // One tick is 1/8 s (Fig. 13's 4800 ticks = 10 minutes).
@@ -664,29 +772,24 @@ impl AgillaNetwork {
                         slot: slot_idx,
                     },
                 );
-                self.schedule_engine(idx, cost);
             }
             Ok(StepResult::WaitForReaction) => {
                 self.set_status(idx, slot_idx, AgentStatus::Waiting);
-                self.schedule_engine(idx, cost);
             }
             Ok(StepResult::Blocked) => {
                 self.set_status(idx, slot_idx, AgentStatus::Blocked);
-                self.schedule_engine(idx, cost);
             }
             Ok(StepResult::Migrate { kind, dest }) => {
                 self.start_migration(idx, slot_idx, kind, dest, now);
-                self.schedule_engine(idx, cost);
             }
             Ok(StepResult::Remote(op)) => {
                 self.issue_remote(idx, slot_idx, op, now);
-                self.schedule_engine(idx, cost);
             }
             Err(e) => {
                 self.kill_agent(idx, slot_idx, e, now);
-                self.schedule_engine(idx, cost);
             }
         }
+        EngineStep::Ran { cost }
     }
 
     fn set_status(&mut self, idx: usize, slot_idx: usize, status: AgentStatus) {
@@ -695,11 +798,11 @@ impl AgillaNetwork {
         }
     }
 
-    fn handle_wake(&mut self, idx: usize, slot_idx: usize, _now: SimTime) {
+    fn handle_wake(&mut self, idx: usize, slot_idx: usize, now: SimTime) {
         if let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() {
             if matches!(slot.status, AgentStatus::Sleeping { .. }) {
                 slot.status = AgentStatus::Ready;
-                self.schedule_engine(idx, SimDuration::ZERO);
+                self.schedule_engine(idx, now, SimDuration::ZERO);
             }
         }
     }
@@ -717,12 +820,10 @@ impl AgillaNetwork {
                     if slot.status == AgentStatus::Waiting {
                         slot.status = AgentStatus::Ready;
                     }
-                    self.tracer.record(
-                        now,
-                        Some(node_id),
-                        "reaction.fire",
-                        format!("{} on {tuple}", r.owner),
-                    );
+                    self.tracer
+                        .record_with(now, Some(node_id), "reaction.fire", || {
+                            format!("{} on {tuple}", r.owner)
+                        });
                 }
             }
             // Blocking in/rd retry on any insertion.
@@ -732,7 +833,7 @@ impl AgillaNetwork {
                 }
             }
         }
-        self.schedule_engine(idx, SimDuration::ZERO);
+        self.schedule_engine(idx, now, SimDuration::ZERO);
     }
 
     fn finish_agent(&mut self, idx: usize, slot_idx: usize, now: SimTime) {
@@ -746,7 +847,7 @@ impl AgillaNetwork {
                 at: now,
             });
             self.tracer
-                .record(now, Some(node_id), "agent.halt", format!("{id}"));
+                .record_with(now, Some(node_id), "agent.halt", || format!("{id}"));
         }
     }
 
@@ -761,13 +862,13 @@ impl AgillaNetwork {
                 at: now,
             });
             self.tracer
-                .record(now, Some(node_id), "agent.fault", format!("{id}: {err}"));
+                .record_with(now, Some(node_id), "agent.fault", || format!("{id}: {err}"));
         }
     }
 
     // --- radio / MAC ------------------------------------------------------
 
-    fn enqueue_frame(&mut self, idx: usize, frame: Frame, extra_delay: SimDuration) {
+    fn enqueue_frame(&mut self, idx: usize, frame: Frame, now: SimTime, extra_delay: SimDuration) {
         self.nodes[idx].tx_queue.push_back(frame);
         if !self.nodes[idx].tx_scheduled {
             self.nodes[idx].tx_scheduled = true;
@@ -776,8 +877,7 @@ impl AgillaNetwork {
                 + self.mac.tx_processing()
                 + self.mac.initial_backoff(&mut self.rng_mac);
             let node = self.nodes[idx].id;
-            self.queue
-                .schedule(self.queue.now() + delay, Event::TxReady { node });
+            self.queue.schedule(now + delay, Event::TxReady { node });
         }
     }
 
@@ -812,17 +912,18 @@ impl AgillaNetwork {
         self.nodes[idx].tx_attempt = 0;
         let air = self.medium.effective_air_time(&frame);
         self.metrics.incr("radio.frames_sent");
-        let deliveries = self.medium.transmit(now, &frame);
-        for d in deliveries {
-            if d.outcome != DeliveryOutcome::Delivered {
+        let batch = self.medium.transmit(now, &frame);
+        for (_, outcome) in &batch.outcomes {
+            if *outcome != DeliveryOutcome::Delivered {
                 self.metrics.incr("radio.frames_lost");
             }
+        }
+        if !batch.outcomes.is_empty() {
             self.queue.schedule(
-                d.arrive_at + self.mac.rx_processing(),
-                Event::FrameArrived {
-                    node: d.to,
-                    frame: frame.clone(),
-                    outcome: d.outcome,
+                batch.arrive_at + self.mac.rx_processing(),
+                Event::RxFanout {
+                    frame,
+                    outcomes: batch.outcomes,
                 },
             );
         }
@@ -845,6 +946,7 @@ impl AgillaNetwork {
         self.enqueue_frame(
             idx,
             Frame::broadcast(node_id, msg.encode()),
+            now,
             SimDuration::ZERO,
         );
         let jitter = self.rng_mac.range_u64(0, 100_000);
@@ -854,7 +956,7 @@ impl AgillaNetwork {
         );
     }
 
-    fn handle_frame(&mut self, idx: usize, frame: Frame, outcome: DeliveryOutcome, now: SimTime) {
+    fn handle_frame(&mut self, idx: usize, frame: &Frame, outcome: DeliveryOutcome, now: SimTime) {
         if outcome != DeliveryOutcome::Delivered {
             return;
         }
@@ -862,47 +964,47 @@ impl AgillaNetwork {
         if !frame.accepts(me) {
             return;
         }
-        let Some(msg) = ActiveMessage::decode(&frame.payload) else {
+        let Some((am_type, payload)) = ActiveMessage::decode_ref(&frame.payload) else {
             return;
         };
-        match msg.am_type {
+        match am_type {
             t if t == am::BEACON => {
-                if let Some(loc) = decode_beacon(&msg.payload) {
+                if let Some(loc) = decode_beacon(payload) {
                     self.nodes[idx].acq.heard(frame.src, loc, now);
                 }
             }
             t if t == am::MIG_HDR => {
-                if let Some(h) = MigHeader::decode(&msg.payload) {
+                if let Some(h) = MigHeader::decode(payload) {
                     self.handle_mig_header(idx, frame.src, None, h, now);
                 }
             }
             t if t == am::MIG_DATA => {
-                if let Some(d) = MigData::decode(&msg.payload) {
+                if let Some(d) = MigData::decode(payload) {
                     self.handle_mig_data(idx, frame.src, d, now);
                 }
             }
             t if t == am::MIG_E2E => {
-                if let Some(env) = Envelope::decode(&msg.payload) {
+                if let Some(env) = Envelope::decode(payload) {
                     self.handle_envelope(idx, frame.src, env, now);
                 }
             }
             t if t == am::MIG_ACK => {
-                if let Some(a) = MigAck::decode(&msg.payload) {
+                if let Some(a) = MigAck::decode(payload) {
                     self.handle_mig_ack(idx, Some(frame.src), a, now);
                 }
             }
             t if t == am::MIG_NACK => {
-                if let Some(n) = MigNack::decode(&msg.payload) {
+                if let Some(n) = MigNack::decode(payload) {
                     self.handle_mig_nack(idx, Some(frame.src), n.session, now);
                 }
             }
             t if t == am::RTS_REQ => {
-                if let Some(r) = RtsRequest::decode(&msg.payload) {
+                if let Some(r) = RtsRequest::decode(payload) {
                     self.handle_rts_request(idx, r, now);
                 }
             }
             t if t == am::RTS_REP => {
-                if let Some(r) = RtsReply::decode(&msg.payload) {
+                if let Some(r) = RtsReply::decode(payload) {
                     self.handle_rts_reply(idx, r, now);
                 }
             }

@@ -66,12 +66,10 @@ impl AgillaNetwork {
             dest,
             at: now,
         });
-        self.tracer.record(
-            now,
-            Some(node_id),
-            "remote.issue",
-            format!("{agent_id} op{op_id} -> {dest}"),
-        );
+        self.tracer
+            .record_with(now, Some(node_id), "remote.issue", || {
+                format!("{agent_id} op{op_id} -> {dest}")
+            });
 
         let request = match &op {
             RemoteOp::Out { dest, tuple } => {
@@ -88,12 +86,10 @@ impl AgillaNetwork {
             Ok(r) => r,
             Err(e) => {
                 // Too large to ship in one message: fail locally, condition 0.
-                self.tracer.record(
-                    now,
-                    Some(node_id),
-                    "remote.toolarge",
-                    format!("op{op_id}: {e}"),
-                );
+                self.tracer
+                    .record_with(now, Some(node_id), "remote.toolarge", || {
+                        format!("op{op_id}: {e}")
+                    });
                 self.complete_remote(
                     idx,
                     slot_idx,
@@ -185,16 +181,15 @@ impl AgillaNetwork {
                 self.enqueue_frame(
                     idx,
                     Frame::unicast(node_id, hop, msg.encode()),
+                    now,
                     SimDuration::ZERO,
                 );
             }
             None => {
-                self.tracer.record(
-                    now,
-                    Some(node_id),
-                    "remote.noroute",
-                    format!("op{op_id} -> {dest}"),
-                );
+                self.tracer
+                    .record_with(now, Some(node_id), "remote.noroute", || {
+                        format!("op{op_id} -> {dest}")
+                    });
             }
         }
     }
@@ -266,7 +261,9 @@ impl AgillaNetwork {
         }
         self.metrics.incr("remote.failover");
         self.tracer
-            .record(now, Some(node_id), "remote.failover", format!("op{op_id}"));
+            .record_with(now, Some(node_id), "remote.failover", || {
+                format!("op{op_id}")
+            });
         self.send_rts_request(idx, op_id, now);
         true
     }
@@ -319,12 +316,10 @@ impl AgillaNetwork {
             };
             let reply = if let Some(r) = self.nodes[idx].cached_reply(key, now) {
                 self.metrics.incr("remote.reack");
-                self.tracer.record(
-                    now,
-                    Some(node_id),
-                    "remote.reack",
-                    format!("op{}", req.op_id),
-                );
+                self.tracer
+                    .record_with(now, Some(node_id), "remote.reack", || {
+                        format!("op{}", req.op_id)
+                    });
                 r.clone()
             } else {
                 let (tuple, success, inserted) = self.serve_rts_locally(idx, &req);
@@ -338,12 +333,10 @@ impl AgillaNetwork {
                     tuple,
                 };
                 self.nodes[idx].cache_reply(key, reply.clone(), now);
-                self.tracer.record(
-                    now,
-                    Some(node_id),
-                    "remote.serve",
-                    format!("op{}", req.op_id),
-                );
+                self.tracer
+                    .record_with(now, Some(node_id), "remote.serve", || {
+                        format!("op{}", req.op_id)
+                    });
                 reply
             };
             let service = SimDuration::from_micros(self.config.timing.remote_op_service_us);
@@ -355,15 +348,13 @@ impl AgillaNetwork {
             match next_hop(my_loc, &neighbors, req.dest) {
                 Some(hop) => {
                     let msg = wire::message(am::RTS_REQ, req.encode());
-                    self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), fwd);
+                    self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), now, fwd);
                 }
                 None => {
-                    self.tracer.record(
-                        now,
-                        Some(node_id),
-                        "remote.noroute",
-                        format!("op{} fwd", req.op_id),
-                    );
+                    self.tracer
+                        .record_with(now, Some(node_id), "remote.noroute", || {
+                            format!("op{} fwd", req.op_id)
+                        });
                 }
             }
         }
@@ -381,15 +372,13 @@ impl AgillaNetwork {
         match next_hop(my_loc, &neighbors, reply.dest) {
             Some(hop) => {
                 let msg = wire::message(am::RTS_REP, reply.encode());
-                self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), extra);
+                self.enqueue_frame(idx, Frame::unicast(node_id, hop, msg.encode()), now, extra);
             }
             None => {
-                self.tracer.record(
-                    now,
-                    Some(node_id),
-                    "remote.noroute",
-                    format!("op{} reply", reply.op_id),
-                );
+                self.tracer
+                    .record_with(now, Some(node_id), "remote.noroute", || {
+                        format!("op{} reply", reply.op_id)
+                    });
             }
         }
     }
@@ -468,13 +457,11 @@ impl AgillaNetwork {
                     retransmitted,
                     at: now,
                 });
-                self.tracer.record(
-                    now,
-                    Some(node_id),
-                    "remote.complete",
-                    format!("{agent_id} op{op_id} success={success}"),
-                );
-                self.schedule_engine(idx, SimDuration::ZERO);
+                self.tracer
+                    .record_with(now, Some(node_id), "remote.complete", || {
+                        format!("{agent_id} op{op_id} success={success}")
+                    });
+                self.schedule_engine(idx, now, SimDuration::ZERO);
             }
             Err(e) => self.kill_agent(idx, slot_idx, e, now),
         }

@@ -1,0 +1,373 @@
+//! One entry point for constructing and driving evaluation trials.
+//!
+//! Every figure of the paper's evaluation is some number of *independent,
+//! seeded, run-to-completion* trials: build a network, inject one or two
+//! agents, advance virtual time, read the experiment log. Before this
+//! module each figure binary carried its own copy of that loop; now they
+//! all describe trials as data — a [`TrialSpec`] minted by a [`Testbed`] —
+//! and execute them with [`TrialSpec::execute`].
+//!
+//! A spec is `Clone + Send + Sync` and a trial's outcome is a pure function
+//! of its spec, so an executor is free to run specs in any order on any
+//! thread — `agilla-bench`'s `run_trials_parallel` fans them across worker
+//! threads and merges results in spec order, byte-identical to the serial
+//! path.
+//!
+//! Trials run with diagnostic trace capture off (see
+//! [`TrialSpec::diagnostics`]): measurements come from the experiment log
+//! and the metrics registry, and skipping per-record trace formatting is a
+//! measurable win in migration-heavy workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use agilla::testbed::Testbed;
+//! use agilla::{workload, AgillaConfig};
+//! use wsn_common::Location;
+//! use wsn_sim::SimDuration;
+//!
+//! let bed = Testbed::reliable_5x5(AgillaConfig::default(), 42);
+//! let spec = bed
+//!     .trial(7)
+//!     .inject(workload::rout_test_agent(Location::new(1, 1)))
+//!     .run(SimDuration::from_secs(5));
+//! let trial = spec.execute();
+//! assert_eq!(trial.agents.len(), 1);
+//! assert!(trial.net.log().remote_ops_of(trial.agents[0]).len() <= 1);
+//! ```
+
+use wsn_common::{AgentId, Location};
+use wsn_radio::{LossModel, Topology};
+use wsn_sim::SimDuration;
+
+use crate::config::AgillaConfig;
+use crate::env::Environment;
+use crate::network::AgillaNetwork;
+
+/// The radio substrate a trial runs on.
+#[derive(Debug, Clone)]
+pub enum TopologySpec {
+    /// The paper's testbed: 5×5 grid plus base station over the calibrated
+    /// lossy MICA2 link profile ([`AgillaNetwork::testbed_5x5`]).
+    Lossy5x5,
+    /// The same grid with lossless links (latency and energy measurements).
+    Reliable5x5,
+    /// A lossless line of `n` motes (quiet-link micro-measurements).
+    ReliableLine(i16),
+    /// Any other substrate.
+    Custom {
+        /// Node placement and connectivity.
+        topology: Topology,
+        /// Link loss model.
+        loss: LossModel,
+    },
+}
+
+/// One scripted step of a trial.
+#[derive(Debug, Clone)]
+pub enum TrialStep {
+    /// Assemble `source` and inject the agent at the base station
+    /// (`at == None`) or at the node addressed by a location.
+    Inject {
+        /// Where to inject; the base station when `None`.
+        at: Option<Location>,
+        /// Agilla assembly source.
+        source: String,
+    },
+    /// Advance the simulation.
+    Run(SimDuration),
+    /// Clear the experiment log (separating setup from measurement).
+    ClearLog,
+}
+
+/// A self-contained recipe for one deterministic trial: substrate, config,
+/// environment, seed, and the scripted steps to run to completion.
+#[derive(Debug, Clone)]
+pub struct TrialSpec {
+    /// Radio substrate.
+    pub topology: TopologySpec,
+    /// Middleware configuration.
+    pub config: AgillaConfig,
+    /// Sensing environment.
+    pub env: Environment,
+    /// Seed for every random stream in the trial.
+    pub seed: u64,
+    /// Steps executed in order by [`TrialSpec::execute`].
+    pub steps: Vec<TrialStep>,
+    /// Keep diagnostic trace capture on (off by default for trials).
+    pub diagnostics: bool,
+}
+
+impl TrialSpec {
+    /// Appends an injection at the base station.
+    #[must_use]
+    pub fn inject(mut self, source: impl Into<String>) -> Self {
+        self.steps.push(TrialStep::Inject {
+            at: None,
+            source: source.into(),
+        });
+        self
+    }
+
+    /// Appends an injection at the node addressed by `loc`.
+    #[must_use]
+    pub fn inject_at(mut self, loc: Location, source: impl Into<String>) -> Self {
+        self.steps.push(TrialStep::Inject {
+            at: Some(loc),
+            source: source.into(),
+        });
+        self
+    }
+
+    /// Appends a simulation advance.
+    #[must_use]
+    pub fn run(mut self, d: SimDuration) -> Self {
+        self.steps.push(TrialStep::Run(d));
+        self
+    }
+
+    /// Appends an experiment-log clear (between setup and measurement).
+    #[must_use]
+    pub fn clear_log(mut self) -> Self {
+        self.steps.push(TrialStep::ClearLog);
+        self
+    }
+
+    /// Replaces the environment model.
+    #[must_use]
+    pub fn with_env(mut self, env: Environment) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Keeps diagnostic trace capture on (off by default for trials).
+    #[must_use]
+    pub fn diagnostics(mut self, on: bool) -> Self {
+        self.diagnostics = on;
+        self
+    }
+
+    /// Constructs the network without running any steps — for scenarios
+    /// that need custom driving (stepped sampling, early exit on a
+    /// predicate) on top of the standard substrate.
+    pub fn build(&self) -> AgillaNetwork {
+        let mut net = match &self.topology {
+            TopologySpec::Lossy5x5 => AgillaNetwork::new(
+                Topology::grid_with_base(5, 5),
+                AgillaNetwork::testbed_loss(),
+                self.config.clone(),
+                self.env.clone(),
+                self.seed,
+            ),
+            TopologySpec::Reliable5x5 => AgillaNetwork::new(
+                Topology::grid_with_base(5, 5),
+                LossModel::perfect(),
+                self.config.clone(),
+                self.env.clone(),
+                self.seed,
+            ),
+            TopologySpec::ReliableLine(n) => AgillaNetwork::new(
+                Topology::line(*n),
+                LossModel::perfect(),
+                self.config.clone(),
+                self.env.clone(),
+                self.seed,
+            ),
+            TopologySpec::Custom { topology, loss } => AgillaNetwork::new(
+                topology.clone(),
+                loss.clone(),
+                self.config.clone(),
+                self.env.clone(),
+                self.seed,
+            ),
+        };
+        net.set_trace_capture(self.diagnostics);
+        net
+    }
+
+    /// Builds the network and runs every step to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injection fails to assemble or be admitted — trial
+    /// scripts are fixed, vetted workloads, so a failure is a harness bug,
+    /// not an experimental outcome.
+    pub fn execute(&self) -> Trial {
+        let mut net = self.build();
+        let mut agents = Vec::new();
+        for step in &self.steps {
+            match step {
+                TrialStep::Inject { at: None, source } => {
+                    agents.push(net.inject_source(source).expect("trial agent injects"));
+                }
+                TrialStep::Inject {
+                    at: Some(loc),
+                    source,
+                } => {
+                    agents.push(
+                        net.inject_source_at(*loc, source)
+                            .expect("trial agent injects"),
+                    );
+                }
+                TrialStep::Run(d) => net.run_for(*d),
+                TrialStep::ClearLog => net.clear_log(),
+            }
+        }
+        Trial { net, agents }
+    }
+}
+
+/// A finished (or custom-drivable) trial: the network plus the agents the
+/// scripted steps injected, in injection order.
+#[derive(Debug)]
+pub struct Trial {
+    /// The network after all scripted steps ran.
+    pub net: AgillaNetwork,
+    /// Agent ids from `Inject` steps, in order.
+    pub agents: Vec<AgentId>,
+}
+
+impl Trial {
+    /// The id from the `i`-th `Inject` step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `i + 1` injections ran.
+    pub fn agent(&self, i: usize) -> AgentId {
+        self.agents[i]
+    }
+}
+
+/// A family of trials sharing a substrate, a configuration, and a base
+/// seed — one per figure, typically. Individual trials derive their seed
+/// by mixing a per-trial value into the base seed, reproducing the
+/// figure binaries' historical seed derivations exactly.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    topology: TopologySpec,
+    config: AgillaConfig,
+    base_seed: u64,
+}
+
+impl Testbed {
+    /// A testbed over an explicit substrate.
+    pub fn new(topology: TopologySpec, config: AgillaConfig, base_seed: u64) -> Self {
+        Testbed {
+            topology,
+            config,
+            base_seed,
+        }
+    }
+
+    /// The paper's lossy 5×5 testbed.
+    pub fn lossy_5x5(config: AgillaConfig, base_seed: u64) -> Self {
+        Testbed::new(TopologySpec::Lossy5x5, config, base_seed)
+    }
+
+    /// The lossless 5×5 testbed.
+    pub fn reliable_5x5(config: AgillaConfig, base_seed: u64) -> Self {
+        Testbed::new(TopologySpec::Reliable5x5, config, base_seed)
+    }
+
+    /// A lossless line of `n` motes.
+    pub fn line(n: i16, config: AgillaConfig, base_seed: u64) -> Self {
+        Testbed::new(TopologySpec::ReliableLine(n), config, base_seed)
+    }
+
+    /// The shared middleware configuration.
+    pub fn config(&self) -> &AgillaConfig {
+        &self.config
+    }
+
+    /// Mints a [`TrialSpec`] with seed `base_seed ^ seed_mix` and no steps.
+    pub fn trial(&self, seed_mix: u64) -> TrialSpec {
+        TrialSpec {
+            topology: self.topology.clone(),
+            config: self.config.clone(),
+            env: Environment::ambient(),
+            seed: self.base_seed ^ seed_mix,
+            steps: Vec::new(),
+            diagnostics: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use wsn_sim::SimTime;
+
+    #[test]
+    fn spec_execution_matches_hand_built_network() {
+        let config = AgillaConfig::default();
+        let seed = 0xBEEF;
+        let src = workload::rout_test_agent(Location::new(2, 1));
+
+        let mut hand = AgillaNetwork::testbed_5x5(config.clone(), seed);
+        let hand_id = hand.inject_source(&src).unwrap();
+        hand.run_for(SimDuration::from_secs(10));
+
+        let trial = Testbed::lossy_5x5(config, seed)
+            .trial(0)
+            .inject(&src)
+            .run(SimDuration::from_secs(10))
+            .execute();
+
+        assert_eq!(trial.agent(0), hand_id);
+        assert_eq!(trial.net.now(), hand.now());
+        assert_eq!(
+            trial.net.medium().frames_sent(),
+            hand.medium().frames_sent()
+        );
+        assert_eq!(trial.net.log().records(), hand.log().records());
+        let snapshot = |m: &wsn_sim::Metrics| {
+            m.counters()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(snapshot(trial.net.metrics()), snapshot(hand.metrics()));
+    }
+
+    #[test]
+    fn specs_are_pure_same_spec_same_outcome() {
+        let spec = Testbed::lossy_5x5(AgillaConfig::default(), 7)
+            .trial(99)
+            .inject(workload::SMOVE_TEST_AGENT)
+            .run(SimDuration::from_secs(8));
+        let a = spec.clone().execute();
+        let b = spec.execute();
+        assert_eq!(a.net.log().records(), b.net.log().records());
+        assert_eq!(a.net.medium().frames_sent(), b.net.medium().frames_sent());
+    }
+
+    #[test]
+    fn clear_log_separates_setup_from_measurement() {
+        let target = Location::new(1, 1);
+        let trial = Testbed::reliable_5x5(AgillaConfig::default(), 3)
+            .trial(0)
+            .inject_at(target, "pushc 1\npushc 1\nout\nhalt")
+            .run(SimDuration::from_secs(1))
+            .clear_log()
+            .inject(workload::rout_test_agent(target))
+            .run(SimDuration::from_secs(5))
+            .execute();
+        // Setup activity is gone; only the measured agent's records remain.
+        assert!(trial
+            .net
+            .log()
+            .injected_at(trial.agent(0))
+            .is_none_or(|t| t > SimTime::ZERO));
+        assert!(trial.net.log().injected_at(trial.agent(1)).is_some());
+    }
+
+    #[test]
+    fn line_topology_builds_quiet_two_node_link() {
+        let trial = Testbed::line(2, AgillaConfig::default(), 5)
+            .trial(1)
+            .run(SimDuration::from_secs(1))
+            .execute();
+        assert_eq!(trial.net.medium().topology().len(), 2);
+        assert!(trial.agents.is_empty());
+    }
+}

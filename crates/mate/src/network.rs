@@ -247,13 +247,14 @@ impl MateNetwork {
         let frame = self.nodes[idx].tx_queue.pop_front().expect("non-empty");
         self.metrics.incr("mate.frames_sent");
         let air = frame.air_time();
-        for d in self.medium.transmit(now, &frame) {
+        let batch = self.medium.transmit(now, &frame);
+        for (to, outcome) in batch.outcomes {
             self.queue.schedule(
-                d.arrive_at + self.mac.rx_processing(),
+                batch.arrive_at + self.mac.rx_processing(),
                 Event::FrameArrived {
-                    node: d.to,
+                    node: to,
                     frame: frame.clone(),
-                    outcome: d.outcome,
+                    outcome,
                 },
             );
         }

@@ -54,6 +54,18 @@ impl ActiveMessage {
         out
     }
 
+    /// Parses a radio-frame payload without copying it: the dispatch tag
+    /// plus a borrowed payload view. The receive path runs this once per
+    /// in-range receiver per frame, so avoiding the payload allocation
+    /// matters at simulation scale.
+    pub fn decode_ref(bytes: &[u8]) -> Option<(AmType, &[u8])> {
+        let (&tag, rest) = bytes.split_first()?;
+        if rest.len() > TOS_PAYLOAD {
+            return None;
+        }
+        Some((AmType(tag), rest))
+    }
+
     /// Parses a radio-frame payload. Returns `None` when empty or oversized.
     pub fn decode(bytes: &[u8]) -> Option<ActiveMessage> {
         let (&tag, rest) = bytes.split_first()?;

@@ -34,5 +34,5 @@ pub mod topology;
 pub use energy::{EnergyBreakdown, EnergyLedger, EnergyMeter, EnergyState};
 pub use frame::Frame;
 pub use loss::{GilbertElliott, LossModel};
-pub use medium::{Delivery, DeliveryOutcome, Medium};
+pub use medium::{DeliveryOutcome, Medium, TxBatch};
 pub use topology::{Connectivity, Topology};

@@ -21,15 +21,21 @@ pub enum DeliveryOutcome {
     LostCollision,
 }
 
-/// One receiver-side delivery decision produced by [`Medium::transmit`].
+/// The result of one transmission: every in-range receiver's fate, sharing
+/// one completion time (broadcast copies of a frame all finish together, at
+/// transmit start + air time).
+///
+/// Returning one batch per frame — rather than one record per receiver —
+/// lets the driver schedule a single rx-fanout event per transmission
+/// instead of cloning the frame into per-receiver events, which is the
+/// dominant event population in dense networks.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Delivery {
-    /// Receiving node.
-    pub to: NodeId,
-    /// When reception completes (transmit start + air time).
+pub struct TxBatch {
+    /// When reception completes at every receiver.
     pub arrive_at: SimTime,
-    /// Whether and how the copy survived.
-    pub outcome: DeliveryOutcome,
+    /// Per in-range receiver: whether and how its copy survived, in
+    /// deterministic neighbor order.
+    pub outcomes: Vec<(NodeId, DeliveryOutcome)>,
 }
 
 /// The broadcast radio medium: topology + loss + collision bookkeeping.
@@ -50,9 +56,9 @@ pub struct Delivery {
 /// let topo = Topology::line(3);
 /// let mut medium = Medium::new(topo, LossModel::perfect(), 7);
 /// let frame = Frame::broadcast(NodeId(0), vec![1, 2, 3]);
-/// let deliveries = medium.transmit(SimTime::ZERO, &frame);
-/// assert_eq!(deliveries.len(), 1); // only the adjacent node hears it
-/// assert_eq!(deliveries[0].to, NodeId(1));
+/// let batch = medium.transmit(SimTime::ZERO, &frame);
+/// assert_eq!(batch.outcomes.len(), 1); // only the adjacent node hears it
+/// assert_eq!(batch.outcomes[0].0, NodeId(1));
 /// ```
 #[derive(Debug)]
 pub struct Medium {
@@ -63,8 +69,11 @@ pub struct Medium {
     burst_state: HashMap<(NodeId, NodeId), GilbertElliott>,
     /// Per receiver: time until which its radio is busy receiving.
     rx_busy_until: HashMap<NodeId, SimTime>,
-    /// Per transmitter: time until which it occupies the channel.
-    tx_busy_until: HashMap<NodeId, SimTime>,
+    /// In-flight transmissions: (transmitter, busy-until). Kept as a small
+    /// pruned list rather than a map over every node that ever transmitted:
+    /// carrier sensing scans this on each TX attempt, and at any instant
+    /// only a handful of frames are in the air.
+    tx_busy: Vec<(NodeId, SimTime)>,
     frames_sent: u64,
     frames_lost: u64,
     /// Extra air time prepended to every frame: the stretched preamble of a
@@ -85,7 +94,7 @@ impl Medium {
             rng: RngStream::derive(seed, "radio.medium"),
             burst_state: HashMap::new(),
             rx_busy_until: HashMap::new(),
-            tx_busy_until: HashMap::new(),
+            tx_busy: Vec::new(),
             frames_sent: 0,
             frames_lost: 0,
             preamble_stretch: SimDuration::ZERO,
@@ -135,19 +144,24 @@ impl Medium {
     /// Whether the channel is sensed busy at `node` (another node in range is
     /// transmitting). Used by the MAC for CSMA.
     pub fn channel_busy(&self, now: SimTime, node: NodeId) -> bool {
-        self.tx_busy_until.iter().any(|(&tx, &until)| {
+        self.tx_busy.iter().any(|&(tx, until)| {
             until > now && (tx == node || self.topology.are_neighbors(tx, node))
         })
     }
 
-    /// Transmits `frame` starting at `now`; returns the per-receiver
-    /// deliveries (one per in-range node, whatever the link destination —
-    /// the MAC filters by address on arrival, as real hardware does).
-    pub fn transmit(&mut self, now: SimTime, frame: &Frame) -> Vec<Delivery> {
+    /// Transmits `frame` starting at `now`; returns one [`TxBatch`] covering
+    /// every in-range receiver, whatever the link destination — the MAC
+    /// filters by address on arrival, as real hardware does. Energy for the
+    /// sender and every receiver is charged in this same pass.
+    pub fn transmit(&mut self, now: SimTime, frame: &Frame) -> TxBatch {
         let air = self.effective_air_time(frame);
         let end = now + air;
         self.frames_sent += 1;
-        self.tx_busy_until.insert(frame.src, end);
+        // Drop finished transmissions, then record this one (replacing the
+        // sender's previous entry if it is somehow still listed).
+        self.tx_busy
+            .retain(|&(tx, until)| until > now && tx != frame.src);
+        self.tx_busy.push((frame.src, end));
         if let Some(ledger) = self.energy.as_mut() {
             // The sender pays for the whole transmission, stretched preamble
             // included — the LPL bargain: senders spend more so idle
@@ -158,7 +172,7 @@ impl Medium {
         }
 
         let neighbors = self.topology.neighbors(frame.src);
-        let mut out = Vec::with_capacity(neighbors.len());
+        let mut outcomes = Vec::with_capacity(neighbors.len());
         for dst in neighbors {
             let outcome = self.decide(now, end, frame, dst);
             if outcome != DeliveryOutcome::Delivered {
@@ -172,13 +186,12 @@ impl Medium {
                 m.advance(now);
                 m.charge(EnergyState::Rx, frame.air_time());
             }
-            out.push(Delivery {
-                to: dst,
-                arrive_at: end,
-                outcome,
-            });
+            outcomes.push((dst, outcome));
         }
-        out
+        TxBatch {
+            arrive_at: end,
+            outcomes,
+        }
     }
 
     fn decide(
@@ -256,9 +269,12 @@ mod tests {
         // middle node: two neighbors
         let f = Frame::broadcast(NodeId(1), vec![0; 5]);
         let d = m.transmit(SimTime::ZERO, &f);
-        assert_eq!(d.len(), 2);
-        assert!(d.iter().all(|d| d.outcome == DeliveryOutcome::Delivered));
-        assert!(d.iter().all(|d| d.arrive_at > SimTime::ZERO));
+        assert_eq!(d.outcomes.len(), 2);
+        assert!(d
+            .outcomes
+            .iter()
+            .all(|(_, o)| *o == DeliveryOutcome::Delivered));
+        assert!(d.arrive_at > SimTime::ZERO);
     }
 
     #[test]
@@ -266,8 +282,8 @@ mod tests {
         let mut m = perfect_line(5);
         let f = Frame::broadcast(NodeId(0), vec![0; 5]);
         let d = m.transmit(SimTime::ZERO, &f);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].to, NodeId(1));
+        assert_eq!(d.outcomes.len(), 1);
+        assert_eq!(d.outcomes[0].0, NodeId(1));
     }
 
     #[test]
@@ -281,7 +297,7 @@ mod tests {
             // Space transmissions out so they never collide.
             let t = SimTime::from_micros(u64::from(i) * 1_000_000);
             let d = m.transmit(t, &f);
-            if d[0].outcome != DeliveryOutcome::Delivered {
+            if d.outcomes[0].1 != DeliveryOutcome::Delivered {
                 lost += 1;
             }
         }
@@ -306,8 +322,8 @@ mod tests {
         let d0 = m.transmit(SimTime::ZERO, &f0);
         // Hidden terminal: node 2 cannot hear node 0 and transmits over it.
         let d2 = m.transmit(SimTime::from_micros(100), &f2);
-        assert_eq!(d0[0].outcome, DeliveryOutcome::Delivered);
-        assert_eq!(d2[0].outcome, DeliveryOutcome::LostCollision);
+        assert_eq!(d0.outcomes[0].1, DeliveryOutcome::Delivered);
+        assert_eq!(d2.outcomes[0].1, DeliveryOutcome::LostCollision);
     }
 
     #[test]
@@ -315,9 +331,9 @@ mod tests {
         let mut m = perfect_line(2);
         let f = Frame::broadcast(NodeId(0), vec![0; 20]);
         let d1 = m.transmit(SimTime::ZERO, &f);
-        let after = d1[0].arrive_at + SimDuration::from_micros(1);
+        let after = d1.arrive_at + SimDuration::from_micros(1);
         let d2 = m.transmit(after, &f);
-        assert_eq!(d2[0].outcome, DeliveryOutcome::Delivered);
+        assert_eq!(d2.outcomes[0].1, DeliveryOutcome::Delivered);
     }
 
     #[test]
@@ -352,7 +368,7 @@ mod tests {
                 .map(|i| {
                     let f = Frame::broadcast(NodeId(0), vec![0; 5]);
                     let t = SimTime::from_micros(i * 1_000_000);
-                    m.transmit(t, &f)[0].outcome
+                    m.transmit(t, &f).outcomes[0].1
                 })
                 .collect::<Vec<_>>()
         };
@@ -397,8 +413,8 @@ mod tests {
         let d_plain = plain.transmit(SimTime::ZERO, &f);
         let d_lpl = lpl.transmit(SimTime::ZERO, &f);
         assert_eq!(
-            d_lpl[0].arrive_at,
-            d_plain[0].arrive_at + stretch,
+            d_lpl.arrive_at,
+            d_plain.arrive_at + stretch,
             "receivers see the frame after the stretched preamble"
         );
         let tx_j = lpl.energy().unwrap().meter(NodeId(0)).breakdown();
@@ -411,9 +427,12 @@ mod tests {
         let mut m = perfect_line(3);
         m.remove_node(NodeId(1));
         let f = Frame::broadcast(NodeId(0), vec![0; 5]);
-        assert!(m.transmit(SimTime::ZERO, &f).is_empty());
+        assert!(m.transmit(SimTime::ZERO, &f).outcomes.is_empty());
         let f1 = Frame::broadcast(NodeId(1), vec![0; 5]);
-        assert!(m.transmit(SimTime::from_micros(50_000), &f1).is_empty());
+        assert!(m
+            .transmit(SimTime::from_micros(50_000), &f1)
+            .outcomes
+            .is_empty());
         // And its carrier no longer makes the channel busy for others.
         assert!(!m.channel_busy(SimTime::from_micros(51_000), NodeId(0)));
     }
@@ -429,7 +448,7 @@ mod tests {
         for i in 0..n {
             let f = Frame::broadcast(NodeId(0), vec![0; 5]);
             let t = SimTime::from_micros(u64::from(i) * 1_000_000);
-            if m.transmit(t, &f)[0].outcome != DeliveryOutcome::Delivered {
+            if m.transmit(t, &f).outcomes[0].1 != DeliveryOutcome::Delivered {
                 lost += 1;
             }
         }

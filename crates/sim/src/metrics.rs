@@ -180,6 +180,26 @@ impl Metrics {
         self.latencies.get(name)
     }
 
+    /// Folds another registry into this one: counters are summed and
+    /// latency samples appended in `other`'s record order.
+    ///
+    /// This is how a trial executor merges per-trial metrics without
+    /// cross-thread contention: each trial accumulates into its own
+    /// registry on its worker thread, and the batch folds the registries
+    /// one by one in seed order afterwards — the result is independent of
+    /// how trials were scheduled onto threads.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, recorder) in &other.latencies {
+            let mine = self.latencies.entry(name.clone()).or_default();
+            for &us in recorder.samples() {
+                mine.record(SimDuration::from_micros(us));
+            }
+        }
+    }
+
     /// Iterates counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
         self.counters.iter().map(|(k, v)| (k.as_ref(), *v))
@@ -284,6 +304,23 @@ mod tests {
         let mut m = Metrics::new();
         m.record_latency(format!("op.{}", 3), SimDuration::from_millis(4));
         assert_eq!(m.latency("op.3").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_appends_latencies() {
+        let mut a = Metrics::new();
+        a.add("tx", 2);
+        a.record_latency("op", SimDuration::from_millis(10));
+        let mut b = Metrics::new();
+        b.add("tx", 3);
+        b.add("rx", 1);
+        b.record_latency("op", SimDuration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.counter("tx"), 5);
+        assert_eq!(a.counter("rx"), 1);
+        let r = a.latency("op").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.mean().as_millis(), 20);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub struct Tracer {
     capacity: usize,
     dropped: u64,
     echo: bool,
+    capture: bool,
 }
 
 impl Tracer {
@@ -74,6 +75,7 @@ impl Tracer {
             capacity,
             dropped: 0,
             echo: false,
+            capture: true,
         }
     }
 
@@ -83,7 +85,22 @@ impl Tracer {
         self.echo = echo;
     }
 
-    /// Appends a record.
+    /// Enables or disables record capture. With capture off (and echo off),
+    /// [`Tracer::record_with`] skips both detail formatting and storage —
+    /// benchmark drivers run thousands of trials whose results come from the
+    /// experiment log and metrics, and per-record `format!` allocations were
+    /// measurably the hottest line in clone-storm workloads. Capture is on
+    /// by default so tests and examples see full traces.
+    pub fn set_capture(&mut self, capture: bool) {
+        self.capture = capture;
+    }
+
+    /// Whether records are currently being retained (or echoed).
+    pub fn is_capturing(&self) -> bool {
+        self.capture || self.echo
+    }
+
+    /// Appends a record with an eagerly built detail string.
     pub fn record(
         &mut self,
         at: SimTime,
@@ -91,11 +108,27 @@ impl Tracer {
         kind: &'static str,
         detail: String,
     ) {
+        self.record_with(at, node, kind, || detail);
+    }
+
+    /// Appends a record, building the detail string only if the trace is
+    /// retained or echoed. Hot paths use this so a capture-disabled run
+    /// pays nothing for diagnostics.
+    pub fn record_with(
+        &mut self,
+        at: SimTime,
+        node: Option<NodeId>,
+        kind: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.capture && !self.echo {
+            return;
+        }
         let rec = TraceRecord {
             at,
             node,
             kind,
-            detail,
+            detail: detail(),
         };
         if self.echo {
             println!("{rec}");
@@ -201,6 +234,23 @@ mod tests {
             detail: "d".into(),
         };
         assert_eq!(r.to_string(), "[1.000000s n3] k: d");
+    }
+
+    #[test]
+    fn capture_disabled_skips_detail_and_storage() {
+        let mut tr = Tracer::new();
+        tr.set_capture(false);
+        assert!(!tr.is_capturing());
+        let mut built = false;
+        tr.record_with(SimTime::ZERO, None, "hot", || {
+            built = true;
+            "expensive".into()
+        });
+        assert!(!built, "detail closure must not run with capture off");
+        assert!(tr.is_empty());
+        tr.set_capture(true);
+        tr.record_with(SimTime::ZERO, None, "hot", || "kept".into());
+        assert_eq!(tr.count("hot"), 1);
     }
 
     #[test]

@@ -191,6 +191,18 @@ pub trait Host {
 /// Any [`VmError`] raised by decoding or executing the instruction.
 pub fn step<H: Host>(agent: &mut AgentState, host: &mut H) -> Result<StepResult, VmError> {
     let (ins, len) = Instruction::decode(agent.code(), agent.pc())?;
+    step_decoded(agent, host, ins, len)
+}
+
+/// [`step`] with the instruction already decoded — engines that decode for
+/// cost accounting hand the result straight in rather than paying a second
+/// decode on the per-instruction hot path.
+pub fn step_decoded<H: Host>(
+    agent: &mut AgentState,
+    host: &mut H,
+    ins: Instruction,
+    len: usize,
+) -> Result<StepResult, VmError> {
     let next_pc = agent.pc() + len as u16;
     use Opcode::*;
     match ins.op {
