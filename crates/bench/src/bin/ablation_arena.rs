@@ -7,7 +7,7 @@
 //! bytes shifted (linear) versus pointer overhead + capacity loss
 //! (free list) under a churn workload.
 
-use agilla_bench::Table;
+use agilla_bench::{BenchArgs, Table, TrialExecutor};
 use agilla_tuplespace::{ArenaKind, Field, Template, TemplateField, Tuple, TupleSpace};
 use wsn_sim::RngStream;
 
@@ -38,13 +38,16 @@ fn churn(kind: ArenaKind, ops: u32, seed: u64) -> (u64, usize, usize, u32) {
 }
 
 fn main() {
-    let ops: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
+    let args = BenchArgs::parse();
+    let ops = args.trials_or(100_000);
     println!("Ablation — tuple arena: linear shift-compaction vs free list ({ops} ops)\n");
-    let (lin_shift, lin_used, lin_peak, lin_rej) = churn(ArenaKind::Linear, ops, 7);
-    let (fl_shift, fl_used, fl_peak, fl_rej) = churn(ArenaKind::FreeList, ops, 7);
+    // Two independent churn trials; the engine fans and folds them in
+    // item order, so --threads never changes a byte of the table.
+    let mut engine = TrialExecutor::new(args.threads);
+    let kinds = [ArenaKind::Linear, ArenaKind::FreeList];
+    let results = engine.run(&kinds, |&kind| churn(kind, ops, 7));
+    let (lin_shift, lin_used, lin_peak, lin_rej) = results[0];
+    let (fl_shift, fl_used, fl_peak, fl_rej) = results[1];
 
     let mut t = Table::new(vec![
         "arena",
@@ -75,4 +78,5 @@ fn main() {
         lin_shift as f64 / f64::from(ops),
         fl_rej.saturating_sub(lin_rej),
     );
+    engine.report("ablation_arena");
 }

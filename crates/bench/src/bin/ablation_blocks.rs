@@ -7,11 +7,12 @@
 //! paper's workloads and reports both costs.
 
 use agilla::workload;
-use agilla_bench::Table;
+use agilla_bench::{BenchArgs, Table, TrialExecutor};
 use agilla_vm::asm::assemble;
 use wsn_common::Location;
 
 fn main() {
+    let args = BenchArgs::parse();
     let programs: Vec<(&str, Vec<u8>)> = vec![
         (
             "smove test",
@@ -57,7 +58,11 @@ fn main() {
         "total cost B",
     ]);
     let mut best = (usize::MAX, 0usize);
-    for block in [8usize, 11, 16, 22, 32, 44, 64, 110] {
+    // Each block size is one independent cell; the engine fans the sweep
+    // and returns rows in sweep order at any thread count.
+    let mut engine = TrialExecutor::new(args.threads);
+    let sizes = [8usize, 11, 16, 22, 32, 44, 64, 110];
+    let rows = engine.run(&sizes, |&block| {
         // Per-block forward pointer: 2 bytes of RAM each, as the paper's
         // "undue forward pointer overhead" implies.
         let mut blocks_total = 0usize;
@@ -70,13 +75,20 @@ fn main() {
         let n = programs.len();
         let pointer_overhead = blocks_total * 2 / n;
         let frag = waste_total / n;
-        let total = pointer_overhead + frag;
+        (
+            blocks_total,
+            frag,
+            pointer_overhead,
+            frag + pointer_overhead,
+        )
+    });
+    for (&block, &(blocks_total, frag, pointer_overhead, total)) in sizes.iter().zip(&rows) {
         if total < best.0 {
             best = (total, block);
         }
         t.row(vec![
             block.to_string(),
-            format!("{:.1}", blocks_total as f64 / n as f64),
+            format!("{:.1}", blocks_total as f64 / programs.len() as f64),
             frag.to_string(),
             pointer_overhead.to_string(),
             total.to_string(),
@@ -87,4 +99,5 @@ fn main() {
         "\nSweet spot on the paper's workloads: {} B blocks (paper chose 22 B).",
         best.1
     );
+    engine.report("ablation_blocks");
 }

@@ -28,20 +28,22 @@ fn main() {
     } else {
         &[]
     };
-    // The binary list matches the historical one (fig_energy stays a
-    // standalone family), so the wall-clock numbers in EXPERIMENTS.md stay
-    // comparable release to release.
+    // The binary list extends the historical one with fig_mix (PR 5's
+    // multi-application family; fig_energy stays a standalone family);
+    // EXPERIMENTS.md records wall clocks per list revision.
     let with_threads = |t: &str| [std::slice::from_ref(&t.to_string()), threaded].concat();
+    let mix_trials = if args.quick { "5" } else { "20" }.to_string();
     let bins: Vec<(&str, Vec<String>)> = vec![
         ("fig9_reliability", with_threads(&trials)),
         ("fig10_latency", with_threads(&trials)),
         ("fig11_remote_ops", with_threads(&trials)),
         ("fig12_local_ops", no_wall.to_vec()),
+        ("fig_mix", with_threads(&mix_trials)),
         ("table_memory", vec![]),
         ("mate_comparison", vec![]),
-        ("ablation_migration", vec![ablation]),
-        ("ablation_arena", vec![]),
-        ("ablation_blocks", vec![]),
+        ("ablation_migration", with_threads(&ablation)),
+        ("ablation_arena", with_threads("100000")),
+        ("ablation_blocks", threaded.to_vec()),
     ];
     for (bin, bin_args) in bins {
         println!("\n=== {bin} ===\n");

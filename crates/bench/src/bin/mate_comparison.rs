@@ -13,8 +13,10 @@
 //! spreader. Flooding wins here — mobile agents pay per-hop reliability —
 //! which is the honest flip side the comparison preserves.
 
-use agilla::{AgillaConfig, AgillaNetwork, Environment};
-use agilla_bench::Table;
+use agilla::scenario::OneShot;
+use agilla::testbed::TopologySpec;
+use agilla::{AgillaConfig, AgillaNetwork, Testbed};
+use agilla_bench::{BenchArgs, Table};
 use mate_baseline::{Capsule, CapsuleKind, MateNetwork};
 use wsn_common::{Location, NodeId};
 use wsn_radio::{LossModel, Topology};
@@ -54,33 +56,40 @@ fn protocol_frames(net: &AgillaNetwork) -> u64 {
 }
 
 fn agilla_retask_one(seed: u64, grid: i16) -> (u64, f64) {
-    let mut net = AgillaNetwork::new(
-        Topology::grid_with_base(grid, grid),
-        LossModel::perfect(),
-        AgillaConfig::default(),
-        Environment::ambient(),
-        seed,
-    );
     // Retask the far corner: the worst case for targeted injection.
     let target = Location::new(grid, grid);
-    let id = net
-        .inject_source(&agilla::workload::one_way_agent("smove", target))
-        .expect("inject");
-    net.run_for(SimDuration::from_secs(30));
+    let bed = Testbed::new(
+        TopologySpec::Custom {
+            topology: Topology::grid_with_base(grid, grid),
+            loss: LossModel::perfect(),
+        },
+        AgillaConfig::default(),
+        seed,
+    );
+    let trial = bed
+        .scenario(0)
+        .traffic(OneShot::at_base(agilla::workload::one_way_agent(
+            "smove", target,
+        )))
+        .horizon(SimDuration::from_secs(30))
+        .execute();
+    let (net, id) = (&trial.net, trial.agent(0));
     let t = net.node_at(target).unwrap();
     let arr = net.log().arrivals(id, t);
     let latency = arr
         .first()
         .map(|a| a.since(net.log().injected_at(id).unwrap()).as_secs_f64())
         .unwrap_or(f64::NAN);
-    (protocol_frames(&net), latency)
+    (protocol_frames(net), latency)
 }
 
 fn agilla_install_everywhere(seed: u64) -> (u64, f64, usize) {
-    let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), seed);
-    net.inject_source_at(Location::new(1, 1), SPREADER)
-        .expect("inject spreader");
-    net.run_for(SimDuration::from_secs(60));
+    let trial = Testbed::reliable_5x5(AgillaConfig::default(), seed)
+        .scenario(0)
+        .traffic(OneShot::at(Location::new(1, 1), SPREADER))
+        .horizon(SimDuration::from_secs(60))
+        .execute();
+    let net = &trial.net;
     let tmpl = agilla_tuplespace::Template::new(vec![agilla_tuplespace::TemplateField::exact(
         agilla_tuplespace::Field::str("app"),
     )]);
@@ -98,7 +107,7 @@ fn agilla_install_everywhere(seed: u64) -> (u64, f64, usize) {
         .max()
         .map(|t| t.as_secs_f64())
         .unwrap_or(f64::NAN);
-    (protocol_frames(&net), done, installed)
+    (protocol_frames(net), done, installed)
 }
 
 fn mate_flood(seed: u64, grid: i16) -> (u64, f64, usize) {
@@ -119,6 +128,7 @@ fn mate_flood(seed: u64, grid: i16) -> (u64, f64, usize) {
 }
 
 fn main() {
+    let _args = BenchArgs::parse(); // uniform CLI: rejects typo'd flags
     println!("Section 5 comparison — reprogramming cost: Agilla vs Mate\n");
 
     // Scenario A on a 10x10 grid (101 nodes with base).

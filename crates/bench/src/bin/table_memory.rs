@@ -3,9 +3,10 @@
 //! and 4 KB RAM.
 
 use agilla::{AgillaConfig, MemoryModel};
-use agilla_bench::Table;
+use agilla_bench::{BenchArgs, Table};
 
 fn main() {
+    let _args = BenchArgs::parse(); // uniform CLI: rejects typo'd flags
     let config = AgillaConfig::default();
     let model = MemoryModel::for_config(&config);
     println!("Memory footprint (paper: 41.6 KB code, 3.59 KB data)\n");

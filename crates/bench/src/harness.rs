@@ -1,12 +1,16 @@
 //! Trial runners for the paper's experiments, built on the SimEngine:
-//! every figure describes its trials as `agilla::testbed::TrialSpec`s and
-//! fans them across [`crate::engine::run_trials_parallel`] workers. Results
-//! are merged in spec order, so any thread count produces byte-identical
-//! figures (a tier-1 test asserts exactly that).
+//! every figure describes its trials as a table of
+//! `agilla::scenario::ScenarioSpec`s — substrate + seed + traffic +
+//! scheduled events — and fans them across
+//! [`crate::engine::run_trials_parallel`] workers. Results are merged in
+//! spec order, so any thread count produces byte-identical figures (a
+//! tier-1 test asserts exactly that), and because a scenario compiles to
+//! the same `TrialSpec` step script the figures always ran, the port from
+//! hand-written step scripts changed no output byte.
 
-use agilla::testbed::{Testbed, TrialSpec};
+use agilla::scenario::{AppMix, AppSpec, OneShot, Periodic, Perturbation, ScenarioSpec};
 use agilla::workload;
-use agilla::{AgillaConfig, AgillaNetwork, EnergyConfig, Environment, FireModel};
+use agilla::{AgillaConfig, AgillaNetwork, EnergyConfig, Environment, FireModel, Testbed};
 use agilla_vm::exec::{run_to_effect, StepResult, TestHost};
 use agilla_vm::isa::{CostModel, Opcode};
 use agilla_vm::{asm, AgentState};
@@ -52,7 +56,7 @@ struct Fig9Outcome {
     metrics: Metrics,
 }
 
-fn run_smove_trial(spec: &TrialSpec, target: Location) -> Fig9Outcome {
+fn run_smove_trial(spec: &ScenarioSpec, target: Location) -> Fig9Outcome {
     let mut trial = spec.execute();
     let net = &trial.net;
     let id = trial.agent(0);
@@ -82,7 +86,7 @@ fn run_smove_trial(spec: &TrialSpec, target: Location) -> Fig9Outcome {
     }
 }
 
-fn run_rout_trial(spec: &TrialSpec) -> Fig9Outcome {
+fn run_rout_trial(spec: &ScenarioSpec) -> Fig9Outcome {
     let mut trial = spec.execute();
     let net = &trial.net;
     let id = trial.agent(0);
@@ -125,22 +129,22 @@ pub fn fig9_fig10(
     let bed = Testbed::lossy_5x5(config.clone(), base_seed);
     // One flat batch covering every (hop, op, trial); workers pull from it
     // freely, and results come back in this exact order.
-    let mut items: Vec<(i16, bool, TrialSpec)> = Vec::new();
+    let mut items: Vec<(i16, bool, ScenarioSpec)> = Vec::new();
     for h in 1..=5i16 {
         let target = Location::new(h, 1);
         let home = Location::new(0, 1);
         for t in 0..trials {
             let spec = bed
-                .trial(u64::from(t) * 65_537 + h as u64)
-                .inject(workload::smove_test_agent(target, home))
-                .run(RUN);
+                .scenario(u64::from(t) * 65_537 + h as u64)
+                .traffic(OneShot::at_base(workload::smove_test_agent(target, home)))
+                .horizon(RUN);
             items.push((h, true, spec));
         }
         for t in 0..trials {
             let spec = bed
-                .trial(u64::from(t) * 131_071 + 7 * h as u64 + 3)
-                .inject(workload::rout_test_agent(target))
-                .run(RUN);
+                .scenario(u64::from(t) * 131_071 + 7 * h as u64 + 3)
+                .traffic(OneShot::at_base(workload::rout_test_agent(target)))
+                .horizon(RUN);
             items.push((h, false, spec));
         }
     }
@@ -271,18 +275,12 @@ pub struct Fig11Row {
     pub samples: usize,
 }
 
-/// Builds the spec for one Fig. 11 trial: optional tuple pre-seeding, then
-/// the measured operation.
-fn fig11_spec(bed: &Testbed, op: RemoteOpKind, op_idx: usize, t: u32) -> TrialSpec {
+/// Builds the scenario for one Fig. 11 trial: the measured operation as a
+/// one-shot, with tuple pre-seeding expressed as setup traffic before the
+/// measurement boundary where the operation probes a tuple.
+fn fig11_spec(bed: &Testbed, op: RemoteOpKind, op_idx: usize, t: u32) -> ScenarioSpec {
     let target = Location::new(1, 1);
-    let mut spec = bed.trial((u64::from(t) * 2_097_143) ^ (op_idx as u64 * 7_919));
-    if matches!(op, RemoteOpKind::Rinp | RemoteOpKind::Rrdp) {
-        // Seed the target space with the probed tuple.
-        spec = spec
-            .inject_at(target, "pushc 1\npushc 1\nout\nhalt")
-            .run(SimDuration::from_secs(1))
-            .clear_log();
-    }
+    let spec = bed.scenario((u64::from(t) * 2_097_143) ^ (op_idx as u64 * 7_919));
     let src = match op {
         RemoteOpKind::Rout => workload::rout_test_agent(target),
         RemoteOpKind::Rinp => format!(
@@ -295,10 +293,20 @@ fn fig11_spec(bed: &Testbed, op: RemoteOpKind, op_idx: usize, t: u32) -> TrialSp
         ),
         _ => workload::one_way_agent(op.name(), target),
     };
-    spec.inject(src).run(SimDuration::from_secs(10))
+    const MEASURED: SimDuration = SimDuration::from_micros(10_000_000);
+    if matches!(op, RemoteOpKind::Rinp | RemoteOpKind::Rrdp) {
+        // Seed the target space with the probed tuple, then measure.
+        const SETUP: SimDuration = SimDuration::from_micros(1_000_000);
+        spec.traffic(OneShot::at(target, "pushc 1\npushc 1\nout\nhalt"))
+            .traffic(OneShot::at_base(src).delayed(SETUP))
+            .measure_from(SETUP)
+            .horizon(SETUP + MEASURED)
+    } else {
+        spec.traffic(OneShot::at_base(src)).horizon(MEASURED)
+    }
 }
 
-fn fig11_latency(op: RemoteOpKind, spec: &TrialSpec) -> Option<SimDuration> {
+fn fig11_latency(op: RemoteOpKind, spec: &ScenarioSpec) -> Option<SimDuration> {
     let target = Location::new(1, 1);
     let trial = spec.execute();
     let net = &trial.net;
@@ -339,7 +347,7 @@ pub fn fig11_one_hop(
     threads: usize,
 ) -> Vec<Fig11Row> {
     let bed = Testbed::reliable_5x5(config.clone(), base_seed);
-    let mut items: Vec<(RemoteOpKind, TrialSpec)> = Vec::new();
+    let mut items: Vec<(RemoteOpKind, ScenarioSpec)> = Vec::new();
     for (op_idx, &op) in RemoteOpKind::ALL.iter().enumerate() {
         for t in 0..trials {
             items.push((op, fig11_spec(&bed, op, op_idx, t)));
@@ -581,7 +589,7 @@ pub fn fig_energy_per_op(trials: u32, base_seed: u64, threads: usize) -> Vec<Ene
         // to the horizon before reading — without this, both runs' idle
         // baselines would be cut off at their last *event* rather than the
         // shared deadline, and the difference would smuggle in idle drain.
-        let mut control = bed.trial(mix).run(RUN).execute();
+        let mut control = bed.scenario(mix).horizon(RUN).execute();
         control.net.record_energy_metrics();
         let baseline = control
             .net
@@ -593,7 +601,11 @@ pub fn fig_energy_per_op(trials: u32, base_seed: u64, threads: usize) -> Vec<Ene
         let ops = energy_ops(target);
         let mut deltas: OpDeltas = [None; 4];
         for (i, (_, src)) in ops.iter().enumerate() {
-            let mut trial = bed.trial(mix).inject(src.clone()).run(RUN).execute();
+            let mut trial = bed
+                .scenario(mix)
+                .traffic(OneShot::at_base(src.clone()))
+                .horizon(RUN)
+                .execute();
             let net = &trial.net;
             let id = trial.agent(0);
             let completed = if i < 2 {
@@ -693,9 +705,9 @@ pub fn fig_energy_lifetime(
             energy,
             ..AgillaConfig::default()
         };
-        // Stepped driving with an early exit predicate: build from the spec,
-        // then drive by hand.
-        let mut net = Testbed::reliable_5x5(config, seed).trial(0).build();
+        // Stepped driving with an early exit predicate: build from the
+        // scenario's substrate, then drive by hand.
+        let mut net = Testbed::reliable_5x5(config, seed).scenario(0).build();
         let half = 13;
         let mut elapsed = 0u64;
         while elapsed < horizon_s {
@@ -746,7 +758,7 @@ pub fn fig_energy_agents_alive(
         energy: EnergyConfig::with_battery(battery_j),
         ..AgillaConfig::default()
     };
-    let mut net: AgillaNetwork = Testbed::reliable_5x5(config, seed).trial(0).build();
+    let mut net: AgillaNetwork = Testbed::reliable_5x5(config, seed).scenario(0).build();
     // The base station is mains-powered: the application's anchor survives.
     net.set_battery(net.base(), 1e12);
     net.inject_source(workload::FIRE_TRACKER)
@@ -783,6 +795,146 @@ pub fn fig_energy_agents_alive(
         });
     }
     samples
+}
+
+// --- fig_mix: multi-application arrival mixes under load --------------------
+
+/// One row of the fig_mix load sweep: what the testbed did while a
+/// weighted multi-application mix arrived at `rate_per_s`, averaged over
+/// the sweep's trials.
+#[derive(Debug, Clone)]
+pub struct MixRow {
+    /// Aggregate arrival rate of the mix, agents per simulated second.
+    pub rate_per_s: f64,
+    /// Agents admitted, summed across trials.
+    pub injected: u64,
+    /// Arrivals the middleware refused admission (all slots busy) —
+    /// open-loop load shedding.
+    pub rejected: u64,
+    /// Hop migrations that completed (`migration.arrived`).
+    pub migrations: u64,
+    /// Remote tuple-space operations that completed successfully.
+    pub remote_ok: u64,
+    /// Agents that ran to completion (halted).
+    pub halted: u64,
+    /// Protocol frames per trial (beacons excluded), mean.
+    pub frames_per_trial: f64,
+}
+
+/// What one fig_mix trial measured, extracted on the worker thread.
+#[derive(Debug)]
+struct MixOutcome {
+    injected: u64,
+    rejected: u64,
+    remote_ok: u64,
+    halted: u64,
+    frames: u64,
+    metrics: Metrics,
+}
+
+/// Builds one fig_mix scenario: a Poisson multi-application mix — smove
+/// round-trips, rout drops, and FIRETRACKER instances — arriving at the
+/// base station at `rate_per_s`, while FIREDETECTOR patrols land near the
+/// fire site, a fire ignites at t = 20 s (so trackers have alerts to chase),
+/// and a mote on the bottom row dies at t = 30 s (mid-run churn the mix must
+/// route around).
+fn fig_mix_scenario(bed: &Testbed, rate_per_s: f64, seed_mix: u64) -> ScenarioSpec {
+    const HORIZON: SimDuration = SimDuration::from_micros(60_000_000);
+    let fire_at = Location::new(4, 3);
+    let base = Location::new(0, 1);
+    let ignition = SimTime::ZERO + SimDuration::from_micros(20_000_000);
+    bed.scenario(seed_mix)
+        .with_env(Environment::with_fire(FireModel::new(fire_at, ignition)))
+        .traffic(AppMix::new(
+            rate_per_s,
+            vec![
+                AppSpec::at_base(2, workload::smove_test_agent(Location::new(2, 1), base)),
+                AppSpec::at_base(2, workload::rout_test_agent(Location::new(3, 2))),
+                AppSpec::at_base(1, workload::FIRE_TRACKER),
+            ],
+        ))
+        .traffic(Periodic::at(
+            fire_at,
+            SimDuration::from_micros(25_000_000),
+            2,
+            workload::fire_detector(base, 16),
+        ))
+        .event(
+            SimDuration::from_micros(30_000_000),
+            Perturbation::KillNode(Location::new(3, 1)),
+        )
+        .horizon(HORIZON)
+}
+
+/// Runs the multi-application mix sweep (fig_mix): for each arrival rate,
+/// `trials` independent 60 s scenarios on the lossy testbed, fanned across
+/// `threads` workers and folded in spec order.
+pub fn fig_mix(trials: u32, base_seed: u64, config: &AgillaConfig, threads: usize) -> Vec<MixRow> {
+    const RATES: [f64; 4] = [0.2, 0.5, 1.0, 2.0];
+    let bed = Testbed::lossy_5x5(config.clone(), base_seed);
+    let mut items: Vec<(usize, ScenarioSpec)> = Vec::new();
+    for (r, &rate) in RATES.iter().enumerate() {
+        for t in 0..trials {
+            let spec = fig_mix_scenario(&bed, rate, u64::from(t) * 524_287 + r as u64 * 31);
+            items.push((r, spec));
+        }
+    }
+    let outcomes = run_trials_parallel(&items, threads, |(_, spec)| {
+        let mut trial = spec.execute();
+        let net = &trial.net;
+        let mut remote_ok = 0u64;
+        let mut halted = 0u64;
+        for rec in net.log().records() {
+            match rec {
+                agilla::stats::OpRecord::RemoteCompleted { success: true, .. } => remote_ok += 1,
+                agilla::stats::OpRecord::AgentHalted { .. } => halted += 1,
+                _ => {}
+            }
+        }
+        let frames =
+            net.metrics().counter("radio.frames_sent") - net.metrics().counter("radio.beacons");
+        MixOutcome {
+            injected: trial.agents.len() as u64,
+            rejected: u64::from(trial.rejected),
+            remote_ok,
+            halted,
+            frames,
+            metrics: trial.net.take_metrics(),
+        }
+    });
+
+    RATES
+        .iter()
+        .enumerate()
+        .map(|(r, &rate)| {
+            let mut row = MixRow {
+                rate_per_s: rate,
+                injected: 0,
+                rejected: 0,
+                migrations: 0,
+                remote_ok: 0,
+                halted: 0,
+                frames_per_trial: 0.0,
+            };
+            // Fold in spec order — deterministic at any thread count.
+            let mut fold = Metrics::new();
+            let mut frames = 0u64;
+            for ((ir, _), o) in items.iter().zip(&outcomes) {
+                if *ir != r {
+                    continue;
+                }
+                fold.merge(&o.metrics);
+                row.injected += o.injected;
+                row.rejected += o.rejected;
+                row.remote_ok += o.remote_ok;
+                row.halted += o.halted;
+                frames += o.frames;
+            }
+            row.migrations = fold.counter("migration.arrived");
+            row.frames_per_trial = frames as f64 / f64::from(trials.max(1));
+            row
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -880,6 +1032,22 @@ mod tests {
             // …or it survived the whole horizon.
             None => assert_eq!(rows[1].deaths, 0),
         }
+    }
+
+    #[test]
+    fn fig_mix_load_grows_with_rate() {
+        let rows = fig_mix(2, 0xA11, &AgillaConfig::default(), 1);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.injected > 0, "rate {} injected nothing", r.rate_per_s);
+            assert!(r.frames_per_trial > 0.0);
+        }
+        // More offered load, more admitted agents (2/s vs 0.2/s is 10x).
+        assert!(rows[3].injected > rows[0].injected);
+        // The mix completes real work at every rate.
+        assert!(rows.iter().all(|r| r.halted > 0));
+        assert!(rows.iter().any(|r| r.migrations > 0));
+        assert!(rows.iter().any(|r| r.remote_ok > 0));
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub use cli::BenchArgs;
 pub use engine::{run_trials_parallel, TrialExecutor};
 pub use harness::{
     fig11_one_hop, fig12_local_ops, fig12_local_ops_opts, fig9_fig10, fig_energy_agents_alive,
-    fig_energy_lifetime, fig_energy_per_op, AliveSample, EnergyOpRow, Fig11Row, Fig12Row,
-    HopResult, LifetimeRow, RemoteOpKind,
+    fig_energy_lifetime, fig_energy_per_op, fig_mix, AliveSample, EnergyOpRow, Fig11Row, Fig12Row,
+    HopResult, LifetimeRow, MixRow, RemoteOpKind,
 };
 pub use report::Table;

@@ -8,7 +8,7 @@
 //! *complete* serialized results, including an energy-enabled family.
 
 use agilla::AgillaConfig;
-use agilla_bench::{fig11_one_hop, fig9_fig10, fig_energy_lifetime, fig_energy_per_op};
+use agilla_bench::{fig11_one_hop, fig9_fig10, fig_energy_lifetime, fig_energy_per_op, fig_mix};
 
 #[test]
 fn fig9_sweep_identical_across_thread_counts() {
@@ -33,6 +33,19 @@ fn energy_per_op_identical_across_thread_counts() {
     let serial = format!("{:?}", fig_energy_per_op(2, 99, 1));
     let parallel = format!("{:?}", fig_energy_per_op(2, 99, 2));
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn fig_mix_sweep_identical_across_thread_counts() {
+    // The multi-app mix exercises the whole Scenario stack under threads:
+    // Poisson/AppMix draws from per-generator RNG substreams, open-loop
+    // admission rejections, a scheduled mid-run node kill, and the
+    // metrics fold over per-trial registries.
+    let serial = format!("{:?}", fig_mix(2, 7, &AgillaConfig::default(), 1));
+    for threads in [2, 4] {
+        let parallel = format!("{:?}", fig_mix(2, 7, &AgillaConfig::default(), threads));
+        assert_eq!(serial, parallel, "fig_mix diverged at {threads} threads");
+    }
 }
 
 #[test]

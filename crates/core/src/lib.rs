@@ -55,6 +55,7 @@ pub mod memory;
 pub mod migration;
 pub mod network;
 pub mod node;
+pub mod scenario;
 pub mod stats;
 pub mod testbed;
 pub mod wire;
@@ -66,4 +67,8 @@ pub use error::AgillaError;
 pub use memory::MemoryModel;
 pub use network::AgillaNetwork;
 pub use node::{AgentStatus, Node};
+pub use scenario::{
+    AppMix, AppSpec, Arrival, InjectionSite, OneShot, Periodic, Perturbation, Poisson,
+    ScenarioSpec, ScheduledEvent, TrafficGen,
+};
 pub use testbed::{Testbed, TopologySpec, Trial, TrialSpec, TrialStep};

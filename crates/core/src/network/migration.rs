@@ -104,7 +104,7 @@ impl AgillaNetwork {
             .record_with(now, Some(node_id), "migrate.start", || {
                 format!("{} {:?} -> {dest}", image.agent_id, kind)
             });
-        self.metrics.incr("migration.started");
+        self.metrics.bump(self.ctr.mig_started);
         let setup = SimDuration::from_micros(self.config.timing.migration_sender_setup_us);
         self.open_sender_session(idx, image, held_agent, origin_slot, setup, now);
     }
@@ -218,7 +218,7 @@ impl AgillaNetwork {
         self.nodes[idx].send_sessions.insert(session, s);
         // Remember which slot the clone original sits in via the map below.
         if let Some(slot_idx) = origin_slot {
-            self.metrics.incr("migration.clone_sessions");
+            self.metrics.bump(self.ctr.mig_clone_sessions);
             // Encode the slot in the session record through held_agent=None +
             // origin lookup at completion time: store in a side map.
             self.clone_origins.push((node_id, session, slot_idx));
@@ -371,7 +371,7 @@ impl AgillaNetwork {
                 self.fail_sender(idx, session, "ack retries exhausted", now)
             }
             RetxVerdict::Retry => {
-                self.metrics.incr("migration.retx");
+                self.metrics.bump(self.ctr.mig_retx);
                 self.send_migration_msg(idx, session, SimDuration::ZERO, now);
             }
         }
@@ -411,7 +411,7 @@ impl AgillaNetwork {
             s.retx.reset_for_failover();
             (previous, next)
         };
-        self.metrics.incr("migration.failover");
+        self.metrics.bump(self.ctr.mig_failover);
         self.tracer
             .record_with(now, Some(node_id), "migrate.failover", || {
                 format!("session {session}: {previous} -> {next}")
@@ -456,7 +456,7 @@ impl AgillaNetwork {
             .record_with(now, Some(node_id), "migrate.fail", || {
                 format!("{}: {why}", s.image.agent_id)
             });
-        self.metrics.incr("migration.failed");
+        self.metrics.bump(self.ctr.mig_failed);
         let origin_slot = self.take_clone_origin(node_id, session);
         self.resume_failed_migration(idx, s.image, s.held_agent, origin_slot, now);
     }
@@ -603,7 +603,7 @@ impl AgillaNetwork {
         if let Some((cached_from, cached_origin)) = self.nodes[idx].mig_done(h.session, from, now) {
             // Header retransmission for a completed session: re-ack rather
             // than reopening the session and receiving a duplicate agent.
-            self.metrics.incr("migration.reack");
+            self.metrics.bump(self.ctr.mig_reack);
             self.send_ack_via(
                 idx,
                 h.session,
@@ -751,7 +751,7 @@ impl AgillaNetwork {
                 // fact arrived. Truly unknown (aborted) sessions stay silent
                 // and the sender gives up.
                 if let Some((reply_to, origin)) = self.nodes[idx].mig_done(d.session, from, now) {
-                    self.metrics.incr("migration.reack");
+                    self.metrics.bump(self.ctr.mig_reack);
                     self.send_ack_via(idx, d.session, d.section, d.seq, reply_to, origin);
                 }
                 return;
@@ -790,7 +790,7 @@ impl AgillaNetwork {
                 .record_with(now, Some(node_id), "migrate.rxabort", || {
                     format!("session {session}")
                 });
-            self.metrics.incr("migration.rxabort");
+            self.metrics.bump(self.ctr.mig_rxabort);
         } else {
             let timer = self.queue.schedule(
                 last_progress + window,
@@ -842,7 +842,7 @@ impl AgillaNetwork {
             for r in reactions {
                 let _ = self.nodes[idx].registry.register(r);
             }
-            self.metrics.incr("migration.arrived");
+            self.metrics.bump(self.ctr.mig_arrived);
             self.log.push(OpRecord::MigrationArrived {
                 agent: agent_id,
                 node: node_id,

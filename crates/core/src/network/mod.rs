@@ -32,7 +32,7 @@ use wsn_radio::{
     DeliveryOutcome, EnergyLedger, EnergyMeter, EnergyState, Frame, GilbertElliott, LossModel,
     Medium, Topology,
 };
-use wsn_sim::{EventQueue, Metrics, RngStream, SimDuration, SimTime, Tracer};
+use wsn_sim::{CounterId, EventQueue, Metrics, RngStream, SimDuration, SimTime, Tracer};
 
 use crate::config::AgillaConfig;
 use crate::env::Environment;
@@ -83,6 +83,57 @@ enum EngineStep {
     },
 }
 
+/// Pre-registered [`CounterId`] handles for every counter the event loop
+/// bumps while the simulation runs. Registering once at construction moves
+/// the string-name resolution out of the hot path: a bump is a single
+/// indexed add into the metrics registry's flat array. Report-time series
+/// (the `energy.*` gauges) keep using the named API.
+///
+/// The registration sequence is fixed, so re-running it against a fresh
+/// registry (see [`AgillaNetwork::take_metrics`]) yields identical ids.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NetCounters {
+    frames_sent: CounterId,
+    frames_lost: CounterId,
+    beacons: CounterId,
+    nodes_killed: CounterId,
+    energy_nodes_dead: CounterId,
+    pub(crate) mig_started: CounterId,
+    pub(crate) mig_clone_sessions: CounterId,
+    pub(crate) mig_retx: CounterId,
+    pub(crate) mig_failover: CounterId,
+    pub(crate) mig_failed: CounterId,
+    pub(crate) mig_reack: CounterId,
+    pub(crate) mig_rxabort: CounterId,
+    pub(crate) mig_arrived: CounterId,
+    pub(crate) remote_retx: CounterId,
+    pub(crate) remote_failover: CounterId,
+    pub(crate) remote_reack: CounterId,
+}
+
+impl NetCounters {
+    fn register(m: &mut Metrics) -> Self {
+        NetCounters {
+            frames_sent: m.register("radio.frames_sent"),
+            frames_lost: m.register("radio.frames_lost"),
+            beacons: m.register("radio.beacons"),
+            nodes_killed: m.register("faults.nodes_killed"),
+            energy_nodes_dead: m.register("energy.nodes_dead"),
+            mig_started: m.register("migration.started"),
+            mig_clone_sessions: m.register("migration.clone_sessions"),
+            mig_retx: m.register("migration.retx"),
+            mig_failover: m.register("migration.failover"),
+            mig_failed: m.register("migration.failed"),
+            mig_reack: m.register("migration.reack"),
+            mig_rxabort: m.register("migration.rxabort"),
+            mig_arrived: m.register("migration.arrived"),
+            remote_retx: m.register("remote.retx"),
+            remote_failover: m.register("remote.failover"),
+            remote_reack: m.register("remote.reack"),
+        }
+    }
+}
+
 /// The complete simulated network (see module docs).
 #[derive(Debug)]
 pub struct AgillaNetwork {
@@ -93,6 +144,7 @@ pub struct AgillaNetwork {
     nodes: Vec<Node>,
     tracer: Tracer,
     metrics: Metrics,
+    ctr: NetCounters,
     log: ExperimentLog,
     mac: CsmaMac,
     rng_mac: RngStream,
@@ -139,6 +191,8 @@ impl AgillaNetwork {
             .nodes()
             .map(|id| Node::new(id, medium.topology().location(id), &config))
             .collect();
+        let mut metrics = Metrics::new();
+        let ctr = NetCounters::register(&mut metrics);
         let mut net = AgillaNetwork {
             config,
             env,
@@ -146,7 +200,8 @@ impl AgillaNetwork {
             medium,
             nodes,
             tracer: Tracer::new(),
-            metrics: Metrics::new(),
+            metrics,
+            ctr,
             log: ExperimentLog::new(),
             mac: CsmaMac::new(mac_config),
             rng_mac: RngStream::derive(seed, "net.mac"),
@@ -292,6 +347,14 @@ impl AgillaNetwork {
     /// Admission failure or an over-budget program.
     pub fn inject_at(&mut self, node: NodeId, code: Vec<u8>) -> Result<AgentId, AgillaError> {
         let idx = node.index();
+        if self.nodes[idx].dead {
+            // A fault-injected or depleted mote admits nothing; without
+            // this, the agent would be counted as injected yet never run
+            // (dead nodes' engine events fall on the floor).
+            return Err(AgillaError::Admission {
+                reason: "node is dead",
+            });
+        }
         if !self.nodes[idx].can_admit(code.len(), &self.config) {
             return Err(AgillaError::Admission {
                 reason: "no agent slot or code blocks free",
@@ -392,9 +455,13 @@ impl AgillaNetwork {
 
     /// Moves the metrics registry out of the network (leaving an empty
     /// one), so a trial executor can fold per-trial metrics into a batch
-    /// total without cloning the maps.
+    /// total without cloning the maps. The replacement registry re-runs
+    /// the same counter registration sequence, so the network's
+    /// pre-resolved [`CounterId`] handles stay valid.
     pub fn take_metrics(&mut self) -> Metrics {
-        std::mem::take(&mut self.metrics)
+        let mut fresh = Metrics::new();
+        self.ctr = NetCounters::register(&mut fresh);
+        std::mem::replace(&mut self.metrics, fresh)
     }
 
     /// The radio medium (frame statistics).
@@ -423,13 +490,41 @@ impl AgillaNetwork {
     /// after which routing detours around the hole.
     pub fn kill_node(&mut self, node: NodeId) {
         let idx = node.index();
+        if self.nodes[idx].dead {
+            // Already dead (battery depletion, or a duplicate scheduled
+            // kill): one mote must not produce two NodeDied records.
+            return;
+        }
         self.nodes[idx].dead = true;
         self.nodes[idx].tx_queue.clear();
         let now = self.now();
         self.log.push(OpRecord::NodeDied { node, at: now });
         self.tracer
             .record_with(now, Some(node), "node.dead", || "fault injected".into());
-        self.metrics.incr("faults.nodes_killed");
+        self.metrics.bump(self.ctr.nodes_killed);
+    }
+
+    /// Fault injection: permanently severs the radio link between two
+    /// motes in both directions (a wall goes up, an antenna breaks). Both
+    /// motes stay up; frames between them stop arriving immediately, and
+    /// the acquaintance lists age the pairing out after the beacon TTL.
+    pub fn drop_link(&mut self, a: NodeId, b: NodeId) {
+        self.medium.drop_link(a, b);
+        let now = self.now();
+        self.tracer
+            .record_with(now, Some(a), "link.dropped", || format!("{a} -x- {b}"));
+        self.metrics.incr("faults.links_dropped");
+    }
+
+    /// Fault injection: replaces the channel loss model mid-run — a
+    /// scenario stepping the loss rate to model interference coming and
+    /// going. Per-link burst channels restart under the new model.
+    pub fn set_loss_model(&mut self, loss: LossModel) {
+        self.medium.set_loss(loss);
+        let now = self.now();
+        self.tracer
+            .record_with(now, None, "loss.stepped", || "loss model replaced".into());
+        self.metrics.incr("faults.loss_steps");
     }
 
     /// Whether `node` has been failed by fault injection or battery death.
@@ -519,7 +614,7 @@ impl AgillaNetwork {
         self.log.push(OpRecord::NodeDied { node, at: now });
         self.tracer
             .record_with(now, Some(node), "node.dead", || "battery depleted".into());
-        self.metrics.incr("energy.nodes_dead");
+        self.metrics.bump(self.ctr.energy_nodes_dead);
     }
 
     // --- event dispatch ---------------------------------------------------
@@ -911,11 +1006,11 @@ impl AgillaNetwork {
             .expect("non-empty queue");
         self.nodes[idx].tx_attempt = 0;
         let air = self.medium.effective_air_time(&frame);
-        self.metrics.incr("radio.frames_sent");
+        self.metrics.bump(self.ctr.frames_sent);
         let batch = self.medium.transmit(now, &frame);
         for (_, outcome) in &batch.outcomes {
             if *outcome != DeliveryOutcome::Delivered {
-                self.metrics.incr("radio.frames_lost");
+                self.metrics.bump(self.ctr.frames_lost);
             }
         }
         if !batch.outcomes.is_empty() {
@@ -941,7 +1036,7 @@ impl AgillaNetwork {
     fn handle_beacon(&mut self, idx: usize, now: SimTime) {
         let node_id = self.nodes[idx].id;
         let loc = self.nodes[idx].loc;
-        self.metrics.incr("radio.beacons");
+        self.metrics.bump(self.ctr.beacons);
         let msg = wire::message(am::BEACON, encode_beacon(loc));
         self.enqueue_frame(
             idx,

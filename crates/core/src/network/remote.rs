@@ -227,7 +227,7 @@ impl AgillaNetwork {
                 );
             }
             RetxVerdict::Retry => {
-                self.metrics.incr("remote.retx");
+                self.metrics.bump(self.ctr.remote_retx);
                 self.send_rts_request(idx, op_id, now);
             }
         }
@@ -259,7 +259,7 @@ impl AgillaNetwork {
             }
             p.retx.reset_for_failover();
         }
-        self.metrics.incr("remote.failover");
+        self.metrics.bump(self.ctr.remote_failover);
         self.tracer
             .record_with(now, Some(node_id), "remote.failover", || {
                 format!("op{op_id}")
@@ -315,7 +315,7 @@ impl AgillaNetwork {
                 op_id: req.op_id,
             };
             let reply = if let Some(r) = self.nodes[idx].cached_reply(key, now) {
-                self.metrics.incr("remote.reack");
+                self.metrics.bump(self.ctr.remote_reack);
                 self.tracer
                     .record_with(now, Some(node_id), "remote.reack", || {
                         format!("op{}", req.op_id)

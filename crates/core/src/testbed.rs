@@ -74,10 +74,24 @@ pub enum TrialStep {
         /// Agilla assembly source.
         source: String,
     },
+    /// Like [`TrialStep::Inject`], but an admission refusal (no free agent
+    /// slot or code block) is an *outcome*, counted in [`Trial::rejected`],
+    /// not a harness bug. Open-loop scenario traffic
+    /// ([`crate::scenario::TrafficGen`]) compiles to this step: under load
+    /// the network is allowed to turn arrivals away.
+    TryInject {
+        /// Where to inject; the base station when `None`.
+        at: Option<Location>,
+        /// Agilla assembly source.
+        source: String,
+    },
     /// Advance the simulation.
     Run(SimDuration),
     /// Clear the experiment log (separating setup from measurement).
     ClearLog,
+    /// Apply a mid-run fault-injection perturbation
+    /// ([`crate::scenario::Perturbation`]).
+    Perturb(crate::scenario::Perturbation),
 }
 
 /// A self-contained recipe for one deterministic trial: substrate, config,
@@ -189,12 +203,16 @@ impl TrialSpec {
     ///
     /// # Panics
     ///
-    /// Panics if an injection fails to assemble or be admitted — trial
-    /// scripts are fixed, vetted workloads, so a failure is a harness bug,
-    /// not an experimental outcome.
+    /// Panics if an `Inject` step fails to assemble or be admitted, if a
+    /// `TryInject` step fails to assemble, or if a perturbation addresses
+    /// a location with no node — trial scripts are fixed, vetted
+    /// workloads, so those failures are harness bugs, not experimental
+    /// outcomes. (A `TryInject` *admission* refusal is an outcome; see
+    /// [`Trial::rejected`].)
     pub fn execute(&self) -> Trial {
         let mut net = self.build();
         let mut agents = Vec::new();
+        let mut rejected = 0u32;
         for step in &self.steps {
             match step {
                 TrialStep::Inject { at: None, source } => {
@@ -209,11 +227,27 @@ impl TrialSpec {
                             .expect("trial agent injects"),
                     );
                 }
+                TrialStep::TryInject { at, source } => {
+                    let outcome = match at {
+                        None => net.inject_source(source),
+                        Some(loc) => net.inject_source_at(*loc, source),
+                    };
+                    match outcome {
+                        Ok(id) => agents.push(id),
+                        Err(crate::AgillaError::Admission { .. }) => rejected += 1,
+                        Err(e) => panic!("scenario arrival failed to assemble: {e}"),
+                    }
+                }
                 TrialStep::Run(d) => net.run_for(*d),
                 TrialStep::ClearLog => net.clear_log(),
+                TrialStep::Perturb(p) => p.apply(&mut net),
             }
         }
-        Trial { net, agents }
+        Trial {
+            net,
+            agents,
+            rejected,
+        }
     }
 }
 
@@ -223,8 +257,12 @@ impl TrialSpec {
 pub struct Trial {
     /// The network after all scripted steps ran.
     pub net: AgillaNetwork,
-    /// Agent ids from `Inject` steps, in order.
+    /// Agent ids from `Inject`/`TryInject` steps that were admitted, in
+    /// order.
     pub agents: Vec<AgentId>,
+    /// `TryInject` arrivals the network refused admission (no free agent
+    /// slot or code blocks) — the open-loop load-shedding count.
+    pub rejected: u32,
 }
 
 impl Trial {

@@ -137,6 +137,48 @@ proptest! {
         prop_assert_eq!(run(seed, &program), run(seed, &program));
     }
 
+    /// Every workload program — the fixed Fig. 8 / case-study agents plus
+    /// the parameterized families across their parameter spaces — survives
+    /// an assemble → disassemble → reassemble round trip byte-for-byte.
+    /// This pins the assembler and disassembler as true inverses over the
+    /// operand kinds the paper's agents actually use (locations, wide
+    /// constants, names, field types, sensors, relative jumps).
+    #[test]
+    fn workload_programs_roundtrip_through_the_disassembler(
+        tx in 0i16..6,
+        ty in 1i16..6,
+        hx in 0i16..6,
+        hy in 1i16..6,
+        sleep_ticks in 1u16..5000,
+        samples in 1u8..30,
+        period_ticks in 1u16..500,
+        op_idx in 0usize..4,
+    ) {
+        use agilla_vm::asm::{assemble, disassemble};
+        let target = Location::new(tx, ty);
+        let home = Location::new(hx, hy);
+        let op = ["smove", "wmove", "sclone", "wclone"][op_idx];
+        let programs = [
+            agilla::workload::SMOVE_TEST_AGENT.to_string(),
+            agilla::workload::ROUT_TEST_AGENT.to_string(),
+            agilla::workload::FIRE_TRACKER.to_string(),
+            agilla::workload::BLINK_AGENT.to_string(),
+            agilla::workload::smove_test_agent(target, home),
+            agilla::workload::rout_test_agent(target),
+            agilla::workload::one_way_agent(op, target),
+            agilla::workload::fire_detector(home, sleep_ticks),
+            agilla::workload::habitat_monitor(samples, period_ticks, home),
+        ];
+        for src in &programs {
+            let code = assemble(src).expect("workload assembles").into_code();
+            let listing = disassemble(&code);
+            let recode = assemble(&listing)
+                .unwrap_or_else(|e| panic!("listing reassembles: {e}\n{listing}"))
+                .into_code();
+            prop_assert_eq!(&code, &recode, "round trip changed bytes:\n{}", listing);
+        }
+    }
+
     /// Greedy georouting delivers between random pairs on arbitrary full
     /// grids (no holes -> no local minima).
     #[test]

@@ -113,6 +113,20 @@ impl Medium {
         self.topology.remove_node(node);
     }
 
+    /// Permanently severs the `a`–`b` link in both directions (scenario
+    /// fault injection) while both nodes stay up.
+    pub fn drop_link(&mut self, a: NodeId, b: NodeId) {
+        self.topology.drop_link(a, b);
+    }
+
+    /// Replaces the channel loss model mid-run (a scenario stepping the
+    /// loss rate). Per-link burst channels are reset so the new model's
+    /// burst template — or its absence — applies from now on.
+    pub fn set_loss(&mut self, loss: LossModel) {
+        self.loss = loss;
+        self.burst_state.clear();
+    }
+
     /// Attaches per-node energy meters; every subsequent transmission
     /// charges the sender's TX state and each in-range receiver's RX state.
     pub fn attach_energy(&mut self, ledger: EnergyLedger) {

@@ -36,6 +36,10 @@ pub struct Topology {
     /// Nodes removed from the radio graph (battery depletion, destruction).
     /// Ids stay stable; an inactive node is simply never anyone's neighbor.
     inactive: Vec<bool>,
+    /// Links severed by fault injection, stored as unordered (min, max)
+    /// pairs. A severed pair is never a neighbor relation in either
+    /// direction, whatever the connectivity rule says.
+    severed: BTreeSet<(NodeId, NodeId)>,
 }
 
 impl Topology {
@@ -61,6 +65,7 @@ impl Topology {
             positions,
             connectivity,
             inactive,
+            severed: BTreeSet::new(),
         }
     }
 
@@ -75,6 +80,18 @@ impl Topology {
     /// Whether `node` is still part of the radio graph.
     pub fn is_active(&self, node: NodeId) -> bool {
         !self.inactive[node.index()]
+    }
+
+    /// Permanently severs the link between `a` and `b` in both directions
+    /// (fault injection: a wall goes up, an antenna breaks). Both nodes
+    /// stay in the graph; only this pairwise relation is cut.
+    pub fn drop_link(&mut self, a: NodeId, b: NodeId) {
+        self.severed.insert((a.min(b), a.max(b)));
+    }
+
+    /// Whether the `a`–`b` link has been severed by [`Topology::drop_link`].
+    pub fn link_dropped(&self, a: NodeId, b: NodeId) -> bool {
+        self.severed.contains(&(a.min(b), a.max(b)))
     }
 
     /// The paper's experimental arrangement: a `w x h` grid with the
@@ -158,6 +175,9 @@ impl Topology {
     /// Whether `a` and `b` are radio neighbors under the connectivity rule.
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
         if a == b || self.inactive[a.index()] || self.inactive[b.index()] {
+            return false;
+        }
+        if !self.severed.is_empty() && self.link_dropped(a, b) {
             return false;
         }
         let pa = self.location(a);
@@ -295,6 +315,26 @@ mod tests {
         let a = t.node_at(Location::new(2, 1)).unwrap();
         let b = t.node_at(Location::new(2, 3)).unwrap();
         assert_eq!(t.hops_between(a, b), Some(4));
+    }
+
+    #[test]
+    fn dropped_links_cut_both_directions_and_force_detours() {
+        let mut t = Topology::grid(3, 1);
+        let a = t.node_at(Location::new(1, 1)).unwrap();
+        let b = t.node_at(Location::new(2, 1)).unwrap();
+        assert!(t.are_neighbors(a, b));
+        t.drop_link(b, a); // argument order must not matter
+        assert!(t.link_dropped(a, b));
+        assert!(!t.are_neighbors(a, b));
+        assert!(!t.are_neighbors(b, a));
+        // Both endpoints stay active; only the pairwise relation is cut.
+        assert!(t.is_active(a) && t.is_active(b));
+        assert_eq!(t.hops_between(a, b), None, "line has no detour");
+        let mut grid = Topology::grid(3, 3);
+        let a = grid.node_at(Location::new(1, 1)).unwrap();
+        let b = grid.node_at(Location::new(2, 1)).unwrap();
+        grid.drop_link(a, b);
+        assert_eq!(grid.hops_between(a, b), Some(3), "grid detours around");
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! * [`rng::RngStream`] — named, independently-seeded random streams, so that
 //!   (for example) radio loss draws do not perturb workload draws.
 //! * [`trace::Tracer`] — a bounded structured trace used by tests and benches.
-//! * [`metrics::Metrics`] — counters and latency recorders with percentiles.
+//! * [`metrics::Metrics`] — counters and latency recorders with percentiles;
+//!   hot paths pre-register [`metrics::CounterId`] handles and bump a flat
+//!   array, with string names resolved only at registration and report time.
 //!
 //! # Examples
 //!
@@ -40,7 +42,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue};
-pub use metrics::{LatencyRecorder, Metrics};
+pub use metrics::{CounterId, LatencyRecorder, Metrics};
 pub use rng::RngStream;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceRecord, Tracer};

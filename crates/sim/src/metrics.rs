@@ -130,17 +130,86 @@ impl fmt::Display for LatencyRecorder {
     }
 }
 
+/// A pre-registered handle to one counter in a [`Metrics`] registry.
+///
+/// Resolving a counter's string name costs a `BTreeMap` walk; on the
+/// simulator's hot path (a bump per radio frame) that lookup dominated the
+/// registry's cost. A `CounterId` is the name resolved *once*, at
+/// registration: bumping through it is a single indexed add into a flat
+/// `Vec<u64>`, with the map consulted only at registration, report, and
+/// merge time.
+///
+/// Ids are only meaningful for the registry that minted them. Handing an
+/// id to any other registry is a logic error: debug builds catch it with
+/// an assertion (each registry carries a nonce, stamped into every id it
+/// mints); release builds do not pay for the check, so there the bump
+/// lands on whatever counter occupies that slot — or panics if the slot
+/// is out of range. A holder that swaps registries must re-register its
+/// handles against the replacement (as `AgillaNetwork::take_metrics`
+/// does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId {
+    slot: u32,
+    /// Which registry minted this id (debug-checked on every use).
+    registry: u32,
+}
+
+/// Source of per-registry nonces for the debug cross-registry check.
+static REGISTRY_NONCES: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
 /// A registry of named counters and latency recorders.
 ///
-/// Keys accept anything convertible to `Cow<'static, str>`: the hot
-/// protocol counters keep using `&'static str` constants (no allocation,
-/// typo-resistant), while dynamically named series — per-node energy
-/// counters like `energy.node07.drained_mj` — pass an owned `String`
-/// without leaking it. `BTreeMap` keeps report ordering deterministic.
-#[derive(Debug, Default)]
+/// Counters live in a flat `Vec<u64>` indexed by [`CounterId`]; a
+/// `BTreeMap` maps names to slots and keeps report ordering deterministic.
+/// Hot paths pre-register their counters and bump by id
+/// ([`Metrics::bump`]); everything else uses the named API, whose keys
+/// accept anything convertible to `Cow<'static, str>` — static protocol
+/// constants borrow, dynamically named series (per-node energy gauges like
+/// `energy.node07.drained_mj`) pass an owned `String` without leaking it.
+///
+/// A counter becomes *visible* to [`Metrics::counters`] and
+/// [`Metrics::merge`] once it holds a nonzero value or has been written
+/// through the named API (so explicitly recorded zeros still report);
+/// registration alone does not make it visible, which keeps reports free
+/// of counters a run never touched.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::Metrics;
+///
+/// let mut m = Metrics::new();
+/// let tx = m.register("radio.tx"); // resolve the name once…
+/// for _ in 0..3 {
+///     m.bump(tx); // …then bump with no string lookup
+/// }
+/// assert_eq!(m.counter("radio.tx"), 3);
+/// ```
+#[derive(Debug)]
 pub struct Metrics {
-    counters: BTreeMap<Cow<'static, str>, u64>,
+    /// Name → slot. Touched at registration / report / merge, never on a
+    /// bump.
+    index: BTreeMap<Cow<'static, str>, u32>,
+    /// Counter values, indexed by [`CounterId`].
+    counts: Vec<u64>,
+    /// Slots explicitly written through the named API (visible even at 0).
+    written: Vec<bool>,
+    /// This registry's identity, stamped into every id it mints so debug
+    /// builds can catch an id being used against the wrong registry.
+    nonce: u32,
     latencies: BTreeMap<Cow<'static, str>, LatencyRecorder>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            index: BTreeMap::new(),
+            counts: Vec::new(),
+            written: Vec::new(),
+            nonce: REGISTRY_NONCES.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            latencies: BTreeMap::new(),
+        }
+    }
 }
 
 impl Metrics {
@@ -149,9 +218,77 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Resolves `name` to a [`CounterId`], registering a zeroed slot on
+    /// first sight. Registration alone does not make the counter visible
+    /// in reports.
+    pub fn register(&mut self, name: impl Into<Cow<'static, str>>) -> CounterId {
+        let name = name.into();
+        if let Some(&slot) = self.index.get(&name) {
+            return CounterId {
+                slot,
+                registry: self.nonce,
+            };
+        }
+        let slot = u32::try_from(self.counts.len()).expect("fewer than 2^32 counters");
+        self.index.insert(name, slot);
+        self.counts.push(0);
+        self.written.push(false);
+        CounterId {
+            slot,
+            registry: self.nonce,
+        }
+    }
+
+    /// Debug guard: `id` must have been minted by this registry.
+    #[inline]
+    fn check(&self, id: CounterId) {
+        debug_assert_eq!(
+            id.registry, self.nonce,
+            "CounterId used against a registry that did not mint it"
+        );
+    }
+
+    /// Increments the counter behind `id` by one — the hot path: one
+    /// indexed add, no string-key lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different registry: always in debug
+    /// builds (nonce check); in release builds only when the foreign slot
+    /// is out of range.
+    #[inline]
+    pub fn bump(&mut self, id: CounterId) {
+        self.check(id);
+        self.counts[id.slot as usize] += 1;
+    }
+
+    /// Adds `delta` to the counter behind `id` (see [`Metrics::bump`]).
+    /// A zero `delta` does not make the counter visible in reports.
+    ///
+    /// # Panics
+    ///
+    /// As [`Metrics::bump`].
+    #[inline]
+    pub fn bump_by(&mut self, id: CounterId, delta: u64) {
+        self.check(id);
+        self.counts[id.slot as usize] += delta;
+    }
+
+    /// Reads the counter behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Metrics::bump`].
+    pub fn value(&self, id: CounterId) -> u64 {
+        self.check(id);
+        self.counts[id.slot as usize]
+    }
+
     /// Adds `delta` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: impl Into<Cow<'static, str>>, delta: u64) {
-        *self.counters.entry(name.into()).or_insert(0) += delta;
+        let id = self.register(name);
+        self.written[id.slot as usize] = true;
+        self.counts[id.slot as usize] += delta;
     }
 
     /// Increments counter `name` by one.
@@ -162,12 +299,16 @@ impl Metrics {
     /// Sets counter `name` to an absolute value (gauges, e.g. joules
     /// remaining at the end of a run).
     pub fn set(&mut self, name: impl Into<Cow<'static, str>>, value: u64) {
-        self.counters.insert(name.into(), value);
+        let id = self.register(name);
+        self.written[id.slot as usize] = true;
+        self.counts[id.slot as usize] = value;
     }
 
     /// Reads counter `name` (zero if never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.index
+            .get(name)
+            .map_or(0, |&slot| self.counts[slot as usize])
     }
 
     /// Records a latency sample under `name`.
@@ -180,17 +321,27 @@ impl Metrics {
         self.latencies.get(name)
     }
 
-    /// Folds another registry into this one: counters are summed and
-    /// latency samples appended in `other`'s record order.
+    /// Whether the slot should appear in reports and merges.
+    fn visible(&self, slot: u32) -> bool {
+        self.counts[slot as usize] != 0 || self.written[slot as usize]
+    }
+
+    /// Folds another registry into this one: counters are summed **by
+    /// name** (ids are registry-local and may disagree between registries
+    /// that registered in different orders) and latency samples appended
+    /// in `other`'s record order.
     ///
     /// This is how a trial executor merges per-trial metrics without
     /// cross-thread contention: each trial accumulates into its own
     /// registry on its worker thread, and the batch folds the registries
     /// one by one in seed order afterwards — the result is independent of
-    /// how trials were scheduled onto threads.
+    /// how trials were scheduled onto threads, and (for counter totals) of
+    /// the fold order itself.
     pub fn merge(&mut self, other: &Metrics) {
-        for (name, value) in &other.counters {
-            *self.counters.entry(name.clone()).or_insert(0) += value;
+        for (name, &slot) in &other.index {
+            if other.visible(slot) {
+                self.add(name.clone(), other.counts[slot as usize]);
+            }
         }
         for (name, recorder) in &other.latencies {
             let mine = self.latencies.entry(name.clone()).or_default();
@@ -200,9 +351,12 @@ impl Metrics {
         }
     }
 
-    /// Iterates counters in name order.
+    /// Iterates visible counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (k.as_ref(), *v))
+        self.index
+            .iter()
+            .filter(|(_, &slot)| self.visible(slot))
+            .map(|(k, &slot)| (k.as_ref(), self.counts[slot as usize]))
     }
 
     /// Iterates latency recorders in name order.
@@ -276,6 +430,78 @@ mod tests {
     }
 
     #[test]
+    fn registered_ids_bump_without_name_lookups() {
+        let mut m = Metrics::new();
+        let tx = m.register("tx");
+        let rx = m.register("rx");
+        assert_eq!(m.register("tx"), tx, "re-registration is idempotent");
+        m.bump(tx);
+        m.bump_by(tx, 4);
+        assert_eq!(m.value(tx), 5);
+        assert_eq!(m.counter("tx"), 5);
+        // Named and id-based writes land on the same slot.
+        m.incr("rx");
+        m.bump(rx);
+        assert_eq!(m.counter("rx"), 2);
+    }
+
+    #[test]
+    fn registered_but_untouched_counters_stay_out_of_reports() {
+        let mut m = Metrics::new();
+        let a = m.register("quiet");
+        m.incr("busy");
+        assert_eq!(m.counters().collect::<Vec<_>>(), vec![("busy", 1)]);
+        assert_eq!(m.value(a), 0);
+        // An explicit zero through the named API *is* a report entry…
+        m.set("gauge", 0);
+        assert_eq!(
+            m.counters().collect::<Vec<_>>(),
+            vec![("busy", 1), ("gauge", 0)]
+        );
+        // …and so is any nonzero id-bumped value.
+        m.bump(a);
+        assert_eq!(
+            m.counters().collect::<Vec<_>>(),
+            vec![("busy", 1), ("gauge", 0), ("quiet", 1)]
+        );
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "did not mint it"))]
+    fn cross_registry_ids_are_caught_in_debug_builds() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        let _ = a.register("tx");
+        let foreign = a.register("rx"); // slot 1 in a
+        let _ = b.register("rx");
+        let _ = b.register("tx"); // slot 1 in b — a silent mixup target
+        b.bump(foreign);
+        // Release builds skip the nonce check: the bump lands on b's
+        // slot 1 ("tx") — exactly the documented unchecked behavior.
+        #[cfg(not(debug_assertions))]
+        assert_eq!(b.counter("tx"), 1);
+    }
+
+    #[test]
+    fn merge_is_keyed_by_name_not_by_slot() {
+        // Two registries registering the same names in opposite orders get
+        // different slot assignments; merging must still sum by name.
+        let mut a = Metrics::new();
+        let a_tx = a.register("tx");
+        let a_rx = a.register("rx");
+        let mut b = Metrics::new();
+        let b_rx = b.register("rx");
+        let b_tx = b.register("tx");
+        a.bump_by(a_tx, 10);
+        a.bump_by(a_rx, 1);
+        b.bump_by(b_tx, 100);
+        b.bump_by(b_rx, 2);
+        a.merge(&b);
+        assert_eq!(a.counter("tx"), 110);
+        assert_eq!(a.counter("rx"), 3);
+    }
+
+    #[test]
     fn dynamic_counter_names_need_no_leaked_strings() {
         let mut m = Metrics::new();
         for node in 0..3 {
@@ -344,6 +570,72 @@ mod tests {
             let mean = r.mean().as_micros();
             prop_assert!(mean >= r.min().unwrap().as_micros());
             prop_assert!(mean <= r.max().unwrap().as_micros());
+        }
+
+        /// The merge contract the trial executor depends on: folding
+        /// per-trial registries in any order gives the same counter totals
+        /// as accumulating every operation serially into one registry.
+        #[test]
+        fn prop_merge_order_independent_and_matches_serial(
+            // Each inner vec is one "trial": (name index, delta) ops.
+            trials in proptest::collection::vec(
+                proptest::collection::vec((0usize..5, 0u64..50), 0..12),
+                1..6,
+            ),
+        ) {
+            const NAMES: [&str; 5] = ["rx", "tx", "mig.retx", "beacons", "drop"];
+            // Serial accumulation: one registry sees every op in order.
+            let mut serial = Metrics::new();
+            for trial in &trials {
+                for &(n, d) in trial {
+                    serial.add(NAMES[n], d);
+                }
+            }
+            // Per-trial registries. Odd-indexed trials pre-register the name
+            // universe in reverse so slot assignments disagree across
+            // registries — merging must go by name, not id.
+            let per_trial: Vec<Metrics> = trials
+                .iter()
+                .enumerate()
+                .map(|(i, trial)| {
+                    let mut m = Metrics::new();
+                    if i % 2 == 1 {
+                        for name in NAMES.iter().rev() {
+                            m.register(*name);
+                        }
+                    }
+                    let ids: Vec<CounterId> =
+                        NAMES.iter().map(|n| m.register(*n)).collect();
+                    for &(n, d) in trial {
+                        m.bump_by(ids[n], d);
+                    }
+                    m
+                })
+                .collect();
+            let fold = |order: &mut dyn Iterator<Item = &Metrics>| {
+                let mut total = Metrics::new();
+                for m in order {
+                    total.merge(m);
+                }
+                total
+                    .counters()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect::<Vec<_>>()
+            };
+            let forward = fold(&mut per_trial.iter());
+            let backward = fold(&mut per_trial.iter().rev());
+            prop_assert_eq!(&forward, &backward, "merge depends on fold order");
+            let serial_counters: Vec<(String, u64)> = serial
+                .counters()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            // Serial `add` marks every touched counter written (visible even
+            // at 0); id bumps of 0 are invisible — compare nonzero entries,
+            // which is what every figure reads.
+            let nonzero = |v: &[(String, u64)]| {
+                v.iter().filter(|(_, n)| *n != 0).cloned().collect::<Vec<_>>()
+            };
+            prop_assert_eq!(nonzero(&forward), nonzero(&serial_counters));
         }
 
         #[test]
