@@ -1,0 +1,871 @@
+//! Disjunctive abstract interpretation of Agilla bytecode.
+//!
+//! The interpreter explores the set of *abstract machine states* reachable
+//! from program start (and from every reaction dispatch). A state is the
+//! program counter, the condition code (tracked exactly when it is a known
+//! constant), the operand stack as a vector of slot [`Kind`]s, and the
+//! written-ness/kind of each heap slot. There is no join or widening: each
+//! distinct state is kept (JVM-verifier style, but disjunctive), which makes
+//! every kind check *definite* — a type confusion or underflow reported here
+//! is one some abstractly-reachable path actually performs.
+//!
+//! Termination is structural: values are only tracked for push immediates
+//! and saved handler return addresses (arithmetic and comparisons forget
+//! constants), so the value domain per program is finite, stacks are capped
+//! at [`STACK_DEPTH`], and the heap has [`HEAP_SLOTS`] slots. A hard state
+//! cap converts pathological blowups into an `Unanalyzable` rejection.
+//!
+//! Reactions are modelled soundly under the middleware's dispatch rule (at
+//! most one outstanding reaction frame): a registered handler may be entered
+//! from *any* reachable non-handler state, with the interrupted pc saved on
+//! the stack and the triggering tuple (shaped by the registered template)
+//! pushed above it. `jumps` ends the handler frame.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use agilla_tuplespace::{FieldType, MAX_TUPLE_BYTES};
+use agilla_vm::isa::{Instruction, Opcode};
+use agilla_vm::{VmError, HEAP_SLOTS, STACK_DEPTH};
+use wsn_common::SensorType;
+
+use crate::report::{ErrorKind, VerifyError};
+
+/// Hard cap on distinct abstract states before giving up.
+const MAX_STATES: usize = 50_000;
+
+/// The abstract kind of one stack or heap slot. Exactly mirrors the runtime
+/// [`StackValue`](agilla_vm::StackValue) alternatives; `Val` additionally
+/// tracks known constants (push immediates and saved return addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Kind {
+    /// A 16-bit value; `Some` when it is a known constant.
+    Val(Option<i16>),
+    /// A three-character string.
+    Str,
+    /// A location.
+    Loc,
+    /// A sensor reading.
+    Reading,
+    /// An agent id.
+    Agent,
+    /// A sensor type.
+    Sensor,
+    /// A `pusht` by-type wildcard, carrying the type tag.
+    Wild(u8),
+}
+
+impl Kind {
+    fn of_type(t: FieldType) -> Kind {
+        match t {
+            FieldType::Value => Kind::Val(None),
+            FieldType::Str => Kind::Str,
+            FieldType::Location => Kind::Loc,
+            FieldType::Reading => Kind::Reading,
+            FieldType::AgentId => Kind::Agent,
+            FieldType::SensorType => Kind::Sensor,
+        }
+    }
+
+    /// The kind of the concrete tuple field a template slot of this kind
+    /// matches (reaction dispatch, `inp`/`rdp` success).
+    pub(crate) fn concrete(self) -> Kind {
+        match self {
+            Kind::Wild(tag) => FieldType::from_tag(tag)
+                .map(Kind::of_type)
+                .unwrap_or(Kind::Val(None)),
+            k => k,
+        }
+    }
+
+    /// Encoded payload bytes as a concrete tuple field (tag excluded);
+    /// `None` for wildcards, which cannot appear in tuples.
+    fn field_payload(self) -> Option<usize> {
+        match self {
+            Kind::Val(_) => Some(FieldType::Value.payload_len()),
+            Kind::Str => Some(FieldType::Str.payload_len()),
+            Kind::Loc => Some(FieldType::Location.payload_len()),
+            Kind::Reading => Some(FieldType::Reading.payload_len()),
+            Kind::Agent => Some(FieldType::AgentId.payload_len()),
+            Kind::Sensor => Some(FieldType::SensorType.payload_len()),
+            Kind::Wild(_) => None,
+        }
+    }
+
+    fn describe(self) -> &'static str {
+        match self {
+            Kind::Val(_) => "value",
+            Kind::Str => "string",
+            Kind::Loc => "location",
+            Kind::Reading => "reading",
+            Kind::Agent => "agent-id",
+            Kind::Sensor => "sensor-type",
+            Kind::Wild(_) => "type wildcard",
+        }
+    }
+}
+
+/// One abstract machine state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct State {
+    pc: u16,
+    /// Inside a reaction frame (entered by dispatch, left by `jumps`).
+    in_handler: bool,
+    /// Parked behind a `wait`: the runtime stores `pc` but only ever
+    /// resumes the agent through reaction dispatch (and, transitively, a
+    /// handler's `jumps` back to the saved pc) — the instruction at `pc`
+    /// is *not* executed directly from this state.
+    parked: bool,
+    /// Condition code; `None` once it depends on runtime data.
+    cond: Option<i16>,
+    stack: Vec<Kind>,
+    heap: [Option<Kind>; HEAP_SLOTS],
+}
+
+impl State {
+    fn initial() -> State {
+        State {
+            pc: 0,
+            in_handler: false,
+            parked: false,
+            cond: Some(0),
+            stack: Vec::new(),
+            heap: Default::default(),
+        }
+    }
+
+    fn written_slots(&self) -> usize {
+        self.heap.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Everything downstream passes (lints, cost bounds) need from the fixpoint.
+#[derive(Debug, Default)]
+pub(crate) struct Flow {
+    /// Reachable instruction starts and their opcodes.
+    pub insns: BTreeMap<u16, Opcode>,
+    /// Control-flow successors per reachable pc (includes `jumps` returns;
+    /// excludes reaction dispatch, which is rooted in `handlers`).
+    pub edges: BTreeMap<u16, BTreeSet<u16>>,
+    /// Registered reaction-handler entry points.
+    pub handlers: BTreeSet<u16>,
+    /// Instruction boundaries of the linear decode from pc 0, stopping at
+    /// the first undecodable byte.
+    pub linear: Vec<u16>,
+    /// Position of the first linear-decode failure, if any.
+    pub linear_err: Option<u16>,
+    /// Maximum operand-stack depth over all states.
+    pub max_stack: usize,
+    /// Maximum written heap slots over all states.
+    pub max_heap: usize,
+    /// Verification errors found.
+    pub errors: BTreeSet<VerifyError>,
+}
+
+fn err(pc: u16, kind: ErrorKind, detail: String) -> VerifyError {
+    VerifyError { pc, kind, detail }
+}
+
+fn decode_err(pc: u16, e: VmError) -> VerifyError {
+    let detail = match e {
+        VmError::PcOutOfRange { .. } => "execution runs past the end of code".to_string(),
+        VmError::InvalidOpcode(b) => format!("invalid opcode 0x{b:02x}"),
+        VmError::TruncatedOperand(m) => format!("truncated operand for `{m}`"),
+        other => format!("undecodable instruction ({other})"),
+    };
+    err(pc, ErrorKind::Decode, detail)
+}
+
+// --- abstract stack protocol ----------------------------------------------
+
+fn push(stack: &mut Vec<Kind>, k: Kind, pc: u16, mnem: &'static str) -> Result<(), VerifyError> {
+    if stack.len() >= STACK_DEPTH {
+        return Err(err(
+            pc,
+            ErrorKind::StackOverflow,
+            format!("`{mnem}` pushes past the {STACK_DEPTH}-slot stack"),
+        ));
+    }
+    stack.push(k);
+    Ok(())
+}
+
+fn pop(stack: &mut Vec<Kind>, pc: u16, mnem: &'static str) -> Result<Kind, VerifyError> {
+    stack.pop().ok_or_else(|| {
+        err(
+            pc,
+            ErrorKind::StackUnderflow,
+            format!("`{mnem}` pops from an empty stack"),
+        )
+    })
+}
+
+fn pop_val(stack: &mut Vec<Kind>, pc: u16, mnem: &'static str) -> Result<Option<i16>, VerifyError> {
+    match pop(stack, pc, mnem)? {
+        Kind::Val(v) => Ok(v),
+        k => Err(err(
+            pc,
+            ErrorKind::TypeConfusion,
+            format!("`{mnem}` pops a {} where a value is required", k.describe()),
+        )),
+    }
+}
+
+fn pop_loc(stack: &mut Vec<Kind>, pc: u16, mnem: &'static str) -> Result<(), VerifyError> {
+    match pop(stack, pc, mnem)? {
+        Kind::Loc => Ok(()),
+        k => Err(err(
+            pc,
+            ErrorKind::TypeConfusion,
+            format!(
+                "`{mnem}` pops a {} where a location is required",
+                k.describe()
+            ),
+        )),
+    }
+}
+
+/// Pops a template (arity then slots), returning slot kinds in declaration
+/// order. The arity must be a known constant, or the analysis gives up.
+fn pop_template(
+    stack: &mut Vec<Kind>,
+    pc: u16,
+    mnem: &'static str,
+) -> Result<Vec<Kind>, VerifyError> {
+    let Some(n) = pop_val(stack, pc, mnem)? else {
+        return Err(err(
+            pc,
+            ErrorKind::Unanalyzable,
+            format!("template arity for `{mnem}` is not a compile-time constant"),
+        ));
+    };
+    if n < 0 {
+        return Err(err(
+            pc,
+            ErrorKind::TypeConfusion,
+            format!("negative template arity for `{mnem}`"),
+        ));
+    }
+    let mut slots = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        slots.push(pop(stack, pc, mnem)?);
+    }
+    slots.reverse();
+    Ok(slots)
+}
+
+/// Pops a tuple: a template with only concrete fields, non-empty and within
+/// the tuple-space wire limit (both are runtime faults otherwise).
+fn pop_tuple(stack: &mut Vec<Kind>, pc: u16, mnem: &'static str) -> Result<Vec<Kind>, VerifyError> {
+    let slots = pop_template(stack, pc, mnem)?;
+    if slots.is_empty() {
+        return Err(err(
+            pc,
+            ErrorKind::Fault,
+            format!("`{mnem}` builds an empty tuple"),
+        ));
+    }
+    let mut bytes = 1usize;
+    for (i, k) in slots.iter().enumerate() {
+        match k.field_payload() {
+            Some(p) => bytes += 1 + p,
+            None => {
+                return Err(err(
+                    pc,
+                    ErrorKind::TypeConfusion,
+                    format!("tuple field {i} for `{mnem}` is a type wildcard"),
+                ))
+            }
+        }
+    }
+    if bytes > MAX_TUPLE_BYTES {
+        return Err(err(
+            pc,
+            ErrorKind::Fault,
+            format!("tuple for `{mnem}` encodes to {bytes} bytes (max {MAX_TUPLE_BYTES})"),
+        ));
+    }
+    Ok(slots)
+}
+
+/// Pushes the tuple a template-shaped match delivers: concrete field kinds
+/// in order, then the known arity.
+fn push_match(
+    stack: &mut Vec<Kind>,
+    slots: &[Kind],
+    pc: u16,
+    mnem: &'static str,
+) -> Result<(), VerifyError> {
+    for k in slots {
+        push(stack, k.concrete(), pc, mnem)?;
+    }
+    push(stack, Kind::Val(Some(slots.len() as i16)), pc, mnem)
+}
+
+// --- transfer function ----------------------------------------------------
+
+struct StepOut {
+    op: Option<Opcode>,
+    succs: Vec<State>,
+    errors: Vec<VerifyError>,
+    /// A `(handler pc, template slot kinds)` registration from `regrxn`.
+    reg: Option<(u16, Vec<Kind>)>,
+    /// The post-`wait` parked state: explored for reaction dispatch but
+    /// not executed, and not a control-flow edge.
+    parked: Option<State>,
+}
+
+fn go(succs: &mut Vec<State>, st: &State, pc: u16) {
+    let mut c = st.clone();
+    c.pc = pc;
+    succs.push(c);
+}
+
+#[allow(clippy::too_many_lines)]
+fn step_abs(code: &[u8], s: &State) -> StepOut {
+    let (ins, len) = match Instruction::decode(code, s.pc) {
+        Ok(x) => x,
+        Err(e) => {
+            return StepOut {
+                op: None,
+                succs: Vec::new(),
+                errors: vec![decode_err(s.pc, e)],
+                reg: None,
+                parked: None,
+            }
+        }
+    };
+    let next = s.pc + len as u16;
+    let pc = s.pc;
+    let mnem = ins.op.mnemonic();
+    let mut succs: Vec<State> = Vec::new();
+    let mut errors: Vec<VerifyError> = Vec::new();
+    let mut reg: Option<(u16, Vec<Kind>)> = None;
+    let mut parked_out: Option<State> = None;
+    let mut st = s.clone();
+    let res: Result<(), VerifyError> = (|| {
+        use Opcode::*;
+        match ins.op {
+            Halt => {}
+
+            // --- stack & arithmetic ---
+            Loc => {
+                push(&mut st.stack, Kind::Loc, pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Aid => {
+                push(&mut st.stack, Kind::Agent, pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Rand | Numnbrs => {
+                push(&mut st.stack, Kind::Val(None), pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Pop => {
+                pop(&mut st.stack, pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Copy => {
+                let top = *st.stack.last().ok_or_else(|| {
+                    err(
+                        pc,
+                        ErrorKind::StackUnderflow,
+                        "`copy` duplicates an empty stack".to_string(),
+                    )
+                })?;
+                push(&mut st.stack, top, pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Swap => {
+                let b = pop(&mut st.stack, pc, mnem)?;
+                let a = pop(&mut st.stack, pc, mnem)?;
+                st.stack.push(b);
+                st.stack.push(a);
+                go(&mut succs, &st, next);
+            }
+            Clear => {
+                st.cond = Some(0);
+                go(&mut succs, &st, next);
+            }
+            Add | Sub | And | Or => {
+                pop_val(&mut st.stack, pc, mnem)?;
+                pop_val(&mut st.stack, pc, mnem)?;
+                st.stack.push(Kind::Val(None));
+                go(&mut succs, &st, next);
+            }
+            Mod => {
+                let b = pop_val(&mut st.stack, pc, mnem)?;
+                pop_val(&mut st.stack, pc, mnem)?;
+                if b == Some(0) {
+                    return Err(err(
+                        pc,
+                        ErrorKind::Fault,
+                        "`mod` by a constant zero divisor".to_string(),
+                    ));
+                }
+                st.stack.push(Kind::Val(None));
+                go(&mut succs, &st, next);
+            }
+            Not | Inc | Halve => {
+                pop_val(&mut st.stack, pc, mnem)?;
+                st.stack.push(Kind::Val(None));
+                go(&mut succs, &st, next);
+            }
+            Makeloc => {
+                pop_val(&mut st.stack, pc, mnem)?;
+                pop_val(&mut st.stack, pc, mnem)?;
+                st.stack.push(Kind::Loc);
+                go(&mut succs, &st, next);
+            }
+            Eq => {
+                pop(&mut st.stack, pc, mnem)?;
+                pop(&mut st.stack, pc, mnem)?;
+                st.stack.push(Kind::Val(None));
+                go(&mut succs, &st, next);
+            }
+            Ceq => {
+                pop(&mut st.stack, pc, mnem)?;
+                pop(&mut st.stack, pc, mnem)?;
+                st.cond = None;
+                go(&mut succs, &st, next);
+            }
+            Clt | Cgt => {
+                pop_val(&mut st.stack, pc, mnem)?;
+                pop_val(&mut st.stack, pc, mnem)?;
+                st.cond = None;
+                go(&mut succs, &st, next);
+            }
+            PutLed => {
+                pop_val(&mut st.stack, pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Sense => {
+                let v = pop_val(&mut st.stack, pc, mnem)?;
+                if let Some(x) = v {
+                    let valid = u8::try_from(x)
+                        .ok()
+                        .and_then(SensorType::from_code)
+                        .is_some();
+                    if !valid {
+                        return Err(err(
+                            pc,
+                            ErrorKind::Fault,
+                            format!("`sense` with invalid sensor code {x}"),
+                        ));
+                    }
+                }
+                // Hit or miss, sense pushes one value and writes the
+                // condition code.
+                push(&mut st.stack, Kind::Val(None), pc, mnem)?;
+                st.cond = None;
+                go(&mut succs, &st, next);
+            }
+
+            // --- control flow ---
+            Jumps => {
+                let Some(t) = pop_val(&mut st.stack, pc, mnem)? else {
+                    return Err(err(
+                        pc,
+                        ErrorKind::Unanalyzable,
+                        "`jumps` target is not a compile-time constant".to_string(),
+                    ));
+                };
+                if t < 0 || (t as usize) >= code.len() {
+                    return Err(err(
+                        pc,
+                        ErrorKind::BadJump,
+                        format!("`jumps` target {t} is out of bounds"),
+                    ));
+                }
+                st.pc = t as u16;
+                st.in_handler = false;
+                succs.push(st.clone());
+            }
+            Rjump | Rjumpc => {
+                let target = i32::from(next) + i32::from(ins.operand_i8());
+                let may_take = ins.op == Rjump || st.cond != Some(0);
+                let may_fall = ins.op == Rjumpc && !matches!(st.cond, Some(c) if c != 0);
+                if may_take {
+                    if target < 0 || target as usize >= code.len() {
+                        errors.push(err(
+                            pc,
+                            ErrorKind::BadJump,
+                            format!("relative jump to {target} is out of bounds"),
+                        ));
+                    } else {
+                        go(&mut succs, &st, target as u16);
+                    }
+                }
+                if may_fall {
+                    go(&mut succs, &st, next);
+                }
+            }
+            Sleep => {
+                let v = pop_val(&mut st.stack, pc, mnem)?;
+                if let Some(x) = v {
+                    if x < 0 {
+                        return Err(err(
+                            pc,
+                            ErrorKind::Fault,
+                            format!("`sleep` with constant negative tick count {x}"),
+                        ));
+                    }
+                }
+                go(&mut succs, &st, next);
+            }
+            Wait => {
+                // The runtime stores pc = next and blocks until a reaction
+                // fires; execution only resumes through dispatch (and a
+                // handler's `jumps` back to the saved pc), never by falling
+                // through.
+                let mut p = st.clone();
+                p.pc = next;
+                p.parked = true;
+                parked_out = Some(p);
+            }
+
+            // --- context discovery ---
+            Getnbr => {
+                pop_val(&mut st.stack, pc, mnem)?;
+                let mut ok = st.clone();
+                push(&mut ok.stack, Kind::Loc, pc, mnem)?;
+                ok.cond = Some(1);
+                go(&mut succs, &ok, next);
+                st.cond = Some(0);
+                go(&mut succs, &st, next);
+            }
+            Randnbr => {
+                let mut ok = st.clone();
+                push(&mut ok.stack, Kind::Loc, pc, mnem)?;
+                ok.cond = Some(1);
+                go(&mut succs, &ok, next);
+                st.cond = Some(0);
+                go(&mut succs, &st, next);
+            }
+
+            // --- push family ---
+            Pushc => {
+                push(
+                    &mut st.stack,
+                    Kind::Val(Some(i16::from(ins.operand_u8()))),
+                    pc,
+                    mnem,
+                )?;
+                go(&mut succs, &st, next);
+            }
+            Pushcl => {
+                push(&mut st.stack, Kind::Val(Some(ins.operand_i16())), pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Pushloc => {
+                push(&mut st.stack, Kind::Loc, pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Pushn => {
+                push(&mut st.stack, Kind::Str, pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Pusht => {
+                let tag = ins.operand_u8();
+                if FieldType::from_tag(tag).is_none() {
+                    return Err(err(
+                        pc,
+                        ErrorKind::Fault,
+                        format!("`pusht` with invalid field-type tag {tag}"),
+                    ));
+                }
+                push(&mut st.stack, Kind::Wild(tag), pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Pushrt => {
+                let codeb = ins.operand_u8();
+                if SensorType::from_code(codeb).is_none() {
+                    return Err(err(
+                        pc,
+                        ErrorKind::Fault,
+                        format!("`pushrt` with invalid sensor code {codeb}"),
+                    ));
+                }
+                push(&mut st.stack, Kind::Sensor, pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+
+            // --- heap ---
+            Getvar => {
+                let i = ins.operand_u8() as usize;
+                if i >= HEAP_SLOTS {
+                    return Err(err(
+                        pc,
+                        ErrorKind::Heap,
+                        format!("heap index {i} out of range (0..{HEAP_SLOTS})"),
+                    ));
+                }
+                let Some(k) = st.heap[i] else {
+                    return Err(err(
+                        pc,
+                        ErrorKind::Heap,
+                        format!("heap slot {i} may be read before any write"),
+                    ));
+                };
+                push(&mut st.stack, k, pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Setvar => {
+                let i = ins.operand_u8() as usize;
+                if i >= HEAP_SLOTS {
+                    return Err(err(
+                        pc,
+                        ErrorKind::Heap,
+                        format!("heap index {i} out of range (0..{HEAP_SLOTS})"),
+                    ));
+                }
+                let k = pop(&mut st.stack, pc, mnem)?;
+                st.heap[i] = Some(k);
+                go(&mut succs, &st, next);
+            }
+
+            // --- local tuple space ---
+            Out => {
+                pop_tuple(&mut st.stack, pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Inp | Rdp => {
+                let slots = pop_template(&mut st.stack, pc, mnem)?;
+                let mut ok = st.clone();
+                push_match(&mut ok.stack, &slots, pc, mnem)?;
+                ok.cond = Some(1);
+                go(&mut succs, &ok, next);
+                st.cond = Some(0);
+                go(&mut succs, &st, next);
+            }
+            In | Rd => {
+                // A miss blocks with the state unchanged (no new state);
+                // the only forward successor is the eventual match.
+                let slots = pop_template(&mut st.stack, pc, mnem)?;
+                push_match(&mut st.stack, &slots, pc, mnem)?;
+                st.cond = Some(1);
+                go(&mut succs, &st, next);
+            }
+            Tcount => {
+                pop_template(&mut st.stack, pc, mnem)?;
+                push(&mut st.stack, Kind::Val(None), pc, mnem)?;
+                go(&mut succs, &st, next);
+            }
+            Rout => {
+                pop_loc(&mut st.stack, pc, mnem)?;
+                pop_tuple(&mut st.stack, pc, mnem)?;
+                // The engine later delivers success/failure into the
+                // condition code.
+                st.cond = None;
+                go(&mut succs, &st, next);
+            }
+            Rinp | Rrdp => {
+                pop_loc(&mut st.stack, pc, mnem)?;
+                let slots = pop_template(&mut st.stack, pc, mnem)?;
+                let mut ok = st.clone();
+                push_match(&mut ok.stack, &slots, pc, mnem)?;
+                ok.cond = Some(1);
+                go(&mut succs, &ok, next);
+                st.cond = Some(0);
+                go(&mut succs, &st, next);
+            }
+
+            // --- reactions ---
+            Regrxn => {
+                let Some(h) = pop_val(&mut st.stack, pc, mnem)? else {
+                    return Err(err(
+                        pc,
+                        ErrorKind::Unanalyzable,
+                        "`regrxn` handler address is not a compile-time constant".to_string(),
+                    ));
+                };
+                if h < 0 || (h as usize) >= code.len() {
+                    return Err(err(
+                        pc,
+                        ErrorKind::BadJump,
+                        format!("`regrxn` handler address {h} is out of bounds"),
+                    ));
+                }
+                let slots = pop_template(&mut st.stack, pc, mnem)?;
+                reg = Some((h as u16, slots));
+                go(&mut succs, &st, next);
+            }
+            Deregrxn => {
+                pop_template(&mut st.stack, pc, mnem)?;
+                st.cond = None;
+                go(&mut succs, &st, next);
+            }
+
+            // --- migration ---
+            Smove | Wmove | Sclone | Wclone => {
+                pop_loc(&mut st.stack, pc, mnem)?;
+                // Arrival codes 0/1/2 land in the condition; a weak arrival
+                // restarts from the (already covered) initial state.
+                st.cond = None;
+                go(&mut succs, &st, next);
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = res {
+        errors.push(e);
+    }
+    StepOut {
+        op: Some(ins.op),
+        succs,
+        errors,
+        reg,
+        parked: parked_out,
+    }
+}
+
+/// Builds the abstract state entering handler `h` from interrupted state
+/// `s`: interrupted pc, then the triggering tuple shaped by the template,
+/// then its arity. `None` (with an error recorded) if the frame may not fit.
+fn entry_state(s: &State, h: u16, fields: &[Kind], flow: &mut Flow) -> Option<State> {
+    let mut stack = s.stack.clone();
+    stack.push(Kind::Val(Some(s.pc as i16)));
+    for k in fields {
+        stack.push(k.concrete());
+    }
+    stack.push(Kind::Val(Some(fields.len() as i16)));
+    if stack.len() > STACK_DEPTH {
+        flow.errors.insert(err(
+            h,
+            ErrorKind::StackOverflow,
+            format!(
+                "reaction dispatch may overflow the stack ({} slots needed, {STACK_DEPTH} available)",
+                stack.len()
+            ),
+        ));
+        return None;
+    }
+    Some(State {
+        pc: h,
+        in_handler: true,
+        parked: false,
+        cond: s.cond,
+        stack,
+        heap: s.heap,
+    })
+}
+
+/// Runs the fixpoint and the post-pass alignment checks.
+pub(crate) fn interpret(code: &[u8]) -> Flow {
+    let mut flow = Flow::default();
+
+    // Linear decode from 0: the boundary set the runtime's jump-alignment
+    // debug assertion walks.
+    {
+        let mut pc = 0usize;
+        while pc < code.len() {
+            match Instruction::decode(code, pc as u16) {
+                Ok((_, l)) => {
+                    flow.linear.push(pc as u16);
+                    pc += l;
+                }
+                Err(_) => {
+                    flow.linear_err = Some(pc as u16);
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut seen: BTreeSet<State> = BTreeSet::new();
+    let mut pending: Vec<State> = vec![State::initial()];
+    let mut plain: Vec<State> = Vec::new();
+    let mut specs: Vec<(u16, Vec<Kind>)> = Vec::new();
+    let mut spec_set: BTreeSet<(u16, Vec<Kind>)> = BTreeSet::new();
+
+    while let Some(s) = pending.pop() {
+        if !seen.insert(s.clone()) {
+            continue;
+        }
+        if seen.len() > MAX_STATES {
+            flow.errors.insert(err(
+                s.pc,
+                ErrorKind::Unanalyzable,
+                format!("abstract state space exceeds {MAX_STATES} states"),
+            ));
+            break;
+        }
+        flow.max_stack = flow.max_stack.max(s.stack.len());
+        flow.max_heap = flow.max_heap.max(s.written_slots());
+        if !s.in_handler {
+            for (h, fields) in &specs {
+                if let Some(e) = entry_state(&s, *h, fields, &mut flow) {
+                    pending.push(e);
+                }
+            }
+            plain.push(s.clone());
+        }
+        if s.parked {
+            // A parked (post-`wait`) state is a dispatch point only: the
+            // instruction at its pc runs only if a handler `jumps` back to
+            // the saved pc, which the dispatch entries above model.
+            continue;
+        }
+        let out = step_abs(code, &s);
+        if let Some(op) = out.op {
+            flow.insns.insert(s.pc, op);
+        }
+        flow.errors.extend(out.errors);
+        for succ in out.succs {
+            flow.edges.entry(s.pc).or_default().insert(succ.pc);
+            pending.push(succ);
+        }
+        if let Some(p) = out.parked {
+            // Not a control-flow edge: the parked pc is only entered via a
+            // handler's `jumps`.
+            pending.push(p);
+        }
+        if let Some((h, fields)) = out.reg {
+            flow.handlers.insert(h);
+            if spec_set.insert((h, fields.clone())) {
+                for p in &plain {
+                    if let Some(e) = entry_state(p, h, &fields, &mut flow) {
+                        pending.push(e);
+                    }
+                }
+                specs.push((h, fields));
+            }
+        }
+    }
+
+    // Alignment: every reachable instruction start must be a boundary of the
+    // linear decode (or hidden behind its first failure, which leaves the
+    // runtime walk indeterminate) — this is exactly what the interpreter's
+    // jump-target debug assertion re-checks per jump on verified agents.
+    let linear_set: BTreeSet<u16> = flow.linear.iter().copied().collect();
+    let mut align_errors: Vec<VerifyError> = Vec::new();
+    for &p in flow.insns.keys() {
+        let determinate = flow.linear_err.is_none_or(|e| p < e);
+        if determinate && !linear_set.contains(&p) {
+            align_errors.push(err(
+                p,
+                ErrorKind::BadJump,
+                format!("reachable instruction at {p} is not on a linear-decode boundary"),
+            ));
+        }
+    }
+    // Overlap: no reachable instruction may start inside another reachable
+    // instruction's encoding.
+    let spans: Vec<(u16, u16)> = flow
+        .insns
+        .iter()
+        .map(|(&p, &op)| (p, p + op.encoded_len() as u16))
+        .collect();
+    for &(p, _) in &spans {
+        for &(q, qe) in &spans {
+            if q < p && p < qe {
+                align_errors.push(err(
+                    p,
+                    ErrorKind::BadJump,
+                    format!("instruction at {p} overlaps the instruction at {q}"),
+                ));
+            }
+        }
+    }
+    flow.errors.extend(align_errors);
+    flow
+}

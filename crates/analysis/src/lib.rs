@@ -1,0 +1,112 @@
+//! Static analysis for assembled Agilla agents: a bytecode **verifier**, an
+//! agent **linter**, and static **cost bounds**.
+//!
+//! The paper's middleware accepts any byte string as an agent and lets the
+//! interpreter fault at runtime (`StackOverflow`, `StackUnderflow`,
+//! `TypeMismatch`, `JumpOutOfRange`), killing the agent mid-mission and
+//! wasting the energy already spent injecting and migrating it. This crate
+//! moves those checks to injection time: [`analyze`] explores every
+//! abstractly-reachable machine state — including reaction dispatches — and
+//! either proves the program free of those faults or pinpoints the
+//! offending instruction.
+//!
+//! # Verification
+//!
+//! [`verify`] accepts a program iff no reachable abstract state can:
+//!
+//! * underflow or overflow the 16-slot operand stack (including the frame a
+//!   reaction dispatch pushes),
+//! * pop a slot of the wrong kind (e.g. `smove` popping a non-location),
+//! * jump or register a reaction handler out of bounds or into the middle
+//!   of a multi-byte instruction,
+//! * read a heap slot that was never written, or index past the heap,
+//! * decode garbage (invalid opcode, truncated operand, running off the
+//!   end of code), or
+//! * fault on definitely-bad operands (`mod` by a constant zero, a
+//!   constant-negative `sleep`, an invalid `pusht`/`pushrt` immediate, an
+//!   empty or oversized tuple).
+//!
+//! Programs whose `jumps`/`regrxn` operands or template arities are not
+//! compile-time constants are rejected as [`ErrorKind::Unanalyzable`]
+//! rather than guessed at.
+//!
+//! # Lints
+//!
+//! Lints are advisory; they never block admission:
+//!
+//! | code | name | meaning |
+//! |------|------|---------|
+//! | A001 | `unreachable-code` | instructions no execution path reaches |
+//! | A002 | `halt-unreachable` | no reachable `halt`; the agent cannot free its node resources |
+//! | A003 | `migrate-no-retry` | a repeated migration whose success flag is never tested |
+//! | A004 | `dead-heap-slot` | a heap slot written but never read |
+//! | A005 | `unbounded-reaction-recursion` | a reaction handler can `wait` without returning |
+//!
+//! # Cost bounds
+//!
+//! For verified programs, [`Report::cost`] bounds the worst acyclic
+//! execution path (instructions and µs per MICA2 energy class, with the
+//! CPU-active joules figure) and the worst-case strong-migration image in
+//! bytes. See [`CostBounds`].
+//!
+//! # Example
+//!
+//! ```
+//! use agilla_analysis::analyze;
+//! use agilla_vm::asm::assemble;
+//!
+//! let program = assemble("pushc 2\npushc 3\nadd\nhalt").unwrap();
+//! let report = analyze(program.code());
+//! assert!(report.verified());
+//! let cost = report.cost.unwrap();
+//! assert_eq!(cost.instructions, 4);
+//! assert_eq!(cost.max_stack, 2);
+//!
+//! // A stack underflow is caught statically, at the offending instruction.
+//! let bad = assemble("pushc 1\nadd\nhalt").unwrap();
+//! let report = analyze(bad.code());
+//! assert!(!report.verified());
+//! assert_eq!(report.first_error().unwrap().pc, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod interp;
+mod lint;
+mod report;
+
+pub use report::{CostBounds, ErrorKind, Lint, LintCode, Report, VerifyError};
+
+/// Analyzes an assembled program: verification errors, lints, and (for
+/// verified programs) cost bounds. Deterministic: same bytes, same report.
+pub fn analyze(code: &[u8]) -> Report {
+    let flow = interp::interpret(code);
+    let errors: Vec<VerifyError> = flow.errors.iter().cloned().collect();
+    let lints = lint::lint(code, &flow);
+    let cost = if errors.is_empty() {
+        Some(cost::cost_bounds(code, &flow))
+    } else {
+        None
+    };
+    Report {
+        errors,
+        lints,
+        cost,
+    }
+}
+
+/// Verifies an assembled program, returning the first error if it is not
+/// provably safe. Convenience wrapper over [`analyze`].
+///
+/// # Errors
+///
+/// The lowest-addressed [`VerifyError`] when verification fails.
+pub fn verify(code: &[u8]) -> Result<(), VerifyError> {
+    let report = analyze(code);
+    match report.errors.into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}

@@ -1,0 +1,219 @@
+//! The agent linter: five stable checks (A001–A005) over the control-flow
+//! facts the abstract interpreter collects. Lints never block verification;
+//! they flag programs that are legal but wasteful or fragile on a mote.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use agilla_vm::isa::{Instruction, Opcode};
+
+use crate::interp::Flow;
+use crate::report::{Lint, LintCode};
+
+/// Opcodes that overwrite the condition code, ending the liveness of a
+/// previous migration's success/failure flag.
+fn writes_cond(op: Opcode) -> bool {
+    use Opcode::*;
+    matches!(
+        op,
+        Clear
+            | Ceq
+            | Clt
+            | Cgt
+            | Sense
+            | Getnbr
+            | Randnbr
+            | Deregrxn
+            | Inp
+            | Rdp
+            | In
+            | Rd
+            | Smove
+            | Wmove
+            | Sclone
+            | Wclone
+            | Rout
+            | Rinp
+            | Rrdp
+    )
+}
+
+fn is_migration(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Smove | Opcode::Wmove | Opcode::Sclone | Opcode::Wclone
+    )
+}
+
+fn succs(flow: &Flow, p: u16) -> impl Iterator<Item = u16> + '_ {
+    flow.edges.get(&p).into_iter().flatten().copied()
+}
+
+/// DFS over the flow graph from `roots`. When `stop_at_jumps` is set, the
+/// successors of `jumps` are not expanded — `jumps` is how a reaction
+/// handler returns, so the walk stays within handler code.
+fn reachable(flow: &Flow, roots: &BTreeSet<u16>, stop_at_jumps: bool) -> BTreeSet<u16> {
+    let mut seen: BTreeSet<u16> = BTreeSet::new();
+    let mut stack: Vec<u16> = roots.iter().copied().collect();
+    while let Some(p) = stack.pop() {
+        if !seen.insert(p) {
+            continue;
+        }
+        if stop_at_jumps && flow.insns.get(&p) == Some(&Opcode::Jumps) {
+            continue;
+        }
+        stack.extend(succs(flow, p));
+    }
+    seen
+}
+
+/// Whether `p` sits on a control-flow cycle (can reach itself).
+fn on_cycle(flow: &Flow, p: u16) -> bool {
+    let mut seen: BTreeSet<u16> = BTreeSet::new();
+    let mut stack: Vec<u16> = succs(flow, p).collect();
+    while let Some(q) = stack.pop() {
+        if q == p {
+            return true;
+        }
+        if seen.insert(q) {
+            stack.extend(succs(flow, q));
+        }
+    }
+    false
+}
+
+/// Whether the condition code written at `p` may still be observed: some
+/// path from `p`'s successors reaches an `rjumpc` before any instruction
+/// that overwrites the condition code.
+fn cond_observed(flow: &Flow, p: u16) -> bool {
+    let mut seen: BTreeSet<u16> = BTreeSet::new();
+    let mut stack: Vec<u16> = succs(flow, p).collect();
+    while let Some(q) = stack.pop() {
+        if !seen.insert(q) {
+            continue;
+        }
+        match flow.insns.get(&q) {
+            Some(&Opcode::Rjumpc) => return true,
+            Some(&op) if writes_cond(op) => {}
+            Some(_) => stack.extend(succs(flow, q)),
+            None => {}
+        }
+    }
+    false
+}
+
+/// Runs all lints. Deterministic: results are sorted by `(code, pc)`.
+pub(crate) fn lint(code: &[u8], flow: &Flow) -> Vec<Lint> {
+    let mut lints: Vec<Lint> = Vec::new();
+
+    // A001 unreachable-code: linear-decode instructions no abstract path
+    // reaches, reported one lint per contiguous run.
+    {
+        let mut run: Option<(u16, u16)> = None;
+        let flush = |run: &mut Option<(u16, u16)>, lints: &mut Vec<Lint>| {
+            if let Some((a, b)) = run.take() {
+                let message = if a == b {
+                    format!("instruction at pc {a} can never execute")
+                } else {
+                    format!("instructions at pc {a}..={b} can never execute")
+                };
+                lints.push(Lint {
+                    code: LintCode::A001,
+                    pc: a,
+                    message,
+                });
+            }
+        };
+        for &p in &flow.linear {
+            if flow.insns.contains_key(&p) {
+                flush(&mut run, &mut lints);
+            } else {
+                run = Some(match run {
+                    Some((a, _)) => (a, p),
+                    None => (p, p),
+                });
+            }
+        }
+        flush(&mut run, &mut lints);
+    }
+
+    // A002 halt-unreachable: the agent can never voluntarily terminate, so
+    // its tuple-space and reaction resources are only freed by death.
+    if !flow.insns.values().any(|&op| op == Opcode::Halt) && !flow.insns.is_empty() {
+        lints.push(Lint {
+            code: LintCode::A002,
+            pc: 0,
+            message: "no reachable `halt`; the agent never frees its node resources".to_string(),
+        });
+    }
+
+    // A003 migrate-no-retry: a migration that repeats (it is on a cycle or
+    // inside a reaction handler) but whose success flag is dead — a failed
+    // hop is silently ignored and the agent acts as if it had moved.
+    let handler_code = reachable(flow, &flow.handlers, true);
+    for (&p, &op) in &flow.insns {
+        if !is_migration(op) {
+            continue;
+        }
+        if !(on_cycle(flow, p) || handler_code.contains(&p)) {
+            continue;
+        }
+        if !cond_observed(flow, p) {
+            lints.push(Lint {
+                code: LintCode::A003,
+                pc: p,
+                message: format!(
+                    "the `{}` success flag is never tested before being overwritten; \
+                     a failed migration goes unnoticed (test with `rjumpc` and retry)",
+                    op.mnemonic()
+                ),
+            });
+        }
+    }
+
+    // A004 dead-heap-slot: written but never read.
+    {
+        let mut written: BTreeMap<u8, u16> = BTreeMap::new();
+        let mut read: BTreeSet<u8> = BTreeSet::new();
+        for (&p, &op) in &flow.insns {
+            let Ok((ins, _)) = Instruction::decode(code, p) else {
+                continue;
+            };
+            match op {
+                Opcode::Setvar => {
+                    written.entry(ins.operand_u8()).or_insert(p);
+                }
+                Opcode::Getvar => {
+                    read.insert(ins.operand_u8());
+                }
+                _ => {}
+            }
+        }
+        for (&slot, &p) in &written {
+            if !read.contains(&slot) {
+                lints.push(Lint {
+                    code: LintCode::A004,
+                    pc: p,
+                    message: format!("heap slot {slot} is written here but never read"),
+                });
+            }
+        }
+    }
+
+    // A005 unbounded-reaction-recursion: a handler that can block in `wait`
+    // without first returning via `jumps`. Each dispatch pushes the saved
+    // pc and the triggering tuple, so repeated reactions grow the stack.
+    for &p in &handler_code {
+        if flow.insns.get(&p) == Some(&Opcode::Wait) {
+            lints.push(Lint {
+                code: LintCode::A005,
+                pc: p,
+                message: "a reaction handler can reach this `wait` without returning; \
+                          every further dispatch deepens the stack"
+                    .to_string(),
+            });
+        }
+    }
+
+    lints.sort();
+    lints
+}

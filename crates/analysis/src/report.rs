@@ -1,0 +1,280 @@
+//! Analysis results: verification errors, lints, cost bounds, and rendering.
+
+use std::fmt;
+
+/// What class of runtime failure a [`VerifyError`] predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorKind {
+    /// The bytecode cannot be decoded on some reachable path (invalid
+    /// opcode, truncated operand, or the pc running past the end of code).
+    Decode,
+    /// A jump or handler address lands out of bounds or inside the middle
+    /// of a multi-byte instruction.
+    BadJump,
+    /// A reachable instruction pops from a possibly-empty stack.
+    StackUnderflow,
+    /// A reachable push (or reaction dispatch) may exceed the 16-slot stack.
+    StackOverflow,
+    /// A reachable pop finds a slot of the wrong kind (e.g. `smove` popping
+    /// a non-location).
+    TypeConfusion,
+    /// A heap access is out of range or reads a possibly-unwritten slot.
+    Heap,
+    /// A definite runtime fault: `mod` by a known zero, a known-negative
+    /// `sleep`, an invalid `pusht`/`pushrt` immediate, a malformed tuple.
+    Fault,
+    /// The verifier gave up: a `jumps`/`regrxn` operand or template arity is
+    /// not a compile-time constant, or the abstract state space exploded.
+    Unanalyzable,
+}
+
+impl ErrorKind {
+    /// Short stable label used in rendered diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Decode => "decode",
+            ErrorKind::BadJump => "bad-jump",
+            ErrorKind::StackUnderflow => "stack-underflow",
+            ErrorKind::StackOverflow => "stack-overflow",
+            ErrorKind::TypeConfusion => "type-confusion",
+            ErrorKind::Heap => "heap",
+            ErrorKind::Fault => "fault",
+            ErrorKind::Unanalyzable => "unanalyzable",
+        }
+    }
+}
+
+/// A verification error: the program may fault at runtime (or defeated the
+/// analysis), anchored to the offending instruction's byte address.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VerifyError {
+    /// Byte address of the offending instruction.
+    pub pc: u16,
+    /// Failure class.
+    pub kind: ErrorKind,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc {}: {}: {}", self.pc, self.kind.label(), self.detail)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Stable lint codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// Instructions that no execution path can reach.
+    A001,
+    /// The agent has no reachable `halt`: it can never free its resources
+    /// voluntarily.
+    A002,
+    /// A migration instruction in a loop (or a reaction handler) whose
+    /// failure condition code is never tested — the FIRE_TRACKER bug class:
+    /// on failure the agent silently continues as if it had moved.
+    A003,
+    /// A heap slot is written but never read.
+    A004,
+    /// A reaction handler can block in `wait` without returning: each
+    /// dispatch pushes a frame, so repeated reactions grow the stack
+    /// without bound.
+    A005,
+}
+
+impl LintCode {
+    /// Every lint code, in order.
+    pub const ALL: [LintCode; 5] = [
+        LintCode::A001,
+        LintCode::A002,
+        LintCode::A003,
+        LintCode::A004,
+        LintCode::A005,
+    ];
+
+    /// The stable code string, e.g. `"A001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::A001 => "A001",
+            LintCode::A002 => "A002",
+            LintCode::A003 => "A003",
+            LintCode::A004 => "A004",
+            LintCode::A005 => "A005",
+        }
+    }
+
+    /// The lint's kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::A001 => "unreachable-code",
+            LintCode::A002 => "halt-unreachable",
+            LintCode::A003 => "migrate-no-retry",
+            LintCode::A004 => "dead-heap-slot",
+            LintCode::A005 => "unbounded-reaction-recursion",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.name())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lint {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Byte address the finding anchors to.
+    pub pc: u16,
+    /// Human-readable specifics.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc {}: {}: {}", self.pc, self.code, self.message)
+    }
+}
+
+/// Static cost bounds for a verified program.
+///
+/// Instruction counts and times bound any *acyclic* execution path from any
+/// entry point (program start or a reaction handler), pricing each
+/// instruction with the MICA2 cost model; loops are flagged via
+/// [`has_cycles`](Self::has_cycles) rather than unrolled. The joules figure
+/// prices the bounded CPU time at the MICA2 active draw — the same mapping
+/// the simulator's energy meter applies per executed instruction (radio
+/// frames and per-reading ADC windows are charged separately by the engine
+/// as they actually happen, so they are not part of this static bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBounds {
+    /// Maximum operand-stack depth over every reachable abstract state
+    /// (including reaction-dispatch frames).
+    pub max_stack: usize,
+    /// Maximum number of written heap slots over every reachable state.
+    pub max_heap_slots: usize,
+    /// Worst-case bytes on the wire for one strong migration: code, the
+    /// register header, and the maximal encoded stack and heap images.
+    pub wire_bytes: usize,
+    /// Worst-case instructions on any acyclic path.
+    pub instructions: u64,
+    /// Worst-path µs attributed to plain CPU instructions.
+    pub cpu_us: u64,
+    /// Worst-path µs attributed to `sense` (the sensing energy class).
+    pub sensing_us: u64,
+    /// Worst-path µs attributed to migration / remote tuple-space
+    /// instructions (the radio energy class; local CPU share only).
+    pub radio_us: u64,
+    /// Worst-case total µs on any acyclic path.
+    pub total_us: u64,
+    /// Worst-case CPU-active joules for one acyclic path.
+    pub joules: f64,
+    /// Whether the control-flow graph contains cycles (the per-path bound
+    /// then does not bound whole-program cost).
+    pub has_cycles: bool,
+}
+
+/// The full result of [`analyze`](crate::analyze).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Verification errors, in `(pc, kind, detail)` order. Empty means the
+    /// program is verified: it cannot underflow or overflow the stack,
+    /// confuse slot kinds, jump wild, or fault on definite bad operands.
+    pub errors: Vec<VerifyError>,
+    /// Lint findings (style/robustness; never block verification).
+    pub lints: Vec<Lint>,
+    /// Cost bounds; present only for verified programs.
+    pub cost: Option<CostBounds>,
+}
+
+impl Report {
+    /// Whether verification succeeded (no errors; lints do not count).
+    pub fn verified(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// The first verification error, if any.
+    pub fn first_error(&self) -> Option<&VerifyError> {
+        self.errors.first()
+    }
+
+    /// Renders the report with source-line anchors resolved through
+    /// `line_of` (typically [`Program::line_of`](agilla_vm::asm::Program::line_of)).
+    /// Deterministic: same program, same text.
+    pub fn render(&self, line_of: &dyn Fn(u16) -> Option<u32>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let at = |pc: u16| match line_of(pc) {
+            Some(line) => format!("line {line} (pc {pc})"),
+            None => format!("pc {pc}"),
+        };
+        for e in &self.errors {
+            let _ = writeln!(out, "error[{}]: {}: {}", e.kind.label(), at(e.pc), e.detail);
+        }
+        for l in &self.lints {
+            let _ = writeln!(
+                out,
+                "warning[{}]: {}: {} ({})",
+                l.code.code(),
+                at(l.pc),
+                l.message,
+                l.code.name()
+            );
+        }
+        if let Some(c) = &self.cost {
+            let _ = writeln!(
+                out,
+                "verified: max stack {} / {}, heap slots {} / 12, migration image {} B",
+                c.max_stack,
+                agilla_vm::STACK_DEPTH,
+                c.max_heap_slots,
+                c.wire_bytes
+            );
+            let _ = writeln!(
+                out,
+                "cost bound (per acyclic path{}): {} instructions, {} µs \
+                 (cpu {} + sensing {} + radio {}), {:.1} µJ",
+                if c.has_cycles { ", program loops" } else { "" },
+                c.instructions,
+                c.total_us,
+                c.cpu_us,
+                c.sensing_us,
+                c.radio_us,
+                c.joules * 1e6
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_codes_are_stable() {
+        assert_eq!(LintCode::A001.code(), "A001");
+        assert_eq!(LintCode::A003.name(), "migrate-no-retry");
+        assert_eq!(
+            LintCode::A005.to_string(),
+            "A005 unbounded-reaction-recursion"
+        );
+        for (i, c) in LintCode::ALL.iter().enumerate() {
+            assert_eq!(c.code(), format!("A{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn error_display_includes_pc_and_kind() {
+        let e = VerifyError {
+            pc: 7,
+            kind: ErrorKind::StackUnderflow,
+            detail: "pop on empty stack".into(),
+        };
+        assert_eq!(e.to_string(), "pc 7: stack-underflow: pop on empty stack");
+    }
+}

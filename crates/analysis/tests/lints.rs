@@ -1,0 +1,148 @@
+//! Golden programs for every lint code: one program that triggers the lint
+//! and a minimally-repaired sibling that is completely clean, plus a
+//! determinism check (the linter is part of CI, so its output must be
+//! byte-stable run to run).
+
+use agilla_analysis::{analyze, LintCode};
+use agilla_vm::asm::assemble;
+
+fn codes(source: &str) -> Vec<LintCode> {
+    let code = assemble(source).expect(source).into_code();
+    let report = analyze(&code);
+    assert!(
+        report.errors.is_empty(),
+        "golden lint programs must verify: {source:?} -> {:?}",
+        report.errors
+    );
+    report.lints.iter().map(|l| l.code).collect()
+}
+
+#[test]
+fn a001_unreachable_code() {
+    assert_eq!(codes("halt\npushc 1\npop\nhalt"), vec![LintCode::A001]);
+    assert_eq!(codes("halt"), vec![]);
+}
+
+#[test]
+fn a001_reports_one_lint_per_contiguous_run() {
+    // Two separate dead regions around a reachable island.
+    let src = "rjump LIVE\npushc 1\npop\nLIVE halt\npushc 2\npop";
+    let lints = {
+        let code = assemble(src).unwrap().into_code();
+        analyze(&code).lints
+    };
+    assert_eq!(lints.len(), 2, "{lints:?}");
+    assert!(lints.iter().all(|l| l.code == LintCode::A001));
+}
+
+#[test]
+fn a002_halt_unreachable() {
+    assert_eq!(
+        codes("BEGIN pushc 8\nsleep\nrjump BEGIN"),
+        vec![LintCode::A002]
+    );
+    assert_eq!(codes("pushc 8\nsleep\nhalt"), vec![]);
+}
+
+#[test]
+fn a003_migrate_no_retry() {
+    // The hop repeats, but `ceq` clobbers the success flag before any test.
+    let lossy = "\
+LOOP pushloc 2 2
+smove
+pushc 1
+pushc 2
+ceq
+rjumpc LOOP
+halt";
+    assert_eq!(codes(lossy), vec![LintCode::A003]);
+    // The paper's retry-on-condition-zero idiom.
+    let retrying = "\
+LOOP pushloc 2 2
+smove
+rjumpc DONE
+rjump LOOP
+DONE halt";
+    assert_eq!(codes(retrying), vec![]);
+}
+
+#[test]
+fn a004_dead_heap_slot() {
+    assert_eq!(codes("pushc 1\nsetvar 3\nhalt"), vec![LintCode::A004]);
+    assert_eq!(codes("pushc 1\nsetvar 3\ngetvar 3\nhalt"), vec![]);
+}
+
+#[test]
+fn a005_unbounded_reaction_recursion() {
+    // The handler blocks in `wait` instead of returning with `jumps`: every
+    // dispatch leaves another saved frame on the stack.
+    let recursive = "\
+BEGIN pushn fir
+pusht location
+pushc 2
+pushc FIRE
+regrxn
+IDLE wait
+rjump IDLE
+FIRE pop
+setvar 2
+pop
+wait
+jumps";
+    assert!(codes(recursive).contains(&LintCode::A005));
+    // The repaired handler returns via `jumps` (or halts).
+    let returning = "\
+BEGIN pushn fir
+pusht location
+pushc 2
+pushc FIRE
+regrxn
+IDLE wait
+rjump IDLE
+FIRE pop
+setvar 2
+pop
+loc
+getvar 2
+ceq
+rjumpc STAY
+jumps
+STAY halt";
+    assert_eq!(codes(returning), vec![]);
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    // A reaction-heavy program (dispatch frames, parked waits, a handler
+    // branch) plus two lint-bearing ones: same Report, same rendering, every
+    // run.
+    let tracker = "\
+BEGIN pushn fir
+pusht location
+pushc 2
+pushc FIRE
+regrxn
+IDLE wait
+rjump IDLE
+FIRE pop
+setvar 2
+pop
+loc
+getvar 2
+ceq
+rjumpc STAY
+jumps
+STAY halt";
+    for src in [
+        tracker,
+        "halt\npushc 1\npop\nhalt",
+        "BEGIN pushc 8\nsleep\nrjump BEGIN",
+    ] {
+        let program = assemble(src).unwrap();
+        let a = analyze(program.code());
+        let b = analyze(program.code());
+        assert_eq!(a, b);
+        let line_of = |pc: u16| program.line_of(pc);
+        assert_eq!(a.render(&line_of), b.render(&line_of));
+    }
+}

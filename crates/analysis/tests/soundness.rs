@@ -1,0 +1,312 @@
+//! Soundness of the verifier: any generated program the verifier accepts
+//! must execute on a [`TestHost`] without ever raising the fault classes
+//! verification rules out — stack underflow/overflow, type-confused pops,
+//! heap misuse, wild jumps — and its live stack depth must stay within the
+//! statically predicted bound, across arbitrary reaction-dispatch
+//! interleavings.
+//!
+//! The only runtime faults a verified program may still hit are the ones
+//! the verifier explicitly does not model: tuple-space capacity exhaustion
+//! and value-dependent `mod`/`sense`/`sleep` operand faults.
+
+use agilla_analysis::{analyze, CostBounds};
+use agilla_tuplespace::{Field, FieldType, Template, TemplateField, Tuple};
+use agilla_vm::asm::assemble;
+use agilla_vm::exec::{self, RemoteOp, StepResult, TestHost};
+use agilla_vm::{AgentState, Instruction, Opcode, VmError};
+use proptest::prelude::*;
+use wsn_common::{AgentId, Location, SensorReading, SensorType};
+
+/// A canned terminating counter loop (heap slot 9 counts 0..3).
+const COUNTING_LOOP: &str = "\
+pushc 0
+setvar 9
+@L getvar 9
+inc
+setvar 9
+getvar 9
+pushc 3
+ceq
+rjumpc @D
+rjump @L
+@D clear";
+
+/// Local probe with both hit and miss paths balanced.
+const INP_PROBE: &str = "\
+pushn hik
+pusht value
+pushc 2
+inp
+rjumpc @F
+clear
+rjump @G
+@F pop
+pop
+pop
+@G clear";
+
+/// Remote probe; the mini-engine alternates hit and miss replies.
+const RINP_PROBE: &str = "\
+pusht value
+pushc 1
+pushloc 2 2
+rinp
+rjumpc @R
+clear
+rjump @T
+@R pop
+pop
+@T clear";
+
+/// Registers a reaction whose handler unwinds its dispatch frame and
+/// returns via `jumps`.
+const REACTION: &str = "\
+pushn rea
+pusht value
+pushc 2
+pushc @H
+regrxn
+rjump @S
+@H pop
+pop
+pop
+jumps
+@S clear";
+
+/// Registers a reaction, then parks in `wait` until a dispatch returns.
+const WAIT_REACTION: &str = "\
+pushn evt
+pusht value
+pushc 2
+pushc @H
+regrxn
+wait
+clear
+rjump @S
+@H pop
+pop
+pop
+jumps
+@S clear";
+
+/// One stack-neutral program fragment. `@`-prefixed labels are made unique
+/// per fragment instance by [`stitch`].
+fn arb_snippet() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u8..=255).prop_map(|v| format!("pushc {v}\npop")),
+        any::<i16>().prop_map(|v| format!("pushcl {v}\npop")),
+        Just("loc\npop".to_string()),
+        Just("aid\npop".to_string()),
+        Just("rand\npop".to_string()),
+        Just("numnbrs\npop".to_string()),
+        ((0u8..=99), (0u8..=99)).prop_map(|(a, b)| format!("pushc {a}\npushc {b}\nadd\npop")),
+        (0u8..=99).prop_map(|a| format!("pushc {a}\ninc\npop")),
+        ((0u8..12), (0u8..=99))
+            .prop_map(|(s, v)| format!("pushc {v}\nsetvar {s}\ngetvar {s}\npop")),
+        Just("pushc 3\nputled".to_string()),
+        ((0u8..=9), (0u8..=9)).prop_map(|(a, b)| format!("pushc {a}\npushc {b}\nceq")),
+        ((0u8..=9), (0u8..=9))
+            .prop_map(|(a, b)| format!("pushc {a}\npushc {b}\nclt\nrjumpc @A\nclear\n@A clear")),
+        Just(COUNTING_LOOP.to_string()),
+        Just("pushc TEMPERATURE\nsense\npop".to_string()),
+        "[a-z]{3}".prop_map(|s| format!("pushn {s}\npushc 1\nout")),
+        Just(INP_PROBE.to_string()),
+        ((0usize..4), (1u8..5), (1u8..5)).prop_map(|(k, x, y)| {
+            let op = ["smove", "wmove", "sclone", "wclone"][k];
+            format!("pushloc {x} {y}\n{op}")
+        }),
+        ((1u8..5), (1u8..5))
+            .prop_map(|(x, y)| format!("pushn msg\npushc 1\npushloc {x} {y}\nrout")),
+        Just(RINP_PROBE.to_string()),
+        Just(REACTION.to_string()),
+        Just(WAIT_REACTION.to_string()),
+    ]
+}
+
+/// Joins fragments into one program, uniquifying `@` labels and appending
+/// the terminal `halt`.
+fn stitch(snips: &[String]) -> String {
+    let mut out = String::new();
+    for (i, s) in snips.iter().enumerate() {
+        out.push_str(&s.replace('@', &format!("S{i}")));
+        out.push('\n');
+    }
+    out.push_str("halt");
+    out
+}
+
+/// Instantiates a concrete tuple matching `template` (the mini-engine's
+/// stand-in for whatever the network would deliver).
+fn instantiate(template: &Template) -> Tuple {
+    let fields = template
+        .slots()
+        .iter()
+        .map(|s| match s {
+            TemplateField::Exact(f) => *f,
+            TemplateField::Any(ty) => match ty {
+                FieldType::Value => Field::Value(7),
+                FieldType::Str => Field::Str(*b"abc"),
+                FieldType::Location => Field::Location(Location::new(1, 1)),
+                FieldType::Reading => {
+                    Field::Reading(SensorReading::new(SensorType::Temperature, 70))
+                }
+                FieldType::AgentId => Field::AgentId(AgentId(9)),
+                FieldType::SensorType => Field::SensorType(SensorType::Temperature),
+            },
+        })
+        .collect();
+    Tuple::new(fields).expect("templates are never empty")
+}
+
+/// Faults the verifier deliberately does not rule out.
+fn allowed_fault(e: &VmError) -> bool {
+    match e {
+        VmError::Tuple(_) | VmError::Resource(_) => true,
+        VmError::TypeMismatch { during, .. } => matches!(*during, "mod" | "sense" | "sleep"),
+        _ => false,
+    }
+}
+
+/// Drives a verified program on a [`TestHost`] until halt or a step budget,
+/// dispatching registered reactions at arbitrary interruption points and
+/// servicing migration/remote effects with all possible outcomes.
+///
+/// Returns `Err` with a description when the program hits a fault the
+/// verifier promised to exclude, or exceeds the static stack-depth bound.
+fn run_verified(code: Vec<u8>, bound: &CostBounds) -> Result<(), String> {
+    let mut agent =
+        AgentState::with_code(AgentId(1), code).map_err(|e| format!("with_code: {e}"))?;
+    agent.mark_verified(); // arm the runtime's verified-jump debug asserts
+    let mut host = TestHost::at(Location::new(2, 2));
+    host.neighbors = vec![Location::new(1, 2), Location::new(2, 1)];
+    host.sensor_values.insert(SensorType::Temperature, 70);
+
+    let mut in_handler = false;
+    let mut migrate_outcome = 0i16;
+    for step_no in 0usize..6_000 {
+        if agent.stack_depth() > bound.max_stack {
+            return Err(format!(
+                "stack depth {} exceeds the static bound {} at pc {}",
+                agent.stack_depth(),
+                bound.max_stack,
+                agent.pc()
+            ));
+        }
+        // Interrupt at arbitrary (non-handler) points, like the middleware
+        // does when a matching tuple appears mid-run.
+        if !in_handler && step_no % 13 == 7 {
+            if let Some(r) = host.registry.iter().next().cloned() {
+                let tuple = instantiate(&r.template);
+                exec::enter_reaction(&mut agent, &tuple, r.pc)
+                    .map_err(|e| format!("dispatch overflowed a verified program: {e}"))?;
+                in_handler = true;
+                continue;
+            }
+        }
+        let about_to = Instruction::decode(agent.code(), agent.pc())
+            .map(|(ins, _)| ins.op)
+            .map_err(|e| format!("verified program failed to decode: {e}"))?;
+        match exec::step(&mut agent, &mut host) {
+            Ok(StepResult::Continue) => {
+                if in_handler && about_to == Opcode::Jumps {
+                    in_handler = false;
+                }
+            }
+            Ok(StepResult::Halted) => return Ok(()),
+            Ok(StepResult::Sleep { .. }) => {}
+            Ok(StepResult::Blocked) => return Ok(()),
+            Ok(StepResult::WaitForReaction) => {
+                let Some(r) = host.registry.iter().next().cloned() else {
+                    return Ok(()); // nothing can ever wake it; the engine parks it
+                };
+                let tuple = instantiate(&r.template);
+                exec::enter_reaction(&mut agent, &tuple, r.pc)
+                    .map_err(|e| format!("dispatch overflowed a verified program: {e}"))?;
+                in_handler = true;
+            }
+            Ok(StepResult::Migrate { .. }) => {
+                // Exercise every migration outcome: failed (0), arrived (1),
+                // clone dispatched (2).
+                migrate_outcome = (migrate_outcome + 1) % 3;
+                agent.set_condition(migrate_outcome);
+            }
+            Ok(StepResult::Remote(op)) => {
+                // A retrieval succeeds iff a tuple comes back; a remote out
+                // alternates ack and timeout.
+                let (reply, success) = match op {
+                    RemoteOp::Out { .. } => (None, step_no % 3 != 2),
+                    RemoteOp::Inp { template, .. } | RemoteOp::Rdp { template, .. } => {
+                        let hit = step_no % 2 == 0;
+                        (hit.then(|| instantiate(&template)), hit)
+                    }
+                };
+                exec::deliver_remote_result(&mut agent, reply, success)
+                    .map_err(|e| format!("remote reply faulted a verified program: {e}"))?;
+            }
+            Err(e) if allowed_fault(&e) => return Ok(()),
+            Err(e) => {
+                return Err(format!(
+                    "verified program faulted with {e} at pc {}",
+                    agent.pc()
+                ))
+            }
+        }
+    }
+    Ok(()) // budget exhausted without any excluded fault
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The centerpiece: generated programs assemble, verify, and then never
+    /// hit an excluded fault class under execution with adversarial
+    /// reaction/migration/remote interleavings, staying within the
+    /// statically predicted stack bound.
+    #[test]
+    fn verified_programs_never_fault(snips in proptest::collection::vec(arb_snippet(), 1..10)) {
+        let src = stitch(&snips);
+        let program = assemble(&src).expect("generated programs assemble");
+        let report = analyze(program.code());
+        prop_assert!(
+            report.verified(),
+            "generator emits only sound programs, but the verifier rejected:\n{}\n{:?}",
+            src,
+            report.errors
+        );
+        let cost = report.cost.as_ref().expect("verified programs have cost bounds");
+        if let Err(msg) = run_verified(program.code().to_vec(), cost) {
+            prop_assert!(false, "{}\nsource:\n{}", msg, src);
+        }
+    }
+}
+
+/// Programs with definite faults must be rejected, never accepted.
+#[test]
+fn faulting_programs_are_rejected() {
+    for (src, why) in [
+        ("pop\nhalt", "underflow"),
+        ("add\nhalt", "underflow"),
+        ("rjump 1\npushcl 999\nhalt", "jump into an immediate"),
+        ("getvar 3\nhalt", "read before write"),
+        ("pushc 5\npushc 0\nmod\nhalt", "mod by zero"),
+        ("pushloc 1 1\npushc 1\nadd\nhalt", "type confusion"),
+    ] {
+        let code = assemble(src).expect(src).into_code();
+        assert!(!analyze(&code).verified(), "{why} accepted: {src}");
+    }
+    // 17 pushes: one more than the stack holds.
+    let overflow = format!("{}halt", "pushc 1\n".repeat(17));
+    let code = assemble(&overflow).unwrap().into_code();
+    assert!(!analyze(&code).verified(), "overflow accepted");
+    // Raw invalid opcode byte.
+    assert!(!analyze(&[0xff]).verified(), "invalid opcode accepted");
+}
+
+/// The harness itself works: a benign verified program runs to halt.
+#[test]
+fn soundness_harness_smoke() {
+    let program = assemble("pushc 2\npushc 3\nadd\npop\nhalt").unwrap();
+    let report = analyze(program.code());
+    assert!(report.verified());
+    run_verified(program.code().to_vec(), report.cost.as_ref().unwrap()).unwrap();
+}

@@ -1,0 +1,150 @@
+//! `agc` — the Agilla agent checker: assembles agent sources, runs the
+//! static verifier, the A001–A005 linter, and the cost-bound analysis, and
+//! prints per-program diagnostics anchored to source lines.
+//!
+//! ```text
+//! agc [--deny-warnings] [--builtin] [FILE.agilla ...]
+//! ```
+//!
+//! `--builtin` checks every program in the `agilla::workload` registry —
+//! the sweep CI runs with `--deny-warnings` so no shipped workload can
+//! regress into a lint. Exit status: 0 when every program verifies (and,
+//! under `--deny-warnings`, is lint-free); 1 when any program fails; 2 on
+//! usage errors.
+
+use std::process::ExitCode;
+
+use agilla_vm::asm::assemble;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AgcArgs {
+    /// Treat lints as errors (nonzero exit).
+    deny_warnings: bool,
+    /// Check the built-in workload registry.
+    builtin: bool,
+    /// Source files to check.
+    files: Vec<String>,
+}
+
+impl AgcArgs {
+    /// Parses from an explicit argument iterator (testable). Flags may
+    /// appear anywhere; anything else is a source file path.
+    fn from_args(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = AgcArgs {
+            deny_warnings: false,
+            builtin: false,
+            files: Vec::new(),
+        };
+        for arg in args {
+            match arg.as_str() {
+                "--deny-warnings" => out.deny_warnings = true,
+                "--builtin" => out.builtin = true,
+                other if other.starts_with("--") => {
+                    return Err(format!("unexpected flag: `{other}`"));
+                }
+                file => out.files.push(file.to_string()),
+            }
+        }
+        if !out.builtin && out.files.is_empty() {
+            return Err("nothing to check: pass source files or --builtin".into());
+        }
+        Ok(out)
+    }
+}
+
+/// Checks one named source. Prints diagnostics; returns whether it passed.
+fn check(name: &str, source: &str, deny_warnings: bool) -> bool {
+    let program = match assemble(source) {
+        Ok(p) => p,
+        Err(e) => {
+            // AsmError's Display already carries the line:column span.
+            println!("{name}: error[assemble]: {e}");
+            return false;
+        }
+    };
+    let report = agilla_analysis::analyze(program.code());
+    let rendered = report.render(&|pc| program.line_of(pc));
+    for line in rendered.lines() {
+        println!("{name}: {line}");
+    }
+    report.verified() && (!deny_warnings || report.lints.is_empty())
+}
+
+fn run(args: &AgcArgs) -> Result<bool, String> {
+    let mut all_ok = true;
+    if args.builtin {
+        for (name, source) in agilla::workload::all_programs() {
+            all_ok &= check(name, &source, args.deny_warnings);
+        }
+    }
+    for file in &args.files {
+        let source = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        all_ok &= check(file, &source, args.deny_warnings);
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    let args = match AgcArgs::from_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: agc [--deny-warnings] [--builtin] [FILE.agilla ...]");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<AgcArgs, String> {
+        AgcArgs::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_files() {
+        let a = parse(&["--deny-warnings", "a.agilla", "--builtin", "b.agilla"]).unwrap();
+        assert!(a.deny_warnings);
+        assert!(a.builtin);
+        assert_eq!(a.files, vec!["a.agilla", "b.agilla"]);
+    }
+
+    #[test]
+    fn empty_invocation_is_a_usage_error() {
+        assert!(parse(&[]).unwrap_err().contains("--builtin"));
+        assert!(parse(&["--deny-warnings"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(&["--wat"]).unwrap_err().contains("--wat"));
+    }
+
+    #[test]
+    fn builtins_pass_even_with_deny_warnings() {
+        for (name, source) in agilla::workload::all_programs() {
+            assert!(check(name, &source, true), "{name} should be clean");
+        }
+    }
+
+    #[test]
+    fn verifier_errors_fail_the_check() {
+        // `add` on an empty stack: assembles fine, verifies never.
+        assert!(!check("bad", "add\nhalt", false));
+        // Unbalanced migration loop: verifies, but lints A003.
+        let lossy = "LOOP pushloc 1 1\nsmove\nrjump LOOP";
+        assert!(check("lossy", lossy, false));
+        assert!(!check("lossy", lossy, true));
+    }
+}

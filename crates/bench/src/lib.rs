@@ -6,6 +6,7 @@
 //! by running them all (`cargo run -p agilla-bench --release --bin
 //! all_figures`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;

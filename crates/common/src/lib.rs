@@ -18,6 +18,7 @@
 //! assert!(a.matches_within(Location::new(1, 1), 0));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ids;

@@ -77,6 +77,15 @@ pub struct AgillaConfig {
     /// (default) keeps the paper's single-candidate behaviour, so existing
     /// figures are unchanged.
     pub hop_failover: bool,
+    /// When `true` (default), [`inject_at`](crate::AgillaNetwork::inject_at)
+    /// runs the static bytecode verifier over every injected program and
+    /// refuses unverifiable agents with
+    /// [`AgillaError::Unverifiable`](crate::AgillaError::Unverifiable)
+    /// instead of letting the interpreter fault mid-mission. Verification
+    /// changes nothing about how an accepted agent executes, so every
+    /// figure is byte-identical with it on; `false` restores the paper's
+    /// accept-anything behaviour for the fault-injection benches.
+    pub verify_on_inject: bool,
     /// Timing constants for protocol-layer software costs.
     pub timing: TimingModel,
     /// Energy accounting and duty-cycling; disabled by default, in which
@@ -147,6 +156,7 @@ impl Default for AgillaConfig {
             beacon_period: wsn_net::BEACON_PERIOD,
             hop_by_hop_migration: true,
             hop_failover: false,
+            verify_on_inject: true,
             timing: TimingModel::mica2(),
             energy: EnergyConfig::default(),
         }
@@ -305,6 +315,7 @@ mod tests {
         assert_eq!(c.remote_op_retx, 2);
         assert!(c.hop_by_hop_migration);
         assert!(!c.hop_failover, "single-candidate greedy, as evaluated");
+        assert!(c.verify_on_inject, "bad bytecode is refused at injection");
         assert!(!c.energy.enabled, "no meters unless asked");
         assert!(c.energy.lpl_check_interval.is_none());
     }

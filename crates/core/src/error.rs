@@ -17,6 +17,15 @@ pub enum AgillaError {
     },
     /// A location did not resolve to any node (within ε).
     UnknownLocation(String),
+    /// The static verifier rejected the agent's bytecode at injection time
+    /// ([`AgillaConfig::verify_on_inject`](crate::AgillaConfig::verify_on_inject)).
+    Unverifiable {
+        /// Byte address of the offending instruction.
+        pc: u16,
+        /// The verifier's diagnosis (rendered
+        /// [`VerifyError`](agilla_analysis::VerifyError)).
+        reason: String,
+    },
     /// The VM faulted while executing an agent.
     Vm(VmError),
 }
@@ -27,6 +36,9 @@ impl fmt::Display for AgillaError {
             AgillaError::BadAgent(why) => write!(f, "bad agent: {why}"),
             AgillaError::Admission { reason } => write!(f, "admission refused: {reason}"),
             AgillaError::UnknownLocation(loc) => write!(f, "no node at {loc}"),
+            AgillaError::Unverifiable { reason, .. } => {
+                write!(f, "unverifiable agent: {reason}")
+            }
             AgillaError::Vm(e) => write!(f, "vm fault: {e}"),
         }
     }
@@ -47,6 +59,15 @@ impl From<VmError> for AgillaError {
     }
 }
 
+impl From<agilla_analysis::VerifyError> for AgillaError {
+    fn from(e: agilla_analysis::VerifyError) -> Self {
+        AgillaError::Unverifiable {
+            pc: e.pc,
+            reason: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +81,16 @@ mod tests {
         let e: AgillaError = VmError::StackOverflow.into();
         assert!(e.source().is_some());
         assert!(AgillaError::BadAgent("x".into()).source().is_none());
+        let e: AgillaError = agilla_analysis::VerifyError {
+            pc: 3,
+            kind: agilla_analysis::ErrorKind::StackUnderflow,
+            detail: "pop on empty stack".into(),
+        }
+        .into();
+        assert_eq!(
+            e.to_string(),
+            "unverifiable agent: pc 3: stack-underflow: pop on empty stack"
+        );
+        assert!(matches!(e, AgillaError::Unverifiable { pc: 3, .. }));
     }
 }

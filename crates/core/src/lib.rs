@@ -46,6 +46,7 @@
 //! let _ = agent;
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

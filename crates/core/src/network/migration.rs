@@ -516,6 +516,10 @@ impl AgillaNetwork {
             },
         };
         agent.set_condition(0);
+        if self.config.verify_on_inject {
+            // Same code the verifier accepted at injection time.
+            agent.mark_verified();
+        }
         self.log.push(OpRecord::MigrationFailed {
             agent: agent_id,
             node: node_id,
@@ -815,7 +819,7 @@ impl AgillaNetwork {
         }
         self.nodes[idx].cache_mig_done(session, s.from, s.origin, now);
         let header = *s.buf.header();
-        let (agent, reactions) = match s.buf.finish() {
+        let (mut agent, reactions) = match s.buf.finish() {
             Ok(v) => v,
             Err(e) => {
                 self.tracer
@@ -837,6 +841,12 @@ impl AgillaNetwork {
                         format!("{agent_id} on arrival")
                     });
                 return;
+            }
+            if self.config.verify_on_inject {
+                // Migration never alters code, so an arriving agent's
+                // program is the one the verifier accepted at injection;
+                // re-arm the runtime's verified-jump assertions for it.
+                agent.mark_verified();
             }
             self.nodes[idx].admit(agent);
             for r in reactions {

@@ -344,7 +344,9 @@ impl AgillaNetwork {
     ///
     /// # Errors
     ///
-    /// Admission failure or an over-budget program.
+    /// Admission failure, an over-budget program, or (with
+    /// [`AgillaConfig::verify_on_inject`](crate::AgillaConfig::verify_on_inject))
+    /// a program the static verifier cannot prove fault-free.
     pub fn inject_at(&mut self, node: NodeId, code: Vec<u8>) -> Result<AgentId, AgillaError> {
         let idx = node.index();
         if self.nodes[idx].dead {
@@ -360,8 +362,14 @@ impl AgillaNetwork {
                 reason: "no agent slot or code blocks free",
             });
         }
+        if self.config.verify_on_inject {
+            agilla_analysis::verify(&code)?;
+        }
         let id = AgentId(self.agent_ids.allocate());
-        let agent = AgentState::with_code_budget(id, code, self.config.code_budget())?;
+        let mut agent = AgentState::with_code_budget(id, code, self.config.code_budget())?;
+        if self.config.verify_on_inject {
+            agent.mark_verified();
+        }
         self.nodes[idx].admit(agent).expect("can_admit checked");
         let now = self.now();
         self.log.push(OpRecord::AgentInjected {

@@ -629,6 +629,31 @@ impl ScenarioSpec {
         }
     }
 
+    /// Compiles the scenario like [`compile`](Self::compile), but first
+    /// checks that every injected program in the compiled script actually
+    /// assembles, returning
+    /// [`AgillaError::BadAgent`](crate::AgillaError::BadAgent) (with the
+    /// assembler's `line:col` diagnosis) instead of deferring the failure
+    /// to a panic inside [`TrialSpec::execute`]. Use this when the agent
+    /// sources are user-supplied rather than vetted workloads.
+    ///
+    /// # Errors
+    ///
+    /// [`AgillaError::BadAgent`](crate::AgillaError::BadAgent) naming the
+    /// first step whose source fails to assemble.
+    pub fn try_compile(&self) -> Result<TrialSpec, crate::AgillaError> {
+        let spec = self.compile();
+        for (i, step) in spec.steps.iter().enumerate() {
+            let (TrialStep::Inject { source, .. } | TrialStep::TryInject { source, .. }) = step
+            else {
+                continue;
+            };
+            agilla_vm::asm::assemble(source)
+                .map_err(|e| crate::AgillaError::BadAgent(format!("scenario step {i}: {e}")))?;
+        }
+        Ok(spec)
+    }
+
     /// Compiles and executes the scenario to completion.
     ///
     /// # Panics
@@ -663,6 +688,28 @@ mod tests {
 
     fn bed() -> Testbed {
         Testbed::lossy_5x5(AgillaConfig::default(), 0xC0FFEE)
+    }
+
+    #[test]
+    fn try_compile_reports_bad_sources_as_typed_errors() {
+        let horizon = SimDuration::from_secs(1);
+        let good = bed()
+            .scenario(1)
+            .traffic(OneShot::at_base("halt"))
+            .horizon(horizon);
+        assert!(good.try_compile().is_ok());
+
+        let bad = bed()
+            .scenario(1)
+            .traffic(OneShot::at_base("pushc banana\nhalt"))
+            .horizon(horizon);
+        match bad.try_compile() {
+            Err(crate::AgillaError::BadAgent(msg)) => {
+                assert!(msg.contains("line 1"), "span surfaces in {msg:?}");
+                assert!(msg.contains("banana"), "offending token in {msg:?}");
+            }
+            other => panic!("expected a typed build error, got {other:?}"),
+        }
     }
 
     #[test]

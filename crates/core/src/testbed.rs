@@ -207,8 +207,8 @@ impl TrialSpec {
     /// `TryInject` step fails to assemble, or if a perturbation addresses
     /// a location with no node — trial scripts are fixed, vetted
     /// workloads, so those failures are harness bugs, not experimental
-    /// outcomes. (A `TryInject` *admission* refusal is an outcome; see
-    /// [`Trial::rejected`].)
+    /// outcomes. (A `TryInject` *admission or verification* refusal is an
+    /// outcome; see [`Trial::rejected`].)
     pub fn execute(&self) -> Trial {
         let mut net = self.build();
         let mut agents = Vec::new();
@@ -234,7 +234,10 @@ impl TrialSpec {
                     };
                     match outcome {
                         Ok(id) => agents.push(id),
-                        Err(crate::AgillaError::Admission { .. }) => rejected += 1,
+                        Err(
+                            crate::AgillaError::Admission { .. }
+                            | crate::AgillaError::Unverifiable { .. },
+                        ) => rejected += 1,
                         Err(e) => panic!("scenario arrival failed to assemble: {e}"),
                     }
                 }
@@ -260,8 +263,9 @@ pub struct Trial {
     /// Agent ids from `Inject`/`TryInject` steps that were admitted, in
     /// order.
     pub agents: Vec<AgentId>,
-    /// `TryInject` arrivals the network refused admission (no free agent
-    /// slot or code blocks) — the open-loop load-shedding count.
+    /// `TryInject` arrivals the network refused: admission failures (no
+    /// free agent slot or code blocks — the open-loop load-shedding count)
+    /// plus agents the static verifier rejected.
     pub rejected: u32,
 }
 

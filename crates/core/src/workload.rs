@@ -155,6 +155,96 @@ pushc 7
 putled
 halt";
 
+/// The Section 2.2 vignette: a habitat monitor that politely dies when fire
+/// is detected nearby. It registers a reaction on `fir` tuples and halts
+/// when one fires, freeing its resources for the fire-response agents.
+pub const POLITE_MONITOR: &str = "\
+BEGIN pushn fir
+pusht location
+pushc 2
+pushc FIRE
+regrxn            // react to fire alerts on this node
+IDLE pushc LIGHT
+sense
+pop               // sample and discard (a stand-in for real logging)
+pushcl 16
+sleep             // every two seconds
+rjump IDLE
+FIRE halt         // fire here: free my resources";
+
+/// A search-and-rescue sweep agent (the Section 2.1 motivating example): it
+/// walks its column from y=1 to y=5 (row counter in heap 1), probing each
+/// node's tuple space for a `hik` hiker tuple; on a find it routs a `fnd`
+/// report to the base station and drops a `way` waypoint marker.
+///
+/// The hop uses the retry-on-condition-zero idiom (`rjumpc` after `smove`):
+/// a failed migration resumes the agent with the condition code cleared, so
+/// it re-issues the `smove` instead of marching on from the wrong node.
+pub fn search_sweeper(column: i16) -> String {
+    format!(
+        "\
+pushc 1
+setvar 1          // y := 1
+BEGIN pushn hik
+pusht value
+pushc 2
+rdp               // anyone here?
+rjumpc FOUND
+NEXT getvar 1
+pushc 5
+ceq               // at the top of the column?
+rjumpc DONE
+getvar 1
+inc
+setvar 1          // y := y + 1
+MOVE pushc {col}
+getvar 1
+makeloc           // target (col, y)
+smove             // move up the column
+rjumpc BEGIN      // arrived: probe the next node
+rjump MOVE        // migration failed: retry the hop
+FOUND pop         // drop arity: [\"hik\", id]
+pop               // drop hiker id
+pop               // drop \"hik\"
+pushn fnd
+loc
+pushc 2
+pushloc 0 1
+rout              // report <\"fnd\", location> to the base
+pushn way
+loc
+pushc 2
+out               // waypoint for the rescuers
+rjump NEXT
+DONE halt",
+        col = column
+    )
+}
+
+/// Every workload family, instantiated with representative parameters, as
+/// `(name, source)` pairs. This is the registry the `agc` linter's
+/// `--builtin` mode and the static-analysis regression tests sweep: every
+/// program the repo injects anywhere should verify cleanly here.
+pub fn all_programs() -> Vec<(&'static str, String)> {
+    vec![
+        ("smove_test", SMOVE_TEST_AGENT.to_string()),
+        ("rout_test", ROUT_TEST_AGENT.to_string()),
+        (
+            "one_way_wclone",
+            one_way_agent("wclone", Location::new(1, 1)),
+        ),
+        ("fire_detector", fire_detector(Location::new(0, 1), 4800)),
+        ("fire_tracker", FIRE_TRACKER.to_string()),
+        (
+            "habitat_monitor",
+            habitat_monitor(10, 80, Location::new(0, 1)),
+        ),
+        ("blink", BLINK_AGENT.to_string()),
+        ("polite_monitor", POLITE_MONITOR.to_string()),
+        ("search_sweeper", search_sweeper(3)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +265,16 @@ mod tests {
         assemble(&habitat_monitor(5, 40, Location::new(0, 1))).unwrap();
         for op in ["smove", "wmove", "sclone", "wclone"] {
             assemble(&one_way_agent(op, Location::new(1, 1))).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_registry_program_verifies_and_is_lint_clean() {
+        for (name, src) in all_programs() {
+            let code = assemble(&src).expect(name).into_code();
+            let report = agilla_analysis::analyze(&code);
+            assert!(report.errors.is_empty(), "{name}: {:?}", report.errors);
+            assert!(report.lints.is_empty(), "{name}: {:?}", report.lints);
         }
     }
 

@@ -276,7 +276,14 @@ fn admission_limits_concurrent_agents() {
 
 #[test]
 fn faulting_agent_is_killed_and_resources_reclaimed() {
-    let mut net = reliable();
+    // The runtime kill path needs a faulting program to reach execution,
+    // so run with the paper's accept-anything admission (verifier off) —
+    // the default verifier would refuse this agent at injection.
+    let config = AgillaConfig {
+        verify_on_inject: false,
+        ..AgillaConfig::default()
+    };
+    let mut net = AgillaNetwork::reliable_5x5(config, 7);
     let id = net.inject_source("pop\nhalt").unwrap(); // pop on empty stack
     net.run_for(SimDuration::from_secs(1));
     assert!(net
@@ -391,13 +398,17 @@ fn rinp_retrieves_and_removes_remote_tuple() {
     net.inject_source_at(Location::new(2, 1), "pushc 5\npushc 1\nout\nhalt")
         .unwrap();
     net.run_for(SimDuration::from_secs(1));
-    // From the base: rinp <value> at (2,1), then LED the field value.
+    // From the base: rinp <value> at (2,1), then LED the field value. The
+    // miss path must branch away: on failure nothing is pushed, so an
+    // unconditional pop would underflow (and the verifier would refuse it).
     let src = "\
 pusht value
 pushc 1
 pushloc 2 1
 rinp
-pop      // drop arity
+rjumpc GOT
+halt
+GOT pop  // drop arity
 putled
 halt";
     let id = net.inject_source(src).unwrap();
@@ -415,7 +426,7 @@ fn rrdp_copies_without_removing() {
     net.inject_source_at(Location::new(2, 1), "pushc 6\npushc 1\nout\nhalt")
         .unwrap();
     net.run_for(SimDuration::from_secs(1));
-    let src = "pusht value\npushc 1\npushloc 2 1\nrrdp\npop\nputled\nhalt";
+    let src = "pusht value\npushc 1\npushloc 2 1\nrrdp\nrjumpc GOT\nhalt\nGOT pop\nputled\nhalt";
     let id = net.inject_source(src).unwrap();
     net.run_for(SimDuration::from_secs(5));
     assert!(net.log().halted_at(id).is_some());

@@ -1,0 +1,67 @@
+//! End-to-end wiring of the static verifier into admission: bad bytecode is
+//! refused at injection with a typed error, `TryInject` counts refusals as
+//! outcomes, the escape hatch restores accept-anything, and every shipped
+//! workload clears the verifier on a live network.
+
+use agilla::testbed::{Testbed, TrialStep};
+use agilla::{workload, AgillaConfig, AgillaError, AgillaNetwork};
+use wsn_common::Location;
+
+fn build(verify: bool) -> AgillaNetwork {
+    AgillaNetwork::reliable_5x5(
+        AgillaConfig {
+            verify_on_inject: verify,
+            ..AgillaConfig::default()
+        },
+        7,
+    )
+}
+
+#[test]
+fn unverifiable_agent_is_refused_before_admission() {
+    let mut net = build(true);
+    let err = net.inject_source("pop\nhalt").unwrap_err();
+    assert!(
+        matches!(err, AgillaError::Unverifiable { pc: 0, .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("unverifiable agent"), "{err}");
+    // The refusal happens before an AgentId is allocated: the next good
+    // inject gets the same id a fresh network would hand out first.
+    let good = net.inject_source(workload::BLINK_AGENT).unwrap();
+    let mut fresh = build(true);
+    assert_eq!(good, fresh.inject_source(workload::BLINK_AGENT).unwrap());
+}
+
+#[test]
+fn verify_on_inject_off_restores_accept_anything() {
+    // Fault-injection benches rely on being able to admit broken bytecode
+    // and watch the runtime kill it.
+    let mut net = build(false);
+    net.inject_source("pop\nhalt")
+        .expect("unverified injection accepted");
+}
+
+#[test]
+fn every_workload_program_injects_with_verification_on() {
+    let mut net = build(true);
+    for (i, (name, src)) in workload::all_programs().into_iter().enumerate() {
+        let at = Location::new(1 + (i as i16 % 5), 1 + (i as i16 / 5));
+        net.inject_source_at(at, &src)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn try_inject_counts_unverifiable_arrivals_as_rejected() {
+    let mut spec = Testbed::reliable_5x5(AgillaConfig::default(), 7).trial(0);
+    for source in ["pop\nhalt", workload::BLINK_AGENT, "add\nhalt"] {
+        spec.steps.push(TrialStep::TryInject {
+            at: None,
+            source: source.to_string(),
+        });
+    }
+    let trial = spec.execute();
+    assert_eq!(trial.rejected, 2, "both unverifiable arrivals turned away");
+    assert_eq!(trial.agents.len(), 1, "the verified arrival was admitted");
+}

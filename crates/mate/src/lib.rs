@@ -12,6 +12,7 @@
 //! paper's qualitative flexibility argument: whole-network flooding versus
 //! targeted agent injection.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capsule;

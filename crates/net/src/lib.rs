@@ -12,6 +12,7 @@
 //! middleware's event loop owns the clock and asks these types what to do
 //! next, which keeps them unit-testable in isolation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod beacon;

@@ -22,6 +22,7 @@
 //!   integrate joules per state (tx/rx/listen/cpu/sensor) over sim time,
 //!   optionally attached to the medium for lifetime experiments.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod energy;

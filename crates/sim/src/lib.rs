@@ -33,6 +33,7 @@
 //! assert_eq!(t.as_micros(), 1_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;

@@ -38,6 +38,7 @@
 //! assert_eq!(ts.inp(&tmpl), None); // inp removes
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
@@ -52,4 +53,4 @@ pub use field::{Field, FieldType};
 pub use reaction::{Reaction, ReactionId, ReactionRegistry};
 pub use space::{ArenaKind, TupleSpace};
 pub use template::{Template, TemplateField};
-pub use tuple::Tuple;
+pub use tuple::{Tuple, MAX_TUPLE_BYTES};

@@ -38,7 +38,7 @@ pub const DEFAULT_CODE_BUDGET: usize = 440;
 /// assert_eq!(agent.pc(), 0);
 /// assert_eq!(agent.condition(), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct AgentState {
     id: AgentId,
     pc: u16,
@@ -46,7 +46,27 @@ pub struct AgentState {
     stack: Vec<StackValue>,
     heap: [Option<StackValue>; HEAP_SLOTS],
     code: Vec<u8>,
+    /// Set by the engine when the code passed the static verifier. Not part
+    /// of the migration wire image or of equality: it is a local promise
+    /// about `code`, re-established wherever the code is re-admitted.
+    verified: bool,
 }
+
+impl PartialEq for AgentState {
+    fn eq(&self, other: &Self) -> bool {
+        // `verified` is deliberately excluded: two agents with identical
+        // execution state are equal regardless of which host vetted them
+        // (the state codec roundtrip relies on this).
+        self.id == other.id
+            && self.pc == other.pc
+            && self.condition == other.condition
+            && self.stack == other.stack
+            && self.heap == other.heap
+            && self.code == other.code
+    }
+}
+
+impl Eq for AgentState {}
 
 impl AgentState {
     /// Creates an agent with the given code, all registers zeroed.
@@ -82,7 +102,21 @@ impl AgentState {
             stack: Vec::new(),
             heap: Default::default(),
             code,
+            verified: false,
         })
+    }
+
+    /// Whether this agent's code was vetted by the static verifier (set via
+    /// [`mark_verified`](Self::mark_verified) by whoever admitted it).
+    pub fn verified(&self) -> bool {
+        self.verified
+    }
+
+    /// Records that the static verifier accepted this agent's code. The
+    /// interpreter uses this to arm debug assertions that check the runtime
+    /// against the verifier's guarantees (e.g. jump-target alignment).
+    pub fn mark_verified(&mut self) {
+        self.verified = true;
     }
 
     /// The agent's id register.

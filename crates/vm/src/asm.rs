@@ -18,6 +18,11 @@
 //! is a label (an optional trailing `:` is accepted). `pushc` accepts small
 //! integers, sensor-name constants (`TEMPERATURE`, …), or label references
 //! (code addresses); `rjump`/`rjumpc` take labels or signed byte offsets.
+//!
+//! Every [`AsmError`] carries the 1-based line *and column* of the offending
+//! token, and an assembled [`Program`] keeps a debug map from byte addresses
+//! back to source lines so downstream tools (`agc`, the `agilla-analysis`
+//! verifier) can report diagnostics against the source listing.
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -28,11 +33,14 @@ use wsn_common::SensorType;
 
 use crate::isa::Opcode;
 
-/// An assembled program: bytecode plus its label table.
+/// An assembled program: bytecode, its label table, and a debug map from
+/// instruction addresses to 1-based source lines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     code: Vec<u8>,
     labels: BTreeMap<String, u16>,
+    /// `(addr, line)` per emitted instruction, in address order.
+    debug: Vec<(u16, u32)>,
 }
 
 impl Program {
@@ -55,15 +63,34 @@ impl Program {
     pub fn labels(&self) -> impl Iterator<Item = (&str, u16)> {
         self.labels.iter().map(|(k, v)| (k.as_str(), *v))
     }
+
+    /// The 1-based source line of the instruction containing byte `addr`
+    /// (the nearest instruction starting at or before it), if any code was
+    /// emitted at or before that address.
+    pub fn line_of(&self, addr: u16) -> Option<u32> {
+        match self.debug.binary_search_by_key(&addr, |&(a, _)| a) {
+            Ok(i) => Some(self.debug[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.debug[i - 1].1),
+        }
+    }
+
+    /// The full `(address, source line)` debug map, in address order.
+    pub fn debug_map(&self) -> &[(u16, u32)] {
+        &self.debug
+    }
 }
 
-/// Errors produced by [`assemble`].
+/// Errors produced by [`assemble`]. Every variant pinpoints the offending
+/// token with a 1-based `line` and `col`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AsmError {
     /// A token was not a known mnemonic (and could not be a label).
     UnknownMnemonic {
         /// 1-based source line.
         line: usize,
+        /// 1-based column of the token.
+        col: usize,
         /// The offending token.
         token: String,
     },
@@ -71,6 +98,8 @@ pub enum AsmError {
     DuplicateLabel {
         /// 1-based source line.
         line: usize,
+        /// 1-based column of the redefinition.
+        col: usize,
         /// The label name.
         label: String,
     },
@@ -78,6 +107,8 @@ pub enum AsmError {
     UndefinedLabel {
         /// 1-based source line.
         line: usize,
+        /// 1-based column of the reference.
+        col: usize,
         /// The label name.
         label: String,
     },
@@ -85,6 +116,8 @@ pub enum AsmError {
     BadOperand {
         /// 1-based source line.
         line: usize,
+        /// 1-based column of the operand (or mnemonic when one is missing).
+        col: usize,
         /// What went wrong.
         reason: String,
     },
@@ -92,38 +125,70 @@ pub enum AsmError {
     JumpTooFar {
         /// 1-based source line.
         line: usize,
+        /// 1-based column of the jump operand.
+        col: usize,
     },
     /// The program assembles to more than 65535 bytes.
-    ProgramTooLarge,
+    ProgramTooLarge {
+        /// 1-based source line of the instruction that crossed the limit.
+        line: usize,
+        /// 1-based column of its mnemonic.
+        col: usize,
+    },
+}
+
+impl AsmError {
+    /// The 1-based `(line, col)` span of the error.
+    pub fn span(&self) -> (usize, usize) {
+        match *self {
+            AsmError::UnknownMnemonic { line, col, .. }
+            | AsmError::DuplicateLabel { line, col, .. }
+            | AsmError::UndefinedLabel { line, col, .. }
+            | AsmError::BadOperand { line, col, .. }
+            | AsmError::JumpTooFar { line, col }
+            | AsmError::ProgramTooLarge { line, col } => (line, col),
+        }
+    }
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (line, col) = self.span();
+        write!(f, "line {line}:{col}: ")?;
         match self {
-            AsmError::UnknownMnemonic { line, token } => {
-                write!(f, "line {line}: unknown mnemonic `{token}`")
+            AsmError::UnknownMnemonic { token, .. } => {
+                write!(f, "unknown mnemonic `{token}`")
             }
-            AsmError::DuplicateLabel { line, label } => {
-                write!(f, "line {line}: duplicate label `{label}`")
+            AsmError::DuplicateLabel { label, .. } => {
+                write!(f, "duplicate label `{label}`")
             }
-            AsmError::UndefinedLabel { line, label } => {
-                write!(f, "line {line}: undefined label `{label}`")
+            AsmError::UndefinedLabel { label, .. } => {
+                write!(f, "undefined label `{label}`")
             }
-            AsmError::BadOperand { line, reason } => write!(f, "line {line}: {reason}"),
-            AsmError::JumpTooFar { line } => write!(f, "line {line}: relative jump out of range"),
-            AsmError::ProgramTooLarge => write!(f, "program exceeds 65535 bytes"),
+            AsmError::BadOperand { reason, .. } => write!(f, "{reason}"),
+            AsmError::JumpTooFar { .. } => write!(f, "relative jump out of range"),
+            AsmError::ProgramTooLarge { .. } => write!(f, "program exceeds 65535 bytes"),
         }
     }
 }
 
 impl Error for AsmError {}
 
+/// One source token with its 1-based starting column.
+#[derive(Debug, Clone, Copy)]
+struct Tok<'a> {
+    text: &'a str,
+    col: usize,
+}
+
 /// One parsed source statement.
 #[derive(Debug)]
 struct Stmt<'a> {
     line: usize,
+    /// Column of the mnemonic token.
+    col: usize,
     op: Opcode,
-    operands: Vec<&'a str>,
+    operands: Vec<Tok<'a>>,
     /// Byte address, filled in pass 1.
     addr: u16,
 }
@@ -142,6 +207,7 @@ struct Stmt<'a> {
 /// let p = assemble("BEGIN pushc 1\nrjump BEGIN").unwrap();
 /// assert_eq!(p.label("BEGIN"), Some(0));
 /// assert_eq!(p.code().len(), 4);
+/// assert_eq!(p.line_of(2), Some(2)); // the rjump came from line 2
 /// ```
 pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut stmts: Vec<Stmt<'_>> = Vec::new();
@@ -151,15 +217,11 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut addr: u32 = 0;
     for (lineno, raw) in source.lines().enumerate() {
         let line = lineno + 1;
-        let text = strip_comment(raw).trim();
-        if text.is_empty() {
-            continue;
-        }
-        let mut tokens: Vec<&str> = text.split_whitespace().collect();
+        let mut tokens = tokenize(strip_comment(raw));
 
         // Strip the paper's `N:` line-number prefixes.
         if let Some(first) = tokens.first() {
-            let body = first.strip_suffix(':').unwrap_or(first);
+            let body = first.text.strip_suffix(':').unwrap_or(first.text);
             if !body.is_empty() && body.chars().all(|c| c.is_ascii_digit()) {
                 tokens.remove(0);
             }
@@ -172,15 +234,16 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         // alone or is followed by a mnemonic, so that typos like `florble 3`
         // report the typo rather than a confusing follow-on error.
         let first = tokens[0];
-        let label_candidate = first.strip_suffix(':').unwrap_or(first);
-        if Opcode::from_mnemonic(&first.to_ascii_lowercase()).is_none() {
+        let label_candidate = first.text.strip_suffix(':').unwrap_or(first.text);
+        if Opcode::from_mnemonic(&first.text.to_ascii_lowercase()).is_none() {
             let followed_by_mnemonic = tokens
                 .get(1)
-                .is_some_and(|t| Opcode::from_mnemonic(&t.to_ascii_lowercase()).is_some());
+                .is_some_and(|t| Opcode::from_mnemonic(&t.text.to_ascii_lowercase()).is_some());
             if !is_label_like(label_candidate) || !(tokens.len() == 1 || followed_by_mnemonic) {
                 return Err(AsmError::UnknownMnemonic {
                     line,
-                    token: first.to_string(),
+                    col: first.col,
+                    token: first.text.to_string(),
                 });
             }
             if labels
@@ -189,6 +252,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             {
                 return Err(AsmError::DuplicateLabel {
                     line,
+                    col: first.col,
                     label: label_candidate.to_string(),
                 });
             }
@@ -198,30 +262,41 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
         }
 
-        let mnemonic = tokens[0].to_ascii_lowercase();
+        let mnemonic = tokens[0].text.to_ascii_lowercase();
         let op = Opcode::from_mnemonic(&mnemonic).ok_or_else(|| AsmError::UnknownMnemonic {
             line,
-            token: tokens[0].to_string(),
+            col: tokens[0].col,
+            token: tokens[0].text.to_string(),
         })?;
         let stmt = Stmt {
             line,
+            col: tokens[0].col,
             op,
             operands: tokens[1..].to_vec(),
             addr: addr as u16,
         };
         addr += op.encoded_len() as u32;
         if addr > u32::from(u16::MAX) {
-            return Err(AsmError::ProgramTooLarge);
+            return Err(AsmError::ProgramTooLarge {
+                line,
+                col: stmt.col,
+            });
         }
         stmts.push(stmt);
     }
 
     // Pass 2: emit.
     let mut code = Vec::with_capacity(addr as usize);
+    let mut debug = Vec::with_capacity(stmts.len());
     for stmt in &stmts {
+        debug.push((stmt.addr, stmt.line as u32));
         emit(stmt, &labels, &mut code)?;
     }
-    Ok(Program { code, labels })
+    Ok(Program {
+        code,
+        labels,
+        debug,
+    })
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -232,6 +307,31 @@ fn strip_comment(line: &str) -> &str {
         .min()
         .unwrap_or(line.len());
     &line[..cut]
+}
+
+/// Splits on ASCII whitespace, remembering each token's 1-based column.
+fn tokenize(text: &str) -> Vec<Tok<'_>> {
+    let mut toks = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                toks.push(Tok {
+                    text: &text[s..i],
+                    col: s + 1,
+                });
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        toks.push(Tok {
+            text: &text[s..],
+            col: s + 1,
+        });
+    }
+    toks
 }
 
 fn is_label_like(s: &str) -> bool {
@@ -252,8 +352,12 @@ fn emit(
         if stmt.operands.len() == n {
             Ok(())
         } else {
+            // Point at the first surplus operand, or the mnemonic when one
+            // is missing.
+            let col = stmt.operands.get(n).map_or(stmt.col, |t| t.col);
             Err(AsmError::BadOperand {
                 line,
+                col,
                 reason: format!(
                     "`{}` expects {} operand(s), found {}",
                     stmt.op.mnemonic(),
@@ -285,10 +389,11 @@ fn emit(
         }
         Pushn => {
             expect(1)?;
-            let s = stmt.operands[0];
+            let s = stmt.operands[0].text;
             if s.len() > 3 || s.is_empty() || !s.is_ascii() {
                 return Err(AsmError::BadOperand {
                     line,
+                    col: stmt.operands[0].col,
                     reason: format!("`pushn` needs a 1-3 character ASCII name, got `{s}`"),
                 });
             }
@@ -298,42 +403,53 @@ fn emit(
         }
         Pusht => {
             expect(1)?;
-            let ty = field_type_name(stmt.operands[0]).ok_or_else(|| AsmError::BadOperand {
-                line,
-                reason: format!("unknown field type `{}`", stmt.operands[0]),
-            })?;
+            let ty =
+                field_type_name(stmt.operands[0].text).ok_or_else(|| AsmError::BadOperand {
+                    line,
+                    col: stmt.operands[0].col,
+                    reason: format!("unknown field type `{}`", stmt.operands[0].text),
+                })?;
             code.push(ty.tag());
         }
         Pushrt => {
             expect(1)?;
-            let s = sensor_name(stmt.operands[0]).ok_or_else(|| AsmError::BadOperand {
+            let s = sensor_name(stmt.operands[0].text).ok_or_else(|| AsmError::BadOperand {
                 line,
-                reason: format!("unknown sensor `{}`", stmt.operands[0]),
+                col: stmt.operands[0].col,
+                reason: format!("unknown sensor `{}`", stmt.operands[0].text),
             })?;
             code.push(s.code());
         }
         Getvar | Setvar => {
             expect(1)?;
-            let v: u8 = stmt.operands[0].parse().map_err(|_| AsmError::BadOperand {
-                line,
-                reason: format!("bad heap index `{}`", stmt.operands[0]),
-            })?;
+            let v: u8 = stmt.operands[0]
+                .text
+                .parse()
+                .map_err(|_| AsmError::BadOperand {
+                    line,
+                    col: stmt.operands[0].col,
+                    reason: format!("bad heap index `{}`", stmt.operands[0].text),
+                })?;
             code.push(v);
         }
         Rjump | Rjumpc => {
             expect(1)?;
             let tok = stmt.operands[0];
             let next = i32::from(stmt.addr) + stmt.op.encoded_len() as i32;
-            let offset: i32 = if let Ok(n) = tok.parse::<i32>() {
+            let offset: i32 = if let Ok(n) = tok.text.parse::<i32>() {
                 n
             } else {
-                let target = *labels.get(tok).ok_or_else(|| AsmError::UndefinedLabel {
-                    line,
-                    label: tok.to_string(),
-                })?;
+                let target = *labels
+                    .get(tok.text)
+                    .ok_or_else(|| AsmError::UndefinedLabel {
+                        line,
+                        col: tok.col,
+                        label: tok.text.to_string(),
+                    })?;
                 i32::from(target) - next
             };
-            let offset = i8::try_from(offset).map_err(|_| AsmError::JumpTooFar { line })?;
+            let offset =
+                i8::try_from(offset).map_err(|_| AsmError::JumpTooFar { line, col: tok.col })?;
             code.push(offset as u8);
         }
         _ => expect(0)?,
@@ -341,37 +457,44 @@ fn emit(
     Ok(())
 }
 
-fn int_i8(tok: &str, line: usize) -> Result<i8, AsmError> {
-    tok.parse().map_err(|_| AsmError::BadOperand {
+fn int_i8(tok: Tok<'_>, line: usize) -> Result<i8, AsmError> {
+    tok.text.parse().map_err(|_| AsmError::BadOperand {
         line,
-        reason: format!("expected a signed byte, got `{tok}`"),
+        col: tok.col,
+        reason: format!("expected a signed byte, got `{}`", tok.text),
     })
 }
 
-fn const_u8(tok: &str, labels: &BTreeMap<String, u16>, line: usize) -> Result<u8, AsmError> {
+fn const_u8(tok: Tok<'_>, labels: &BTreeMap<String, u16>, line: usize) -> Result<u8, AsmError> {
     let wide = const_i16(tok, labels, line)?;
     u8::try_from(wide).map_err(|_| AsmError::BadOperand {
         line,
-        reason: format!("`pushc` operand `{tok}` out of 0-255 range (use pushcl)"),
+        col: tok.col,
+        reason: format!(
+            "`pushc` operand `{}` out of 0-255 range (use pushcl)",
+            tok.text
+        ),
     })
 }
 
-fn const_i16(tok: &str, labels: &BTreeMap<String, u16>, line: usize) -> Result<i16, AsmError> {
-    if let Ok(n) = tok.parse::<i16>() {
+fn const_i16(tok: Tok<'_>, labels: &BTreeMap<String, u16>, line: usize) -> Result<i16, AsmError> {
+    if let Ok(n) = tok.text.parse::<i16>() {
         return Ok(n);
     }
-    if let Some(s) = sensor_name(tok) {
+    if let Some(s) = sensor_name(tok.text) {
         return Ok(i16::from(s.code()));
     }
-    if let Some(addr) = labels.get(tok) {
+    if let Some(addr) = labels.get(tok.text) {
         return i16::try_from(*addr).map_err(|_| AsmError::BadOperand {
             line,
-            reason: format!("label `{tok}` address out of immediate range"),
+            col: tok.col,
+            reason: format!("label `{}` address out of immediate range", tok.text),
         });
     }
     Err(AsmError::BadOperand {
         line,
-        reason: format!("cannot resolve constant `{tok}`"),
+        col: tok.col,
+        reason: format!("cannot resolve constant `{}`", tok.text),
     })
 }
 
@@ -543,9 +666,28 @@ mod tests {
     }
 
     #[test]
+    fn debug_map_tracks_source_lines() {
+        // Line 1 is a comment, line 2 emits at 0..2, line 4 at 2, line 5 at 3.
+        let src = "// header\npushc 1\n\nadd\nNEXT halt";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.line_of(0), Some(2));
+        assert_eq!(p.line_of(1), Some(2)); // inside the pushc immediate
+        assert_eq!(p.line_of(2), Some(4));
+        assert_eq!(p.line_of(3), Some(5));
+        assert_eq!(p.line_of(200), Some(5)); // past the end: last instruction
+        assert_eq!(p.debug_map(), &[(0, 2), (2, 4), (3, 5)]);
+    }
+
+    #[test]
     fn error_unknown_mnemonic() {
         match assemble("florble 3") {
-            Err(AsmError::UnknownMnemonic { line: 1, token }) => assert_eq!(token, "florble"),
+            Err(AsmError::UnknownMnemonic {
+                line: 1,
+                col: 1,
+                token,
+            }) => {
+                assert_eq!(token, "florble")
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -560,7 +702,11 @@ mod tests {
     #[test]
     fn error_duplicate_label() {
         match assemble("A halt\nA halt") {
-            Err(AsmError::DuplicateLabel { line: 2, label }) => assert_eq!(label, "A"),
+            Err(AsmError::DuplicateLabel {
+                line: 2,
+                col: 1,
+                label,
+            }) => assert_eq!(label, "A"),
             other => panic!("{other:?}"),
         }
     }
@@ -568,9 +714,32 @@ mod tests {
     #[test]
     fn error_undefined_label() {
         match assemble("rjump NOWHERE") {
-            Err(AsmError::UndefinedLabel { label, .. }) => assert_eq!(label, "NOWHERE"),
+            Err(AsmError::UndefinedLabel { label, col, .. }) => {
+                assert_eq!(label, "NOWHERE");
+                assert_eq!(col, 7);
+            }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn error_columns_point_at_operands() {
+        // The bad operand is the second token on the line (col 7).
+        match assemble("pushc banana") {
+            Err(AsmError::BadOperand { line: 1, col, .. }) => assert_eq!(col, 7),
+            other => panic!("{other:?}"),
+        }
+        // Leading whitespace and labels shift the column.
+        match assemble("  L1 getvar nine") {
+            Err(AsmError::BadOperand { line: 1, col, .. }) => assert_eq!(col, 13),
+            other => panic!("{other:?}"),
+        }
+        // Display renders the span.
+        let err = assemble("pushc banana").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "line 1:7: cannot resolve constant `banana`"
+        );
     }
 
     #[test]

@@ -324,6 +324,10 @@ pub fn step_decoded<H: Host>(
             if (target as usize) >= agent.code().len() {
                 return Err(VmError::JumpOutOfRange);
             }
+            debug_assert!(
+                !agent.verified() || on_instruction_boundary(agent.code(), target),
+                "verified agent jumped mid-instruction: jumps to {target}"
+            );
             agent.set_pc(target);
             return Ok(StepResult::Continue);
         }
@@ -334,6 +338,11 @@ pub fn step_decoded<H: Host>(
                 if target < 0 || target as usize >= agent.code().len() {
                     return Err(VmError::JumpOutOfRange);
                 }
+                debug_assert!(
+                    !agent.verified() || on_instruction_boundary(agent.code(), target as u16),
+                    "verified agent jumped mid-instruction: {} to {target}",
+                    ins.op
+                );
                 agent.set_pc(target as u16);
             } else {
                 agent.set_pc(next_pc);
@@ -457,6 +466,10 @@ pub fn step_decoded<H: Host>(
             if (pc as usize) >= agent.code().len() {
                 return Err(VmError::JumpOutOfRange);
             }
+            debug_assert!(
+                !agent.verified() || on_instruction_boundary(agent.code(), pc),
+                "verified agent registered a mid-instruction handler at {pc}"
+            );
             let template = agent.pop_template("regrxn")?;
             let owner = agent.id();
             host.register_reaction(owner, template, pc)?;
@@ -502,6 +515,25 @@ pub fn step_decoded<H: Host>(
     }
     agent.set_pc(next_pc);
     Ok(StepResult::Continue)
+}
+
+/// Whether `target` is the start of an instruction under a linear decode
+/// from pc 0 — the runtime half of the verifier's alignment guarantee
+/// (debug-assert only; armed for agents whose code was verified).
+///
+/// A decode error before reaching `target` leaves alignment indeterminate,
+/// which counts as aligned: the verifier rejects such programs outright, so
+/// an armed assert can only see clean linear decodes.
+fn on_instruction_boundary(code: &[u8], target: u16) -> bool {
+    let mut pc = 0usize;
+    let target = target as usize;
+    while pc < target {
+        match Instruction::decode(code, pc as u16) {
+            Ok((_, len)) => pc += len,
+            Err(_) => return true,
+        }
+    }
+    pc == target
 }
 
 fn binary_arith(

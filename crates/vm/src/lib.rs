@@ -32,6 +32,7 @@
 //! assert!(matches!(effect, StepResult::Halted));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agent;

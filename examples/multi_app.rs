@@ -16,30 +16,13 @@ use agilla::{workload, AgillaConfig, AgillaNetwork, Environment, FireModel};
 use wsn_common::Location;
 use wsn_sim::{SimDuration, SimTime};
 
-/// A habitat monitor that politely dies when fire is detected nearby: it
-/// registers a reaction on `fir` tuples and halts when one fires (the
-/// Section 2.2 vignette).
-const POLITE_MONITOR: &str = "\
-BEGIN pushn fir
-pusht location
-pushc 2
-pushc FIRE
-regrxn            // react to fire alerts on this node
-IDLE pushc LIGHT
-sense
-pop               // sample and discard (a stand-in for real logging)
-pushcl 16
-sleep             // every two seconds
-rjump IDLE
-FIRE halt         // fire here: free my resources";
-
 fn main() {
     let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), 31);
     let shared = Location::new(3, 3);
 
     // App 1: a habitat monitor lives on (3,3).
     let monitor = net
-        .inject_source_at(shared, POLITE_MONITOR)
+        .inject_source_at(shared, workload::POLITE_MONITOR)
         .expect("inject monitor");
     // App 2: a fire detector lives on the same node. Its alert goes to the
     // LOCAL tuple space destination (3,3) so co-located agents see it too.

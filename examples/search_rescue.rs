@@ -9,54 +9,10 @@
 //!
 //! Run with: `cargo run --example search_rescue`
 
-use agilla::{AgillaConfig, AgillaNetwork};
+use agilla::{workload, AgillaConfig, AgillaNetwork};
 use agilla_tuplespace::{Field, Template, TemplateField};
 use wsn_common::Location;
 use wsn_sim::SimDuration;
-
-/// A sweep agent: walks its column from y=1 to y=5 (row counter in heap 1);
-/// on each node it probes for a hiker tuple; if found, routs a `fnd` report
-/// (with the hiker's location) to the base station and drops a `way`
-/// waypoint marker.
-fn searcher(column: i16) -> String {
-    format!(
-        "\
-pushc 1
-setvar 1          // y := 1
-BEGIN pushn hik
-pusht value
-pushc 2
-rdp               // anyone here?
-rjumpc FOUND
-NEXT getvar 1
-pushc 5
-ceq               // at the top of the column?
-rjumpc DONE
-getvar 1
-inc
-setvar 1          // y := y + 1
-pushc {col}
-getvar 1
-makeloc           // target (col, y)
-smove             // move up the column
-rjump BEGIN
-FOUND pop         // drop arity: [\"hik\", id]
-pop               // drop hiker id
-pop               // drop \"hik\"
-pushn fnd
-loc
-pushc 2
-pushloc 0 1
-rout              // report <\"fnd\", location> to the base
-pushn way
-loc
-pushc 2
-out               // waypoint for the rescuers
-rjump NEXT
-DONE halt",
-        col = column
-    )
-}
 
 fn main() {
     let mut net = AgillaNetwork::reliable_5x5(AgillaConfig::default(), 11);
@@ -72,7 +28,7 @@ fn main() {
     // One searcher per column, starting at the southern edge.
     for col in 1..=5i16 {
         let id = net
-            .inject_source_at(Location::new(col, 1), &searcher(col))
+            .inject_source_at(Location::new(col, 1), &workload::search_sweeper(col))
             .expect("inject searcher");
         println!("searcher {id} sweeping column {col}");
     }

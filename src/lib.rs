@@ -6,9 +6,11 @@
 //! see the `examples/` directory for runnable scenarios and README.md for
 //! the crate-by-crate map to the paper's sections.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use agilla;
+pub use agilla_analysis as analysis;
 pub use agilla_tuplespace as tuplespace;
 pub use agilla_vm as vm;
 pub use mate_baseline as mate;
