@@ -3,16 +3,21 @@
 //! publication-grade numbers run the individual binaries with their default
 //! (100-trial) settings in release mode.
 //!
-//! Usage: `all_figures [--quick] [--trials N] [--threads N] [--no-wall]`
-//! — `--threads` fans each figure's trials across SimEngine workers (the
-//! figures' stdout is byte-identical at any thread count), and `--no-wall`
-//! suppresses the host wall-clock column of fig12 (the one nondeterministic
-//! output), so two runs can be diffed byte-for-byte; CI diffs a
-//! `--threads 2` run against the serial one exactly this way.
+//! Usage: `all_figures [--quick] [--trials N] [--threads N] [--shards N|auto]
+//! [--no-wall]` — `--threads` fans each figure's trials across SimEngine
+//! workers and `--shards` runs the scale family on the spatially sharded
+//! engine (the figures' stdout is byte-identical at any thread and shard
+//! count), and `--no-wall` suppresses the host wall-clock columns of fig12
+//! and fig_scale (the nondeterministic outputs), so two runs can be diffed
+//! byte-for-byte; CI diffs a `--threads 2` run against the serial one
+//! exactly this way.
+//!
+//! After the run a `BENCH_all_figures.json` artifact records each binary's
+//! wall time and exit status for regression tracking.
 
 use std::process::Command;
 
-use agilla_bench::BenchArgs;
+use agilla_bench::{BenchArgs, Json};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -29,31 +34,72 @@ fn main() {
         &[]
     };
     // The binary list extends the historical one with fig_mix (PR 5's
-    // multi-application family; fig_energy stays a standalone family);
-    // EXPERIMENTS.md records wall clocks per list revision.
+    // multi-application family; fig_energy stays a standalone family) and
+    // fig_scale (PR 7's sharded-engine scale family); EXPERIMENTS.md
+    // records wall clocks per list revision.
     let with_threads = |t: &str| [std::slice::from_ref(&t.to_string()), threaded].concat();
     let mix_trials = if args.quick { "5" } else { "20" }.to_string();
+    let mut scale_args = with_threads(if args.quick { "2" } else { "3" });
+    scale_args.extend(no_wall.iter().cloned());
+    if args.quick {
+        scale_args.push("--quick".into());
+    }
+    match args.shards {
+        agilla::Shards::Serial => {}
+        agilla::Shards::Auto => scale_args.extend(["--shards".into(), "auto".into()]),
+        agilla::Shards::Fixed(n) => scale_args.extend(["--shards".into(), n.to_string()]),
+    }
     let bins: Vec<(&str, Vec<String>)> = vec![
         ("fig9_reliability", with_threads(&trials)),
         ("fig10_latency", with_threads(&trials)),
         ("fig11_remote_ops", with_threads(&trials)),
         ("fig12_local_ops", no_wall.to_vec()),
         ("fig_mix", with_threads(&mix_trials)),
+        ("fig_scale", scale_args),
         ("table_memory", vec![]),
         ("mate_comparison", vec![]),
         ("ablation_migration", with_threads(&ablation)),
         ("ablation_arena", with_threads("100000")),
         ("ablation_blocks", threaded.to_vec()),
     ];
+    let mut timings: Vec<(String, f64, bool)> = Vec::new();
     for (bin, bin_args) in bins {
         println!("\n=== {bin} ===\n");
+        let start = std::time::Instant::now();
         let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
             .args(&bin_args)
             .status();
+        let ok = matches!(&status, Ok(s) if s.success());
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),
             Err(e) => eprintln!("failed to launch {bin}: {e}"),
         }
+        timings.push((bin.to_string(), start.elapsed().as_secs_f64(), ok));
+    }
+
+    let artifact = Json::obj([
+        ("family", Json::str("all_figures")),
+        ("quick", Json::Bool(args.quick)),
+        ("threads", Json::int(args.threads as u64)),
+        (
+            "bins",
+            Json::arr(
+                timings
+                    .iter()
+                    .map(|(bin, wall_s, ok)| {
+                        Json::obj([
+                            ("bin", Json::str(bin.clone())),
+                            ("wall_s", Json::num((wall_s * 1000.0).round() / 1000.0)),
+                            ("ok", Json::Bool(*ok)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match agilla_bench::write_artifact("all_figures", &artifact) {
+        Ok(path) => eprintln!("all_figures: wrote {}", path.display()),
+        Err(e) => eprintln!("all_figures: artifact not written: {e}"),
     }
 }

@@ -1,0 +1,132 @@
+//! fig_scale — simulator throughput at deployment scale.
+//!
+//! The paper's testbed is 26 motes; this figure asks how far the simulated
+//! one stretches. It sweeps square grid fields (1k and 10k motes by
+//! default; 256/1k under `--quick`; set `FIG_SCALE_FULL=1` for the 100k
+//! row) under their dominant steady-state load — one beacon per mote per
+//! second — plus a small smove/rout workload at the base corner, and
+//! reports the deterministic work done per size.
+//!
+//! `--shards N|auto` runs every trial on the spatially sharded engine.
+//! The shard merge is exact, so every stdout byte is identical at any
+//! shard and thread count — CI diffs `--shards 2 --threads 2` against the
+//! serial run. Shard count, per-shard work distribution, and the engine
+//! report go to stderr only; wall-clock rate columns are suppressed by
+//! `--no-wall`.
+//!
+//! A `BENCH_fig_scale.json` artifact with the same rows (plus rates,
+//! unless suppressed) lands in the working directory.
+//!
+//! Usage: `fig_scale [trials] [--threads N] [--shards N|auto] [--no-wall]
+//! [--quick]`.
+
+use agilla_bench::scale::{DEFAULT_SIZES, FULL_SIZES, QUICK_SIZES};
+use agilla_bench::{fig_scale, shard_distribution_line, BenchArgs, Json, Table, TrialExecutor};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let trials = args.trials_or(3);
+    let sim_s = 5u64;
+    let sizes: &[usize] = if std::env::var_os("FIG_SCALE_FULL").is_some() {
+        &FULL_SIZES
+    } else if args.quick {
+        &QUICK_SIZES
+    } else {
+        &DEFAULT_SIZES
+    };
+
+    println!(
+        "fig_scale — simulated field scale sweep ({trials} trials/size, {sim_s} s horizon, \
+         1 Hz beacons + smove/rout at base)\n"
+    );
+    let mut engine = TrialExecutor::new(args.threads);
+    let t0 = std::time::Instant::now();
+    let rows = fig_scale(
+        sizes,
+        trials,
+        sim_s,
+        0x5CA1E,
+        args.shards,
+        args.threads,
+        !args.no_wall,
+    );
+    engine.note(sizes.len() * trials as usize, t0.elapsed());
+
+    let mut headers = vec![
+        "motes",
+        "injected",
+        "migrations",
+        "frames",
+        "beacons",
+        "events",
+    ];
+    if !args.no_wall {
+        headers.push("sim-s/wall-s");
+    }
+    let mut t = Table::new(headers);
+    for r in &rows {
+        let mut cells = vec![
+            r.motes.to_string(),
+            r.injected.to_string(),
+            r.migrations.to_string(),
+            r.frames.to_string(),
+            r.beacons.to_string(),
+            r.events.to_string(),
+        ];
+        if !args.no_wall {
+            cells.push(format!("{:.2}", r.sim_per_wall_s.unwrap_or(0.0)));
+        }
+        t.row(cells);
+    }
+    t.print();
+
+    let small = &rows[0];
+    let big = rows.last().expect("sizes");
+    println!(
+        "\nShape checks: beacon load scales with the field: {} | \
+         agents keep arriving at every size: {} | \
+         every event is accounted to a shard: {}",
+        big.beacons > 2 * small.beacons,
+        rows.iter().all(|r| r.injected > 0),
+        rows.iter()
+            .all(|r| r.shard_events.iter().sum::<u64>() == r.events),
+    );
+
+    // Shard-count-dependent detail stays off the diffable stdout.
+    for r in &rows {
+        eprintln!("fig_scale: {}", shard_distribution_line(r));
+    }
+    engine.report("fig_scale");
+
+    let artifact = Json::obj([
+        ("family", Json::str("fig_scale")),
+        ("trials", Json::int(u64::from(trials))),
+        ("sim_s", Json::int(sim_s)),
+        (
+            "rows",
+            Json::arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("motes", Json::int(r.motes as u64)),
+                            ("injected", Json::int(r.injected)),
+                            ("migrations", Json::int(r.migrations)),
+                            ("frames", Json::int(r.frames)),
+                            ("beacons", Json::int(r.beacons)),
+                            ("events", Json::int(r.events)),
+                            (
+                                "shard_events",
+                                Json::arr(r.shard_events.iter().map(|&d| Json::int(d)).collect()),
+                            ),
+                            ("sim_per_wall_s", Json::opt_num(r.sim_per_wall_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match agilla_bench::write_artifact("fig_scale", &artifact) {
+        Ok(path) => eprintln!("fig_scale: wrote {}", path.display()),
+        Err(e) => eprintln!("fig_scale: artifact not written: {e}"),
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! Every binary accepts the same shape: an optional positional trial count
 //! (kept for backwards compatibility), `--trials N`, `--threads N` (or
-//! `--threads auto` for one worker per available core), and `--no-wall`
+//! `--threads auto` for one worker per available core), `--shards N` (or
+//! `--shards auto`) to run each trial's event timeline spatially sharded
+//! — byte-identical output, purely a scale knob — and `--no-wall`
 //! (suppress host wall-clock columns so outputs can be diffed across
 //! runs).
 //!
@@ -23,6 +25,9 @@ pub struct BenchArgs {
     pub no_wall: bool,
     /// `--quick` (used by `all_figures` for reduced trial counts).
     pub quick: bool,
+    /// Spatial event-queue sharding for each trial (`--shards N|auto`,
+    /// default serial). Output is byte-identical at any setting.
+    pub shards: agilla::Shards,
 }
 
 impl BenchArgs {
@@ -34,7 +39,8 @@ impl BenchArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [trials] [--trials N>=1] [--threads N>=1|auto] [--no-wall] [--quick]"
+                    "usage: [trials] [--trials N>=1] [--threads N>=1|auto] \
+                     [--shards N>=1|auto] [--no-wall] [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -54,6 +60,7 @@ impl BenchArgs {
             threads: 1,
             no_wall: false,
             quick: false,
+            shards: agilla::Shards::Serial,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -79,6 +86,25 @@ impl BenchArgs {
                 "--trials" => {
                     let v = it.next().ok_or("--trials takes a value")?;
                     out.trials = Some(parse_trials(&v)?);
+                }
+                "--shards" => {
+                    let v = it.next().ok_or("--shards takes a value")?;
+                    out.shards = if v == "auto" {
+                        agilla::Shards::Auto
+                    } else {
+                        match v.parse::<u32>() {
+                            Ok(0) => {
+                                return Err(
+                                    "--shards must be at least 1 (use `--shards auto` for one \
+                                     shard per core)"
+                                        .into(),
+                                )
+                            }
+                            Ok(1) => agilla::Shards::Serial,
+                            Ok(n) => agilla::Shards::Fixed(n),
+                            Err(_) => return Err(format!("--shards takes a number, got `{v}`")),
+                        }
+                    };
                 }
                 "--no-wall" => out.no_wall = true,
                 "--quick" => out.quick = true,
@@ -142,6 +168,33 @@ mod tests {
     #[test]
     fn threads_auto_means_available_cores() {
         assert!(parse(&["--threads", "auto"]).unwrap().threads >= 1);
+    }
+
+    #[test]
+    fn shards_flag_maps_to_the_config_knob() {
+        assert_eq!(parse(&[]).unwrap().shards, agilla::Shards::Serial);
+        assert_eq!(
+            parse(&["--shards", "1"]).unwrap().shards,
+            agilla::Shards::Serial,
+            "one shard IS the serial path"
+        );
+        assert_eq!(
+            parse(&["--shards", "4"]).unwrap().shards,
+            agilla::Shards::Fixed(4)
+        );
+        assert_eq!(
+            parse(&["--shards", "auto"]).unwrap().shards,
+            agilla::Shards::Auto
+        );
+    }
+
+    #[test]
+    fn zero_shards_rejected_with_guidance() {
+        let err = parse(&["--shards", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("auto"), "{err}");
+        assert!(parse(&["--shards", "two"]).unwrap_err().contains("number"));
+        assert!(parse(&["--shards"]).unwrap_err().contains("value"));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use agilla_vm::exec::{run_to_effect, StepResult, TestHost};
 use agilla_vm::isa::{CostModel, Opcode};
 use agilla_vm::{asm, AgentState};
 use wsn_common::{AgentId, Location};
-use wsn_radio::{EnergyBreakdown, EnergyState};
+use wsn_radio::{EnergyBreakdown, EnergyState, LossModel};
 use wsn_sim::{LatencyRecorder, Metrics, SimDuration, SimTime};
 
 use crate::engine::run_trials_parallel;
@@ -932,6 +932,111 @@ pub fn fig_mix(trials: u32, base_seed: u64, config: &AgillaConfig, threads: usiz
             }
             row.migrations = fold.counter("migration.arrived");
             row.frames_per_trial = frames as f64 / f64::from(trials.max(1));
+            row
+        })
+        .collect()
+}
+
+// --- fig_mix loss ramp: reliability while the channel degrades mid-run ------
+
+/// One row of the fig_mix loss ramp: a fixed-rate application mix on the
+/// calibrated testbed whose channel is swapped mid-run to a uniform loss
+/// floor, summed across trials.
+#[derive(Debug, Clone)]
+pub struct LossRampRow {
+    /// Uniform per-frame loss probability applied at the ramp point
+    /// (the first row, 0.0, is the undisturbed calibrated channel).
+    pub loss: f64,
+    /// Agents admitted, summed across trials.
+    pub injected: u64,
+    /// Hop migrations that completed (`migration.arrived`).
+    pub migrations: u64,
+    /// Remote tuple-space operations that completed successfully.
+    pub remote_ok: u64,
+    /// Agents that ran to completion (halted).
+    pub halted: u64,
+    /// Migration retransmissions — how hard the protocol fought the loss.
+    pub mig_retx: u64,
+}
+
+/// Runs the loss-ramp reliability sweep: the fig_mix application mix at a
+/// fixed 0.5 agents/s on the calibrated lossy testbed, except that at
+/// t = 20 s a [`Perturbation::SetLoss`] swaps the channel for a uniform
+/// per-frame loss floor — 0 %, 10 %, 25 %, 50 % across rows. The first
+/// row keeps the calibrated channel untouched, so it doubles as the
+/// control: how much work survives as the channel degrades under the
+/// *same* seeds and arrival process.
+pub fn fig_mix_loss_ramp(
+    trials: u32,
+    base_seed: u64,
+    config: &AgillaConfig,
+    threads: usize,
+) -> Vec<LossRampRow> {
+    const LOSSES: [f64; 4] = [0.0, 0.1, 0.25, 0.5];
+    const RATE: f64 = 0.5;
+    let bed = Testbed::lossy_5x5(config.clone(), base_seed);
+    let mut items: Vec<(usize, ScenarioSpec)> = Vec::new();
+    for (l, &loss) in LOSSES.iter().enumerate() {
+        for t in 0..trials {
+            // Same seed schedule for every loss level: the rows differ only
+            // in the channel the perturbation installs.
+            let mut spec = fig_mix_scenario(&bed, RATE, u64::from(t) * 524_287);
+            if loss > 0.0 {
+                spec = spec.event(
+                    SimDuration::from_micros(20_000_000),
+                    Perturbation::SetLoss(LossModel::uniform(loss)),
+                );
+            }
+            items.push((l, spec));
+        }
+    }
+    let outcomes = run_trials_parallel(&items, threads, |(_, spec)| {
+        let mut trial = spec.execute();
+        let net = &trial.net;
+        let mut remote_ok = 0u64;
+        let mut halted = 0u64;
+        for rec in net.log().records() {
+            match rec {
+                agilla::stats::OpRecord::RemoteCompleted { success: true, .. } => remote_ok += 1,
+                agilla::stats::OpRecord::AgentHalted { .. } => halted += 1,
+                _ => {}
+            }
+        }
+        MixOutcome {
+            injected: trial.agents.len() as u64,
+            rejected: u64::from(trial.rejected),
+            remote_ok,
+            halted,
+            frames: 0,
+            metrics: trial.net.take_metrics(),
+        }
+    });
+
+    LOSSES
+        .iter()
+        .enumerate()
+        .map(|(l, &loss)| {
+            let mut row = LossRampRow {
+                loss,
+                injected: 0,
+                migrations: 0,
+                remote_ok: 0,
+                halted: 0,
+                mig_retx: 0,
+            };
+            // Fold in spec order — deterministic at any thread count.
+            let mut fold = Metrics::new();
+            for ((il, _), o) in items.iter().zip(&outcomes) {
+                if *il != l {
+                    continue;
+                }
+                fold.merge(&o.metrics);
+                row.injected += o.injected;
+                row.remote_ok += o.remote_ok;
+                row.halted += o.halted;
+            }
+            row.migrations = fold.counter("migration.arrived");
+            row.mig_retx = fold.counter("migration.retx");
             row
         })
         .collect()

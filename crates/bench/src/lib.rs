@@ -9,16 +9,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod cli;
 pub mod engine;
 pub mod harness;
 pub mod report;
+pub mod scale;
 
+pub use artifact::{write_artifact, Json};
 pub use cli::BenchArgs;
 pub use engine::{run_trials_parallel, TrialExecutor};
 pub use harness::{
     fig11_one_hop, fig12_local_ops, fig12_local_ops_opts, fig9_fig10, fig_energy_agents_alive,
-    fig_energy_lifetime, fig_energy_per_op, fig_mix, AliveSample, EnergyOpRow, Fig11Row, Fig12Row,
-    HopResult, LifetimeRow, MixRow, RemoteOpKind,
+    fig_energy_lifetime, fig_energy_per_op, fig_mix, fig_mix_loss_ramp, AliveSample, EnergyOpRow,
+    Fig11Row, Fig12Row, HopResult, LifetimeRow, LossRampRow, MixRow, RemoteOpKind,
 };
 pub use report::Table;
+pub use scale::{fig_scale, shard_distribution_line, ScaleRow};

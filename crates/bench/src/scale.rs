@@ -1,0 +1,282 @@
+//! fig_scale — simulator throughput at production scale.
+//!
+//! The paper's testbed is 26 motes; the point of running it inside a
+//! simulator is to ask the same questions at deployment scale. This family
+//! sweeps square `GridAdjacent` fields of 1k–100k motes under their
+//! dominant steady-state load (one beacon per mote per second) plus a
+//! small mobile-agent workload near the base corner, and reports both the
+//! deterministic work done (frames, beacons, migrations, events
+//! dispatched) and — unless suppressed — the host-dependent simulation
+//! rate in simulated seconds per wall second.
+//!
+//! The sharded engine is the knob under test: `--shards N|auto` partitions
+//! each trial's event timeline into spatial shards
+//! ([`agilla::Shards`]), and because the shard merge is
+//! exact, **every deterministic column is byte-identical at any shard
+//! count** — CI diffs a `--shards 2 --threads 2` run against the serial
+//! one. The per-shard work distribution goes to stderr with the engine
+//! report.
+
+use agilla::scenario::{OneShot, Periodic, ScenarioSpec};
+use agilla::testbed::{Testbed, TopologySpec};
+use agilla::{workload, AgillaConfig, Shards};
+use wsn_common::Location;
+use wsn_radio::{LossModel, Topology};
+use wsn_sim::SimDuration;
+
+use crate::engine::run_trials_parallel;
+
+/// Mote counts swept by default (32² and 100² grids). 100k-scale runs are
+/// opted into with [`FULL_SIZES`] — minutes, not CI material.
+pub const DEFAULT_SIZES: [usize; 2] = [1_024, 10_000];
+
+/// Mote counts for `--quick` (and the CI smoke): 16² and 32² grids.
+pub const QUICK_SIZES: [usize; 2] = [256, 1_024];
+
+/// The full sweep: 1k / 10k / 100k motes (317² ≈ 100.5k).
+pub const FULL_SIZES: [usize; 3] = [1_024, 10_000, 100_489];
+
+/// One row of the fig_scale sweep: everything a size's trials did, summed
+/// across trials. All fields except the wall rate are seed-determined and
+/// independent of the shard count and thread count.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Motes in the field (`side²`).
+    pub motes: usize,
+    /// Grid side length.
+    pub side: i16,
+    /// Simulated seconds per trial.
+    pub sim_s: u64,
+    /// Agents admitted across trials.
+    pub injected: u64,
+    /// Hop migrations completed across trials (`migration.arrived`).
+    pub migrations: u64,
+    /// Frames transmitted across trials (beacons included).
+    pub frames: u64,
+    /// Beacon transmissions across trials.
+    pub beacons: u64,
+    /// Events dispatched across trials (every queue pop).
+    pub events: u64,
+    /// Per-shard events dispatched, summed across trials — the work
+    /// distribution the sharded engine reports (stderr only: its length is
+    /// the shard count, which must not leak into diffable stdout).
+    pub shard_events: Vec<u64>,
+    /// Simulated seconds per wall-clock second, summed over per-trial CPU
+    /// time — `None` when wall timing is suppressed (`--no-wall`).
+    pub sim_per_wall_s: Option<f64>,
+}
+
+/// Builds one fig_scale scenario on a `side × side` grid: the steady
+/// beacon load runs implicitly (every mote, 1 Hz), a periodic `smove`
+/// round-trip patrols five hops out from the base corner, and a `rout`
+/// drops a tuple three hops out — enough protocol traffic to keep the
+/// migration and remote-op paths hot without the workload itself becoming
+/// the bottleneck under measurement.
+fn fig_scale_scenario(bed: &Testbed, sim_s: u64, seed_mix: u64) -> ScenarioSpec {
+    let base = Location::new(1, 1);
+    bed.scenario(seed_mix)
+        .traffic(Periodic::at(
+            base,
+            SimDuration::from_secs(2),
+            u32::try_from(sim_s / 2).expect("horizon fits") + 1,
+            workload::smove_test_agent(Location::new(6, 1), base),
+        ))
+        .traffic(OneShot::at(
+            base,
+            workload::rout_test_agent(Location::new(4, 1)),
+        ))
+        .horizon(SimDuration::from_secs(sim_s))
+}
+
+/// What one fig_scale trial measured, extracted on the worker thread.
+#[derive(Debug)]
+struct ScaleOutcome {
+    injected: u64,
+    migrations: u64,
+    frames: u64,
+    beacons: u64,
+    events: u64,
+    shard_events: Vec<u64>,
+    wall: std::time::Duration,
+}
+
+/// Runs the scale sweep: for each mote count in `sizes`, `trials`
+/// independent lossless-grid scenarios of `sim_s` simulated seconds,
+/// fanned across `threads` workers and folded in spec order. `shards`
+/// selects the engine partitioning for every trial; all deterministic
+/// outputs are byte-identical at any setting. `measure_wall` gates the
+/// sim-per-wall-second rate (per-trial CPU time, so thread fan-out does
+/// not inflate it).
+pub fn fig_scale(
+    sizes: &[usize],
+    trials: u32,
+    sim_s: u64,
+    base_seed: u64,
+    shards: Shards,
+    threads: usize,
+    measure_wall: bool,
+) -> Vec<ScaleRow> {
+    let mut items: Vec<(usize, i16, ScenarioSpec)> = Vec::new();
+    for (s, &motes) in sizes.iter().enumerate() {
+        let side = (motes as f64).sqrt().floor() as i16;
+        let bed = Testbed::new(
+            TopologySpec::Custom {
+                topology: Topology::grid(side, side),
+                loss: LossModel::perfect(),
+            },
+            AgillaConfig::default(),
+            base_seed,
+        )
+        .shards(shards);
+        for t in 0..trials {
+            let spec = fig_scale_scenario(&bed, sim_s, u64::from(t) * 786_433 + s as u64 * 97);
+            items.push((s, side, spec));
+        }
+    }
+    let outcomes = run_trials_parallel(&items, threads, |(_, _, spec)| {
+        let start = std::time::Instant::now();
+        let trial = spec.execute();
+        let wall = start.elapsed();
+        let net = &trial.net;
+        ScaleOutcome {
+            injected: trial.agents.len() as u64,
+            migrations: net.metrics().counter("migration.arrived"),
+            frames: net.medium().frames_sent(),
+            beacons: net.metrics().counter("radio.beacons"),
+            events: net.events_dispatched(),
+            shard_events: net.shard_dispatch(),
+            wall,
+        }
+    });
+
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(s, &motes)| {
+            let side = (motes as f64).sqrt().floor() as i16;
+            let mut row = ScaleRow {
+                motes: (side as usize) * (side as usize),
+                side,
+                sim_s,
+                injected: 0,
+                migrations: 0,
+                frames: 0,
+                beacons: 0,
+                events: 0,
+                shard_events: Vec::new(),
+                sim_per_wall_s: None,
+            };
+            let mut wall = std::time::Duration::ZERO;
+            // Fold in spec order — deterministic at any thread count.
+            for ((is, _, _), o) in items.iter().zip(&outcomes) {
+                if *is != s {
+                    continue;
+                }
+                row.injected += o.injected;
+                row.migrations += o.migrations;
+                row.frames += o.frames;
+                row.beacons += o.beacons;
+                row.events += o.events;
+                if row.shard_events.len() < o.shard_events.len() {
+                    row.shard_events.resize(o.shard_events.len(), 0);
+                }
+                for (acc, d) in row.shard_events.iter_mut().zip(&o.shard_events) {
+                    *acc += d;
+                }
+                wall += o.wall;
+            }
+            if measure_wall && !wall.is_zero() {
+                let total_sim = sim_s * u64::from(trials);
+                row.sim_per_wall_s = Some(total_sim as f64 / wall.as_secs_f64());
+            }
+            row
+        })
+        .collect()
+}
+
+/// Formats a row's per-shard work distribution for the stderr engine
+/// report: each shard's share of dispatched events, plus the max/mean
+/// imbalance factor.
+pub fn shard_distribution_line(row: &ScaleRow) -> String {
+    let total: u64 = row.shard_events.iter().sum();
+    if total == 0 || row.shard_events.is_empty() {
+        return format!("{} motes: no events dispatched", row.motes);
+    }
+    let shares: Vec<String> = row
+        .shard_events
+        .iter()
+        .map(|&d| format!("{:.1}%", d as f64 * 100.0 / total as f64))
+        .collect();
+    let mean = total as f64 / row.shard_events.len() as f64;
+    let max = row.shard_events.iter().copied().max().unwrap_or(0) as f64;
+    format!(
+        "{} motes: {} shard(s), events per shard [{}], max/mean imbalance {:.2}",
+        row.motes,
+        row.shard_events.len(),
+        shares.join(", "),
+        max / mean,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strips the host-dependent fields, leaving the deterministic core.
+    fn deterministic(rows: &[ScaleRow]) -> Vec<(usize, u64, u64, u64, u64, u64)> {
+        rows.iter()
+            .map(|r| {
+                (
+                    r.motes,
+                    r.injected,
+                    r.migrations,
+                    r.frames,
+                    r.beacons,
+                    r.events,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig_scale_runs_and_scales_event_counts_with_motes() {
+        let rows = fig_scale(&[64, 256], 1, 3, 0x5CA1E, Shards::Serial, 1, false);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].motes, 64);
+        assert_eq!(rows[1].motes, 256);
+        for r in &rows {
+            assert!(r.injected > 0, "{} motes injected nothing", r.motes);
+            assert!(r.beacons > 0);
+            assert!(r.frames >= r.beacons);
+            assert!(r.events > 0);
+            assert!(r.sim_per_wall_s.is_none(), "wall timing was off");
+            assert_eq!(r.shard_events.iter().sum::<u64>(), r.events);
+        }
+        // 4x the motes means ~4x the beacon traffic.
+        assert!(rows[1].beacons > 2 * rows[0].beacons);
+    }
+
+    #[test]
+    fn fig_scale_is_byte_identical_across_shard_counts_and_threads() {
+        let serial = fig_scale(&[64, 100], 2, 3, 0xF00D, Shards::Serial, 1, false);
+        for (shards, threads) in [(Shards::Fixed(2), 2), (Shards::Fixed(4), 1)] {
+            let sharded = fig_scale(&[64, 100], 2, 3, 0xF00D, shards, threads, false);
+            assert_eq!(
+                deterministic(&serial),
+                deterministic(&sharded),
+                "{shards:?} x {threads} threads diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_runs_report_a_distribution_over_every_shard() {
+        let rows = fig_scale(&[100], 1, 3, 0xD157, Shards::Fixed(4), 1, true);
+        assert_eq!(rows[0].shard_events.len(), 4);
+        assert!(rows[0].shard_events.iter().all(|&d| d > 0));
+        assert!(rows[0].sim_per_wall_s.expect("wall timing on") > 0.0);
+        let line = shard_distribution_line(&rows[0]);
+        assert!(line.contains("4 shard(s)"), "{line}");
+        assert!(line.contains("imbalance"), "{line}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Tier-1 guard: the spatial shard count is invisible to every observable.
+//!
+//! Randomized version of the hand-picked cases in the core crate's
+//! `sharding.rs`: random grid topologies under random `ScenarioSpec`
+//! traffic (Poisson multi-app mixes, periodic patrols, one-shot drops,
+//! mid-run node kills) must produce identical metrics registries, identical
+//! experiment-log `OpRecord` streams, and identical frame counts whether
+//! the trial runs on one global event queue (`shards = 1`) or on four
+//! spatially sharded queues merged by the conservative-lookahead window.
+
+use agilla::scenario::{AppMix, AppSpec, OneShot, Periodic, Perturbation, ScenarioSpec};
+use agilla::testbed::{Testbed, TopologySpec, Trial};
+use agilla::{workload, AgillaConfig, Shards};
+use proptest::prelude::*;
+use wsn_common::Location;
+use wsn_radio::{LossModel, Topology};
+use wsn_sim::SimDuration;
+
+/// Everything a trial observably produces, flattened for comparison.
+fn observables(t: &Trial) -> (String, Vec<String>, u64, u64) {
+    let metrics = t
+        .net
+        .metrics()
+        .counters()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    (
+        format!("{:?}", t.net.log().records()),
+        metrics,
+        t.net.medium().frames_sent(),
+        t.net.now().as_micros(),
+    )
+}
+
+/// Builds one random scenario on a `w × h` grid with the calibrated lossy
+/// channel. `mix_rate` drives a Poisson multi-app mix at the base corner;
+/// `patrol` picks the smove round-trip target; `kill` optionally schedules
+/// a mid-run node death at the clamped location.
+#[allow(clippy::too_many_arguments)]
+fn random_scenario(
+    w: i16,
+    h: i16,
+    seed: u64,
+    seed_mix: u64,
+    mix_rate: f64,
+    patrol: (i16, i16),
+    drop: (i16, i16),
+    kill: Option<(i16, i16)>,
+    shards: Shards,
+) -> ScenarioSpec {
+    let clamp = |(x, y): (i16, i16)| Location::new(x.clamp(1, w), y.clamp(1, h));
+    let base = Location::new(1, 1);
+    let bed = Testbed::new(
+        TopologySpec::Custom {
+            topology: Topology::grid(w, h),
+            loss: LossModel::mica2_testbed(),
+        },
+        AgillaConfig::default(),
+        seed,
+    )
+    .shards(shards);
+    let mut spec = bed
+        .scenario(seed_mix)
+        .traffic(AppMix::new(
+            mix_rate,
+            vec![
+                AppSpec::at_base(2, workload::smove_test_agent(clamp(patrol), base)),
+                AppSpec::at_base(1, workload::rout_test_agent(clamp(drop))),
+            ],
+        ))
+        .traffic(Periodic::at(
+            base,
+            SimDuration::from_secs(3),
+            3,
+            workload::smove_test_agent(clamp(patrol), base),
+        ))
+        .traffic(OneShot::at(base, workload::rout_test_agent(clamp(drop))))
+        .horizon(SimDuration::from_secs(10));
+    if let Some(loc) = kill {
+        spec = spec.event(
+            SimDuration::from_micros(4_500_000),
+            Perturbation::KillNode(clamp(loc)),
+        );
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A random topology under random traffic, run serial and run on four
+    /// shards, produces byte-identical metrics and op-record streams.
+    #[test]
+    fn random_traffic_is_shard_invariant(
+        w in 3i16..7,
+        h in 3i16..7,
+        seed in 0u64..1_000,
+        seed_mix in 0u64..1_000,
+        mix_rate in prop_oneof![Just(0.3f64), Just(0.8), Just(1.5)],
+        patrol in (1i16..7, 1i16..7),
+        drop in (1i16..7, 1i16..7),
+        kill_it in proptest::bool::ANY,
+        kill in (1i16..7, 1i16..7),
+    ) {
+        let kill = kill_it.then_some(kill);
+        let run = |shards: Shards| {
+            random_scenario(w, h, seed, seed_mix, mix_rate, patrol, drop, kill, shards)
+                .execute()
+        };
+        let serial = observables(&run(Shards::Serial));
+        let sharded = observables(&run(Shards::Fixed(4)));
+        prop_assert_eq!(serial, sharded);
+    }
+}

@@ -17,6 +17,44 @@ pub const E2E_ACK_TIMEOUT_FACTOR: u64 = 5;
 /// paper's grid there are at most 3 alternates anyway.
 pub const MAX_HOP_FAILOVERS: usize = 3;
 
+/// How many spatial shards the event timeline is partitioned into.
+///
+/// Sharding splits the network's single calendar queue into per-region
+/// queues (grid cells sized by the radio range, see
+/// [`Topology::shard_map`](wsn_radio::Topology::shard_map)) merged back
+/// into one deterministic timeline by
+/// [`ShardedQueue`](wsn_sim::ShardedQueue). The merge is *exact*: figure
+/// output is byte-identical at every shard count, so this knob only
+/// changes working-set locality and the per-shard work accounting that
+/// `fig_scale` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Shards {
+    /// One global queue — the exact pre-sharding code path (default).
+    #[default]
+    Serial,
+    /// One shard per occupied grid cell, capped by the host's available
+    /// parallelism. The resolved count never affects any output, so the
+    /// host dependence is harmless.
+    Auto,
+    /// Exactly `N` shards (clamped to the occupied cell count, min 1).
+    Fixed(u32),
+}
+
+impl Shards {
+    /// Resolves the knob against the topology's occupied cell count.
+    pub fn resolve(self, num_cells: usize) -> usize {
+        let cells = num_cells.max(1);
+        match self {
+            Shards::Serial => 1,
+            Shards::Auto => {
+                let par = std::thread::available_parallelism().map_or(1, |n| n.get());
+                par.min(cells)
+            }
+            Shards::Fixed(n) => (n as usize).clamp(1, cells),
+        }
+    }
+}
+
 /// Protocol and resource parameters of an Agilla node.
 ///
 /// Defaults are the paper's published values; the ablation benches sweep the
@@ -86,6 +124,11 @@ pub struct AgillaConfig {
     /// figure is byte-identical with it on; `false` restores the paper's
     /// accept-anything behaviour for the fault-injection benches.
     pub verify_on_inject: bool,
+    /// Spatial event-queue sharding (see [`Shards`]). [`Shards::Serial`]
+    /// by default: one global queue, the exact historical code path.
+    /// Sharded runs produce byte-identical output — the merge order is
+    /// exact — so this is purely a scale/locality knob.
+    pub shards: Shards,
     /// Timing constants for protocol-layer software costs.
     pub timing: TimingModel,
     /// Energy accounting and duty-cycling; disabled by default, in which
@@ -157,6 +200,7 @@ impl Default for AgillaConfig {
             hop_by_hop_migration: true,
             hop_failover: false,
             verify_on_inject: true,
+            shards: Shards::Serial,
             timing: TimingModel::mica2(),
             energy: EnergyConfig::default(),
         }
@@ -316,8 +360,21 @@ mod tests {
         assert!(c.hop_by_hop_migration);
         assert!(!c.hop_failover, "single-candidate greedy, as evaluated");
         assert!(c.verify_on_inject, "bad bytecode is refused at injection");
+        assert_eq!(c.shards, Shards::Serial, "one global queue unless asked");
         assert!(!c.energy.enabled, "no meters unless asked");
         assert!(c.energy.lpl_check_interval.is_none());
+    }
+
+    #[test]
+    fn shards_resolve_clamps_to_occupied_cells() {
+        assert_eq!(Shards::Serial.resolve(64), 1);
+        assert_eq!(Shards::Fixed(4).resolve(64), 4);
+        assert_eq!(Shards::Fixed(4).resolve(2), 2, "capped by cells");
+        assert_eq!(Shards::Fixed(0).resolve(64), 1, "never zero");
+        assert_eq!(Shards::Fixed(9).resolve(0), 1, "empty topology");
+        let auto = Shards::Auto.resolve(64);
+        assert!((1..=64).contains(&auto));
+        assert_eq!(Shards::Auto.resolve(1), 1);
     }
 
     #[test]

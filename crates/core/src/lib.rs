@@ -62,7 +62,7 @@ pub mod testbed;
 pub mod wire;
 pub mod workload;
 
-pub use config::{AgillaConfig, EnergyConfig, TimingModel};
+pub use config::{AgillaConfig, EnergyConfig, Shards, TimingModel};
 pub use env::{Environment, FieldModel, FireModel};
 pub use error::AgillaError;
 pub use memory::MemoryModel;

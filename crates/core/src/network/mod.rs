@@ -32,7 +32,10 @@ use wsn_radio::{
     DeliveryOutcome, EnergyLedger, EnergyMeter, EnergyState, Frame, GilbertElliott, LossModel,
     Medium, Topology,
 };
-use wsn_sim::{CounterId, EventQueue, Metrics, RngStream, SimDuration, SimTime, Tracer};
+use wsn_sim::{
+    CounterId, EventQueue, Metrics, RngStream, ShardEventId, ShardedQueue, SimDuration, SimTime,
+    Tracer,
+};
 
 use crate::config::AgillaConfig;
 use crate::env::Environment;
@@ -70,6 +73,121 @@ enum Event {
     MigAbort { node: NodeId, session: u16 },
     /// Remote tuple-space operation timeout.
     RemoteTimeout { node: NodeId, op_id: u16 },
+}
+
+impl Event {
+    /// The node whose spatial shard owns this event. Timers and engine
+    /// steps belong to the node they fire on; a frame fanout belongs to
+    /// the *transmitter's* shard — its receivers are processed inline in
+    /// deterministic neighbor order (the order that drives the medium's
+    /// loss draws), so splitting it per receiver would reorder RNG
+    /// consumption and break byte-identity.
+    fn owner(&self) -> NodeId {
+        match self {
+            Event::EngineInstr { node }
+            | Event::TxReady { node }
+            | Event::Beacon { node }
+            | Event::AgentWake { node, .. }
+            | Event::MigRetx { node, .. }
+            | Event::MigAbort { node, .. }
+            | Event::RemoteTimeout { node, .. } => *node,
+            Event::RxFanout { frame, .. } => frame.src,
+        }
+    }
+}
+
+/// The network's event timeline: one global calendar queue
+/// ([`crate::Shards::Serial`] — the exact historical code path, byte for
+/// byte), or spatial per-shard queues behind [`ShardedQueue`]'s exact
+/// deterministic merge. Every method mirrors [`EventQueue`]'s contract, so
+/// the dispatch loop is oblivious to which variant it drives; timer handles
+/// are [`ShardEventId`]s in both (the serial queue wraps its ids with
+/// [`ShardEventId::solo`]).
+#[derive(Debug)]
+enum NetQueue {
+    /// The single global queue.
+    Single(EventQueue<Event>),
+    /// Per-shard queues plus the cell-run shard assignment of every node
+    /// (see [`Topology::shard_map`]).
+    Sharded {
+        q: ShardedQueue<Event>,
+        shard_of: Vec<usize>,
+    },
+}
+
+impl NetQueue {
+    /// Builds the timeline: serial for `shards <= 1`, sharded otherwise.
+    /// The lookahead window is the minimum frame air time — within one
+    /// window no transmission started in one shard can land in another.
+    fn new(shards: usize, shard_of: Vec<usize>) -> Self {
+        if shards <= 1 {
+            NetQueue::Single(EventQueue::new())
+        } else {
+            NetQueue::Sharded {
+                q: ShardedQueue::new(shards, Frame::min_air_time()),
+                shard_of,
+            }
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Event) -> ShardEventId {
+        match self {
+            NetQueue::Single(q) => ShardEventId::solo(q.schedule(at, ev)),
+            NetQueue::Sharded { q, shard_of } => {
+                let shard = shard_of[ev.owner().index()];
+                q.schedule(shard, at, ev)
+            }
+        }
+    }
+
+    fn cancel(&mut self, id: ShardEventId) -> bool {
+        match self {
+            NetQueue::Single(q) => q.cancel(id.id()),
+            NetQueue::Sharded { q, .. } => q.cancel(id),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event)> {
+        match self {
+            NetQueue::Single(q) => q.pop(),
+            NetQueue::Sharded { q, .. } => q.pop(),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            NetQueue::Single(q) => q.peek_time(),
+            NetQueue::Sharded { q, .. } => q.peek_time(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            NetQueue::Single(q) => q.now(),
+            NetQueue::Sharded { q, .. } => q.now(),
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        match self {
+            NetQueue::Single(_) => 1,
+            NetQueue::Sharded { q, .. } => q.num_shards(),
+        }
+    }
+
+    fn dispatched_per_shard(&self) -> Vec<u64> {
+        match self {
+            NetQueue::Single(q) => vec![q.dispatched()],
+            NetQueue::Sharded { q, .. } => q.dispatched_per_shard(),
+        }
+    }
+
+    fn dispatched(&self) -> u64 {
+        match self {
+            NetQueue::Single(q) => q.dispatched(),
+            NetQueue::Sharded { q, .. } => q.dispatched(),
+        }
+    }
 }
 
 /// What one engine unit did (see [`AgillaNetwork::engine_step`]).
@@ -139,7 +257,7 @@ impl NetCounters {
 pub struct AgillaNetwork {
     config: AgillaConfig,
     env: Environment,
-    queue: EventQueue<Event>,
+    queue: NetQueue,
     medium: Medium,
     nodes: Vec<Node>,
     tracer: Tracer,
@@ -173,6 +291,14 @@ impl AgillaNetwork {
         // LPL stretches every preamble; widen the protocol timeouts to
         // match (identity when LPL is off).
         let config = config.lpl_adjusted();
+        // Resolve the sharding knob against the topology's occupied radio
+        // cells before the medium takes ownership of it.
+        let shards = config.shards.resolve(topology.num_cells());
+        let shard_of = if shards > 1 {
+            topology.shard_map(shards)
+        } else {
+            Vec::new()
+        };
         let mut medium = Medium::new(topology, loss, seed);
         let mac_config = match config.energy.lpl_check_interval {
             Some(interval) if config.energy.enabled => MacConfig::mica2_lpl(interval),
@@ -196,7 +322,7 @@ impl AgillaNetwork {
         let mut net = AgillaNetwork {
             config,
             env,
-            queue: EventQueue::new(),
+            queue: NetQueue::new(shards, shard_of),
             medium,
             nodes,
             tracer: Tracer::new(),
@@ -475,6 +601,22 @@ impl AgillaNetwork {
     /// The radio medium (frame statistics).
     pub fn medium(&self) -> &Medium {
         &self.medium
+    }
+
+    /// How many spatial shards the event timeline runs on (1 = serial).
+    pub fn num_shards(&self) -> usize {
+        self.queue.num_shards()
+    }
+
+    /// Events dispatched so far, per shard — the work-distribution report
+    /// behind `fig_scale`. A single entry when the timeline is serial.
+    pub fn shard_dispatch(&self) -> Vec<u64> {
+        self.queue.dispatched_per_shard()
+    }
+
+    /// Total events dispatched across every shard since construction.
+    pub fn events_dispatched(&self) -> u64 {
+        self.queue.dispatched()
     }
 
     /// The middleware configuration.

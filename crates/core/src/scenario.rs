@@ -548,6 +548,15 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the spatial event-queue sharding knob (see [`crate::Shards`]).
+    /// Byte-identical output at any setting — sharding only changes
+    /// working-set locality and the per-shard work accounting.
+    #[must_use]
+    pub fn shards(mut self, shards: crate::Shards) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
     /// Compiles the scenario to a [`TrialSpec`] step script: draw every
     /// generator's arrivals, merge them with the scheduled events and the
     /// measurement boundary, and emit `Run` steps between consecutive

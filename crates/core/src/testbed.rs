@@ -147,6 +147,13 @@ impl TrialSpec {
         self
     }
 
+    /// Appends a mid-run fault-injection perturbation.
+    #[must_use]
+    pub fn perturb(mut self, p: crate::scenario::Perturbation) -> Self {
+        self.steps.push(TrialStep::Perturb(p));
+        self
+    }
+
     /// Replaces the environment model.
     #[must_use]
     pub fn with_env(mut self, env: Environment) -> Self {
@@ -158,6 +165,15 @@ impl TrialSpec {
     #[must_use]
     pub fn diagnostics(mut self, on: bool) -> Self {
         self.diagnostics = on;
+        self
+    }
+
+    /// Sets the spatial event-queue sharding knob (see [`crate::Shards`]).
+    /// Every output is byte-identical at any setting — sharding is a
+    /// scale/locality knob, not a semantic one.
+    #[must_use]
+    pub fn shards(mut self, shards: crate::Shards) -> Self {
+        self.config.shards = shards;
         self
     }
 
@@ -319,6 +335,15 @@ impl Testbed {
     /// The shared middleware configuration.
     pub fn config(&self) -> &AgillaConfig {
         &self.config
+    }
+
+    /// Sets the spatial event-queue sharding knob for every trial this
+    /// testbed mints (see [`crate::Shards`]). Byte-identical output at any
+    /// setting.
+    #[must_use]
+    pub fn shards(mut self, shards: crate::Shards) -> Self {
+        self.config.shards = shards;
+        self
     }
 
     /// Mints a [`TrialSpec`] with seed `base_seed ^ seed_mix` and no steps.

@@ -1,0 +1,127 @@
+//! Sharded-timeline equivalence: the spatial shard count is a pure
+//! scale/locality knob, so every observable — experiment log, metrics
+//! registry, frame counts, the clock — must be byte-identical between a
+//! serial run and any sharded run of the same spec, including under
+//! mid-run fault injection.
+
+use agilla::scenario::Perturbation;
+use agilla::testbed::{Testbed, Trial};
+use agilla::{workload, AgillaConfig, EnergyConfig, Shards};
+use wsn_common::Location;
+use wsn_sim::SimDuration;
+
+/// Everything a trial can observably produce, flattened to strings.
+fn observables(t: &Trial) -> (String, Vec<String>, u64, u64) {
+    let metrics = t
+        .net
+        .metrics()
+        .counters()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    (
+        format!("{:?}", t.net.log().records()),
+        metrics,
+        t.net.medium().frames_sent(),
+        t.net.now().as_micros(),
+    )
+}
+
+fn migration_trial(shards: Shards) -> Trial {
+    Testbed::lossy_5x5(AgillaConfig::default(), 0x5AD)
+        .shards(shards)
+        .trial(17)
+        .inject(workload::smove_test_agent(
+            Location::new(4, 4),
+            Location::new(1, 1),
+        ))
+        .inject(workload::rout_test_agent(Location::new(3, 2)))
+        .run(SimDuration::from_secs(20))
+        .execute()
+}
+
+#[test]
+fn sharded_run_matches_serial_byte_for_byte() {
+    let serial = migration_trial(Shards::Serial);
+    for shards in [Shards::Fixed(2), Shards::Fixed(4), Shards::Auto] {
+        let sharded = migration_trial(shards);
+        assert_eq!(
+            observables(&serial),
+            observables(&sharded),
+            "{shards:?} diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn killing_a_border_mote_mid_frame_matches_serial() {
+    // The 5×5 lossy grid under sustained migration traffic, with the mote
+    // at (3,1) fault-injected mid-run — at 5 s beacons and migration
+    // frames are in flight, so the kill lands between a transmission and
+    // its fanout. Under sharding the dying mote must leave its grid
+    // cell's neighbor sets and the cross-cell fringe atomically; any
+    // half-removed state would change routing and diverge from serial.
+    let run = |shards: Shards| {
+        Testbed::lossy_5x5(AgillaConfig::default(), 0xDEAD)
+            .shards(shards)
+            .trial(3)
+            .inject(workload::smove_test_agent(
+                Location::new(5, 5),
+                Location::new(1, 1),
+            ))
+            .run(SimDuration::from_millis(5_100))
+            .perturb(Perturbation::KillNode(Location::new(3, 1)))
+            .run(SimDuration::from_secs(15))
+            .execute()
+    };
+    let serial = run(Shards::Serial);
+    let sharded = run(Shards::Fixed(4));
+    assert_eq!(observables(&serial), observables(&sharded));
+    assert!(serial
+        .net
+        .is_dead(serial.net.node_at(Location::new(3, 1)).unwrap()));
+}
+
+#[test]
+fn battery_death_removes_a_mote_from_its_shard_atomically() {
+    // Battery depletion is the path that *removes* the mote from the
+    // radio topology mid-run (fault injection only marks it dead), so it
+    // exercises `Topology::remove_node` against the live cell grid.
+    let config = AgillaConfig {
+        energy: EnergyConfig::with_battery(0.5),
+        ..AgillaConfig::default()
+    };
+    let run = |shards: Shards| {
+        Testbed::lossy_5x5(config.clone(), 0xBA77)
+            .shards(shards)
+            .trial(9)
+            .inject(workload::smove_test_agent(
+                Location::new(4, 4),
+                Location::new(1, 1),
+            ))
+            .run(SimDuration::from_secs(60))
+            .execute()
+    };
+    let serial = run(Shards::Serial);
+    let sharded = run(Shards::Fixed(3));
+    assert_eq!(observables(&serial), observables(&sharded));
+}
+
+#[test]
+fn shard_dispatch_accounts_for_every_event() {
+    let trial = migration_trial(Shards::Fixed(4));
+    assert_eq!(trial.net.num_shards(), 4);
+    let per_shard = trial.net.shard_dispatch();
+    assert_eq!(per_shard.len(), 4);
+    assert_eq!(per_shard.iter().sum::<u64>(), trial.net.events_dispatched());
+    assert!(trial.net.events_dispatched() > 0);
+    // The 5×5 grid spreads beacons over every cell run: no shard is idle.
+    assert!(per_shard.iter().all(|&d| d > 0), "{per_shard:?}");
+
+    let serial = migration_trial(Shards::Serial);
+    assert_eq!(serial.net.num_shards(), 1);
+    assert_eq!(
+        serial.net.events_dispatched(),
+        trial.net.events_dispatched(),
+        "same spec dispatches the same events at any shard count"
+    );
+}

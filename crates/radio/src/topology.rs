@@ -15,6 +15,91 @@ pub enum Connectivity {
     GridAdjacent,
 }
 
+/// Spatial index over node positions: square cells sized by the maximum
+/// radio range, so any neighbor of a node lives in the 3×3 cell
+/// neighborhood around it (the node's own cell plus the cross-cell fringe).
+/// This is what keeps neighbor queries O(local density) instead of O(N) —
+/// the difference between a 26-mote desk and a 10k-mote city block — and it
+/// doubles as the spatial partition the sharded engine assigns cells to
+/// shards from.
+#[derive(Debug, Clone)]
+struct CellGrid {
+    /// Cell edge length in grid units (at least 1; ≥ the max radio range).
+    cell: i32,
+    min_x: i32,
+    min_y: i32,
+    cols: usize,
+    rows: usize,
+    /// Active node ids per cell (row-major `cy * cols + cx`), each kept in
+    /// ascending id order so candidate scans stay deterministic.
+    members: Vec<Vec<NodeId>>,
+}
+
+impl CellGrid {
+    fn build(positions: &[Location], connectivity: Connectivity) -> Self {
+        let cell = match connectivity {
+            // Two nodes within Euclidean range r differ by at most ⌈r⌉ on
+            // each axis, so a ⌈r⌉-wide cell makes the 3×3 scan exhaustive.
+            Connectivity::Range(r) => (r.ceil().max(1.0) as i64).min(1 << 18) as i32,
+            // Manhattan-adjacent neighbors differ by at most 1 per axis.
+            Connectivity::GridAdjacent => 1,
+        };
+        let min_x = positions.iter().map(|p| i32::from(p.x)).min().unwrap_or(0);
+        let min_y = positions.iter().map(|p| i32::from(p.y)).min().unwrap_or(0);
+        let max_x = positions.iter().map(|p| i32::from(p.x)).max().unwrap_or(0);
+        let max_y = positions.iter().map(|p| i32::from(p.y)).max().unwrap_or(0);
+        let cols = ((max_x - min_x) / cell + 1) as usize;
+        let rows = ((max_y - min_y) / cell + 1) as usize;
+        let mut grid = CellGrid {
+            cell,
+            min_x,
+            min_y,
+            cols,
+            rows,
+            members: vec![Vec::new(); cols * rows],
+        };
+        for (i, p) in positions.iter().enumerate() {
+            let idx = grid.cell_of(*p);
+            grid.members[idx].push(NodeId(i as u16)); // i ascending ⇒ sorted
+        }
+        grid
+    }
+
+    fn cell_of(&self, p: Location) -> usize {
+        let cx = ((i32::from(p.x) - self.min_x) / self.cell) as usize;
+        let cy = ((i32::from(p.y) - self.min_y) / self.cell) as usize;
+        cy * self.cols + cx
+    }
+
+    fn remove(&mut self, node: NodeId, p: Location) {
+        let idx = self.cell_of(p);
+        self.members[idx].retain(|&n| n != node);
+    }
+
+    /// Calls `f` for every member of the 3×3 cell neighborhood around `p`,
+    /// cell by cell in row-major order (ids ascend within a cell but not
+    /// across cells — callers wanting global id order must sort).
+    fn for_each_nearby(&self, p: Location, mut f: impl FnMut(NodeId)) {
+        let cx = ((i32::from(p.x) - self.min_x) / self.cell) as i64;
+        let cy = ((i32::from(p.y) - self.min_y) / self.cell) as i64;
+        for dy in -1..=1i64 {
+            let y = cy + dy;
+            if y < 0 || y >= self.rows as i64 {
+                continue;
+            }
+            for dx in -1..=1i64 {
+                let x = cx + dx;
+                if x < 0 || x >= self.cols as i64 {
+                    continue;
+                }
+                for &n in &self.members[y as usize * self.cols + x as usize] {
+                    f(n);
+                }
+            }
+        }
+    }
+}
+
 /// Positions of every node plus the connectivity rule.
 ///
 /// # Examples
@@ -40,6 +125,8 @@ pub struct Topology {
     /// pairs. A severed pair is never a neighbor relation in either
     /// direction, whatever the connectivity rule says.
     severed: BTreeSet<(NodeId, NodeId)>,
+    /// Range-sized spatial index accelerating neighbor queries.
+    grid: CellGrid,
 }
 
 impl Topology {
@@ -61,11 +148,13 @@ impl Topology {
             "duplicate node locations are not allowed (locations are addresses)"
         );
         let inactive = vec![false; positions.len()];
+        let grid = CellGrid::build(&positions, connectivity);
         Topology {
             positions,
             connectivity,
             inactive,
             severed: BTreeSet::new(),
+            grid,
         }
     }
 
@@ -73,8 +162,18 @@ impl Topology {
     /// (so the medium neither delivers to it nor counts its carrier), while
     /// ids and locations stay stable for lookups. Used when a battery hits
     /// zero or a mote is destroyed.
+    ///
+    /// The deactivation flag and the spatial index update atomically in this
+    /// one call: by the time it returns, the mote is out of its cell's
+    /// member set and the cross-cell fringe, so no later neighbor query —
+    /// including one resolving a frame already in the air — can see a
+    /// half-removed node. Removing an already-removed node is a no-op.
     pub fn remove_node(&mut self, node: NodeId) {
+        if self.inactive[node.index()] {
+            return;
+        }
         self.inactive[node.index()] = true;
+        self.grid.remove(node, self.positions[node.index()]);
     }
 
     /// Whether `node` is still part of the radio graph.
@@ -188,11 +287,55 @@ impl Topology {
         }
     }
 
-    /// Neighbor ids of `node`.
+    /// Neighbor ids of `node`, in ascending id order.
+    ///
+    /// Candidates come from the cell grid's 3×3 neighborhood (the node's
+    /// cell plus the fringe), so the cost scales with local density, not
+    /// network size; [`Topology::are_neighbors`] stays the single oracle
+    /// for the actual relation, so severed links and inactive nodes are
+    /// filtered exactly as a full scan would.
     pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
-        self.nodes()
-            .filter(|&n| self.are_neighbors(node, n))
-            .collect()
+        let mut out = Vec::new();
+        self.grid
+            .for_each_nearby(self.positions[node.index()], |n| {
+                if self.are_neighbors(node, n) {
+                    out.push(n);
+                }
+            });
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of non-empty cells in the spatial index — the finest spatial
+    /// partition the sharded engine can split this topology into.
+    pub fn num_cells(&self) -> usize {
+        self.grid.members.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// Assigns every node to one of `shards` spatial shards and returns the
+    /// per-node shard index (indexed by `NodeId::index`).
+    ///
+    /// Cells are walked in row-major order and grouped into contiguous runs
+    /// balanced by node count, so each shard is a spatially compact band
+    /// and cross-shard radio traffic happens only along band borders. The
+    /// assignment is a pure function of the topology — identical on every
+    /// host and at every thread count.
+    pub fn shard_map(&self, shards: usize) -> Vec<usize> {
+        let shards = shards.max(1);
+        let total = self.grid.members.iter().map(Vec::len).sum::<usize>();
+        let mut out = vec![0usize; self.len()];
+        let mut assigned = 0usize;
+        let mut shard = 0usize;
+        for cell in &self.grid.members {
+            while shard < shards - 1 && assigned >= (shard + 1) * total / shards {
+                shard += 1;
+            }
+            for &n in cell {
+                out[n.index()] = shard;
+            }
+            assigned += cell.len();
+        }
+        out
     }
 
     /// Minimum hop count between two nodes (BFS over the neighbor relation),
@@ -375,7 +518,141 @@ mod tests {
         assert_eq!(t.hops_between(NodeId(0), NodeId(1)), None);
     }
 
+    /// The pre-index behaviour: a full scan over every node.
+    fn neighbors_full_scan(t: &Topology, node: NodeId) -> Vec<NodeId> {
+        t.nodes().filter(|&n| t.are_neighbors(node, n)).collect()
+    }
+
+    #[test]
+    fn grid_neighbors_match_full_scan_after_faults() {
+        let mut t = Topology::grid_with_base(5, 5);
+        t.remove_node(t.node_at(Location::new(3, 3)).unwrap());
+        let a = t.node_at(Location::new(2, 2)).unwrap();
+        let b = t.node_at(Location::new(2, 3)).unwrap();
+        t.drop_link(a, b);
+        for n in t.nodes() {
+            assert_eq!(t.neighbors(n), neighbors_full_scan(&t, n), "node {n:?}");
+        }
+    }
+
+    #[test]
+    fn remove_node_leaves_cell_and_fringe_atomically() {
+        let mut t = Topology::grid(4, 4);
+        // A border mote of the left column: its removal must vanish from
+        // both its own cell's member set and every fringe scan at once.
+        let border = t.node_at(Location::new(1, 2)).unwrap();
+        assert!(t.grid.members.iter().any(|cell| cell.contains(&border)));
+        t.remove_node(border);
+        assert!(
+            t.grid.members.iter().all(|cell| !cell.contains(&border)),
+            "removed mote must leave the spatial index in the same call"
+        );
+        for n in t.nodes() {
+            assert!(!t.neighbors(n).contains(&border));
+            assert_eq!(t.neighbors(n), neighbors_full_scan(&t, n));
+        }
+        // Idempotent: a second removal must not disturb anything.
+        t.remove_node(border);
+        assert_eq!(t.node_at(Location::new(1, 2)), Some(border));
+    }
+
+    #[test]
+    fn shard_map_is_balanced_and_contiguous() {
+        let t = Topology::grid(8, 8);
+        let map = t.shard_map(4);
+        assert_eq!(map.len(), 64);
+        for s in 0..4 {
+            let count = map.iter().filter(|&&m| m == s).count();
+            assert_eq!(count, 16, "shard {s} holds {count} of 64 nodes");
+        }
+        // Row-major cell walk ⇒ shard index is monotone in node id for a
+        // plain grid (ids are row-major too).
+        let mut sorted = map.clone();
+        sorted.sort_unstable();
+        assert_eq!(map, sorted);
+        // One shard degenerates to everything-in-shard-0.
+        assert!(t.shard_map(1).iter().all(|&s| s == 0));
+        // More shards than cells still yields a full, in-range assignment.
+        assert!(t.shard_map(1000).iter().all(|&s| s < 1000));
+    }
+
+    #[test]
+    fn num_cells_counts_occupied_cells() {
+        assert_eq!(Topology::grid(3, 3).num_cells(), 9);
+        let t = Topology::new(
+            vec![
+                Location::new(0, 0),
+                Location::new(3, 4),
+                Location::new(10, 0),
+            ],
+            Connectivity::Range(6.0),
+        );
+        // 6-unit cells: (0,0) and (3,4) share cell (0,0); (10,0) is in (1,0).
+        assert_eq!(t.num_cells(), 2);
+    }
+
     proptest! {
+        #[test]
+        fn prop_grid_neighbors_match_full_scan(
+            w in 2i16..7,
+            h in 2i16..7,
+            kill in 0u16..16,
+            sever in 0u16..16,
+        ) {
+            let mut t = Topology::grid(w, h);
+            let n = t.len() as u16;
+            t.remove_node(NodeId(kill % n));
+            t.drop_link(NodeId(sever % n), NodeId((sever + 1) % n));
+            for node in t.nodes() {
+                prop_assert_eq!(t.neighbors(node), neighbors_full_scan(&t, node));
+            }
+        }
+
+        #[test]
+        fn prop_range_neighbors_match_full_scan(
+            seed in 0u64..5_000,
+            count in 2usize..24,
+            radius in 1u8..12,
+        ) {
+            // Scatter nodes pseudo-randomly (deterministic per seed) and
+            // check the cell index against the full scan under Range
+            // connectivity, where fringe coverage is the risky part.
+            let mut s = seed;
+            let mut positions = Vec::new();
+            let mut taken = std::collections::BTreeSet::new();
+            while positions.len() < count {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 16) % 40) as i16;
+                let y = ((s >> 40) % 40) as i16;
+                if taken.insert((x, y)) {
+                    positions.push(Location::new(x, y));
+                }
+            }
+            let t = Topology::new(positions, Connectivity::Range(f64::from(radius)));
+            for node in t.nodes() {
+                prop_assert_eq!(t.neighbors(node), neighbors_full_scan(&t, node));
+            }
+        }
+
+        #[test]
+        fn prop_shard_map_covers_every_node(w in 2i16..7, h in 2i16..7, k in 1usize..9) {
+            let t = Topology::grid(w, h);
+            let map = t.shard_map(k);
+            prop_assert_eq!(map.len(), t.len());
+            for &s in &map {
+                prop_assert!(s < k);
+            }
+            // Balanced within one cell's worth of slack per boundary.
+            let total = t.len();
+            for s in 0..k {
+                let got = map.iter().filter(|&&m| m == s).count();
+                prop_assert!(
+                    got <= total / k + (total % k) + 1 + t.len() / t.num_cells(),
+                    "shard {} holds {} of {}", s, got, total
+                );
+            }
+        }
+
         #[test]
         fn prop_neighbor_relation_symmetric(w in 2i16..5, h in 2i16..5) {
             let t = Topology::grid(w, h);

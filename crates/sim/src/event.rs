@@ -285,6 +285,91 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// The next live event's `(timestamp, schedule-order, payload)` without
+    /// popping it or advancing the window.
+    ///
+    /// Like [`EventQueue::peek_time`] this never promotes wheel buckets into
+    /// the current bucket (the window-never-ahead-of-`now` invariant must
+    /// hold even when the caller decides not to pop), and stale entries
+    /// encountered at the head are reclaimed on the way. The schedule-order
+    /// value is the same total-order tiebreak `pop` uses, so two queues'
+    /// heads can be compared exactly: `(time, order)` of the returned peek
+    /// is precisely the key of the entry the next `pop` would deliver.
+    pub fn peek(&mut self) -> Option<(SimTime, u64, &E)> {
+        // Locate the head first (reclaiming stale entries on the way), then
+        // borrow it — the two phases keep the returned reference from
+        // overlapping the mutation the search needs.
+        enum Head {
+            Current,
+            Wheel(usize, usize),
+            Far,
+        }
+        // The current bucket is sorted and holds the window minimum when
+        // non-empty; drain stale entries off its front first.
+        loop {
+            match self.current.front() {
+                Some(e) if self.entry_live(e) => break,
+                Some(_) => {
+                    self.current.pop_front();
+                    self.tombstones -= 1;
+                }
+                None => break,
+            }
+        }
+        let mut head = if self.current.is_empty() {
+            None
+        } else {
+            Some(Head::Current)
+        };
+        if head.is_none() {
+            // The wheel: everything in occupied buckets is after the
+            // current bucket, and the lowest occupied bucket holds the
+            // minimum.
+            while let Some(b) = self.lowest_occupied() {
+                let slots = &self.slots;
+                let bucket = &mut self.wheel[b];
+                let before = bucket.len();
+                bucket.retain(|e| {
+                    let s = slots[e.slot as usize];
+                    s.pending && s.generation == e.generation
+                });
+                self.tombstones -= before - bucket.len();
+                if self.wheel[b].is_empty() {
+                    self.clear_occupied(b);
+                    continue;
+                }
+                let bucket = &self.wheel[b];
+                let mut best = 0;
+                for (i, e) in bucket.iter().enumerate().skip(1) {
+                    if (e.at, e.seq) < (bucket[best].at, bucket[best].seq) {
+                        best = i;
+                    }
+                }
+                head = Some(Head::Wheel(b, best));
+                break;
+            }
+        }
+        if head.is_none() {
+            // The far heap: every far entry is past the wheel horizon.
+            while let Some(Reverse(e)) = self.far.peek() {
+                if self.entry_live(e) {
+                    head = Some(Head::Far);
+                    break;
+                }
+                self.far.pop();
+                self.tombstones -= 1;
+            }
+        }
+        match head? {
+            Head::Current => self.current.front().map(|e| (e.at, e.seq, &e.payload)),
+            Head::Wheel(b, i) => {
+                let e = &self.wheel[b][i];
+                Some((e.at, e.seq, &e.payload))
+            }
+            Head::Far => self.far.peek().map(|Reverse(e)| (e.at, e.seq, &e.payload)),
+        }
+    }
+
     /// Whether no live events remain. Mutable because peeking discards
     /// cancelled tombstones (see [`EventQueue::peek_time`]).
     pub fn has_no_live_events(&mut self) -> bool {
@@ -519,6 +604,66 @@ mod tests {
     }
 
     #[test]
+    fn peek_reports_pop_key_without_promoting_the_window() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(5), "near");
+        q.schedule(SimTime::from_micros(500_000), "mid");
+        q.schedule(SimTime::from_micros(3_600_000_000), "far");
+        assert_eq!(
+            q.peek().map(|(t, _, e)| (t.as_micros(), *e)),
+            Some((5, "near"))
+        );
+        assert_eq!(q.pop().map(|(_, e)| e), Some("near"));
+        // The head is now in a future wheel bucket. Peeking must not promote
+        // it: an event scheduled after the peek but before the peeked head
+        // still pops first.
+        assert_eq!(
+            q.peek().map(|(t, _, e)| (t.as_micros(), *e)),
+            Some((500_000, "mid"))
+        );
+        q.schedule(SimTime::from_micros(400_000), "earlier");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("earlier"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("mid"));
+        // Same for a head that lives in the far heap.
+        assert_eq!(
+            q.peek().map(|(t, _, e)| (t.as_micros(), *e)),
+            Some((3_600_000_000, "far"))
+        );
+        q.schedule(SimTime::from_micros(600_000), "late");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("far"));
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn peek_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(1), "a");
+        q.schedule(SimTime::from_micros(2), "b");
+        let c = q.schedule(SimTime::from_micros(900_000), "c");
+        q.schedule(SimTime::from_micros(900_001), "d");
+        q.cancel(a);
+        assert_eq!(q.peek().map(|(_, _, e)| *e), Some("b"));
+        q.pop();
+        q.cancel(c);
+        assert_eq!(q.peek().map(|(_, _, e)| *e), Some("d"));
+    }
+
+    #[test]
+    fn peek_key_matches_pop_order_at_equal_times() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(7), "first");
+        q.schedule(SimTime::from_micros(7), "second");
+        let (t0, s0, _) = q.peek().map(|(t, s, e)| (t, s, *e)).unwrap();
+        let first = q.pop().unwrap();
+        let (t1, s1, _) = q.peek().map(|(t, s, e)| (t, s, *e)).unwrap();
+        assert_eq!((t0, first.0, t1), (first.0, t1, SimTime::from_micros(7)));
+        assert!(s0 < s1, "schedule order must be the FIFO tiebreak");
+        assert_eq!(first.1, "first");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("second"));
+    }
+
+    #[test]
     fn far_future_events_cross_the_wheel_horizon() {
         let mut q = EventQueue::new();
         // Beyond one window (262 ms), into the far heap, plus a near event.
@@ -637,6 +782,14 @@ mod tests {
                 .min()
                 .map(|(at, _)| at)
         }
+
+        fn peek(&self) -> Option<(u64, &E)> {
+            self.entries
+                .iter()
+                .filter(|e| e.2)
+                .min_by_key(|e| (e.0, e.1))
+                .map(|e| (e.0, e.3.as_ref().expect("payload")))
+        }
     }
 
     proptest! {
@@ -717,6 +870,10 @@ mod tests {
                     }
                     _ => {
                         prop_assert_eq!(q.peek_time().map(SimTime::as_micros), m.peek_time());
+                        prop_assert_eq!(
+                            q.peek().map(|(t, _, e)| (t.as_micros(), *e)),
+                            m.peek().map(|(t, e)| (t, *e))
+                        );
                         let got = q.pop();
                         let want = m.pop();
                         prop_assert_eq!(

@@ -13,6 +13,10 @@
 //!   is exact for the paper's measurements).
 //! * [`EventQueue`] — a cancellable priority queue with deterministic FIFO
 //!   tie-breaking for simultaneous events.
+//! * [`ShardedQueue`] — K per-shard [`EventQueue`]s behind an exact
+//!   deterministic merge with a conservative lookahead window, so one giant
+//!   scenario can partition its timeline spatially without changing a single
+//!   pop relative to the unsharded queue.
 //! * [`rng::RngStream`] — named, independently-seeded random streams, so that
 //!   (for example) radio loss draws do not perturb workload draws.
 //! * [`trace::Tracer`] — a bounded structured trace used by tests and benches.
@@ -39,11 +43,13 @@
 pub mod event;
 pub mod metrics;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue};
 pub use metrics::{CounterId, LatencyRecorder, Metrics};
 pub use rng::RngStream;
+pub use shard::{ShardEventId, ShardedQueue};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceRecord, Tracer};

@@ -1,0 +1,417 @@
+//! Spatially sharded event queues with a deterministic cross-shard merge.
+//!
+//! [`ShardedQueue`] partitions one logical discrete-event timeline across K
+//! per-shard [`EventQueue`]s (in the simulator, one shard per contiguous run
+//! of radio grid cells). Every event carries a *global* schedule-order
+//! stamp, and `pop` performs an exact K-way merge by `(time, order)` — so a
+//! sharded queue pops the very same total order a single [`EventQueue`]
+//! would, at any shard count. That equivalence is the determinism contract
+//! the figure byte-diffs rest on: sharding changes where events wait, never
+//! when or in which order they fire.
+//!
+//! Cross-shard traffic is queue-to-queue: scheduling an event owned by
+//! another shard simply inserts into that shard's calendar queue with the
+//! next global stamp. The merge itself is windowed by a conservative
+//! *lookahead* (in the simulator, the minimum frame air time — no frame can
+//! cross shards faster than that): only shards whose next event falls
+//! inside `[window start, window start + lookahead)` join the active merge
+//! set, and the window re-opens when the set drains. The window is a pure
+//! working-set optimization (a timeslice barrier): shards idle beyond the
+//! lookahead horizon are not examined on every pop, but the pop order is
+//! provably identical whatever the window size.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to an event scheduled on a [`ShardedQueue`], usable for
+/// cancellation. Wraps the owning shard's [`EventId`] with the shard index
+/// so cancellation routes straight to the right calendar queue.
+///
+/// A single-queue engine can wrap its plain [`EventId`]s with
+/// [`ShardEventId::solo`] so timer bookkeeping shares one handle type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardEventId {
+    shard: u32,
+    id: EventId,
+}
+
+impl ShardEventId {
+    /// A handle on shard 0 — the single-queue (unsharded) case.
+    pub fn solo(id: EventId) -> Self {
+        ShardEventId { shard: 0, id }
+    }
+
+    /// The owning shard's index.
+    pub fn shard(self) -> usize {
+        self.shard as usize
+    }
+
+    /// The handle within the owning shard's queue.
+    pub fn id(self) -> EventId {
+        self.id
+    }
+}
+
+/// K per-shard calendar queues merged into one deterministic timeline.
+///
+/// See the [module docs](self) for the design. The API mirrors
+/// [`EventQueue`] except that `schedule` names the owning shard.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::{ShardedQueue, SimDuration, SimTime};
+///
+/// let mut q = ShardedQueue::new(2, SimDuration::from_micros(100));
+/// q.schedule(1, SimTime::from_micros(20), "remote");
+/// q.schedule(0, SimTime::from_micros(10), "local");
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "local")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(20), "remote")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct ShardedQueue<E> {
+    /// Per-shard calendar queues; payloads carry the global schedule stamp.
+    shards: Vec<EventQueue<(u64, E)>>,
+    /// Next global schedule-order stamp (the cross-shard FIFO tiebreak).
+    next_stamp: u64,
+    /// Global clock: timestamp of the most recently popped event.
+    now: SimTime,
+    /// Conservative merge window width, µs (clamped to at least 1).
+    lookahead_us: u64,
+    /// Exclusive end of the current merge window.
+    window_end: SimTime,
+    /// Shards whose head falls inside the window, keyed by that head's
+    /// `(time, stamp)`. Entries are validated lazily against the shard's
+    /// actual head on surfacing; stale ones (the head was popped, cancelled,
+    /// or displaced by a newer earlier event) are discarded and replaced.
+    active: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+}
+
+impl<E> ShardedQueue<E> {
+    /// Creates a queue of `shards` empty per-shard timelines synchronized
+    /// with the given `lookahead` window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, lookahead: SimDuration) -> Self {
+        assert!(shards > 0, "a sharded queue needs at least one shard");
+        ShardedQueue {
+            shards: (0..shards).map(|_| EventQueue::new()).collect(),
+            next_stamp: 0,
+            now: SimTime::ZERO,
+            lookahead_us: lookahead.as_micros().max(1),
+            window_end: SimTime::ZERO,
+            active: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global virtual clock: timestamp of the most recent pop.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events popped per shard, in shard order — the work-distribution
+    /// report for a sharded engine run.
+    pub fn dispatched_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(EventQueue::dispatched).collect()
+    }
+
+    /// Total events popped across all shards.
+    pub fn dispatched(&self) -> u64 {
+        self.shards.iter().map(EventQueue::dispatched).sum()
+    }
+
+    /// Physical entries held across all shards (live + tombstoned).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(EventQueue::len).sum()
+    }
+
+    /// Whether no physical entries remain anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` on `shard` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to the *global* clock before the
+    /// event reaches the shard queue — a shard that has not popped recently
+    /// lags behind `now`, and its local clamp alone would let an event fire
+    /// before already-dispatched ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn schedule(&mut self, shard: usize, at: SimTime, payload: E) -> ShardEventId {
+        let at = at.max(self.now);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let id = self.shards[shard].schedule(at, (stamp, payload));
+        if at < self.window_end {
+            self.active.push(Reverse((at, stamp, shard)));
+        }
+        ShardEventId {
+            shard: shard as u32,
+            id,
+        }
+    }
+
+    /// Cancels a scheduled event. Returns `true` if it had not yet fired or
+    /// been cancelled. Any merge-set entry it had goes stale and is
+    /// discarded lazily.
+    pub fn cancel(&mut self, id: ShardEventId) -> bool {
+        self.shards[id.shard()].cancel(id.id)
+    }
+
+    /// Timestamp of the next event in the merged timeline, without popping.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.settle_head().map(|(at, _, _)| at)
+    }
+
+    /// Pops the globally next event: minimum `(time, schedule stamp)` over
+    /// every shard — exactly the order one unsharded queue would pop.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (at, _, shard) = self.settle_head()?;
+        self.active.pop();
+        let (popped_at, (_, payload)) = self.shards[shard].pop().expect("validated head");
+        debug_assert_eq!(popped_at, at);
+        self.now = at;
+        // Keep the merge-set invariant: a shard whose (new) head is inside
+        // the window is always represented.
+        if let Some((t, _, &(s, _))) = self.shards[shard].peek() {
+            if t < self.window_end {
+                self.active.push(Reverse((t, s, shard)));
+            }
+        }
+        Some((at, payload))
+    }
+
+    /// Validates merge-set entries until the top is the true global head,
+    /// opening a fresh window whenever the active set drains. Returns the
+    /// head's `(time, stamp, shard)` or `None` when every shard is empty.
+    fn settle_head(&mut self) -> Option<(SimTime, u64, usize)> {
+        loop {
+            let Some(&Reverse((at, stamp, shard))) = self.active.peek() else {
+                if !self.open_window() {
+                    return None;
+                }
+                continue;
+            };
+            match self.shards[shard].peek() {
+                Some((t, _, &(s, _))) if t == at && s == stamp => {
+                    return Some((at, stamp, shard));
+                }
+                head => {
+                    // Stale: the represented head fired, was cancelled, or
+                    // was displaced. Drop the entry and re-represent the
+                    // shard's real head if it is inside the window.
+                    let head = head.map(|(t, _, &(s, _))| (t, s));
+                    self.active.pop();
+                    if let Some((t, s)) = head {
+                        if t < self.window_end {
+                            self.active.push(Reverse((t, s, shard)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-anchors the merge window at the earliest head across all shards
+    /// and admits every shard whose head falls inside it. Returns `false`
+    /// when no live events remain anywhere.
+    fn open_window(&mut self) -> bool {
+        let mut min_at: Option<SimTime> = None;
+        for q in &mut self.shards {
+            if let Some((t, _, _)) = q.peek() {
+                min_at = Some(min_at.map_or(t, |m: SimTime| m.min(t)));
+            }
+        }
+        let Some(start) = min_at else {
+            return false;
+        };
+        self.window_end = start + SimDuration::from_micros(self.lookahead_us);
+        debug_assert!(self.window_end > start, "window must admit its anchor");
+        for (i, q) in self.shards.iter_mut().enumerate() {
+            if let Some((t, _, &(s, _))) = q.peek() {
+                if t < self.window_end {
+                    self.active.push(Reverse((t, s, i)));
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn us(t: u64) -> SimTime {
+        SimTime::from_micros(t)
+    }
+
+    #[test]
+    fn merges_across_shards_in_time_order() {
+        let mut q = ShardedQueue::new(3, SimDuration::from_micros(50));
+        q.schedule(2, us(30), "c");
+        q.schedule(0, us(10), "a");
+        q.schedule(1, us(20), "b");
+        assert_eq!(q.pop(), Some((us(10), "a")));
+        assert_eq!(q.pop(), Some((us(20), "b")));
+        assert_eq!(q.pop(), Some((us(30), "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), us(30));
+    }
+
+    #[test]
+    fn equal_times_pop_in_global_schedule_order_across_shards() {
+        let mut q = ShardedQueue::new(4, SimDuration::from_micros(10));
+        for i in 0..32u64 {
+            q.schedule((i % 4) as usize, us(7), i);
+        }
+        for i in 0..32u64 {
+            assert_eq!(q.pop(), Some((us(7), i)), "stamp order broken at {i}");
+        }
+    }
+
+    #[test]
+    fn events_beyond_the_window_are_not_missed() {
+        // Heads 1000 µs apart with a 10 µs lookahead: the far shard sits out
+        // of the merge set until the window re-opens at its head.
+        let mut q = ShardedQueue::new(2, SimDuration::from_micros(10));
+        q.schedule(0, us(5), "near");
+        q.schedule(1, us(1_005), "far");
+        assert_eq!(q.pop(), Some((us(5), "near")));
+        assert_eq!(q.peek_time(), Some(us(1_005)));
+        assert_eq!(q.pop(), Some((us(1_005), "far")));
+    }
+
+    #[test]
+    fn schedule_inside_open_window_joins_the_merge_set() {
+        let mut q = ShardedQueue::new(2, SimDuration::from_micros(100));
+        q.schedule(0, us(10), "first");
+        assert_eq!(q.peek_time(), Some(us(10))); // window now [10, 110)
+        q.schedule(1, us(5), "sneak"); // clamped ≥ now (= 0), inside window
+        assert_eq!(q.pop(), Some((us(5), "sneak")));
+        assert_eq!(q.pop(), Some((us(10), "first")));
+    }
+
+    #[test]
+    fn cancelled_head_is_skipped_and_replaced() {
+        let mut q = ShardedQueue::new(2, SimDuration::from_micros(100));
+        let a = q.schedule(0, us(10), "a");
+        q.schedule(0, us(20), "a2");
+        q.schedule(1, us(15), "b");
+        assert_eq!(q.peek_time(), Some(us(10)));
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.pop(), Some((us(15), "b")));
+        assert_eq!(q.pop(), Some((us(20), "a2")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_the_global_clock() {
+        let mut q = ShardedQueue::new(2, SimDuration::from_micros(100));
+        q.schedule(0, us(500), "tick");
+        assert_eq!(q.pop(), Some((us(500), "tick")));
+        // Shard 1 has never popped; its local clock is 0. The global clamp
+        // must still hold the event at 500.
+        q.schedule(1, us(3), "late");
+        assert_eq!(q.pop(), Some((us(500), "late")));
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_queue_order() {
+        let mut sharded = ShardedQueue::new(1, SimDuration::from_micros(1));
+        let mut plain = EventQueue::new();
+        let times = [40u64, 12, 12, 99, 3, 40, 7, 3];
+        for (i, t) in times.iter().enumerate() {
+            sharded.schedule(0, us(*t), i);
+            plain.schedule(us(*t), i);
+        }
+        loop {
+            let a = sharded.pop();
+            let b = plain.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_per_shard_reports_work_distribution() {
+        let mut q = ShardedQueue::new(3, SimDuration::from_micros(10));
+        for i in 0..6u64 {
+            q.schedule(0, us(i), i);
+        }
+        q.schedule(2, us(100), 99u64);
+        while q.pop().is_some() {}
+        assert_eq!(q.dispatched_per_shard(), vec![6, 0, 1]);
+        assert_eq!(q.dispatched(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedQueue::<()>::new(0, SimDuration::from_micros(1));
+    }
+
+    proptest! {
+        /// The determinism contract, exercised op-for-op: whatever the shard
+        /// count, the lookahead width, and the shard each event is routed
+        /// to, a sharded queue pops the exact `(time, schedule order)` total
+        /// order of one plain [`EventQueue`], with cancellation mixed in.
+        #[test]
+        fn prop_equivalent_to_single_queue(
+            shards in 1usize..6,
+            lookahead in prop_oneof![Just(1u64), Just(50), Just(5_000)],
+            ops in proptest::collection::vec((0u8..4, 0u64..2_000_000, 0u64..64), 1..250),
+        ) {
+            let mut q = ShardedQueue::new(shards, SimDuration::from_micros(lookahead));
+            let mut r = EventQueue::new();
+            let mut ids: Vec<(ShardEventId, EventId)> = Vec::new();
+            for (op, t, route) in ops {
+                match op {
+                    0 | 3 => {
+                        let shard = (route as usize) % shards;
+                        let a = q.schedule(shard, us(t), t);
+                        let b = r.schedule(us(t), t);
+                        ids.push((a, b));
+                    }
+                    1 => {
+                        if !ids.is_empty() {
+                            let (a, b) = ids[(t as usize) % ids.len()];
+                            prop_assert_eq!(q.cancel(a), r.cancel(b));
+                        }
+                    }
+                    _ => {
+                        prop_assert_eq!(q.peek_time(), r.peek_time());
+                        prop_assert_eq!(q.pop(), r.pop());
+                    }
+                }
+            }
+            loop {
+                let a = q.pop();
+                let b = r.pop();
+                let done = a.is_none();
+                prop_assert_eq!(a, b);
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+}
