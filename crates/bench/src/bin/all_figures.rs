@@ -34,9 +34,10 @@ fn main() {
         &[]
     };
     // The binary list extends the historical one with fig_mix (PR 5's
-    // multi-application family; fig_energy stays a standalone family) and
-    // fig_scale (PR 7's sharded-engine scale family); EXPERIMENTS.md
-    // records wall clocks per list revision.
+    // multi-application family; fig_energy stays a standalone family),
+    // fig_scale (PR 7's sharded-engine scale family), and fig_tenancy
+    // (PR 8's multi-tenancy family); EXPERIMENTS.md records wall clocks
+    // per list revision.
     let with_threads = |t: &str| [std::slice::from_ref(&t.to_string()), threaded].concat();
     let mix_trials = if args.quick { "5" } else { "20" }.to_string();
     let mut scale_args = with_threads(if args.quick { "2" } else { "3" });
@@ -44,11 +45,14 @@ fn main() {
     if args.quick {
         scale_args.push("--quick".into());
     }
-    match args.shards {
+    let shard_flags = |extra: &mut Vec<String>| match args.shards {
         agilla::Shards::Serial => {}
-        agilla::Shards::Auto => scale_args.extend(["--shards".into(), "auto".into()]),
-        agilla::Shards::Fixed(n) => scale_args.extend(["--shards".into(), n.to_string()]),
-    }
+        agilla::Shards::Auto => extra.extend(["--shards".into(), "auto".into()]),
+        agilla::Shards::Fixed(n) => extra.extend(["--shards".into(), n.to_string()]),
+    };
+    shard_flags(&mut scale_args);
+    let mut tenancy_args = with_threads(&mix_trials);
+    shard_flags(&mut tenancy_args);
     let bins: Vec<(&str, Vec<String>)> = vec![
         ("fig9_reliability", with_threads(&trials)),
         ("fig10_latency", with_threads(&trials)),
@@ -56,6 +60,7 @@ fn main() {
         ("fig12_local_ops", no_wall.to_vec()),
         ("fig_mix", with_threads(&mix_trials)),
         ("fig_scale", scale_args),
+        ("fig_tenancy", tenancy_args),
         ("table_memory", vec![]),
         ("mate_comparison", vec![]),
         ("ablation_migration", with_threads(&ablation)),

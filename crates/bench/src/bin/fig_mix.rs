@@ -17,7 +17,7 @@
 //! SimEngine executor; stdout is byte-identical at any thread count.
 
 use agilla::AgillaConfig;
-use agilla_bench::{fig_mix, fig_mix_loss_ramp, BenchArgs, Table, TrialExecutor};
+use agilla_bench::{fig_mix, fig_mix_loss_ramp, BenchArgs, Json, Table, TrialExecutor};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -107,5 +107,49 @@ fn main() {
         worst.migrations <= clean.migrations && worst.remote_ok <= clean.remote_ok,
         ramp.iter().all(|r| r.migrations > 0),
     );
+
+    let artifact = Json::obj([
+        ("family", Json::str("fig_mix")),
+        ("trials", Json::int(u64::from(trials))),
+        (
+            "rates",
+            Json::arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("rate_per_s", Json::num(r.rate_per_s)),
+                            ("injected", Json::int(r.injected)),
+                            ("rejected", Json::int(r.rejected)),
+                            ("migrations", Json::int(r.migrations)),
+                            ("remote_ok", Json::int(r.remote_ok)),
+                            ("halted", Json::int(r.halted)),
+                            ("frames_per_trial", Json::num(r.frames_per_trial)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "loss_ramp",
+            Json::arr(
+                ramp.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("loss", Json::num(r.loss)),
+                            ("injected", Json::int(r.injected)),
+                            ("migrations", Json::int(r.migrations)),
+                            ("mig_retx", Json::int(r.mig_retx)),
+                            ("remote_ok", Json::int(r.remote_ok)),
+                            ("halted", Json::int(r.halted)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match agilla_bench::write_artifact("fig_mix", &artifact) {
+        Ok(path) => eprintln!("fig_mix: wrote {}", path.display()),
+        Err(e) => eprintln!("fig_mix: artifact not written: {e}"),
+    }
     engine.report("fig_mix");
 }

@@ -8,9 +8,12 @@
 //! the same `TrialSpec` step script the figures always ran, the port from
 //! hand-written step scripts changed no output byte.
 
-use agilla::scenario::{AppMix, AppSpec, OneShot, Periodic, Perturbation, ScenarioSpec};
+use agilla::scenario::{AppMix, AppSpec, OneShot, Periodic, Perturbation, Poisson, ScenarioSpec};
 use agilla::workload;
-use agilla::{AgillaConfig, AgillaNetwork, EnergyConfig, Environment, FireModel, Testbed};
+use agilla::{
+    AgillaConfig, AgillaNetwork, AppId, AppProfile, AppQuota, EnergyConfig, Environment, FireModel,
+    Priority, Shards, TenantApp, Testbed,
+};
 use agilla_vm::exec::{run_to_effect, StepResult, TestHost};
 use agilla_vm::isa::{CostModel, Opcode};
 use agilla_vm::{asm, AgentState};
@@ -895,7 +898,7 @@ pub fn fig_mix(trials: u32, base_seed: u64, config: &AgillaConfig, threads: usiz
             net.metrics().counter("radio.frames_sent") - net.metrics().counter("radio.beacons");
         MixOutcome {
             injected: trial.agents.len() as u64,
-            rejected: u64::from(trial.rejected),
+            rejected: u64::from(trial.rejected.total()),
             remote_ok,
             halted,
             frames,
@@ -1004,7 +1007,7 @@ pub fn fig_mix_loss_ramp(
         }
         MixOutcome {
             injected: trial.agents.len() as u64,
-            rejected: u64::from(trial.rejected),
+            rejected: u64::from(trial.rejected.total()),
             remote_ok,
             halted,
             frames: 0,
@@ -1038,6 +1041,138 @@ pub fn fig_mix_loss_ramp(
             row.migrations = fold.counter("migration.arrived");
             row.mig_retx = fold.counter("migration.retx");
             row
+        })
+        .collect()
+}
+
+// --- fig_tenancy: per-app quotas, allocation, and priority preemption ------
+
+/// One application's row in the fig_tenancy SLO table, summed (counters)
+/// or folded (latency histograms) across trials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenancyRow {
+    /// App label, e.g. `app01 habitat`.
+    pub app: String,
+    /// Priority class the app registered with.
+    pub priority: &'static str,
+    /// Arrivals admitted (`tenancy.appNN.injected`), summed across trials.
+    pub admitted: u64,
+    /// Arrivals refused — quota, no slot, or unregistered after an
+    /// allocation rejection (`tenancy.appNN.rejected`).
+    pub rejected: u64,
+    /// Resident agents evicted by a higher-priority arrival
+    /// (`tenancy.appNN.evicted`).
+    pub evicted: u64,
+    /// Agents that ran to completion (`tenancy.appNN.completed`).
+    pub completed: u64,
+    /// Injection-to-halt latency p50, ms (histogram bucket upper bound).
+    pub p50_ms: Option<u64>,
+    /// Injection-to-halt latency p95, ms.
+    pub p95_ms: Option<u64>,
+    /// Injection-to-halt latency p99, ms.
+    pub p99_ms: Option<u64>,
+}
+
+/// The fig_tenancy application set: `(id, name, priority label)` in
+/// registration order. Shared by the harness fold and the table printer.
+const TENANCY_APPS: [(u16, &str, &str); 4] = [
+    (1, "habitat", "low"),
+    (2, "telemetry", "normal"),
+    (3, "fire", "high"),
+    (4, "bulk", "normal"),
+];
+
+/// Builds one fig_tenancy scenario: four tenant applications sharing the
+/// lossy 5×5 testbed through the base station, exercising each tenancy
+/// mechanism.
+///
+/// * **habitat** (low priority, 2 agent slots per mote): Poisson sleeper
+///   arrivals — the per-mote quota sheds roughly half the offered load,
+///   and its residents are the preemption victims.
+/// * **telemetry** (normal): periodic remote-`out` agents — short-lived
+///   work whose latency the SLO table tracks.
+/// * **fire** (high priority): a burst of sleeper arrivals from t = 10 s
+///   hits the already-full base mote and preempts lower-priority
+///   residents instead of being turned away.
+/// * **bulk** (normal): a long straight-line program whose static cost
+///   bound exceeds every region's capacity — the base-station allocator
+///   leaves it unregistered, so all of its arrivals are refused.
+fn fig_tenancy_scenario(bed: &Testbed, seed_mix: u64) -> ScenarioSpec {
+    const HORIZON: SimDuration = SimDuration::from_micros(30_000_000);
+    // One sleep tick is 1/8 s: a 32-tick sleeper occupies its slot for
+    // 4 s, then halts — long enough to contend, short enough to complete
+    // within the 30 s horizon.
+    let sleeper = "pushcl 32\nsleep\nhalt";
+    let bulk = "pushc 1\npop\n".repeat(60) + "halt";
+    bed.scenario(seed_mix)
+        .tenant(TenantApp::new(
+            AppProfile::new(AppId(1), "habitat")
+                .priority(Priority::Low)
+                .quota(AppQuota::new(2, 400, u64::MAX)),
+            Poisson::new(1.5, sleeper),
+        ))
+        .tenant(TenantApp::new(
+            AppProfile::new(AppId(2), "telemetry"),
+            Periodic::at_base(
+                SimDuration::from_micros(2_000_000),
+                10,
+                workload::rout_test_agent(Location::new(3, 2)),
+            ),
+        ))
+        .tenant(TenantApp::new(
+            AppProfile::new(AppId(3), "fire").priority(Priority::High),
+            Periodic::at_base(SimDuration::from_micros(1_000_000), 10, sleeper)
+                .starting_at(SimDuration::from_micros(10_000_000)),
+        ))
+        .tenant(TenantApp::new(AppProfile::new(AppId(4), "bulk"), {
+            Periodic::at_base(SimDuration::from_micros(2_000_000), 8, bulk)
+        }))
+        .allocate_apps(2, 40)
+        .horizon(HORIZON)
+}
+
+/// Runs the multi-tenancy SLO experiment (fig_tenancy): `trials`
+/// independent 30 s four-app scenarios on the lossy testbed, fanned
+/// across `threads` workers (and optionally the sharded engine), folded
+/// into one row per application. Counters sum across trials; latency
+/// histograms merge, so the percentiles describe the whole population.
+pub fn fig_tenancy(
+    trials: u32,
+    base_seed: u64,
+    config: &AgillaConfig,
+    threads: usize,
+    shards: Shards,
+) -> Vec<TenancyRow> {
+    let bed = Testbed::lossy_5x5(config.clone(), base_seed);
+    let items: Vec<ScenarioSpec> = (0..trials)
+        .map(|t| fig_tenancy_scenario(&bed, u64::from(t) * 524_287).shards(shards))
+        .collect();
+    let outcomes = run_trials_parallel(&items, threads, |spec| {
+        let mut trial = spec.execute();
+        trial.net.take_metrics()
+    });
+    // Fold in spec order — deterministic at any thread count.
+    let mut fold = Metrics::new();
+    for m in &outcomes {
+        fold.merge(m);
+    }
+    TENANCY_APPS
+        .iter()
+        .map(|&(id, name, priority)| {
+            let id = AppId(id);
+            let c = |k: &str| fold.counter(&format!("tenancy.{id}.{k}"));
+            let h = fold.histogram(&format!("tenancy.{id}.latency_ms"));
+            TenancyRow {
+                app: format!("{id} {name}"),
+                priority,
+                admitted: c("injected"),
+                rejected: c("rejected"),
+                evicted: c("evicted"),
+                completed: c("completed"),
+                p50_ms: h.and_then(|h| h.percentile(0.50)),
+                p95_ms: h.and_then(|h| h.percentile(0.95)),
+                p99_ms: h.and_then(|h| h.percentile(0.99)),
+            }
         })
         .collect()
 }
@@ -1153,6 +1288,44 @@ mod tests {
         assert!(rows.iter().all(|r| r.halted > 0));
         assert!(rows.iter().any(|r| r.migrations > 0));
         assert!(rows.iter().any(|r| r.remote_ok > 0));
+    }
+
+    #[test]
+    fn fig_tenancy_enforces_quotas_allocation_and_preemption() {
+        let rows = fig_tenancy(2, 0xF1A, &AgillaConfig::default(), 1, Shards::Serial);
+        assert_eq!(rows.len(), 4);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.app.ends_with(name))
+                .unwrap_or_else(|| panic!("no row for {name}"))
+        };
+        let (habitat, telemetry, fire, bulk) =
+            (get("habitat"), get("telemetry"), get("fire"), get("bulk"));
+        // The per-mote quota sheds habitat load without starving it.
+        assert!(habitat.admitted > 0 && habitat.rejected > 0);
+        // High priority preempts low: habitat loses residents, fire never
+        // does (nothing outranks it).
+        assert!(habitat.evicted > 0, "{habitat:?}");
+        assert_eq!(fire.evicted, 0);
+        assert!(fire.admitted > 0);
+        // The allocator refused bulk outright: every arrival rejected.
+        assert_eq!(bulk.admitted, 0);
+        assert_eq!(bulk.rejected, 2 * 8, "8 arrivals per trial, 2 trials");
+        assert_eq!(bulk.completed, 0);
+        // Admitted apps complete work and report latency percentiles.
+        for r in [habitat, telemetry, fire] {
+            assert!(r.completed > 0, "{r:?}");
+            assert!(r.p50_ms.is_some() && r.p99_ms >= r.p50_ms, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig_tenancy_identical_across_threads_and_shards() {
+        let serial = fig_tenancy(2, 7, &AgillaConfig::default(), 1, Shards::Serial);
+        let threaded = fig_tenancy(2, 7, &AgillaConfig::default(), 4, Shards::Serial);
+        let sharded = fig_tenancy(2, 7, &AgillaConfig::default(), 2, Shards::Fixed(2));
+        assert_eq!(serial, threaded);
+        assert_eq!(serial, sharded);
     }
 
     #[test]

@@ -21,8 +21,9 @@ pub use cli::BenchArgs;
 pub use engine::{run_trials_parallel, TrialExecutor};
 pub use harness::{
     fig11_one_hop, fig12_local_ops, fig12_local_ops_opts, fig9_fig10, fig_energy_agents_alive,
-    fig_energy_lifetime, fig_energy_per_op, fig_mix, fig_mix_loss_ramp, AliveSample, EnergyOpRow,
-    Fig11Row, Fig12Row, HopResult, LifetimeRow, LossRampRow, MixRow, RemoteOpKind,
+    fig_energy_lifetime, fig_energy_per_op, fig_mix, fig_mix_loss_ramp, fig_tenancy, AliveSample,
+    EnergyOpRow, Fig11Row, Fig12Row, HopResult, LifetimeRow, LossRampRow, MixRow, RemoteOpKind,
+    TenancyRow,
 };
 pub use report::Table;
 pub use scale::{fig_scale, shard_distribution_line, ScaleRow};

@@ -5,15 +5,47 @@ use std::fmt;
 
 use agilla_vm::VmError;
 
+/// Why an admission attempt was refused, as a typed reason.
+///
+/// The display strings are stable — figure harnesses and tracer lines
+/// show them verbatim — so the typed classification rides on top of the
+/// historical messages rather than replacing them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AdmissionReason {
+    /// The target node has no free agent slot or code blocks.
+    NoSlots,
+    /// The owning application's per-mote quota refused another agent.
+    QuotaExceeded,
+    /// The target node is dead.
+    DeadMote,
+}
+
+impl AdmissionReason {
+    /// The stable human-readable reason string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdmissionReason::NoSlots => "no agent slot or code blocks free",
+            AdmissionReason::QuotaExceeded => "app quota exceeded",
+            AdmissionReason::DeadMote => "node is dead",
+        }
+    }
+}
+
+impl fmt::Display for AdmissionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Errors surfaced by the Agilla middleware API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AgillaError {
     /// Agent assembly or construction failed.
     BadAgent(String),
-    /// The target node has no free agent slot or code blocks.
+    /// The target node refused to admit the agent.
     Admission {
         /// Why admission failed.
-        reason: &'static str,
+        reason: AdmissionReason,
     },
     /// A location did not resolve to any node (within ε).
     UnknownLocation(String),
@@ -75,9 +107,17 @@ mod tests {
     #[test]
     fn display_and_source() {
         let e = AgillaError::Admission {
-            reason: "no free slot",
+            reason: AdmissionReason::NoSlots,
         };
-        assert_eq!(e.to_string(), "admission refused: no free slot");
+        assert_eq!(
+            e.to_string(),
+            "admission refused: no agent slot or code blocks free"
+        );
+        assert_eq!(AdmissionReason::DeadMote.to_string(), "node is dead");
+        assert_eq!(
+            AdmissionReason::QuotaExceeded.to_string(),
+            "app quota exceeded"
+        );
         let e: AgillaError = VmError::StackOverflow.into();
         assert!(e.source().is_some());
         assert!(AgillaError::BadAgent("x".into()).source().is_none());

@@ -62,14 +62,18 @@ pub mod testbed;
 pub mod wire;
 pub mod workload;
 
+pub use agilla_analysis::CostBounds;
+pub use agilla_tenancy::{
+    Allocator, AppId, AppProfile, AppQuota, Decision, Priority, QuotaError, QuotaLedger,
+};
 pub use config::{AgillaConfig, EnergyConfig, Shards, TimingModel};
 pub use env::{Environment, FieldModel, FireModel};
-pub use error::AgillaError;
+pub use error::{AdmissionReason, AgillaError};
 pub use memory::MemoryModel;
 pub use network::AgillaNetwork;
 pub use node::{AgentStatus, Node};
 pub use scenario::{
     AppMix, AppSpec, Arrival, InjectionSite, OneShot, Periodic, Perturbation, Poisson,
-    ScenarioSpec, ScheduledEvent, TrafficGen,
+    ScenarioSpec, ScheduledEvent, TenantApp, TrafficGen,
 };
-pub use testbed::{Testbed, TopologySpec, Trial, TrialSpec, TrialStep};
+pub use testbed::{Rejections, Testbed, TopologySpec, Trial, TrialSpec, TrialStep};

@@ -96,9 +96,17 @@ impl AgillaNetwork {
             )
         } else {
             let slot = self.nodes[idx].evict(slot_idx).expect("migrating slot");
+            // The mover's slot charge here is released now; the app is
+            // re-charged wherever the agent next lands (or the mapping is
+            // dropped if the image is lost).
+            self.tenancy_release_slot(idx, slot.agent.id());
             let image = MigrationImage::package(&slot.agent, kind, dest, reactions);
             (image, Some(slot.agent), None)
         };
+        // Travelling clones inherit the parent's application.
+        if kind.is_clone() {
+            self.tenancy_inherit(owner, image.agent_id);
+        }
 
         self.tracer
             .record_with(now, Some(node_id), "migrate.start", || {
@@ -125,7 +133,11 @@ impl AgillaNetwork {
             }
             copy.set_condition(1);
             let admitted = self.nodes[idx].can_admit(copy.code().len(), &self.config)
+                && self.tenancy_charge_slot(idx, owner)
                 && self.nodes[idx].admit(copy).is_some();
+            if admitted {
+                self.tenancy_inherit(owner, new_id);
+            }
             // Clone reactions for strong local clones.
             if admitted && kind.is_strong() {
                 let cloned: Vec<Reaction> = self.nodes[idx]
@@ -474,7 +486,10 @@ impl AgillaNetwork {
         let node_id = self.nodes[idx].id;
         let agent_id = image.agent_id;
         if let Some(slot_idx) = origin_slot {
-            // Clone original: resume with condition 0.
+            // Clone original: resume with condition 0. The travelling copy
+            // is dropped — it never held a slot charge, so only its app
+            // mapping goes.
+            self.tenancy_forget_mapping(agent_id);
             if let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() {
                 if slot.status == AgentStatus::InMigration {
                     slot.agent.set_condition(0);
@@ -504,6 +519,7 @@ impl AgillaNetwork {
             ) {
                 Ok((a, _)) => a,
                 Err(_) => {
+                    self.tenancy_forget_mapping(agent_id);
                     self.tracer
                         .record_with(now, Some(node_id), "migrate.lost", || format!("{agent_id}"));
                     self.log.push(OpRecord::MigrationFailed {
@@ -525,7 +541,9 @@ impl AgillaNetwork {
             node: node_id,
             at: now,
         });
-        if self.nodes[idx].can_admit(agent.code().len(), &self.config) {
+        if self.nodes[idx].can_admit(agent.code().len(), &self.config)
+            && self.tenancy_charge_slot(idx, agent_id)
+        {
             let reactions = image.reactions.clone();
             self.nodes[idx].admit(agent);
             for r in reactions {
@@ -533,6 +551,7 @@ impl AgillaNetwork {
             }
             self.schedule_engine(idx, now, SimDuration::ZERO);
         } else {
+            self.tenancy_forget_mapping(agent_id);
             self.tracer
                 .record_with(now, Some(node_id), "migrate.lost", || {
                     format!("{agent_id}: no room to resume")
@@ -835,7 +854,12 @@ impl AgillaNetwork {
             let restore =
                 SimDuration::from_micros(self.config.timing.migration_receiver_restore_us);
             let agent_id = agent.id();
-            if !self.nodes[idx].can_admit(agent.code().len(), &self.config) {
+            if !self.nodes[idx].can_admit(agent.code().len(), &self.config)
+                || !self.tenancy_charge_slot(idx, agent_id)
+            {
+                // The agent is dropped here for good, so its app mapping
+                // goes with it (the departure already released its charge).
+                self.tenancy_forget_mapping(agent_id);
                 self.tracer
                     .record_with(now, Some(node_id), "migrate.refuse", || {
                         format!("{agent_id} on arrival")

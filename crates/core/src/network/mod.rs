@@ -22,6 +22,9 @@ pub mod session;
 mod migration;
 mod remote;
 
+use std::collections::{BTreeMap, VecDeque};
+
+use agilla_tenancy::{AppId, AppProfile, Priority, QuotaLedger};
 use agilla_tuplespace::{Reaction, Template, Tuple, TupleSpaceError};
 use agilla_vm::exec::{self, StepResult};
 use agilla_vm::isa::{CostModel, EnergyClass, Instruction};
@@ -39,7 +42,7 @@ use wsn_sim::{
 
 use crate::config::AgillaConfig;
 use crate::env::Environment;
-use crate::error::AgillaError;
+use crate::error::{AdmissionReason, AgillaError};
 use crate::node::{AgentStatus, Node};
 use crate::stats::{ExperimentLog, OpRecord};
 use crate::wire::{self, am, Envelope, MigAck, MigData, MigHeader, MigNack, RtsReply, RtsRequest};
@@ -252,6 +255,102 @@ impl NetCounters {
     }
 }
 
+/// Network-global multi-tenancy state: registered application profiles,
+/// the agent→app ownership map, the per-(app, mote) quota ledger, and the
+/// per-node FIFO tuple-ownership queues that attribute tuple-space bytes
+/// back to the application that stored them. Fully inert — zero
+/// behavioural or output change — until the first application registers
+/// ([`AgillaNetwork::register_app`]).
+///
+/// Tenancy decisions (quota checks, preemption victim choice, byte
+/// attribution) read only state mutated by dispatched events, and the
+/// sharded timeline replays the exact serial event order, so every
+/// decision is byte-identical across `--shards` settings.
+#[derive(Debug, Default)]
+struct Tenancy {
+    /// Registered applications, by id (`BTreeMap` iteration keeps every
+    /// derived walk deterministic).
+    apps: BTreeMap<AppId, AppProfile>,
+    /// Which application owns each live agent (clones inherit the
+    /// parent's app; entries are dropped when the agent halts, faults,
+    /// is evicted, or is lost in a failed migration).
+    app_of: BTreeMap<AgentId, AppId>,
+    /// Per-(app, mote) resource usage against declared quotas.
+    ledger: QuotaLedger,
+    /// Per-node byte-attribution queues keyed by encoded tuple bytes:
+    /// `inp` removes the first matching tuple in insertion order, so the
+    /// front of the queue is exactly the app whose copy was consumed.
+    tuple_owners: Vec<BTreeMap<Vec<u8>, VecDeque<AppId>>>,
+    /// Which application issued each in-flight remote tuple-space
+    /// operation, so a remote `rout` charges the issuer at the serving
+    /// mote.
+    op_app: BTreeMap<u16, AppId>,
+}
+
+impl Tenancy {
+    /// Whether any application has registered (all hooks early-out when
+    /// not — the untagged network never touches tenancy state).
+    fn enabled(&self) -> bool {
+        !self.apps.is_empty()
+    }
+
+    /// Remaining tuple-space byte allowance of `agent`'s app on `node`,
+    /// or `None` when the agent is unowned (then nothing is enforced).
+    fn byte_budget(&self, agent: AgentId, node: u32) -> Option<u32> {
+        let app = self.app_of.get(&agent)?;
+        let quota = self.ledger.quota(*app)?;
+        let used = self.ledger.usage(*app, node).bytes;
+        Some(quota.tuple_bytes.saturating_sub(used))
+    }
+
+    /// Post-step byte accounting: tuples `agent` inserted debit its app
+    /// and enqueue it as their FIFO owner; tuples it removed credit
+    /// whichever app's copy was consumed (any agent may `inp` any app's
+    /// tuple — Linda spaces are shared).
+    fn commit_tuples(
+        &mut self,
+        agent: AgentId,
+        node: usize,
+        inserted: &[Tuple],
+        removed: &[Tuple],
+    ) {
+        let app = self.app_of.get(&agent).copied();
+        for t in inserted {
+            let Some(a) = app else { break };
+            self.record_insertion(a, node, t);
+        }
+        for t in removed {
+            self.credit_removal(node, t);
+        }
+    }
+
+    /// Charges `t`'s encoded bytes to `app` on `node` and records the
+    /// ownership for later crediting.
+    fn record_insertion(&mut self, app: AppId, node: usize, t: &Tuple) {
+        let key = t.encode();
+        let _ = self.ledger.charge_bytes(app, node as u32, key.len() as u32);
+        self.tuple_owners[node]
+            .entry(key)
+            .or_default()
+            .push_back(app);
+    }
+
+    /// Credits the FIFO owner of a removed tuple (no-op for tuples no
+    /// app owns — boot capability tuples, unowned agents' insertions).
+    fn credit_removal(&mut self, node: usize, t: &Tuple) {
+        let key = t.encode();
+        let Some(q) = self.tuple_owners[node].get_mut(&key) else {
+            return;
+        };
+        if let Some(a) = q.pop_front() {
+            let _ = self.ledger.release_bytes(a, node as u32, key.len() as u32);
+        }
+        if q.is_empty() {
+            self.tuple_owners[node].remove(&key);
+        }
+    }
+}
+
 /// The complete simulated network (see module docs).
 #[derive(Debug)]
 pub struct AgillaNetwork {
@@ -276,6 +375,8 @@ pub struct AgillaNetwork {
     op_ids: SessionIdGen,
     /// Maps clone sender sessions to the slot holding the paused original.
     clone_origins: Vec<(NodeId, u16, usize)>,
+    /// Multi-tenancy state; inert until an application registers.
+    tenancy: Tenancy,
 }
 
 impl AgillaNetwork {
@@ -340,6 +441,7 @@ impl AgillaNetwork {
             session_ids: SessionIdGen::new(),
             op_ids: SessionIdGen::new(),
             clone_origins: Vec::new(),
+            tenancy: Tenancy::default(),
         };
         net.boot();
         net
@@ -474,30 +576,129 @@ impl AgillaNetwork {
     /// [`AgillaConfig::verify_on_inject`](crate::AgillaConfig::verify_on_inject))
     /// a program the static verifier cannot prove fault-free.
     pub fn inject_at(&mut self, node: NodeId, code: Vec<u8>) -> Result<AgentId, AgillaError> {
+        self.inject_at_as(node, code, None)
+    }
+
+    /// Assembles `source` and injects the agent at the base station on
+    /// behalf of a registered application.
+    ///
+    /// # Errors
+    ///
+    /// As [`AgillaNetwork::inject_at_as`], plus assembly errors.
+    pub fn inject_source_as(&mut self, source: &str, app: AppId) -> Result<AgentId, AgillaError> {
+        let program = asm::assemble(source).map_err(|e| AgillaError::BadAgent(e.to_string()))?;
+        self.inject_at_as(self.base, program.into_code(), Some(app))
+    }
+
+    /// Assembles `source` and injects at the node addressed by `loc` on
+    /// behalf of a registered application.
+    ///
+    /// # Errors
+    ///
+    /// As [`AgillaNetwork::inject_at_as`], plus assembly errors and
+    /// unknown locations.
+    pub fn inject_source_at_as(
+        &mut self,
+        loc: Location,
+        source: &str,
+        app: AppId,
+    ) -> Result<AgentId, AgillaError> {
+        let program = asm::assemble(source).map_err(|e| AgillaError::BadAgent(e.to_string()))?;
+        let node = self
+            .medium
+            .topology()
+            .node_near(loc, self.config.epsilon)
+            .ok_or_else(|| AgillaError::UnknownLocation(loc.to_string()))?;
+        self.inject_at_as(node, program.into_code(), Some(app))
+    }
+
+    /// Injects bytecode as a new agent on `node`, optionally on behalf of
+    /// an application registered with [`AgillaNetwork::register_app`].
+    ///
+    /// App-tagged injections are quota-checked: the app is charged one
+    /// agent slot on the mote, refused with
+    /// [`AdmissionReason::QuotaExceeded`] when its per-mote cap (or the
+    /// app registration) is missing or full. When the mote itself is full,
+    /// a higher-priority app may first preempt one resident agent of a
+    /// strictly lower-priority app ([`OpRecord::AgentEvicted`]) before
+    /// admission is retried.
+    ///
+    /// # Errors
+    ///
+    /// Admission failure (dead mote, no slot, quota), an over-budget
+    /// program, or (with
+    /// [`AgillaConfig::verify_on_inject`](crate::AgillaConfig::verify_on_inject))
+    /// a program the static verifier cannot prove fault-free.
+    pub fn inject_at_as(
+        &mut self,
+        node: NodeId,
+        code: Vec<u8>,
+        app: Option<AppId>,
+    ) -> Result<AgentId, AgillaError> {
+        let result = self.inject_at_as_inner(node, code, app);
+        if result.is_err() {
+            if let Some(a) = app {
+                self.metrics.incr(format!("tenancy.{a}.rejected"));
+            }
+        }
+        result
+    }
+
+    fn inject_at_as_inner(
+        &mut self,
+        node: NodeId,
+        code: Vec<u8>,
+        app: Option<AppId>,
+    ) -> Result<AgentId, AgillaError> {
         let idx = node.index();
         if self.nodes[idx].dead {
             // A fault-injected or depleted mote admits nothing; without
             // this, the agent would be counted as injected yet never run
             // (dead nodes' engine events fall on the floor).
             return Err(AgillaError::Admission {
-                reason: "node is dead",
+                reason: AdmissionReason::DeadMote,
             });
         }
+        let now = self.now();
         if !self.nodes[idx].can_admit(code.len(), &self.config) {
-            return Err(AgillaError::Admission {
-                reason: "no agent slot or code blocks free",
-            });
+            // Priority preemption: before turning a registered app away,
+            // try evicting one agent of a strictly lower-priority app.
+            let preempted = app.is_some_and(|a| self.try_preempt(idx, a, now));
+            if !preempted || !self.nodes[idx].can_admit(code.len(), &self.config) {
+                return Err(AgillaError::Admission {
+                    reason: AdmissionReason::NoSlots,
+                });
+            }
+        }
+        if let Some(a) = app {
+            if self.tenancy.ledger.charge_slot(a, idx as u32).is_err() {
+                return Err(AgillaError::Admission {
+                    reason: AdmissionReason::QuotaExceeded,
+                });
+            }
         }
         if self.config.verify_on_inject {
-            agilla_analysis::verify(&code)?;
+            if let Err(e) = agilla_analysis::verify(&code) {
+                self.tenancy_refund_slot(app, idx);
+                return Err(e.into());
+            }
         }
         let id = AgentId(self.agent_ids.allocate());
-        let mut agent = AgentState::with_code_budget(id, code, self.config.code_budget())?;
+        let mut agent = match AgentState::with_code_budget(id, code, self.config.code_budget()) {
+            Ok(a) => a,
+            Err(e) => {
+                self.tenancy_refund_slot(app, idx);
+                return Err(e.into());
+            }
+        };
         if self.config.verify_on_inject {
             agent.mark_verified();
         }
         self.nodes[idx].admit(agent).expect("can_admit checked");
-        let now = self.now();
+        if let Some(a) = app {
+            self.tenancy.app_of.insert(id, a);
+            self.metrics.incr(format!("tenancy.{a}.injected"));
+        }
         self.log.push(OpRecord::AgentInjected {
             agent: id,
             node,
@@ -510,6 +711,237 @@ impl AgillaNetwork {
         let qnow = self.queue.now();
         self.schedule_engine(idx, qnow, SimDuration::ZERO);
         Ok(id)
+    }
+
+    // --- multi-tenancy ----------------------------------------------------
+
+    /// Registers a multi-tenant application: its quota enters the ledger
+    /// and its priority governs preemption. Until the first registration
+    /// the tenancy machinery is fully inert — untagged injections and all
+    /// existing figures behave exactly as before, byte for byte.
+    pub fn register_app(&mut self, profile: AppProfile) {
+        if self.tenancy.tuple_owners.is_empty() {
+            self.tenancy.tuple_owners = vec![BTreeMap::new(); self.nodes.len()];
+        }
+        self.tenancy.ledger.register(profile.id, profile.quota);
+        self.tenancy.apps.insert(profile.id, profile);
+    }
+
+    /// The profile registered for `id`, if any.
+    pub fn app(&self, id: AppId) -> Option<&AppProfile> {
+        self.tenancy.apps.get(&id)
+    }
+
+    /// The application owning `agent`, if it was injected (or cloned from
+    /// an agent injected) on behalf of one.
+    pub fn app_of(&self, agent: AgentId) -> Option<AppId> {
+        self.tenancy.app_of.get(&agent).copied()
+    }
+
+    /// The per-(app, mote) quota ledger, read-only.
+    pub fn quota_ledger(&self) -> &QuotaLedger {
+        &self.tenancy.ledger
+    }
+
+    /// Refunds the slot charged during a failed injection attempt.
+    fn tenancy_refund_slot(&mut self, app: Option<AppId>, idx: usize) {
+        if let Some(a) = app {
+            let _ = self.tenancy.ledger.release_slot(a, idx as u32);
+        }
+    }
+
+    /// Releases the agent's slot charge and forgets its app mapping (the
+    /// agent is gone from the network: halt, fault, eviction). Returns
+    /// the owning app, if any.
+    fn tenancy_forget_agent(&mut self, idx: usize, agent: AgentId) -> Option<AppId> {
+        let app = self.tenancy.app_of.remove(&agent)?;
+        let _ = self.tenancy.ledger.release_slot(app, idx as u32);
+        Some(app)
+    }
+
+    /// Releases the agent's slot charge but keeps its app mapping — the
+    /// agent left this mote but lives on (a migration departure).
+    pub(super) fn tenancy_release_slot(&mut self, idx: usize, agent: AgentId) {
+        if let Some(app) = self.tenancy.app_of.get(&agent).copied() {
+            let _ = self.tenancy.ledger.release_slot(app, idx as u32);
+        }
+    }
+
+    /// Charges one agent slot on `idx` to the app owning `agent`. True
+    /// when the agent is unowned or the charge fits; false (charging
+    /// nothing) when the app's per-mote cap refuses.
+    pub(super) fn tenancy_charge_slot(&mut self, idx: usize, agent: AgentId) -> bool {
+        let Some(app) = self.tenancy.app_of.get(&agent).copied() else {
+            return true;
+        };
+        self.tenancy.ledger.charge_slot(app, idx as u32).is_ok()
+    }
+
+    /// Clones inherit the parent's application.
+    pub(super) fn tenancy_inherit(&mut self, parent: AgentId, child: AgentId) {
+        if parent == child {
+            return;
+        }
+        if let Some(app) = self.tenancy.app_of.get(&parent).copied() {
+            self.tenancy.app_of.insert(child, app);
+        }
+    }
+
+    /// Drops a lost agent's app mapping (it no longer exists anywhere and
+    /// holds no slot — e.g. a migration image that could not be resumed).
+    pub(super) fn tenancy_forget_mapping(&mut self, agent: AgentId) {
+        self.tenancy.app_of.remove(&agent);
+    }
+
+    /// Records which app issued remote op `op_id` (clearing any stale
+    /// mapping left by a wrapped id whose completion event was lost).
+    pub(super) fn tenancy_track_op(&mut self, op_id: u16, agent: AgentId) {
+        if !self.tenancy.enabled() {
+            return;
+        }
+        self.tenancy.op_app.remove(&op_id);
+        if let Some(app) = self.tenancy.app_of.get(&agent).copied() {
+            self.tenancy.op_app.insert(op_id, app);
+        }
+    }
+
+    /// Forgets a completed remote op's app attribution.
+    pub(super) fn tenancy_complete_op(&mut self, op_id: u16) {
+        self.tenancy.op_app.remove(&op_id);
+    }
+
+    /// Whether the app that issued remote op `op_id` may store `needed`
+    /// more tuple bytes on `idx` (true for unowned ops / tenancy off).
+    pub(super) fn tenancy_can_store_remote(&self, op_id: u16, idx: usize, needed: usize) -> bool {
+        if !self.tenancy.enabled() {
+            return true;
+        }
+        match self.tenancy.op_app.get(&op_id) {
+            Some(app) => self
+                .tenancy
+                .ledger
+                .can_charge_bytes(*app, idx as u32, needed as u32),
+            None => true,
+        }
+    }
+
+    /// Charges a remotely stored tuple to the issuing app and records the
+    /// ownership for later crediting.
+    pub(super) fn tenancy_store_remote(&mut self, op_id: u16, idx: usize, t: &Tuple) {
+        if !self.tenancy.enabled() {
+            return;
+        }
+        if let Some(app) = self.tenancy.op_app.get(&op_id).copied() {
+            self.tenancy.record_insertion(app, idx, t);
+        }
+    }
+
+    /// Credits the FIFO owner of a tuple removed outside an engine step
+    /// (a served remote `rinp`).
+    pub(super) fn tenancy_credit_removal(&mut self, idx: usize, t: &Tuple) {
+        if self.tenancy.enabled() {
+            self.tenancy.credit_removal(idx, t);
+        }
+    }
+
+    /// Attempts to free one agent slot on `idx` for an arriving agent of
+    /// `app` by evicting the lowest-priority resident agent belonging to
+    /// a strictly lower-priority application. Only interruptible agents
+    /// (Ready / Sleeping / Waiting / Blocked) are candidates: agents
+    /// mid-migration or awaiting a remote reply hold protocol sessions
+    /// that must resolve first. (An evicted sleeper may leave a stale
+    /// wake event behind; `handle_wake` checks the occupant's own wake
+    /// deadline, so the stale timer never wakes a successor early.)
+    /// Victim choice is deterministic: lowest priority, ties broken by
+    /// lowest slot index.
+    fn try_preempt(&mut self, idx: usize, app: AppId, now: SimTime) -> bool {
+        let Some(arriving) = self.tenancy.apps.get(&app).map(|p| p.priority) else {
+            return false;
+        };
+        let mut victim: Option<(Priority, usize)> = None;
+        for (slot_idx, slot) in self.nodes[idx].slots.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            if !matches!(
+                slot.status,
+                AgentStatus::Ready
+                    | AgentStatus::Sleeping { .. }
+                    | AgentStatus::Waiting
+                    | AgentStatus::Blocked
+            ) {
+                continue;
+            }
+            let Some(owner) = self.tenancy.app_of.get(&slot.agent.id()) else {
+                continue;
+            };
+            let Some(pri) = self.tenancy.apps.get(owner).map(|p| p.priority) else {
+                continue;
+            };
+            if pri < arriving && victim.is_none_or(|(best, _)| pri < best) {
+                victim = Some((pri, slot_idx));
+            }
+        }
+        let Some((_, slot_idx)) = victim else {
+            return false;
+        };
+        self.evict_for_preemption(idx, slot_idx, now);
+        true
+    }
+
+    /// Evicts the agent in `slot_idx` by priority preemption: reactions
+    /// deregistered, quota freed atomically with the slot, an
+    /// [`OpRecord::AgentEvicted`] appended. The victim's tuples stay in
+    /// the space (tuples outlive agents in Linda) and remain charged to
+    /// its app until consumed.
+    fn evict_for_preemption(&mut self, idx: usize, slot_idx: usize, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        if let Some(slot) = self.nodes[idx].evict(slot_idx) {
+            let id = slot.agent.id();
+            self.nodes[idx].registry.remove_all(id);
+            if let Some(app) = self.tenancy_forget_agent(idx, id) {
+                self.metrics.incr(format!("tenancy.{app}.evicted"));
+            }
+            self.log.push(OpRecord::AgentEvicted {
+                agent: id,
+                node: node_id,
+                at: now,
+            });
+            self.tracer
+                .record_with(now, Some(node_id), "agent.evict", || format!("{id}"));
+        }
+    }
+
+    /// Charges one executed instruction to the app owning `agent`. True
+    /// when the agent is unowned or the budget has room; false when the
+    /// app's per-mote instruction budget is spent.
+    fn tenancy_charge_instruction(&mut self, idx: usize, agent: AgentId) -> bool {
+        let Some(app) = self.tenancy.app_of.get(&agent).copied() else {
+            return true;
+        };
+        match self.tenancy.ledger.charge_instructions(app, idx as u32, 1) {
+            Ok(()) => true,
+            Err(_) => {
+                self.metrics.incr(format!("tenancy.{app}.over_budget"));
+                false
+            }
+        }
+    }
+
+    /// Kills an agent whose application exhausted its per-mote
+    /// instruction budget: evicted and recorded as a fault, quota freed.
+    fn quota_kill(&mut self, idx: usize, slot_idx: usize, now: SimTime) {
+        let node_id = self.nodes[idx].id;
+        if let Some(slot) = self.nodes[idx].evict(slot_idx) {
+            let id = slot.agent.id();
+            self.nodes[idx].registry.remove_all(id);
+            self.tenancy_forget_agent(idx, id);
+            self.log.push(OpRecord::AgentFaulted {
+                agent: id,
+                node: node_id,
+                at: now,
+            });
+            self.tracer
+                .record_with(now, Some(node_id), "agent.quota_kill", || format!("{id}"));
+        }
     }
 
     /// The base-station node (agents are injected here by default).
@@ -923,13 +1355,14 @@ impl AgillaNetwork {
         }
 
         // Execute exactly one instruction.
-        let (op_cost, op_class, result, inserted, sensed) = {
+        let (op_cost, op_class, result, inserted, removed, sensed, owner) = {
             let AgillaNetwork {
                 nodes,
                 env,
                 rng_vm,
                 rng_env,
                 cost,
+                tenancy,
                 ..
             } = self;
             let node = &mut nodes[idx];
@@ -943,6 +1376,16 @@ impl AgillaNetwork {
                 ..
             } = node;
             let slot = slots[slot_idx].as_mut().expect("picked slot");
+            let owner = slot.agent.id();
+            // Tenancy: an app-owned agent sees its remaining per-mote byte
+            // quota as extra back-pressure on `out` (indistinguishable, to
+            // the agent, from a full arena).
+            let tenancy_on = tenancy.enabled();
+            let byte_budget = if tenancy_on {
+                tenancy.byte_budget(owner, idx as u32)
+            } else {
+                None
+            };
             // One decode serves both the cost model and execution.
             let decoded = Instruction::decode(slot.agent.code(), slot.agent.pc());
             let (op_cost, op_class) = decoded
@@ -959,17 +1402,34 @@ impl AgillaNetwork {
                 env,
                 rng: rng_vm,
                 rng_env,
-                owner: slot.agent.id(),
+                owner,
                 inserted: Vec::new(),
+                removed: Vec::new(),
                 sensed: Vec::new(),
+                byte_budget,
+                track_removals: tenancy_on,
             };
             let result = match decoded {
                 Ok((ins, len)) => exec::step_decoded(&mut slot.agent, &mut host, ins, len),
                 Err(e) => Err(e),
             };
             slot.slice_used += 1;
-            (op_cost, op_class, result, host.inserted, host.sensed)
+            (
+                op_cost,
+                op_class,
+                result,
+                host.inserted,
+                host.removed,
+                host.sensed,
+                owner,
+            )
         };
+
+        // Tenancy: settle the ledger for tuples this step inserted into or
+        // removed from the local space (FIFO ownership attribution).
+        if self.tenancy.enabled() && !(inserted.is_empty() && removed.is_empty()) {
+            self.tenancy.commit_tuples(owner, idx, &inserted, &removed);
+        }
 
         // Energy: the instruction's execution time, attributed by its
         // energy class — `sense` keeps the CPU awake for the sensor board,
@@ -1000,6 +1460,14 @@ impl AgillaNetwork {
         }
 
         let cost = SimDuration::from_micros(op_cost);
+        // Tenancy: charge the executed instruction against the app's
+        // per-mote budget. The instruction's side effects stand (it ran);
+        // an over-budget app's agent is killed before any migration,
+        // remote session, or sleep timer it requested is set up.
+        if self.tenancy.enabled() && !self.tenancy_charge_instruction(idx, owner) {
+            self.quota_kill(idx, slot_idx, now);
+            return EngineStep::Ran { cost };
+        }
         match result {
             Ok(StepResult::Continue) => {}
             Ok(StepResult::Halted) => {
@@ -1045,7 +1513,11 @@ impl AgillaNetwork {
 
     fn handle_wake(&mut self, idx: usize, slot_idx: usize, now: SimTime) {
         if let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() {
-            if matches!(slot.status, AgentStatus::Sleeping { .. }) {
+            // The deadline check makes stale timers harmless: if the slot's
+            // sleeper was preempted and a *different* agent now sleeps here,
+            // its own deadline is later and its own wake event is still
+            // queued — this one must not rouse it early.
+            if matches!(slot.status, AgentStatus::Sleeping { until } if until <= now) {
                 slot.status = AgentStatus::Ready;
                 self.schedule_engine(idx, now, SimDuration::ZERO);
             }
@@ -1086,6 +1558,21 @@ impl AgillaNetwork {
         if let Some(slot) = self.nodes[idx].evict(slot_idx) {
             let id = slot.agent.id();
             self.nodes[idx].registry.remove_all(id);
+            if let Some(app) = self.tenancy_forget_agent(idx, id) {
+                self.metrics.incr(format!("tenancy.{app}.completed"));
+                // Per-app completion latency (injection to halt), for the
+                // fig_tenancy SLO table. Clones have no injection record
+                // and are skipped. Saturating: an injection during a Run
+                // step is stamped at the run deadline while its first
+                // engine step lands at the queue's (earlier) internal
+                // clock, so a trivial agent can halt marginally "before"
+                // its injection record.
+                if let Some(t0) = self.log.injected_at(id) {
+                    let ms = now.saturating_since(t0).as_micros() / 1000;
+                    self.metrics
+                        .observe_named(format!("tenancy.{app}.latency_ms"), ms);
+                }
+            }
             self.log.push(OpRecord::AgentHalted {
                 agent: id,
                 node: node_id,
@@ -1101,6 +1588,7 @@ impl AgillaNetwork {
         if let Some(slot) = self.nodes[idx].evict(slot_idx) {
             let id = slot.agent.id();
             self.nodes[idx].registry.remove_all(id);
+            self.tenancy_forget_agent(idx, id);
             self.log.push(OpRecord::AgentFaulted {
                 agent: id,
                 node: node_id,
@@ -1274,9 +1762,17 @@ struct HostView<'a> {
     /// Tuples inserted during this step (reaction firing happens after the
     /// step, once the agent borrow is released).
     inserted: Vec<Tuple>,
+    /// Tuples removed during this step, for quota crediting (only tracked
+    /// when tenancy is active).
+    removed: Vec<Tuple>,
     /// Sensor readings taken during this step, for energy accounting (the
     /// ADC window is charged after the step, like insertions).
     sensed: Vec<SensorType>,
+    /// Remaining tuple-space bytes the owning app may store on this mote
+    /// (`None`: owner untenanted or tenancy inactive — no extra limit).
+    byte_budget: Option<u32>,
+    /// Whether removals need recording for the quota ledger.
+    track_removals: bool,
 }
 
 impl Host for HostView<'_> {
@@ -1310,13 +1806,33 @@ impl Host for HostView<'_> {
     }
 
     fn ts_out(&mut self, tuple: Tuple) -> Result<(), TupleSpaceError> {
+        if let Some(budget) = self.byte_budget {
+            let needed = tuple.encoded_len();
+            if needed > budget as usize {
+                // App quota exhaustion presents to the agent exactly like
+                // a full arena: same error, same block-and-retry path.
+                return Err(TupleSpaceError::SpaceFull {
+                    needed,
+                    available: budget as usize,
+                });
+            }
+        }
         self.space.out(tuple.clone())?;
+        if let Some(b) = &mut self.byte_budget {
+            *b = b.saturating_sub(tuple.encoded_len() as u32);
+        }
         self.inserted.push(tuple);
         Ok(())
     }
 
     fn ts_inp(&mut self, template: &Template) -> Option<Tuple> {
-        self.space.inp(template)
+        let found = self.space.inp(template);
+        if self.track_removals {
+            if let Some(t) = &found {
+                self.removed.push(t.clone());
+            }
+        }
+        found
     }
 
     fn ts_rdp(&mut self, template: &Template) -> Option<Tuple> {

@@ -59,6 +59,7 @@ impl AgillaNetwork {
             .agent
             .id();
         let op_id = self.op_ids.allocate();
+        self.tenancy_track_op(op_id, agent_id);
         let dest = op.dest();
         self.log.push(OpRecord::RemoteIssued {
             op_id,
@@ -277,15 +278,28 @@ impl AgillaNetwork {
     ) -> (Option<Tuple>, bool, Vec<Tuple>) {
         match req.kind {
             RtsKind::Out => match req.tuple() {
-                Ok(t) => match self.nodes[idx].space.out(t.clone()) {
-                    Ok(()) => (None, true, vec![t]),
-                    Err(_) => (None, false, vec![]),
-                },
+                Ok(t) => {
+                    // A remote `out` is charged to the issuing app; past its
+                    // byte quota the request fails exactly like a full space.
+                    if !self.tenancy_can_store_remote(req.op_id, idx, t.encoded_len()) {
+                        return (None, false, vec![]);
+                    }
+                    match self.nodes[idx].space.out(t.clone()) {
+                        Ok(()) => {
+                            self.tenancy_store_remote(req.op_id, idx, &t);
+                            (None, true, vec![t])
+                        }
+                        Err(_) => (None, false, vec![]),
+                    }
+                }
                 Err(_) => (None, false, vec![]),
             },
             RtsKind::Inp => match req.template() {
                 Ok(tmpl) => {
                     let found = self.nodes[idx].space.inp(&tmpl);
+                    if let Some(t) = &found {
+                        self.tenancy_credit_removal(idx, t);
+                    }
                     let ok = found.is_some();
                     (found, ok, vec![])
                 }
@@ -428,6 +442,9 @@ impl AgillaNetwork {
             success,
             retransmitted,
         } = outcome;
+        // The op is settled whether or not the issuer still occupies its
+        // slot — drop the attribution before the delivery checks below.
+        self.tenancy_complete_op(op_id);
         let node_id = self.nodes[idx].id;
         let Some(slot) = self.nodes[idx].slots[slot_idx].as_mut() else {
             return;

@@ -64,6 +64,7 @@
 
 use std::fmt;
 
+use agilla_tenancy::{Allocator, AppProfile, Decision};
 use wsn_common::Location;
 use wsn_radio::LossModel;
 use wsn_sim::{RngStream, SimDuration};
@@ -404,6 +405,32 @@ impl TrafficGen for AppMix {
     }
 }
 
+/// One tenant application in a multi-tenant scenario: a registered
+/// profile (identity, per-mote quota, priority class) plus the traffic
+/// arriving on its behalf.
+///
+/// Unlike plain [`ScenarioSpec::traffic`], a tenant's arrivals are
+/// quota-checked and priority-preempting: they compile to
+/// [`TrialStep::TryInjectAs`] after a [`TrialStep::RegisterApp`], and the
+/// per-app `tenancy.*` metrics attribute everything the app's agents do.
+#[derive(Debug, Clone)]
+pub struct TenantApp {
+    /// The app's registered profile.
+    pub profile: AppProfile,
+    /// Traffic arriving on the app's behalf.
+    pub traffic: Box<dyn TrafficGen>,
+}
+
+impl TenantApp {
+    /// A tenant app with the given profile and traffic.
+    pub fn new(profile: AppProfile, traffic: impl TrafficGen + 'static) -> Self {
+        TenantApp {
+            profile,
+            traffic: Box::new(traffic),
+        }
+    }
+}
+
 /// A mid-run fault injection applied by a [`ScheduledEvent`].
 #[derive(Debug, Clone)]
 pub enum Perturbation {
@@ -475,6 +502,15 @@ pub struct ScenarioSpec {
     pub horizon: SimDuration,
     /// Traffic generators; arrivals from all of them interleave.
     pub traffic: Vec<Box<dyn TrafficGen>>,
+    /// Tenant applications; their arrivals are quota-checked, interleaving
+    /// after plain traffic at equal times.
+    pub apps: Vec<TenantApp>,
+    /// Base-station allocation knob: `(regions, capacity_per_node)`. When
+    /// set, tenant apps are placed onto topology regions by an
+    /// [`Allocator`] using static cost bounds as the load estimate; an app
+    /// that fits nowhere is *not registered*, so its every arrival is
+    /// refused as a quota rejection. `None` registers every tenant app.
+    pub app_alloc: Option<(u32, u64)>,
     /// Mid-run perturbations.
     pub events: Vec<ScheduledEvent>,
     /// Clear the experiment log at this offset, separating setup from
@@ -496,6 +532,8 @@ impl Testbed {
             seed: spec.seed,
             horizon: SimDuration::ZERO,
             traffic: Vec::new(),
+            apps: Vec::new(),
+            app_alloc: None,
             events: Vec::new(),
             measure_from: None,
             diagnostics: false,
@@ -509,6 +547,28 @@ impl ScenarioSpec {
     #[must_use]
     pub fn traffic(mut self, gen: impl TrafficGen + 'static) -> Self {
         self.traffic.push(Box::new(gen));
+        self
+    }
+
+    /// Adds a tenant application. App order is part of the spec: it seeds
+    /// each app's random substream (stream `"scenario.apps"`, substream
+    /// *i*), fixes allocation order, and breaks arrival ties after plain
+    /// traffic.
+    #[must_use]
+    pub fn tenant(mut self, app: TenantApp) -> Self {
+        self.apps.push(app);
+        self
+    }
+
+    /// Enables base-station allocation of tenant apps onto `regions`
+    /// contiguous topology regions, each node contributing
+    /// `capacity_per_node` estimated instructions of capacity. Apps are
+    /// placed in declaration order by static-cost-bound demand; an app
+    /// that fits nowhere is left unregistered and all of its arrivals are
+    /// refused as quota rejections.
+    #[must_use]
+    pub fn allocate_apps(mut self, regions: u32, capacity_per_node: u64) -> Self {
+        self.app_alloc = Some((regions, capacity_per_node));
         self
     }
 
@@ -577,6 +637,7 @@ impl ScenarioSpec {
             ClearLog,
             Perturb(Perturbation),
             Arrive(InjectionSite, String),
+            ArriveAs(InjectionSite, String, agilla_tenancy::AppId),
         }
         let mut actions: Vec<(SimDuration, u8, usize, Action)> = Vec::new();
         if let Some(at) = self.measure_from {
@@ -600,9 +661,60 @@ impl ScenarioSpec {
                 }
             }
         }
+        // Tenant apps: each draws its own substream, then the base-station
+        // allocator (when enabled) decides which apps are registered at
+        // all. Rejected apps keep their arrivals — every one is refused at
+        // run time as a quota rejection, which is exactly the accounting
+        // the figures report.
+        let app_root = RngStream::derive(self.seed, "scenario.apps");
+        let mut allocator = self.app_alloc.map(|(regions, cap)| {
+            let num_nodes = match &self.topology {
+                TopologySpec::Lossy5x5 | TopologySpec::Reliable5x5 => 26,
+                TopologySpec::ReliableLine(n) => (*n).max(1) as u32,
+                TopologySpec::Custom { topology, .. } => topology.len().max(1) as u32,
+            };
+            Allocator::new(num_nodes, regions.clamp(1, num_nodes), cap)
+        });
+        let mut registered = Vec::new();
+        let mut app_tiebreak = 0usize;
+        for (i, app) in self.apps.iter().enumerate() {
+            let mut rng = app_root.substream(i as u64);
+            let arrivals: Vec<Arrival> = app
+                .traffic
+                .arrivals(&mut rng, self.horizon)
+                .into_iter()
+                .filter(|a| a.at <= self.horizon)
+                .collect();
+            let placed = match &mut allocator {
+                Some(alloc) => {
+                    let cost = arrivals.first().and_then(|a| {
+                        let program = agilla_vm::asm::assemble(&a.source).ok()?;
+                        agilla_analysis::analyze(&program.into_code()).cost
+                    });
+                    let demand = Allocator::demand(cost.as_ref(), arrivals.len() as u32);
+                    matches!(alloc.place(app.profile.id, demand), Decision::Placed { .. })
+                }
+                None => true,
+            };
+            if placed {
+                registered.push(app.profile.clone());
+            }
+            for a in arrivals {
+                actions.push((
+                    a.at,
+                    3,
+                    app_tiebreak,
+                    Action::ArriveAs(a.site, a.source, app.profile.id),
+                ));
+                app_tiebreak += 1;
+            }
+        }
         actions.sort_by_key(|a| (a.0, a.1, a.2));
 
-        let mut steps = Vec::with_capacity(actions.len() + 1);
+        let mut steps = Vec::with_capacity(registered.len() + actions.len() + 1);
+        for profile in registered {
+            steps.push(TrialStep::RegisterApp(profile));
+        }
         let mut cursor = SimDuration::ZERO;
         for (at, _, _, action) in actions {
             if at > cursor {
@@ -620,6 +732,14 @@ impl ScenarioSpec {
                         InjectionSite::At(loc) => Some(loc),
                     },
                     source,
+                },
+                Action::ArriveAs(site, source, app) => TrialStep::TryInjectAs {
+                    at: match site {
+                        InjectionSite::Base => None,
+                        InjectionSite::At(loc) => Some(loc),
+                    },
+                    source,
+                    app,
                 },
             });
         }
@@ -653,7 +773,9 @@ impl ScenarioSpec {
     pub fn try_compile(&self) -> Result<TrialSpec, crate::AgillaError> {
         let spec = self.compile();
         for (i, step) in spec.steps.iter().enumerate() {
-            let (TrialStep::Inject { source, .. } | TrialStep::TryInject { source, .. }) = step
+            let (TrialStep::Inject { source, .. }
+            | TrialStep::TryInject { source, .. }
+            | TrialStep::TryInjectAs { source, .. }) = step
             else {
                 continue;
             };
@@ -743,7 +865,7 @@ mod tests {
         let b = hand.execute();
         assert_eq!(a.net.log().records(), b.net.log().records());
         assert_eq!(a.net.medium().frames_sent(), b.net.medium().frames_sent());
-        assert_eq!(a.rejected, 0);
+        assert_eq!(a.rejected.total(), 0);
     }
 
     #[test]
@@ -885,7 +1007,8 @@ mod tests {
         // Neither post-kill arrival lands: both are admission refusals,
         // not phantom agents parked on a dead mote.
         assert!(trial.agents.is_empty());
-        assert_eq!(trial.rejected, 2);
+        assert_eq!(trial.rejected.dead_mote, 2);
+        assert_eq!(trial.rejected.total(), 2);
     }
 
     #[test]
@@ -954,7 +1077,171 @@ mod tests {
             .horizon(SimDuration::from_secs(2))
             .execute();
         assert_eq!(trial.agents.len(), 4);
-        assert_eq!(trial.rejected, 1);
+        assert_eq!(trial.rejected.no_slots, 1);
+        assert_eq!(trial.rejected.total(), 1);
+    }
+
+    #[test]
+    fn tenant_quota_caps_agents_per_mote() {
+        use agilla_tenancy::{AppId, AppQuota};
+        let mote = Location::new(1, 1);
+        let sleeper = "pushcl 4000\nsleep\nhalt";
+        // Per-mote cap of 1 agent; three arrivals at the same mote while
+        // the first sleeps: the second and third are quota refusals even
+        // though the mote itself has free slots.
+        let trial = Testbed::reliable_5x5(AgillaConfig::default(), 17)
+            .scenario(0)
+            .tenant(TenantApp::new(
+                AppProfile::new(AppId(1), "habitat").quota(AppQuota::new(1, 200, u64::MAX)),
+                Periodic::at(mote, SimDuration::from_millis(100), 3, sleeper),
+            ))
+            .horizon(SimDuration::from_secs(2))
+            .execute();
+        assert_eq!(trial.agents.len(), 1);
+        assert_eq!(trial.rejected.quota, 2);
+        assert_eq!(trial.rejected.no_slots, 0);
+        assert_eq!(trial.net.metrics().counter("tenancy.app01.injected"), 1);
+        assert_eq!(trial.net.metrics().counter("tenancy.app01.rejected"), 2);
+        // The ledger shows exactly one slot held on the target mote.
+        let node = trial.net.node_at(mote).unwrap();
+        assert_eq!(
+            trial
+                .net
+                .quota_ledger()
+                .usage(AppId(1), node.index() as u32)
+                .slots,
+            1
+        );
+    }
+
+    #[test]
+    fn high_priority_app_preempts_a_low_priority_agent() {
+        use agilla_tenancy::{AppId, Priority};
+        let mote = Location::new(2, 2);
+        let sleeper = "pushcl 4000\nsleep\nhalt";
+        // Fill all 4 slots of one mote with a low-priority app, then a
+        // high-priority agent arrives at the full mote: one low-priority
+        // agent is evicted to make room.
+        let trial = Testbed::reliable_5x5(AgillaConfig::default(), 23)
+            .scenario(0)
+            .tenant(TenantApp::new(
+                AppProfile::new(AppId(1), "habitat").priority(Priority::Low),
+                Periodic::at(mote, SimDuration::from_millis(50), 4, sleeper),
+            ))
+            .tenant(TenantApp::new(
+                AppProfile::new(AppId(2), "fire").priority(Priority::High),
+                OneShot::at(mote, sleeper).delayed(SimDuration::from_secs(1)),
+            ))
+            .horizon(SimDuration::from_secs(2))
+            .execute();
+        // All five arrivals were admitted: four low-priority plus the
+        // preempting high-priority one.
+        assert_eq!(trial.agents.len(), 5);
+        assert_eq!(trial.rejected.total(), 0);
+        let evictions = trial.net.log().evictions();
+        assert_eq!(evictions.len(), 1);
+        // The victim is the earliest low-priority agent (lowest slot).
+        assert_eq!(evictions[0].0, trial.agents[0]);
+        assert_eq!(trial.net.metrics().counter("tenancy.app01.evicted"), 1);
+        assert_eq!(trial.net.metrics().counter("tenancy.app02.injected"), 1);
+        // The eviction freed the victim's slot charge: 3 remain.
+        let node = trial.net.node_at(mote).unwrap();
+        let ledger = trial.net.quota_ledger();
+        assert_eq!(ledger.usage(AppId(1), node.index() as u32).slots, 3);
+        assert_eq!(ledger.usage(AppId(2), node.index() as u32).slots, 1);
+    }
+
+    #[test]
+    fn normal_priority_never_preempts_equal_priority() {
+        use agilla_tenancy::AppId;
+        let mote = Location::new(3, 3);
+        let sleeper = "pushcl 4000\nsleep\nhalt";
+        // Both apps Normal: a full mote refuses the late arrival instead
+        // of evicting anyone.
+        let trial = Testbed::reliable_5x5(AgillaConfig::default(), 29)
+            .scenario(0)
+            .tenant(TenantApp::new(
+                AppProfile::new(AppId(1), "a"),
+                Periodic::at(mote, SimDuration::from_millis(50), 4, sleeper),
+            ))
+            .tenant(TenantApp::new(
+                AppProfile::new(AppId(2), "b"),
+                OneShot::at(mote, sleeper).delayed(SimDuration::from_secs(1)),
+            ))
+            .horizon(SimDuration::from_secs(2))
+            .execute();
+        assert_eq!(trial.agents.len(), 4);
+        assert_eq!(trial.rejected.no_slots, 1);
+        assert!(trial.net.log().evictions().is_empty());
+    }
+
+    #[test]
+    fn allocator_rejects_apps_that_fit_nowhere() {
+        use agilla_tenancy::AppId;
+        // One node per region at 4 instructions of capacity: the 1-instr
+        // halt app fits, but the 4-instr out agent times 3 arrivals
+        // (demand 12) fits nowhere, so that app is never registered and
+        // its arrivals are all quota refusals.
+        let trial = bed()
+            .scenario(31)
+            .tenant(TenantApp::new(
+                AppProfile::new(AppId(1), "small"),
+                OneShot::at_base("halt"),
+            ))
+            .tenant(TenantApp::new(
+                AppProfile::new(AppId(2), "big"),
+                Periodic::at_base(
+                    SimDuration::from_millis(100),
+                    3,
+                    "pushc 1\npushc 1\nout\nhalt",
+                ),
+            ))
+            .allocate_apps(26, 4)
+            .horizon(SimDuration::from_secs(2))
+            .execute();
+        assert_eq!(trial.agents.len(), 1);
+        assert_eq!(trial.rejected.quota, 3);
+        assert_eq!(trial.net.metrics().counter("tenancy.app01.injected"), 1);
+        assert_eq!(trial.net.metrics().counter("tenancy.app02.injected"), 0);
+    }
+
+    #[test]
+    fn preemption_heavy_scenario_is_byte_identical_across_shards() {
+        use agilla_tenancy::{AppId, AppQuota, Priority};
+        let sleeper = "pushcl 4000\nsleep\nhalt";
+        let spec = |shards: crate::Shards| {
+            Testbed::lossy_5x5(AgillaConfig::default(), 37)
+                .scenario(7)
+                .tenant(TenantApp::new(
+                    AppProfile::new(AppId(1), "habitat")
+                        .priority(Priority::Low)
+                        .quota(AppQuota::new(4, 400, 100_000)),
+                    Poisson::new(3.0, sleeper),
+                ))
+                .tenant(TenantApp::new(
+                    AppProfile::new(AppId(2), "fire").priority(Priority::High),
+                    Periodic::at_base(SimDuration::from_millis(500), 6, sleeper)
+                        .starting_at(SimDuration::from_secs(1)),
+                ))
+                .horizon(SimDuration::from_secs(4))
+                .shards(shards)
+                .execute()
+        };
+        let serial = spec(crate::Shards::Serial);
+        let sharded = spec(crate::Shards::Fixed(4));
+        assert!(!serial.net.log().evictions().is_empty(), "preemption ran");
+        assert_eq!(serial.net.log().records(), sharded.net.log().records());
+        assert_eq!(serial.rejected, sharded.rejected);
+        assert_eq!(serial.net.now(), sharded.net.now());
+        let snapshot = |m: &wsn_sim::Metrics| {
+            m.counters()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            snapshot(serial.net.metrics()),
+            snapshot(sharded.net.metrics())
+        );
     }
 
     #[test]

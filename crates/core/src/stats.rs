@@ -59,6 +59,16 @@ pub enum OpRecord {
         /// When.
         at: SimTime,
     },
+    /// An agent was evicted from its mote to free a slot for a
+    /// higher-priority application's agent (priority preemption).
+    AgentEvicted {
+        /// The evicted agent.
+        agent: AgentId,
+        /// Node it was evicted from.
+        node: NodeId,
+        /// When.
+        at: SimTime,
+    },
     /// A remote tuple-space operation was issued.
     RemoteIssued {
         /// Operation id.
@@ -210,6 +220,22 @@ impl ExperimentLog {
         self.node_deaths().first().map(|(_, at)| *at)
     }
 
+    /// Preemption evictions in order of occurrence.
+    pub fn evictions(&self) -> Vec<(AgentId, NodeId, SimTime)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                OpRecord::AgentEvicted { agent, node, at } => Some((*agent, *node, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether `agent` was ever evicted by preemption.
+    pub fn evicted(&self, agent: AgentId) -> bool {
+        self.evictions().iter().any(|(a, _, _)| *a == agent)
+    }
+
     /// Count of migration failures recorded.
     pub fn migration_failures(&self) -> usize {
         self.records
@@ -281,6 +307,30 @@ mod tests {
         assert!(log.arrivals(AgentId(1), NodeId(1)).is_empty());
         assert!(log.node_deaths().is_empty());
         assert_eq!(log.first_death_at(), None);
+    }
+
+    #[test]
+    fn evictions_are_ordered_and_attributed() {
+        let mut log = ExperimentLog::new();
+        log.push(OpRecord::AgentEvicted {
+            agent: AgentId(3),
+            node: NodeId(7),
+            at: t(50),
+        });
+        log.push(OpRecord::AgentEvicted {
+            agent: AgentId(4),
+            node: NodeId(7),
+            at: t(60),
+        });
+        assert_eq!(
+            log.evictions(),
+            vec![
+                (AgentId(3), NodeId(7), t(50)),
+                (AgentId(4), NodeId(7), t(60))
+            ]
+        );
+        assert!(log.evicted(AgentId(3)));
+        assert!(!log.evicted(AgentId(9)));
     }
 
     #[test]

@@ -36,12 +36,14 @@
 //! assert!(trial.net.log().remote_ops_of(trial.agents[0]).len() <= 1);
 //! ```
 
+use agilla_tenancy::{AppId, AppProfile};
 use wsn_common::{AgentId, Location};
 use wsn_radio::{LossModel, Topology};
 use wsn_sim::SimDuration;
 
 use crate::config::AgillaConfig;
 use crate::env::Environment;
+use crate::error::{AdmissionReason, AgillaError};
 use crate::network::AgillaNetwork;
 
 /// The radio substrate a trial runs on.
@@ -84,6 +86,21 @@ pub enum TrialStep {
         at: Option<Location>,
         /// Agilla assembly source.
         source: String,
+    },
+    /// Register a tenant application with the network before its arrivals
+    /// ([`AgillaNetwork::register_app`]). Compiled from
+    /// [`crate::scenario::TenantApp`] entries.
+    RegisterApp(AppProfile),
+    /// Like [`TrialStep::TryInject`], but the arrival runs on behalf of a
+    /// registered application: quota-checked, priority-preempting, refusals
+    /// counted per reason in [`Trial::rejected`].
+    TryInjectAs {
+        /// Where to inject; the base station when `None`.
+        at: Option<Location>,
+        /// Agilla assembly source.
+        source: String,
+        /// The owning application.
+        app: AppId,
     },
     /// Advance the simulation.
     Run(SimDuration),
@@ -151,6 +168,30 @@ impl TrialSpec {
     #[must_use]
     pub fn perturb(mut self, p: crate::scenario::Perturbation) -> Self {
         self.steps.push(TrialStep::Perturb(p));
+        self
+    }
+
+    /// Appends a tenant-application registration.
+    #[must_use]
+    pub fn register_app(mut self, profile: AppProfile) -> Self {
+        self.steps.push(TrialStep::RegisterApp(profile));
+        self
+    }
+
+    /// Appends an app-owned open-loop arrival (refusals are outcomes,
+    /// counted per reason).
+    #[must_use]
+    pub fn try_inject_as(
+        mut self,
+        at: Option<Location>,
+        source: impl Into<String>,
+        app: AppId,
+    ) -> Self {
+        self.steps.push(TrialStep::TryInjectAs {
+            at,
+            source: source.into(),
+            app,
+        });
         self
     }
 
@@ -228,7 +269,7 @@ impl TrialSpec {
     pub fn execute(&self) -> Trial {
         let mut net = self.build();
         let mut agents = Vec::new();
-        let mut rejected = 0u32;
+        let mut rejected = Rejections::default();
         for step in &self.steps {
             match step {
                 TrialStep::Inject { at: None, source } => {
@@ -250,11 +291,26 @@ impl TrialSpec {
                     };
                     match outcome {
                         Ok(id) => agents.push(id),
-                        Err(
-                            crate::AgillaError::Admission { .. }
-                            | crate::AgillaError::Unverifiable { .. },
-                        ) => rejected += 1,
-                        Err(e) => panic!("scenario arrival failed to assemble: {e}"),
+                        Err(e) => {
+                            if !rejected.absorb(&e) {
+                                panic!("scenario arrival failed to assemble: {e}");
+                            }
+                        }
+                    }
+                }
+                TrialStep::RegisterApp(profile) => net.register_app(profile.clone()),
+                TrialStep::TryInjectAs { at, source, app } => {
+                    let outcome = match at {
+                        None => net.inject_source_as(source, *app),
+                        Some(loc) => net.inject_source_at_as(*loc, source, *app),
+                    };
+                    match outcome {
+                        Ok(id) => agents.push(id),
+                        Err(e) => {
+                            if !rejected.absorb(&e) {
+                                panic!("scenario arrival failed to assemble: {e}");
+                            }
+                        }
                     }
                 }
                 TrialStep::Run(d) => net.run_for(*d),
@@ -270,6 +326,49 @@ impl TrialSpec {
     }
 }
 
+/// Refused `TryInject`/`TryInjectAs` arrivals, broken out by reason.
+///
+/// The aggregate [`Rejections::total`] is the historical `Trial::rejected`
+/// column; figures that printed it keep printing the same number.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Rejections {
+    /// Admission refusals: no free agent slot or code blocks.
+    pub no_slots: u32,
+    /// The static verifier rejected the agent's bytecode.
+    pub unverifiable: u32,
+    /// The owning application's per-mote quota refused the agent.
+    pub quota: u32,
+    /// The target mote was dead.
+    pub dead_mote: u32,
+}
+
+impl Rejections {
+    /// Total refusals across every reason.
+    pub fn total(&self) -> u32 {
+        self.no_slots + self.unverifiable + self.quota + self.dead_mote
+    }
+
+    /// Counts `e` if it is a refusal outcome (admission or verification);
+    /// false means the error is a harness bug the caller must surface.
+    fn absorb(&mut self, e: &AgillaError) -> bool {
+        match e {
+            AgillaError::Admission { reason } => {
+                match reason {
+                    AdmissionReason::NoSlots => self.no_slots += 1,
+                    AdmissionReason::QuotaExceeded => self.quota += 1,
+                    AdmissionReason::DeadMote => self.dead_mote += 1,
+                }
+                true
+            }
+            AgillaError::Unverifiable { .. } => {
+                self.unverifiable += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
 /// A finished (or custom-drivable) trial: the network plus the agents the
 /// scripted steps injected, in injection order.
 #[derive(Debug)]
@@ -279,10 +378,10 @@ pub struct Trial {
     /// Agent ids from `Inject`/`TryInject` steps that were admitted, in
     /// order.
     pub agents: Vec<AgentId>,
-    /// `TryInject` arrivals the network refused: admission failures (no
-    /// free agent slot or code blocks — the open-loop load-shedding count)
-    /// plus agents the static verifier rejected.
-    pub rejected: u32,
+    /// `TryInject`/`TryInjectAs` arrivals the network refused, broken out
+    /// by reason (the open-loop load-shedding count plus verifier and
+    /// quota refusals).
+    pub rejected: Rejections,
 }
 
 impl Trial {
@@ -426,6 +525,30 @@ mod tests {
             .injected_at(trial.agent(0))
             .is_none_or(|t| t > SimTime::ZERO));
         assert!(trial.net.log().injected_at(trial.agent(1)).is_some());
+    }
+
+    #[test]
+    fn rejections_classify_and_sum() {
+        let mut r = Rejections::default();
+        assert!(r.absorb(&AgillaError::Admission {
+            reason: AdmissionReason::NoSlots
+        }));
+        assert!(r.absorb(&AgillaError::Admission {
+            reason: AdmissionReason::DeadMote
+        }));
+        assert!(r.absorb(&AgillaError::Admission {
+            reason: AdmissionReason::QuotaExceeded
+        }));
+        assert!(r.absorb(&AgillaError::Unverifiable {
+            pc: 0,
+            reason: "x".into()
+        }));
+        assert!(!r.absorb(&AgillaError::BadAgent("y".into())));
+        assert_eq!(
+            (r.no_slots, r.unverifiable, r.quota, r.dead_mote),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(r.total(), 4);
     }
 
     #[test]

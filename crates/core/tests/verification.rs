@@ -62,6 +62,10 @@ fn try_inject_counts_unverifiable_arrivals_as_rejected() {
         });
     }
     let trial = spec.execute();
-    assert_eq!(trial.rejected, 2, "both unverifiable arrivals turned away");
+    assert_eq!(
+        trial.rejected.unverifiable, 2,
+        "both unverifiable arrivals turned away"
+    );
+    assert_eq!(trial.rejected.total(), 2);
     assert_eq!(trial.agents.len(), 1, "the verified arrival was admitted");
 }

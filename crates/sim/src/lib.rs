@@ -48,7 +48,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue};
-pub use metrics::{CounterId, LatencyRecorder, Metrics};
+pub use metrics::{CounterId, Histogram, HistogramId, LatencyRecorder, Metrics};
 pub use rng::RngStream;
 pub use shard::{ShardEventId, ShardedQueue};
 pub use time::{SimDuration, SimTime};

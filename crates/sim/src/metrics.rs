@@ -130,6 +130,153 @@ impl fmt::Display for LatencyRecorder {
     }
 }
 
+/// A fixed-bucket base-2 logarithmic histogram of `u64` observations.
+///
+/// Bucket 0 holds the value 0; bucket `i` (1 ≤ i ≤ 64) holds values in
+/// `[2^(i-1), 2^i)`. The bucket layout is fixed at construction, so
+/// merging two histograms is element-wise addition — commutative and
+/// associative, which keeps [`Metrics::merge`] order-independent no
+/// matter how trials were scheduled onto worker threads. The price is
+/// resolution: quantiles are reported as the upper bound of the bucket
+/// holding the nearest-rank sample, an over-estimate by at most 2×.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [3u64, 5, 900] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.percentile(0.5), Some(7)); // bucket [4, 8) reports 7
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `buckets[0]` counts zeros; `buckets[i]` counts `[2^(i-1), 2^i)`.
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index holding `value`.
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` — what quantile queries report.
+    fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Histogram::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the raw observations (0 when empty). Exact —
+    /// the running sum is kept outside the buckets.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as u64
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest rank, reported as the
+    /// upper bound of the bucket holding that rank (≤ 2× the true value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count - 1) as f64 * q).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                return Some(Histogram::bucket_upper(i));
+            }
+        }
+        // count > 0 guarantees some bucket satisfies `seen > rank`.
+        unreachable!("rank {rank} beyond recorded count {}", self.count)
+    }
+
+    /// Folds `other` into this histogram (element-wise bucket addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Iterates nonempty buckets as `(inclusive upper bound, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Histogram::bucket_upper(i), n))
+    }
+}
+
+/// A pre-registered handle to one histogram in a [`Metrics`] registry.
+///
+/// The histogram counterpart of [`CounterId`]: the name is resolved once
+/// at registration, and [`Metrics::observe`] through the id is an indexed
+/// bucket bump with no string-key lookup. The same registry-nonce rule
+/// applies — an id is only meaningful for the registry that minted it,
+/// and debug builds assert it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId {
+    slot: u32,
+    /// Which registry minted this id (debug-checked on every use).
+    registry: u32,
+}
+
 /// A pre-registered handle to one counter in a [`Metrics`] registry.
 ///
 /// Resolving a counter's string name costs a `BTreeMap` walk; on the
@@ -198,6 +345,10 @@ pub struct Metrics {
     /// builds can catch an id being used against the wrong registry.
     nonce: u32,
     latencies: BTreeMap<Cow<'static, str>, LatencyRecorder>,
+    /// Name → slot for histograms (a separate namespace from counters).
+    hist_index: BTreeMap<Cow<'static, str>, u32>,
+    /// Histogram storage, indexed by [`HistogramId`].
+    hists: Vec<Histogram>,
 }
 
 impl Default for Metrics {
@@ -208,6 +359,8 @@ impl Default for Metrics {
             written: Vec::new(),
             nonce: REGISTRY_NONCES.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             latencies: BTreeMap::new(),
+            hist_index: BTreeMap::new(),
+            hists: Vec::new(),
         }
     }
 }
@@ -311,6 +464,66 @@ impl Metrics {
             .map_or(0, |&slot| self.counts[slot as usize])
     }
 
+    /// Resolves `name` to a [`HistogramId`], registering an empty
+    /// histogram on first sight. Histograms live in their own namespace:
+    /// a histogram and a counter may share a name without colliding.
+    pub fn register_histogram(&mut self, name: impl Into<Cow<'static, str>>) -> HistogramId {
+        let name = name.into();
+        if let Some(&slot) = self.hist_index.get(&name) {
+            return HistogramId {
+                slot,
+                registry: self.nonce,
+            };
+        }
+        let slot = u32::try_from(self.hists.len()).expect("fewer than 2^32 histograms");
+        self.hist_index.insert(name, slot);
+        self.hists.push(Histogram::new());
+        HistogramId {
+            slot,
+            registry: self.nonce,
+        }
+    }
+
+    /// Records one observation into the histogram behind `id` — the hot
+    /// path: a bucket index bump, no string-key lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different registry: always in debug
+    /// builds (nonce check); in release builds only when the foreign slot
+    /// is out of range.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        debug_assert_eq!(
+            id.registry, self.nonce,
+            "HistogramId used against a registry that did not mint it"
+        );
+        self.hists[id.slot as usize].record(value);
+    }
+
+    /// Records one observation into histogram `name`, creating it empty
+    /// if absent.
+    pub fn observe_named(&mut self, name: impl Into<Cow<'static, str>>, value: u64) {
+        let id = self.register_histogram(name);
+        self.hists[id.slot as usize].record(value);
+    }
+
+    /// Returns the histogram under `name`, if it holds any observations.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hist_index
+            .get(name)
+            .map(|&slot| &self.hists[slot as usize])
+            .filter(|h| !h.is_empty())
+    }
+
+    /// Iterates nonempty histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.hist_index
+            .iter()
+            .filter(|(_, &slot)| !self.hists[slot as usize].is_empty())
+            .map(|(k, &slot)| (k.as_ref(), &self.hists[slot as usize]))
+    }
+
     /// Records a latency sample under `name`.
     pub fn record_latency(&mut self, name: impl Into<Cow<'static, str>>, d: SimDuration) {
         self.latencies.entry(name.into()).or_default().record(d);
@@ -348,6 +561,14 @@ impl Metrics {
             for &us in recorder.samples() {
                 mine.record(SimDuration::from_micros(us));
             }
+        }
+        for (name, &slot) in &other.hist_index {
+            let theirs = &other.hists[slot as usize];
+            if theirs.is_empty() {
+                continue;
+            }
+            let id = self.register_histogram(name.clone());
+            self.hists[id.slot as usize].merge(theirs);
         }
     }
 
@@ -547,6 +768,158 @@ mod tests {
         let r = a.latency("op").unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.mean().as_millis(), 20);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(5);
+        h.record(5);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 5);
+        // Bucket upper bounds: 0 → 0, 1 → 1, [4,8) → 7, top → u64::MAX.
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (7, 2), (u64::MAX, 1)]);
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(0.5), Some(7));
+        assert_eq!(h.percentile(1.0), Some(u64::MAX));
+        assert!(Histogram::new().percentile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20);
+        assert_eq!(Histogram::new().mean(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn histogram_percentile_rejects_bad_q() {
+        Histogram::new().percentile(-0.1);
+    }
+
+    #[test]
+    fn histogram_ids_observe_without_name_lookups() {
+        let mut m = Metrics::new();
+        let lat = m.register_histogram("op.latency_us");
+        assert_eq!(
+            m.register_histogram("op.latency_us"),
+            lat,
+            "re-registration is idempotent"
+        );
+        m.observe(lat, 100);
+        m.observe_named("op.latency_us", 200);
+        assert_eq!(m.histogram("op.latency_us").unwrap().count(), 2);
+        // Registered-but-empty histograms stay out of reports.
+        let _ = m.register_histogram("quiet");
+        assert!(m.histogram("quiet").is_none());
+        let names: Vec<&str> = m.histograms().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["op.latency_us"]);
+        // Histograms and counters are separate namespaces.
+        m.incr("op.latency_us");
+        assert_eq!(m.counter("op.latency_us"), 1);
+        assert_eq!(m.histogram("op.latency_us").unwrap().count(), 2);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "did not mint it"))]
+    fn cross_registry_histogram_ids_are_caught_in_debug_builds() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        let foreign = a.register_histogram("h");
+        let _ = b.register_histogram("h");
+        b.observe(foreign, 1);
+        #[cfg(not(debug_assertions))]
+        assert_eq!(b.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merge_folds_histograms_by_name() {
+        let mut a = Metrics::new();
+        a.observe_named("lat", 4);
+        let mut b = Metrics::new();
+        b.observe_named("lat", 700);
+        b.observe_named("other", 1);
+        let _ = b.register_histogram("empty"); // never observed: not merged
+        a.merge(&b);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
+        assert!(a.histogram("empty").is_none());
+    }
+
+    proptest! {
+        /// Bucketed quantiles over-estimate by at most 2× and never
+        /// under-estimate the true nearest-rank quantile.
+        #[test]
+        fn prop_histogram_percentile_bounds(
+            samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+            q_milli in 0u32..=1000,
+        ) {
+            let q = f64::from(q_milli) / 1000.0;
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            let exact = sorted[rank];
+            let est = h.percentile(q).unwrap();
+            prop_assert!(est >= exact, "est {est} < exact {exact}");
+            prop_assert!(est <= exact.saturating_mul(2).max(1), "est {est} > 2x exact {exact}");
+        }
+
+        /// Histogram merge is order-independent and matches serial
+        /// accumulation exactly — the contract the trial executor needs.
+        #[test]
+        fn prop_histogram_merge_order_independent(
+            trials in proptest::collection::vec(
+                proptest::collection::vec(0u64..1_000_000, 0..20),
+                1..6,
+            ),
+        ) {
+            let mut serial = Metrics::new();
+            for trial in &trials {
+                for &v in trial {
+                    serial.observe_named("lat", v);
+                }
+            }
+            let per_trial: Vec<Metrics> = trials
+                .iter()
+                .map(|trial| {
+                    let mut m = Metrics::new();
+                    let id = m.register_histogram("lat");
+                    for &v in trial {
+                        m.observe(id, v);
+                    }
+                    m
+                })
+                .collect();
+            let fold = |order: &mut dyn Iterator<Item = &Metrics>| {
+                let mut total = Metrics::new();
+                for m in order {
+                    total.merge(m);
+                }
+                total
+                    .histograms()
+                    .map(|(k, h)| (k.to_string(), h.buckets().collect::<Vec<_>>()))
+                    .collect::<Vec<_>>()
+            };
+            let forward = fold(&mut per_trial.iter());
+            let backward = fold(&mut per_trial.iter().rev());
+            prop_assert_eq!(&forward, &backward);
+            let serial_view: Vec<(String, Vec<(u64, u64)>)> = serial
+                .histograms()
+                .map(|(k, h)| (k.to_string(), h.buckets().collect()))
+                .collect();
+            prop_assert_eq!(forward, serial_view);
+        }
     }
 
     #[test]
