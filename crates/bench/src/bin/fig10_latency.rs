@@ -5,18 +5,24 @@
 //! retransmission (the paper's 2 s timeout retries would otherwise dominate
 //! the mean).
 //!
-//! Usage: `fig10_latency [trials] [--threads N]`.
+//! Usage: `fig10_latency [trials] [--threads N] [--sim-threads N|auto]` —
+//! stdout is byte-identical at any thread count. A `BENCH_fig10.json`
+//! artifact with the measured rows lands in the working directory.
 
 use agilla::AgillaConfig;
-use agilla_bench::{fig9_fig10, BenchArgs, Table, TrialExecutor};
+use agilla_bench::{fig9_fig10, BenchArgs, Json, Table, TrialExecutor};
 
 fn main() {
     let args = BenchArgs::parse();
     let trials = args.trials_or(100);
     println!("Figure 10 — latency of smove vs rout ({trials} trials/hop)\n");
+    let config = AgillaConfig {
+        sim_threads: args.sim_threads,
+        ..AgillaConfig::default()
+    };
     let mut engine = TrialExecutor::new(args.threads);
     let t0 = std::time::Instant::now();
-    let rows = fig9_fig10(trials, 0xF10, &AgillaConfig::default(), args.threads);
+    let rows = fig9_fig10(trials, 0xF10, &config, args.threads);
     engine.note(10 * trials as usize, t0.elapsed());
 
     // The paper's curves, read off Fig. 10 (ms).
@@ -54,5 +60,29 @@ fn main() {
         rows.iter()
             .all(|r| r.smove_latency_ms > 2.5 * r.rout_latency_ms)
     );
+    let artifact = Json::obj([
+        ("family", Json::str("fig10")),
+        ("trials", Json::int(u64::from(trials))),
+        (
+            "rows",
+            Json::arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("hops", Json::int(u64::from(r.hops))),
+                            ("smove_latency_ms", Json::num(r.smove_latency_ms)),
+                            ("smove_latency_sd_ms", Json::num(r.smove_latency_sd_ms)),
+                            ("rout_latency_ms", Json::num(r.rout_latency_ms)),
+                            ("rout_latency_sd_ms", Json::num(r.rout_latency_sd_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match agilla_bench::write_artifact("fig10", &artifact) {
+        Ok(path) => eprintln!("fig10: wrote {}", path.display()),
+        Err(e) => eprintln!("fig10: artifact not written: {e}"),
+    }
     engine.report("fig10");
 }

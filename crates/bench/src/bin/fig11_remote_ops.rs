@@ -5,18 +5,24 @@
 //! variance (retransmit timers). Also prints the tracking-speed corollary
 //! the paper derives ("an agent can migrate across a network at 600km/h").
 //!
-//! Usage: `fig11_remote_ops [trials] [--threads N]`.
+//! Usage: `fig11_remote_ops [trials] [--threads N] [--sim-threads N|auto]`
+//! — stdout is byte-identical at any thread count. A `BENCH_fig11.json`
+//! artifact with the measured rows lands in the working directory.
 
 use agilla::AgillaConfig;
-use agilla_bench::{fig11_one_hop, BenchArgs, Table, TrialExecutor};
+use agilla_bench::{fig11_one_hop, BenchArgs, Json, Table, TrialExecutor};
 
 fn main() {
     let args = BenchArgs::parse();
     let trials = args.trials_or(100);
     println!("Figure 11 — one-hop latency of remote operations ({trials} trials)\n");
+    let config = AgillaConfig {
+        sim_threads: args.sim_threads,
+        ..AgillaConfig::default()
+    };
     let mut engine = TrialExecutor::new(args.threads);
     let t0 = std::time::Instant::now();
-    let rows = fig11_one_hop(trials, 0xF11, &AgillaConfig::default(), args.threads);
+    let rows = fig11_one_hop(trials, 0xF11, &config, args.threads);
     engine.note(7 * trials as usize, t0.elapsed());
 
     // The paper's bars, read off Fig. 11 (ms).
@@ -59,5 +65,28 @@ fn main() {
         "Tracking-speed corollary: one hop per {:.2} s at 50 m/hop = {:.0} km/h (paper: ~600 km/h)",
         period_s, speed_kmh
     );
+    let artifact = Json::obj([
+        ("family", Json::str("fig11")),
+        ("trials", Json::int(u64::from(trials))),
+        (
+            "rows",
+            Json::arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("op", Json::str(r.op.name())),
+                            ("mean_ms", Json::num(r.mean_ms)),
+                            ("sd_ms", Json::num(r.sd_ms)),
+                            ("samples", Json::int(r.samples as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match agilla_bench::write_artifact("fig11", &artifact) {
+        Ok(path) => eprintln!("fig11: wrote {}", path.display()),
+        Err(e) => eprintln!("fig11: artifact not written: {e}"),
+    }
     engine.report("fig11");
 }

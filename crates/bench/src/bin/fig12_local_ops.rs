@@ -8,9 +8,12 @@
 //! Usage: `fig12_local_ops [reps] [--no-wall]` — `--no-wall` suppresses
 //! the host wall-clock column (the one nondeterministic output), so runs
 //! can be diffed byte-for-byte in CI. Wall timing is inherently serial;
-//! `--threads` is accepted for interface uniformity and ignored.
+//! `--threads` and `--sim-threads` are accepted for interface uniformity
+//! and ignored (no network is built). A `BENCH_fig12.json` artifact with
+//! the same rows (wall timings included unless suppressed) lands in the
+//! working directory.
 
-use agilla_bench::{fig12_local_ops_opts, BenchArgs, Table};
+use agilla_bench::{fig12_local_ops_opts, BenchArgs, Json, Table};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -48,4 +51,27 @@ fn main() {
     let mean3 = class3.iter().sum::<u64>() as f64 / class3.len() as f64;
     println!("\nTuple-space class mean: {mean3:.0} us (paper: averaging 292 us)");
     println!("Envelope check: all local operations within the paper's 60-440 us band.");
+
+    let artifact = Json::obj([
+        ("family", Json::str("fig12")),
+        ("reps", Json::int(u64::from(reps))),
+        (
+            "rows",
+            Json::arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", Json::str(r.name)),
+                            ("model_us", Json::int(r.model_us)),
+                            ("wall_ns", Json::opt_num(r.wall_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match agilla_bench::write_artifact("fig12", &artifact) {
+        Ok(path) => eprintln!("fig12: wrote {}", path.display()),
+        Err(e) => eprintln!("fig12: artifact not written: {e}"),
+    }
 }

@@ -4,20 +4,26 @@
 //! count on the (lossy) 5×5 testbed; smove failures are halved to account
 //! for the double migration.
 //!
-//! Usage: `fig9_reliability [trials] [--threads N]` — trials fan across
-//! the SimEngine executor; stdout is byte-identical at any thread count
-//! (the throughput report goes to stderr).
+//! Usage: `fig9_reliability [trials] [--threads N] [--sim-threads N|auto]`
+//! — trials fan across the SimEngine executor and `--sim-threads` threads
+//! work inside each trial; stdout is byte-identical at any thread count
+//! (the throughput report goes to stderr). A `BENCH_fig9.json` artifact
+//! with the measured rows lands in the working directory.
 
 use agilla::AgillaConfig;
-use agilla_bench::{fig9_fig10, BenchArgs, Table, TrialExecutor};
+use agilla_bench::{fig9_fig10, BenchArgs, Json, Table, TrialExecutor};
 
 fn main() {
     let args = BenchArgs::parse();
     let trials = args.trials_or(100);
     println!("Figure 9 — reliability of smove vs rout ({trials} trials/hop)\n");
+    let config = AgillaConfig {
+        sim_threads: args.sim_threads,
+        ..AgillaConfig::default()
+    };
     let mut engine = TrialExecutor::new(args.threads);
     let t0 = std::time::Instant::now();
-    let rows = fig9_fig10(trials, 0xF19, &AgillaConfig::default(), args.threads);
+    let rows = fig9_fig10(trials, 0xF19, &config, args.threads);
     engine.note(10 * trials as usize, t0.elapsed());
 
     // The paper's curves, read off Fig. 9.
@@ -65,5 +71,29 @@ fn main() {
         rows[4].smove_success >= 0.85,
         (0.60..=0.85).contains(&rows[4].rout_success)
     );
+    let artifact = Json::obj([
+        ("family", Json::str("fig9")),
+        ("trials", Json::int(u64::from(trials))),
+        (
+            "rows",
+            Json::arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("hops", Json::int(u64::from(r.hops))),
+                            ("smove_success", Json::num(r.smove_success)),
+                            ("rout_success", Json::num(r.rout_success)),
+                            ("rout_retx", Json::int(r.rout_retx)),
+                            ("rout_reacks", Json::int(r.rout_reacks)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match agilla_bench::write_artifact("fig9", &artifact) {
+        Ok(path) => eprintln!("fig9: wrote {}", path.display()),
+        Err(e) => eprintln!("fig9: artifact not written: {e}"),
+    }
     engine.report("fig9");
 }

@@ -16,13 +16,15 @@
 //!    base station's FIRETRACKER re-clones to fresh alerts, and
 //!    `hop_failover` carries sessions around the growing holes.
 //!
-//! Usage: `fig_energy [trials] [--threads N]` — `trials` scales the per-op
-//! sampling (default 20; CI smoke uses 2, which also shrinks the sim
-//! horizons). Trials and sweep points fan across the SimEngine executor;
-//! stdout is byte-identical at any thread count.
+//! Usage: `fig_energy [trials] [--threads N] [--sim-threads N|auto]` —
+//! `trials` scales the per-op sampling (default 20; CI smoke uses 2, which
+//! also shrinks the sim horizons). Trials and sweep points fan across the
+//! SimEngine executor and `--sim-threads` threads work inside each trial;
+//! stdout is byte-identical at any thread count. A `BENCH_fig_energy.json`
+//! artifact with all three tables lands in the working directory.
 
 use agilla_bench::{
-    fig_energy_agents_alive, fig_energy_lifetime, fig_energy_per_op, BenchArgs, Table,
+    fig_energy_agents_alive, fig_energy_lifetime, fig_energy_per_op, BenchArgs, Json, Table,
     TrialExecutor,
 };
 
@@ -35,7 +37,7 @@ fn main() {
     // --- 1. joules per operation ---------------------------------------
     println!("fig_energy — joules per operation ({trials} trials, 1 hop, quiet link)\n");
     let t0 = std::time::Instant::now();
-    let rows = fig_energy_per_op(trials, 0xE0, args.threads);
+    let rows = fig_energy_per_op(trials, 0xE0, args.sim_threads, args.threads);
     engine.note(trials as usize, t0.elapsed());
     let mut t = Table::new(vec!["op", "total mJ", "radio mJ", "cpu mJ", "n"]);
     for r in &rows {
@@ -48,6 +50,7 @@ fn main() {
         ]);
     }
     t.print();
+    let per_op_rows = rows.clone();
     let smove = rows[0].total_mj;
     let rout = rows[2].total_mj;
     println!(
@@ -64,7 +67,14 @@ fn main() {
          ({battery} J/mote, 26 motes, beacons @1 Hz, horizon {horizon} s)\n"
     );
     let t0 = std::time::Instant::now();
-    let rows = fig_energy_lifetime(&intervals, battery, horizon, 0xE1, args.threads);
+    let rows = fig_energy_lifetime(
+        &intervals,
+        battery,
+        horizon,
+        0xE1,
+        args.sim_threads,
+        args.threads,
+    );
     engine.note(intervals.len(), t0.elapsed());
     let mut t = Table::new(vec![
         "LPL interval",
@@ -85,6 +95,7 @@ fn main() {
         ]);
     }
     t.print();
+    let lifetime_rows = rows.clone();
     let always_on = rows[0].first_death_s;
     let best_lpl = rows[1..]
         .iter()
@@ -112,7 +123,7 @@ fn main() {
          mains-powered base, fire at t=30 s, hop_failover on)\n"
     );
     let t0 = std::time::Instant::now();
-    let samples = fig_energy_agents_alive(battery, horizon, step, 0xE2);
+    let samples = fig_energy_agents_alive(battery, horizon, step, 0xE2, args.sim_threads);
     engine.note(1, t0.elapsed());
     let mut t = Table::new(vec!["t s", "nodes alive", "agents alive", "deaths"]);
     for s in &samples {
@@ -132,5 +143,66 @@ fn main() {
         last.nodes_alive >= 1,
         last.agents_alive >= 1,
     );
+
+    let artifact = Json::obj([
+        ("family", Json::str("fig_energy")),
+        ("trials", Json::int(u64::from(trials))),
+        (
+            "per_op",
+            Json::arr(
+                per_op_rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("op", Json::str(r.op)),
+                            ("total_mj", Json::num(r.total_mj)),
+                            ("radio_mj", Json::num(r.radio_mj)),
+                            ("cpu_mj", Json::num(r.cpu_mj)),
+                            ("samples", Json::int(r.samples as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "lifetime",
+            Json::arr(
+                lifetime_rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            (
+                                "lpl_interval_ms",
+                                r.lpl_interval_ms.map_or(Json::Null, Json::int),
+                            ),
+                            ("first_death_s", Json::opt_num(r.first_death_s)),
+                            ("half_dead_s", Json::opt_num(r.half_dead_s)),
+                            ("deaths", Json::int(r.deaths as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "agents_alive",
+            Json::arr(
+                samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("t_s", Json::int(s.t_s)),
+                            ("nodes_alive", Json::int(s.nodes_alive as u64)),
+                            ("agents_alive", Json::int(s.agents_alive as u64)),
+                            ("deaths", Json::int(s.deaths as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match agilla_bench::write_artifact("fig_energy", &artifact) {
+        Ok(path) => eprintln!("fig_energy: wrote {}", path.display()),
+        Err(e) => eprintln!("fig_energy: artifact not written: {e}"),
+    }
     engine.report("fig_energy");
 }

@@ -7,18 +7,20 @@
 //! second — plus a small smove/rout workload at the base corner, and
 //! reports the deterministic work done per size.
 //!
-//! `--shards N|auto` runs every trial on the spatially sharded engine.
-//! The shard merge is exact, so every stdout byte is identical at any
-//! shard and thread count — CI diffs `--shards 2 --threads 2` against the
-//! serial run. Shard count, per-shard work distribution, and the engine
-//! report go to stderr only; wall-clock rate columns are suppressed by
-//! `--no-wall`.
+//! `--shards N|auto` runs every trial on the spatially sharded engine
+//! and `--sim-threads N|auto` threads work inside each trial. The shard
+//! merge is exact and every RNG draw is a per-node substream, so every
+//! stdout byte is identical at any shard, sim-thread, and thread count —
+//! CI diffs `--shards 2 --threads 2` and `--sim-threads 2` runs against
+//! the serial run. Shard count, per-shard work distribution, barrier and
+//! mailbox counters, and the engine report go to stderr only; wall-clock
+//! rate columns are suppressed by `--no-wall`.
 //!
 //! A `BENCH_fig_scale.json` artifact with the same rows (plus rates,
 //! unless suppressed) lands in the working directory.
 //!
-//! Usage: `fig_scale [trials] [--threads N] [--shards N|auto] [--no-wall]
-//! [--quick]`.
+//! Usage: `fig_scale [trials] [--threads N] [--shards N|auto]
+//! [--sim-threads N|auto] [--no-wall] [--quick]`.
 
 use agilla_bench::scale::{DEFAULT_SIZES, FULL_SIZES, QUICK_SIZES};
 use agilla_bench::{fig_scale, shard_distribution_line, BenchArgs, Json, Table, TrialExecutor};
@@ -47,6 +49,7 @@ fn main() {
         sim_s,
         0x5CA1E,
         args.shards,
+        args.sim_threads,
         args.threads,
         !args.no_wall,
     );

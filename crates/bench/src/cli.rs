@@ -4,9 +4,11 @@
 //! (kept for backwards compatibility), `--trials N`, `--threads N` (or
 //! `--threads auto` for one worker per available core), `--shards N` (or
 //! `--shards auto`) to run each trial's event timeline spatially sharded
-//! — byte-identical output, purely a scale knob — and `--no-wall`
-//! (suppress host wall-clock columns so outputs can be diffed across
-//! runs).
+//! — byte-identical output, purely a scale knob — `--sim-threads N` (or
+//! `--sim-threads auto`) to thread work *inside* each trial (again
+//! byte-identical: per-node RNG substreams make every draw a function of
+//! that node's own event order), and `--no-wall` (suppress host
+//! wall-clock columns so outputs can be diffed across runs).
 //!
 //! Degenerate values are rejected up front with a clear message —
 //! `--trials 0` would silently print figures made of no data, and
@@ -28,6 +30,9 @@ pub struct BenchArgs {
     /// Spatial event-queue sharding for each trial (`--shards N|auto`,
     /// default serial). Output is byte-identical at any setting.
     pub shards: agilla::Shards,
+    /// Intra-trial worker threads (`--sim-threads N|auto`, default
+    /// serial). Output is byte-identical at any setting.
+    pub sim_threads: agilla::SimThreads,
 }
 
 impl BenchArgs {
@@ -40,7 +45,7 @@ impl BenchArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [trials] [--trials N>=1] [--threads N>=1|auto] \
-                     [--shards N>=1|auto] [--no-wall] [--quick]"
+                     [--shards N>=1|auto] [--sim-threads N>=1|auto] [--no-wall] [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -61,6 +66,7 @@ impl BenchArgs {
             no_wall: false,
             quick: false,
             shards: agilla::Shards::Serial,
+            sim_threads: agilla::SimThreads::Serial,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -105,6 +111,26 @@ impl BenchArgs {
                             Err(_) => return Err(format!("--shards takes a number, got `{v}`")),
                         }
                     };
+                }
+                "--sim-threads" => {
+                    let v = it.next().ok_or("--sim-threads takes a value")?;
+                    out.sim_threads =
+                        if v == "auto" {
+                            agilla::SimThreads::Auto
+                        } else {
+                            match v.parse::<u32>() {
+                                Ok(0) => return Err(
+                                    "--sim-threads must be at least 1 (use `--sim-threads auto` \
+                                     for one worker per core)"
+                                        .into(),
+                                ),
+                                Ok(1) => agilla::SimThreads::Serial,
+                                Ok(n) => agilla::SimThreads::Fixed(n),
+                                Err(_) => {
+                                    return Err(format!("--sim-threads takes a number, got `{v}`"))
+                                }
+                            }
+                        };
                 }
                 "--no-wall" => out.no_wall = true,
                 "--quick" => out.quick = true,
@@ -186,6 +212,35 @@ mod tests {
             parse(&["--shards", "auto"]).unwrap().shards,
             agilla::Shards::Auto
         );
+    }
+
+    #[test]
+    fn sim_threads_flag_maps_to_the_config_knob() {
+        assert_eq!(parse(&[]).unwrap().sim_threads, agilla::SimThreads::Serial);
+        assert_eq!(
+            parse(&["--sim-threads", "1"]).unwrap().sim_threads,
+            agilla::SimThreads::Serial,
+            "one worker IS the serial path"
+        );
+        assert_eq!(
+            parse(&["--sim-threads", "4"]).unwrap().sim_threads,
+            agilla::SimThreads::Fixed(4)
+        );
+        assert_eq!(
+            parse(&["--sim-threads", "auto"]).unwrap().sim_threads,
+            agilla::SimThreads::Auto
+        );
+    }
+
+    #[test]
+    fn zero_sim_threads_rejected_with_guidance() {
+        let err = parse(&["--sim-threads", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("auto"), "{err}");
+        assert!(parse(&["--sim-threads", "x"])
+            .unwrap_err()
+            .contains("number"));
+        assert!(parse(&["--sim-threads"]).unwrap_err().contains("value"));
     }
 
     #[test]

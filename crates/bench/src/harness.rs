@@ -12,7 +12,7 @@ use agilla::scenario::{AppMix, AppSpec, OneShot, Periodic, Perturbation, Poisson
 use agilla::workload;
 use agilla::{
     AgillaConfig, AgillaNetwork, AppId, AppProfile, AppQuota, EnergyConfig, Environment, FireModel,
-    Priority, Shards, TenantApp, Testbed,
+    Priority, Shards, SimThreads, TenantApp, Testbed,
 };
 use agilla_vm::exec::{run_to_effect, StepResult, TestHost};
 use agilla_vm::isa::{CostModel, Opcode};
@@ -570,13 +570,20 @@ fn energy_ops(target: Location) -> [(&'static str, String); 4] {
 /// jitter across the boundary and drown a ~2 mJ operation in ±1-beacon
 /// noise); the median over trials guards whatever residue remains. One
 /// worker handles a whole trial (control + all four ops share its seed), so
-/// trials parallelize freely across `threads`.
-pub fn fig_energy_per_op(trials: u32, base_seed: u64, threads: usize) -> Vec<EnergyOpRow> {
+/// trials parallelize freely across `threads`; `sim_threads` threads the
+/// work inside each trial without changing a single draw.
+pub fn fig_energy_per_op(
+    trials: u32,
+    base_seed: u64,
+    sim_threads: SimThreads,
+    threads: usize,
+) -> Vec<EnergyOpRow> {
     const RUN: SimDuration = SimDuration::from_micros(10_000_000);
     let target = Location::new(2, 1);
     let config = AgillaConfig {
         energy: EnergyConfig::with_battery(1_000.0),
         beacon_period: SimDuration::from_secs(3_600),
+        sim_threads,
         ..AgillaConfig::default()
     };
     let bed = Testbed::line(2, config, base_seed);
@@ -697,6 +704,7 @@ pub fn fig_energy_lifetime(
     battery_j: f64,
     horizon_s: u64,
     seed: u64,
+    sim_threads: SimThreads,
     threads: usize,
 ) -> Vec<LifetimeRow> {
     run_trials_parallel(intervals_ms, threads, |&interval| {
@@ -706,6 +714,7 @@ pub fn fig_energy_lifetime(
         };
         let config = AgillaConfig {
             energy,
+            sim_threads,
             ..AgillaConfig::default()
         };
         // Stepped driving with an early exit predicate: build from the
@@ -755,10 +764,12 @@ pub fn fig_energy_agents_alive(
     horizon_s: u64,
     step_s: u64,
     seed: u64,
+    sim_threads: SimThreads,
 ) -> Vec<AliveSample> {
     let config = AgillaConfig {
         hop_failover: true,
         energy: EnergyConfig::with_battery(battery_j),
+        sim_threads,
         ..AgillaConfig::default()
     };
     let mut net: AgillaNetwork = Testbed::reliable_5x5(config, seed).scenario(0).build();
@@ -1239,7 +1250,7 @@ mod tests {
 
     #[test]
     fn fig_energy_per_op_migrations_cost_more_than_tuple_ops() {
-        let rows = fig_energy_per_op(2, 99, 1);
+        let rows = fig_energy_per_op(2, 99, SimThreads::Serial, 1);
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.samples > 0, "{} never completed", r.op);
@@ -1262,7 +1273,7 @@ mod tests {
 
     #[test]
     fn fig_energy_lifetime_lpl_beats_always_on() {
-        let rows = fig_energy_lifetime(&[None, Some(100)], 0.4, 400, 17, 1);
+        let rows = fig_energy_lifetime(&[None, Some(100)], 0.4, 400, 17, SimThreads::Serial, 1);
         assert_eq!(rows.len(), 2);
         let on = rows[0].first_death_s.expect("always-on dies fast");
         assert!(rows[0].deaths > 0);
@@ -1330,7 +1341,7 @@ mod tests {
 
     #[test]
     fn fig_energy_agents_alive_declines_as_nodes_die() {
-        let samples = fig_energy_agents_alive(2.0, 120, 30, 23);
+        let samples = fig_energy_agents_alive(2.0, 120, 30, 23, SimThreads::Serial);
         assert_eq!(samples.len(), 4);
         assert!(samples[0].nodes_alive == 26, "everyone starts alive");
         assert!(samples[0].agents_alive >= 6, "tracker + 5 detectors");

@@ -14,12 +14,15 @@
 //! ([`agilla::Shards`]), and because the shard merge is
 //! exact, **every deterministic column is byte-identical at any shard
 //! count** — CI diffs a `--shards 2 --threads 2` run against the serial
-//! one. The per-shard work distribution goes to stderr with the engine
-//! report.
+//! one. `--sim-threads N|auto` additionally threads work *inside* each
+//! trial (mote construction today; the [`wsn_sim::ParallelShardedEngine`]
+//! substrate is the growth path), with the same byte-identity contract.
+//! The per-shard work distribution and the engine's barrier/mailbox
+//! counters go to stderr with the engine report.
 
 use agilla::scenario::{OneShot, Periodic, ScenarioSpec};
 use agilla::testbed::{Testbed, TopologySpec};
-use agilla::{workload, AgillaConfig, Shards};
+use agilla::{workload, AgillaConfig, Shards, SimThreads};
 use wsn_common::Location;
 use wsn_radio::{LossModel, Topology};
 use wsn_sim::SimDuration;
@@ -61,6 +64,12 @@ pub struct ScaleRow {
     /// distribution the sharded engine reports (stderr only: its length is
     /// the shard count, which must not leak into diffable stdout).
     pub shard_events: Vec<u64>,
+    /// Conservative lookahead barriers the sharded engine opened, summed
+    /// across trials (0 when serial; stderr only).
+    pub barriers: u64,
+    /// Events that crossed a shard boundary (scheduled from one shard's
+    /// handler into another's queue), summed across trials (stderr only).
+    pub mailbox_events: u64,
     /// Simulated seconds per wall-clock second, summed over per-trial CPU
     /// time — `None` when wall timing is suppressed (`--no-wall`).
     pub sim_per_wall_s: Option<f64>,
@@ -97,22 +106,27 @@ struct ScaleOutcome {
     beacons: u64,
     events: u64,
     shard_events: Vec<u64>,
+    barriers: u64,
+    mailbox_events: u64,
     wall: std::time::Duration,
 }
 
 /// Runs the scale sweep: for each mote count in `sizes`, `trials`
 /// independent lossless-grid scenarios of `sim_s` simulated seconds,
 /// fanned across `threads` workers and folded in spec order. `shards`
-/// selects the engine partitioning for every trial; all deterministic
-/// outputs are byte-identical at any setting. `measure_wall` gates the
+/// selects the engine partitioning and `sim_threads` the intra-trial
+/// worker count for every trial; all deterministic outputs are
+/// byte-identical at any setting. `measure_wall` gates the
 /// sim-per-wall-second rate (per-trial CPU time, so thread fan-out does
 /// not inflate it).
+#[allow(clippy::too_many_arguments)]
 pub fn fig_scale(
     sizes: &[usize],
     trials: u32,
     sim_s: u64,
     base_seed: u64,
     shards: Shards,
+    sim_threads: SimThreads,
     threads: usize,
     measure_wall: bool,
 ) -> Vec<ScaleRow> {
@@ -127,7 +141,8 @@ pub fn fig_scale(
             AgillaConfig::default(),
             base_seed,
         )
-        .shards(shards);
+        .shards(shards)
+        .sim_threads(sim_threads);
         for t in 0..trials {
             let spec = fig_scale_scenario(&bed, sim_s, u64::from(t) * 786_433 + s as u64 * 97);
             items.push((s, side, spec));
@@ -145,6 +160,8 @@ pub fn fig_scale(
             beacons: net.metrics().counter("radio.beacons"),
             events: net.events_dispatched(),
             shard_events: net.shard_dispatch(),
+            barriers: net.engine_barriers(),
+            mailbox_events: net.engine_mailbox_events(),
             wall,
         }
     });
@@ -164,6 +181,8 @@ pub fn fig_scale(
                 beacons: 0,
                 events: 0,
                 shard_events: Vec::new(),
+                barriers: 0,
+                mailbox_events: 0,
                 sim_per_wall_s: None,
             };
             let mut wall = std::time::Duration::ZERO;
@@ -183,6 +202,8 @@ pub fn fig_scale(
                 for (acc, d) in row.shard_events.iter_mut().zip(&o.shard_events) {
                     *acc += d;
                 }
+                row.barriers += o.barriers;
+                row.mailbox_events += o.mailbox_events;
                 wall += o.wall;
             }
             if measure_wall && !wall.is_zero() {
@@ -210,11 +231,14 @@ pub fn shard_distribution_line(row: &ScaleRow) -> String {
     let mean = total as f64 / row.shard_events.len() as f64;
     let max = row.shard_events.iter().copied().max().unwrap_or(0) as f64;
     format!(
-        "{} motes: {} shard(s), events per shard [{}], max/mean imbalance {:.2}",
+        "{} motes: {} shard(s), events per shard [{}], max/mean imbalance {:.2}, \
+         {} barriers, {} mailbox crossings",
         row.motes,
         row.shard_events.len(),
         shares.join(", "),
         max / mean,
+        row.barriers,
+        row.mailbox_events,
     )
 }
 
@@ -240,7 +264,16 @@ mod tests {
 
     #[test]
     fn fig_scale_runs_and_scales_event_counts_with_motes() {
-        let rows = fig_scale(&[64, 256], 1, 3, 0x5CA1E, Shards::Serial, 1, false);
+        let rows = fig_scale(
+            &[64, 256],
+            1,
+            3,
+            0x5CA1E,
+            Shards::Serial,
+            SimThreads::Serial,
+            1,
+            false,
+        );
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].motes, 64);
         assert_eq!(rows[1].motes, 256);
@@ -258,25 +291,61 @@ mod tests {
 
     #[test]
     fn fig_scale_is_byte_identical_across_shard_counts_and_threads() {
-        let serial = fig_scale(&[64, 100], 2, 3, 0xF00D, Shards::Serial, 1, false);
-        for (shards, threads) in [(Shards::Fixed(2), 2), (Shards::Fixed(4), 1)] {
-            let sharded = fig_scale(&[64, 100], 2, 3, 0xF00D, shards, threads, false);
+        let serial = fig_scale(
+            &[64, 100],
+            2,
+            3,
+            0xF00D,
+            Shards::Serial,
+            SimThreads::Serial,
+            1,
+            false,
+        );
+        for (shards, sim_threads, threads) in [
+            (Shards::Fixed(2), SimThreads::Serial, 2),
+            (Shards::Fixed(4), SimThreads::Serial, 1),
+            (Shards::Serial, SimThreads::Fixed(2), 1),
+            (Shards::Fixed(2), SimThreads::Fixed(4), 2),
+            (Shards::Fixed(4), SimThreads::Auto, 1),
+        ] {
+            let sharded = fig_scale(
+                &[64, 100],
+                2,
+                3,
+                0xF00D,
+                shards,
+                sim_threads,
+                threads,
+                false,
+            );
             assert_eq!(
                 deterministic(&serial),
                 deterministic(&sharded),
-                "{shards:?} x {threads} threads diverged"
+                "{shards:?} x {sim_threads:?} x {threads} threads diverged"
             );
         }
     }
 
     #[test]
     fn sharded_runs_report_a_distribution_over_every_shard() {
-        let rows = fig_scale(&[100], 1, 3, 0xD157, Shards::Fixed(4), 1, true);
+        let rows = fig_scale(
+            &[100],
+            1,
+            3,
+            0xD157,
+            Shards::Fixed(4),
+            SimThreads::Serial,
+            1,
+            true,
+        );
         assert_eq!(rows[0].shard_events.len(), 4);
         assert!(rows[0].shard_events.iter().all(|&d| d > 0));
         assert!(rows[0].sim_per_wall_s.expect("wall timing on") > 0.0);
+        assert!(rows[0].barriers > 0, "sharded run opened barriers");
         let line = shard_distribution_line(&rows[0]);
         assert!(line.contains("4 shard(s)"), "{line}");
         assert!(line.contains("imbalance"), "{line}");
+        assert!(line.contains("barriers"), "{line}");
+        assert!(line.contains("mailbox"), "{line}");
     }
 }

@@ -7,7 +7,7 @@
 //! (reduced-trial) sweeps at 1 and several worker threads and compare the
 //! *complete* serialized results, including an energy-enabled family.
 
-use agilla::AgillaConfig;
+use agilla::{AgillaConfig, SimThreads};
 use agilla_bench::{fig11_one_hop, fig9_fig10, fig_energy_lifetime, fig_energy_per_op, fig_mix};
 
 #[test]
@@ -30,8 +30,8 @@ fn fig11_sweep_identical_across_thread_counts() {
 fn energy_per_op_identical_across_thread_counts() {
     // Energy accounting exercises the fanout's per-receiver idle metering,
     // battery bookkeeping, and the line topology — all under threads.
-    let serial = format!("{:?}", fig_energy_per_op(2, 99, 1));
-    let parallel = format!("{:?}", fig_energy_per_op(2, 99, 2));
+    let serial = format!("{:?}", fig_energy_per_op(2, 99, SimThreads::Serial, 1));
+    let parallel = format!("{:?}", fig_energy_per_op(2, 99, SimThreads::Fixed(2), 2));
     assert_eq!(serial, parallel);
 }
 
@@ -51,7 +51,13 @@ fn fig_mix_sweep_identical_across_thread_counts() {
 #[test]
 fn energy_lifetime_sweep_identical_across_thread_counts() {
     let intervals = [None, Some(100u64)];
-    let serial = format!("{:?}", fig_energy_lifetime(&intervals, 0.4, 200, 17, 1));
-    let parallel = format!("{:?}", fig_energy_lifetime(&intervals, 0.4, 200, 17, 2));
+    let serial = format!(
+        "{:?}",
+        fig_energy_lifetime(&intervals, 0.4, 200, 17, SimThreads::Serial, 1)
+    );
+    let parallel = format!(
+        "{:?}",
+        fig_energy_lifetime(&intervals, 0.4, 200, 17, SimThreads::Fixed(2), 2)
+    );
     assert_eq!(serial, parallel);
 }

@@ -17,11 +17,14 @@ use wsn_radio::{LossModel, Topology};
 use wsn_sim::SimDuration;
 
 /// Everything a trial observably produces, flattened for comparison.
+/// `engine.*` counters (barriers, mailbox crossings) are scheduler
+/// diagnostics present only on sharded runs and are excluded.
 fn observables(t: &Trial) -> (String, Vec<String>, u64, u64) {
     let metrics = t
         .net
         .metrics()
         .counters()
+        .filter(|(k, _)| !k.starts_with("engine."))
         .map(|(k, v)| format!("{k}={v}"))
         .collect();
     (

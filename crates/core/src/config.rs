@@ -55,6 +55,46 @@ impl Shards {
     }
 }
 
+/// How many worker threads execute *inside* one trial.
+///
+/// This is intra-trial parallelism, orthogonal to the bench harness's
+/// inter-trial `--threads`: it drives the parallel mote-construction path
+/// of large fields and the scoped-thread shard workers of
+/// [`ParallelShardedEngine`](wsn_sim::ParallelShardedEngine)-style
+/// execution. Because every per-node random stream is a substream keyed by
+/// the node id (see the RNG scheme on
+/// [`AgillaNetwork`](crate::AgillaNetwork)), the thread count never
+/// affects any output — figures are byte-identical at every setting, so
+/// this is purely a wall-clock knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimThreads {
+    /// Single-threaded trial execution — the exact historical code path
+    /// (default).
+    #[default]
+    Serial,
+    /// One worker per core, capped by the work available (node count or
+    /// shard count, whichever the site parallelizes over).
+    Auto,
+    /// Exactly `N` workers (clamped to the available work, min 1).
+    Fixed(u32),
+}
+
+impl SimThreads {
+    /// Resolves the knob against the number of parallelizable work units
+    /// (nodes for construction, shards for the threaded engine).
+    pub fn resolve(self, work_units: usize) -> usize {
+        let units = work_units.max(1);
+        match self {
+            SimThreads::Serial => 1,
+            SimThreads::Auto => {
+                let par = std::thread::available_parallelism().map_or(1, |n| n.get());
+                par.min(units)
+            }
+            SimThreads::Fixed(n) => (n as usize).clamp(1, units),
+        }
+    }
+}
+
 /// Protocol and resource parameters of an Agilla node.
 ///
 /// Defaults are the paper's published values; the ablation benches sweep the
@@ -129,6 +169,12 @@ pub struct AgillaConfig {
     /// Sharded runs produce byte-identical output — the merge order is
     /// exact — so this is purely a scale/locality knob.
     pub shards: Shards,
+    /// Intra-trial worker threads (see [`SimThreads`]).
+    /// [`SimThreads::Serial`] by default. Output-neutral at any setting —
+    /// the per-node RNG substream scheme makes draw order independent of
+    /// how work is spread across threads — so this only trades wall-clock
+    /// time for cores.
+    pub sim_threads: SimThreads,
     /// Timing constants for protocol-layer software costs.
     pub timing: TimingModel,
     /// Energy accounting and duty-cycling; disabled by default, in which
@@ -201,6 +247,7 @@ impl Default for AgillaConfig {
             hop_failover: false,
             verify_on_inject: true,
             shards: Shards::Serial,
+            sim_threads: SimThreads::Serial,
             timing: TimingModel::mica2(),
             energy: EnergyConfig::default(),
         }
@@ -361,6 +408,11 @@ mod tests {
         assert!(!c.hop_failover, "single-candidate greedy, as evaluated");
         assert!(c.verify_on_inject, "bad bytecode is refused at injection");
         assert_eq!(c.shards, Shards::Serial, "one global queue unless asked");
+        assert_eq!(
+            c.sim_threads,
+            SimThreads::Serial,
+            "single-threaded trials unless asked"
+        );
         assert!(!c.energy.enabled, "no meters unless asked");
         assert!(c.energy.lpl_check_interval.is_none());
     }
@@ -375,6 +427,18 @@ mod tests {
         let auto = Shards::Auto.resolve(64);
         assert!((1..=64).contains(&auto));
         assert_eq!(Shards::Auto.resolve(1), 1);
+    }
+
+    #[test]
+    fn sim_threads_resolve_clamps_to_work_units() {
+        assert_eq!(SimThreads::Serial.resolve(64), 1);
+        assert_eq!(SimThreads::Fixed(4).resolve(64), 4);
+        assert_eq!(SimThreads::Fixed(4).resolve(2), 2, "capped by work");
+        assert_eq!(SimThreads::Fixed(0).resolve(64), 1, "never zero");
+        assert_eq!(SimThreads::Fixed(9).resolve(0), 1, "empty field");
+        let auto = SimThreads::Auto.resolve(64);
+        assert!((1..=64).contains(&auto));
+        assert_eq!(SimThreads::Auto.resolve(1), 1);
     }
 
     #[test]

@@ -99,6 +99,41 @@ impl Event {
     }
 }
 
+/// Builds `n` values of `f(i)`, fanning the index range across `threads`
+/// scoped workers when the field is large enough to amortize thread spawn.
+/// `f` must be a pure function of its index; results are reassembled in
+/// index order, so output is identical at any thread count — which keeps
+/// the determinism contract intact while large fields construct their
+/// mote state on all cores.
+fn build_parallel<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    /// Below this many items, thread spawn costs more than it saves.
+    const MIN_PARALLEL_BUILD: usize = 4096;
+    if threads <= 1 || n < MIN_PARALLEL_BUILD {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                let lo = w * chunk;
+                let hi = n.min(lo + chunk);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("mote builder worker panicked"));
+        }
+    });
+    out
+}
+
 /// The network's event timeline: one global calendar queue
 /// ([`crate::Shards::Serial`] — the exact historical code path, byte for
 /// byte), or spatial per-shard queues behind [`ShardedQueue`]'s exact
@@ -189,6 +224,24 @@ impl NetQueue {
         match self {
             NetQueue::Single(q) => q.dispatched(),
             NetQueue::Sharded { q, .. } => q.dispatched(),
+        }
+    }
+
+    /// Merge-window re-anchors — the barrier count a threaded engine
+    /// would pay. Zero on the serial path (one queue, no windows).
+    fn barriers(&self) -> u64 {
+        match self {
+            NetQueue::Single(_) => 0,
+            NetQueue::Sharded { q, .. } => q.barriers(),
+        }
+    }
+
+    /// Cross-shard schedules — mailbox traffic at shard boundaries. Zero
+    /// on the serial path.
+    fn mailbox_events(&self) -> u64 {
+        match self {
+            NetQueue::Single(_) => 0,
+            NetQueue::Sharded { q, .. } => q.mailbox_events(),
         }
     }
 }
@@ -364,9 +417,14 @@ pub struct AgillaNetwork {
     ctr: NetCounters,
     log: ExperimentLog,
     mac: CsmaMac,
-    rng_mac: RngStream,
-    rng_vm: RngStream,
-    rng_env: RngStream,
+    /// Per-node RNG substreams (`derive(seed, name).substream(node)`): MAC
+    /// backoff/jitter, VM `random()`, and sensor noise. Each node's draw
+    /// order is a function of its own event order alone, so cross-node (and
+    /// cross-shard) event interleaving cannot change any outcome — the
+    /// property the threaded engine relies on.
+    rng_mac: Vec<RngStream>,
+    rng_vm: Vec<RngStream>,
+    rng_env: Vec<RngStream>,
     cost: CostModel,
     base: NodeId,
     clock: SimTime,
@@ -413,11 +471,40 @@ impl AgillaNetwork {
                 medium.set_preamble_stretch(lpl.preamble_stretch());
             }
         }
-        let nodes: Vec<Node> = medium
-            .topology()
-            .nodes()
-            .map(|id| Node::new(id, medium.topology().location(id), &config))
-            .collect();
+        let n = medium.topology().len();
+        let sim_threads = config.sim_threads.resolve(n);
+        // Per-node state is a pure function of (id, topology, config, env),
+        // so large fields build their motes on worker threads with no
+        // observable difference from the serial path. This also folds what
+        // used to be two extra boot passes (acquaintance seeding and
+        // capability tuples) — and a full topology clone — into one pass.
+        let sensors: Vec<SensorType> = env.sensors().collect();
+        let nodes: Vec<Node> = build_parallel(n, sim_threads, |i| {
+            let id = NodeId(i as u16);
+            let topo = medium.topology();
+            let mut node = Node::new(id, topo.location(id), &config);
+            // The testbed has been up long enough for neighbor discovery to
+            // have converged; seed the acquaintance lists, then let beacons
+            // keep them fresh (a node that dies would age out naturally).
+            for nb in topo.neighbors(id) {
+                node.acq.heard(nb, topo.location(nb), SimTime::ZERO);
+            }
+            // Capability tuples: "Agilla places special tuples into each
+            // node's tuple space indicating what type of sensors are
+            // available".
+            for s in &sensors {
+                let t = Tuple::new(vec![agilla_tuplespace::Field::SensorType(*s)])
+                    .expect("capability tuple");
+                node.space
+                    .out(t)
+                    .expect("capability tuple fits an empty space");
+            }
+            node
+        });
+        let derive_all = |name: &str| -> Vec<RngStream> {
+            let root = RngStream::derive(seed, name);
+            (0..n).map(|i| root.substream(i as u64)).collect()
+        };
         let mut metrics = Metrics::new();
         let ctr = NetCounters::register(&mut metrics);
         let mut net = AgillaNetwork {
@@ -431,9 +518,9 @@ impl AgillaNetwork {
             ctr,
             log: ExperimentLog::new(),
             mac: CsmaMac::new(mac_config),
-            rng_mac: RngStream::derive(seed, "net.mac"),
-            rng_vm: RngStream::derive(seed, "net.vm"),
-            rng_env: RngStream::derive(seed, "net.env"),
+            rng_mac: derive_all("net.mac"),
+            rng_vm: derive_all("net.vm"),
+            rng_env: derive_all("net.env"),
             cost: CostModel::mica2(),
             base: NodeId(0),
             clock: SimTime::ZERO,
@@ -480,33 +567,12 @@ impl AgillaNetwork {
     }
 
     fn boot(&mut self) {
-        // The testbed has been up long enough for neighbor discovery to have
-        // converged; seed the acquaintance lists, then let beacons keep them
-        // fresh (a node that dies would age out naturally).
-        let topo = self.medium.topology().clone();
-        for id in topo.nodes() {
-            for nb in topo.neighbors(id) {
-                let loc = topo.location(nb);
-                self.nodes[id.index()].acq.heard(nb, loc, SimTime::ZERO);
-            }
-        }
-        // Capability tuples: "Agilla places special tuples into each node's
-        // tuple space indicating what type of sensors are available".
-        let sensors: Vec<SensorType> = self.env.sensors().collect();
-        for node in &mut self.nodes {
-            for s in &sensors {
-                let t = Tuple::new(vec![agilla_tuplespace::Field::SensorType(*s)])
-                    .expect("capability tuple");
-                node.space
-                    .out(t)
-                    .expect("capability tuple fits an empty space");
-            }
-        }
-        // Staggered beacons.
-        for id in topo.nodes() {
-            let jitter = self
-                .rng_mac
-                .range_u64(0, self.config.beacon_period.as_micros());
+        // Per-node state (acquaintances, capability tuples) was built with
+        // the nodes themselves; all that remains is kicking off staggered
+        // beacons, each jittered from its own node's MAC substream.
+        let period = self.config.beacon_period.as_micros();
+        for id in self.medium.topology().nodes() {
+            let jitter = self.rng_mac[id.index()].range_u64(0, period);
             self.queue.schedule(
                 SimTime::ZERO + SimDuration::from_micros(jitter),
                 Event::Beacon { node: id },
@@ -531,6 +597,15 @@ impl AgillaNetwork {
             self.dispatch(at, ev, deadline);
         }
         self.clock = self.clock.max(deadline);
+        // Engine observability: expose the sharded timeline's barrier and
+        // mailbox totals as metrics. Both are deterministic for a given
+        // shard count (and identically zero when serial), so they are safe
+        // next to the regular counters.
+        if self.queue.num_shards() > 1 {
+            self.metrics.set("engine.barriers", self.queue.barriers());
+            self.metrics
+                .set("engine.mailbox_events", self.queue.mailbox_events());
+        }
     }
 
     /// Runs the simulation for `d` from the current time.
@@ -852,13 +927,15 @@ impl AgillaNetwork {
     /// that must resolve first. (An evicted sleeper may leave a stale
     /// wake event behind; `handle_wake` checks the occupant's own wake
     /// deadline, so the stale timer never wakes a successor early.)
-    /// Victim choice is deterministic: lowest priority, ties broken by
-    /// lowest slot index.
+    /// Victim choice is deterministic: lowest priority, ties broken
+    /// round-robin — a per-node cursor rotates over the slots so repeated
+    /// preemptions against equal-priority residents spread the evictions
+    /// instead of hammering the lowest slot every time.
     fn try_preempt(&mut self, idx: usize, app: AppId, now: SimTime) -> bool {
         let Some(arriving) = self.tenancy.apps.get(&app).map(|p| p.priority) else {
             return false;
         };
-        let mut victim: Option<(Priority, usize)> = None;
+        let mut candidates: Vec<(Priority, usize)> = Vec::new();
         for (slot_idx, slot) in self.nodes[idx].slots.iter().enumerate() {
             let Some(slot) = slot else { continue };
             if !matches!(
@@ -876,13 +953,22 @@ impl AgillaNetwork {
             let Some(pri) = self.tenancy.apps.get(owner).map(|p| p.priority) else {
                 continue;
             };
-            if pri < arriving && victim.is_none_or(|(best, _)| pri < best) {
-                victim = Some((pri, slot_idx));
+            if pri < arriving {
+                candidates.push((pri, slot_idx));
             }
         }
-        let Some((_, slot_idx)) = victim else {
+        let Some(lowest) = candidates.iter().map(|&(p, _)| p).min() else {
             return false;
         };
+        // Round-robin among the lowest-priority residents: scan slots
+        // cyclically from the node's cursor and take the first candidate.
+        let n_slots = self.nodes[idx].slots.len();
+        let cursor = self.nodes[idx].preempt_cursor;
+        let slot_idx = (0..n_slots)
+            .map(|k| (cursor + k) % n_slots)
+            .find(|s| candidates.iter().any(|&(p, c)| p == lowest && c == *s))
+            .expect("a lowest-priority candidate exists");
+        self.nodes[idx].preempt_cursor = (slot_idx + 1) % n_slots;
         self.evict_for_preemption(idx, slot_idx, now);
         true
     }
@@ -1049,6 +1135,19 @@ impl AgillaNetwork {
     /// Total events dispatched across every shard since construction.
     pub fn events_dispatched(&self) -> u64 {
         self.queue.dispatched()
+    }
+
+    /// Synchronization barriers the sharded timeline has paid so far
+    /// (merge-window re-anchors); 0 on the serial path. Deterministic:
+    /// purely a function of the event timeline, never of the host.
+    pub fn engine_barriers(&self) -> u64 {
+        self.queue.barriers()
+    }
+
+    /// Events that crossed a shard boundary so far (scheduled by one
+    /// shard's handler onto another shard); 0 on the serial path.
+    pub fn engine_mailbox_events(&self) -> u64 {
+        self.queue.mailbox_events()
     }
 
     /// The middleware configuration.
@@ -1400,8 +1499,8 @@ impl AgillaNetwork {
                 acq,
                 leds,
                 env,
-                rng: rng_vm,
-                rng_env,
+                rng: &mut rng_vm[idx],
+                rng_env: &mut rng_env[idx],
                 owner,
                 inserted: Vec::new(),
                 removed: Vec::new(),
@@ -1608,7 +1707,7 @@ impl AgillaNetwork {
             self.nodes[idx].tx_attempt = 0;
             let delay = extra_delay
                 + self.mac.tx_processing()
-                + self.mac.initial_backoff(&mut self.rng_mac);
+                + self.mac.initial_backoff(&mut self.rng_mac[idx]);
             let node = self.nodes[idx].id;
             self.queue.schedule(now + delay, Event::TxReady { node });
         }
@@ -1633,7 +1732,7 @@ impl AgillaNetwork {
         if self.medium.channel_busy(now, node_id) {
             self.nodes[idx].tx_attempt += 1;
             let attempt = self.nodes[idx].tx_attempt;
-            let delay = self.mac.congestion_backoff(&mut self.rng_mac, attempt);
+            let delay = self.mac.congestion_backoff(&mut self.rng_mac[idx], attempt);
             self.queue
                 .schedule(now + delay, Event::TxReady { node: node_id });
             return;
@@ -1665,7 +1764,7 @@ impl AgillaNetwork {
         } else {
             let delay = air
                 + SimDuration::from_micros(self.config.timing.tx_turnaround_us)
-                + self.mac.initial_backoff(&mut self.rng_mac);
+                + self.mac.initial_backoff(&mut self.rng_mac[idx]);
             self.queue
                 .schedule(now + delay, Event::TxReady { node: node_id });
         }
@@ -1682,7 +1781,7 @@ impl AgillaNetwork {
             now,
             SimDuration::ZERO,
         );
-        let jitter = self.rng_mac.range_u64(0, 100_000);
+        let jitter = self.rng_mac[idx].range_u64(0, 100_000);
         self.queue.schedule(
             now + self.config.beacon_period + SimDuration::from_micros(jitter),
             Event::Beacon { node: node_id },
@@ -1857,5 +1956,28 @@ impl Host for HostView<'_> {
 
     fn deregister_reaction(&mut self, owner: AgentId, template: &Template) -> bool {
         self.registry.deregister(owner, template).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build_parallel;
+
+    #[test]
+    fn build_parallel_is_index_ordered_at_any_thread_count() {
+        // Large enough to clear the spawn threshold, with a function whose
+        // output encodes its index, so any reordering or chunk misjoin is
+        // visible.
+        let n = 5_000;
+        let f = |i: usize| i.wrapping_mul(0x9E37_79B9) ^ (i >> 3);
+        let serial: Vec<usize> = build_parallel(n, 1, f);
+        for threads in [2, 3, 4, 7] {
+            assert_eq!(serial, build_parallel(n, threads, f), "{threads} threads");
+        }
+        assert_eq!(serial.len(), n);
+        assert_eq!(serial[17], f(17));
+        // More workers than items still covers every index exactly once.
+        assert_eq!(build_parallel(3, 8, f), vec![f(0), f(1), f(2)]);
+        assert_eq!(build_parallel(0, 4, f), Vec::<usize>::new());
     }
 }

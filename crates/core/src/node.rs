@@ -165,6 +165,10 @@ pub struct Node {
     pub slots: Vec<Option<AgentSlot>>,
     /// Round-robin cursor over slots.
     pub rr_cursor: usize,
+    /// Round-robin cursor for preemption victim selection: rotates over
+    /// the slots so repeated evictions among equal-priority residents
+    /// spread across them instead of always hitting the lowest slot.
+    pub preempt_cursor: usize,
     /// Whether an engine-instruction event is already queued.
     pub engine_scheduled: bool,
     /// Outbound frame queue (MAC).
@@ -218,6 +222,7 @@ impl Node {
             )),
             slots: (0..config.max_agents).map(|_| None).collect(),
             rr_cursor: 0,
+            preempt_cursor: 0,
             engine_scheduled: false,
             tx_queue: VecDeque::new(),
             tx_scheduled: false,

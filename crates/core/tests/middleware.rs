@@ -219,7 +219,7 @@ fn reaction_fires_on_rout_and_fire_tracker_clones_to_fire() {
 /// both protocol paths under test are provably exercised every time.
 #[test]
 fn fire_tracking_is_exactly_once_under_loss() {
-    for seed in [1u64, 2, 11, 13, 24, 35] {
+    for seed in [1u64, 6, 9, 13, 18, 23] {
         let mut net = AgillaNetwork::testbed_5x5(AgillaConfig::default(), seed);
         let fire_loc = Location::new(4, 4);
         net.set_environment(Environment::with_fire(FireModel::new(
@@ -584,4 +584,47 @@ fn agent_state_inspection() {
     );
     assert_eq!(net.agent_status(id), Some(agilla::AgentStatus::Waiting));
     assert_eq!(net.agent_state(AgentId(999)), None);
+}
+
+#[test]
+fn preemption_victims_rotate_round_robin_across_equal_priority_residents() {
+    use agilla::{AppId, AppProfile, Priority};
+    let mut net = reliable();
+    net.register_app(AppProfile::new(AppId(1), "habitat").priority(Priority::Low));
+    net.register_app(AppProfile::new(AppId(2), "fire").priority(Priority::High));
+    // Sleeps far past the end of the test, so the resident stays
+    // interruptible (Sleeping) and never vacates on its own.
+    let sleeper = "pushcl 4000\nsleep\nhalt";
+    // Fill every slot on the base station with equal-priority residents.
+    let residents: Vec<AgentId> = (0..4)
+        .map(|_| net.inject_source_as(sleeper, AppId(1)).unwrap())
+        .collect();
+    net.run_for(SimDuration::from_secs(1));
+    // First high-priority arrival: the cursor starts at slot 0, so the
+    // slot-0 resident is evicted and the arrival takes its place.
+    let h1 = net.inject_source_as("halt", AppId(2)).unwrap();
+    net.run_for(SimDuration::from_secs(1));
+    assert!(
+        net.log().halted_at(h1).is_some(),
+        "short-lived high-pri ran"
+    );
+    // The halted agent freed slot 0; a fresh low-priority agent refills it
+    // without any preemption.
+    let refill = net.inject_source_as(sleeper, AppId(1)).unwrap();
+    net.run_for(SimDuration::from_secs(1));
+    // Second high-priority arrival: lowest-slot victim selection would
+    // hammer slot 0 (the refill) again; round-robin has advanced the
+    // cursor past slot 0, so the slot-1 resident is the victim.
+    net.inject_source_as("halt", AppId(2)).unwrap();
+    let victims: Vec<AgentId> = net
+        .log()
+        .evictions()
+        .into_iter()
+        .map(|(agent, _, _)| agent)
+        .collect();
+    assert_eq!(victims, vec![residents[0], residents[1]]);
+    assert!(
+        !victims.contains(&refill),
+        "the refilled slot is spared until the cursor wraps"
+    );
 }

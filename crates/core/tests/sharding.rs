@@ -6,16 +6,20 @@
 
 use agilla::scenario::Perturbation;
 use agilla::testbed::{Testbed, Trial};
-use agilla::{workload, AgillaConfig, EnergyConfig, Shards};
+use agilla::{workload, AgillaConfig, EnergyConfig, Shards, SimThreads};
 use wsn_common::Location;
 use wsn_sim::SimDuration;
 
 /// Everything a trial can observably produce, flattened to strings.
+/// `engine.*` counters are excluded: barrier and mailbox tallies are
+/// scheduler diagnostics that exist only on sharded runs, not simulation
+/// outcomes.
 fn observables(t: &Trial) -> (String, Vec<String>, u64, u64) {
     let metrics = t
         .net
         .metrics()
         .counters()
+        .filter(|(k, _)| !k.starts_with("engine."))
         .map(|(k, v)| format!("{k}={v}"))
         .collect();
     (
@@ -124,4 +128,40 @@ fn shard_dispatch_accounts_for_every_event() {
         trial.net.events_dispatched(),
         "same spec dispatches the same events at any shard count"
     );
+}
+
+#[test]
+fn sim_threads_and_shards_cross_product_is_byte_identical() {
+    // The tentpole contract: per-node RNG substreams make every draw a
+    // function of that node's own event order, so neither the shard
+    // partitioning nor the intra-trial worker count can perturb a single
+    // observable. Cross every sharding mode with every worker count.
+    let run = |shards: Shards, threads: SimThreads| {
+        Testbed::lossy_5x5(AgillaConfig::default(), 0x5AD)
+            .shards(shards)
+            .sim_threads(threads)
+            .trial(17)
+            .inject(workload::smove_test_agent(
+                Location::new(4, 4),
+                Location::new(1, 1),
+            ))
+            .inject(workload::rout_test_agent(Location::new(3, 2)))
+            .run(SimDuration::from_secs(20))
+            .execute()
+    };
+    let baseline = run(Shards::Serial, SimThreads::Serial);
+    for shards in [Shards::Serial, Shards::Fixed(2), Shards::Fixed(4)] {
+        for threads in [
+            SimThreads::Serial,
+            SimThreads::Fixed(2),
+            SimThreads::Fixed(4),
+        ] {
+            let other = run(shards, threads);
+            assert_eq!(
+                observables(&baseline),
+                observables(&other),
+                "{shards:?} x {threads:?} diverged from serial"
+            );
+        }
+    }
 }

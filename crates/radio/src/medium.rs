@@ -64,7 +64,14 @@ pub struct TxBatch {
 pub struct Medium {
     topology: Topology,
     loss: LossModel,
-    rng: RngStream,
+    /// Per-transmitter loss streams: `rng[src]` is
+    /// `derive(seed, "radio.medium").substream(src)`. Every draw a
+    /// transmission makes (burst-channel advance and per-receiver loss
+    /// chances) comes from the transmitter's own stream, so draw order
+    /// depends only on that node's transmission order — never on how
+    /// events from different nodes interleave globally. This is what lets
+    /// shard event loops run concurrently without perturbing outcomes.
+    rng: Vec<RngStream>,
     /// Per directed link (src, dst): burst channel state.
     burst_state: HashMap<(NodeId, NodeId), GilbertElliott>,
     /// Per receiver: time until which its radio is busy receiving.
@@ -86,12 +93,17 @@ pub struct Medium {
 
 impl Medium {
     /// Creates a medium over `topology` with the given loss model; `seed`
-    /// drives all loss draws deterministically.
+    /// drives all loss draws deterministically, via one substream per
+    /// transmitter.
     pub fn new(topology: Topology, loss: LossModel, seed: u64) -> Self {
+        let root = RngStream::derive(seed, "radio.medium");
+        let rng = (0..topology.len())
+            .map(|i| root.substream(i as u64))
+            .collect();
         Medium {
             topology,
             loss,
-            rng: RngStream::derive(seed, "radio.medium"),
+            rng,
             burst_state: HashMap::new(),
             rx_busy_until: HashMap::new(),
             tx_busy: Vec::new(),
@@ -226,24 +238,26 @@ impl Medium {
         }
         self.rx_busy_until.insert(dst, end);
 
-        // Burst state for this directed link.
+        // Burst state for this directed link. The directed (src, dst) state
+        // is only ever advanced while `src` transmits, so drawing from the
+        // transmitter's substream keeps each link's dwell sequence a pure
+        // function of that node's transmission history.
+        let rng = &mut self.rng[frame.src.index()];
         if let Some(template) = &self.loss.bursts {
             let ge = self
                 .burst_state
                 .entry((frame.src, dst))
                 .or_insert_with(|| template.clone());
-            // Each link advances with draws from the shared medium stream;
-            // determinism holds because event dispatch order is deterministic.
-            if ge.advance(now, &mut self.rng) {
+            if ge.advance(now, rng) {
                 let bad_loss = ge.bad_loss;
-                if self.rng.chance(bad_loss) {
+                if rng.chance(bad_loss) {
                     return DeliveryOutcome::LostChannel;
                 }
             }
         }
 
         let p = self.loss.frame_loss_probability(frame.on_air_bits());
-        if self.rng.chance(p) {
+        if rng.chance(p) {
             DeliveryOutcome::LostChannel
         } else {
             DeliveryOutcome::Delivered

@@ -89,6 +89,15 @@ pub struct ShardedQueue<E> {
     /// actual head on surfacing; stale ones (the head was popped, cancelled,
     /// or displaced by a newer earlier event) are discarded and replaced.
     active: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    /// Shard of the most recently popped event — the "origin" attributed to
+    /// schedules made while its handler runs, for cross-shard accounting.
+    current_shard: Option<usize>,
+    /// Times the merge window re-anchored (synchronization barriers a
+    /// threaded engine would pay).
+    barriers: u64,
+    /// Schedules whose destination shard differed from the origin shard —
+    /// the cross-shard mailbox traffic a threaded engine would exchange.
+    mailbox_events: u64,
 }
 
 impl<E> ShardedQueue<E> {
@@ -107,6 +116,9 @@ impl<E> ShardedQueue<E> {
             lookahead_us: lookahead.as_micros().max(1),
             window_end: SimTime::ZERO,
             active: BinaryHeap::new(),
+            current_shard: None,
+            barriers: 0,
+            mailbox_events: 0,
         }
     }
 
@@ -131,6 +143,19 @@ impl<E> ShardedQueue<E> {
         self.shards.iter().map(EventQueue::dispatched).sum()
     }
 
+    /// Times the merge window re-anchored — each is a synchronization
+    /// barrier where a threaded engine would rendezvous its shard workers.
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Schedules that crossed a shard boundary (the event fired by one
+    /// shard's handler was destined for another shard) — the mailbox
+    /// traffic a threaded engine would exchange at barriers.
+    pub fn mailbox_events(&self) -> u64 {
+        self.mailbox_events
+    }
+
     /// Physical entries held across all shards (live + tombstoned).
     pub fn len(&self) -> usize {
         self.shards.iter().map(EventQueue::len).sum()
@@ -152,6 +177,9 @@ impl<E> ShardedQueue<E> {
     ///
     /// Panics if `shard` is out of range.
     pub fn schedule(&mut self, shard: usize, at: SimTime, payload: E) -> ShardEventId {
+        if self.current_shard.is_some_and(|origin| origin != shard) {
+            self.mailbox_events += 1;
+        }
         let at = at.max(self.now);
         let stamp = self.next_stamp;
         self.next_stamp += 1;
@@ -185,6 +213,7 @@ impl<E> ShardedQueue<E> {
         let (popped_at, (_, payload)) = self.shards[shard].pop().expect("validated head");
         debug_assert_eq!(popped_at, at);
         self.now = at;
+        self.current_shard = Some(shard);
         // Keep the merge-set invariant: a shard whose (new) head is inside
         // the window is always represented.
         if let Some((t, _, &(s, _))) = self.shards[shard].peek() {
@@ -239,6 +268,7 @@ impl<E> ShardedQueue<E> {
         let Some(start) = min_at else {
             return false;
         };
+        self.barriers += 1;
         self.window_end = start + SimDuration::from_micros(self.lookahead_us);
         debug_assert!(self.window_end > start, "window must admit its anchor");
         for (i, q) in self.shards.iter_mut().enumerate() {
@@ -367,6 +397,54 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedQueue::<()>::new(0, SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn cancel_across_barrier_window_is_exact() {
+        // Regression: an event admitted to one merge window, cancelled, and
+        // then survived by a *later* window must neither fire nor wedge the
+        // merge set. Both cancellation timings are exercised: before the
+        // window it was admitted to drains, and after the set re-anchors.
+        let mut q = ShardedQueue::new(2, SimDuration::from_micros(10));
+        let a = q.schedule(0, us(5), "a");
+        let b = q.schedule(1, us(8), "b");
+        let far = q.schedule(1, us(1_000), "far");
+        assert_eq!(q.peek_time(), Some(us(5))); // window [5, 15): a and b in
+        assert!(q.cancel(b), "cancel inside the open window");
+        assert_eq!(q.pop(), Some((us(5), "a")));
+        assert!(!q.cancel(a), "already fired");
+        // The set drains; the next window re-anchors at `far`. Cancel it
+        // after it has been admitted to the fresh window.
+        assert_eq!(q.peek_time(), Some(us(1_000)));
+        assert!(q.cancel(far), "cancel across the barrier");
+        assert_eq!(q.pop(), None, "no ghost of a cancelled head");
+        // The queue stays usable after draining through stale entries.
+        q.schedule(0, us(2_000), "later");
+        assert_eq!(q.pop(), Some((us(2_000), "later")));
+    }
+
+    #[test]
+    fn barrier_and_mailbox_counters_track_windows_and_crossings() {
+        let mut q = ShardedQueue::new(2, SimDuration::from_micros(10));
+        assert_eq!((q.barriers(), q.mailbox_events()), (0, 0));
+        // No pop yet: schedules have no origin shard, so nothing counts as
+        // mailbox traffic regardless of destination.
+        q.schedule(0, us(5), "a");
+        q.schedule(1, us(6), "b");
+        assert_eq!(q.mailbox_events(), 0);
+        assert_eq!(q.pop(), Some((us(5), "a"))); // opens window 1
+        assert_eq!(q.barriers(), 1);
+        // Origin is now shard 0: a same-shard schedule is free, a
+        // cross-shard one is mailbox traffic.
+        q.schedule(0, us(7), "local");
+        assert_eq!(q.mailbox_events(), 0);
+        q.schedule(1, us(8), "remote");
+        assert_eq!(q.mailbox_events(), 1);
+        while q.pop().is_some() {}
+        // Distant follow-up forces a re-anchor: another barrier.
+        q.schedule(0, us(5_000), "far");
+        assert_eq!(q.pop(), Some((us(5_000), "far")));
+        assert!(q.barriers() >= 2);
     }
 
     proptest! {
