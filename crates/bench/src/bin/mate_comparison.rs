@@ -59,10 +59,7 @@ fn agilla_retask_one(seed: u64, grid: i16) -> (u64, f64) {
     // Retask the far corner: the worst case for targeted injection.
     let target = Location::new(grid, grid);
     let bed = Testbed::new(
-        TopologySpec::Custom {
-            topology: Topology::grid_with_base(grid, grid),
-            loss: LossModel::perfect(),
-        },
+        TopologySpec::custom(Topology::grid_with_base(grid, grid), LossModel::perfect()),
         AgillaConfig::default(),
         seed,
     );

@@ -8,17 +8,19 @@
 //! the same `TrialSpec` step script the figures always ran, the port from
 //! hand-written step scripts changed no output byte.
 
-use agilla::scenario::{AppMix, AppSpec, OneShot, Periodic, Perturbation, Poisson, ScenarioSpec};
+use agilla::scenario::{
+    AppMix, AppSpec, ClosedLoop, OneShot, Periodic, Perturbation, Poisson, ScenarioSpec,
+};
 use agilla::workload;
 use agilla::{
-    AgillaConfig, AgillaNetwork, AppId, AppProfile, AppQuota, EnergyConfig, Environment, FireModel,
-    Priority, Shards, SimThreads, TenantApp, Testbed,
+    AgillaConfig, AgillaNetwork, AppId, AppProfile, AppQuota, DistanceLoss, EnergyConfig,
+    Environment, FireModel, Motion, Priority, Shards, SimThreads, TenantApp, Testbed, TopologySpec,
 };
 use agilla_vm::exec::{run_to_effect, StepResult, TestHost};
 use agilla_vm::isa::{CostModel, Opcode};
 use agilla_vm::{asm, AgentState};
 use wsn_common::{AgentId, Location};
-use wsn_radio::{EnergyBreakdown, EnergyState, LossModel};
+use wsn_radio::{Connectivity, EnergyBreakdown, EnergyState, LossModel, Topology};
 use wsn_sim::{LatencyRecorder, Metrics, SimDuration, SimTime};
 
 use crate::engine::run_trials_parallel;
@@ -1188,6 +1190,469 @@ pub fn fig_tenancy(
         .collect()
 }
 
+// --- fig_mobile: moving motes on a position-driven channel ------------------
+
+/// One row of the vehicle-crossing sweep: a mote driving across a static
+/// field row while an on-board agent reports position fixes to the base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossingRow {
+    /// Vehicle speed, grid units per second.
+    pub speed: f64,
+    /// Position reports the on-board agent issued, summed across trials.
+    pub reports: u64,
+    /// Reports whose `veh` tuple landed in the base's tuple space — the
+    /// ground truth, counted at the horizon.
+    pub landed: u64,
+    /// Reports whose completion reply also caught the vehicle
+    /// (`RemoteCompleted` success). Locations are addresses in Agilla, so
+    /// a reply chases the cell the vehicle issued from — crossing a cell
+    /// boundary mid-operation orphans the ack even when the report landed.
+    pub acked: u64,
+    /// Grid-cell crossings the motion subsystem performed (`motion.moves`).
+    pub moves: u64,
+    /// Protocol frames per trial (beacons excluded), mean.
+    pub frames_per_trial: f64,
+}
+
+/// The vehicle-crossing substrate: a base station and a five-mote field
+/// row on `y = 1`, with the vehicle booting one row south at `(0, 2)` so
+/// its path never lands on a static mote's address. Links exist within
+/// 1.5 grid units and soften with live distance: zero extra loss up close,
+/// ramping toward 30 % at the connectivity edge — so the diagonal hops the
+/// vehicle leans on cost retransmissions, and range, not luck, decides
+/// when its reports stop landing.
+fn crossing_testbed(config: &AgillaConfig, base_seed: u64) -> Testbed {
+    let mut positions = vec![Location::new(0, 1)];
+    positions.extend((1..=5).map(|x| Location::new(x, 1)));
+    positions.push(Location::new(0, 2)); // the vehicle's boot address
+    let topology = Topology::new(positions, Connectivity::Range(1.5));
+    let loss = LossModel::perfect().with_distance(DistanceLoss::new(1.0, 1.6, 0.3));
+    Testbed::new(
+        TopologySpec::custom(topology, loss),
+        config.clone(),
+        base_seed,
+    )
+}
+
+/// One vehicle-crossing trial: the vehicle drives east at `speed` while its
+/// reporter samples the navigation sensor and routs six position fixes back
+/// to the base, two seconds apart.
+fn fig_mobile_crossing_scenario(bed: &Testbed, speed: f64, seed_mix: u64) -> ScenarioSpec {
+    const HORIZON: SimDuration = SimDuration::from_micros(20_000_000);
+    let base = Location::new(0, 1);
+    let vehicle = Location::new(0, 2);
+    bed.scenario(seed_mix)
+        .motion(vehicle, Motion::ConstantVelocity { vx: speed, vy: 0.0 })
+        .traffic(OneShot::at(
+            vehicle,
+            workload::vehicle_reporter(base, 6, 16),
+        ))
+        .horizon(HORIZON)
+}
+
+/// Runs the vehicle-crossing sweep (fig_mobile, first table): the same
+/// six-report mission at three speeds. A slow vehicle stays over the field
+/// and lands every fix; a fast one outruns the field's radio coverage
+/// mid-mission, so delivery decays with speed — the position-driven channel
+/// made visible in one column.
+pub fn fig_mobile_crossing(
+    trials: u32,
+    base_seed: u64,
+    config: &AgillaConfig,
+    threads: usize,
+) -> Vec<CrossingRow> {
+    const SPEEDS: [f64; 3] = [0.25, 0.5, 1.0];
+    let bed = crossing_testbed(config, base_seed);
+    let mut items: Vec<(usize, ScenarioSpec)> = Vec::new();
+    for (s, &speed) in SPEEDS.iter().enumerate() {
+        for t in 0..trials {
+            let spec =
+                fig_mobile_crossing_scenario(&bed, speed, u64::from(t) * 524_287 + s as u64 * 97);
+            items.push((s, spec));
+        }
+    }
+    struct CrossingOutcome {
+        reports: u64,
+        landed: u64,
+        acked: u64,
+        frames: u64,
+        metrics: Metrics,
+    }
+    let outcomes = run_trials_parallel(&items, threads, |(_, spec)| {
+        let mut trial = spec.execute();
+        let net = &trial.net;
+        let id = trial.agent(0);
+        let ops = net.log().remote_ops_of(id);
+        let acked = ops
+            .iter()
+            .filter(|op| matches!(net.log().remote_completion(**op), Some((true, _, _))))
+            .count() as u64;
+        let veh = agilla_tuplespace::Field::str("veh");
+        let landed = net
+            .node(net.base())
+            .space
+            .iter()
+            .filter(|t| t.fields().contains(&veh))
+            .count() as u64;
+        let frames =
+            net.metrics().counter("radio.frames_sent") - net.metrics().counter("radio.beacons");
+        CrossingOutcome {
+            reports: ops.len() as u64,
+            landed,
+            acked,
+            frames,
+            metrics: trial.net.take_metrics(),
+        }
+    });
+    SPEEDS
+        .iter()
+        .enumerate()
+        .map(|(s, &speed)| {
+            let mut row = CrossingRow {
+                speed,
+                reports: 0,
+                landed: 0,
+                acked: 0,
+                moves: 0,
+                frames_per_trial: 0.0,
+            };
+            // Fold in spec order — deterministic at any thread count.
+            let mut fold = Metrics::new();
+            let mut frames = 0u64;
+            for ((is, _), o) in items.iter().zip(&outcomes) {
+                if *is != s {
+                    continue;
+                }
+                fold.merge(&o.metrics);
+                row.reports += o.reports;
+                row.landed += o.landed;
+                row.acked += o.acked;
+                frames += o.frames;
+            }
+            row.moves = fold.counter("motion.moves");
+            row.frames_per_trial = frames as f64 / f64::from(trials.max(1));
+            row
+        })
+        .collect()
+}
+
+/// One row of the mobile-relay experiment: how much closed-loop round-trip
+/// traffic crosses a partitioned network before and after a moving relay
+/// bridges the gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayRow {
+    /// Relay travel speed, grid units per second (0 = the relay never
+    /// leaves its parking spot — the partition persists).
+    pub relay_speed: f64,
+    /// When the relay's parked position first bridges the clusters,
+    /// seconds; `None` for the static control.
+    pub bridge_s: Option<f64>,
+    /// Agents the closed-loop client issued, summed across trials.
+    pub issued: u64,
+    /// Arrivals at the far cluster before the bridge formed.
+    pub far_arrivals_before: u64,
+    /// Arrivals at the far cluster after the bridge formed.
+    pub far_arrivals_after: u64,
+    /// Round trips completed: agents that reached the far mote and made it
+    /// back to the base station.
+    pub round_trips: u64,
+}
+
+/// The relay substrate: two two-mote clusters on `y = 1` separated by a
+/// three-unit gap no 2.0-unit radio can cross, plus the relay's boot
+/// address far to the south. Lossless links isolate the topology effect.
+fn relay_testbed(config: &AgillaConfig, base_seed: u64) -> Testbed {
+    let positions = vec![
+        Location::new(0, 1), // base station — west cluster
+        Location::new(1, 1),
+        Location::new(4, 1), // east cluster
+        Location::new(5, 1),
+        Location::new(2, -5), // the relay's boot address
+    ];
+    let topology = Topology::new(positions, Connectivity::Range(2.0));
+    Testbed::new(
+        TopologySpec::custom(topology, LossModel::perfect()),
+        config.clone(),
+        base_seed,
+    )
+}
+
+/// Travel distance before the relay's *quantized* position first reads its
+/// parking cell `(2, 1)` — one unit from the west cluster, two from the
+/// east, so a parked relay is the bridge. The full boot-to-park path is six
+/// units, but positions round to the nearest cell, so the relay's address
+/// flips to the bridge half a unit early.
+const RELAY_BRIDGE_UNITS: f64 = 5.5;
+
+/// One mobile-relay trial: a closed-loop client at the base keeps one
+/// round-trip agent outstanding toward the unreachable east cluster while
+/// the relay walks north and parks in the gap.
+fn fig_mobile_relay_scenario(bed: &Testbed, relay_speed: f64, seed_mix: u64) -> ScenarioSpec {
+    const HORIZON: SimDuration = SimDuration::from_micros(30_000_000);
+    bed.scenario(seed_mix)
+        .motion(
+            Location::new(2, -5),
+            Motion::LinearWaypoints {
+                waypoints: vec![Location::new(2, 1)],
+                speed: relay_speed,
+            },
+        )
+        .client(ClosedLoop::at_base(
+            SimDuration::from_millis(500),
+            40,
+            workload::smove_test_agent(Location::new(5, 1), Location::new(0, 1)),
+        ))
+        .horizon(HORIZON)
+}
+
+/// Runs the mobile-relay experiment (fig_mobile, second table): with the
+/// relay static the partition holds and no agent ever reaches the far
+/// cluster; once it parks in the gap the same closed-loop traffic starts
+/// completing round trips — and a faster relay heals the partition sooner.
+pub fn fig_mobile_relay(
+    trials: u32,
+    base_seed: u64,
+    config: &AgillaConfig,
+    threads: usize,
+) -> Vec<RelayRow> {
+    const SPEEDS: [f64; 3] = [0.0, 0.5, 1.0];
+    let bed = relay_testbed(config, base_seed);
+    let mut items: Vec<(usize, ScenarioSpec)> = Vec::new();
+    for (s, &speed) in SPEEDS.iter().enumerate() {
+        for t in 0..trials {
+            let spec =
+                fig_mobile_relay_scenario(&bed, speed, u64::from(t) * 524_287 + s as u64 * 131);
+            items.push((s, spec));
+        }
+    }
+    let bridge_s =
+        |speed: f64| -> Option<f64> { (speed > 0.0).then(|| RELAY_BRIDGE_UNITS / speed) };
+    struct RelayOutcome {
+        issued: u64,
+        before: u64,
+        after: u64,
+        round_trips: u64,
+    }
+    let outcomes = run_trials_parallel(&items, threads, |(s, spec)| {
+        let trial = spec.execute();
+        let net = &trial.net;
+        let far = net.node_at(Location::new(5, 1)).expect("far mote");
+        let split = bridge_s(SPEEDS[*s]).unwrap_or(f64::INFINITY);
+        let mut before = 0u64;
+        let mut after = 0u64;
+        let mut far_agents: Vec<AgentId> = Vec::new();
+        for rec in net.log().records() {
+            if let agilla::stats::OpRecord::MigrationArrived {
+                agent, node, at, ..
+            } = rec
+            {
+                if *node == far {
+                    if at.as_secs_f64() < split {
+                        before += 1;
+                    } else {
+                        after += 1;
+                    }
+                    far_agents.push(*agent);
+                }
+            }
+        }
+        far_agents.dedup();
+        let round_trips = far_agents
+            .iter()
+            .filter(|a| net.log().arrived(**a, net.base()))
+            .count() as u64;
+        RelayOutcome {
+            issued: trial.agents.len() as u64,
+            before,
+            after,
+            round_trips,
+        }
+    });
+    SPEEDS
+        .iter()
+        .enumerate()
+        .map(|(s, &speed)| {
+            let mut row = RelayRow {
+                relay_speed: speed,
+                bridge_s: bridge_s(speed),
+                issued: 0,
+                far_arrivals_before: 0,
+                far_arrivals_after: 0,
+                round_trips: 0,
+            };
+            for ((is, _), o) in items.iter().zip(&outcomes) {
+                if *is != s {
+                    continue;
+                }
+                row.issued += o.issued;
+                row.far_arrivals_before += o.before;
+                row.far_arrivals_after += o.after;
+                row.round_trips += o.round_trips;
+            }
+            row
+        })
+        .collect()
+}
+
+/// One row of the fire-front experiment: a spreading fire sweeps a field
+/// watched by static detectors and one orbiting sentinel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FireFrontRow {
+    /// Fire front speed, grid units per second.
+    pub spread_per_sec: f64,
+    /// First successful fire alert, seconds after boot, averaged over the
+    /// trials that produced one.
+    pub first_alert_s: Option<f64>,
+    /// Fire alerts that completed at the base, summed across trials.
+    pub alerts_ok: u64,
+    /// Tracker-clone arrivals chasing the alerts, summed across trials.
+    pub tracker_arrivals: u64,
+    /// Grid-cell crossings the sentinel performed (`motion.moves`).
+    pub moves: u64,
+}
+
+/// The fire-front substrate: the 5×5 grid plus base under 1.5-unit range
+/// links (diagonals connect), with the sentinel's boot address south of the
+/// field. Its one-unit orbit sweeps along the grid's bottom edge, joining
+/// the network near the top of each revolution and dropping off the bottom.
+fn fire_testbed(config: &AgillaConfig, base_seed: u64) -> Testbed {
+    let mut positions = vec![Location::new(0, 1)];
+    for y in 1..=5i16 {
+        for x in 1..=5i16 {
+            positions.push(Location::new(x, y));
+        }
+    }
+    positions.push(Location::new(4, -1)); // the sentinel's boot address
+    let topology = Topology::new(positions, Connectivity::Range(1.5));
+    Testbed::new(
+        TopologySpec::custom(topology, LossModel::perfect()),
+        config.clone(),
+        base_seed,
+    )
+}
+
+/// One fire-front trial: a fire ignites mid-field at t = 5 s and spreads at
+/// `spread_per_sec`; FIREDETECTORs sit at `(2,3)` and `(4,3)` with a third
+/// riding the orbiting sentinel, and a FIRETRACKER waits at the base to
+/// clone toward every alert.
+fn fig_mobile_fire_scenario(bed: &Testbed, spread_per_sec: f64, seed_mix: u64) -> ScenarioSpec {
+    const HORIZON: SimDuration = SimDuration::from_micros(40_000_000);
+    let base = Location::new(0, 1);
+    let sentinel = Location::new(4, -1);
+    let ignition = SimTime::ZERO + SimDuration::from_micros(5_000_000);
+    let mut fire = FireModel::new(Location::new(3, 3), ignition);
+    fire.spread_per_sec = spread_per_sec;
+    bed.scenario(seed_mix)
+        .with_env(Environment::with_fire(fire))
+        .motion(
+            sentinel,
+            Motion::Circle {
+                radius: 1.0,
+                period_s: 12.0,
+            },
+        )
+        .traffic(OneShot::at_base(workload::FIRE_TRACKER))
+        .traffic(OneShot::at(
+            Location::new(2, 3),
+            workload::fire_detector(base, 8),
+        ))
+        .traffic(OneShot::at(
+            Location::new(4, 3),
+            workload::fire_detector(base, 8),
+        ))
+        .traffic(OneShot::at(sentinel, workload::fire_detector(base, 8)))
+        .horizon(HORIZON)
+}
+
+/// Runs the fire-front experiment (fig_mobile, third table): the moving
+/// front reaches the static detectors first and the orbiting sentinel
+/// later — and a faster front compresses both the first alert and the
+/// tracker's response window.
+pub fn fig_mobile_fire(
+    trials: u32,
+    base_seed: u64,
+    config: &AgillaConfig,
+    threads: usize,
+) -> Vec<FireFrontRow> {
+    const SPREADS: [f64; 2] = [0.2, 0.4];
+    let bed = fire_testbed(config, base_seed);
+    let mut items: Vec<(usize, ScenarioSpec)> = Vec::new();
+    for (s, &spread) in SPREADS.iter().enumerate() {
+        for t in 0..trials {
+            let spec =
+                fig_mobile_fire_scenario(&bed, spread, u64::from(t) * 524_287 + s as u64 * 193);
+            items.push((s, spec));
+        }
+    }
+    struct FireOutcome {
+        first_alert_s: Option<f64>,
+        alerts_ok: u64,
+        tracker_arrivals: u64,
+        metrics: Metrics,
+    }
+    let outcomes = run_trials_parallel(&items, threads, |(_, spec)| {
+        let mut trial = spec.execute();
+        let net = &trial.net;
+        let mut first_alert_s = None;
+        let mut alerts_ok = 0u64;
+        let mut tracker_arrivals = 0u64;
+        for rec in net.log().records() {
+            match rec {
+                agilla::stats::OpRecord::RemoteCompleted {
+                    success: true, at, ..
+                } => {
+                    alerts_ok += 1;
+                    if first_alert_s.is_none() {
+                        first_alert_s = Some(at.as_secs_f64());
+                    }
+                }
+                agilla::stats::OpRecord::MigrationArrived { .. } => tracker_arrivals += 1,
+                _ => {}
+            }
+        }
+        FireOutcome {
+            first_alert_s,
+            alerts_ok,
+            tracker_arrivals,
+            metrics: trial.net.take_metrics(),
+        }
+    });
+    SPREADS
+        .iter()
+        .enumerate()
+        .map(|(s, &spread)| {
+            let mut row = FireFrontRow {
+                spread_per_sec: spread,
+                first_alert_s: None,
+                alerts_ok: 0,
+                tracker_arrivals: 0,
+                moves: 0,
+            };
+            // Fold in spec order — deterministic at any thread count.
+            let mut fold = Metrics::new();
+            let mut alert_sum = 0.0;
+            let mut alert_n = 0u32;
+            for ((is, _), o) in items.iter().zip(&outcomes) {
+                if *is != s {
+                    continue;
+                }
+                fold.merge(&o.metrics);
+                row.alerts_ok += o.alerts_ok;
+                row.tracker_arrivals += o.tracker_arrivals;
+                if let Some(t) = o.first_alert_s {
+                    alert_sum += t;
+                    alert_n += 1;
+                }
+            }
+            if alert_n > 0 {
+                row.first_alert_s = Some(alert_sum / f64::from(alert_n));
+            }
+            row.moves = fold.counter("motion.moves");
+            row
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1335,6 +1800,123 @@ mod tests {
         let serial = fig_tenancy(2, 7, &AgillaConfig::default(), 1, Shards::Serial);
         let threaded = fig_tenancy(2, 7, &AgillaConfig::default(), 4, Shards::Serial);
         let sharded = fig_tenancy(2, 7, &AgillaConfig::default(), 2, Shards::Fixed(2));
+        assert_eq!(serial, threaded);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn loss_ramp_scenario_recovers_when_a_dropped_link_heals() {
+        // The loss-ramp family's perturbation path, extended with the
+        // inverse fault: drop the base's only bottom-row link mid-run, then
+        // heal it. Both events must land, and the healed network still
+        // completes work after the repair.
+        let bed = Testbed::lossy_5x5(AgillaConfig::default(), 0xF1A);
+        let trial = fig_mix_scenario(&bed, 0.5, 524_287)
+            .event(
+                SimDuration::from_micros(10_000_000),
+                Perturbation::DropLink(Location::new(0, 1), Location::new(1, 1)),
+            )
+            .event(
+                SimDuration::from_micros(25_000_000),
+                Perturbation::HealLink(Location::new(0, 1), Location::new(1, 1)),
+            )
+            .execute();
+        let m = trial.net.metrics();
+        assert_eq!(m.counter("faults.links_dropped"), 1);
+        assert_eq!(m.counter("faults.links_healed"), 1);
+        let base = trial.net.base();
+        let neighbor = trial.net.node_at(Location::new(1, 1)).unwrap();
+        assert!(
+            trial.net.medium().topology().are_neighbors(base, neighbor),
+            "healed link is live again"
+        );
+        // Work completed after the heal (the log keeps everything).
+        assert!(trial.net.log().records().iter().any(|r| matches!(
+            r,
+            agilla::stats::OpRecord::AgentHalted { at, .. }
+                if at.as_secs_f64() > 25.0
+        )));
+    }
+
+    #[test]
+    fn fig_mobile_crossing_delivery_decays_with_speed() {
+        let rows = fig_mobile_crossing(2, 0x30B, &AgillaConfig::default(), 1);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.reports > 0, "{} u/s issued no reports", r.speed);
+            assert!(r.moves > 0, "{} u/s never moved", r.speed);
+            // A success reply implies the tuple was inserted first.
+            assert!(r.acked <= r.landed && r.landed <= r.reports, "{r:?}");
+        }
+        // The slow vehicle stays over the field: nearly every fix lands.
+        // The fast one outruns the field's radio coverage mid-mission and
+        // loses fixes outright.
+        assert!(rows[0].landed * 4 >= rows[0].reports * 3, "{rows:?}");
+        assert!(rows[2].landed < rows[2].reports, "{rows:?}");
+        assert!(rows[0].landed > rows[2].landed, "{rows:?}");
+        // A faster vehicle crosses more cells within the same horizon.
+        assert!(rows[2].moves > rows[0].moves);
+    }
+
+    #[test]
+    fn fig_mobile_relay_bridges_the_partition() {
+        let rows = fig_mobile_relay(2, 0x30B, &AgillaConfig::default(), 1);
+        assert_eq!(rows.len(), 3);
+        let (control, slow, fast) = (&rows[0], &rows[1], &rows[2]);
+        // The static control never reaches the far cluster.
+        assert_eq!(control.bridge_s, None);
+        assert_eq!(
+            control.far_arrivals_before + control.far_arrivals_after,
+            0,
+            "{control:?}"
+        );
+        assert_eq!(control.round_trips, 0);
+        assert!(control.issued > 0, "the client kept trying regardless");
+        // A moving relay heals the partition: traffic flows only after the
+        // bridge forms, and round trips complete.
+        for r in [slow, fast] {
+            assert_eq!(r.far_arrivals_before, 0, "{r:?}");
+            assert!(r.far_arrivals_after > 0, "{r:?}");
+            assert!(r.round_trips > 0, "{r:?}");
+        }
+        // A faster relay bridges sooner, buying a longer service window.
+        assert!(fast.bridge_s < slow.bridge_s);
+        assert!(fast.round_trips >= slow.round_trips, "{rows:?}");
+    }
+
+    #[test]
+    fn fig_mobile_fire_front_reaches_detectors_and_trackers_respond() {
+        let rows = fig_mobile_fire(2, 0x30B, &AgillaConfig::default(), 1);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.alerts_ok > 0, "{r:?}");
+            assert!(r.tracker_arrivals > 0, "{r:?}");
+            assert!(r.moves > 0, "the sentinel orbits");
+            assert!(r.first_alert_s.is_some(), "{r:?}");
+        }
+        // A faster front reaches the detectors sooner.
+        assert!(rows[1].first_alert_s < rows[0].first_alert_s, "{rows:?}");
+    }
+
+    #[test]
+    fn fig_mobile_identical_across_threads_shards_and_sim_threads() {
+        let run = |config: &AgillaConfig, threads: usize| {
+            (
+                fig_mobile_crossing(2, 9, config, threads),
+                fig_mobile_relay(2, 9, config, threads),
+                fig_mobile_fire(1, 9, config, threads),
+            )
+        };
+        let serial = run(&AgillaConfig::default(), 1);
+        let threaded = run(&AgillaConfig::default(), 4);
+        let sharded = run(
+            &AgillaConfig {
+                shards: Shards::Fixed(2),
+                sim_threads: SimThreads::Fixed(2),
+                ..AgillaConfig::default()
+            },
+            2,
+        );
         assert_eq!(serial, threaded);
         assert_eq!(serial, sharded);
     }

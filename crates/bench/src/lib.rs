@@ -21,9 +21,10 @@ pub use cli::BenchArgs;
 pub use engine::{run_trials_parallel, TrialExecutor};
 pub use harness::{
     fig11_one_hop, fig12_local_ops, fig12_local_ops_opts, fig9_fig10, fig_energy_agents_alive,
-    fig_energy_lifetime, fig_energy_per_op, fig_mix, fig_mix_loss_ramp, fig_tenancy, AliveSample,
-    EnergyOpRow, Fig11Row, Fig12Row, HopResult, LifetimeRow, LossRampRow, MixRow, RemoteOpKind,
-    TenancyRow,
+    fig_energy_lifetime, fig_energy_per_op, fig_mix, fig_mix_loss_ramp, fig_mobile_crossing,
+    fig_mobile_fire, fig_mobile_relay, fig_tenancy, AliveSample, CrossingRow, EnergyOpRow,
+    Fig11Row, Fig12Row, FireFrontRow, HopResult, LifetimeRow, LossRampRow, MixRow, RelayRow,
+    RemoteOpKind, TenancyRow,
 };
 pub use report::Table;
 pub use scale::{fig_scale, shard_distribution_line, ScaleRow};

@@ -134,10 +134,7 @@ pub fn fig_scale(
     for (s, &motes) in sizes.iter().enumerate() {
         let side = (motes as f64).sqrt().floor() as i16;
         let bed = Testbed::new(
-            TopologySpec::Custom {
-                topology: Topology::grid(side, side),
-                loss: LossModel::perfect(),
-            },
+            TopologySpec::custom(Topology::grid(side, side), LossModel::perfect()),
             AgillaConfig::default(),
             base_seed,
         )

@@ -7,8 +7,11 @@
 //! (reduced-trial) sweeps at 1 and several worker threads and compare the
 //! *complete* serialized results, including an energy-enabled family.
 
-use agilla::{AgillaConfig, SimThreads};
-use agilla_bench::{fig11_one_hop, fig9_fig10, fig_energy_lifetime, fig_energy_per_op, fig_mix};
+use agilla::{AgillaConfig, Shards, SimThreads};
+use agilla_bench::{
+    fig11_one_hop, fig9_fig10, fig_energy_lifetime, fig_energy_per_op, fig_mix,
+    fig_mobile_crossing, fig_mobile_relay,
+};
 
 #[test]
 fn fig9_sweep_identical_across_thread_counts() {
@@ -46,6 +49,34 @@ fn fig_mix_sweep_identical_across_thread_counts() {
         let parallel = format!("{:?}", fig_mix(2, 7, &AgillaConfig::default(), threads));
         assert_eq!(serial, parallel, "fig_mix diverged at {threads} threads");
     }
+}
+
+#[test]
+fn fig_mobile_sweep_identical_across_every_parallelism_knob() {
+    // Mobility moves nodes *between* radio cells mid-trial — the exact
+    // operation that could desynchronize the sharded timeline's cell-run
+    // assignment or a per-node RNG substream. Sweep two families across
+    // executor threads, spatial shards, and intra-trial workers at once.
+    let serial_cfg = AgillaConfig::default();
+    let knobs_cfg = AgillaConfig {
+        shards: Shards::Fixed(2),
+        sim_threads: SimThreads::Fixed(2),
+        ..AgillaConfig::default()
+    };
+    let serial = format!(
+        "{:?} {:?}",
+        fig_mobile_crossing(2, 21, &serial_cfg, 1),
+        fig_mobile_relay(2, 21, &serial_cfg, 1),
+    );
+    let knobs = format!(
+        "{:?} {:?}",
+        fig_mobile_crossing(2, 21, &knobs_cfg, 2),
+        fig_mobile_relay(2, 21, &knobs_cfg, 2),
+    );
+    assert_eq!(
+        serial, knobs,
+        "fig_mobile diverged under shards/sim-threads"
+    );
 }
 
 #[test]

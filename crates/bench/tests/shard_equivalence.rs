@@ -54,10 +54,7 @@ fn random_scenario(
     let clamp = |(x, y): (i16, i16)| Location::new(x.clamp(1, w), y.clamp(1, h));
     let base = Location::new(1, 1);
     let bed = Testbed::new(
-        TopologySpec::Custom {
-            topology: Topology::grid(w, h),
-            loss: LossModel::mica2_testbed(),
-        },
+        TopologySpec::custom(Topology::grid(w, h), LossModel::mica2_testbed()),
         AgillaConfig::default(),
         seed,
     )

@@ -21,16 +21,25 @@ pub enum SensorType {
     Magnetometer = 3,
     /// Microphone peak detector.
     Sound = 4,
+    /// Direction of travel from the host mote's motion model: whole degrees
+    /// counterclockwise from +x in `[0, 360)`. Reads as "no reading" on a
+    /// static mote — a stationary vehicle has no heading.
+    Heading = 5,
+    /// Ground speed from the host mote's motion model, hundredths of a grid
+    /// unit per second. Reads as "no reading" on a static mote.
+    Speed = 6,
 }
 
 impl SensorType {
     /// All sensor types, in wire-code order.
-    pub const ALL: [SensorType; 5] = [
+    pub const ALL: [SensorType; 7] = [
         SensorType::Temperature,
         SensorType::Light,
         SensorType::Accelerometer,
         SensorType::Magnetometer,
         SensorType::Sound,
+        SensorType::Heading,
+        SensorType::Speed,
     ];
 
     /// Wire code carried in tuple fields and the `sense` operand.
@@ -51,6 +60,8 @@ impl SensorType {
             SensorType::Accelerometer => "accelerometer",
             SensorType::Magnetometer => "magnetometer",
             SensorType::Sound => "sound",
+            SensorType::Heading => "heading",
+            SensorType::Speed => "speed",
         }
     }
 
@@ -69,6 +80,10 @@ impl SensorType {
             SensorType::Accelerometer => 17_000, // ADXL202 start-up dominates
             SensorType::Magnetometer => 35_000,
             SensorType::Sound => 1_200,
+            // Navigation "sensors" read the motion model, not an ADC: a GPS
+            // module's register fetch, cheap next to any excitation cycle.
+            SensorType::Heading => 500,
+            SensorType::Speed => 500,
         }
     }
 
@@ -82,6 +97,8 @@ impl SensorType {
             SensorType::Accelerometer => 0.6,
             SensorType::Magnetometer => 5.0,
             SensorType::Sound => 0.8,
+            SensorType::Heading => 0.5,
+            SensorType::Speed => 0.5,
         }
     }
 }
@@ -153,6 +170,16 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn navigation_sensors_are_appended_after_the_board_sensors() {
+        // Wire codes are a protocol surface: the mobility PR appends, never
+        // renumbers, so pre-mobility bytecode keeps its meaning.
+        assert_eq!(SensorType::Heading.code(), 5);
+        assert_eq!(SensorType::Speed.code(), 6);
+        assert_eq!(SensorType::from_name("heading"), Some(SensorType::Heading));
+        assert_eq!(SensorType::from_name("speed"), Some(SensorType::Speed));
     }
 
     #[test]

@@ -73,7 +73,8 @@ pub use memory::MemoryModel;
 pub use network::AgillaNetwork;
 pub use node::{AgentStatus, Node};
 pub use scenario::{
-    AppMix, AppSpec, Arrival, InjectionSite, OneShot, Periodic, Perturbation, Poisson,
+    AppMix, AppSpec, Arrival, ClosedLoop, InjectionSite, OneShot, Periodic, Perturbation, Poisson,
     ScenarioSpec, ScheduledEvent, TenantApp, TrafficGen,
 };
 pub use testbed::{Rejections, Testbed, TopologySpec, Trial, TrialSpec, TrialStep};
+pub use wsn_radio::{DistanceLoss, Motion, MotionPlan};

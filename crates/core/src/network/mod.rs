@@ -33,7 +33,7 @@ use wsn_common::{AgentId, Location, NodeId, SensorType};
 use wsn_net::{decode_beacon, encode_beacon, ActiveMessage, CsmaMac, MacConfig};
 use wsn_radio::{
     DeliveryOutcome, EnergyLedger, EnergyMeter, EnergyState, Frame, GilbertElliott, LossModel,
-    Medium, Topology,
+    Medium, Motion, MotionPlan, Topology,
 };
 use wsn_sim::{
     CounterId, EventQueue, Metrics, RngStream, ShardEventId, ShardedQueue, SimDuration, SimTime,
@@ -76,6 +76,10 @@ enum Event {
     MigAbort { node: NodeId, session: u16 },
     /// Remote tuple-space operation timeout.
     RemoteTimeout { node: NodeId, op_id: u16 },
+    /// Advance a mobile mote along its motion model (see
+    /// [`AgillaNetwork::set_motion`]). Never scheduled when every node is
+    /// static, so pre-mobility timelines are untouched event for event.
+    MotionTick { node: NodeId },
 }
 
 impl Event {
@@ -93,7 +97,8 @@ impl Event {
             | Event::AgentWake { node, .. }
             | Event::MigRetx { node, .. }
             | Event::MigAbort { node, .. }
-            | Event::RemoteTimeout { node, .. } => *node,
+            | Event::RemoteTimeout { node, .. }
+            | Event::MotionTick { node } => *node,
             Event::RxFanout { frame, .. } => frame.src,
         }
     }
@@ -404,6 +409,33 @@ impl Tenancy {
     }
 }
 
+/// Network-global mobility state: each mobile node's boot origin, motion
+/// model, and start time, plus the shared advance tick. Fully inert — no
+/// events, no per-step cost beyond one empty-`Vec` check — until
+/// [`AgillaNetwork::set_motion`] installs a non-static plan.
+///
+/// Positions are a pure function of elapsed time (never integrated state),
+/// so a tick that replays in a different shard interleaving lands the mote
+/// on exactly the same cell — the property that keeps sharded timelines
+/// byte-identical under motion.
+#[derive(Debug, Default)]
+struct MotionState {
+    /// Time between position advances (meaningless while `paths` is empty).
+    tick: SimDuration,
+    /// Per node: boot origin, motion model, and when the plan was installed.
+    /// Empty (not all-`None`) when no plan is installed.
+    paths: Vec<Option<(Location, Motion, SimTime)>>,
+}
+
+impl MotionState {
+    /// Heading/speed navigation readings for `idx` at `now`; `None` for
+    /// static or plan-less nodes (a parked vehicle has no heading).
+    fn nav(&self, idx: usize, now: SimTime) -> Option<(i16, i16)> {
+        let (origin, motion, start) = self.paths.get(idx)?.as_ref()?;
+        motion.heading_speed(*origin, now.saturating_since(*start))
+    }
+}
+
 /// The complete simulated network (see module docs).
 #[derive(Debug)]
 pub struct AgillaNetwork {
@@ -435,6 +467,8 @@ pub struct AgillaNetwork {
     clone_origins: Vec<(NodeId, u16, usize)>,
     /// Multi-tenancy state; inert until an application registers.
     tenancy: Tenancy,
+    /// Mobility state; inert until a motion plan is installed.
+    motion: MotionState,
 }
 
 impl AgillaNetwork {
@@ -529,6 +563,7 @@ impl AgillaNetwork {
             op_ids: SessionIdGen::new(),
             clone_origins: Vec::new(),
             tenancy: Tenancy::default(),
+            motion: MotionState::default(),
         };
         net.boot();
         net
@@ -1197,6 +1232,92 @@ impl AgillaNetwork {
         self.metrics.incr("faults.links_dropped");
     }
 
+    /// Fault healing: restores a link previously severed by
+    /// [`AgillaNetwork::drop_link`] (the wall comes down, the antenna is
+    /// repaired). The connectivity rule decides afresh whether the motes
+    /// are in range; frames flow again immediately, and beacons rebuild
+    /// the acquaintance pairing within one period.
+    pub fn heal_link(&mut self, a: NodeId, b: NodeId) {
+        self.medium.heal_link(a, b);
+        let now = self.now();
+        self.tracer
+            .record_with(now, Some(a), "link.healed", || format!("{a} -=- {b}"));
+        self.metrics.incr("faults.links_healed");
+    }
+
+    /// Installs a motion plan: each entry's node (addressed by its boot
+    /// location) starts advancing along its motion model on the plan's
+    /// tick, from now. Installing a static plan is a no-op — no events are
+    /// scheduled and every pre-mobility timeline stays byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry's origin addresses no node.
+    pub fn set_motion(&mut self, plan: &MotionPlan) {
+        if plan.is_static() {
+            return;
+        }
+        let now = self.now();
+        self.motion.tick = plan.tick;
+        self.motion.paths = vec![None; self.nodes.len()];
+        for (origin, motion) in &plan.entries {
+            let node = self
+                .medium
+                .topology()
+                .node_at(*origin)
+                .unwrap_or_else(|| panic!("motion entry at {origin} addresses no node"));
+            self.motion.paths[node.index()] = Some((*origin, motion.clone(), now));
+            self.queue
+                .schedule(now + plan.tick, Event::MotionTick { node });
+        }
+    }
+
+    /// Advances one mobile mote: recompute its position as a pure function
+    /// of elapsed time, update the radio topology (links form and sever by
+    /// the connectivity rule; a distance ramp sees the new geometry on the
+    /// next transmission), and re-arm the tick. Dead motes stop ticking —
+    /// the dispatcher drops their events before this handler runs.
+    fn handle_motion_tick(&mut self, idx: usize, now: SimTime) {
+        let new_loc = {
+            let Some((origin, motion, start)) = self.motion.paths[idx].as_ref() else {
+                return;
+            };
+            motion.location_at(*origin, now.saturating_since(*start))
+        };
+        let node_id = self.nodes[idx].id;
+        if new_loc != self.nodes[idx].loc {
+            self.medium.move_node(node_id, new_loc);
+            self.nodes[idx].loc = new_loc;
+            // A crossing invalidates position-relative soft state: the
+            // mover's acquaintance list says who was audible from the *old*
+            // cell, and greedy routing through a stale entry unicasts frames
+            // at motes no longer in range (a base station heard two cells
+            // ago looks like the perfect first hop until the beacon TTL
+            // fires — seconds of guaranteed timeouts per crossing). Replay
+            // the boot-time seeding for the new cell, both directions.
+            // Everyone else's memory of the mover's *old* address still ages
+            // out on the TTL, so replies chasing a departed issuer stay
+            // lossy — the mobility cost the crossing figures measure.
+            self.nodes[idx].acq.forget_all();
+            let nbs: Vec<NodeId> = self.medium.topology().neighbors(node_id);
+            for nb in nbs {
+                if self.nodes[nb.index()].dead {
+                    continue;
+                }
+                let nb_loc = self.medium.topology().location(nb);
+                self.nodes[idx].acq.heard(nb, nb_loc, now);
+                self.nodes[nb.index()].acq.heard(node_id, new_loc, now);
+            }
+            self.metrics.incr("motion.moves");
+            self.tracer
+                .record_with(now, Some(node_id), "motion.move", || {
+                    format!("-> {new_loc}")
+                });
+        }
+        self.queue
+            .schedule(now + self.motion.tick, Event::MotionTick { node: node_id });
+    }
+
     /// Fault injection: replaces the channel loss model mid-run — a
     /// scenario stepping the loss rate to model interference coming and
     /// going. Per-link burst channels restart under the new model.
@@ -1327,7 +1448,8 @@ impl AgillaNetwork {
             | Event::AgentWake { node, .. }
             | Event::MigRetx { node, .. }
             | Event::MigAbort { node, .. }
-            | Event::RemoteTimeout { node, .. } => *node,
+            | Event::RemoteTimeout { node, .. }
+            | Event::MotionTick { node } => *node,
             Event::RxFanout { .. } => unreachable!("handled above"),
         };
         // Energy accounting: the owner pays its idle baseline up to this
@@ -1350,6 +1472,7 @@ impl AgillaNetwork {
             Event::RemoteTimeout { node, op_id } => {
                 self.handle_remote_timeout(node.index(), op_id, at)
             }
+            Event::MotionTick { node } => self.handle_motion_tick(node.index(), at),
         }
     }
 
@@ -1462,8 +1585,13 @@ impl AgillaNetwork {
                 rng_env,
                 cost,
                 tenancy,
+                motion,
                 ..
             } = self;
+            // Navigation readings for the position/heading sensor: computed
+            // only for motes with a motion entry (one empty-`Vec` lookup
+            // otherwise), so static networks pay nothing per step.
+            let nav = motion.nav(idx, now);
             let node = &mut nodes[idx];
             let Node {
                 loc,
@@ -1507,6 +1635,7 @@ impl AgillaNetwork {
                 sensed: Vec::new(),
                 byte_budget,
                 track_removals: tenancy_on,
+                nav,
             };
             let result = match decoded {
                 Ok((ins, len)) => exec::step_decoded(&mut slot.agent, &mut host, ins, len),
@@ -1872,6 +2001,10 @@ struct HostView<'a> {
     byte_budget: Option<u32>,
     /// Whether removals need recording for the quota ledger.
     track_removals: bool,
+    /// Navigation readings from the mote's motion model — heading (whole
+    /// degrees CCW from +x) and speed (hundredths of a grid unit per
+    /// second) — or `None` on a static mote.
+    nav: Option<(i16, i16)>,
 }
 
 impl Host for HostView<'_> {
@@ -1885,7 +2018,14 @@ impl Host for HostView<'_> {
 
     fn sense(&mut self, sensor: SensorType) -> Option<i16> {
         self.sensed.push(sensor);
-        self.env.sample(sensor, self.loc, self.now, self.rng_env)
+        // Navigation "sensors" read the host's motion model, not the
+        // environment: a static mote reads as sensor-absent, exactly like
+        // a board without the hardware.
+        match sensor {
+            SensorType::Heading => self.nav.map(|(h, _)| h),
+            SensorType::Speed => self.nav.map(|(_, s)| s),
+            _ => self.env.sample(sensor, self.loc, self.now, self.rng_env),
+        }
     }
 
     fn set_leds(&mut self, v: i16) {

@@ -10,6 +10,10 @@
 //!   shot, periodic, Poisson arrivals, or a weighted multi-application mix
 //!   (shared sensor networks run many applications side by side) — drawing
 //!   every random choice from the trial's deterministic seed;
+//! * a [`ClosedLoop`] client describes **feedback-driven arrivals**: one
+//!   agent outstanding at a time, re-issued a think time after the
+//!   previous one finishes — load that self-throttles to what the network
+//!   (mobile relays included) can actually serve;
 //! * a [`ScheduledEvent`] describes a **mid-run perturbation** — kill a
 //!   mote, sever a link, step the channel loss model — so churn and
 //!   lifetime scenarios are rows in a table, not bespoke driver loops;
@@ -66,7 +70,7 @@ use std::fmt;
 
 use agilla_tenancy::{Allocator, AppProfile, Decision};
 use wsn_common::Location;
-use wsn_radio::LossModel;
+use wsn_radio::{LossModel, Motion, MotionPlan};
 use wsn_sim::{RngStream, SimDuration};
 
 use crate::config::AgillaConfig;
@@ -431,6 +435,68 @@ impl TenantApp {
     }
 }
 
+/// A closed-loop traffic client: keeps exactly **one** agent outstanding,
+/// waiting for the previous agent to leave the network (halt, fault, or
+/// eviction — [`crate::stats::ExperimentLog::finished_at`]) plus a think
+/// time before issuing the next. The classic interactive-client load
+/// model, complementary to the open-loop [`TrafficGen`]s: an open-loop
+/// generator keeps arriving into a partitioned or overloaded network,
+/// while a closed-loop client self-throttles to the network's actual
+/// service rate — which is what makes it the right probe for mobility
+/// scenarios, where service capacity changes as motes move.
+///
+/// Unlike a [`TrafficGen`], completion feedback cannot be precompiled
+/// into a step script, so clients live beside the script in
+/// [`TrialSpec::clients`] and are polled (every 50 ms of simulated time)
+/// while `Run` steps advance the clock.
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    /// Injection site for every issue.
+    pub site: InjectionSite,
+    /// Agilla assembly source issued each time.
+    pub source: String,
+    /// Pause between observing a completion and the next issue.
+    pub think: SimDuration,
+    /// Earliest issue time (offset from the scenario start).
+    pub start: SimDuration,
+    /// Cap on issues. A refused issue counts: a refusal is an observed
+    /// outcome, and the client waits a think time before trying again.
+    pub max_issues: u32,
+}
+
+impl ClosedLoop {
+    /// A client issuing at the base station from t = 0.
+    pub fn at_base(think: SimDuration, max_issues: u32, source: impl Into<String>) -> Self {
+        ClosedLoop {
+            site: InjectionSite::Base,
+            source: source.into(),
+            think,
+            start: SimDuration::ZERO,
+            max_issues,
+        }
+    }
+
+    /// A client issuing at the node addressed by `loc` from t = 0.
+    pub fn at(
+        loc: Location,
+        think: SimDuration,
+        max_issues: u32,
+        source: impl Into<String>,
+    ) -> Self {
+        ClosedLoop {
+            site: InjectionSite::At(loc),
+            ..ClosedLoop::at_base(think, max_issues, source)
+        }
+    }
+
+    /// Delays the first issue to `start`.
+    #[must_use]
+    pub fn starting_at(mut self, start: SimDuration) -> Self {
+        self.start = start;
+        self
+    }
+}
+
 /// A mid-run fault injection applied by a [`ScheduledEvent`].
 #[derive(Debug, Clone)]
 pub enum Perturbation {
@@ -438,6 +504,10 @@ pub enum Perturbation {
     KillNode(Location),
     /// Permanently sever the link between the motes at two locations.
     DropLink(Location, Location),
+    /// Undo a [`Perturbation::DropLink`] between the motes at two
+    /// locations: the link is again governed by the connectivity rule and
+    /// the loss model, as if never severed. A no-op on an intact link.
+    HealLink(Location, Location),
     /// Replace the channel loss model (step the loss rate up or down).
     SetLoss(LossModel),
 }
@@ -463,6 +533,11 @@ impl Perturbation {
                 let a = resolve(net, *a);
                 let b = resolve(net, *b);
                 net.drop_link(a, b);
+            }
+            Perturbation::HealLink(a, b) => {
+                let a = resolve(net, *a);
+                let b = resolve(net, *b);
+                net.heal_link(a, b);
             }
             Perturbation::SetLoss(loss) => net.set_loss_model(loss.clone()),
         }
@@ -513,6 +588,12 @@ pub struct ScenarioSpec {
     pub app_alloc: Option<(u32, u64)>,
     /// Mid-run perturbations.
     pub events: Vec<ScheduledEvent>,
+    /// Per-node motion plan, installed when the trial's network is built.
+    /// The empty (all-static) plan is the default and installs nothing.
+    pub motion: MotionPlan,
+    /// Closed-loop clients, polled while the compiled script's `Run`
+    /// steps advance time.
+    pub clients: Vec<ClosedLoop>,
     /// Clear the experiment log at this offset, separating setup from
     /// measurement (the declarative form of [`TrialStep::ClearLog`]).
     pub measure_from: Option<SimDuration>,
@@ -535,6 +616,8 @@ impl Testbed {
             apps: Vec::new(),
             app_alloc: None,
             events: Vec::new(),
+            motion: MotionPlan::new(),
+            clients: Vec::new(),
             measure_from: None,
             diagnostics: false,
         }
@@ -576,6 +659,33 @@ impl ScenarioSpec {
     #[must_use]
     pub fn event(mut self, at: SimDuration, what: Perturbation) -> Self {
         self.events.push(ScheduledEvent { at, what });
+        self
+    }
+
+    /// Puts the mote that boots at `origin` in motion. Entries accumulate;
+    /// a [`Motion::Static`] entry is dropped (every mote is static by
+    /// default, and a scenario with no moving motes builds a network
+    /// bit-for-bit identical to one with no motion plan at all).
+    #[must_use]
+    pub fn motion(mut self, origin: Location, motion: Motion) -> Self {
+        self.motion = self.motion.clone().with(origin, motion);
+        self
+    }
+
+    /// Sets the motion advance tick (default
+    /// [`MotionPlan::DEFAULT_TICK`]): how often moving motes re-resolve
+    /// their position into the radio topology.
+    #[must_use]
+    pub fn motion_tick(mut self, tick: SimDuration) -> Self {
+        self.motion = self.motion.clone().with_tick(tick);
+        self
+    }
+
+    /// Adds a closed-loop client. Client order is part of the spec: it
+    /// fixes polling order at each 50 ms boundary.
+    #[must_use]
+    pub fn client(mut self, client: ClosedLoop) -> Self {
+        self.clients.push(client);
         self
     }
 
@@ -763,6 +873,8 @@ impl ScenarioSpec {
             env: self.env.clone(),
             seed: self.seed,
             steps,
+            motion: self.motion.clone(),
+            clients: self.clients.clone(),
             diagnostics: self.diagnostics,
         }
     }
@@ -791,6 +903,11 @@ impl ScenarioSpec {
             agilla_vm::asm::assemble(source)
                 .map_err(|e| crate::AgillaError::BadAgent(format!("scenario step {i}: {e}")))?;
         }
+        for (i, c) in spec.clients.iter().enumerate() {
+            agilla_vm::asm::assemble(&c.source).map_err(|e| {
+                crate::AgillaError::BadAgent(format!("closed-loop client {i}: {e}"))
+            })?;
+        }
         Ok(spec)
     }
 
@@ -805,8 +922,9 @@ impl ScenarioSpec {
 
     /// Builds the scenario's network without running any steps — for
     /// drivers that need stepped sampling or early-exit predicates on top
-    /// of the declared substrate. Only the substrate fields matter here,
-    /// so no traffic is drawn and no step script is assembled.
+    /// of the declared substrate. Only the substrate fields (including the
+    /// motion plan) matter here, so no traffic is drawn, no step script is
+    /// assembled, and closed-loop clients never poll.
     pub fn build(&self) -> AgillaNetwork {
         TrialSpec {
             topology: self.topology.clone(),
@@ -814,6 +932,8 @@ impl ScenarioSpec {
             env: self.env.clone(),
             seed: self.seed,
             steps: Vec::new(),
+            motion: self.motion.clone(),
+            clients: Vec::new(),
             diagnostics: self.diagnostics,
         }
         .build()
@@ -1048,6 +1168,149 @@ mod tests {
         assert!(!medium_topology.are_neighbors(a, b));
         assert_eq!(trial.net.metrics().counter("faults.links_dropped"), 1);
         assert_eq!(trial.net.metrics().counter("faults.loss_steps"), 1);
+    }
+
+    #[test]
+    fn healed_link_carries_traffic_the_drop_refused() {
+        // Sever the base's only grid link at t=1 s, try a rout at t=2 s
+        // (fails into the void), heal at t=8 s, rout again at t=9 s: the
+        // second rout must land, proving HealLink re-admits real traffic.
+        let bed = Testbed::reliable_5x5(AgillaConfig::default(), 3);
+        let target = Location::new(1, 1);
+        let trial = bed
+            .scenario(0)
+            .event(
+                SimDuration::from_secs(1),
+                Perturbation::DropLink(Location::new(0, 1), target),
+            )
+            .event(
+                SimDuration::from_secs(8),
+                Perturbation::HealLink(Location::new(0, 1), target),
+            )
+            .traffic(
+                OneShot::at_base(workload::rout_test_agent(target))
+                    .delayed(SimDuration::from_secs(9)),
+            )
+            .horizon(SimDuration::from_secs(19))
+            .execute();
+        let medium_topology = trial.net.medium().topology();
+        let a = medium_topology.node_at(Location::new(0, 1)).unwrap();
+        let b = medium_topology.node_at(target).unwrap();
+        assert!(medium_topology.are_neighbors(a, b), "heal landed");
+        assert_eq!(trial.net.metrics().counter("faults.links_dropped"), 1);
+        assert_eq!(trial.net.metrics().counter("faults.links_healed"), 1);
+        // The post-heal rout completed successfully over the healed link.
+        let op = trial.net.log().remote_ops_of(trial.agents[0])[0];
+        let (success, _, _) = trial.net.log().remote_completion(op).unwrap();
+        assert!(success, "rout succeeds once the link is healed");
+    }
+
+    #[test]
+    fn closed_loop_client_waits_for_completion_plus_think_time() {
+        let think = SimDuration::from_millis(500);
+        let trial = Testbed::reliable_5x5(AgillaConfig::default(), 19)
+            .scenario(0)
+            .client(ClosedLoop::at_base(think, 3, "pushc 1\nputled\nhalt"))
+            .horizon(SimDuration::from_secs(10))
+            .execute();
+        // All three issues ran, strictly sequentially: each next injection
+        // comes after the previous agent's finish plus the think time.
+        assert_eq!(trial.agents.len(), 3);
+        let log = trial.net.log();
+        for pair in trial.agents.windows(2) {
+            let finished = log.finished_at(pair[0]).expect("prior agent finished");
+            let next = log.injected_at(pair[1]).expect("next issue recorded");
+            assert!(
+                next >= finished + think,
+                "issue at {next:?} ran before {finished:?} + think"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_loop_client_never_overlaps_its_own_agents() {
+        // A slow agent (sleeps 16 ticks = 2 s) under a tiny think time: the
+        // client may never have two agents alive at once, so 6 s fits at
+        // most 3 issues of a 4-issue budget.
+        let trial = Testbed::reliable_5x5(AgillaConfig::default(), 23)
+            .scenario(0)
+            .client(ClosedLoop::at_base(
+                SimDuration::from_millis(50),
+                4,
+                "pushc 16\nsleep\nhalt",
+            ))
+            .horizon(SimDuration::from_secs(6))
+            .execute();
+        assert!(trial.agents.len() <= 3, "{} overlapped", trial.agents.len());
+        assert!(trial.agents.len() >= 2, "client made progress");
+        let log = trial.net.log();
+        for pair in trial.agents.windows(2) {
+            assert!(log.finished_at(pair[0]).unwrap() <= log.injected_at(pair[1]).unwrap());
+        }
+    }
+
+    #[test]
+    fn mobile_scenario_is_byte_identical_across_shards_and_sim_threads() {
+        let spec = |shards: crate::Shards, threads: crate::SimThreads| {
+            Testbed::lossy_5x5(AgillaConfig::default(), 41)
+                .scenario(5)
+                .motion(
+                    Location::new(2, 2),
+                    Motion::ConstantVelocity { vx: 0.4, vy: 0.0 },
+                )
+                .motion(
+                    Location::new(4, 4),
+                    Motion::Circle {
+                        radius: 1.5,
+                        period_s: 6.0,
+                    },
+                )
+                .traffic(Poisson::new(1.0, workload::SMOVE_TEST_AGENT))
+                .horizon(SimDuration::from_secs(8))
+                .shards(shards)
+                .sim_threads(threads)
+                .execute()
+        };
+        let serial = spec(crate::Shards::Serial, crate::SimThreads::Serial);
+        let sharded = spec(crate::Shards::Fixed(4), crate::SimThreads::Fixed(2));
+        assert!(
+            serial.net.metrics().counter("motion.moves") > 0,
+            "motes actually moved"
+        );
+        assert_eq!(serial.net.log().records(), sharded.net.log().records());
+        assert_eq!(serial.net.now(), sharded.net.now());
+        let snapshot = |m: &wsn_sim::Metrics| {
+            m.counters()
+                .filter(|(k, _)| !k.starts_with("engine."))
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            snapshot(serial.net.metrics()),
+            snapshot(sharded.net.metrics())
+        );
+    }
+
+    #[test]
+    fn static_motion_plan_leaves_the_trial_bit_identical() {
+        // Declaring only Static motions is the same as declaring none: the
+        // plan stays empty, no tick is scheduled, and the run matches a
+        // motion-free execution record for record.
+        let base = bed()
+            .scenario(8)
+            .traffic(OneShot::at_base(workload::SMOVE_TEST_AGENT))
+            .horizon(SimDuration::from_secs(6));
+        let with_static = base
+            .clone()
+            .motion(Location::new(2, 2), Motion::Static)
+            .execute();
+        let without = base.execute();
+        assert_eq!(with_static.net.log().records(), without.net.log().records());
+        assert_eq!(with_static.net.metrics().counter("motion.moves"), 0);
+        assert_eq!(
+            with_static.net.medium().frames_sent(),
+            without.net.medium().frames_sent()
+        );
     }
 
     #[test]

@@ -168,6 +168,25 @@ impl ExperimentLog {
         })
     }
 
+    /// When `agent` left the network for good — halt, fault, or preemption
+    /// eviction — whichever was recorded first. `None` while the agent is
+    /// still live *or mid-migration* (a migrating agent is briefly resident
+    /// nowhere, and a failed migration resumes it locally), which is what
+    /// makes this the closed-loop traffic generator's completion signal: a
+    /// slot scan would misread the migration gap as termination.
+    pub fn finished_at(&self, agent: AgentId) -> Option<SimTime> {
+        self.records.iter().find_map(|r| match r {
+            OpRecord::AgentHalted { agent: a, at, .. }
+            | OpRecord::AgentFaulted { agent: a, at, .. }
+            | OpRecord::AgentEvicted { agent: a, at, .. }
+                if *a == agent =>
+            {
+                Some(*at)
+            }
+            _ => None,
+        })
+    }
+
     /// The completion record for remote operation `op_id`.
     pub fn remote_completion(&self, op_id: u16) -> Option<(bool, bool, SimTime)> {
         self.records.iter().find_map(|r| match r {
@@ -297,6 +316,37 @@ mod tests {
         assert_eq!(log.records().len(), 5);
         log.clear();
         assert!(log.records().is_empty());
+    }
+
+    #[test]
+    fn finished_at_covers_every_terminal_record_but_not_migration_failure() {
+        let mut log = ExperimentLog::new();
+        log.push(OpRecord::MigrationFailed {
+            agent: AgentId(1),
+            node: NodeId(2),
+            at: t(10),
+        });
+        // A failed migration resumes the agent locally — not terminal.
+        assert_eq!(log.finished_at(AgentId(1)), None);
+        log.push(OpRecord::AgentHalted {
+            agent: AgentId(1),
+            node: NodeId(2),
+            at: t(20),
+        });
+        log.push(OpRecord::AgentFaulted {
+            agent: AgentId(2),
+            node: NodeId(0),
+            at: t(30),
+        });
+        log.push(OpRecord::AgentEvicted {
+            agent: AgentId(3),
+            node: NodeId(0),
+            at: t(40),
+        });
+        assert_eq!(log.finished_at(AgentId(1)), Some(t(20)));
+        assert_eq!(log.finished_at(AgentId(2)), Some(t(30)));
+        assert_eq!(log.finished_at(AgentId(3)), Some(t(40)));
+        assert_eq!(log.finished_at(AgentId(4)), None);
     }
 
     #[test]

@@ -38,13 +38,14 @@
 
 use agilla_tenancy::{AppId, AppProfile};
 use wsn_common::{AgentId, Location};
-use wsn_radio::{LossModel, Topology};
-use wsn_sim::SimDuration;
+use wsn_radio::{LossModel, MotionPlan, Topology};
+use wsn_sim::{SimDuration, SimTime};
 
 use crate::config::AgillaConfig;
 use crate::env::Environment;
 use crate::error::{AdmissionReason, AgillaError};
 use crate::network::AgillaNetwork;
+use crate::scenario::{ClosedLoop, InjectionSite};
 
 /// The radio substrate a trial runs on.
 #[derive(Debug, Clone)]
@@ -56,13 +57,24 @@ pub enum TopologySpec {
     Reliable5x5,
     /// A lossless line of `n` motes (quiet-link micro-measurements).
     ReliableLine(i16),
-    /// Any other substrate.
+    /// Any other substrate. The topology is boxed so this spec enum stays
+    /// small to clone per trial — a `Topology` carries its whole `CellGrid`.
     Custom {
         /// Node placement and connectivity.
-        topology: Topology,
+        topology: Box<Topology>,
         /// Link loss model.
         loss: LossModel,
     },
+}
+
+impl TopologySpec {
+    /// A [`TopologySpec::Custom`] from any topology and loss model.
+    pub fn custom(topology: Topology, loss: LossModel) -> Self {
+        TopologySpec::Custom {
+            topology: Box::new(topology),
+            loss,
+        }
+    }
 }
 
 /// One scripted step of a trial.
@@ -125,6 +137,14 @@ pub struct TrialSpec {
     pub seed: u64,
     /// Steps executed in order by [`TrialSpec::execute`].
     pub steps: Vec<TrialStep>,
+    /// Per-node motion: installed by [`TrialSpec::build`] before any step
+    /// runs. An empty (all-static) plan installs nothing — the network is
+    /// bit-for-bit the one a motion-free spec builds.
+    pub motion: MotionPlan,
+    /// Closed-loop clients driven *during* `Run` steps: each keeps exactly
+    /// one agent outstanding, re-issuing a think time after the previous
+    /// one finishes ([`crate::stats::ExperimentLog::finished_at`]).
+    pub clients: Vec<ClosedLoop>,
     /// Keep diagnostic trace capture on (off by default for trials).
     pub diagnostics: bool,
 }
@@ -202,6 +222,20 @@ impl TrialSpec {
         self
     }
 
+    /// Replaces the motion plan (installed at build time, before any step).
+    #[must_use]
+    pub fn with_motion(mut self, plan: MotionPlan) -> Self {
+        self.motion = plan;
+        self
+    }
+
+    /// Adds a closed-loop client (driven during `Run` steps).
+    #[must_use]
+    pub fn client(mut self, client: ClosedLoop) -> Self {
+        self.clients.push(client);
+        self
+    }
+
     /// Keeps diagnostic trace capture on (off by default for trials).
     #[must_use]
     pub fn diagnostics(mut self, on: bool) -> Self {
@@ -255,7 +289,7 @@ impl TrialSpec {
                 self.seed,
             ),
             TopologySpec::Custom { topology, loss } => AgillaNetwork::new(
-                topology.clone(),
+                (**topology).clone(),
                 loss.clone(),
                 self.config.clone(),
                 self.env.clone(),
@@ -263,6 +297,7 @@ impl TrialSpec {
             ),
         };
         net.set_trace_capture(self.diagnostics);
+        net.set_motion(&self.motion);
         net
     }
 
@@ -271,15 +306,25 @@ impl TrialSpec {
     /// # Panics
     ///
     /// Panics if an `Inject` step fails to assemble or be admitted, if a
-    /// `TryInject` step fails to assemble, or if a perturbation addresses
-    /// a location with no node — trial scripts are fixed, vetted
-    /// workloads, so those failures are harness bugs, not experimental
-    /// outcomes. (A `TryInject` *admission or verification* refusal is an
-    /// outcome; see [`Trial::rejected`].)
+    /// `TryInject` step or closed-loop client source fails to assemble, or
+    /// if a perturbation addresses a location with no node — trial scripts
+    /// are fixed, vetted workloads, so those failures are harness bugs, not
+    /// experimental outcomes. (A `TryInject` or client *admission or
+    /// verification* refusal is an outcome; see [`Trial::rejected`].)
     pub fn execute(&self) -> Trial {
         let mut net = self.build();
         let mut agents = Vec::new();
         let mut rejected = Rejections::default();
+        let mut clients: Vec<ClientState> = self
+            .clients
+            .iter()
+            .map(|c| ClientState {
+                spec: c.clone(),
+                issued: 0,
+                outstanding: None,
+                ready_at: SimTime::ZERO + c.start,
+            })
+            .collect();
         for step in &self.steps {
             match step {
                 TrialStep::Inject { at: None, source } => {
@@ -323,7 +368,9 @@ impl TrialSpec {
                         }
                     }
                 }
-                TrialStep::Run(d) => net.run_for(*d),
+                TrialStep::Run(d) => {
+                    run_with_clients(&mut net, *d, &mut clients, &mut agents, &mut rejected);
+                }
                 TrialStep::ClearLog => net.clear_log(),
                 TrialStep::Perturb(p) => p.apply(&mut net),
             }
@@ -332,6 +379,87 @@ impl TrialSpec {
             net,
             agents,
             rejected,
+        }
+    }
+}
+
+/// Live state of one closed-loop client during [`TrialSpec::execute`].
+#[derive(Debug)]
+struct ClientState {
+    spec: ClosedLoop,
+    issued: u32,
+    outstanding: Option<AgentId>,
+    ready_at: SimTime,
+}
+
+/// Advances the simulation by `d`. With no clients this is exactly
+/// `net.run_for(d)` — the pre-mobility execution path, bit for bit. With
+/// clients, time advances in 50 ms polling quanta: at each boundary every
+/// client checks its outstanding agent against the experiment log and
+/// re-issues once the think time after completion has elapsed.
+fn run_with_clients(
+    net: &mut AgillaNetwork,
+    d: SimDuration,
+    clients: &mut [ClientState],
+    agents: &mut Vec<AgentId>,
+    rejected: &mut Rejections,
+) {
+    if clients.is_empty() {
+        net.run_for(d);
+        return;
+    }
+    let quantum = SimDuration::from_millis(50);
+    let end = net.now() + d;
+    loop {
+        poll_clients(net, clients, agents, rejected);
+        let now = net.now();
+        if now >= end {
+            break;
+        }
+        let remaining = SimDuration::from_micros(end.as_micros() - now.as_micros());
+        net.run_for(if remaining < quantum {
+            remaining
+        } else {
+            quantum
+        });
+    }
+}
+
+/// One closed-loop poll: observe completions, issue where due. A refusal
+/// (admission, quota, verifier) counts as an issue and schedules the next
+/// attempt one think time later — a closed-loop client never hammers.
+fn poll_clients(
+    net: &mut AgillaNetwork,
+    clients: &mut [ClientState],
+    agents: &mut Vec<AgentId>,
+    rejected: &mut Rejections,
+) {
+    let now = net.now();
+    for c in clients.iter_mut() {
+        if let Some(agent) = c.outstanding {
+            if net.log().finished_at(agent).is_some() {
+                c.outstanding = None;
+                c.ready_at = now + c.spec.think;
+            }
+        }
+        if c.outstanding.is_none() && c.issued < c.spec.max_issues && now >= c.ready_at {
+            let outcome = match c.spec.site {
+                InjectionSite::Base => net.inject_source(&c.spec.source),
+                InjectionSite::At(loc) => net.inject_source_at(loc, &c.spec.source),
+            };
+            c.issued += 1;
+            match outcome {
+                Ok(id) => {
+                    agents.push(id);
+                    c.outstanding = Some(id);
+                }
+                Err(e) => {
+                    if !rejected.absorb(&e) {
+                        panic!("closed-loop client agent failed to assemble: {e}");
+                    }
+                    c.ready_at = now + c.spec.think;
+                }
+            }
         }
     }
 }
@@ -472,6 +600,8 @@ impl Testbed {
             env: Environment::ambient(),
             seed: self.base_seed ^ seed_mix,
             steps: Vec::new(),
+            motion: MotionPlan::new(),
+            clients: Vec::new(),
             diagnostics: false,
         }
     }

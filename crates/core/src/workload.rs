@@ -149,6 +149,45 @@ halt",
     )
 }
 
+/// A vehicle-borne reporter for the mobility scenarios: rides a moving
+/// mote, sampling the navigation "sensor" each round and routing a
+/// `<heading, "veh", location>` report to `base` — the moving mote's
+/// position at report time, so the base watches the vehicle cross the
+/// field. On a static host the heading reads as missing (condition code
+/// cleared, a zero placeholder pushed), and the agent skips that round's
+/// report rather than publishing a bogus zero — the same
+/// capability-discovery idiom a board without the hardware would force.
+pub fn vehicle_reporter(base: Location, rounds: u8, period_ticks: u16) -> String {
+    format!(
+        "\
+pushc 0
+setvar 1          // round counter
+LOOP pushc HEADING
+sense             // heading from the motion model; condition=0 if static
+rjumpc REPORT
+pop               // static this round: discard the placeholder zero
+rjump NEXT
+REPORT pushn veh
+loc               // where the vehicle is *right now*
+pushc 3
+pushloc {bx} {by}
+rout              // report <heading, \"veh\", location> to the base
+NEXT getvar 1
+inc
+setvar 1
+getvar 1
+pushc {rounds}
+ceq               // reported `rounds` times?
+rjumpc DONE
+pushcl {period_ticks}
+sleep             // let the vehicle travel between reports
+rjump LOOP
+DONE halt",
+        bx = base.x,
+        by = base.y,
+    )
+}
+
 /// A trivial blink agent for the quickstart: lights LEDs and halts.
 pub const BLINK_AGENT: &str = "\
 pushc 7
@@ -239,6 +278,10 @@ pub fn all_programs() -> Vec<(&'static str, String)> {
             "habitat_monitor",
             habitat_monitor(10, 80, Location::new(0, 1)),
         ),
+        (
+            "vehicle_reporter",
+            vehicle_reporter(Location::new(0, 1), 4, 8),
+        ),
         ("blink", BLINK_AGENT.to_string()),
         ("polite_monitor", POLITE_MONITOR.to_string()),
         ("search_sweeper", search_sweeper(3)),
@@ -263,6 +306,7 @@ mod tests {
         assemble(&rout_test_agent(Location::new(2, 2))).unwrap();
         assemble(&fire_detector(Location::new(0, 1), 80)).unwrap();
         assemble(&habitat_monitor(5, 40, Location::new(0, 1))).unwrap();
+        assemble(&vehicle_reporter(Location::new(0, 1), 4, 8)).unwrap();
         for op in ["smove", "wmove", "sclone", "wclone"] {
             assemble(&one_way_agent(op, Location::new(1, 1))).unwrap();
         }

@@ -113,6 +113,14 @@ impl AcquaintanceList {
         self.prune(now).find(|e| e.loc == loc).map(|e| e.node)
     }
 
+    /// Drops every entry, expired or not. Neighbor state is relative to
+    /// where this node stands, so a mote that changes address (mobility)
+    /// must not keep routing through acquaintances it could only hear from
+    /// the old cell — the caller re-seeds discovery for the new position.
+    pub fn forget_all(&mut self) {
+        self.entries.clear();
+    }
+
     /// Permanently removes expired entries to bound memory. The accessors
     /// already ignore them; this is housekeeping for long runs.
     pub fn compact(&mut self, now: SimTime) {
@@ -186,6 +194,18 @@ mod tests {
         assert_eq!(l.node_at(Location::new(3, 3), t(0)), Some(NodeId(4)));
         assert_eq!(l.node_at(Location::new(9, 9), t(0)), None);
         assert_eq!(l.live(t(0)), vec![(NodeId(4), Location::new(3, 3))]);
+    }
+
+    #[test]
+    fn forget_all_empties_the_list() {
+        let mut l = list();
+        l.heard(NodeId(1), Location::new(1, 1), t(0));
+        l.heard(NodeId(2), Location::new(2, 2), t(0));
+        l.forget_all();
+        assert!(l.is_empty(t(0)));
+        // Discovery restarts cleanly afterwards.
+        l.heard(NodeId(3), Location::new(3, 3), t(1));
+        assert_eq!(l.live(t(1)), vec![(NodeId(3), Location::new(3, 3))]);
     }
 
     #[test]

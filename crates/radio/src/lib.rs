@@ -18,6 +18,10 @@
 //!   i.i.d. floor, and optional Gilbert-Elliott bursts.
 //! * [`Medium`] — the shared broadcast medium that resolves who hears a
 //!   transmission, when, and whether it survives loss and collisions.
+//! * [`Motion`] — deterministic per-node mobility (constant velocity,
+//!   waypoint walks, circular orbits): position is a pure function of
+//!   elapsed time, advanced by the driver on a fixed tick, with a
+//!   [`DistanceLoss`] ramp to make the channel position-driven.
 //! * [`energy`] — the MICA2 power model: per-node [`EnergyMeter`]s that
 //!   integrate joules per state (tx/rx/listen/cpu/sensor) over sim time,
 //!   optionally attached to the medium for lifetime experiments.
@@ -30,10 +34,12 @@ pub mod frame;
 pub mod loss;
 pub mod medium;
 pub mod mica2;
+pub mod motion;
 pub mod topology;
 
 pub use energy::{EnergyBreakdown, EnergyLedger, EnergyMeter, EnergyState};
 pub use frame::Frame;
-pub use loss::{GilbertElliott, LossModel};
+pub use loss::{DistanceLoss, GilbertElliott, LossModel};
 pub use medium::{DeliveryOutcome, Medium, TxBatch};
+pub use motion::{Motion, MotionPlan};
 pub use topology::{Connectivity, Topology};

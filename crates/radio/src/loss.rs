@@ -93,6 +93,62 @@ impl GilbertElliott {
     }
 }
 
+/// Distance-driven loss: a link-budget ramp evaluated against the *live*
+/// inter-node distance at transmit time.
+///
+/// Within `near` grid units the channel adds nothing; from `near` to `far`
+/// the extra per-frame loss climbs linearly to `edge_loss`, and past `far`
+/// it stays pinned there (the connectivity rule, not this ramp, decides
+/// when a link stops existing altogether). Because the distance is read
+/// from the topology's current positions, mobile motes see their links
+/// soften as they drift apart and firm up again as they approach — the
+/// position-driven generalization of swapping whole [`LossModel`]s with
+/// `Perturbation::SetLoss`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceLoss {
+    /// No extra loss within this distance, grid units.
+    pub near: f64,
+    /// Distance at which the ramp tops out, grid units.
+    pub far: f64,
+    /// Extra per-frame loss probability at (and beyond) `far`.
+    pub edge_loss: f64,
+}
+
+impl DistanceLoss {
+    /// A linear ramp from zero extra loss at `near` to `edge_loss` at `far`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `far < near`, either is negative, or `edge_loss` is not a
+    /// probability.
+    pub fn new(near: f64, far: f64, edge_loss: f64) -> Self {
+        assert!(
+            0.0 <= near && near <= far,
+            "need 0 <= near <= far, got {near}..{far}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&edge_loss),
+            "edge_loss must be a probability"
+        );
+        DistanceLoss {
+            near,
+            far,
+            edge_loss,
+        }
+    }
+
+    /// The extra per-frame loss probability at `distance` grid units.
+    pub fn loss_at(&self, distance: f64) -> f64 {
+        if distance <= self.near {
+            0.0
+        } else if distance >= self.far || self.far == self.near {
+            self.edge_loss
+        } else {
+            self.edge_loss * (distance - self.near) / (self.far - self.near)
+        }
+    }
+}
+
 /// Composite per-frame loss model.
 ///
 /// # Examples
@@ -114,6 +170,11 @@ pub struct LossModel {
     pub iid_loss: f64,
     /// Optional burst channel template, cloned per directed link.
     pub bursts: Option<GilbertElliott>,
+    /// Optional distance-driven ramp, composed with the size-dependent
+    /// terms per transmission from the live inter-node distance. `None`
+    /// (every stock constructor) keeps the channel geometry-free — the
+    /// pre-mobility code path, bit for bit.
+    pub distance: Option<DistanceLoss>,
 }
 
 impl LossModel {
@@ -123,6 +184,7 @@ impl LossModel {
             ber: 0.0,
             iid_loss: 0.0,
             bursts: None,
+            distance: None,
         }
     }
 
@@ -137,6 +199,7 @@ impl LossModel {
             ber: 0.0,
             iid_loss: p,
             bursts: None,
+            distance: None,
         }
     }
 
@@ -152,7 +215,14 @@ impl LossModel {
             ber: 2.4e-4,
             iid_loss: 0.005,
             bursts: None,
+            distance: None,
         }
+    }
+
+    /// Composes a [`DistanceLoss`] ramp onto this model (builder style).
+    pub fn with_distance(mut self, distance: DistanceLoss) -> Self {
+        self.distance = Some(distance);
+        self
     }
 
     /// Probability that a frame of `bits` on-air bits is lost to BER and the
@@ -162,6 +232,18 @@ impl LossModel {
     pub fn frame_loss_probability(&self, bits: u64) -> f64 {
         let p_ber = 1.0 - (1.0 - self.ber).powi(bits.min(i32::MAX as u64) as i32);
         1.0 - (1.0 - p_ber) * (1.0 - self.iid_loss)
+    }
+
+    /// [`LossModel::frame_loss_probability`] composed with the distance
+    /// ramp for a transmission spanning `distance` grid units. Identical to
+    /// the geometry-free probability when no [`DistanceLoss`] is attached,
+    /// so the pre-mobility draw sequence is unchanged.
+    pub fn frame_loss_probability_at(&self, bits: u64, distance: f64) -> f64 {
+        let base = self.frame_loss_probability(bits);
+        match &self.distance {
+            None => base,
+            Some(d) => 1.0 - (1.0 - base) * (1.0 - d.loss_at(distance)),
+        }
     }
 }
 
@@ -205,6 +287,41 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn uniform_rejects_bad_probability() {
         LossModel::uniform(1.5);
+    }
+
+    #[test]
+    fn distance_ramp_is_flat_then_linear_then_pinned() {
+        let d = DistanceLoss::new(1.0, 3.0, 0.4);
+        assert_eq!(d.loss_at(0.0), 0.0);
+        assert_eq!(d.loss_at(1.0), 0.0, "flat up to near");
+        assert!((d.loss_at(2.0) - 0.2).abs() < 1e-12, "midpoint of the ramp");
+        assert!((d.loss_at(3.0) - 0.4).abs() < 1e-12);
+        assert!((d.loss_at(50.0) - 0.4).abs() < 1e-12, "pinned past far");
+        // Degenerate ramp (near == far): a step function.
+        let step = DistanceLoss::new(2.0, 2.0, 0.3);
+        assert_eq!(step.loss_at(1.9), 0.0);
+        assert!((step.loss_at(2.1) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_composes_with_the_size_terms() {
+        let m = LossModel::uniform(0.1).with_distance(DistanceLoss::new(0.0, 2.0, 0.5));
+        // No ramp attached == geometry-free probability at any distance.
+        let plain = LossModel::uniform(0.1);
+        assert_eq!(
+            plain.frame_loss_probability_at(100, 5.0),
+            plain.frame_loss_probability(100)
+        );
+        // At distance 2: 1 - 0.9 * 0.5 = 0.55.
+        assert!((m.frame_loss_probability_at(100, 2.0) - 0.55).abs() < 1e-12);
+        // At distance 0 the ramp adds nothing.
+        assert!((m.frame_loss_probability_at(100, 0.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "near <= far")]
+    fn distance_rejects_inverted_ramp() {
+        DistanceLoss::new(3.0, 1.0, 0.5);
     }
 
     #[test]

@@ -131,6 +131,20 @@ impl Medium {
         self.topology.drop_link(a, b);
     }
 
+    /// Restores a previously severed `a`–`b` link (scenario fault healing);
+    /// the connectivity rule decides afresh whether the two are in range.
+    pub fn heal_link(&mut self, a: NodeId, b: NodeId) {
+        self.topology.heal_link(a, b);
+    }
+
+    /// Moves `node` to `to` (mobility): links form and sever by the
+    /// connectivity rule against the new position from this transmission
+    /// on, and a distance-driven loss ramp (if attached) sees the new
+    /// geometry immediately.
+    pub fn move_node(&mut self, node: NodeId, to: wsn_common::Location) {
+        self.topology.move_node(node, to);
+    }
+
     /// Replaces the channel loss model mid-run (a scenario stepping the
     /// loss rate). Per-link burst channels are reset so the new model's
     /// burst template — or its absence — applies from now on.
@@ -256,7 +270,21 @@ impl Medium {
             }
         }
 
-        let p = self.loss.frame_loss_probability(frame.on_air_bits());
+        // The geometry-free path computes the same probability as before
+        // mobility existed; with a distance ramp attached, the live
+        // inter-node distance folds into this single draw, so the RNG
+        // consumption — and thus every downstream outcome — is identical
+        // whether or not the channel is position-driven.
+        let p = if self.loss.distance.is_some() {
+            let dist = self
+                .topology
+                .location(frame.src)
+                .distance(self.topology.location(dst));
+            self.loss
+                .frame_loss_probability_at(frame.on_air_bits(), dist)
+        } else {
+            self.loss.frame_loss_probability(frame.on_air_bits())
+        };
         if rng.chance(p) {
             DeliveryOutcome::LostChannel
         } else {
@@ -463,6 +491,63 @@ mod tests {
             .is_empty());
         // And its carrier no longer makes the channel busy for others.
         assert!(!m.channel_busy(SimTime::from_micros(51_000), NodeId(0)));
+    }
+
+    #[test]
+    fn mobility_forms_and_severs_links_mid_run() {
+        let topo = Topology::new(
+            vec![Location::new(0, 0), Location::new(10, 0)],
+            Connectivity::Range(3.0),
+        );
+        let mut m = Medium::new(topo, LossModel::perfect(), 2);
+        let f = Frame::broadcast(NodeId(0), vec![0; 5]);
+        assert!(m.transmit(SimTime::ZERO, &f).outcomes.is_empty());
+        m.move_node(NodeId(1), Location::new(2, 0));
+        let t1 = SimTime::from_micros(1_000_000);
+        assert_eq!(
+            m.transmit(t1, &f).outcomes,
+            vec![(NodeId(1), DeliveryOutcome::Delivered)]
+        );
+        m.move_node(NodeId(1), Location::new(10, 0));
+        let t2 = SimTime::from_micros(2_000_000);
+        assert!(m.transmit(t2, &f).outcomes.is_empty());
+    }
+
+    #[test]
+    fn distance_ramp_softens_far_links() {
+        use crate::loss::DistanceLoss;
+
+        let topo = Topology::new(
+            vec![Location::new(0, 0), Location::new(4, 0)],
+            Connectivity::Range(10.0),
+        );
+        let loss = LossModel::perfect().with_distance(DistanceLoss::new(1.0, 4.0, 1.0));
+        let mut m = Medium::new(topo, loss, 5);
+        let f = Frame::broadcast(NodeId(0), vec![0; 5]);
+        // At distance 4 the ramp is pinned at certain loss.
+        assert_eq!(
+            m.transmit(SimTime::ZERO, &f).outcomes[0].1,
+            DeliveryOutcome::LostChannel
+        );
+        // Walk the receiver inside `near`: the ramp adds nothing and the
+        // perfect base model delivers.
+        m.move_node(NodeId(1), Location::new(0, 1));
+        let later = SimTime::from_micros(10_000_000);
+        assert_eq!(
+            m.transmit(later, &f).outcomes[0].1,
+            DeliveryOutcome::Delivered
+        );
+    }
+
+    #[test]
+    fn heal_link_restores_delivery() {
+        let mut m = perfect_line(2);
+        let f = Frame::broadcast(NodeId(0), vec![0; 5]);
+        m.drop_link(NodeId(0), NodeId(1));
+        assert!(m.transmit(SimTime::ZERO, &f).outcomes.is_empty());
+        m.heal_link(NodeId(0), NodeId(1));
+        let later = SimTime::from_micros(1_000_000);
+        assert_eq!(m.transmit(later, &f).outcomes.len(), 1);
     }
 
     #[test]

@@ -65,10 +65,25 @@ impl CellGrid {
         grid
     }
 
+    /// Clamped cell coordinates of `p`. Euclidean (floor) division keeps
+    /// negative offsets correct, and clamping maps positions that wander
+    /// outside the boot-time bounding box onto the nearest border cell.
+    /// Clamping is monotone and 1-Lipschitz, so two in-range nodes still
+    /// land within one cell of each other on each axis — the 3×3 fringe
+    /// scan stays exhaustive even for out-of-bounds movers.
+    fn cell_coords(&self, p: Location) -> (i64, i64) {
+        let cell = i64::from(self.cell);
+        let cx = (i64::from(p.x) - i64::from(self.min_x)).div_euclid(cell);
+        let cy = (i64::from(p.y) - i64::from(self.min_y)).div_euclid(cell);
+        (
+            cx.clamp(0, self.cols as i64 - 1),
+            cy.clamp(0, self.rows as i64 - 1),
+        )
+    }
+
     fn cell_of(&self, p: Location) -> usize {
-        let cx = ((i32::from(p.x) - self.min_x) / self.cell) as usize;
-        let cy = ((i32::from(p.y) - self.min_y) / self.cell) as usize;
-        cy * self.cols + cx
+        let (cx, cy) = self.cell_coords(p);
+        cy as usize * self.cols + cx as usize
     }
 
     fn remove(&mut self, node: NodeId, p: Location) {
@@ -76,12 +91,21 @@ impl CellGrid {
         self.members[idx].retain(|&n| n != node);
     }
 
+    /// Inserts `node` into the cell holding `p`, preserving ascending id
+    /// order so candidate scans stay deterministic after any move sequence.
+    fn insert(&mut self, node: NodeId, p: Location) {
+        let idx = self.cell_of(p);
+        let cell = &mut self.members[idx];
+        if let Err(pos) = cell.binary_search(&node) {
+            cell.insert(pos, node);
+        }
+    }
+
     /// Calls `f` for every member of the 3×3 cell neighborhood around `p`,
     /// cell by cell in row-major order (ids ascend within a cell but not
     /// across cells — callers wanting global id order must sort).
     fn for_each_nearby(&self, p: Location, mut f: impl FnMut(NodeId)) {
-        let cx = ((i32::from(p.x) - self.min_x) / self.cell) as i64;
-        let cy = ((i32::from(p.y) - self.min_y) / self.cell) as i64;
+        let (cx, cy) = self.cell_coords(p);
         for dy in -1..=1i64 {
             let y = cy + dy;
             if y < 0 || y >= self.rows as i64 {
@@ -191,6 +215,38 @@ impl Topology {
     /// Whether the `a`–`b` link has been severed by [`Topology::drop_link`].
     pub fn link_dropped(&self, a: NodeId, b: NodeId) -> bool {
         self.severed.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Restores a link previously severed by [`Topology::drop_link`] (fault
+    /// healing: the wall comes down, the antenna is repaired). A no-op if
+    /// the pair was never severed; the connectivity rule decides afresh
+    /// whether the two are actually in range.
+    pub fn heal_link(&mut self, a: NodeId, b: NodeId) {
+        self.severed.remove(&(a.min(b), a.max(b)));
+    }
+
+    /// Moves `node` to `to`, keeping the spatial index coherent: the mote
+    /// leaves its old cell and joins the new one in this single call, so a
+    /// neighbor query issued at any point sees it in exactly one cell —
+    /// never zero, never two. Moving to the current location is a no-op; a
+    /// removed mote still tracks its position (so `node_at` follows the
+    /// carcass) without ever rejoining the member sets.
+    ///
+    /// Unlike boot time, motion may carry a mote onto a location another
+    /// mote occupies; address lookups resolve ties to the lowest id.
+    pub fn move_node(&mut self, node: NodeId, to: Location) {
+        let from = self.positions[node.index()];
+        if from == to {
+            return;
+        }
+        self.positions[node.index()] = to;
+        if self.inactive[node.index()] {
+            return;
+        }
+        if self.grid.cell_of(from) != self.grid.cell_of(to) {
+            self.grid.remove(node, from);
+            self.grid.insert(node, to);
+        }
     }
 
     /// The paper's experimental arrangement: a `w x h` grid with the
@@ -557,6 +613,75 @@ mod tests {
     }
 
     #[test]
+    fn heal_link_restores_the_relation() {
+        let mut t = Topology::grid(3, 1);
+        let a = t.node_at(Location::new(1, 1)).unwrap();
+        let b = t.node_at(Location::new(2, 1)).unwrap();
+        t.drop_link(a, b);
+        assert!(!t.are_neighbors(a, b));
+        t.heal_link(b, a); // argument order must not matter
+        assert!(!t.link_dropped(a, b));
+        assert!(t.are_neighbors(a, b));
+        assert!(t.are_neighbors(b, a));
+        // Healing a never-severed (or already-healed) pair is a no-op.
+        t.heal_link(a, b);
+        assert!(t.are_neighbors(a, b));
+    }
+
+    #[test]
+    fn heal_link_defers_to_the_connectivity_rule() {
+        let mut t = Topology::new(
+            vec![Location::new(0, 0), Location::new(10, 0)],
+            Connectivity::Range(6.0),
+        );
+        t.drop_link(NodeId(0), NodeId(1));
+        t.heal_link(NodeId(0), NodeId(1));
+        assert!(
+            !t.are_neighbors(NodeId(0), NodeId(1)),
+            "healing removes the severance, it does not teleport nodes into range"
+        );
+    }
+
+    #[test]
+    fn move_node_forms_and_severs_links_by_distance() {
+        let mut t = Topology::new(
+            vec![Location::new(0, 0), Location::new(10, 0)],
+            Connectivity::Range(3.0),
+        );
+        assert!(!t.are_neighbors(NodeId(0), NodeId(1)));
+        t.move_node(NodeId(0), Location::new(8, 0));
+        assert_eq!(t.location(NodeId(0)), Location::new(8, 0));
+        assert!(
+            t.are_neighbors(NodeId(0), NodeId(1)),
+            "link forms as the mover arrives in range"
+        );
+        // Wander far outside the boot-time bounding box: the clamped border
+        // cell keeps indexing coherent and the link severs by distance.
+        t.move_node(NodeId(0), Location::new(-20, 0));
+        assert!(!t.are_neighbors(NodeId(0), NodeId(1)));
+        assert_eq!(t.node_at(Location::new(-20, 0)), Some(NodeId(0)));
+        for n in t.nodes() {
+            assert_eq!(t.neighbors(n), neighbors_full_scan(&t, n));
+        }
+    }
+
+    #[test]
+    fn moving_a_removed_mote_tracks_position_without_rejoining() {
+        let mut t = Topology::grid(3, 3);
+        let n = t.node_at(Location::new(2, 2)).unwrap();
+        t.remove_node(n);
+        t.move_node(n, Location::new(3, 3));
+        assert_eq!(t.location(n), Location::new(3, 3));
+        assert!(
+            t.grid.members.iter().all(|c| !c.contains(&n)),
+            "a dead mote must never rejoin the spatial index"
+        );
+        for other in t.nodes() {
+            assert!(!t.neighbors(other).contains(&n));
+        }
+    }
+
+    #[test]
     fn shard_map_is_balanced_and_contiguous() {
         let t = Topology::grid(8, 8);
         let map = t.shard_map(4);
@@ -650,6 +775,60 @@ mod tests {
                     got <= total / k + (total % k) + 1 + t.len() / t.num_cells(),
                     "shard {} holds {} of {}", s, got, total
                 );
+            }
+        }
+
+        #[test]
+        fn prop_motion_transition_invariants(
+            seed in 0u64..5_000,
+            count in 2usize..16,
+            radius in 1u8..8,
+            kill_at in 0usize..24,
+        ) {
+            // Random-walk motes (including out of the boot bounding box) and
+            // kill one mid-walk. After every single step: each active node
+            // occupies exactly one cell (dead ones zero — no ghosts),
+            // neighbors() equals the O(N) full scan, and member lists stay
+            // strictly sorted.
+            let mut s = seed;
+            let next = |s: &mut u64| {
+                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *s
+            };
+            let mut positions = Vec::new();
+            let mut taken = std::collections::BTreeSet::new();
+            while positions.len() < count {
+                let r = next(&mut s);
+                let x = ((r >> 16) % 30) as i16;
+                let y = ((r >> 40) % 30) as i16;
+                if taken.insert((x, y)) {
+                    positions.push(Location::new(x, y));
+                }
+            }
+            let mut t = Topology::new(positions, Connectivity::Range(f64::from(radius)));
+            let n = t.len() as u64;
+            for step in 0..24usize {
+                let r = next(&mut s);
+                let mover = NodeId((r % n) as u16);
+                let dx = ((r >> 8) % 9) as i16 - 4;
+                let dy = ((r >> 24) % 9) as i16 - 4;
+                if step == kill_at {
+                    t.remove_node(mover);
+                }
+                let from = t.location(mover);
+                t.move_node(mover, Location::new(from.x + dx, from.y + dy));
+                for node in t.nodes() {
+                    let cells = t.grid.members.iter().filter(|c| c.contains(&node)).count();
+                    prop_assert_eq!(
+                        cells,
+                        usize::from(t.is_active(node)),
+                        "node {:?} after step {}", node, step
+                    );
+                    prop_assert_eq!(t.neighbors(node), neighbors_full_scan(&t, node));
+                }
+                for cell in &t.grid.members {
+                    prop_assert!(cell.windows(2).all(|w| w[0] < w[1]), "cells stay sorted");
+                }
             }
         }
 

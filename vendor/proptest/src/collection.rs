@@ -65,9 +65,63 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
+/// The strategy returned by [`btree_set()`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = std::collections::BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.hi_inclusive - self.size.lo + 1;
+        let target = self.size.lo + rng.index(span);
+        let mut set = std::collections::BTreeSet::new();
+        // Duplicates don't grow the set, so cap the attempts: a strategy
+        // over a domain smaller than `target` must still terminate (with a
+        // smaller set), exactly like the real crate.
+        for _ in 0..(target.max(1) * 100) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+/// Generates `BTreeSet`s of up to `size` distinct elements from `element`
+/// (fewer when the element domain is too small to fill the draw).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn btree_sets_are_distinct_and_sized() {
+        let mut rng = TestRng::for_test("btree_sets_are_distinct_and_sized");
+        let s = btree_set(0u8..100, 2..=10);
+        for _ in 0..256 {
+            let set = s.generate(&mut rng);
+            assert!((2..=10).contains(&set.len()), "{}", set.len());
+        }
+        // A domain smaller than the draw saturates instead of spinning.
+        let tiny = btree_set(0u8..3, 5..=8);
+        assert!(tiny.generate(&mut rng).len() <= 3);
+    }
 
     #[test]
     fn lengths_respect_the_size_range() {

@@ -76,6 +76,9 @@ pub mod array {
 
 /// The conventional glob import, mirroring `proptest::prelude::*`.
 pub mod prelude {
+    /// The crate-root alias the idiomatic `prop::collection::vec` spelling
+    /// reaches through, mirroring the real prelude's `crate as prop`.
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};

@@ -124,6 +124,30 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(i8, u8, i16, u16, i32, u32, i64, u64, isize, usize);
 
+// Float ranges draw uniformly over the span. The real crate additionally
+// biases toward boundary values; without shrinking that refinement buys
+// nothing, so a plain uniform draw keeps the stand-in honest and tiny.
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = rng.next_u64() as f64 / (u64::MAX as f64 + 1.0);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let unit = rng.next_u64() as f64 / u64::MAX as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
